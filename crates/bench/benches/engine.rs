@@ -1,0 +1,127 @@
+//! Criterion micro-benchmarks for the engine substrates, plus the headline
+//! fused-vs-naive comparison at a fixed size.
+//!
+//! Run with `cargo bench -p lakehouse-bench`.
+
+use bauplan_core::{ExecutionMode, LakehouseConfig, RunOptions};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use lakehouse_bench::{taxi_lakehouse, taxi_pipeline};
+use lakehouse_columnar::kernels::{cmp_column_scalar, filter_column, to_selection, CmpOp};
+use lakehouse_columnar::{Column, Value};
+use lakehouse_format::{FileReader, FileWriter, WriterOptions};
+use lakehouse_runtime::{
+    ContainerManager, EnvSpec, PackageCache, PackageUniverse, PoolPolicy, SimClock, StartupModel,
+};
+use lakehouse_sql::{MemoryProvider, SqlEngine};
+use lakehouse_workload::{fit_power_law, sample_power_law, TaxiGenerator};
+
+fn bench_kernels(c: &mut Criterion) {
+    let col = Column::from_i64((0..100_000).collect());
+    c.bench_function("kernel/cmp_scalar_100k", |b| {
+        b.iter(|| cmp_column_scalar(CmpOp::Gt, &col, &Value::Int64(50_000)).unwrap())
+    });
+    let mask = to_selection(&cmp_column_scalar(CmpOp::Gt, &col, &Value::Int64(50_000)).unwrap())
+        .unwrap();
+    c.bench_function("kernel/filter_100k", |b| {
+        b.iter(|| filter_column(&col, &mask).unwrap())
+    });
+}
+
+fn bench_format(c: &mut Criterion) {
+    let batch = TaxiGenerator::default().generate(50_000);
+    c.bench_function("format/write_50k_rows", |b| {
+        b.iter(|| FileWriter::write_file(&batch, WriterOptions::default()).unwrap())
+    });
+    let bytes = FileWriter::write_file(&batch, WriterOptions::default()).unwrap();
+    c.bench_function("format/read_50k_rows", |b| {
+        b.iter(|| {
+            FileReader::parse(bytes.clone())
+                .unwrap()
+                .read_all(None)
+                .unwrap()
+        })
+    });
+}
+
+fn bench_sql(c: &mut Criterion) {
+    let mut provider = MemoryProvider::new();
+    provider.register("taxi", TaxiGenerator::default().generate(100_000));
+    let engine = SqlEngine::new();
+    c.bench_function("sql/filter_project_100k", |b| {
+        b.iter(|| {
+            engine
+                .query(
+                    "SELECT pickup_location_id, fare FROM taxi WHERE fare > 20.0",
+                    &provider,
+                )
+                .unwrap()
+        })
+    });
+    c.bench_function("sql/group_by_100k", |b| {
+        b.iter(|| {
+            engine
+                .query(
+                    "SELECT pickup_location_id, COUNT(*) AS n, AVG(fare) AS f \
+                     FROM taxi GROUP BY pickup_location_id",
+                    &provider,
+                )
+                .unwrap()
+        })
+    });
+}
+
+fn bench_powerlaw(c: &mut Criterion) {
+    let data = sample_power_law(20_000, 2.1, 0.5, 42);
+    c.bench_function("workload/fit_power_law_20k", |b| {
+        b.iter(|| fit_power_law(&data).unwrap())
+    });
+}
+
+fn bench_containers(c: &mut Criterion) {
+    c.bench_function("runtime/acquire_release_frozen", |b| {
+        let m = ContainerManager::new(
+            StartupModel::paper_defaults(),
+            PoolPolicy::Freeze,
+            PackageUniverse::synthetic(100, 1.1, 7),
+            PackageCache::new(1 << 34),
+            SimClock::new(),
+        );
+        let env = EnvSpec::new("py311", vec!["pkg-00000".into()]);
+        // Prime so the steady state (resume) is measured.
+        let warmup = m.acquire(&env);
+        m.release(warmup);
+        b.iter(|| {
+            let cont = m.acquire(&env);
+            m.release(cont);
+        })
+    });
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    for mode in [ExecutionMode::Naive, ExecutionMode::Fused] {
+        group.bench_function(format!("taxi_20k_{mode:?}"), |b| {
+            b.iter_batched(
+                || taxi_lakehouse(20_000, LakehouseConfig::default()),
+                |lh| {
+                    lh.run(&taxi_pipeline(), &RunOptions::default().with_mode(mode))
+                        .unwrap()
+                },
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_kernels,
+    bench_format,
+    bench_sql,
+    bench_powerlaw,
+    bench_containers,
+    bench_pipeline
+);
+criterion_main!(benches);

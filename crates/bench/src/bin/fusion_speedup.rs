@@ -1,0 +1,63 @@
+//! **§4.4.2 claim — "5× faster feedback loop"**: the fused execution plan
+//! (filter pushdown + in-place SQL + expectation, one container) vs. the
+//! naive isomorphic plan (one serverless function per node, intermediates
+//! through object storage).
+//!
+//! Reproduction: run the paper's 3-node taxi pipeline under both execution
+//! modes across dataset sizes and compare total *simulated* latency
+//! (container startups + object-store traffic) — deterministic, since all
+//! latency comes from the store/startup models, not the host machine.
+//!
+//! Regenerate: `cargo run -p lakehouse-bench --bin fusion_speedup`
+
+use bauplan_core::{ExecutionMode, LakehouseConfig, RunOptions};
+use lakehouse_bench::{print_rows, taxi_lakehouse, taxi_pipeline};
+
+fn main() {
+    println!("=== §4.4.2: fused vs naive execution (the 5x feedback loop) ===");
+    let mut rows = Vec::new();
+    for &n in &[5_000usize, 20_000, 100_000, 400_000] {
+        // The paper's claim is about the *feedback loop* — the steady-state
+        // edit-run-inspect iteration. Warm up once (images pulled,
+        // containers frozen), then measure the next run.
+        let run_mode = |mode: ExecutionMode| {
+            let lh = taxi_lakehouse(n, LakehouseConfig::default());
+            let options = RunOptions::default().with_mode(mode);
+            lh.run(&taxi_pipeline(), &options).expect("warmup run");
+            lh.run(&taxi_pipeline(), &options).expect("measured run")
+        };
+        let naive = run_mode(ExecutionMode::Naive);
+        let fused = run_mode(ExecutionMode::Fused);
+        let speedup =
+            naive.simulated_total.as_secs_f64() / fused.simulated_total.as_secs_f64().max(1e-9);
+        rows.push(vec![
+            format!("{n}"),
+            format!("{:.0}", naive.simulated_total.as_secs_f64() * 1e3),
+            format!("{}", naive.stages_executed),
+            format!("{}/{}", naive.store_ops.0, naive.store_ops.1),
+            format!("{:.0}", fused.simulated_total.as_secs_f64() * 1e3),
+            format!("{}", fused.stages_executed),
+            format!("{}/{}", fused.store_ops.0, fused.store_ops.1),
+            format!("{speedup:.1}x"),
+        ]);
+    }
+    print_rows(
+        "naive (one function per node) vs fused (§4.4.2) — simulated latency",
+        &[
+            "taxi rows",
+            "naive ms",
+            "stages",
+            "gets/puts",
+            "fused ms",
+            "stages",
+            "gets/puts",
+            "speedup",
+        ],
+        &rows,
+    );
+    println!(
+        "\nPaper claim check: \"This optimization results in 5x faster feedback \
+         loop even with small datasets\" — the speedup column should sit in \
+         that regime at small row counts (startup + round-trip dominated)."
+    );
+}

@@ -1,0 +1,24 @@
+//! **§3.1 footnote 3**: "in the last 10 years, the cost of 1 TB of memory
+//! decreased from 5,000 USD to 2,000 USD" — the hardware-trend leg of the
+//! Reasonable Scale argument.
+//!
+//! Regenerate: `cargo run -p lakehouse-bench --bin ram_cost`
+
+use lakehouse_bench::print_rows;
+use lakehouse_workload::ram_cost::{decade_price_ratio, RAM_USD_PER_TB};
+
+fn main() {
+    println!("=== §3.1 fn.3: historical cost of 1 TB DRAM ===");
+    let rows: Vec<Vec<String>> = RAM_USD_PER_TB
+        .iter()
+        .map(|(year, usd)| vec![year.to_string(), format!("{usd:.0}")])
+        .collect();
+    print_rows("USD per TB of DRAM", &["year", "USD/TB"], &rows);
+    println!(
+        "\nPaper claim check: {:.0} USD (2013) -> {:.0} USD (2023), a {:.0}% drop \
+         (paper: 5,000 -> 2,000).",
+        RAM_USD_PER_TB.first().unwrap().1,
+        RAM_USD_PER_TB.last().unwrap().1,
+        (1.0 - decade_price_ratio()) * 100.0
+    );
+}

@@ -1,0 +1,91 @@
+//! **§4.2/§4.5 claims — container startup**: "custom containers optimized
+//! for starting a Spark command with 300 milliseconds latency" and
+//! "'freezing' a container after initialization would make startup time
+//! negligible".
+//!
+//! Reproduction: measure the three startup regimes of the SOCK-style model
+//! (cold, warm-pool, frozen-resume) with the component breakdown, plus the
+//! effect of the pool policy across a burst of invocations.
+//!
+//! Regenerate: `cargo run -p lakehouse-bench --bin startup_latency`
+
+use lakehouse_bench::print_rows;
+use lakehouse_runtime::{
+    ContainerManager, EnvSpec, PackageCache, PackageUniverse, PoolPolicy, SimClock, StartupModel,
+};
+
+fn manager(policy: PoolPolicy) -> ContainerManager {
+    ContainerManager::new(
+        StartupModel::paper_defaults(),
+        policy,
+        PackageUniverse::synthetic(2_000, 1.1, 7),
+        PackageCache::new(20 * 1024 * 1024 * 1024),
+        SimClock::new(),
+    )
+}
+
+fn main() {
+    println!("=== §4.2/§4.5: container startup regimes ===");
+    let env = EnvSpec::new("python3.11", vec!["pkg-00000".into(), "pkg-00003".into()]);
+
+    // Breakdown per regime.
+    let m = manager(PoolPolicy::Freeze);
+    let cold = m.acquire(&env);
+    let cold_b = cold.startup.clone();
+    m.release(cold);
+    let resumed = m.acquire(&env); // frozen resume
+    let resumed_b = resumed.startup.clone();
+    let warm = m.acquire(&env); // second container, warm image path
+    let warm_b = warm.startup.clone();
+
+    let ms = |d: std::time::Duration| format!("{:.1}", d.as_secs_f64() * 1e3);
+    print_rows(
+        "startup breakdown (ms) — SOCK-style components",
+        &["component", "cold", "warm (300ms path)", "frozen resume"],
+        &[
+            vec!["image fetch".into(), ms(cold_b.image_fetch), ms(warm_b.image_fetch), ms(resumed_b.image_fetch)],
+            vec!["sandbox create".into(), ms(cold_b.sandbox_create), ms(warm_b.sandbox_create), ms(resumed_b.sandbox_create)],
+            vec!["runtime boot".into(), ms(cold_b.runtime_boot), ms(warm_b.runtime_boot), ms(resumed_b.runtime_boot)],
+            vec!["package fetch".into(), ms(cold_b.package_fetch), ms(warm_b.package_fetch), ms(resumed_b.package_fetch)],
+            vec!["package import".into(), ms(cold_b.package_import), ms(warm_b.package_import), ms(resumed_b.package_import)],
+            vec!["handler init".into(), ms(cold_b.handler_init), ms(warm_b.handler_init), ms(resumed_b.handler_init)],
+            vec!["TOTAL".into(), ms(cold_b.total()), ms(warm_b.total()), ms(resumed_b.total())],
+        ],
+    );
+
+    // Burst of 50 invocations under each pool policy.
+    let mut rows = Vec::new();
+    for (name, policy) in [
+        ("none (always restart)", PoolPolicy::None),
+        ("warm pool", PoolPolicy::Warm),
+        ("freeze/resume (paper)", PoolPolicy::Freeze),
+    ] {
+        let m = manager(policy);
+        let mut total = std::time::Duration::ZERO;
+        for _ in 0..50 {
+            let c = m.acquire(&env);
+            total += c.startup.total();
+            m.release(c);
+        }
+        let (cold, warm, resume) = m.start_counts();
+        rows.push(vec![
+            name.into(),
+            format!("{:.0}", total.as_secs_f64() * 1e3),
+            format!("{:.1}", total.as_secs_f64() * 1e3 / 50.0),
+            format!("{cold}/{warm}/{resume}"),
+        ]);
+    }
+    print_rows(
+        "50 sequential invocations per pool policy",
+        &["policy", "total startup ms", "mean ms/invoke", "cold/warm/resume"],
+        &rows,
+    );
+    println!(
+        "\nPaper claim checks: warm path ≈ 300 ms ({} ms measured); frozen \
+         resume is negligible ({} ms measured); cold start is in the \
+         Spark-cluster-launch regime ({} ms).",
+        ms(warm_b.total()),
+        ms(resumed_b.total()),
+        ms(cold_b.total()),
+    );
+}

@@ -1,0 +1,115 @@
+//! **Table 1**: use cases × environment × interaction modality.
+//!
+//! | Use case                  | Env  | Mode           |
+//! |---------------------------|------|----------------|
+//! | Querying + Wrangling      | Dev  | Synch          |
+//! | Querying + Wrangling      | Prod | Synch          |
+//! | Transforming + Deploying  | Dev  | Synch + Asynch |
+//! | Transforming + Deploying  | Prod | Asynch         |
+//!
+//! Reproduction: exercise each cell end-to-end on the platform — synchronous
+//! queries on a dev branch and on main, a synchronous dev run, an
+//! asynchronous dev run, and an asynchronous production run — and report
+//! support plus measured simulated latency.
+//!
+//! Regenerate: `cargo run -p lakehouse-bench --bin table1`
+
+use bauplan_core::{LakehouseConfig, RunOptions};
+use lakehouse_bench::{print_rows, taxi_lakehouse, taxi_pipeline};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    println!("=== Table 1: use cases and interaction modalities ===");
+    let lh = Arc::new(taxi_lakehouse(20_000, LakehouseConfig::default()));
+    let mut rows = Vec::new();
+
+    // Dev branch for the Dev cells.
+    lh.create_branch("feat_1", Some("main")).expect("branch");
+
+    // --- QW / Dev / Synch: interactive query on the dev branch.
+    let t = Instant::now();
+    let out = lh
+        .query(
+            "SELECT pickup_location_id, COUNT(*) AS n FROM taxi_table \
+             GROUP BY pickup_location_id ORDER BY n DESC LIMIT 3",
+            "feat_1",
+        )
+        .expect("dev query");
+    rows.push(vec![
+        "Querying + Wrangling".into(),
+        "Dev".into(),
+        "Synch".into(),
+        "supported".into(),
+        format!("{} rows in {:.1} ms wall", out.num_rows(), t.elapsed().as_secs_f64() * 1e3),
+    ]);
+
+    // --- QW / Prod / Synch: same, against main.
+    let t = Instant::now();
+    let out = lh
+        .query("SELECT COUNT(*) AS trips FROM taxi_table", "main")
+        .expect("prod query");
+    rows.push(vec![
+        "Querying + Wrangling".into(),
+        "Prod".into(),
+        "Synch".into(),
+        "supported".into(),
+        format!("{} rows in {:.1} ms wall", out.num_rows(), t.elapsed().as_secs_f64() * 1e3),
+    ]);
+
+    // --- TD / Dev / Synch: blocking run on the dev branch.
+    let report = lh
+        .run(&taxi_pipeline(), &RunOptions::on_branch("feat_1"))
+        .expect("sync dev run");
+    rows.push(vec![
+        "Transforming + Deploying".into(),
+        "Dev".into(),
+        "Synch".into(),
+        "supported".into(),
+        format!(
+            "run {} merged, {:.0} ms simulated",
+            report.run_id,
+            report.simulated_total.as_secs_f64() * 1e3
+        ),
+    ]);
+
+    // --- TD / Dev / Asynch: detached run on the dev branch.
+    let handle = lh.run_async(taxi_pipeline(), RunOptions::on_branch("feat_1"));
+    let report = handle.wait().expect("async dev run");
+    rows.push(vec![
+        "Transforming + Deploying".into(),
+        "Dev".into(),
+        "Asynch".into(),
+        "supported".into(),
+        format!(
+            "run {} merged, {:.0} ms simulated",
+            report.run_id,
+            report.simulated_total.as_secs_f64() * 1e3
+        ),
+    ]);
+
+    // --- TD / Prod / Asynch: orchestrator-style production run.
+    let handle = lh.run_async(taxi_pipeline(), RunOptions::on_branch("main"));
+    let report = handle.wait().expect("async prod run");
+    rows.push(vec![
+        "Transforming + Deploying".into(),
+        "Prod".into(),
+        "Asynch".into(),
+        "supported".into(),
+        format!(
+            "run {} merged, {:.0} ms simulated",
+            report.run_id,
+            report.simulated_total.as_secs_f64() * 1e3
+        ),
+    ]);
+
+    print_rows(
+        "Table 1 (measured)",
+        &["Use case", "Env", "Mode", "Status", "Evidence"],
+        &rows,
+    );
+    println!(
+        "\nAll four paper cells exercised end-to-end; artifacts on main: {:?}",
+        lh.list_tables("main").expect("tables")
+    );
+}

@@ -1,0 +1,87 @@
+//! Shared harness for the paper-reproduction benchmarks.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper
+//! (see DESIGN.md §3 for the experiment index); this library holds the
+//! fixtures they share.
+
+use bauplan_core::{Lakehouse, LakehouseConfig, PipelineProject};
+use lakehouse_table::{PartitionField, PartitionSpec, Transform};
+use lakehouse_workload::TaxiGenerator;
+
+/// Build a lakehouse seeded with `rows` synthetic taxi trips and the paper's
+/// Appendix A expectation registered (with a threshold the synthetic data
+/// passes). The taxi table is partitioned by month of `pickup_at`, as the
+/// real NYC TLC dataset is distributed — this is what the fused plan's
+/// filter pushdown prunes against.
+pub fn taxi_lakehouse(rows: usize, config: LakehouseConfig) -> Lakehouse {
+    let lh = Lakehouse::in_memory(config).expect("in-memory lakehouse");
+    let batch = TaxiGenerator::default().generate(rows);
+    let spec = PartitionSpec::new(vec![PartitionField {
+        source_column: "pickup_at".into(),
+        transform: Transform::Month,
+    }]);
+    lh.create_table_partitioned("taxi_table", &batch, "main", spec)
+        .expect("seed taxi_table");
+    lh.register_function(
+        "trips_expectation_impl",
+        bauplan_core::builtins::mean_greater_than("trips", "count", 1.0),
+    );
+    lh
+}
+
+/// The paper's 3-node pipeline.
+pub fn taxi_pipeline() -> PipelineProject {
+    PipelineProject::taxi_example()
+}
+
+/// Render a two-column numeric series as an aligned text table.
+pub fn print_series(title: &str, x_label: &str, y_label: &str, points: &[(f64, f64)]) {
+    println!("\n## {title}");
+    println!("{x_label:>16}  {y_label:>16}");
+    for (x, y) in points {
+        println!("{x:>16.6}  {y:>16.6}");
+    }
+}
+
+/// Render a named-row table.
+pub fn print_rows(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n## {title}");
+    let widths: Vec<usize> = headers
+        .iter()
+        .enumerate()
+        .map(|(i, h)| {
+            rows.iter()
+                .map(|r| r.get(i).map_or(0, String::len))
+                .chain(std::iter::once(h.len()))
+                .max()
+                .unwrap_or(h.len())
+        })
+        .collect();
+    let header_line: Vec<String> = headers
+        .iter()
+        .zip(&widths)
+        .map(|(h, w)| format!("{h:>w$}"))
+        .collect();
+    println!("{}", header_line.join("  "));
+    for row in rows {
+        let line: Vec<String> = row
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect();
+        println!("{}", line.join("  "));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bauplan_core::RunOptions;
+
+    #[test]
+    fn fixture_runs_green() {
+        let lh = taxi_lakehouse(2_000, LakehouseConfig::zero_latency());
+        let report = lh.run(&taxi_pipeline(), &RunOptions::default()).unwrap();
+        assert!(report.success);
+    }
+}

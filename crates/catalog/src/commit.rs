@@ -1,0 +1,139 @@
+//! Immutable, content-addressed commits forming the catalog DAG.
+
+use serde::{Deserialize, Serialize};
+
+/// A commit identifier: hex-encoded content hash of the commit document.
+pub type CommitId = String;
+
+/// What a table key points to. Mirrors Nessie's Iceberg content: the
+/// location of the table-metadata object plus the snapshot that was current
+/// when the commit was made.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ContentRef {
+    /// Object-store path of the table metadata document.
+    pub metadata_location: String,
+    /// Snapshot id within that metadata that this commit pins.
+    pub snapshot_id: u64,
+}
+
+impl ContentRef {
+    pub fn new(metadata_location: impl Into<String>, snapshot_id: u64) -> Self {
+        ContentRef {
+            metadata_location: metadata_location.into(),
+            snapshot_id,
+        }
+    }
+}
+
+/// One change within a commit.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(tag = "op")]
+pub enum Operation {
+    /// Create or update the content a key points to.
+    Put { key: String, content: ContentRef },
+    /// Remove a key.
+    Delete { key: String },
+}
+
+impl Operation {
+    /// The table key this operation touches.
+    pub fn key(&self) -> &str {
+        match self {
+            Operation::Put { key, .. } | Operation::Delete { key } => key,
+        }
+    }
+}
+
+/// An immutable commit: parents (1 for normal commits, 2 for merges, 0 for
+/// the root), a logical sequence number, provenance, and the operations.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Commit {
+    pub parents: Vec<CommitId>,
+    /// Monotonic logical sequence (max(parent.seq) + 1); gives a total-ish
+    /// order for log display without wall clocks.
+    pub seq: u64,
+    pub author: String,
+    pub message: String,
+    pub operations: Vec<Operation>,
+}
+
+impl Commit {
+    /// Serialize to canonical JSON bytes (serde_json preserves field order,
+    /// so identical commits produce identical bytes and therefore ids).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        serde_json::to_vec(self).expect("commit serialization cannot fail")
+    }
+
+    /// Parse from JSON bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Commit> {
+        serde_json::from_slice(bytes).ok()
+    }
+
+    /// Content-addressed id: FNV-1a-128-style double hash, hex encoded.
+    /// Deterministic across runs (part of the reproducibility invariant).
+    pub fn id(&self) -> CommitId {
+        let bytes = self.to_bytes();
+        let h1 = fnv1a64(0xcbf29ce484222325, &bytes);
+        // Second lane with a different seed for 128 bits total.
+        let h2 = fnv1a64(h1 ^ 0x9e3779b97f4a7c15, &bytes);
+        format!("{h1:016x}{h2:016x}")
+    }
+}
+
+fn fnv1a64(seed: u64, bytes: &[u8]) -> u64 {
+    let mut h = seed;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn commit(msg: &str) -> Commit {
+        Commit {
+            parents: vec!["abc".into()],
+            seq: 1,
+            author: "test".into(),
+            message: msg.into(),
+            operations: vec![Operation::Put {
+                key: "db.table".into(),
+                content: ContentRef::new("meta/1.json", 42),
+            }],
+        }
+    }
+
+    #[test]
+    fn id_is_deterministic_and_content_addressed() {
+        assert_eq!(commit("a").id(), commit("a").id());
+        assert_ne!(commit("a").id(), commit("b").id());
+        assert_eq!(commit("a").id().len(), 32);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let c = commit("round trip");
+        let rt = Commit::from_bytes(&c.to_bytes()).unwrap();
+        assert_eq!(c, rt);
+        assert_eq!(c.id(), rt.id());
+    }
+
+    #[test]
+    fn bad_json_is_none() {
+        assert!(Commit::from_bytes(b"{not json").is_none());
+    }
+
+    #[test]
+    fn operation_key() {
+        let p = Operation::Put {
+            key: "k1".into(),
+            content: ContentRef::new("m", 1),
+        };
+        let d = Operation::Delete { key: "k2".into() };
+        assert_eq!(p.key(), "k1");
+        assert_eq!(d.key(), "k2");
+    }
+}

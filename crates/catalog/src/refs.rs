@@ -1,0 +1,90 @@
+//! Named references: branches (mutable heads) and tags (frozen pointers).
+
+use crate::commit::CommitId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Whether a reference can move.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RefKind {
+    Branch,
+    Tag,
+}
+
+/// A named pointer into the commit DAG.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Reference {
+    pub name: String,
+    pub kind: RefKind,
+    /// Head commit; `None` only for a freshly-initialized empty branch.
+    pub head: Option<CommitId>,
+}
+
+/// The single reference document, CAS-swapped atomically on every ref
+/// mutation (Nessie similarly serializes ref updates through its version
+/// store). BTreeMap keeps serialization canonical.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RefDocument {
+    pub refs: BTreeMap<String, Reference>,
+}
+
+impl RefDocument {
+    pub fn to_bytes(&self) -> Vec<u8> {
+        serde_json::to_vec(self).expect("ref document serialization cannot fail")
+    }
+
+    pub fn from_bytes(bytes: &[u8]) -> Option<RefDocument> {
+        serde_json::from_slice(bytes).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn document_round_trip() {
+        let mut doc = RefDocument::default();
+        doc.refs.insert(
+            "main".into(),
+            Reference {
+                name: "main".into(),
+                kind: RefKind::Branch,
+                head: Some("abc123".into()),
+            },
+        );
+        doc.refs.insert(
+            "v1".into(),
+            Reference {
+                name: "v1".into(),
+                kind: RefKind::Tag,
+                head: Some("def456".into()),
+            },
+        );
+        let rt = RefDocument::from_bytes(&doc.to_bytes()).unwrap();
+        assert_eq!(doc, rt);
+    }
+
+    #[test]
+    fn canonical_bytes_stable() {
+        let mut a = RefDocument::default();
+        let mut b = RefDocument::default();
+        for name in ["z", "a", "m"] {
+            let r = Reference {
+                name: name.into(),
+                kind: RefKind::Branch,
+                head: None,
+            };
+            a.refs.insert(name.into(), r.clone());
+        }
+        for name in ["a", "m", "z"] {
+            let r = Reference {
+                name: name.into(),
+                kind: RefKind::Branch,
+                head: None,
+            };
+            b.refs.insert(name.into(), r.clone());
+        }
+        assert_eq!(a.to_bytes(), b.to_bytes());
+    }
+}

@@ -1,0 +1,133 @@
+//! Materialized catalog state: the key → content map visible at a commit,
+//! built by replaying the commit history.
+
+use crate::commit::{Commit, ContentRef, Operation};
+use std::collections::BTreeMap;
+
+/// The table namespace as of a particular commit.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CatalogState {
+    entries: BTreeMap<String, ContentRef>,
+}
+
+impl CatalogState {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Apply a commit's operations in order.
+    pub fn apply(&mut self, commit: &Commit) {
+        for op in &commit.operations {
+            match op {
+                Operation::Put { key, content } => {
+                    self.entries.insert(key.clone(), content.clone());
+                }
+                Operation::Delete { key } => {
+                    self.entries.remove(key);
+                }
+            }
+        }
+    }
+
+    /// Content for a table key.
+    pub fn get(&self, key: &str) -> Option<&ContentRef> {
+        self.entries.get(key)
+    }
+
+    /// All table keys, sorted.
+    pub fn keys(&self) -> impl Iterator<Item = &str> {
+        self.entries.keys().map(String::as_str)
+    }
+
+    /// Number of tables.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Keys whose content differs between `self` (base) and `other`, with
+    /// the new content (`None` = deleted in `other`).
+    pub fn diff(&self, other: &CatalogState) -> BTreeMap<String, Option<ContentRef>> {
+        let mut out = BTreeMap::new();
+        for (k, v) in &other.entries {
+            if self.entries.get(k) != Some(v) {
+                out.insert(k.clone(), Some(v.clone()));
+            }
+        }
+        for k in self.entries.keys() {
+            if !other.entries.contains_key(k) {
+                out.insert(k.clone(), None);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn put(key: &str, snap: u64) -> Operation {
+        Operation::Put {
+            key: key.into(),
+            content: ContentRef::new(format!("meta/{key}.json"), snap),
+        }
+    }
+
+    fn commit(ops: Vec<Operation>) -> Commit {
+        Commit {
+            parents: vec![],
+            seq: 0,
+            author: "t".into(),
+            message: "m".into(),
+            operations: ops,
+        }
+    }
+
+    #[test]
+    fn apply_put_and_delete() {
+        let mut s = CatalogState::new();
+        s.apply(&commit(vec![put("a", 1), put("b", 1)]));
+        assert_eq!(s.len(), 2);
+        s.apply(&commit(vec![Operation::Delete { key: "a".into() }]));
+        assert_eq!(s.len(), 1);
+        assert!(s.get("a").is_none());
+        assert_eq!(s.get("b").unwrap().snapshot_id, 1);
+    }
+
+    #[test]
+    fn later_put_overwrites() {
+        let mut s = CatalogState::new();
+        s.apply(&commit(vec![put("a", 1)]));
+        s.apply(&commit(vec![put("a", 2)]));
+        assert_eq!(s.get("a").unwrap().snapshot_id, 2);
+    }
+
+    #[test]
+    fn diff_detects_changes() {
+        let mut base = CatalogState::new();
+        base.apply(&commit(vec![put("a", 1), put("b", 1), put("c", 1)]));
+        let mut other = base.clone();
+        other.apply(&commit(vec![
+            put("a", 2),
+            Operation::Delete { key: "b".into() },
+            put("d", 1),
+        ]));
+        let d = base.diff(&other);
+        assert_eq!(d.len(), 3);
+        assert_eq!(d["a"].as_ref().unwrap().snapshot_id, 2);
+        assert!(d["b"].is_none());
+        assert_eq!(d["d"].as_ref().unwrap().snapshot_id, 1);
+        assert!(!d.contains_key("c"));
+    }
+
+    #[test]
+    fn diff_of_identical_is_empty() {
+        let mut s = CatalogState::new();
+        s.apply(&commit(vec![put("a", 1)]));
+        assert!(s.diff(&s.clone()).is_empty());
+    }
+}

@@ -1,0 +1,441 @@
+//! Hand-rolled argument parsing (no external CLI dependency).
+
+/// Usage text shown on parse errors and `bauplan help`.
+pub const USAGE: &str = "\
+bauplan — a serverless data lakehouse from spare parts
+
+USAGE:
+  bauplan query -q <SQL> [-b <ref>] [--explain]
+  bauplan run --project <dir> [-b <branch>] [--mode naive|fused] [--detach]
+  bauplan branch <name> [--from <ref>]
+  bauplan tag <name> --from <ref>
+  bauplan merge <from> <to>
+  bauplan log [<ref>] [--limit <n>]
+  bauplan refs
+  bauplan tables [<ref>]
+  bauplan import <table> <file.csv> [-b <branch>] [--append]
+  bauplan export -q <SQL> -o <file.csv> [-b <ref>]
+  bauplan compact <table> [-b <branch>]
+  bauplan gc
+  bauplan demo [--rows <n>]
+  bauplan help
+
+GLOBAL OPTIONS:
+  --data-dir <dir>    state directory (default: .bauplan)
+
+The `run` project directory holds one .sql file per artifact (dbt-style) and
+an optional expectations.json declaring data audits:
+  [{\"name\": \"trips_expectation\", \"input\": \"trips\",
+    \"check\": \"mean_greater_than\", \"column\": \"count\", \"threshold\": 10.0}]";
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cli {
+    pub data_dir: String,
+    pub command: Command,
+}
+
+/// Sub-commands.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    Query {
+        sql: String,
+        reference: String,
+        explain: bool,
+    },
+    Run {
+        project_dir: String,
+        branch: String,
+        mode: Option<String>,
+        detach: bool,
+    },
+    Branch {
+        name: String,
+        from: Option<String>,
+    },
+    Tag {
+        name: String,
+        from: String,
+    },
+    Merge {
+        from: String,
+        to: String,
+    },
+    Log {
+        reference: String,
+        limit: usize,
+    },
+    Refs,
+    Tables {
+        reference: String,
+    },
+    Import {
+        table: String,
+        file: String,
+        branch: String,
+        append: bool,
+    },
+    Export {
+        sql: String,
+        output: String,
+        reference: String,
+    },
+    Compact {
+        table: String,
+        branch: String,
+    },
+    Gc,
+    Demo {
+        rows: usize,
+    },
+    Help,
+}
+
+impl Cli {
+    /// Parse argv (without the program name).
+    pub fn parse(argv: &[String]) -> Result<Cli, String> {
+        let mut data_dir = ".bauplan".to_string();
+        let mut rest: Vec<String> = Vec::new();
+        let mut i = 0;
+        while i < argv.len() {
+            if argv[i] == "--data-dir" {
+                data_dir = take_value(argv, &mut i, "--data-dir")?;
+            } else {
+                rest.push(argv[i].clone());
+            }
+            i += 1;
+        }
+        let Some(verb) = rest.first().cloned() else {
+            return Err("missing command".into());
+        };
+        let args = &rest[1..];
+        let command = match verb.as_str() {
+            "query" => parse_query(args)?,
+            "run" => parse_run(args)?,
+            "branch" => parse_branch(args)?,
+            "tag" => parse_tag(args)?,
+            "merge" => parse_merge(args)?,
+            "log" => parse_log(args)?,
+            "refs" => Command::Refs,
+            "tables" => Command::Tables {
+                reference: args.first().cloned().unwrap_or_else(|| "main".into()),
+            },
+            "compact" => {
+                let table = args.first().cloned().ok_or("compact requires <table>")?;
+                let mut branch = "main".to_string();
+                let mut i = 1;
+                while i < args.len() {
+                    match args[i].as_str() {
+                        "-b" | "--branch" => branch = take_value(args, &mut i, "-b")?,
+                        other => return Err(format!("unexpected argument: {other}")),
+                    }
+                    i += 1;
+                }
+                Command::Compact { table, branch }
+            }
+            "gc" => Command::Gc,
+            "import" => parse_import(args)?,
+            "export" => parse_export(args)?,
+            "demo" => parse_demo(args)?,
+            "help" | "--help" | "-h" => Command::Help,
+            other => return Err(format!("unknown command: {other}")),
+        };
+        Ok(Cli { data_dir, command })
+    }
+}
+
+fn take_value(argv: &[String], i: &mut usize, flag: &str) -> Result<String, String> {
+    *i += 1;
+    argv.get(*i)
+        .cloned()
+        .ok_or_else(|| format!("{flag} requires a value"))
+}
+
+fn parse_query(args: &[String]) -> Result<Command, String> {
+    let mut sql = None;
+    let mut reference = "main".to_string();
+    let mut explain = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "-q" | "--query" => sql = Some(take_value(args, &mut i, "-q")?),
+            "-b" | "--branch" => reference = take_value(args, &mut i, "-b")?,
+            "--explain" => explain = true,
+            other => return Err(format!("unexpected argument: {other}")),
+        }
+        i += 1;
+    }
+    Ok(Command::Query {
+        sql: sql.ok_or("query requires -q <SQL>")?,
+        reference,
+        explain,
+    })
+}
+
+fn parse_run(args: &[String]) -> Result<Command, String> {
+    let mut project_dir = None;
+    let mut branch = "main".to_string();
+    let mut mode = None;
+    let mut detach = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--project" | "-p" => project_dir = Some(take_value(args, &mut i, "--project")?),
+            "-b" | "--branch" => branch = take_value(args, &mut i, "-b")?,
+            "--mode" => {
+                let m = take_value(args, &mut i, "--mode")?;
+                if m != "naive" && m != "fused" {
+                    return Err(format!("--mode must be naive or fused, got {m}"));
+                }
+                mode = Some(m);
+            }
+            "--detach" => detach = true,
+            other => return Err(format!("unexpected argument: {other}")),
+        }
+        i += 1;
+    }
+    Ok(Command::Run {
+        project_dir: project_dir.ok_or("run requires --project <dir>")?,
+        branch,
+        mode,
+        detach,
+    })
+}
+
+fn parse_branch(args: &[String]) -> Result<Command, String> {
+    let name = args.first().cloned().ok_or("branch requires a name")?;
+    let mut from = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--from" => from = Some(take_value(args, &mut i, "--from")?),
+            other => return Err(format!("unexpected argument: {other}")),
+        }
+        i += 1;
+    }
+    Ok(Command::Branch { name, from })
+}
+
+fn parse_tag(args: &[String]) -> Result<Command, String> {
+    let name = args.first().cloned().ok_or("tag requires a name")?;
+    let mut from = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--from" => from = Some(take_value(args, &mut i, "--from")?),
+            other => return Err(format!("unexpected argument: {other}")),
+        }
+        i += 1;
+    }
+    Ok(Command::Tag {
+        name,
+        from: from.ok_or("tag requires --from <ref>")?,
+    })
+}
+
+fn parse_merge(args: &[String]) -> Result<Command, String> {
+    match args {
+        [from, to] => Ok(Command::Merge {
+            from: from.clone(),
+            to: to.clone(),
+        }),
+        _ => Err("merge requires <from> <to>".into()),
+    }
+}
+
+fn parse_log(args: &[String]) -> Result<Command, String> {
+    let mut reference = "main".to_string();
+    let mut limit = 20;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--limit" => {
+                limit = take_value(args, &mut i, "--limit")?
+                    .parse()
+                    .map_err(|_| "--limit must be an integer".to_string())?;
+            }
+            other if !other.starts_with('-') => reference = other.to_string(),
+            other => return Err(format!("unexpected argument: {other}")),
+        }
+        i += 1;
+    }
+    Ok(Command::Log { reference, limit })
+}
+
+fn parse_import(args: &[String]) -> Result<Command, String> {
+    let table = args.first().cloned().ok_or("import requires <table>")?;
+    let file = args.get(1).cloned().ok_or("import requires <file.csv>")?;
+    let mut branch = "main".to_string();
+    let mut append = false;
+    let mut i = 2;
+    while i < args.len() {
+        match args[i].as_str() {
+            "-b" | "--branch" => branch = take_value(args, &mut i, "-b")?,
+            "--append" => append = true,
+            other => return Err(format!("unexpected argument: {other}")),
+        }
+        i += 1;
+    }
+    Ok(Command::Import {
+        table,
+        file,
+        branch,
+        append,
+    })
+}
+
+fn parse_export(args: &[String]) -> Result<Command, String> {
+    let mut sql = None;
+    let mut output = None;
+    let mut reference = "main".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "-q" | "--query" => sql = Some(take_value(args, &mut i, "-q")?),
+            "-o" | "--output" => output = Some(take_value(args, &mut i, "-o")?),
+            "-b" | "--branch" => reference = take_value(args, &mut i, "-b")?,
+            other => return Err(format!("unexpected argument: {other}")),
+        }
+        i += 1;
+    }
+    Ok(Command::Export {
+        sql: sql.ok_or("export requires -q <SQL>")?,
+        output: output.ok_or("export requires -o <file.csv>")?,
+        reference,
+    })
+}
+
+fn parse_demo(args: &[String]) -> Result<Command, String> {
+    let mut rows = 50_000;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--rows" => {
+                rows = take_value(args, &mut i, "--rows")?
+                    .parse()
+                    .map_err(|_| "--rows must be an integer".to_string())?;
+            }
+            other => return Err(format!("unexpected argument: {other}")),
+        }
+        i += 1;
+    }
+    Ok(Command::Demo { rows })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_query_full() {
+        let cli = Cli::parse(&s(&[
+            "query", "-q", "SELECT 1", "-b", "feat_1", "--explain",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Query {
+                sql: "SELECT 1".into(),
+                reference: "feat_1".into(),
+                explain: true
+            }
+        );
+        assert_eq!(cli.data_dir, ".bauplan");
+    }
+
+    #[test]
+    fn parse_global_data_dir_anywhere() {
+        let cli = Cli::parse(&s(&["--data-dir", "/tmp/x", "refs"])).unwrap();
+        assert_eq!(cli.data_dir, "/tmp/x");
+        let cli = Cli::parse(&s(&["refs", "--data-dir", "/tmp/y"])).unwrap();
+        assert_eq!(cli.data_dir, "/tmp/y");
+    }
+
+    #[test]
+    fn parse_run_modes() {
+        let cli = Cli::parse(&s(&["run", "--project", "p", "--mode", "naive"])).unwrap();
+        assert!(matches!(cli.command, Command::Run { mode: Some(ref m), .. } if m == "naive"));
+        assert!(Cli::parse(&s(&["run", "--project", "p", "--mode", "warp"])).is_err());
+        assert!(Cli::parse(&s(&["run"])).is_err());
+    }
+
+    #[test]
+    fn parse_branch_and_merge() {
+        let cli = Cli::parse(&s(&["branch", "feat_1", "--from", "main"])).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Branch {
+                name: "feat_1".into(),
+                from: Some("main".into())
+            }
+        );
+        let cli = Cli::parse(&s(&["merge", "feat_1", "main"])).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Merge {
+                from: "feat_1".into(),
+                to: "main".into()
+            }
+        );
+        assert!(Cli::parse(&s(&["merge", "only-one"])).is_err());
+    }
+
+    #[test]
+    fn parse_log_and_tables() {
+        let cli = Cli::parse(&s(&["log", "feat_1", "--limit", "5"])).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Log {
+                reference: "feat_1".into(),
+                limit: 5
+            }
+        );
+        let cli = Cli::parse(&s(&["tables"])).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Tables {
+                reference: "main".into()
+            }
+        );
+    }
+
+    #[test]
+    fn unknown_command_rejected() {
+        assert!(Cli::parse(&s(&["frobnicate"])).is_err());
+        assert!(Cli::parse(&[]).is_err());
+    }
+
+    #[test]
+    fn parse_import_export() {
+        let cli = Cli::parse(&s(&["import", "trips", "trips.csv", "-b", "feat", "--append"])).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Import {
+                table: "trips".into(),
+                file: "trips.csv".into(),
+                branch: "feat".into(),
+                append: true
+            }
+        );
+        let cli = Cli::parse(&s(&["export", "-q", "SELECT 1", "-o", "out.csv"])).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Export {
+                sql: "SELECT 1".into(),
+                output: "out.csv".into(),
+                reference: "main".into()
+            }
+        );
+        assert!(Cli::parse(&s(&["import", "only-table"])).is_err());
+        assert!(Cli::parse(&s(&["export", "-q", "SELECT 1"])).is_err());
+    }
+
+    #[test]
+    fn help_parses() {
+        assert_eq!(Cli::parse(&s(&["help"])).unwrap().command, Command::Help);
+    }
+}

@@ -1,0 +1,36 @@
+//! `bauplan` — the CLI of the serverless lakehouse (paper §4.6).
+//!
+//! "Interactions between Bauplan users and the platform happen through the
+//! CLI, as pipelines get written in the IDE of choice." The two main verbs
+//! are `query` (synchronous, point-wise) and `run` (DAG execution); the rest
+//! is the git-for-data surface.
+//!
+//! State persists under `--data-dir` (default `.bauplan/`), so successive
+//! invocations see the same lake.
+
+mod args;
+mod commands;
+mod pipeline_loader;
+
+use args::Cli;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match Cli::parse(&argv) {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{}", args::USAGE);
+            return ExitCode::from(2);
+        }
+    };
+    match commands::dispatch(cli) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! Loads a pipeline project from a directory: one `.sql` file per artifact
+//! (dbt-style) plus an optional `expectations.json` declaring data audits.
+
+use bauplan_core::{builtins, Lakehouse, NodeDef, PipelineProject, Requirements};
+use serde::Deserialize;
+use std::fs;
+use std::path::Path;
+
+/// One declared expectation in `expectations.json`.
+#[derive(Debug, Clone, Deserialize)]
+pub struct ExpectationSpec {
+    /// Node name; should follow the `<table>_expectation` convention.
+    pub name: String,
+    /// Input artifact the expectation audits.
+    pub input: String,
+    /// Which builtin check: `mean_greater_than`, `min_row_count`, `no_nulls`.
+    pub check: String,
+    #[serde(default)]
+    pub column: Option<String>,
+    #[serde(default)]
+    pub threshold: Option<f64>,
+    #[serde(default)]
+    pub min_rows: Option<usize>,
+    #[serde(default)]
+    pub lo: Option<f64>,
+    #[serde(default)]
+    pub hi: Option<f64>,
+}
+
+/// Load the project and the expectation specs from `dir`.
+pub fn load_project(dir: &Path) -> Result<(PipelineProject, Vec<ExpectationSpec>), String> {
+    if !dir.is_dir() {
+        return Err(format!("project directory not found: {}", dir.display()));
+    }
+    let project_name = dir
+        .file_name()
+        .map(|n| n.to_string_lossy().to_string())
+        .unwrap_or_else(|| "pipeline".to_string());
+    let mut project = PipelineProject::new(project_name);
+    let mut entries: Vec<_> = fs::read_dir(dir)
+        .map_err(|e| format!("cannot read {}: {e}", dir.display()))?
+        .filter_map(|e| e.ok())
+        .collect();
+    entries.sort_by_key(|e| e.file_name());
+    for entry in entries {
+        let path = entry.path();
+        if path.extension().is_some_and(|e| e == "sql") {
+            let stem = path
+                .file_stem()
+                .map(|s| s.to_string_lossy().to_string())
+                .ok_or_else(|| format!("bad file name: {}", path.display()))?;
+            let sql = fs::read_to_string(&path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            project
+                .add(NodeDef::sql(stem, sql.trim()))
+                .map_err(|e| e.to_string())?;
+        }
+    }
+    let mut specs = Vec::new();
+    let exp_path = dir.join("expectations.json");
+    if exp_path.exists() {
+        let text = fs::read_to_string(&exp_path)
+            .map_err(|e| format!("cannot read {}: {e}", exp_path.display()))?;
+        specs = serde_json::from_str::<Vec<ExpectationSpec>>(&text)
+            .map_err(|e| format!("bad expectations.json: {e}"))?;
+        for spec in &specs {
+            validate_spec(spec)?;
+            project
+                .add(NodeDef::function(
+                    spec.name.clone(),
+                    vec![spec.input.clone()],
+                    Requirements::default().with_interpreter("python3.11"),
+                    format!("{}_impl", spec.name),
+                ))
+                .map_err(|e| e.to_string())?;
+        }
+    }
+    if project.nodes.is_empty() {
+        return Err(format!("no .sql files found in {}", dir.display()));
+    }
+    Ok((project, specs))
+}
+
+fn validate_spec(spec: &ExpectationSpec) -> Result<(), String> {
+    match spec.check.as_str() {
+        "mean_greater_than" => {
+            if spec.column.is_none() || spec.threshold.is_none() {
+                return Err(format!(
+                    "expectation '{}': mean_greater_than needs column and threshold",
+                    spec.name
+                ));
+            }
+        }
+        "min_row_count" => {
+            if spec.min_rows.is_none() {
+                return Err(format!(
+                    "expectation '{}': min_row_count needs min_rows",
+                    spec.name
+                ));
+            }
+        }
+        "no_nulls" | "unique_key" => {
+            if spec.column.is_none() {
+                return Err(format!(
+                    "expectation '{}': {} needs column",
+                    spec.name, spec.check
+                ));
+            }
+        }
+        "values_in_range" => {
+            if spec.column.is_none() || spec.lo.is_none() || spec.hi.is_none() {
+                return Err(format!(
+                    "expectation '{}': values_in_range needs column, lo, hi",
+                    spec.name
+                ));
+            }
+        }
+        other => return Err(format!("unknown check '{other}' in '{}'", spec.name)),
+    }
+    Ok(())
+}
+
+/// Register the loaded expectations on a lakehouse.
+pub fn register_expectations(lh: &Lakehouse, specs: &[ExpectationSpec]) {
+    for spec in specs {
+        let id = format!("{}_impl", spec.name);
+        match spec.check.as_str() {
+            "mean_greater_than" => lh.register_function(
+                id,
+                builtins::mean_greater_than(
+                    &spec.input,
+                    spec.column.as_deref().unwrap_or(""),
+                    spec.threshold.unwrap_or(0.0),
+                ),
+            ),
+            "min_row_count" => lh.register_function(
+                id,
+                builtins::min_row_count(&spec.input, spec.min_rows.unwrap_or(0)),
+            ),
+            "no_nulls" => lh.register_function(
+                id,
+                builtins::no_nulls(&spec.input, spec.column.as_deref().unwrap_or("")),
+            ),
+            "unique_key" => lh.register_function(
+                id,
+                builtins::unique_key(&spec.input, spec.column.as_deref().unwrap_or("")),
+            ),
+            "values_in_range" => lh.register_function(
+                id,
+                builtins::values_in_range(
+                    &spec.input,
+                    spec.column.as_deref().unwrap_or(""),
+                    spec.lo.unwrap_or(f64::NEG_INFINITY),
+                    spec.hi.unwrap_or(f64::INFINITY),
+                ),
+            ),
+            _ => unreachable!("validated at load"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_project(tag: &str, files: &[(&str, &str)]) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("bauplan_cli_test_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        for (name, content) in files {
+            fs::write(dir.join(name), content).unwrap();
+        }
+        dir
+    }
+
+    #[test]
+    fn loads_sql_nodes_sorted() {
+        let dir = tmp_project(
+            "sql",
+            &[
+                ("b_second.sql", "SELECT * FROM a_first"),
+                ("a_first.sql", "SELECT * FROM raw"),
+            ],
+        );
+        let (project, specs) = load_project(&dir).unwrap();
+        assert_eq!(project.node_names(), vec!["a_first", "b_second"]);
+        assert!(specs.is_empty());
+    }
+
+    #[test]
+    fn loads_expectations() {
+        let dir = tmp_project(
+            "exp",
+            &[
+                ("trips.sql", "SELECT * FROM taxi_table"),
+                (
+                    "expectations.json",
+                    r#"[{"name": "trips_expectation", "input": "trips",
+                        "check": "min_row_count", "min_rows": 1}]"#,
+                ),
+            ],
+        );
+        let (project, specs) = load_project(&dir).unwrap();
+        assert_eq!(project.nodes.len(), 2);
+        assert_eq!(specs.len(), 1);
+        assert_eq!(specs[0].check, "min_row_count");
+    }
+
+    #[test]
+    fn rejects_bad_specs() {
+        let dir = tmp_project(
+            "bad",
+            &[
+                ("t.sql", "SELECT 1"),
+                (
+                    "expectations.json",
+                    r#"[{"name": "x_expectation", "input": "t", "check": "mean_greater_than"}]"#,
+                ),
+            ],
+        );
+        assert!(load_project(&dir).is_err());
+    }
+
+    #[test]
+    fn rejects_empty_and_missing_dirs() {
+        let dir = tmp_project("empty", &[]);
+        assert!(load_project(&dir).is_err());
+        assert!(load_project(Path::new("/nonexistent/nope")).is_err());
+    }
+}

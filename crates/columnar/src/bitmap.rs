@@ -1,0 +1,310 @@
+//! A packed validity bitmap: one bit per row, 1 = valid (non-null).
+
+use crate::error::{ColumnarError, Result};
+
+/// A packed bitmap, least-significant-bit first within each byte, mirroring
+/// the Arrow validity-buffer layout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bitmap {
+    bits: Vec<u8>,
+    len: usize,
+}
+
+impl Bitmap {
+    /// A bitmap of `len` bits, all set (all rows valid).
+    pub fn new_set(len: usize) -> Self {
+        let mut bits = vec![0xFFu8; len.div_ceil(8)];
+        // Zero the trailing padding bits so equality and count stay exact.
+        if !len.is_multiple_of(8) {
+            if let Some(last) = bits.last_mut() {
+                *last &= (1u8 << (len % 8)) - 1;
+            }
+        }
+        Bitmap { bits, len }
+    }
+
+    /// A bitmap of `len` bits, all clear (all rows null).
+    pub fn new_clear(len: usize) -> Self {
+        Bitmap {
+            bits: vec![0u8; len.div_ceil(8)],
+            len,
+        }
+    }
+
+    /// Build from a slice of booleans.
+    pub fn from_bools(values: &[bool]) -> Self {
+        let mut bm = Bitmap::new_clear(values.len());
+        for (i, &v) in values.iter().enumerate() {
+            if v {
+                bm.set(i);
+            }
+        }
+        bm
+    }
+
+    /// Build from an iterator of `Option<T>`, setting bits where `Some`.
+    pub fn from_options<T>(values: &[Option<T>]) -> Self {
+        let mut bm = Bitmap::new_clear(values.len());
+        for (i, v) in values.iter().enumerate() {
+            if v.is_some() {
+                bm.set(i);
+            }
+        }
+        bm
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Get bit `i`. Panics in debug if out of bounds; returns false otherwise.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len, "bit index {i} out of bounds ({})", self.len);
+        if i >= self.len {
+            return false;
+        }
+        (self.bits[i / 8] >> (i % 8)) & 1 == 1
+    }
+
+    /// Set bit `i` to 1.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        assert!(i < self.len, "bit index {i} out of bounds ({})", self.len);
+        self.bits[i / 8] |= 1 << (i % 8);
+    }
+
+    /// Clear bit `i` to 0.
+    #[inline]
+    pub fn clear(&mut self, i: usize) {
+        assert!(i < self.len, "bit index {i} out of bounds ({})", self.len);
+        self.bits[i / 8] &= !(1 << (i % 8));
+    }
+
+    /// Append one bit, growing the bitmap.
+    pub fn push(&mut self, value: bool) {
+        if self.len.is_multiple_of(8) {
+            self.bits.push(0);
+        }
+        self.len += 1;
+        if value {
+            self.set(self.len - 1);
+        }
+    }
+
+    /// Number of set bits (valid rows). Uses per-byte popcount.
+    pub fn count_set(&self) -> usize {
+        self.bits.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// Number of clear bits (null rows).
+    pub fn count_clear(&self) -> usize {
+        self.len - self.count_set()
+    }
+
+    /// True if every bit is set.
+    pub fn all_set(&self) -> bool {
+        self.count_set() == self.len
+    }
+
+    /// Bitwise AND of two bitmaps of equal length.
+    pub fn and(&self, other: &Bitmap) -> Result<Bitmap> {
+        if self.len != other.len {
+            return Err(ColumnarError::LengthMismatch {
+                expected: self.len,
+                actual: other.len,
+            });
+        }
+        let bits = self
+            .bits
+            .iter()
+            .zip(&other.bits)
+            .map(|(a, b)| a & b)
+            .collect();
+        Ok(Bitmap {
+            bits,
+            len: self.len,
+        })
+    }
+
+    /// Bitwise OR of two bitmaps of equal length.
+    pub fn or(&self, other: &Bitmap) -> Result<Bitmap> {
+        if self.len != other.len {
+            return Err(ColumnarError::LengthMismatch {
+                expected: self.len,
+                actual: other.len,
+            });
+        }
+        let bits = self
+            .bits
+            .iter()
+            .zip(&other.bits)
+            .map(|(a, b)| a | b)
+            .collect();
+        Ok(Bitmap {
+            bits,
+            len: self.len,
+        })
+    }
+
+    /// Bitwise NOT (within `len`; padding bits stay clear).
+    pub fn not(&self) -> Bitmap {
+        let mut bits: Vec<u8> = self.bits.iter().map(|b| !b).collect();
+        if !self.len.is_multiple_of(8) {
+            if let Some(last) = bits.last_mut() {
+                *last &= (1u8 << (self.len % 8)) - 1;
+            }
+        }
+        Bitmap {
+            bits,
+            len: self.len,
+        }
+    }
+
+    /// Iterate over bits as booleans.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+
+    /// Indices of set bits, used to build selection vectors.
+    pub fn set_indices(&self) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.count_set());
+        for (byte_idx, &byte) in self.bits.iter().enumerate() {
+            let mut b = byte;
+            while b != 0 {
+                let bit = b.trailing_zeros() as usize;
+                let idx = byte_idx * 8 + bit;
+                if idx < self.len {
+                    out.push(idx);
+                }
+                b &= b - 1;
+            }
+        }
+        out
+    }
+
+    /// Raw underlying bytes (for serialization).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bits
+    }
+
+    /// Reconstruct from raw bytes and a length.
+    pub fn from_bytes(bytes: Vec<u8>, len: usize) -> Result<Bitmap> {
+        if bytes.len() != len.div_ceil(8) {
+            return Err(ColumnarError::LengthMismatch {
+                expected: len.div_ceil(8),
+                actual: bytes.len(),
+            });
+        }
+        let mut bm = Bitmap { bits: bytes, len };
+        // Normalize padding so equality comparisons are well-defined.
+        if !len.is_multiple_of(8) {
+            if let Some(last) = bm.bits.last_mut() {
+                *last &= (1u8 << (len % 8)) - 1;
+            }
+        }
+        Ok(bm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_set_and_clear() {
+        let s = Bitmap::new_set(10);
+        assert_eq!(s.len(), 10);
+        assert_eq!(s.count_set(), 10);
+        assert!(s.all_set());
+        let c = Bitmap::new_clear(10);
+        assert_eq!(c.count_set(), 0);
+        assert_eq!(c.count_clear(), 10);
+    }
+
+    #[test]
+    fn set_clear_get() {
+        let mut bm = Bitmap::new_clear(20);
+        bm.set(0);
+        bm.set(7);
+        bm.set(8);
+        bm.set(19);
+        assert!(bm.get(0) && bm.get(7) && bm.get(8) && bm.get(19));
+        assert!(!bm.get(1) && !bm.get(9));
+        bm.clear(7);
+        assert!(!bm.get(7));
+        assert_eq!(bm.count_set(), 3);
+    }
+
+    #[test]
+    fn push_grows() {
+        let mut bm = Bitmap::new_clear(0);
+        for i in 0..17 {
+            bm.push(i % 3 == 0);
+        }
+        assert_eq!(bm.len(), 17);
+        assert_eq!(bm.count_set(), 6); // 0,3,6,9,12,15
+    }
+
+    #[test]
+    fn and_or_not() {
+        let a = Bitmap::from_bools(&[true, true, false, false, true]);
+        let b = Bitmap::from_bools(&[true, false, true, false, true]);
+        assert_eq!(
+            a.and(&b).unwrap().iter().collect::<Vec<_>>(),
+            vec![true, false, false, false, true]
+        );
+        assert_eq!(
+            a.or(&b).unwrap().iter().collect::<Vec<_>>(),
+            vec![true, true, true, false, true]
+        );
+        assert_eq!(
+            a.not().iter().collect::<Vec<_>>(),
+            vec![false, false, true, true, false]
+        );
+    }
+
+    #[test]
+    fn and_length_mismatch_errors() {
+        let a = Bitmap::new_set(3);
+        let b = Bitmap::new_set(4);
+        assert!(a.and(&b).is_err());
+    }
+
+    #[test]
+    fn not_keeps_padding_clear() {
+        let a = Bitmap::new_clear(5);
+        let n = a.not();
+        assert_eq!(n.count_set(), 5);
+        assert_eq!(n.not().count_set(), 0);
+    }
+
+    #[test]
+    fn set_indices_matches_iter() {
+        let bm = Bitmap::from_bools(&[true, false, false, true, true, false, true]);
+        assert_eq!(bm.set_indices(), vec![0, 3, 4, 6]);
+    }
+
+    #[test]
+    fn from_options_sets_some() {
+        let bm = Bitmap::from_options(&[Some(1), None, Some(3)]);
+        assert_eq!(bm.iter().collect::<Vec<_>>(), vec![true, false, true]);
+    }
+
+    #[test]
+    fn bytes_round_trip() {
+        let bm = Bitmap::from_bools(&[true, false, true, true, false, false, true, false, true]);
+        let rt = Bitmap::from_bytes(bm.as_bytes().to_vec(), bm.len()).unwrap();
+        assert_eq!(bm, rt);
+    }
+
+    #[test]
+    fn from_bytes_wrong_len_errors() {
+        assert!(Bitmap::from_bytes(vec![0u8; 1], 9).is_err());
+    }
+}

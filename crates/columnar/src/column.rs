@@ -1,0 +1,605 @@
+//! Typed, immutable columns with optional validity bitmaps, plus a builder.
+
+use crate::bitmap::Bitmap;
+use crate::datatype::{DataType, Value};
+use crate::error::{ColumnarError, Result};
+
+/// A typed column of values.
+///
+/// Each variant stores a dense vector of values plus an optional validity
+/// bitmap; `None` validity means "no nulls". Null slots still occupy a
+/// default value in the dense vector (Arrow convention), so kernels can read
+/// values unconditionally and mask afterwards.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Column {
+    Bool(Vec<bool>, Option<Bitmap>),
+    Int64(Vec<i64>, Option<Bitmap>),
+    Float64(Vec<f64>, Option<Bitmap>),
+    Utf8(Vec<String>, Option<Bitmap>),
+    Timestamp(Vec<i64>, Option<Bitmap>),
+    Date(Vec<i32>, Option<Bitmap>),
+}
+
+impl Column {
+    // ---- constructors -----------------------------------------------------
+
+    pub fn from_bool(values: Vec<bool>) -> Self {
+        Column::Bool(values, None)
+    }
+    pub fn from_i64(values: Vec<i64>) -> Self {
+        Column::Int64(values, None)
+    }
+    pub fn from_f64(values: Vec<f64>) -> Self {
+        Column::Float64(values, None)
+    }
+    pub fn from_str_vec(values: Vec<String>) -> Self {
+        Column::Utf8(values, None)
+    }
+    pub fn from_strs(values: Vec<&str>) -> Self {
+        Column::Utf8(values.into_iter().map(String::from).collect(), None)
+    }
+    pub fn from_timestamp(values: Vec<i64>) -> Self {
+        Column::Timestamp(values, None)
+    }
+    pub fn from_date(values: Vec<i32>) -> Self {
+        Column::Date(values, None)
+    }
+
+    pub fn from_opt_bool(values: Vec<Option<bool>>) -> Self {
+        let validity = Bitmap::from_options(&values);
+        let dense = values.into_iter().map(Option::unwrap_or_default).collect();
+        Column::Bool(dense, Some(validity))
+    }
+    pub fn from_opt_i64(values: Vec<Option<i64>>) -> Self {
+        let validity = Bitmap::from_options(&values);
+        let dense = values.into_iter().map(Option::unwrap_or_default).collect();
+        Column::Int64(dense, Some(validity))
+    }
+    pub fn from_opt_f64(values: Vec<Option<f64>>) -> Self {
+        let validity = Bitmap::from_options(&values);
+        let dense = values.into_iter().map(Option::unwrap_or_default).collect();
+        Column::Float64(dense, Some(validity))
+    }
+    pub fn from_opt_str(values: Vec<Option<&str>>) -> Self {
+        let validity = Bitmap::from_options(&values);
+        let dense = values
+            .into_iter()
+            .map(|v| v.unwrap_or_default().to_string())
+            .collect();
+        Column::Utf8(dense, Some(validity))
+    }
+    pub fn from_opt_timestamp(values: Vec<Option<i64>>) -> Self {
+        let validity = Bitmap::from_options(&values);
+        let dense = values.into_iter().map(Option::unwrap_or_default).collect();
+        Column::Timestamp(dense, Some(validity))
+    }
+    pub fn from_opt_date(values: Vec<Option<i32>>) -> Self {
+        let validity = Bitmap::from_options(&values);
+        let dense = values.into_iter().map(Option::unwrap_or_default).collect();
+        Column::Date(dense, Some(validity))
+    }
+
+    /// An empty column of the given type.
+    pub fn new_empty(dt: DataType) -> Self {
+        match dt {
+            DataType::Bool => Column::Bool(vec![], None),
+            DataType::Int64 => Column::Int64(vec![], None),
+            DataType::Float64 => Column::Float64(vec![], None),
+            DataType::Utf8 => Column::Utf8(vec![], None),
+            DataType::Timestamp => Column::Timestamp(vec![], None),
+            DataType::Date => Column::Date(vec![], None),
+        }
+    }
+
+    /// A column of `len` nulls of the given type.
+    pub fn new_null(dt: DataType, len: usize) -> Self {
+        let validity = Some(Bitmap::new_clear(len));
+        match dt {
+            DataType::Bool => Column::Bool(vec![false; len], validity),
+            DataType::Int64 => Column::Int64(vec![0; len], validity),
+            DataType::Float64 => Column::Float64(vec![0.0; len], validity),
+            DataType::Utf8 => Column::Utf8(vec![String::new(); len], validity),
+            DataType::Timestamp => Column::Timestamp(vec![0; len], validity),
+            DataType::Date => Column::Date(vec![0; len], validity),
+        }
+    }
+
+    /// A column repeating one scalar `len` times.
+    pub fn from_value(value: &Value, len: usize) -> Result<Self> {
+        Ok(match value {
+            Value::Null => {
+                // Typeless null broadcast defaults to Int64 nulls; callers
+                // with type context should use `new_null` directly.
+                Column::new_null(DataType::Int64, len)
+            }
+            Value::Bool(b) => Column::Bool(vec![*b; len], None),
+            Value::Int64(v) => Column::Int64(vec![*v; len], None),
+            Value::Float64(v) => Column::Float64(vec![*v; len], None),
+            Value::Utf8(s) => Column::Utf8(vec![s.clone(); len], None),
+            Value::Timestamp(v) => Column::Timestamp(vec![*v; len], None),
+            Value::Date(v) => Column::Date(vec![*v; len], None),
+        })
+    }
+
+    /// Build a column of type `dt` from scalar values; `Null`s become nulls.
+    pub fn from_values(dt: DataType, values: &[Value]) -> Result<Self> {
+        let mut b = ColumnBuilder::new(dt);
+        for v in values {
+            b.push_value(v)?;
+        }
+        Ok(b.finish())
+    }
+
+    // ---- metadata ---------------------------------------------------------
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Bool(v, _) => v.len(),
+            Column::Int64(v, _) => v.len(),
+            Column::Float64(v, _) => v.len(),
+            Column::Utf8(v, _) => v.len(),
+            Column::Timestamp(v, _) => v.len(),
+            Column::Date(v, _) => v.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The column's data type.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Column::Bool(..) => DataType::Bool,
+            Column::Int64(..) => DataType::Int64,
+            Column::Float64(..) => DataType::Float64,
+            Column::Utf8(..) => DataType::Utf8,
+            Column::Timestamp(..) => DataType::Timestamp,
+            Column::Date(..) => DataType::Date,
+        }
+    }
+
+    /// The validity bitmap, if any (None = no nulls).
+    pub fn validity(&self) -> Option<&Bitmap> {
+        match self {
+            Column::Bool(_, v)
+            | Column::Int64(_, v)
+            | Column::Float64(_, v)
+            | Column::Utf8(_, v)
+            | Column::Timestamp(_, v)
+            | Column::Date(_, v) => v.as_ref(),
+        }
+    }
+
+    /// Number of nulls.
+    pub fn null_count(&self) -> usize {
+        self.validity().map_or(0, |b| b.count_clear())
+    }
+
+    /// Whether the value at `i` is valid (non-null).
+    #[inline]
+    pub fn is_valid(&self, i: usize) -> bool {
+        self.validity().is_none_or(|b| b.get(i))
+    }
+
+    /// Get row `i` as a scalar [`Value`].
+    pub fn get(&self, i: usize) -> Result<Value> {
+        if i >= self.len() {
+            return Err(ColumnarError::IndexOutOfBounds {
+                index: i,
+                len: self.len(),
+            });
+        }
+        if !self.is_valid(i) {
+            return Ok(Value::Null);
+        }
+        Ok(match self {
+            Column::Bool(v, _) => Value::Bool(v[i]),
+            Column::Int64(v, _) => Value::Int64(v[i]),
+            Column::Float64(v, _) => Value::Float64(v[i]),
+            Column::Utf8(v, _) => Value::Utf8(v[i].clone()),
+            Column::Timestamp(v, _) => Value::Timestamp(v[i]),
+            Column::Date(v, _) => Value::Date(v[i]),
+        })
+    }
+
+    /// Iterate rows as scalar values (nulls included).
+    pub fn iter_values(&self) -> impl Iterator<Item = Value> + '_ {
+        (0..self.len()).map(move |i| self.get(i).expect("in-bounds"))
+    }
+
+    // ---- typed accessors ---------------------------------------------------
+
+    pub fn as_bool(&self) -> Result<(&[bool], Option<&Bitmap>)> {
+        match self {
+            Column::Bool(v, b) => Ok((v, b.as_ref())),
+            other => Err(type_err("Bool", other)),
+        }
+    }
+    pub fn as_i64(&self) -> Result<(&[i64], Option<&Bitmap>)> {
+        match self {
+            Column::Int64(v, b) | Column::Timestamp(v, b) => Ok((v, b.as_ref())),
+            other => Err(type_err("Int64", other)),
+        }
+    }
+    pub fn as_f64(&self) -> Result<(&[f64], Option<&Bitmap>)> {
+        match self {
+            Column::Float64(v, b) => Ok((v, b.as_ref())),
+            other => Err(type_err("Float64", other)),
+        }
+    }
+    pub fn as_utf8(&self) -> Result<(&[String], Option<&Bitmap>)> {
+        match self {
+            Column::Utf8(v, b) => Ok((v, b.as_ref())),
+            other => Err(type_err("Utf8", other)),
+        }
+    }
+    pub fn as_date(&self) -> Result<(&[i32], Option<&Bitmap>)> {
+        match self {
+            Column::Date(v, b) => Ok((v, b.as_ref())),
+            other => Err(type_err("Date", other)),
+        }
+    }
+
+    // ---- structural ops ----------------------------------------------------
+
+    /// Zero-copy-ish slice: `[offset, offset + len)`.
+    pub fn slice(&self, offset: usize, len: usize) -> Result<Column> {
+        let end = offset
+            .checked_add(len)
+            .ok_or_else(|| ColumnarError::InvalidArgument("slice overflow".into()))?;
+        if end > self.len() {
+            return Err(ColumnarError::IndexOutOfBounds {
+                index: end,
+                len: self.len(),
+            });
+        }
+        let validity = self.validity().map(|b| {
+            let mut nb = Bitmap::new_clear(len);
+            for i in 0..len {
+                if b.get(offset + i) {
+                    nb.set(i);
+                }
+            }
+            nb
+        });
+        Ok(match self {
+            Column::Bool(v, _) => Column::Bool(v[offset..end].to_vec(), validity),
+            Column::Int64(v, _) => Column::Int64(v[offset..end].to_vec(), validity),
+            Column::Float64(v, _) => Column::Float64(v[offset..end].to_vec(), validity),
+            Column::Utf8(v, _) => Column::Utf8(v[offset..end].to_vec(), validity),
+            Column::Timestamp(v, _) => Column::Timestamp(v[offset..end].to_vec(), validity),
+            Column::Date(v, _) => Column::Date(v[offset..end].to_vec(), validity),
+        })
+    }
+
+    /// Concatenate columns of the same type.
+    pub fn concat(columns: &[Column]) -> Result<Column> {
+        let Some(first) = columns.first() else {
+            return Err(ColumnarError::InvalidArgument(
+                "concat of zero columns".into(),
+            ));
+        };
+        let dt = first.data_type();
+        let total: usize = columns.iter().map(Column::len).sum();
+        let mut builder = ColumnBuilder::with_capacity(dt, total);
+        for col in columns {
+            if col.data_type() != dt {
+                return Err(ColumnarError::TypeMismatch {
+                    expected: dt.name().into(),
+                    actual: col.data_type().name().into(),
+                });
+            }
+            for v in col.iter_values() {
+                builder.push_value(&v)?;
+            }
+        }
+        Ok(builder.finish())
+    }
+
+    /// Min and max non-null values, or `(Null, Null)` if all rows are null.
+    pub fn min_max(&self) -> (Value, Value) {
+        let mut min = Value::Null;
+        let mut max = Value::Null;
+        for v in self.iter_values() {
+            if v.is_null() {
+                continue;
+            }
+            if min.is_null() || v.total_cmp(&min).is_lt() {
+                min = v.clone();
+            }
+            if max.is_null() || v.total_cmp(&max).is_gt() {
+                max = v;
+            }
+        }
+        (min, max)
+    }
+}
+
+fn type_err(expected: &str, actual: &Column) -> ColumnarError {
+    ColumnarError::TypeMismatch {
+        expected: expected.to_string(),
+        actual: actual.data_type().name().to_string(),
+    }
+}
+
+/// Incremental builder for a [`Column`] of a fixed [`DataType`].
+#[derive(Debug)]
+pub struct ColumnBuilder {
+    dt: DataType,
+    bools: Vec<bool>,
+    ints: Vec<i64>,
+    floats: Vec<f64>,
+    strings: Vec<String>,
+    dates: Vec<i32>,
+    validity: Bitmap,
+    has_nulls: bool,
+}
+
+impl ColumnBuilder {
+    pub fn new(dt: DataType) -> Self {
+        Self::with_capacity(dt, 0)
+    }
+
+    pub fn with_capacity(dt: DataType, cap: usize) -> Self {
+        let mut b = ColumnBuilder {
+            dt,
+            bools: vec![],
+            ints: vec![],
+            floats: vec![],
+            strings: vec![],
+            dates: vec![],
+            validity: Bitmap::new_clear(0),
+            has_nulls: false,
+        };
+        match dt {
+            DataType::Bool => b.bools.reserve(cap),
+            DataType::Int64 | DataType::Timestamp => b.ints.reserve(cap),
+            DataType::Float64 => b.floats.reserve(cap),
+            DataType::Utf8 => b.strings.reserve(cap),
+            DataType::Date => b.dates.reserve(cap),
+        }
+        b
+    }
+
+    /// Current number of rows.
+    pub fn len(&self) -> usize {
+        self.validity.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The type the builder produces.
+    pub fn data_type(&self) -> DataType {
+        self.dt
+    }
+
+    /// Append a null.
+    pub fn push_null(&mut self) {
+        self.has_nulls = true;
+        self.validity.push(false);
+        match self.dt {
+            DataType::Bool => self.bools.push(false),
+            DataType::Int64 | DataType::Timestamp => self.ints.push(0),
+            DataType::Float64 => self.floats.push(0.0),
+            DataType::Utf8 => self.strings.push(String::new()),
+            DataType::Date => self.dates.push(0),
+        }
+    }
+
+    /// Append a scalar value; must match the builder's type (with int→float
+    /// widening) or be `Null`.
+    pub fn push_value(&mut self, v: &Value) -> Result<()> {
+        match (self.dt, v) {
+            (_, Value::Null) => {
+                self.push_null();
+                Ok(())
+            }
+            (DataType::Bool, Value::Bool(b)) => {
+                self.bools.push(*b);
+                self.validity.push(true);
+                Ok(())
+            }
+            (DataType::Int64, Value::Int64(i)) => {
+                self.ints.push(*i);
+                self.validity.push(true);
+                Ok(())
+            }
+            (DataType::Timestamp, Value::Timestamp(i)) | (DataType::Timestamp, Value::Int64(i)) => {
+                self.ints.push(*i);
+                self.validity.push(true);
+                Ok(())
+            }
+            (DataType::Float64, Value::Float64(x)) => {
+                self.floats.push(*x);
+                self.validity.push(true);
+                Ok(())
+            }
+            (DataType::Float64, Value::Int64(i)) => {
+                self.floats.push(*i as f64);
+                self.validity.push(true);
+                Ok(())
+            }
+            (DataType::Utf8, Value::Utf8(s)) => {
+                self.strings.push(s.clone());
+                self.validity.push(true);
+                Ok(())
+            }
+            (DataType::Date, Value::Date(d)) => {
+                self.dates.push(*d);
+                self.validity.push(true);
+                Ok(())
+            }
+            (DataType::Date, Value::Int64(i)) => {
+                self.dates.push(*i as i32);
+                self.validity.push(true);
+                Ok(())
+            }
+            (dt, v) => Err(ColumnarError::TypeMismatch {
+                expected: dt.name().into(),
+                actual: format!("{v:?}"),
+            }),
+        }
+    }
+
+    /// Finish and produce the column. The validity bitmap is dropped when no
+    /// nulls were pushed, keeping the fast "no-null" path cheap downstream.
+    pub fn finish(self) -> Column {
+        let validity = if self.has_nulls {
+            Some(self.validity)
+        } else {
+            None
+        };
+        match self.dt {
+            DataType::Bool => Column::Bool(self.bools, validity),
+            DataType::Int64 => Column::Int64(self.ints, validity),
+            DataType::Timestamp => Column::Timestamp(self.ints, validity),
+            DataType::Float64 => Column::Float64(self.floats, validity),
+            DataType::Utf8 => Column::Utf8(self.strings, validity),
+            DataType::Date => Column::Date(self.dates, validity),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_constructors() {
+        let c = Column::from_i64(vec![1, 2, 3]);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.data_type(), DataType::Int64);
+        assert_eq!(c.null_count(), 0);
+        assert_eq!(c.get(1).unwrap(), Value::Int64(2));
+    }
+
+    #[test]
+    fn optional_constructor_tracks_nulls() {
+        let c = Column::from_opt_f64(vec![Some(1.0), None, Some(3.0)]);
+        assert_eq!(c.null_count(), 1);
+        assert!(!c.is_valid(1));
+        assert_eq!(c.get(1).unwrap(), Value::Null);
+        assert_eq!(c.get(2).unwrap(), Value::Float64(3.0));
+    }
+
+    #[test]
+    fn get_out_of_bounds() {
+        let c = Column::from_bool(vec![true]);
+        assert!(matches!(
+            c.get(5),
+            Err(ColumnarError::IndexOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn slice_preserves_validity() {
+        let c = Column::from_opt_i64(vec![Some(0), None, Some(2), None, Some(4)]);
+        let s = c.slice(1, 3).unwrap();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.get(0).unwrap(), Value::Null);
+        assert_eq!(s.get(1).unwrap(), Value::Int64(2));
+        assert_eq!(s.get(2).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn slice_out_of_bounds() {
+        let c = Column::from_i64(vec![1, 2]);
+        assert!(c.slice(1, 5).is_err());
+    }
+
+    #[test]
+    fn concat_columns() {
+        let a = Column::from_strs(vec!["x", "y"]);
+        let b = Column::from_opt_str(vec![None, Some("z")]);
+        let c = Column::concat(&[a, b]).unwrap();
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.get(3).unwrap(), Value::Utf8("z".into()));
+        assert_eq!(c.null_count(), 1);
+    }
+
+    #[test]
+    fn concat_type_mismatch() {
+        let a = Column::from_i64(vec![1]);
+        let b = Column::from_f64(vec![1.0]);
+        assert!(Column::concat(&[a, b]).is_err());
+    }
+
+    #[test]
+    fn builder_round_trip() {
+        let mut b = ColumnBuilder::new(DataType::Utf8);
+        b.push_value(&Value::Utf8("a".into())).unwrap();
+        b.push_null();
+        b.push_value(&Value::Utf8("c".into())).unwrap();
+        let c = b.finish();
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.null_count(), 1);
+        assert_eq!(c.get(2).unwrap(), Value::Utf8("c".into()));
+    }
+
+    #[test]
+    fn builder_int_to_float_widening() {
+        let mut b = ColumnBuilder::new(DataType::Float64);
+        b.push_value(&Value::Int64(2)).unwrap();
+        assert_eq!(b.finish().get(0).unwrap(), Value::Float64(2.0));
+    }
+
+    #[test]
+    fn builder_rejects_wrong_type() {
+        let mut b = ColumnBuilder::new(DataType::Int64);
+        assert!(b.push_value(&Value::Utf8("no".into())).is_err());
+    }
+
+    #[test]
+    fn builder_no_nulls_drops_validity() {
+        let mut b = ColumnBuilder::new(DataType::Int64);
+        b.push_value(&Value::Int64(1)).unwrap();
+        let c = b.finish();
+        assert!(c.validity().is_none());
+    }
+
+    #[test]
+    fn min_max_skips_nulls() {
+        let c = Column::from_opt_i64(vec![None, Some(5), Some(-2), None, Some(9)]);
+        let (min, max) = c.min_max();
+        assert_eq!(min, Value::Int64(-2));
+        assert_eq!(max, Value::Int64(9));
+    }
+
+    #[test]
+    fn min_max_all_null() {
+        let c = Column::new_null(DataType::Float64, 3);
+        let (min, max) = c.min_max();
+        assert!(min.is_null() && max.is_null());
+    }
+
+    #[test]
+    fn new_null_column() {
+        let c = Column::new_null(DataType::Utf8, 4);
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.null_count(), 4);
+    }
+
+    #[test]
+    fn from_value_broadcast() {
+        let c = Column::from_value(&Value::Int64(7), 3).unwrap();
+        assert_eq!(c.iter_values().collect::<Vec<_>>(), vec![
+            Value::Int64(7),
+            Value::Int64(7),
+            Value::Int64(7)
+        ]);
+    }
+
+    #[test]
+    fn from_values_mixed_nulls() {
+        let c = Column::from_values(
+            DataType::Int64,
+            &[Value::Int64(1), Value::Null, Value::Int64(3)],
+        )
+        .unwrap();
+        assert_eq!(c.null_count(), 1);
+    }
+}

@@ -1,0 +1,288 @@
+//! CSV reading/writing with schema inference — the ingestion path that makes
+//! the CLI and examples usable on real files (NYC TLC publishes CSVs).
+//!
+//! Dialect: comma-separated, `"` quoting with `""` escapes, first row is the
+//! header. Inference prefers Int64 → Float64 → Bool → Utf8; empty cells are
+//! nulls.
+
+use crate::batch::RecordBatch;
+use crate::column::ColumnBuilder;
+use crate::datatype::{DataType, Value};
+use crate::error::{ColumnarError, Result};
+use crate::schema::{Field, Schema};
+
+/// Parse CSV text (with a header row) into a batch, inferring column types.
+pub fn read_csv(text: &str) -> Result<RecordBatch> {
+    let mut rows = parse_rows(text)?;
+    if rows.is_empty() {
+        return Err(ColumnarError::InvalidArgument("empty CSV".into()));
+    }
+    let header = rows.remove(0);
+    if header.is_empty() {
+        return Err(ColumnarError::InvalidArgument("empty CSV header".into()));
+    }
+    for (i, row) in rows.iter().enumerate() {
+        if row.len() != header.len() {
+            return Err(ColumnarError::InvalidArgument(format!(
+                "row {} has {} fields, header has {}",
+                i + 2,
+                row.len(),
+                header.len()
+            )));
+        }
+    }
+    // Infer each column's type from the data.
+    let types: Vec<DataType> = (0..header.len())
+        .map(|c| infer_type(rows.iter().map(|r| r[c].as_str())))
+        .collect();
+    let mut builders: Vec<ColumnBuilder> = types
+        .iter()
+        .map(|&dt| ColumnBuilder::with_capacity(dt, rows.len()))
+        .collect();
+    for row in &rows {
+        for (c, cell) in row.iter().enumerate() {
+            let v = parse_cell(cell, types[c]);
+            builders[c].push_value(&v)?;
+        }
+    }
+    let fields: Vec<Field> = header
+        .iter()
+        .zip(&types)
+        .map(|(name, &dt)| Field::new(name.trim(), dt, true))
+        .collect();
+    let columns = builders.into_iter().map(ColumnBuilder::finish).collect();
+    RecordBatch::try_new(Schema::new(fields), columns)
+}
+
+/// Serialize a batch to CSV text (header row + data rows).
+pub fn write_csv(batch: &RecordBatch) -> String {
+    let mut out = String::new();
+    let header: Vec<String> = batch
+        .schema()
+        .fields()
+        .iter()
+        .map(|f| quote(f.name()))
+        .collect();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for r in 0..batch.num_rows() {
+        let cells: Vec<String> = batch
+            .columns()
+            .iter()
+            .map(|c| match c.get(r) {
+                Ok(Value::Null) | Err(_) => String::new(),
+                Ok(Value::Utf8(s)) => quote(&s),
+                Ok(v) => v.to_string(),
+            })
+            .collect();
+        out.push_str(&cells.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+fn quote(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Split CSV text into rows of unquoted cells.
+fn parse_rows(text: &str) -> Result<Vec<Vec<String>>> {
+    let mut rows = Vec::new();
+    let mut row: Vec<String> = Vec::new();
+    let mut cell = String::new();
+    let mut chars = text.chars().peekable();
+    let mut in_quotes = false;
+    let mut any = false;
+    while let Some(ch) = chars.next() {
+        any = true;
+        if in_quotes {
+            match ch {
+                '"' if chars.peek() == Some(&'"') => {
+                    chars.next();
+                    cell.push('"');
+                }
+                '"' => in_quotes = false,
+                other => cell.push(other),
+            }
+        } else {
+            match ch {
+                '"' => in_quotes = true,
+                ',' => {
+                    row.push(std::mem::take(&mut cell));
+                    }
+                '\r' => {}
+                '\n' => {
+                    row.push(std::mem::take(&mut cell));
+                    rows.push(std::mem::take(&mut row));
+                }
+                other => cell.push(other),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(ColumnarError::InvalidArgument(
+            "unterminated quote in CSV".into(),
+        ));
+    }
+    if any && (!cell.is_empty() || !row.is_empty()) {
+        row.push(cell);
+        rows.push(row);
+    }
+    Ok(rows)
+}
+
+fn infer_type<'a>(values: impl Iterator<Item = &'a str>) -> DataType {
+    let mut t = DataType::Int64;
+    let mut saw_any = false;
+    for v in values {
+        let v = v.trim();
+        if v.is_empty() {
+            continue; // nulls don't constrain the type
+        }
+        saw_any = true;
+        t = match t {
+            DataType::Int64 if v.parse::<i64>().is_ok() => DataType::Int64,
+            DataType::Int64 | DataType::Float64 if v.parse::<f64>().is_ok() => DataType::Float64,
+            DataType::Int64 | DataType::Float64 | DataType::Bool if is_bool(v) => DataType::Bool,
+            DataType::Bool if is_bool(v) => DataType::Bool,
+            _ => return DataType::Utf8,
+        };
+    }
+    if saw_any {
+        t
+    } else {
+        DataType::Utf8
+    }
+}
+
+fn is_bool(v: &str) -> bool {
+    matches!(v.to_ascii_lowercase().as_str(), "true" | "false")
+}
+
+fn parse_cell(cell: &str, dt: DataType) -> Value {
+    let trimmed = cell.trim();
+    if trimmed.is_empty() {
+        return Value::Null;
+    }
+    match dt {
+        DataType::Int64 => trimmed
+            .parse::<i64>()
+            .map(Value::Int64)
+            .unwrap_or(Value::Null),
+        DataType::Float64 => trimmed
+            .parse::<f64>()
+            .map(Value::Float64)
+            .unwrap_or(Value::Null),
+        DataType::Bool => match trimmed.to_ascii_lowercase().as_str() {
+            "true" => Value::Bool(true),
+            "false" => Value::Bool(false),
+            _ => Value::Null,
+        },
+        _ => Value::Utf8(cell.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+
+    #[test]
+    fn round_trip() {
+        let batch = RecordBatch::try_new(
+            Schema::new(vec![
+                Field::new("id", DataType::Int64, true),
+                Field::new("name", DataType::Utf8, true),
+                Field::new("score", DataType::Float64, true),
+            ]),
+            vec![
+                Column::from_opt_i64(vec![Some(1), Some(2), None]),
+                Column::from_opt_str(vec![Some("alpha"), Some("with,comma"), Some("q\"uote")]),
+                Column::from_opt_f64(vec![Some(1.5), None, Some(-2.0)]),
+            ],
+        )
+        .unwrap();
+        let text = write_csv(&batch);
+        let back = read_csv(&text).unwrap();
+        assert_eq!(back.num_rows(), 3);
+        assert_eq!(back.schema().names(), vec!["id", "name", "score"]);
+        for r in 0..3 {
+            assert_eq!(back.row(r).unwrap(), batch.row(r).unwrap());
+        }
+    }
+
+    #[test]
+    fn type_inference() {
+        let b = read_csv("a,b,c,d\n1,1.5,true,x\n2,2,false,y\n").unwrap();
+        let types: Vec<DataType> = b.schema().fields().iter().map(|f| f.data_type()).collect();
+        assert_eq!(
+            types,
+            vec![
+                DataType::Int64,
+                DataType::Float64,
+                DataType::Bool,
+                DataType::Utf8
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_cells_are_nulls() {
+        let b = read_csv("x,y\n1,\n,2\n").unwrap();
+        assert_eq!(b.row(0).unwrap()[1], Value::Null);
+        assert_eq!(b.row(1).unwrap()[0], Value::Null);
+        assert_eq!(b.row(1).unwrap()[1], Value::Int64(2));
+    }
+
+    #[test]
+    fn mixed_int_then_string_degrades_to_utf8() {
+        let b = read_csv("x\n1\nhello\n").unwrap();
+        assert_eq!(b.schema().field(0).data_type(), DataType::Utf8);
+        assert_eq!(b.row(0).unwrap()[0], Value::Utf8("1".into()));
+    }
+
+    #[test]
+    fn quoted_fields_with_newlines() {
+        let b = read_csv("a,b\n\"line1\nline2\",2\n").unwrap();
+        assert_eq!(b.num_rows(), 1);
+        assert_eq!(b.row(0).unwrap()[0], Value::Utf8("line1\nline2".into()));
+    }
+
+    #[test]
+    fn crlf_handled() {
+        let b = read_csv("a,b\r\n1,2\r\n3,4\r\n").unwrap();
+        assert_eq!(b.num_rows(), 2);
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        assert!(read_csv("a,b\n1\n").is_err());
+    }
+
+    #[test]
+    fn unterminated_quote_rejected() {
+        assert!(read_csv("a\n\"oops\n").is_err());
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert!(read_csv("").is_err());
+    }
+
+    #[test]
+    fn missing_trailing_newline_ok() {
+        let b = read_csv("a,b\n1,2").unwrap();
+        assert_eq!(b.num_rows(), 1);
+    }
+
+    #[test]
+    fn all_empty_column_is_utf8_nulls() {
+        let b = read_csv("a,b\n,1\n,2\n").unwrap();
+        assert_eq!(b.schema().field(0).data_type(), DataType::Utf8);
+        assert_eq!(b.column(0).null_count(), 2);
+    }
+}

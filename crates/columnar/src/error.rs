@@ -1,0 +1,53 @@
+//! Error type for the columnar crate.
+
+use std::fmt;
+
+/// Errors produced by columnar operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ColumnarError {
+    /// Two columns (or a column and a bitmap) had mismatched lengths.
+    LengthMismatch { expected: usize, actual: usize },
+    /// An operation received a column of an unexpected type.
+    TypeMismatch { expected: String, actual: String },
+    /// A schema lookup failed.
+    FieldNotFound(String),
+    /// The schema and columns of a batch disagree.
+    SchemaMismatch(String),
+    /// An index was out of bounds.
+    IndexOutOfBounds { index: usize, len: usize },
+    /// A cast between types is not supported.
+    InvalidCast { from: String, to: String },
+    /// Generic invalid-argument error.
+    InvalidArgument(String),
+    /// Arithmetic overflow during a kernel.
+    Overflow(String),
+    /// Division by zero during a kernel.
+    DivideByZero,
+}
+
+impl fmt::Display for ColumnarError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::LengthMismatch { expected, actual } => {
+                write!(f, "length mismatch: expected {expected}, got {actual}")
+            }
+            Self::TypeMismatch { expected, actual } => {
+                write!(f, "type mismatch: expected {expected}, got {actual}")
+            }
+            Self::FieldNotFound(name) => write!(f, "field not found: {name}"),
+            Self::SchemaMismatch(msg) => write!(f, "schema mismatch: {msg}"),
+            Self::IndexOutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds for length {len}")
+            }
+            Self::InvalidCast { from, to } => write!(f, "cannot cast {from} to {to}"),
+            Self::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            Self::Overflow(op) => write!(f, "arithmetic overflow in {op}"),
+            Self::DivideByZero => write!(f, "division by zero"),
+        }
+    }
+}
+
+impl std::error::Error for ColumnarError {}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, ColumnarError>;

@@ -1,0 +1,395 @@
+//! Aggregation kernels: incremental aggregate states used by both scalar
+//! aggregation and the hash-grouped aggregation in the SQL engine.
+
+use crate::column::Column;
+use crate::datatype::{DataType, Value};
+use crate::error::{ColumnarError, Result};
+use crate::kernels::hash::RowKey;
+use std::collections::HashSet;
+
+/// Which aggregate function to compute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Aggregator {
+    Count,
+    /// COUNT(*) — counts rows including nulls.
+    CountStar,
+    /// COUNT(DISTINCT x) — distinct non-null values.
+    CountDistinct,
+    Sum,
+    Min,
+    Max,
+    Avg,
+}
+
+impl Aggregator {
+    /// Parse a SQL function name.
+    pub fn parse(name: &str) -> Option<Aggregator> {
+        match name.to_ascii_uppercase().as_str() {
+            "COUNT" => Some(Aggregator::Count),
+            "COUNT_DISTINCT" => Some(Aggregator::CountDistinct),
+            "SUM" => Some(Aggregator::Sum),
+            "MIN" => Some(Aggregator::Min),
+            "MAX" => Some(Aggregator::Max),
+            "AVG" | "MEAN" => Some(Aggregator::Avg),
+            _ => None,
+        }
+    }
+
+    /// Output type given the input type.
+    pub fn output_type(&self, input: DataType) -> DataType {
+        match self {
+            Aggregator::Count | Aggregator::CountStar | Aggregator::CountDistinct => {
+                DataType::Int64
+            }
+            Aggregator::Avg => DataType::Float64,
+            Aggregator::Sum => {
+                if input == DataType::Float64 {
+                    DataType::Float64
+                } else {
+                    DataType::Int64
+                }
+            }
+            Aggregator::Min | Aggregator::Max => input,
+        }
+    }
+}
+
+/// Incremental state for one aggregate over one group.
+#[derive(Debug, Clone)]
+pub struct AggState {
+    agg: Aggregator,
+    count: i64,
+    sum_i: i64,
+    sum_f: f64,
+    overflowed: bool,
+    min: Value,
+    max: Value,
+    /// Distinct non-null values seen (CountDistinct only).
+    distinct: HashSet<RowKey>,
+}
+
+impl AggState {
+    pub fn new(agg: Aggregator) -> Self {
+        AggState {
+            agg,
+            count: 0,
+            sum_i: 0,
+            sum_f: 0.0,
+            overflowed: false,
+            min: Value::Null,
+            max: Value::Null,
+            distinct: HashSet::new(),
+        }
+    }
+
+    /// Fold one scalar into the state. Nulls are skipped except for
+    /// `CountStar`.
+    pub fn update(&mut self, v: &Value) -> Result<()> {
+        if v.is_null() {
+            if self.agg == Aggregator::CountStar {
+                self.count += 1;
+            }
+            return Ok(());
+        }
+        self.count += 1;
+        match self.agg {
+            Aggregator::Count | Aggregator::CountStar => {}
+            Aggregator::CountDistinct => {
+                self.distinct.insert(RowKey::from_values(std::slice::from_ref(v)));
+            }
+            Aggregator::Sum | Aggregator::Avg => match v {
+                Value::Int64(i) => {
+                    match self.sum_i.checked_add(*i) {
+                        Some(s) => self.sum_i = s,
+                        None => self.overflowed = true,
+                    }
+                    self.sum_f += *i as f64;
+                }
+                Value::Float64(f) => self.sum_f += f,
+                other => {
+                    return Err(ColumnarError::TypeMismatch {
+                        expected: "numeric".into(),
+                        actual: format!("{other:?}"),
+                    })
+                }
+            },
+            Aggregator::Min => {
+                if self.min.is_null() || v.total_cmp(&self.min).is_lt() {
+                    self.min = v.clone();
+                }
+            }
+            Aggregator::Max => {
+                if self.max.is_null() || v.total_cmp(&self.max).is_gt() {
+                    self.max = v.clone();
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Fold a whole column into the state (fast paths for numeric sums).
+    pub fn update_column(&mut self, col: &Column) -> Result<()> {
+        match (self.agg, col) {
+            (Aggregator::Sum | Aggregator::Avg, Column::Int64(values, None)) => {
+                for &x in values {
+                    match self.sum_i.checked_add(x) {
+                        Some(s) => self.sum_i = s,
+                        None => self.overflowed = true,
+                    }
+                    self.sum_f += x as f64;
+                }
+                self.count += values.len() as i64;
+                Ok(())
+            }
+            (Aggregator::Sum | Aggregator::Avg, Column::Float64(values, None)) => {
+                for &x in values {
+                    self.sum_f += x;
+                }
+                self.count += values.len() as i64;
+                Ok(())
+            }
+            (Aggregator::Count, _) => {
+                self.count += (col.len() - col.null_count()) as i64;
+                Ok(())
+            }
+            (Aggregator::CountStar, _) => {
+                self.count += col.len() as i64;
+                Ok(())
+            }
+            _ => {
+                for v in col.iter_values() {
+                    self.update(&v)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Merge another state of the same aggregator (partial aggregation).
+    pub fn merge(&mut self, other: &AggState) -> Result<()> {
+        if self.agg != other.agg {
+            return Err(ColumnarError::InvalidArgument(
+                "cannot merge different aggregators".into(),
+            ));
+        }
+        self.count += other.count;
+        self.overflowed |= other.overflowed;
+        self.distinct.extend(other.distinct.iter().cloned());
+        match self.sum_i.checked_add(other.sum_i) {
+            Some(s) => self.sum_i = s,
+            None => self.overflowed = true,
+        }
+        self.sum_f += other.sum_f;
+        if self.min.is_null() || (!other.min.is_null() && other.min.total_cmp(&self.min).is_lt()) {
+            self.min = other.min.clone();
+        }
+        if self.max.is_null() || (!other.max.is_null() && other.max.total_cmp(&self.max).is_gt()) {
+            self.max = other.max.clone();
+        }
+        Ok(())
+    }
+
+    /// Produce the final value. SQL semantics: SUM/MIN/MAX/AVG of an empty
+    /// set is NULL; COUNT is 0.
+    pub fn finish(&self, input_type: DataType) -> Result<Value> {
+        Ok(match self.agg {
+            Aggregator::Count | Aggregator::CountStar => Value::Int64(self.count),
+            Aggregator::CountDistinct => Value::Int64(self.distinct.len() as i64),
+            Aggregator::Sum => {
+                if self.count == 0 {
+                    Value::Null
+                } else if input_type == DataType::Float64 {
+                    Value::Float64(self.sum_f)
+                } else if self.overflowed {
+                    return Err(ColumnarError::Overflow("SUM".into()));
+                } else {
+                    Value::Int64(self.sum_i)
+                }
+            }
+            Aggregator::Avg => {
+                if self.count == 0 {
+                    Value::Null
+                } else {
+                    Value::Float64(self.sum_f / self.count as f64)
+                }
+            }
+            Aggregator::Min => self.min.clone(),
+            Aggregator::Max => self.max.clone(),
+        })
+    }
+}
+
+/// Aggregate one full column to a single scalar.
+pub fn aggregate_column(agg: Aggregator, col: &Column) -> Result<Value> {
+    let mut state = AggState::new(agg);
+    state.update_column(col)?;
+    state.finish(col.data_type())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_names() {
+        assert_eq!(Aggregator::parse("count"), Some(Aggregator::Count));
+        assert_eq!(Aggregator::parse("AVG"), Some(Aggregator::Avg));
+        assert_eq!(Aggregator::parse("median"), None);
+    }
+
+    #[test]
+    fn sum_ints() {
+        let c = Column::from_i64(vec![1, 2, 3]);
+        assert_eq!(
+            aggregate_column(Aggregator::Sum, &c).unwrap(),
+            Value::Int64(6)
+        );
+    }
+
+    #[test]
+    fn sum_floats() {
+        let c = Column::from_f64(vec![1.5, 2.5]);
+        assert_eq!(
+            aggregate_column(Aggregator::Sum, &c).unwrap(),
+            Value::Float64(4.0)
+        );
+    }
+
+    #[test]
+    fn avg_skips_nulls() {
+        let c = Column::from_opt_i64(vec![Some(2), None, Some(4)]);
+        assert_eq!(
+            aggregate_column(Aggregator::Avg, &c).unwrap(),
+            Value::Float64(3.0)
+        );
+    }
+
+    #[test]
+    fn count_vs_count_star() {
+        let c = Column::from_opt_i64(vec![Some(1), None, Some(3)]);
+        assert_eq!(
+            aggregate_column(Aggregator::Count, &c).unwrap(),
+            Value::Int64(2)
+        );
+        assert_eq!(
+            aggregate_column(Aggregator::CountStar, &c).unwrap(),
+            Value::Int64(3)
+        );
+    }
+
+    #[test]
+    fn min_max_strings() {
+        let c = Column::from_strs(vec!["pear", "apple", "fig"]);
+        assert_eq!(
+            aggregate_column(Aggregator::Min, &c).unwrap(),
+            Value::Utf8("apple".into())
+        );
+        assert_eq!(
+            aggregate_column(Aggregator::Max, &c).unwrap(),
+            Value::Utf8("pear".into())
+        );
+    }
+
+    #[test]
+    fn empty_set_semantics() {
+        let c = Column::new_empty(DataType::Int64);
+        assert_eq!(
+            aggregate_column(Aggregator::Sum, &c).unwrap(),
+            Value::Null
+        );
+        assert_eq!(
+            aggregate_column(Aggregator::Count, &c).unwrap(),
+            Value::Int64(0)
+        );
+        assert_eq!(aggregate_column(Aggregator::Min, &c).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn sum_overflow_errors_on_finish() {
+        let c = Column::from_i64(vec![i64::MAX, 1]);
+        assert!(matches!(
+            aggregate_column(Aggregator::Sum, &c),
+            Err(ColumnarError::Overflow(_))
+        ));
+    }
+
+    #[test]
+    fn count_distinct() {
+        let c = Column::from_opt_i64(vec![Some(1), Some(2), Some(1), None, Some(2), Some(3)]);
+        assert_eq!(
+            aggregate_column(Aggregator::CountDistinct, &c).unwrap(),
+            Value::Int64(3)
+        );
+        // Empty input → 0.
+        let e = Column::new_empty(DataType::Int64);
+        assert_eq!(
+            aggregate_column(Aggregator::CountDistinct, &e).unwrap(),
+            Value::Int64(0)
+        );
+    }
+
+    #[test]
+    fn count_distinct_merge_unions() {
+        let mut a = AggState::new(Aggregator::CountDistinct);
+        a.update(&Value::Int64(1)).unwrap();
+        a.update(&Value::Int64(2)).unwrap();
+        let mut b = AggState::new(Aggregator::CountDistinct);
+        b.update(&Value::Int64(2)).unwrap();
+        b.update(&Value::Int64(3)).unwrap();
+        a.merge(&b).unwrap();
+        assert_eq!(a.finish(DataType::Int64).unwrap(), Value::Int64(3));
+    }
+
+    #[test]
+    fn merge_states() {
+        let mut a = AggState::new(Aggregator::Sum);
+        a.update(&Value::Int64(1)).unwrap();
+        let mut b = AggState::new(Aggregator::Sum);
+        b.update(&Value::Int64(2)).unwrap();
+        a.merge(&b).unwrap();
+        assert_eq!(a.finish(DataType::Int64).unwrap(), Value::Int64(3));
+    }
+
+    #[test]
+    fn merge_min_max() {
+        let mut a = AggState::new(Aggregator::Min);
+        a.update(&Value::Int64(5)).unwrap();
+        let mut b = AggState::new(Aggregator::Min);
+        b.update(&Value::Int64(2)).unwrap();
+        a.merge(&b).unwrap();
+        assert_eq!(a.finish(DataType::Int64).unwrap(), Value::Int64(2));
+    }
+
+    #[test]
+    fn merge_mismatched_aggs_errors() {
+        let mut a = AggState::new(Aggregator::Min);
+        let b = AggState::new(Aggregator::Max);
+        assert!(a.merge(&b).is_err());
+    }
+
+    #[test]
+    fn sum_non_numeric_errors() {
+        let c = Column::from_strs(vec!["a"]);
+        assert!(aggregate_column(Aggregator::Sum, &c).is_err());
+    }
+
+    #[test]
+    fn output_types() {
+        assert_eq!(
+            Aggregator::Avg.output_type(DataType::Int64),
+            DataType::Float64
+        );
+        assert_eq!(
+            Aggregator::Sum.output_type(DataType::Float64),
+            DataType::Float64
+        );
+        assert_eq!(
+            Aggregator::Min.output_type(DataType::Utf8),
+            DataType::Utf8
+        );
+        assert_eq!(
+            Aggregator::Count.output_type(DataType::Utf8),
+            DataType::Int64
+        );
+    }
+}

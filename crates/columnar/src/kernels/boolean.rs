@@ -1,0 +1,177 @@
+//! Boolean kernels with Kleene (SQL three-valued) logic.
+//!
+//! * `false AND null = false`, `true AND null = null`
+//! * `true OR null = true`, `false OR null = null`
+//! * `NOT null = null`
+
+use crate::bitmap::Bitmap;
+use crate::column::Column;
+use crate::error::{ColumnarError, Result};
+
+/// Three-valued AND.
+pub fn and_kleene(left: &Column, right: &Column) -> Result<Column> {
+    kleene(left, right, |l, r| match (l, r) {
+        (Some(false), _) | (_, Some(false)) => Some(false),
+        (Some(true), Some(true)) => Some(true),
+        _ => None,
+    })
+}
+
+/// Three-valued OR.
+pub fn or_kleene(left: &Column, right: &Column) -> Result<Column> {
+    kleene(left, right, |l, r| match (l, r) {
+        (Some(true), _) | (_, Some(true)) => Some(true),
+        (Some(false), Some(false)) => Some(false),
+        _ => None,
+    })
+}
+
+/// Three-valued NOT.
+pub fn not(col: &Column) -> Result<Column> {
+    let (values, validity) = col.as_bool()?;
+    Ok(Column::Bool(
+        values.iter().map(|v| !v).collect(),
+        validity.cloned(),
+    ))
+}
+
+fn kleene(
+    left: &Column,
+    right: &Column,
+    op: impl Fn(Option<bool>, Option<bool>) -> Option<bool>,
+) -> Result<Column> {
+    let (lv, lb) = left.as_bool()?;
+    let (rv, rb) = right.as_bool()?;
+    if lv.len() != rv.len() {
+        return Err(ColumnarError::LengthMismatch {
+            expected: lv.len(),
+            actual: rv.len(),
+        });
+    }
+    let n = lv.len();
+    let mut out = Vec::with_capacity(n);
+    let mut validity = Bitmap::new_clear(n);
+    let mut has_null = false;
+    for i in 0..n {
+        let l = lb.is_none_or(|b| b.get(i)).then(|| lv[i]);
+        let r = rb.is_none_or(|b| b.get(i)).then(|| rv[i]);
+        match op(l, r) {
+            Some(v) => {
+                out.push(v);
+                validity.set(i);
+            }
+            None => {
+                out.push(false);
+                has_null = true;
+            }
+        }
+    }
+    Ok(Column::Bool(out, has_null.then_some(validity)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datatype::Value;
+
+    fn tri() -> (Column, Column) {
+        // left:  T T T F F F N N N
+        // right: T F N T F N T F N
+        let left = Column::from_opt_bool(vec![
+            Some(true),
+            Some(true),
+            Some(true),
+            Some(false),
+            Some(false),
+            Some(false),
+            None,
+            None,
+            None,
+        ]);
+        let right = Column::from_opt_bool(vec![
+            Some(true),
+            Some(false),
+            None,
+            Some(true),
+            Some(false),
+            None,
+            Some(true),
+            Some(false),
+            None,
+        ]);
+        (left, right)
+    }
+
+    fn collect(c: &Column) -> Vec<Option<bool>> {
+        c.iter_values()
+            .map(|v| match v {
+                Value::Bool(b) => Some(b),
+                Value::Null => None,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn kleene_and_truth_table() {
+        let (l, r) = tri();
+        let out = and_kleene(&l, &r).unwrap();
+        assert_eq!(
+            collect(&out),
+            vec![
+                Some(true),
+                Some(false),
+                None,
+                Some(false),
+                Some(false),
+                Some(false),
+                None,
+                Some(false),
+                None
+            ]
+        );
+    }
+
+    #[test]
+    fn kleene_or_truth_table() {
+        let (l, r) = tri();
+        let out = or_kleene(&l, &r).unwrap();
+        assert_eq!(
+            collect(&out),
+            vec![
+                Some(true),
+                Some(true),
+                Some(true),
+                Some(true),
+                Some(false),
+                None,
+                Some(true),
+                None,
+                None
+            ]
+        );
+    }
+
+    #[test]
+    fn not_truth_table() {
+        let c = Column::from_opt_bool(vec![Some(true), Some(false), None]);
+        assert_eq!(
+            collect(&not(&c).unwrap()),
+            vec![Some(false), Some(true), None]
+        );
+    }
+
+    #[test]
+    fn non_bool_errors() {
+        let c = Column::from_i64(vec![1]);
+        assert!(not(&c).is_err());
+        assert!(and_kleene(&c, &c).is_err());
+    }
+
+    #[test]
+    fn length_mismatch() {
+        let a = Column::from_bool(vec![true]);
+        let b = Column::from_bool(vec![true, false]);
+        assert!(or_kleene(&a, &b).is_err());
+    }
+}

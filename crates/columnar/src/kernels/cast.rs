@@ -1,0 +1,159 @@
+//! Cast kernel between data types.
+
+use crate::column::{Column, ColumnBuilder};
+use crate::datatype::{DataType, Value};
+use crate::error::{ColumnarError, Result};
+
+/// Cast a column to another type. Supported casts:
+///
+/// * identity (any type to itself)
+/// * Int64 ↔ Float64 (float→int truncates)
+/// * Int64 ↔ Timestamp / Date
+/// * anything → Utf8 (via Display)
+/// * Utf8 → Int64 / Float64 / Bool (parse; unparseable values become null)
+/// * Date → Timestamp (midnight UTC) and back (truncation)
+pub fn cast(col: &Column, to: DataType) -> Result<Column> {
+    let from = col.data_type();
+    if from == to {
+        return Ok(col.clone());
+    }
+    let mut b = ColumnBuilder::with_capacity(to, col.len());
+    for v in col.iter_values() {
+        let out = cast_value(&v, to)?;
+        b.push_value(&out)?;
+    }
+    Ok(b.finish())
+}
+
+/// Cast a single scalar. Unparseable strings become `Null`; structurally
+/// unsupported casts error.
+pub fn cast_value(v: &Value, to: DataType) -> Result<Value> {
+    const MICROS_PER_DAY: i64 = 86_400_000_000;
+    if v.is_null() {
+        return Ok(Value::Null);
+    }
+    if v.data_type() == Some(to) {
+        return Ok(v.clone());
+    }
+    Ok(match (v, to) {
+        (Value::Int64(i), DataType::Float64) => Value::Float64(*i as f64),
+        (Value::Float64(f), DataType::Int64) => Value::Int64(*f as i64),
+        (Value::Int64(i), DataType::Timestamp) => Value::Timestamp(*i),
+        (Value::Timestamp(t), DataType::Int64) => Value::Int64(*t),
+        (Value::Int64(i), DataType::Date) => Value::Date(*i as i32),
+        (Value::Date(d), DataType::Int64) => Value::Int64(*d as i64),
+        (Value::Date(d), DataType::Timestamp) => Value::Timestamp(*d as i64 * MICROS_PER_DAY),
+        (Value::Timestamp(t), DataType::Date) => {
+            Value::Date(t.div_euclid(MICROS_PER_DAY) as i32)
+        }
+        (Value::Bool(b), DataType::Int64) => Value::Int64(*b as i64),
+        (any, DataType::Utf8) => Value::Utf8(any.to_string()),
+        (Value::Utf8(s), DataType::Int64) => s
+            .trim()
+            .parse::<i64>()
+            .map(Value::Int64)
+            .unwrap_or(Value::Null),
+        (Value::Utf8(s), DataType::Float64) => s
+            .trim()
+            .parse::<f64>()
+            .map(Value::Float64)
+            .unwrap_or(Value::Null),
+        (Value::Utf8(s), DataType::Bool) => match s.trim().to_ascii_lowercase().as_str() {
+            "true" | "t" | "1" => Value::Bool(true),
+            "false" | "f" | "0" => Value::Bool(false),
+            _ => Value::Null,
+        },
+        (v, to) => {
+            return Err(ColumnarError::InvalidCast {
+                from: format!("{v:?}"),
+                to: to.name().into(),
+            })
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_cast() {
+        let c = Column::from_i64(vec![1, 2]);
+        assert_eq!(cast(&c, DataType::Int64).unwrap(), c);
+    }
+
+    #[test]
+    fn int_float_round_trip() {
+        let c = Column::from_i64(vec![3]);
+        let f = cast(&c, DataType::Float64).unwrap();
+        assert_eq!(f.get(0).unwrap(), Value::Float64(3.0));
+        let back = cast(&f, DataType::Int64).unwrap();
+        assert_eq!(back.get(0).unwrap(), Value::Int64(3));
+    }
+
+    #[test]
+    fn float_to_int_truncates() {
+        let c = Column::from_f64(vec![2.9, -2.9]);
+        let i = cast(&c, DataType::Int64).unwrap();
+        assert_eq!(i.get(0).unwrap(), Value::Int64(2));
+        assert_eq!(i.get(1).unwrap(), Value::Int64(-2));
+    }
+
+    #[test]
+    fn to_string_cast() {
+        let c = Column::from_f64(vec![1.5]);
+        let s = cast(&c, DataType::Utf8).unwrap();
+        assert_eq!(s.get(0).unwrap(), Value::Utf8("1.5".into()));
+    }
+
+    #[test]
+    fn parse_string_to_int_with_garbage() {
+        let c = Column::from_strs(vec!["42", "nope", " 7 "]);
+        let i = cast(&c, DataType::Int64).unwrap();
+        assert_eq!(i.get(0).unwrap(), Value::Int64(42));
+        assert_eq!(i.get(1).unwrap(), Value::Null);
+        assert_eq!(i.get(2).unwrap(), Value::Int64(7));
+    }
+
+    #[test]
+    fn parse_string_to_bool() {
+        let c = Column::from_strs(vec!["true", "0", "what"]);
+        let b = cast(&c, DataType::Bool).unwrap();
+        assert_eq!(b.get(0).unwrap(), Value::Bool(true));
+        assert_eq!(b.get(1).unwrap(), Value::Bool(false));
+        assert_eq!(b.get(2).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn date_timestamp_round_trip() {
+        let d = Column::from_date(vec![19_000]);
+        let ts = cast(&d, DataType::Timestamp).unwrap();
+        assert_eq!(
+            ts.get(0).unwrap(),
+            Value::Timestamp(19_000i64 * 86_400_000_000)
+        );
+        let back = cast(&ts, DataType::Date).unwrap();
+        assert_eq!(back.get(0).unwrap(), Value::Date(19_000));
+    }
+
+    #[test]
+    fn negative_timestamp_to_date_floors() {
+        // One microsecond before epoch is day -1, not day 0.
+        assert_eq!(
+            cast_value(&Value::Timestamp(-1), DataType::Date).unwrap(),
+            Value::Date(-1)
+        );
+    }
+
+    #[test]
+    fn nulls_survive_cast() {
+        let c = Column::from_opt_i64(vec![Some(1), None]);
+        let f = cast(&c, DataType::Float64).unwrap();
+        assert_eq!(f.null_count(), 1);
+    }
+
+    #[test]
+    fn unsupported_cast_errors() {
+        assert!(cast_value(&Value::Bool(true), DataType::Date).is_err());
+    }
+}

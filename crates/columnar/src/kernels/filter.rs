@@ -1,0 +1,143 @@
+//! Selection kernels: `filter` (by boolean mask) and `take` (by index list).
+
+use crate::batch::RecordBatch;
+use crate::bitmap::Bitmap;
+use crate::column::Column;
+use crate::error::{ColumnarError, Result};
+
+/// Keep rows where `mask` is set. Mask length must equal column length.
+pub fn filter_column(col: &Column, mask: &Bitmap) -> Result<Column> {
+    if mask.len() != col.len() {
+        return Err(ColumnarError::LengthMismatch {
+            expected: col.len(),
+            actual: mask.len(),
+        });
+    }
+    let indices = mask.set_indices();
+    take_column(col, &indices)
+}
+
+/// Gather rows at `indices` (any order, duplicates allowed).
+pub fn take_column(col: &Column, indices: &[usize]) -> Result<Column> {
+    let len = col.len();
+    for &i in indices {
+        if i >= len {
+            return Err(ColumnarError::IndexOutOfBounds { index: i, len });
+        }
+    }
+    let validity = col.validity().map(|b| {
+        let mut nb = Bitmap::new_clear(indices.len());
+        for (out, &i) in indices.iter().enumerate() {
+            if b.get(i) {
+                nb.set(out);
+            }
+        }
+        nb
+    });
+    Ok(match col {
+        Column::Bool(v, _) => Column::Bool(gather(v, indices), validity),
+        Column::Int64(v, _) => Column::Int64(gather(v, indices), validity),
+        Column::Float64(v, _) => Column::Float64(gather(v, indices), validity),
+        Column::Utf8(v, _) => Column::Utf8(gather(v, indices), validity),
+        Column::Timestamp(v, _) => Column::Timestamp(gather(v, indices), validity),
+        Column::Date(v, _) => Column::Date(gather(v, indices), validity),
+    })
+}
+
+fn gather<T: Clone>(values: &[T], indices: &[usize]) -> Vec<T> {
+    indices.iter().map(|&i| values[i].clone()).collect()
+}
+
+/// Filter every column of a batch by the same mask.
+pub fn filter_batch(batch: &RecordBatch, mask: &Bitmap) -> Result<RecordBatch> {
+    let indices = mask.set_indices();
+    take_batch(batch, &indices)
+}
+
+/// Gather the same row indices from every column of a batch.
+pub fn take_batch(batch: &RecordBatch, indices: &[usize]) -> Result<RecordBatch> {
+    let columns = batch
+        .columns()
+        .iter()
+        .map(|c| take_column(c, indices))
+        .collect::<Result<Vec<_>>>()?;
+    RecordBatch::try_new(batch.schema().clone(), columns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datatype::{DataType, Value};
+    use crate::schema::{Field, Schema};
+
+    #[test]
+    fn filter_keeps_masked_rows() {
+        let c = Column::from_i64(vec![10, 20, 30, 40]);
+        let mask = Bitmap::from_bools(&[true, false, true, false]);
+        let f = filter_column(&c, &mask).unwrap();
+        assert_eq!(f.len(), 2);
+        assert_eq!(f.get(0).unwrap(), Value::Int64(10));
+        assert_eq!(f.get(1).unwrap(), Value::Int64(30));
+    }
+
+    #[test]
+    fn filter_length_mismatch() {
+        let c = Column::from_i64(vec![1]);
+        let mask = Bitmap::new_set(2);
+        assert!(filter_column(&c, &mask).is_err());
+    }
+
+    #[test]
+    fn take_with_duplicates_and_reorder() {
+        let c = Column::from_strs(vec!["a", "b", "c"]);
+        let t = take_column(&c, &[2, 0, 2]).unwrap();
+        assert_eq!(
+            t.iter_values().collect::<Vec<_>>(),
+            vec![
+                Value::Utf8("c".into()),
+                Value::Utf8("a".into()),
+                Value::Utf8("c".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn take_out_of_bounds() {
+        let c = Column::from_i64(vec![1, 2]);
+        assert!(take_column(&c, &[5]).is_err());
+    }
+
+    #[test]
+    fn take_preserves_nulls() {
+        let c = Column::from_opt_i64(vec![Some(1), None, Some(3)]);
+        let t = take_column(&c, &[1, 2, 1]).unwrap();
+        assert_eq!(t.null_count(), 2);
+        assert_eq!(t.get(1).unwrap(), Value::Int64(3));
+    }
+
+    #[test]
+    fn filter_batch_all_columns() {
+        let batch = RecordBatch::try_new(
+            Schema::new(vec![
+                Field::new("a", DataType::Int64, false),
+                Field::new("b", DataType::Utf8, false),
+            ]),
+            vec![
+                Column::from_i64(vec![1, 2, 3]),
+                Column::from_strs(vec!["x", "y", "z"]),
+            ],
+        )
+        .unwrap();
+        let mask = Bitmap::from_bools(&[false, true, true]);
+        let f = filter_batch(&batch, &mask).unwrap();
+        assert_eq!(f.num_rows(), 2);
+        assert_eq!(f.row(0).unwrap()[1], Value::Utf8("y".into()));
+    }
+
+    #[test]
+    fn take_empty_indices() {
+        let c = Column::from_f64(vec![1.0, 2.0]);
+        let t = take_column(&c, &[]).unwrap();
+        assert_eq!(t.len(), 0);
+    }
+}

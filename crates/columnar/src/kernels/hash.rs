@@ -1,0 +1,230 @@
+//! Row hashing for hash aggregation and hash joins, plus comparable row keys.
+//!
+//! Uses FNV-1a — small, deterministic across runs (important for the
+//! "same code + same data = same result" reproducibility invariant of the
+//! platform), and fast enough at reasonable scale.
+
+use crate::batch::RecordBatch;
+use crate::column::Column;
+use crate::datatype::Value;
+use crate::error::Result;
+
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+const FNV_PRIME: u64 = 0x100000001b3;
+
+/// FNV-1a over a byte slice, continuing from `state`.
+#[inline]
+pub fn fnv1a(state: u64, bytes: &[u8]) -> u64 {
+    let mut h = state;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Hash a single scalar into `state`. Each type gets a distinct tag byte so
+/// `Int64(0)` and `Float64(0.0)` (and nulls) never collide structurally.
+#[inline]
+pub fn hash_value(state: u64, v: &Value) -> u64 {
+    match v {
+        Value::Null => fnv1a(state, &[0x00]),
+        Value::Bool(b) => fnv1a(fnv1a(state, &[0x01]), &[*b as u8]),
+        Value::Int64(i) => fnv1a(fnv1a(state, &[0x02]), &i.to_le_bytes()),
+        Value::Float64(f) => fnv1a(fnv1a(state, &[0x03]), &f.to_bits().to_le_bytes()),
+        Value::Utf8(s) => fnv1a(fnv1a(state, &[0x04]), s.as_bytes()),
+        Value::Timestamp(t) => fnv1a(fnv1a(state, &[0x05]), &t.to_le_bytes()),
+        Value::Date(d) => fnv1a(fnv1a(state, &[0x06]), &d.to_le_bytes()),
+    }
+}
+
+/// Hash every row of a column.
+pub fn hash_column(col: &Column) -> Result<Vec<u64>> {
+    let mut out = Vec::with_capacity(col.len());
+    for i in 0..col.len() {
+        out.push(hash_value(FNV_OFFSET, &col.get(i)?));
+    }
+    Ok(out)
+}
+
+/// Hash rows across several columns of a batch (the group-by / join key).
+pub fn hash_batch_rows(batch: &RecordBatch, key_columns: &[usize]) -> Result<Vec<u64>> {
+    let n = batch.num_rows();
+    let mut hashes = vec![FNV_OFFSET; n];
+    for &c in key_columns {
+        let col = batch.column(c);
+        for (i, h) in hashes.iter_mut().enumerate() {
+            *h = hash_value(*h, &col.get(i)?);
+        }
+    }
+    Ok(hashes)
+}
+
+/// A hashable, equality-comparable key for a row's selected columns.
+///
+/// `Value` itself is not `Eq`/`Hash` because of floats; `RowKey` canonicalizes
+/// floats via their bit pattern (NaNs normalized) so it can live in hash maps.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RowKey(Vec<KeyPart>);
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum KeyPart {
+    Null,
+    Bool(bool),
+    Int(i64),
+    Float(u64),
+    Str(String),
+    Ts(i64),
+    Date(i32),
+}
+
+impl RowKey {
+    /// Build the key for row `row` over the given column indices.
+    pub fn from_batch(batch: &RecordBatch, key_columns: &[usize], row: usize) -> Result<RowKey> {
+        let mut parts = Vec::with_capacity(key_columns.len());
+        for &c in key_columns {
+            parts.push(KeyPart::from_value(&batch.column(c).get(row)?));
+        }
+        Ok(RowKey(parts))
+    }
+
+    /// Build a key from scalar values directly.
+    pub fn from_values(values: &[Value]) -> RowKey {
+        RowKey(values.iter().map(KeyPart::from_value).collect())
+    }
+
+    /// Recover the scalar values in this key.
+    pub fn to_values(&self) -> Vec<Value> {
+        self.0
+            .iter()
+            .map(|p| match p {
+                KeyPart::Null => Value::Null,
+                KeyPart::Bool(b) => Value::Bool(*b),
+                KeyPart::Int(i) => Value::Int64(*i),
+                KeyPart::Float(bits) => Value::Float64(f64::from_bits(*bits)),
+                KeyPart::Str(s) => Value::Utf8(s.clone()),
+                KeyPart::Ts(t) => Value::Timestamp(*t),
+                KeyPart::Date(d) => Value::Date(*d),
+            })
+            .collect()
+    }
+
+    /// True if any component is null (used by join semantics: null keys never
+    /// match).
+    pub fn has_null(&self) -> bool {
+        self.0.iter().any(|p| matches!(p, KeyPart::Null))
+    }
+}
+
+impl KeyPart {
+    fn from_value(v: &Value) -> KeyPart {
+        match v {
+            Value::Null => KeyPart::Null,
+            Value::Bool(b) => KeyPart::Bool(*b),
+            Value::Int64(i) => KeyPart::Int(*i),
+            // Normalize NaN payloads and -0.0 so equal-by-SQL floats compare
+            // equal as keys.
+            Value::Float64(f) => {
+                let canonical = if f.is_nan() {
+                    f64::NAN.to_bits()
+                } else if *f == 0.0 {
+                    0.0f64.to_bits()
+                } else {
+                    f.to_bits()
+                };
+                KeyPart::Float(canonical)
+            }
+            Value::Utf8(s) => KeyPart::Str(s.clone()),
+            Value::Timestamp(t) => KeyPart::Ts(*t),
+            Value::Date(d) => KeyPart::Date(*d),
+        }
+    }
+}
+
+/// Convenience alias for row keys used as map keys.
+pub fn row_key(values: &[Value]) -> RowKey {
+    RowKey::from_values(values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Field, Schema};
+    use crate::DataType;
+
+    #[test]
+    fn hash_is_deterministic() {
+        let c = Column::from_i64(vec![1, 2, 3]);
+        assert_eq!(hash_column(&c).unwrap(), hash_column(&c).unwrap());
+    }
+
+    #[test]
+    fn distinct_values_distinct_hashes() {
+        let c = Column::from_i64(vec![1, 2]);
+        let h = hash_column(&c).unwrap();
+        assert_ne!(h[0], h[1]);
+    }
+
+    #[test]
+    fn type_tags_prevent_cross_type_collisions() {
+        let a = hash_value(FNV_OFFSET, &Value::Int64(0));
+        let b = hash_value(FNV_OFFSET, &Value::Float64(0.0));
+        let n = hash_value(FNV_OFFSET, &Value::Null);
+        assert_ne!(a, b);
+        assert_ne!(a, n);
+    }
+
+    #[test]
+    fn batch_row_hash_combines_columns() {
+        let batch = RecordBatch::try_new(
+            Schema::new(vec![
+                Field::new("a", DataType::Int64, false),
+                Field::new("b", DataType::Utf8, false),
+            ]),
+            vec![
+                Column::from_i64(vec![1, 1]),
+                Column::from_strs(vec!["x", "y"]),
+            ],
+        )
+        .unwrap();
+        let h = hash_batch_rows(&batch, &[0, 1]).unwrap();
+        assert_ne!(h[0], h[1]);
+        let h_single = hash_batch_rows(&batch, &[0]).unwrap();
+        assert_eq!(h_single[0], h_single[1]);
+    }
+
+    #[test]
+    fn row_key_round_trip() {
+        let vals = vec![
+            Value::Int64(1),
+            Value::Utf8("x".into()),
+            Value::Null,
+            Value::Float64(2.5),
+        ];
+        let k = RowKey::from_values(&vals);
+        assert_eq!(k.to_values(), vals);
+        assert!(k.has_null());
+    }
+
+    #[test]
+    fn row_key_float_normalization() {
+        let a = RowKey::from_values(&[Value::Float64(0.0)]);
+        let b = RowKey::from_values(&[Value::Float64(-0.0)]);
+        assert_eq!(a, b);
+        let n1 = RowKey::from_values(&[Value::Float64(f64::NAN)]);
+        let n2 = RowKey::from_values(&[Value::Float64(f64::NAN)]);
+        assert_eq!(n1, n2);
+    }
+
+    #[test]
+    fn row_key_usable_in_hashmap() {
+        use std::collections::HashMap;
+        let mut m: HashMap<RowKey, usize> = HashMap::new();
+        m.insert(row_key(&[Value::Int64(1), Value::Utf8("a".into())]), 10);
+        assert_eq!(
+            m.get(&row_key(&[Value::Int64(1), Value::Utf8("a".into())])),
+            Some(&10)
+        );
+        assert_eq!(m.get(&row_key(&[Value::Int64(2)])), None);
+    }
+}

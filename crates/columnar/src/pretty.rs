@@ -1,0 +1,110 @@
+//! ASCII-table rendering of record batches for CLI output and examples.
+
+use crate::batch::RecordBatch;
+
+/// Render a batch as a boxed ASCII table, capping at `max_rows` data rows
+/// (a trailing ellipsis row indicates truncation).
+pub fn format_batch(batch: &RecordBatch, max_rows: usize) -> String {
+    let names: Vec<String> = batch
+        .schema()
+        .fields()
+        .iter()
+        .map(|f| f.name().to_string())
+        .collect();
+    let shown = batch.num_rows().min(max_rows);
+    let mut cells: Vec<Vec<String>> = Vec::with_capacity(shown);
+    for r in 0..shown {
+        let row = batch
+            .row(r)
+            .map(|vs| vs.iter().map(|v| v.to_string()).collect())
+            .unwrap_or_else(|_| vec!["<err>".to_string(); names.len()]);
+        cells.push(row);
+    }
+    let mut widths: Vec<usize> = names.iter().map(String::len).collect();
+    for row in &cells {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let sep = {
+        let mut s = String::from("+");
+        for w in &widths {
+            s.push_str(&"-".repeat(w + 2));
+            s.push('+');
+        }
+        s
+    };
+    let fmt_row = |row: &[String]| {
+        let mut s = String::from("|");
+        for (cell, w) in row.iter().zip(&widths) {
+            s.push_str(&format!(" {cell:w$} |"));
+        }
+        s
+    };
+    let mut out = String::new();
+    out.push_str(&sep);
+    out.push('\n');
+    out.push_str(&fmt_row(&names));
+    out.push('\n');
+    out.push_str(&sep);
+    out.push('\n');
+    for row in &cells {
+        out.push_str(&fmt_row(row));
+        out.push('\n');
+    }
+    if batch.num_rows() > shown {
+        out.push_str(&format!(
+            "| ... {} more rows ...\n",
+            batch.num_rows() - shown
+        ));
+    }
+    out.push_str(&sep);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Column, DataType, Field, Schema};
+
+    #[test]
+    fn renders_header_and_rows() {
+        let b = RecordBatch::try_new(
+            Schema::new(vec![
+                Field::new("id", DataType::Int64, false),
+                Field::new("name", DataType::Utf8, true),
+            ]),
+            vec![
+                Column::from_i64(vec![1, 2]),
+                Column::from_opt_str(vec![Some("alpha"), None]),
+            ],
+        )
+        .unwrap();
+        let s = format_batch(&b, 10);
+        assert!(s.contains("| id | name"));
+        assert!(s.contains("alpha"));
+        assert!(s.contains("NULL"));
+    }
+
+    #[test]
+    fn truncates_rows() {
+        let b = RecordBatch::try_new(
+            Schema::new(vec![Field::new("x", DataType::Int64, false)]),
+            vec![Column::from_i64((0..100).collect())],
+        )
+        .unwrap();
+        let s = format_batch(&b, 5);
+        assert!(s.contains("95 more rows"));
+    }
+
+    #[test]
+    fn empty_batch_renders() {
+        let b = RecordBatch::new_empty(Schema::new(vec![Field::new(
+            "x",
+            DataType::Utf8,
+            true,
+        )]));
+        let s = format_batch(&b, 5);
+        assert!(s.contains("| x"));
+    }
+}

@@ -1,0 +1,189 @@
+//! Named, typed column metadata: [`Field`] and [`Schema`].
+
+use crate::datatype::DataType;
+use crate::error::{ColumnarError, Result};
+use std::fmt;
+use std::sync::Arc;
+
+/// One named, typed column in a schema.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Field {
+    name: String,
+    data_type: DataType,
+    nullable: bool,
+}
+
+impl Field {
+    pub fn new(name: impl Into<String>, data_type: DataType, nullable: bool) -> Self {
+        Field {
+            name: name.into(),
+            data_type,
+            nullable,
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn data_type(&self) -> DataType {
+        self.data_type
+    }
+
+    pub fn nullable(&self) -> bool {
+        self.nullable
+    }
+
+    /// A copy of this field with a different name (used by `AS` aliases).
+    pub fn with_name(&self, name: impl Into<String>) -> Field {
+        Field {
+            name: name.into(),
+            data_type: self.data_type,
+            nullable: self.nullable,
+        }
+    }
+}
+
+impl fmt::Display for Field {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {}{}",
+            self.name,
+            self.data_type,
+            if self.nullable { "" } else { " NOT NULL" }
+        )
+    }
+}
+
+/// An ordered collection of fields. Cheap to clone (Arc inside).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    fields: Arc<Vec<Field>>,
+}
+
+impl Schema {
+    pub fn new(fields: Vec<Field>) -> Self {
+        Schema {
+            fields: Arc::new(fields),
+        }
+    }
+
+    /// The empty schema.
+    pub fn empty() -> Self {
+        Schema::new(vec![])
+    }
+
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Index of the field named `name` (exact, case-sensitive first, then
+    /// case-insensitive fallback, matching common SQL engines' leniency).
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        if let Some(i) = self.fields.iter().position(|f| f.name == name) {
+            return Ok(i);
+        }
+        self.fields
+            .iter()
+            .position(|f| f.name.eq_ignore_ascii_case(name))
+            .ok_or_else(|| ColumnarError::FieldNotFound(name.to_string()))
+    }
+
+    /// The field named `name`.
+    pub fn field_with_name(&self, name: &str) -> Result<&Field> {
+        self.index_of(name).map(|i| &self.fields[i])
+    }
+
+    pub fn field(&self, i: usize) -> &Field {
+        &self.fields[i]
+    }
+
+    /// True if a field with this name exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.index_of(name).is_ok()
+    }
+
+    /// A new schema containing only the named fields, in the given order.
+    pub fn project(&self, names: &[&str]) -> Result<Schema> {
+        let fields = names
+            .iter()
+            .map(|n| self.field_with_name(n).cloned())
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Schema::new(fields))
+    }
+
+    /// Field names in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.fields.iter().map(|f| f.name()).collect()
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self.fields.iter().map(|x| x.to_string()).collect();
+        write!(f, "({})", parts.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("id", DataType::Int64, false),
+            Field::new("name", DataType::Utf8, true),
+            Field::new("score", DataType::Float64, true),
+        ])
+    }
+
+    #[test]
+    fn index_of_exact_and_ci() {
+        let s = schema();
+        assert_eq!(s.index_of("id").unwrap(), 0);
+        assert_eq!(s.index_of("NAME").unwrap(), 1);
+        assert!(s.index_of("missing").is_err());
+    }
+
+    #[test]
+    fn case_sensitive_wins_over_insensitive() {
+        let s = Schema::new(vec![
+            Field::new("ID", DataType::Int64, false),
+            Field::new("id", DataType::Utf8, true),
+        ]);
+        assert_eq!(s.index_of("id").unwrap(), 1);
+        assert_eq!(s.index_of("ID").unwrap(), 0);
+    }
+
+    #[test]
+    fn project_reorders() {
+        let s = schema();
+        let p = s.project(&["score", "id"]).unwrap();
+        assert_eq!(p.names(), vec!["score", "id"]);
+        assert!(s.project(&["nope"]).is_err());
+    }
+
+    #[test]
+    fn display_formats() {
+        let s = schema();
+        let d = s.to_string();
+        assert!(d.contains("id BIGINT NOT NULL"));
+        assert!(d.contains("name VARCHAR"));
+    }
+
+    #[test]
+    fn with_name_keeps_type() {
+        let f = Field::new("a", DataType::Date, true).with_name("b");
+        assert_eq!(f.name(), "b");
+        assert_eq!(f.data_type(), DataType::Date);
+    }
+}

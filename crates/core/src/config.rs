@@ -1,0 +1,76 @@
+//! Platform configuration.
+
+use lakehouse_planner::ExecutionMode;
+use lakehouse_runtime::RuntimeConfig;
+use lakehouse_store::LatencyModel;
+
+/// Configuration for a [`crate::Lakehouse`].
+#[derive(Debug, Clone)]
+pub struct LakehouseConfig {
+    /// Object-store prefix for table data/metadata.
+    pub warehouse_prefix: String,
+    /// Object-store prefix for the catalog.
+    pub catalog_prefix: String,
+    /// Latency model for the simulated object store.
+    pub latency: LatencyModel,
+    /// How pipeline runs map steps to containers.
+    pub execution_mode: ExecutionMode,
+    /// Serverless runtime tuning.
+    pub runtime: RuntimeConfig,
+    /// Default memory estimate per pipeline step (drives fusion packing and
+    /// the per-invocation memory grant).
+    pub default_step_memory: u64,
+    /// Author recorded on catalog commits.
+    pub author: String,
+    /// Row-group size for table writes.
+    pub row_group_rows: usize,
+    /// Worker threads for parallel SQL operators (1 = serial; the paper's
+    /// §5 "parallelizing SQL execution").
+    pub sql_parallelism: usize,
+}
+
+impl Default for LakehouseConfig {
+    fn default() -> Self {
+        LakehouseConfig {
+            warehouse_prefix: "warehouse".into(),
+            catalog_prefix: "_catalog".into(),
+            latency: LatencyModel::s3_like(),
+            execution_mode: ExecutionMode::Fused,
+            runtime: RuntimeConfig::default(),
+            default_step_memory: 512 * 1024 * 1024,
+            author: "bauplan".into(),
+            row_group_rows: 8192,
+            sql_parallelism: 1,
+        }
+    }
+}
+
+impl LakehouseConfig {
+    /// The naive one-function-per-node configuration (the paper's first
+    /// version, used as the baseline in benches).
+    pub fn naive() -> Self {
+        LakehouseConfig {
+            execution_mode: ExecutionMode::Naive,
+            ..Default::default()
+        }
+    }
+
+    /// Zero-latency store (unit tests that don't care about timing).
+    pub fn zero_latency() -> Self {
+        LakehouseConfig {
+            latency: LatencyModel::zero(),
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_fused() {
+        assert_eq!(LakehouseConfig::default().execution_mode, ExecutionMode::Fused);
+        assert_eq!(LakehouseConfig::naive().execution_mode, ExecutionMode::Naive);
+    }
+}

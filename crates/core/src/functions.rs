@@ -1,0 +1,265 @@
+//! Native function registry: the Rust stand-in for the paper's Python steps.
+//!
+//! "As long as two languages can speak a common dialect over those tuples,
+//! they can operate together" (§4.4.1) — here the common dialect is the
+//! columnar [`RecordBatch`]; functions receive their named inputs as batches
+//! and return either a new artifact or an expectation verdict.
+
+use crate::error::{BauplanError, Result};
+use lakehouse_columnar::RecordBatch;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Inputs handed to a native function: one batch per declared input name.
+#[derive(Debug, Clone)]
+pub struct FnContext {
+    pub inputs: HashMap<String, RecordBatch>,
+}
+
+impl FnContext {
+    /// Fetch a named input.
+    pub fn input(&self, name: &str) -> Result<&RecordBatch> {
+        self.inputs.get(name).ok_or_else(|| {
+            BauplanError::Config(format!("function input '{name}' was not provided"))
+        })
+    }
+}
+
+/// What a native function produces.
+#[derive(Debug, Clone)]
+pub enum FnOutput {
+    /// A new artifact to materialize.
+    Batch(RecordBatch),
+    /// An expectation verdict: `true` = data is healthy.
+    Expectation(bool),
+}
+
+/// A registered native function.
+pub type NativeFunction = Arc<dyn Fn(&FnContext) -> Result<FnOutput> + Send + Sync>;
+
+/// Name → implementation registry, shared by the platform and the CLI.
+#[derive(Clone, Default)]
+pub struct FunctionRegistry {
+    functions: HashMap<String, NativeFunction>,
+}
+
+impl FunctionRegistry {
+    pub fn new() -> FunctionRegistry {
+        FunctionRegistry::default()
+    }
+
+    /// Register a function under an id (referenced by `NodeDef::function`).
+    pub fn register(
+        &mut self,
+        id: impl Into<String>,
+        f: impl Fn(&FnContext) -> Result<FnOutput> + Send + Sync + 'static,
+    ) {
+        self.functions.insert(id.into(), Arc::new(f));
+    }
+
+    pub fn get(&self, id: &str) -> Result<NativeFunction> {
+        self.functions.get(id).cloned().ok_or_else(|| {
+            BauplanError::Config(format!("native function '{id}' is not registered"))
+        })
+    }
+
+    pub fn contains(&self, id: &str) -> bool {
+        self.functions.contains_key(id)
+    }
+}
+
+impl std::fmt::Debug for FunctionRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FunctionRegistry")
+            .field("functions", &self.functions.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+/// Ready-made expectation builders mirroring common data tests.
+pub mod builtins {
+    use super::*;
+    use lakehouse_columnar::kernels::agg::aggregate_column;
+    use lakehouse_columnar::kernels::Aggregator;
+
+    /// The paper's Appendix A expectation: `mean(input[column]) > threshold`.
+    pub fn mean_greater_than(
+        input: &str,
+        column: &str,
+        threshold: f64,
+    ) -> impl Fn(&FnContext) -> Result<FnOutput> + Send + Sync {
+        let input = input.to_string();
+        let column = column.to_string();
+        move |ctx| {
+            let batch = ctx.input(&input)?;
+            let col = batch.column_by_name(&column)?;
+            let mean = aggregate_column(Aggregator::Avg, col)?;
+            Ok(FnOutput::Expectation(
+                mean.as_f64().is_some_and(|m| m > threshold),
+            ))
+        }
+    }
+
+    /// Expectation: the input has at least `min_rows` rows.
+    pub fn min_row_count(
+        input: &str,
+        min_rows: usize,
+    ) -> impl Fn(&FnContext) -> Result<FnOutput> + Send + Sync {
+        let input = input.to_string();
+        move |ctx| Ok(FnOutput::Expectation(ctx.input(&input)?.num_rows() >= min_rows))
+    }
+
+    /// Expectation: a column has no nulls.
+    pub fn no_nulls(
+        input: &str,
+        column: &str,
+    ) -> impl Fn(&FnContext) -> Result<FnOutput> + Send + Sync {
+        let input = input.to_string();
+        let column = column.to_string();
+        move |ctx| {
+            let batch = ctx.input(&input)?;
+            let col = batch.column_by_name(&column)?;
+            Ok(FnOutput::Expectation(col.null_count() == 0))
+        }
+    }
+
+    /// Expectation: every non-null value of a column lies in `[lo, hi]`.
+    pub fn values_in_range(
+        input: &str,
+        column: &str,
+        lo: f64,
+        hi: f64,
+    ) -> impl Fn(&FnContext) -> Result<FnOutput> + Send + Sync {
+        let input = input.to_string();
+        let column = column.to_string();
+        move |ctx| {
+            let batch = ctx.input(&input)?;
+            let col = batch.column_by_name(&column)?;
+            let ok = col.iter_values().all(|v| match v.as_f64() {
+                Some(x) => x >= lo && x <= hi,
+                None => v.is_null(),
+            });
+            Ok(FnOutput::Expectation(ok))
+        }
+    }
+
+    /// Expectation: a column's non-null values are unique (a key).
+    pub fn unique_key(
+        input: &str,
+        column: &str,
+    ) -> impl Fn(&FnContext) -> Result<FnOutput> + Send + Sync {
+        let input = input.to_string();
+        let column = column.to_string();
+        move |ctx| {
+            let batch = ctx.input(&input)?;
+            let col = batch.column_by_name(&column)?;
+            let mut seen = std::collections::HashSet::new();
+            for v in col.iter_values() {
+                if v.is_null() {
+                    continue;
+                }
+                let key = lakehouse_columnar::kernels::hash::RowKey::from_values(
+                    std::slice::from_ref(&v),
+                );
+                if !seen.insert(key) {
+                    return Ok(FnOutput::Expectation(false));
+                }
+            }
+            Ok(FnOutput::Expectation(true))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lakehouse_columnar::{Column, DataType, Field, Schema};
+
+    fn ctx(rows: Vec<i64>) -> FnContext {
+        let batch = RecordBatch::try_new(
+            Schema::new(vec![Field::new("count", DataType::Int64, false)]),
+            vec![Column::from_i64(rows)],
+        )
+        .unwrap();
+        FnContext {
+            inputs: HashMap::from([("trips".to_string(), batch)]),
+        }
+    }
+
+    #[test]
+    fn register_and_call() {
+        let mut reg = FunctionRegistry::new();
+        reg.register("double_check", |_ctx| Ok(FnOutput::Expectation(true)));
+        assert!(reg.contains("double_check"));
+        let f = reg.get("double_check").unwrap();
+        match f(&ctx(vec![1])).unwrap() {
+            FnOutput::Expectation(b) => assert!(b),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn unknown_function_errors() {
+        assert!(FunctionRegistry::new().get("ghost").is_err());
+    }
+
+    #[test]
+    fn mean_expectation_matches_paper() {
+        // Paper: `m = trips['count'].mean(); return m > 10`.
+        let f = builtins::mean_greater_than("trips", "count", 10.0);
+        match f(&ctx(vec![20, 30])).unwrap() {
+            FnOutput::Expectation(b) => assert!(b),
+            _ => panic!(),
+        }
+        match f(&ctx(vec![1, 2])).unwrap() {
+            FnOutput::Expectation(b) => assert!(!b),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn min_row_count_and_no_nulls() {
+        let f = builtins::min_row_count("trips", 2);
+        match f(&ctx(vec![1, 2, 3])).unwrap() {
+            FnOutput::Expectation(b) => assert!(b),
+            _ => panic!(),
+        }
+        let g = builtins::no_nulls("trips", "count");
+        match g(&ctx(vec![1])).unwrap() {
+            FnOutput::Expectation(b) => assert!(b),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn values_in_range_check() {
+        let f = builtins::values_in_range("trips", "count", 0.0, 100.0);
+        match f(&ctx(vec![1, 50, 100])).unwrap() {
+            FnOutput::Expectation(b) => assert!(b),
+            _ => panic!(),
+        }
+        match f(&ctx(vec![1, 101])).unwrap() {
+            FnOutput::Expectation(b) => assert!(!b),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn unique_key_check() {
+        let f = builtins::unique_key("trips", "count");
+        match f(&ctx(vec![1, 2, 3])).unwrap() {
+            FnOutput::Expectation(b) => assert!(b),
+            _ => panic!(),
+        }
+        match f(&ctx(vec![1, 2, 1])).unwrap() {
+            FnOutput::Expectation(b) => assert!(!b),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn missing_input_is_config_error() {
+        let f = builtins::min_row_count("ghost", 1);
+        assert!(f(&ctx(vec![1])).is_err());
+    }
+}

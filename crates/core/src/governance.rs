@@ -1,0 +1,279 @@
+//! Access control and governance — the paper's §5 future-work item
+//! ("securing data through seamless, yet secure authentication") and its §2
+//! cloud-first principle ("all work and access are centralized, auditable,
+//! and aligned with security and governance policies").
+//!
+//! The model is deliberately simple and auditable: principals carry roles;
+//! grants bind a role to an action on a resource pattern; the platform
+//! checks every query/run/branch operation against the policy and records
+//! an audit event either way.
+
+use parking_lot::RwLock;
+use std::fmt;
+
+/// Who is acting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Principal {
+    pub name: String,
+    pub roles: Vec<String>,
+}
+
+impl Principal {
+    pub fn new(name: impl Into<String>, roles: Vec<&str>) -> Principal {
+        Principal {
+            name: name.into(),
+            roles: roles.into_iter().map(String::from).collect(),
+        }
+    }
+}
+
+/// What they are trying to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Read tables / run queries on a ref.
+    Read,
+    /// Materialize artifacts (pipeline runs, table writes) on a branch.
+    Write,
+    /// Create branches or tags.
+    Branch,
+    /// Merge into a branch.
+    Merge,
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Action::Read => "read",
+            Action::Write => "write",
+            Action::Branch => "branch",
+            Action::Merge => "merge",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One grant: role may perform action on refs matching the pattern
+/// (`*` = any ref; `feat_*` = prefix match; exact otherwise).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Grant {
+    pub role: String,
+    pub action: Action,
+    pub ref_pattern: String,
+}
+
+impl Grant {
+    pub fn new(role: &str, action: Action, ref_pattern: &str) -> Grant {
+        Grant {
+            role: role.into(),
+            action,
+            ref_pattern: ref_pattern.into(),
+        }
+    }
+
+    fn matches(&self, roles: &[String], action: Action, reference: &str) -> bool {
+        if self.action != action || !roles.contains(&self.role) {
+            return false;
+        }
+        pattern_matches(&self.ref_pattern, reference)
+    }
+}
+
+fn pattern_matches(pattern: &str, value: &str) -> bool {
+    if pattern == "*" {
+        return true;
+    }
+    match pattern.strip_suffix('*') {
+        Some(prefix) => value.starts_with(prefix),
+        None => pattern == value,
+    }
+}
+
+/// One audit-log entry (the "full auditability" principle).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditEvent {
+    pub principal: String,
+    pub action: Action,
+    pub reference: String,
+    pub allowed: bool,
+    /// What the principal was doing (SQL text, run project name...).
+    pub detail: String,
+}
+
+/// The access controller: policy + audit log.
+///
+/// With no grants installed the controller is **permissive** (everything
+/// allowed but still audited), so single-user development needs no setup —
+/// the paper's "seamless" requirement.
+#[derive(Debug, Default)]
+pub struct AccessController {
+    grants: RwLock<Vec<Grant>>,
+    audit: RwLock<Vec<AuditEvent>>,
+    enforcing: RwLock<bool>,
+}
+
+impl AccessController {
+    pub fn new() -> AccessController {
+        AccessController::default()
+    }
+
+    /// Install grants and switch to enforcing mode.
+    pub fn set_policy(&self, grants: Vec<Grant>) {
+        *self.grants.write() = grants;
+        *self.enforcing.write() = true;
+    }
+
+    /// Drop back to permissive (audit-only) mode.
+    pub fn disable_enforcement(&self) {
+        *self.enforcing.write() = false;
+    }
+
+    pub fn is_enforcing(&self) -> bool {
+        *self.enforcing.read()
+    }
+
+    /// Check and audit an access. Returns whether it is allowed.
+    pub fn check(
+        &self,
+        principal: &Principal,
+        action: Action,
+        reference: &str,
+        detail: &str,
+    ) -> bool {
+        let allowed = if !*self.enforcing.read() {
+            true
+        } else {
+            self.grants
+                .read()
+                .iter()
+                .any(|g| g.matches(&principal.roles, action, reference))
+        };
+        self.audit.write().push(AuditEvent {
+            principal: principal.name.clone(),
+            action,
+            reference: reference.to_string(),
+            allowed,
+            detail: detail.to_string(),
+        });
+        allowed
+    }
+
+    /// The audit trail, oldest first.
+    pub fn audit_log(&self) -> Vec<AuditEvent> {
+        self.audit.read().clone()
+    }
+
+    /// Denied events only (the interesting ones for security review).
+    pub fn denials(&self) -> Vec<AuditEvent> {
+        self.audit
+            .read()
+            .iter()
+            .filter(|e| !e.allowed)
+            .cloned()
+            .collect()
+    }
+}
+
+/// A ready-made policy matching the paper's dev/prod split:
+///
+/// * `analyst` — read anywhere;
+/// * `engineer` — read anywhere, write/branch/merge on non-production refs;
+/// * `deployer` — everything everywhere (the orchestrator identity).
+pub fn standard_policy(production_branch: &str) -> Vec<Grant> {
+    let mut grants = vec![
+        Grant::new("analyst", Action::Read, "*"),
+        Grant::new("engineer", Action::Read, "*"),
+        Grant::new("engineer", Action::Write, "feat_*"),
+        Grant::new("engineer", Action::Write, "run_*"),
+        Grant::new("engineer", Action::Branch, "*"),
+        Grant::new("engineer", Action::Merge, "feat_*"),
+        Grant::new("deployer", Action::Read, "*"),
+        Grant::new("deployer", Action::Write, "*"),
+        Grant::new("deployer", Action::Branch, "*"),
+        Grant::new("deployer", Action::Merge, "*"),
+    ];
+    // Engineers may not write or merge into production.
+    grants.retain(|g| {
+        !(g.role == "engineer"
+            && (g.action == Action::Write || g.action == Action::Merge)
+            && pattern_matches(&g.ref_pattern, production_branch))
+    });
+    grants
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engineer() -> Principal {
+        Principal::new("dev-1", vec!["engineer"])
+    }
+
+    #[test]
+    fn permissive_by_default_but_audited() {
+        let ac = AccessController::new();
+        assert!(!ac.is_enforcing());
+        assert!(ac.check(&engineer(), Action::Write, "main", "create table"));
+        assert_eq!(ac.audit_log().len(), 1);
+        assert!(ac.audit_log()[0].allowed);
+    }
+
+    #[test]
+    fn standard_policy_blocks_engineer_prod_writes() {
+        let ac = AccessController::new();
+        ac.set_policy(standard_policy("main"));
+        let dev = engineer();
+        assert!(ac.check(&dev, Action::Read, "main", "query"));
+        assert!(ac.check(&dev, Action::Write, "feat_1", "run"));
+        assert!(!ac.check(&dev, Action::Write, "main", "run"));
+        assert!(!ac.check(&dev, Action::Merge, "main", "merge feat_1"));
+        assert_eq!(ac.denials().len(), 2);
+    }
+
+    #[test]
+    fn deployer_can_do_everything() {
+        let ac = AccessController::new();
+        ac.set_policy(standard_policy("main"));
+        let bot = Principal::new("orchestrator", vec!["deployer"]);
+        for action in [Action::Read, Action::Write, Action::Branch, Action::Merge] {
+            assert!(ac.check(&bot, action, "main", "cron"));
+        }
+    }
+
+    #[test]
+    fn analyst_read_only() {
+        let ac = AccessController::new();
+        ac.set_policy(standard_policy("main"));
+        let a = Principal::new("ana", vec!["analyst"]);
+        assert!(ac.check(&a, Action::Read, "feat_x", "query"));
+        assert!(!ac.check(&a, Action::Write, "feat_x", "run"));
+        assert!(!ac.check(&a, Action::Branch, "feat_x", "branch"));
+    }
+
+    #[test]
+    fn unknown_role_denied_when_enforcing() {
+        let ac = AccessController::new();
+        ac.set_policy(standard_policy("main"));
+        let ghost = Principal::new("ghost", vec!["unknown"]);
+        assert!(!ac.check(&ghost, Action::Read, "main", "query"));
+    }
+
+    #[test]
+    fn pattern_semantics() {
+        assert!(pattern_matches("*", "anything"));
+        assert!(pattern_matches("feat_*", "feat_1"));
+        assert!(pattern_matches("feat_*", "feat_"));
+        assert!(!pattern_matches("feat_*", "main"));
+        assert!(pattern_matches("main", "main"));
+        assert!(!pattern_matches("main", "main2"));
+    }
+
+    #[test]
+    fn disable_enforcement_restores_permissive() {
+        let ac = AccessController::new();
+        ac.set_policy(vec![]);
+        let p = engineer();
+        assert!(!ac.check(&p, Action::Read, "main", "q"));
+        ac.disable_enforcement();
+        assert!(ac.check(&p, Action::Read, "main", "q"));
+    }
+}

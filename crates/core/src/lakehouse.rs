@@ -1,0 +1,520 @@
+//! The [`Lakehouse`] façade: branches, tables, queries, and run bookkeeping.
+
+use crate::config::LakehouseConfig;
+use crate::error::{BauplanError, Result};
+use crate::estimator::MemoryEstimator;
+use crate::functions::{FnContext, FnOutput, FunctionRegistry};
+use crate::governance::{AccessController, Action, Grant, Principal};
+use crate::provider::LakehouseProvider;
+use lakehouse_catalog::{Catalog, Commit, CommitId, ContentRef, Operation, Reference};
+use lakehouse_columnar::RecordBatch;
+use lakehouse_planner::RunRegistry;
+use lakehouse_runtime::{Runtime, SimClock};
+use lakehouse_sql::SqlEngine;
+use lakehouse_store::{
+    InMemoryStore, ObjectStore, SimulatedStore, StoreMetrics,
+};
+use lakehouse_table::{PartitionSpec, SnapshotOperation, Table};
+use parking_lot::{Mutex, RwLock};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The serverless lakehouse platform. See the crate docs for the overview.
+pub struct Lakehouse {
+    pub(crate) config: LakehouseConfig,
+    /// Concrete store handle (metrics access).
+    store: Arc<SimulatedStore<Box<dyn ObjectStore>>>,
+    /// The same store as a trait object for the substrates.
+    pub(crate) store_dyn: Arc<dyn ObjectStore>,
+    pub(crate) catalog: Arc<Catalog>,
+    pub(crate) runtime: Runtime,
+    pub(crate) engine: SqlEngine,
+    pub(crate) functions: RwLock<FunctionRegistry>,
+    pub(crate) runs: Mutex<RunRegistry>,
+    pub(crate) access: AccessController,
+    pub(crate) estimator: MemoryEstimator,
+    table_counter: AtomicU64,
+}
+
+impl Lakehouse {
+    /// Create a lakehouse over a fresh in-memory simulated object store.
+    pub fn in_memory(config: LakehouseConfig) -> Result<Lakehouse> {
+        Self::with_backend(Box::new(InMemoryStore::new()), config, true)
+    }
+
+    /// Create (or open) a lakehouse persisted under a local directory —
+    /// what the `bauplan` CLI uses so state survives across invocations.
+    pub fn on_disk(path: impl AsRef<std::path::Path>, config: LakehouseConfig) -> Result<Lakehouse> {
+        let backend = lakehouse_store::LocalFsStore::new(path)?;
+        // Initialize the catalog only on first use.
+        let refs_path = lakehouse_store::ObjectPath::new(format!(
+            "{}/refs.json",
+            config.catalog_prefix
+        ))?;
+        let fresh = !backend.exists(&refs_path);
+        Self::with_backend(Box::new(backend), config, fresh)
+    }
+
+    fn with_backend(
+        backend: Box<dyn ObjectStore>,
+        config: LakehouseConfig,
+        init_catalog: bool,
+    ) -> Result<Lakehouse> {
+        let store = Arc::new(SimulatedStore::new(backend, config.latency.clone()));
+        let store_dyn: Arc<dyn ObjectStore> = Arc::clone(&store) as Arc<dyn ObjectStore>;
+        let catalog = Arc::new(if init_catalog {
+            Catalog::init(Arc::clone(&store_dyn), config.catalog_prefix.clone())?
+        } else {
+            Catalog::open(Arc::clone(&store_dyn), config.catalog_prefix.clone())?
+        });
+        let runtime = Runtime::new(config.runtime.clone());
+        let engine = SqlEngine::new().with_parallelism(config.sql_parallelism);
+        Ok(Lakehouse {
+            config,
+            store,
+            store_dyn,
+            catalog,
+            runtime,
+            engine,
+            functions: RwLock::new(FunctionRegistry::new()),
+            runs: Mutex::new(RunRegistry::new()),
+            access: AccessController::new(),
+            estimator: MemoryEstimator::new(),
+            table_counter: AtomicU64::new(0),
+        })
+    }
+
+    // ---- introspection -----------------------------------------------------
+
+    /// Simulated-latency metrics of the object store.
+    pub fn store_metrics(&self) -> Arc<StoreMetrics> {
+        self.store.metrics()
+    }
+
+    /// The runtime's simulated clock (startup/datapass events).
+    pub fn clock(&self) -> &SimClock {
+        self.runtime.clock()
+    }
+
+    pub fn runtime(&self) -> &Runtime {
+        &self.runtime
+    }
+
+    pub fn catalog(&self) -> &Arc<Catalog> {
+        &self.catalog
+    }
+
+    pub fn config(&self) -> &LakehouseConfig {
+        &self.config
+    }
+
+    // ---- git-for-data surface (paper §4.3) ----------------------------------
+
+    /// Create a branch from another ref (or empty).
+    pub fn create_branch(&self, name: &str, from: Option<&str>) -> Result<Reference> {
+        Ok(self.catalog.create_branch(name, from)?)
+    }
+
+    /// Create an immutable tag.
+    pub fn create_tag(&self, name: &str, from: &str) -> Result<Reference> {
+        Ok(self.catalog.create_tag(name, from)?)
+    }
+
+    /// Merge `from` into `to` (three-way with conflict detection).
+    pub fn merge(&self, from: &str, to: &str) -> Result<Option<CommitId>> {
+        Ok(self.catalog.merge(from, to, &self.config.author)?)
+    }
+
+    /// Delete a branch or tag.
+    pub fn delete_branch(&self, name: &str) -> Result<()> {
+        Ok(self.catalog.delete_ref(name)?)
+    }
+
+    /// Commit log of a ref, newest first.
+    pub fn log(&self, reference: &str, limit: usize) -> Result<Vec<(CommitId, Commit)>> {
+        Ok(self.catalog.log(reference, limit)?)
+    }
+
+    /// All refs.
+    pub fn list_refs(&self) -> Result<Vec<Reference>> {
+        Ok(self.catalog.list_refs()?)
+    }
+
+    /// Garbage-collect catalog commits unreachable from any ref (run after
+    /// deleting branches).
+    pub fn gc_catalog(&self) -> Result<usize> {
+        Ok(self.catalog.gc()?)
+    }
+
+    /// Table names visible at a ref.
+    pub fn list_tables(&self, reference: &str) -> Result<Vec<String>> {
+        Ok(self
+            .catalog
+            .state_at(reference)?
+            .keys()
+            .map(String::from)
+            .collect())
+    }
+
+    // ---- tables -------------------------------------------------------------
+
+    /// Create a table from a batch and commit it to `branch`.
+    pub fn create_table(&self, name: &str, batch: &RecordBatch, branch: &str) -> Result<()> {
+        self.create_table_partitioned(name, batch, branch, PartitionSpec::unpartitioned())
+    }
+
+    /// Create a partitioned table from a batch and commit it to `branch`.
+    pub fn create_table_partitioned(
+        &self,
+        name: &str,
+        batch: &RecordBatch,
+        branch: &str,
+        spec: PartitionSpec,
+    ) -> Result<()> {
+        let n = self.table_counter.fetch_add(1, Ordering::Relaxed);
+        // Uniquify across process restarts (disk-backed stores): count the
+        // objects already under this table's prefix.
+        let existing = self
+            .store_dyn
+            .list(&format!("{}/{name}", self.config.warehouse_prefix))
+            .map(|l| l.len())
+            .unwrap_or(0);
+        let location = format!("{}/{name}/u{n}-{existing}", self.config.warehouse_prefix);
+        let table = Table::create(
+            Arc::clone(&self.store_dyn),
+            &location,
+            batch.schema(),
+            spec,
+        )?;
+        let mut tx = table
+            .new_transaction(SnapshotOperation::Append)
+            .with_writer_options(lakehouse_format::WriterOptions {
+                row_group_rows: self.config.row_group_rows,
+            });
+        tx.write(batch)?;
+        let (metadata_location, metadata) = tx.commit()?;
+        self.catalog.commit(
+            branch,
+            &self.config.author,
+            &format!("create table {name}"),
+            vec![Operation::Put {
+                key: name.to_string(),
+                content: ContentRef::new(
+                    metadata_location,
+                    metadata.current_snapshot_id.unwrap_or(0),
+                ),
+            }],
+        )?;
+        Ok(())
+    }
+
+    /// Append a batch to an existing table on `branch`.
+    pub fn append_table(&self, name: &str, batch: &RecordBatch, branch: &str) -> Result<()> {
+        let content = self.catalog.get_content(branch, name)?;
+        let table = Table::load(Arc::clone(&self.store_dyn), &content.metadata_location)?;
+        let mut tx = table.new_transaction(SnapshotOperation::Append);
+        tx.write(batch)?;
+        let (metadata_location, metadata) = tx.commit()?;
+        self.catalog.commit(
+            branch,
+            &self.config.author,
+            &format!("append to {name}"),
+            vec![Operation::Put {
+                key: name.to_string(),
+                content: ContentRef::new(
+                    metadata_location,
+                    metadata.current_snapshot_id.unwrap_or(0),
+                ),
+            }],
+        )?;
+        Ok(())
+    }
+
+    /// Compact a table's data files on a branch (small-file compaction) and
+    /// point the catalog at the compacted version. Returns the maintenance
+    /// report.
+    pub fn compact_table(
+        &self,
+        name: &str,
+        branch: &str,
+    ) -> Result<lakehouse_table::CompactionReport> {
+        let provider = self.provider(branch);
+        let table = provider.load_table(name)?;
+        let (compacted, report) = table.compact()?;
+        if report.files_compacted > 0 {
+            self.catalog.commit(
+                branch,
+                &self.config.author,
+                &format!("compact table {name}"),
+                vec![Operation::Put {
+                    key: name.to_string(),
+                    content: ContentRef::new(
+                        compacted.metadata_location(),
+                        compacted
+                            .metadata()
+                            .current_snapshot_id
+                            .unwrap_or(0),
+                    ),
+                }],
+            )?;
+        }
+        Ok(report)
+    }
+
+    /// Expire old snapshots of a table on a branch, retaining the most
+    /// recent `retain_last`, and update the catalog pointer.
+    pub fn expire_table_snapshots(
+        &self,
+        name: &str,
+        branch: &str,
+        retain_last: usize,
+    ) -> Result<lakehouse_table::ExpirationReport> {
+        let provider = self.provider(branch);
+        let table = provider.load_table(name)?;
+        let (expired, report) = table.expire_snapshots(retain_last)?;
+        if report.snapshots_expired > 0 {
+            self.catalog.commit(
+                branch,
+                &self.config.author,
+                &format!("expire snapshots of {name}"),
+                vec![Operation::Put {
+                    key: name.to_string(),
+                    content: ContentRef::new(
+                        expired.metadata_location(),
+                        expired.metadata().current_snapshot_id.unwrap_or(0),
+                    ),
+                }],
+            )?;
+        }
+        Ok(report)
+    }
+
+    /// Read a whole table at a ref.
+    pub fn read_table(&self, name: &str, reference: &str) -> Result<RecordBatch> {
+        let provider = self.provider(reference);
+        let table = provider.load_table(name).map_err(|_| {
+            BauplanError::TableNotFound {
+                table: name.to_string(),
+                reference: reference.to_string(),
+            }
+        })?;
+        Ok(table.scan().execute()?)
+    }
+
+    // ---- query (paper §4.6: `bauplan query -q ... -b ...`) -------------------
+
+    /// Synchronous SQL over any branch, tag, or commit id (time travel).
+    pub fn query(&self, sql: &str, reference: &str) -> Result<RecordBatch> {
+        let provider = self.provider(reference);
+        Ok(self.engine.query(sql, &provider)?)
+    }
+
+    /// EXPLAIN the optimized plan for a query at a ref.
+    pub fn explain(&self, sql: &str, reference: &str) -> Result<String> {
+        let provider = self.provider(reference);
+        Ok(self.engine.explain(sql, &provider)?)
+    }
+
+    pub(crate) fn provider(&self, reference: &str) -> LakehouseProvider {
+        LakehouseProvider::new(
+            Arc::clone(&self.store_dyn),
+            Arc::clone(&self.catalog),
+            reference,
+        )
+    }
+
+    // ---- functions ------------------------------------------------------------
+
+    /// Register a native function (pipeline step implementation).
+    pub fn register_function(
+        &self,
+        id: impl Into<String>,
+        f: impl Fn(&FnContext) -> Result<FnOutput> + Send + Sync + 'static,
+    ) {
+        self.functions.write().register(id, f);
+    }
+
+    /// Register the paper's Appendix A expectation
+    /// (`mean(trips.count) > 10`) under `trips_expectation_impl`, as used by
+    /// [`lakehouse_planner::PipelineProject::taxi_example`].
+    pub fn register_taxi_functions(&self) {
+        self.register_function(
+            "trips_expectation_impl",
+            crate::functions::builtins::mean_greater_than("trips", "count", 10.0),
+        );
+    }
+
+    // ---- runs ---------------------------------------------------------------
+
+    /// Number of recorded runs.
+    pub fn run_count(&self) -> usize {
+        self.runs.lock().len()
+    }
+
+    // ---- governance (paper §5 future work + §2 auditability) ----------------
+
+    /// Install an access policy and start enforcing it.
+    pub fn set_access_policy(&self, grants: Vec<Grant>) {
+        self.access.set_policy(grants);
+    }
+
+    /// The access controller (audit log, enforcement toggles).
+    pub fn access(&self) -> &AccessController {
+        &self.access
+    }
+
+    /// `query` with an authenticated principal: checked against the policy
+    /// and audited.
+    pub fn query_as(
+        &self,
+        principal: &Principal,
+        sql: &str,
+        reference: &str,
+    ) -> Result<RecordBatch> {
+        if !self.access.check(principal, Action::Read, reference, sql) {
+            return Err(BauplanError::AccessDenied {
+                principal: principal.name.clone(),
+                action: "read".into(),
+                reference: reference.to_string(),
+            });
+        }
+        self.query(sql, reference)
+    }
+
+    /// `run` with an authenticated principal (Write on the target branch).
+    pub fn run_as(
+        &self,
+        principal: &Principal,
+        project: &lakehouse_planner::PipelineProject,
+        options: &crate::run::RunOptions,
+    ) -> Result<crate::run::RunReport> {
+        if !self
+            .access
+            .check(principal, Action::Write, &options.branch, &project.name)
+        {
+            return Err(BauplanError::AccessDenied {
+                principal: principal.name.clone(),
+                action: "write".into(),
+                reference: options.branch.clone(),
+            });
+        }
+        self.run(project, options)
+    }
+
+    /// `merge` with an authenticated principal.
+    pub fn merge_as(
+        &self,
+        principal: &Principal,
+        from: &str,
+        to: &str,
+    ) -> Result<Option<CommitId>> {
+        if !self
+            .access
+            .check(principal, Action::Merge, to, &format!("merge {from}"))
+        {
+            return Err(BauplanError::AccessDenied {
+                principal: principal.name.clone(),
+                action: "merge".into(),
+                reference: to.to_string(),
+            });
+        }
+        self.merge(from, to)
+    }
+
+    /// The log-driven memory estimator (paper §5 "using logs ... to further
+    /// optimize").
+    pub fn memory_estimator(&self) -> &MemoryEstimator {
+        &self.estimator
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lakehouse_columnar::{Column, DataType, Field, Schema, Value};
+
+    fn lh() -> Lakehouse {
+        Lakehouse::in_memory(LakehouseConfig::zero_latency()).unwrap()
+    }
+
+    fn batch(vals: Vec<i64>) -> RecordBatch {
+        RecordBatch::try_new(
+            Schema::new(vec![Field::new("x", DataType::Int64, false)]),
+            vec![Column::from_i64(vals)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn create_and_query_table() {
+        let lh = lh();
+        lh.create_table("nums", &batch(vec![1, 2, 3]), "main").unwrap();
+        let out = lh.query("SELECT SUM(x) AS s FROM nums", "main").unwrap();
+        assert_eq!(out.row(0).unwrap()[0], Value::Int64(6));
+    }
+
+    #[test]
+    fn append_accumulates() {
+        let lh = lh();
+        lh.create_table("nums", &batch(vec![1]), "main").unwrap();
+        lh.append_table("nums", &batch(vec![2, 3]), "main").unwrap();
+        let out = lh.read_table("nums", "main").unwrap();
+        assert_eq!(out.num_rows(), 3);
+    }
+
+    #[test]
+    fn branch_isolation_and_merge() {
+        let lh = lh();
+        lh.create_table("nums", &batch(vec![1]), "main").unwrap();
+        lh.create_branch("feat", Some("main")).unwrap();
+        lh.create_table("extra", &batch(vec![9]), "feat").unwrap();
+        assert_eq!(lh.list_tables("feat").unwrap().len(), 2);
+        assert_eq!(lh.list_tables("main").unwrap().len(), 1);
+        lh.merge("feat", "main").unwrap();
+        assert_eq!(lh.list_tables("main").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn time_travel_by_commit_and_tag() {
+        let lh = lh();
+        lh.create_table("nums", &batch(vec![1]), "main").unwrap();
+        let (v1_commit, _) = lh.log("main", 1).unwrap().pop().unwrap();
+        lh.create_tag("v1", "main").unwrap();
+        lh.append_table("nums", &batch(vec![2]), "main").unwrap();
+        assert_eq!(lh.read_table("nums", "main").unwrap().num_rows(), 2);
+        assert_eq!(lh.read_table("nums", "v1").unwrap().num_rows(), 1);
+        assert_eq!(lh.read_table("nums", &v1_commit).unwrap().num_rows(), 1);
+        // Queries time travel too.
+        let out = lh.query("SELECT COUNT(*) AS n FROM nums", "v1").unwrap();
+        assert_eq!(out.row(0).unwrap()[0], Value::Int64(1));
+    }
+
+    #[test]
+    fn missing_table_error() {
+        let lh = lh();
+        assert!(matches!(
+            lh.read_table("ghost", "main"),
+            Err(BauplanError::TableNotFound { .. })
+        ));
+        assert!(lh.query("SELECT * FROM ghost", "main").is_err());
+    }
+
+    #[test]
+    fn explain_works_through_catalog() {
+        let lh = lh();
+        lh.create_table("nums", &batch(vec![1, 2]), "main").unwrap();
+        let text = lh.explain("SELECT x FROM nums WHERE x > 1", "main").unwrap();
+        assert!(text.contains("Scan: nums"));
+        assert!(text.contains("filters="));
+    }
+
+    #[test]
+    fn store_metrics_observe_traffic() {
+        let lh = Lakehouse::in_memory(LakehouseConfig::default()).unwrap();
+        lh.create_table("nums", &batch(vec![1, 2, 3]), "main").unwrap();
+        let before = lh.store_metrics().gets();
+        lh.query("SELECT * FROM nums", "main").unwrap();
+        assert!(lh.store_metrics().gets() > before);
+        assert!(lh.store_metrics().simulated_time() > std::time::Duration::ZERO);
+    }
+}

@@ -1,0 +1,727 @@
+//! Pipeline runs: the transform-audit-write executor (paper §4.3, §4.4.2,
+//! Fig. 4).
+//!
+//! Every run:
+//!
+//! 1. snapshots and fingerprints the project (code is data);
+//! 2. creates an **ephemeral catalog branch** `run_<id>` off the target
+//!    branch (or off a recorded data version, for replays);
+//! 3. compiles the logical pipeline to a physical plan — `Fused` packs steps
+//!    into container stages with in-memory data passing, `Naive` maps one
+//!    step to one container with object-store spillover;
+//! 4. executes stages on the serverless runtime (charging simulated startup
+//!    latency per container) and materializes artifacts into the ephemeral
+//!    branch;
+//! 5. audits expectations — any failure deletes the ephemeral branch and
+//!    leaves the target branch untouched;
+//! 6. on success, merges the ephemeral branch and deletes it.
+
+use crate::error::{BauplanError, Result};
+use crate::functions::{FnContext, FnOutput};
+use crate::lakehouse::Lakehouse;
+use crate::provider::LakehouseProvider;
+use lakehouse_catalog::{ContentRef, Operation};
+use lakehouse_columnar::RecordBatch;
+use lakehouse_planner::project::NodeKind;
+use lakehouse_planner::{
+    ExecutionMode, LogicalPipeline, PhysicalPipeline, PipelineDag, PipelineProject,
+    ProjectSnapshot, RunRecord, StepAction,
+};
+use lakehouse_runtime::EnvSpec;
+use lakehouse_table::{PartitionSpec, SnapshotOperation, Table};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Options for a pipeline run.
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Target branch (artifacts merge here on success).
+    pub branch: String,
+    /// Override the configured execution mode.
+    pub mode: Option<ExecutionMode>,
+    /// Merge into the target branch on success. Replays set this false to
+    /// stay sandboxed; the ephemeral branch is kept for inspection.
+    pub merge: bool,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            branch: "main".into(),
+            mode: None,
+            merge: true,
+        }
+    }
+}
+
+impl RunOptions {
+    pub fn on_branch(branch: impl Into<String>) -> RunOptions {
+        RunOptions {
+            branch: branch.into(),
+            ..Default::default()
+        }
+    }
+
+    pub fn with_mode(mut self, mode: ExecutionMode) -> RunOptions {
+        self.mode = Some(mode);
+        self
+    }
+}
+
+/// The outcome of a run, including the simulation's latency accounting.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    pub run_id: u64,
+    pub success: bool,
+    pub branch: String,
+    /// Ephemeral branch used (deleted unless a sandboxed replay kept it).
+    pub ephemeral_branch: String,
+    pub mode: ExecutionMode,
+    /// Artifact name → rows materialized.
+    pub artifact_rows: BTreeMap<String, u64>,
+    /// Expectation name → verdict.
+    pub audit_results: BTreeMap<String, bool>,
+    /// Total simulated latency: container startups + data passing + object
+    /// store traffic attributable to this run.
+    pub simulated_total: Duration,
+    /// Simulated time spent in container startups only.
+    pub simulated_startup: Duration,
+    /// Simulated time spent in object-store operations only.
+    pub simulated_store: Duration,
+    /// (cold, warm, resume) container starts during the run.
+    pub container_starts: (u64, u64, u64),
+    /// Object-store (gets, puts) during the run.
+    pub store_ops: (u64, u64),
+    /// Number of container invocations (stages executed).
+    pub stages_executed: usize,
+}
+
+impl Lakehouse {
+    /// Execute a pipeline with the transform-audit-write pattern.
+    pub fn run(&self, project: &PipelineProject, options: &RunOptions) -> Result<RunReport> {
+        self.execute_run(project.clone(), options.clone(), None)
+    }
+
+    /// Re-execute a recorded run in a sandbox: same code snapshot, same data
+    /// version. `from_node` limits execution to `node` and its descendants
+    /// (the CLI's `--run-id N -m node+`). Never merges.
+    pub fn replay(&self, run_id: u64, from_node: Option<&str>) -> Result<RunReport> {
+        let (project, data_version, branch) = {
+            let runs = self.runs.lock();
+            let rec = runs.get(run_id).map_err(BauplanError::Planner)?;
+            (
+                rec.project.clone(),
+                rec.data_version.clone(),
+                rec.branch.clone(),
+            )
+        };
+        let selection = match from_node {
+            Some(node) => {
+                let dag = PipelineDag::extract(&project)?;
+                Some(dag.descendants_inclusive(node)?)
+            }
+            None => None,
+        };
+        let options = RunOptions {
+            branch,
+            mode: None,
+            merge: false,
+        };
+        self.execute_run(project, options, Some((data_version, selection)))
+    }
+
+    /// Run asynchronously on a worker thread (the Table 1 `Asynch` modality).
+    pub fn run_async(
+        self: &Arc<Self>,
+        project: PipelineProject,
+        options: RunOptions,
+    ) -> RunHandle {
+        let lh = Arc::clone(self);
+        let (tx, rx) = crossbeam::channel::bounded(1);
+        let join = std::thread::spawn(move || {
+            let result = lh.execute_run(project, options, None);
+            let _ = tx.send(result);
+        });
+        RunHandle {
+            rx,
+            join: Some(join),
+        }
+    }
+
+    fn execute_run(
+        &self,
+        project: PipelineProject,
+        options: RunOptions,
+        replay: Option<(String, Option<Vec<String>>)>,
+    ) -> Result<RunReport> {
+        let mode = options.mode.unwrap_or(self.config.execution_mode);
+        let snapshot = ProjectSnapshot::of(&project);
+        let run_id = self.runs.lock().reserve();
+
+        // Plan.
+        let dag = PipelineDag::extract(&project)?;
+        let selection = replay.as_ref().and_then(|(_, sel)| sel.clone());
+        let logical = LogicalPipeline::plan_with_dag(&project, &dag, selection.as_deref())?;
+        // Stage packing uses the log-driven memory estimator (paper §5):
+        // nodes that ran before get history-based working-set predictions.
+        let physical = PhysicalPipeline::compile(
+            &logical,
+            &dag,
+            mode,
+            self.runtime.memory().capacity(),
+            |node| self.estimator.estimate(node, self.config.default_step_memory),
+        )?;
+
+        // Data version this run reads (for the registry + replays).
+        let base_ref = match &replay {
+            Some((data_version, _)) => data_version.clone(),
+            None => options.branch.clone(),
+        };
+        let data_version = self
+            .catalog
+            .resolve(&base_ref)?
+            .unwrap_or_else(|| "<empty>".to_string());
+
+        // Ephemeral branch (Fig. 4): run_<id>.
+        let ephemeral = format!("run_{run_id}");
+        self.catalog.create_branch(&ephemeral, Some(&base_ref))?;
+
+        // Metric baselines for the report.
+        let metrics = self.store_metrics();
+        let clock0 = self.clock().now();
+        let store_t0 = metrics.simulated_time();
+        let (gets0, puts0) = (metrics.gets(), metrics.puts());
+        let starts0 = self.runtime.containers().start_counts();
+
+        // The naive baseline (the paper's first version) reads whole tables —
+        // no scan-level predicate pushdown — and runs each node in a
+        // stateless container.
+        let provider = self
+            .provider(&ephemeral)
+            .with_pushdown(mode == ExecutionMode::Fused);
+        let outcome = self.execute_stages(&project, &logical, &physical, &provider, run_id);
+
+        // Collect deltas regardless of success.
+        let clock1 = self.clock().now();
+        let store_t1 = metrics.simulated_time();
+        let starts1 = self.runtime.containers().start_counts();
+        let simulated_startup = clock1 - clock0;
+        let simulated_store = store_t1 - store_t0;
+        let container_starts = (
+            starts1.0 - starts0.0,
+            starts1.1 - starts0.1,
+            starts1.2 - starts0.2,
+        );
+        let store_ops = (metrics.gets() - gets0, metrics.puts() - puts0);
+
+        let (success, artifact_rows, audit_results, failure) = match outcome {
+            Ok((rows, audits)) => {
+                let all_passed = audits.values().all(|&v| v);
+                let failed_audit = audits
+                    .iter()
+                    .find(|(_, &v)| !v)
+                    .map(|(k, _)| k.clone());
+                (
+                    all_passed,
+                    rows,
+                    audits,
+                    failed_audit.map(|node| BauplanError::ExpectationFailed { node }),
+                )
+            }
+            Err(e) => (false, BTreeMap::new(), BTreeMap::new(), Some(e)),
+        };
+
+        // Transactional finish: merge only a fully-green run. The recorded
+        // data version is the post-run commit (it includes the run's own
+        // artifacts, so partial replays like `-m pickups+` can read their
+        // parents' outputs); failed runs record the pre-run version.
+        let mut recorded_version = data_version.clone();
+        if success && options.merge {
+            self.catalog.merge(&ephemeral, &options.branch, &self.config.author)?;
+            self.catalog.delete_ref(&ephemeral)?;
+            if let Some(head) = self.catalog.resolve(&options.branch)? {
+                recorded_version = head;
+            }
+        } else if success {
+            // Sandboxed success (replay): keep the ephemeral branch for
+            // inspection.
+            if let Some(head) = self.catalog.resolve(&ephemeral)? {
+                recorded_version = head;
+            }
+        } else {
+            // Failure: drop the dirty branch; target stays untouched.
+            let _ = self.catalog.delete_ref(&ephemeral);
+        }
+
+        // Record the run.
+        self.runs
+            .lock()
+            .record(RunRecord {
+                run_id,
+                project,
+                snapshot,
+                data_version: recorded_version,
+                branch: options.branch.clone(),
+                success,
+                output_rows: artifact_rows.clone(),
+            })
+            .map_err(BauplanError::Planner)?;
+
+        if let Some(e) = failure {
+            return Err(e);
+        }
+
+        Ok(RunReport {
+            run_id,
+            success,
+            branch: options.branch,
+            ephemeral_branch: ephemeral,
+            mode,
+            artifact_rows,
+            audit_results,
+            simulated_total: simulated_startup + simulated_store,
+            simulated_startup,
+            simulated_store,
+            container_starts,
+            store_ops,
+            stages_executed: physical.stages.len(),
+        })
+    }
+
+    /// Execute all stages, returning (artifact rows, audit verdicts).
+    #[allow(clippy::type_complexity)]
+    fn execute_stages(
+        &self,
+        project: &PipelineProject,
+        logical: &LogicalPipeline,
+        physical: &PhysicalPipeline,
+        provider: &LakehouseProvider,
+        run_id: u64,
+    ) -> Result<(BTreeMap<String, u64>, BTreeMap<String, bool>)> {
+        let mut artifact_rows = BTreeMap::new();
+        let mut audit_results = BTreeMap::new();
+        for stage in &physical.stages {
+            // One container invocation per stage: charge startup for the
+            // stage's merged environment. Fused stages reuse frozen
+            // containers; the naive mapping is stateless (paper §4.4.2).
+            let env = self.stage_env(project, &stage.steps);
+            let memory: u64 = stage
+                .steps
+                .iter()
+                .map(|s| self.estimator.estimate(s, self.config.default_step_memory))
+                .sum::<u64>()
+                .min(self.runtime.memory().capacity());
+            let invoke_result = match physical.mode {
+                ExecutionMode::Fused => self.runtime.invoke(&env, memory, |_, _| Ok(())),
+                ExecutionMode::Naive => {
+                    self.runtime.invoke_stateless(&env, memory, |_, _| Ok(()))
+                }
+            };
+            invoke_result.map_err(BauplanError::Runtime)?;
+
+            // Execute the stage's steps in order; intermediates stay in the
+            // provider overlay (in-memory locality within the stage).
+            let mut stage_outputs: Vec<(String, RecordBatch)> = Vec::new();
+            for step_name in &stage.steps {
+                let step = logical
+                    .steps
+                    .iter()
+                    .find(|s| &s.name == step_name)
+                    .expect("physical stage references logical step");
+                let node = project
+                    .get(step_name)
+                    .expect("logical step references project node");
+                match node.kind {
+                    NodeKind::SqlTransform => {
+                        let sql = node.sql.as_deref().expect("sql node has text");
+                        let batch = self.engine.query(sql, provider)?;
+                        provider.put_overlay(step_name.clone(), batch.clone());
+                        stage_outputs.push((step_name.clone(), batch));
+                    }
+                    NodeKind::FunctionTransform | NodeKind::Expectation => {
+                        let f = {
+                            let registry = self.functions.read();
+                            registry.get(node.function_id.as_deref().unwrap_or(""))?
+                        };
+                        let mut inputs = HashMap::new();
+                        for input in step.inputs.iter().chain(&step.external_inputs) {
+                            let batch = match provider.get_overlay(input) {
+                                Some(b) => b,
+                                // Cross-stage edge or lake table: read
+                                // through the catalog (object store).
+                                None => self.read_table(input, provider.reference())?,
+                            };
+                            inputs.insert(input.clone(), batch);
+                        }
+                        match f(&FnContext { inputs })? {
+                            FnOutput::Batch(batch) => {
+                                provider.put_overlay(step_name.clone(), batch.clone());
+                                if step.action == StepAction::Materialize {
+                                    stage_outputs.push((step_name.clone(), batch));
+                                }
+                            }
+                            FnOutput::Expectation(passed) => {
+                                audit_results.insert(step_name.clone(), passed);
+                                if !passed {
+                                    // Record and stop: transform-audit-write
+                                    // aborts before any merge.
+                                    return Ok((artifact_rows, audit_results));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+
+            // Materialize the stage's artifacts into the ephemeral branch in
+            // one commit (atomic per stage). Each Iceberg-style INSERT runs
+            // through a "Spark command" container (paper §4.2): fused mode
+            // resumes a frozen one (materialization "looks no slower than
+            // running any other Python function"), the naive baseline pays
+            // the stateless startup path every time.
+            if !stage_outputs.is_empty() {
+                let spark_env = EnvSpec::bare("spark-insert");
+                let spark_mem = self
+                    .config
+                    .default_step_memory
+                    .min(self.runtime.memory().capacity());
+                let invoke = match physical.mode {
+                    ExecutionMode::Fused => {
+                        self.runtime.invoke(&spark_env, spark_mem, |_, _| Ok(()))
+                    }
+                    ExecutionMode::Naive => {
+                        self.runtime.invoke_stateless(&spark_env, spark_mem, |_, _| Ok(()))
+                    }
+                };
+                invoke.map_err(BauplanError::Runtime)?;
+            }
+            let mut ops = Vec::new();
+            for (name, batch) in &stage_outputs {
+                let location = format!(
+                    "{}/{name}/r{run_id}",
+                    self.config.warehouse_prefix
+                );
+                let table = Table::create(
+                    Arc::clone(&self.store_dyn),
+                    &location,
+                    batch.schema(),
+                    PartitionSpec::unpartitioned(),
+                )?;
+                let mut tx = table.new_transaction(SnapshotOperation::Append);
+                tx.write(batch)?;
+                let (metadata_location, metadata) = tx.commit()?;
+                artifact_rows.insert(name.clone(), batch.num_rows() as u64);
+                // Feed the memory estimator (vertical elasticity, §4.5/§5).
+                self.estimator.observe(name, batch.approx_bytes() as u64);
+                ops.push(Operation::Put {
+                    key: name.clone(),
+                    content: ContentRef::new(
+                        metadata_location,
+                        metadata.current_snapshot_id.unwrap_or(0),
+                    ),
+                });
+            }
+            if !ops.is_empty() {
+                self.catalog.commit(
+                    provider.reference(),
+                    &self.config.author,
+                    &format!("run {run_id}: materialize stage"),
+                    ops,
+                )?;
+            }
+            // Stage boundary: spill — downstream stages re-read through the
+            // object store, matching the physical plan's edge localities.
+            provider.clear_overlay();
+        }
+        Ok((artifact_rows, audit_results))
+    }
+
+    /// Merged environment for a stage: function nodes contribute interpreter
+    /// + packages; SQL-only stages run in the embedded engine's environment.
+    fn stage_env(&self, project: &PipelineProject, steps: &[String]) -> EnvSpec {
+        let mut interpreter = "duckdb-embedded".to_string();
+        let mut packages = Vec::new();
+        for name in steps {
+            if let Some(node) = project.get(name) {
+                if node.function_id.is_some() {
+                    if let Some(i) = &node.requirements.interpreter {
+                        interpreter = i.clone();
+                    }
+                    for pkg in node.requirements.package_names() {
+                        // Map arbitrary package names onto the synthetic
+                        // universe deterministically so fetch/import costs
+                        // and the cache are exercised.
+                        let idx = lakehouse_planner::fingerprint_bytes(pkg.as_bytes())
+                            .bytes()
+                            .fold(0u64, |acc, b| acc.wrapping_mul(31).wrapping_add(b as u64))
+                            % self.config.runtime.package_universe_size.max(1) as u64;
+                        packages.push(format!("pkg-{idx:05}"));
+                    }
+                }
+            }
+        }
+        EnvSpec::new(interpreter, packages)
+    }
+}
+
+/// Handle to an asynchronous run.
+pub struct RunHandle {
+    rx: crossbeam::channel::Receiver<Result<RunReport>>,
+    join: Option<std::thread::JoinHandle<()>>,
+}
+
+impl RunHandle {
+    /// Non-blocking check; `None` while still running.
+    pub fn poll(&self) -> Option<bool> {
+        match self.rx.try_recv() {
+            Ok(r) => Some(r.is_ok()),
+            Err(_) => None,
+        }
+    }
+
+    /// Block until completion.
+    pub fn wait(mut self) -> Result<RunReport> {
+        let result = self.rx.recv().map_err(|_| {
+            BauplanError::Config("async run worker disappeared".into())
+        })?;
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LakehouseConfig;
+    use lakehouse_columnar::{Column, DataType, Field, Schema, Value};
+
+    /// Taxi fixture: lakehouse with the paper's taxi_table + expectation.
+    fn taxi_lakehouse(config: LakehouseConfig) -> Lakehouse {
+        let lh = Lakehouse::in_memory(config).unwrap();
+        lh.register_taxi_functions();
+        let n = 400i64;
+        let batch = RecordBatch::try_new(
+            Schema::new(vec![
+                Field::new("pickup_location_id", DataType::Int64, false),
+                Field::new("dropoff_location_id", DataType::Int64, false),
+                Field::new("passenger_count", DataType::Int64, true),
+                Field::new("pickup_at", DataType::Date, false),
+            ]),
+            vec![
+                Column::from_i64((0..n).map(|i| i % 7).collect()),
+                Column::from_i64((0..n).map(|i| i % 11).collect()),
+                // Mean passenger count ≈ 30 → expectation (mean > 10) passes.
+                Column::from_i64((0..n).map(|i| 20 + (i % 21)).collect()),
+                // Half before 2019-04-01 (17987), half after.
+                Column::from_date((0..n).map(|i| 17_900 + (i % 200) as i32).collect()),
+            ],
+        )
+        .unwrap();
+        lh.create_table("taxi_table", &batch, "main").unwrap();
+        lh
+    }
+
+    #[test]
+    fn taxi_run_end_to_end_fused() {
+        let lh = taxi_lakehouse(LakehouseConfig::default());
+        let report = lh
+            .run(&PipelineProject::taxi_example(), &RunOptions::default())
+            .unwrap();
+        assert!(report.success);
+        assert_eq!(report.mode, ExecutionMode::Fused);
+        assert_eq!(report.stages_executed, 1);
+        assert!(report.artifact_rows.contains_key("trips"));
+        assert!(report.artifact_rows.contains_key("pickups"));
+        assert!(report.audit_results["trips_expectation"]);
+        // Artifacts are now queryable on main.
+        let out = lh.query("SELECT COUNT(*) AS n FROM pickups", "main").unwrap();
+        assert!(out.row(0).unwrap()[0].as_i64().unwrap() > 0);
+        // Ephemeral branch cleaned up.
+        assert!(!lh.list_refs().unwrap().iter().any(|r| r.name.starts_with("run_")));
+    }
+
+    #[test]
+    fn naive_mode_spills_more() {
+        let lh_naive = taxi_lakehouse(LakehouseConfig::naive());
+        let naive = lh_naive
+            .run(&PipelineProject::taxi_example(), &RunOptions::default())
+            .unwrap();
+        let lh_fused = taxi_lakehouse(LakehouseConfig::default());
+        let fused = lh_fused
+            .run(&PipelineProject::taxi_example(), &RunOptions::default())
+            .unwrap();
+        assert_eq!(naive.stages_executed, 3);
+        assert_eq!(fused.stages_executed, 1);
+        assert!(naive.store_ops.0 > fused.store_ops.0, "naive reads more");
+        assert!(
+            naive.simulated_total > fused.simulated_total,
+            "naive {:?} should exceed fused {:?}",
+            naive.simulated_total,
+            fused.simulated_total
+        );
+    }
+
+    #[test]
+    fn failing_expectation_rolls_back() {
+        let lh = taxi_lakehouse(LakehouseConfig::zero_latency());
+        // Re-register the expectation with an impossible threshold.
+        lh.register_function(
+            "trips_expectation_impl",
+            crate::functions::builtins::mean_greater_than("trips", "count", 1e9),
+        );
+        let err = lh
+            .run(&PipelineProject::taxi_example(), &RunOptions::default())
+            .unwrap_err();
+        assert!(matches!(err, BauplanError::ExpectationFailed { .. }));
+        // No artifacts leaked into main; ephemeral branch deleted.
+        assert_eq!(lh.list_tables("main").unwrap(), vec!["taxi_table"]);
+        assert!(!lh.list_refs().unwrap().iter().any(|r| r.name.starts_with("run_")));
+        // The failed run is still recorded for auditability.
+        assert_eq!(lh.run_count(), 1);
+    }
+
+    #[test]
+    fn run_on_feature_branch_keeps_main_clean() {
+        let lh = taxi_lakehouse(LakehouseConfig::zero_latency());
+        lh.create_branch("feat_1", Some("main")).unwrap();
+        let report = lh
+            .run(
+                &PipelineProject::taxi_example(),
+                &RunOptions::on_branch("feat_1"),
+            )
+            .unwrap();
+        assert!(report.success);
+        assert_eq!(lh.list_tables("feat_1").unwrap().len(), 3);
+        assert_eq!(lh.list_tables("main").unwrap().len(), 1);
+        // Promote to production: merge feat_1 → main (Fig. 4 step 4).
+        lh.merge("feat_1", "main").unwrap();
+        assert_eq!(lh.list_tables("main").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn replay_is_sandboxed_and_uses_old_data() {
+        let lh = taxi_lakehouse(LakehouseConfig::zero_latency());
+        let r1 = lh
+            .run(&PipelineProject::taxi_example(), &RunOptions::default())
+            .unwrap();
+        let rows_run1 = r1.artifact_rows["trips"];
+        // Mutate the source data (append rows after 2019-04-01).
+        let more = RecordBatch::try_new(
+            Schema::new(vec![
+                Field::new("pickup_location_id", DataType::Int64, false),
+                Field::new("dropoff_location_id", DataType::Int64, false),
+                Field::new("passenger_count", DataType::Int64, true),
+                Field::new("pickup_at", DataType::Date, false),
+            ]),
+            vec![
+                Column::from_i64(vec![1, 2]),
+                Column::from_i64(vec![1, 2]),
+                Column::from_i64(vec![50, 50]),
+                Column::from_date(vec![18_100, 18_100]),
+            ],
+        )
+        .unwrap();
+        lh.append_table("taxi_table", &more, "main").unwrap();
+        // Replay run 1: same data version → same row counts.
+        let replayed = lh.replay(r1.run_id, None).unwrap();
+        assert_eq!(replayed.artifact_rows["trips"], rows_run1);
+        // Sandboxed: main unchanged by the replay (still one trips version
+        // from run 1), ephemeral branch kept for inspection.
+        assert!(lh
+            .list_refs()
+            .unwrap()
+            .iter()
+            .any(|r| r.name == replayed.ephemeral_branch));
+        // Fresh run sees the new data.
+        let r3 = lh
+            .run(&PipelineProject::taxi_example(), &RunOptions::default())
+            .unwrap();
+        assert_eq!(r3.artifact_rows["trips"], rows_run1 + 2);
+    }
+
+    #[test]
+    fn replay_selector_runs_subset() {
+        let lh = taxi_lakehouse(LakehouseConfig::zero_latency());
+        let r1 = lh
+            .run(&PipelineProject::taxi_example(), &RunOptions::default())
+            .unwrap();
+        // `-m pickups+`: only pickups (no descendants).
+        let replayed = lh.replay(r1.run_id, Some("pickups")).unwrap();
+        assert_eq!(replayed.artifact_rows.len(), 1);
+        assert!(replayed.artifact_rows.contains_key("pickups"));
+        assert!(lh.replay(r1.run_id, Some("ghost")).is_err());
+        assert!(lh.replay(999, None).is_err());
+    }
+
+    #[test]
+    fn async_run_completes() {
+        let lh = Arc::new(taxi_lakehouse(LakehouseConfig::zero_latency()));
+        let handle = lh.run_async(PipelineProject::taxi_example(), RunOptions::default());
+        let report = handle.wait().unwrap();
+        assert!(report.success);
+        assert_eq!(lh.list_tables("main").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn run_report_latency_accounting() {
+        let lh = taxi_lakehouse(LakehouseConfig::default());
+        let report = lh
+            .run(&PipelineProject::taxi_example(), &RunOptions::default())
+            .unwrap();
+        assert!(report.simulated_total > Duration::ZERO);
+        assert_eq!(
+            report.simulated_total,
+            report.simulated_startup + report.simulated_store
+        );
+        let (cold, _, _) = report.container_starts;
+        assert!(cold >= 1, "first run cold-starts at least one container");
+        assert!(report.store_ops.1 > 0, "materialization writes objects");
+    }
+
+    #[test]
+    fn second_run_benefits_from_warm_containers() {
+        let lh = taxi_lakehouse(LakehouseConfig::default());
+        let project = PipelineProject::taxi_example();
+        let r1 = lh.run(&project, &RunOptions::default()).unwrap();
+        let r2 = lh.run(&project, &RunOptions::default()).unwrap();
+        let (cold2, _, resume2) = r2.container_starts;
+        assert_eq!(cold2, 0, "second run should not cold start");
+        assert!(resume2 >= 1, "second run resumes frozen containers");
+        assert!(r2.simulated_startup < r1.simulated_startup);
+    }
+
+    #[test]
+    fn function_transform_nodes_materialize() {
+        let lh = Lakehouse::in_memory(LakehouseConfig::zero_latency()).unwrap();
+        let base = RecordBatch::try_new(
+            Schema::new(vec![Field::new("x", DataType::Int64, false)]),
+            vec![Column::from_i64(vec![1, 2, 3])],
+        )
+        .unwrap();
+        lh.create_table("raw", &base, "main").unwrap();
+        lh.register_function("double_impl", |ctx: &FnContext| {
+            let input = ctx.input("raw")?;
+            let col = input.column_by_name("x")?;
+            let doubled = lakehouse_columnar::kernels::add(col, col)?;
+            Ok(FnOutput::Batch(RecordBatch::try_new(
+                Schema::new(vec![Field::new("x", DataType::Int64, false)]),
+                vec![doubled],
+            )?))
+        });
+        let project = PipelineProject::new("fn_pipeline").with(
+            lakehouse_planner::NodeDef::function(
+                "doubled",
+                vec!["raw".into()],
+                Default::default(),
+                "double_impl",
+            ),
+        );
+        let report = lh.run(&project, &RunOptions::default()).unwrap();
+        assert!(report.success);
+        let out = lh.query("SELECT SUM(x) AS s FROM doubled", "main").unwrap();
+        assert_eq!(out.row(0).unwrap()[0], Value::Int64(12));
+    }
+}

@@ -1,0 +1,268 @@
+//! Column-chunk encodings.
+//!
+//! Each chunk is encoded as:
+//!
+//! ```text
+//! row_count: u32
+//! has_validity: u8           (1 = validity bitmap follows)
+//! [validity bytes]           (row_count bits, packed)
+//! encoding: u8               (0 = plain, 1 = dictionary, 2 = bit-packed)
+//! payload
+//! ```
+//!
+//! Strings pick dictionary encoding automatically when it saves space
+//! (distinct values ≤ half the rows), mirroring Parquet's default behaviour.
+
+use crate::error::{FormatError, Result};
+use crate::io::{ByteReader, ByteWriter};
+use lakehouse_columnar::{Bitmap, Column, DataType};
+use std::collections::HashMap;
+
+const ENC_PLAIN: u8 = 0;
+const ENC_DICT: u8 = 1;
+const ENC_BITPACK: u8 = 2;
+
+/// Encode one column chunk.
+pub fn encode_column(col: &Column, w: &mut ByteWriter) {
+    let n = col.len();
+    w.write_u32(n as u32);
+    match col.validity() {
+        Some(bm) => {
+            w.write_u8(1);
+            w.write_bytes(bm.as_bytes());
+        }
+        None => w.write_u8(0),
+    }
+    match col {
+        Column::Bool(values, _) => {
+            w.write_u8(ENC_BITPACK);
+            let bm = Bitmap::from_bools(values);
+            w.write_bytes(bm.as_bytes());
+        }
+        Column::Int64(values, _) | Column::Timestamp(values, _) => {
+            w.write_u8(ENC_PLAIN);
+            for &v in values {
+                w.write_i64(v);
+            }
+        }
+        Column::Float64(values, _) => {
+            w.write_u8(ENC_PLAIN);
+            for &v in values {
+                w.write_f64(v);
+            }
+        }
+        Column::Date(values, _) => {
+            w.write_u8(ENC_PLAIN);
+            for &v in values {
+                w.write_i32(v);
+            }
+        }
+        Column::Utf8(values, _) => {
+            let mut dict: Vec<&str> = Vec::new();
+            let mut index: HashMap<&str, u32> = HashMap::new();
+            for v in values {
+                index.entry(v.as_str()).or_insert_with(|| {
+                    dict.push(v.as_str());
+                    (dict.len() - 1) as u32
+                });
+            }
+            if dict.len() * 2 <= values.len().max(1) {
+                w.write_u8(ENC_DICT);
+                w.write_u32(dict.len() as u32);
+                for d in &dict {
+                    w.write_str(d);
+                }
+                for v in values {
+                    w.write_u32(index[v.as_str()]);
+                }
+            } else {
+                w.write_u8(ENC_PLAIN);
+                for v in values {
+                    w.write_str(v);
+                }
+            }
+        }
+    }
+}
+
+/// Decode one column chunk of the given type.
+pub fn decode_column(dt: DataType, r: &mut ByteReader<'_>) -> Result<Column> {
+    let n = r.read_u32()? as usize;
+    let validity = if r.read_u8()? == 1 {
+        let bytes = r.read_bytes()?.to_vec();
+        Some(
+            Bitmap::from_bytes(bytes, n)
+                .map_err(|e| FormatError::Corrupt(format!("bad validity bitmap: {e}")))?,
+        )
+    } else {
+        None
+    };
+    let encoding = r.read_u8()?;
+    match (dt, encoding) {
+        (DataType::Bool, ENC_BITPACK) => {
+            let bytes = r.read_bytes()?.to_vec();
+            let bm = Bitmap::from_bytes(bytes, n)
+                .map_err(|e| FormatError::Corrupt(format!("bad bool chunk: {e}")))?;
+            Ok(Column::Bool(bm.iter().collect(), validity))
+        }
+        (DataType::Int64, ENC_PLAIN) => {
+            let mut values = Vec::with_capacity(n);
+            for _ in 0..n {
+                values.push(r.read_i64()?);
+            }
+            Ok(Column::Int64(values, validity))
+        }
+        (DataType::Timestamp, ENC_PLAIN) => {
+            let mut values = Vec::with_capacity(n);
+            for _ in 0..n {
+                values.push(r.read_i64()?);
+            }
+            Ok(Column::Timestamp(values, validity))
+        }
+        (DataType::Float64, ENC_PLAIN) => {
+            let mut values = Vec::with_capacity(n);
+            for _ in 0..n {
+                values.push(r.read_f64()?);
+            }
+            Ok(Column::Float64(values, validity))
+        }
+        (DataType::Date, ENC_PLAIN) => {
+            let mut values = Vec::with_capacity(n);
+            for _ in 0..n {
+                values.push(r.read_i32()?);
+            }
+            Ok(Column::Date(values, validity))
+        }
+        (DataType::Utf8, ENC_PLAIN) => {
+            let mut values = Vec::with_capacity(n);
+            for _ in 0..n {
+                values.push(r.read_str()?);
+            }
+            Ok(Column::Utf8(values, validity))
+        }
+        (DataType::Utf8, ENC_DICT) => {
+            let dict_len = r.read_u32()? as usize;
+            let mut dict = Vec::with_capacity(dict_len);
+            for _ in 0..dict_len {
+                dict.push(r.read_str()?);
+            }
+            let mut values = Vec::with_capacity(n);
+            for _ in 0..n {
+                let idx = r.read_u32()? as usize;
+                let s = dict.get(idx).ok_or_else(|| {
+                    FormatError::Corrupt(format!("dict index {idx} out of range {dict_len}"))
+                })?;
+                values.push(s.clone());
+            }
+            Ok(Column::Utf8(values, validity))
+        }
+        (dt, enc) => Err(FormatError::Corrupt(format!(
+            "unsupported encoding {enc} for type {dt}"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lakehouse_columnar::Value;
+
+    fn round_trip(col: Column) -> Column {
+        let mut w = ByteWriter::new();
+        encode_column(&col, &mut w);
+        let buf = w.into_bytes();
+        decode_column(col.data_type(), &mut ByteReader::new(&buf)).unwrap()
+    }
+
+    #[test]
+    fn int_round_trip() {
+        let c = Column::from_i64(vec![1, -2, i64::MAX]);
+        assert_eq!(round_trip(c.clone()), c);
+    }
+
+    #[test]
+    fn float_round_trip_with_nulls() {
+        let c = Column::from_opt_f64(vec![Some(1.5), None, Some(-0.0)]);
+        assert_eq!(round_trip(c.clone()), c);
+    }
+
+    #[test]
+    fn bool_bitpack_round_trip() {
+        let c = Column::from_bool(vec![true, false, true, true, false, true, false, true, true]);
+        assert_eq!(round_trip(c.clone()), c);
+    }
+
+    #[test]
+    fn string_low_cardinality_uses_dict() {
+        let values: Vec<&str> = (0..100).map(|i| if i % 2 == 0 { "a" } else { "b" }).collect();
+        let c = Column::from_strs(values);
+        let mut w = ByteWriter::new();
+        encode_column(&c, &mut w);
+        let buf = w.into_bytes();
+        // encoding byte is right after row_count(4) + has_validity(1)
+        assert_eq!(buf[5], ENC_DICT);
+        assert_eq!(
+            decode_column(DataType::Utf8, &mut ByteReader::new(&buf)).unwrap(),
+            c
+        );
+    }
+
+    #[test]
+    fn string_high_cardinality_uses_plain() {
+        let values: Vec<String> = (0..10).map(|i| format!("unique-{i}")).collect();
+        let c = Column::from_str_vec(values);
+        let mut w = ByteWriter::new();
+        encode_column(&c, &mut w);
+        let buf = w.into_bytes();
+        assert_eq!(buf[5], ENC_PLAIN);
+        assert_eq!(
+            decode_column(DataType::Utf8, &mut ByteReader::new(&buf)).unwrap(),
+            c
+        );
+    }
+
+    #[test]
+    fn timestamp_and_date_round_trip() {
+        let t = Column::from_timestamp(vec![1_000_000, 2_000_000]);
+        assert_eq!(round_trip(t.clone()), t);
+        let d = Column::from_opt_date(vec![Some(19_000), None]);
+        assert_eq!(round_trip(d.clone()), d);
+    }
+
+    #[test]
+    fn empty_column_round_trip() {
+        let c = Column::new_empty(DataType::Utf8);
+        assert_eq!(round_trip(c.clone()), c);
+    }
+
+    #[test]
+    fn nulls_preserved_through_dict() {
+        let c = Column::from_opt_str(vec![Some("x"), None, Some("x"), Some("y")]);
+        let rt = round_trip(c.clone());
+        assert_eq!(rt, c);
+        assert_eq!(rt.get(1).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn corrupt_dict_index_detected() {
+        let mut w = ByteWriter::new();
+        w.write_u32(1); // 1 row
+        w.write_u8(0); // no validity
+        w.write_u8(ENC_DICT);
+        w.write_u32(1); // dict of 1
+        w.write_str("only");
+        w.write_u32(99); // out-of-range index
+        let buf = w.into_bytes();
+        assert!(decode_column(DataType::Utf8, &mut ByteReader::new(&buf)).is_err());
+    }
+
+    #[test]
+    fn wrong_encoding_for_type_errors() {
+        let mut w = ByteWriter::new();
+        w.write_u32(0);
+        w.write_u8(0);
+        w.write_u8(ENC_DICT); // dict not valid for ints
+        let buf = w.into_bytes();
+        assert!(decode_column(DataType::Int64, &mut ByteReader::new(&buf)).is_err());
+    }
+}

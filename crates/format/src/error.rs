@@ -1,0 +1,46 @@
+//! Error type for file-format encode/decode.
+
+use lakehouse_columnar::ColumnarError;
+use std::fmt;
+
+/// Errors from reading or writing lakehouse data files.
+#[derive(Debug)]
+pub enum FormatError {
+    /// The file is truncated or the magic/trailer is wrong.
+    Corrupt(String),
+    /// The footer declares an unsupported format version.
+    UnsupportedVersion(u32),
+    /// A columnar-layer error surfaced during encode/decode.
+    Columnar(ColumnarError),
+    /// Caller misuse (e.g. writing a batch with the wrong schema).
+    InvalidArgument(String),
+}
+
+impl fmt::Display for FormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Corrupt(msg) => write!(f, "corrupt file: {msg}"),
+            Self::UnsupportedVersion(v) => write!(f, "unsupported format version {v}"),
+            Self::Columnar(e) => write!(f, "columnar error: {e}"),
+            Self::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FormatError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Columnar(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ColumnarError> for FormatError {
+    fn from(e: ColumnarError) -> Self {
+        FormatError::Columnar(e)
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, FormatError>;

@@ -1,0 +1,198 @@
+//! Little-endian byte serialization helpers used by the footer and encodings.
+
+use crate::error::{FormatError, Result};
+
+/// Append-only byte sink with typed write helpers.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    pub fn write_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn write_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn write_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn write_i32(&mut self, v: i32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn write_i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn write_f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Length-prefixed (u32) byte blob.
+    pub fn write_bytes(&mut self, v: &[u8]) {
+        self.write_u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn write_str(&mut self, v: &str) {
+        self.write_bytes(v.as_bytes());
+    }
+
+    /// Raw bytes with no length prefix.
+    pub fn write_raw(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+}
+
+/// Cursor over a byte slice with typed read helpers; every read is
+/// bounds-checked and truncation surfaces as `Corrupt`.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(FormatError::Corrupt(format!(
+                "need {n} bytes at offset {}, only {} remain",
+                self.pos,
+                self.remaining()
+            )));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    pub fn read_u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn read_u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub fn read_u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub fn read_i32(&mut self) -> Result<i32> {
+        Ok(i32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub fn read_i64(&mut self) -> Result<i64> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub fn read_f64(&mut self) -> Result<f64> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Length-prefixed byte blob.
+    pub fn read_bytes(&mut self) -> Result<&'a [u8]> {
+        let len = self.read_u32()? as usize;
+        self.take(len)
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn read_str(&mut self) -> Result<String> {
+        let bytes = self.read_bytes()?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| FormatError::Corrupt("invalid utf8 string".into()))
+    }
+
+    /// Raw bytes with no length prefix.
+    pub fn read_raw(&mut self, n: usize) -> Result<&'a [u8]> {
+        self.take(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_types() {
+        let mut w = ByteWriter::new();
+        w.write_u8(7);
+        w.write_u32(1234);
+        w.write_u64(u64::MAX);
+        w.write_i32(-5);
+        w.write_i64(i64::MIN);
+        w.write_f64(2.5);
+        w.write_str("hello");
+        w.write_bytes(b"blob");
+        let buf = w.into_bytes();
+        let mut r = ByteReader::new(&buf);
+        assert_eq!(r.read_u8().unwrap(), 7);
+        assert_eq!(r.read_u32().unwrap(), 1234);
+        assert_eq!(r.read_u64().unwrap(), u64::MAX);
+        assert_eq!(r.read_i32().unwrap(), -5);
+        assert_eq!(r.read_i64().unwrap(), i64::MIN);
+        assert_eq!(r.read_f64().unwrap(), 2.5);
+        assert_eq!(r.read_str().unwrap(), "hello");
+        assert_eq!(r.read_bytes().unwrap(), b"blob");
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn truncation_is_corrupt_not_panic() {
+        let mut r = ByteReader::new(&[1, 2]);
+        assert!(r.read_u64().is_err());
+    }
+
+    #[test]
+    fn bad_utf8_is_corrupt() {
+        let mut w = ByteWriter::new();
+        w.write_bytes(&[0xFF, 0xFE]);
+        let buf = w.into_bytes();
+        let mut r = ByteReader::new(&buf);
+        assert!(r.read_str().is_err());
+    }
+
+    #[test]
+    fn lying_length_prefix_is_corrupt() {
+        let mut w = ByteWriter::new();
+        w.write_u32(1000); // claims 1000 bytes follow
+        w.write_raw(b"xy");
+        let buf = w.into_bytes();
+        let mut r = ByteReader::new(&buf);
+        assert!(r.read_bytes().is_err());
+    }
+}

@@ -1,0 +1,317 @@
+//! Data-file reader: parses the footer, exposes per-row-group metadata for
+//! zone-map pruning, and decodes only the chunks a scan needs.
+
+use crate::encoding::decode_column;
+use crate::error::{FormatError, Result};
+use crate::io::ByteReader;
+use crate::stats::ColumnStats;
+use crate::writer::datatype_from_tag;
+use crate::{FORMAT_VERSION, MAGIC};
+use bytes::Bytes;
+use lakehouse_columnar::kernels::CmpOp;
+use lakehouse_columnar::{Field, RecordBatch, Schema, Value};
+
+/// Metadata for one row group: row count plus per-column chunk location and
+/// statistics.
+#[derive(Debug, Clone)]
+pub struct RowGroupMeta {
+    pub row_count: u64,
+    pub chunk_offsets: Vec<(u64, u64)>,
+    pub stats: Vec<ColumnStats>,
+}
+
+/// Parse the footer body (between the data section and the trailing
+/// `footer_len + magic`): version, schema, and row-group metadata.
+pub(crate) fn parse_footer(footer: &[u8]) -> Result<(Schema, Vec<RowGroupMeta>)> {
+    let mut r = ByteReader::new(footer);
+    let version = r.read_u32()?;
+    if version != FORMAT_VERSION {
+        return Err(FormatError::UnsupportedVersion(version));
+    }
+    let field_count = r.read_u32()? as usize;
+    let mut fields = Vec::with_capacity(field_count);
+    for _ in 0..field_count {
+        let name = r.read_str()?;
+        let dt = datatype_from_tag(r.read_u8()?)?;
+        let nullable = r.read_u8()? != 0;
+        fields.push(Field::new(name, dt, nullable));
+    }
+    let schema = Schema::new(fields);
+    let group_count = r.read_u32()? as usize;
+    let mut groups = Vec::with_capacity(group_count);
+    for _ in 0..group_count {
+        let row_count = r.read_u64()?;
+        let mut chunk_offsets = Vec::with_capacity(field_count);
+        let mut stats = Vec::with_capacity(field_count);
+        for _ in 0..field_count {
+            let offset = r.read_u64()?;
+            let length = r.read_u64()?;
+            chunk_offsets.push((offset, length));
+            stats.push(ColumnStats::decode(&mut r)?);
+        }
+        groups.push(RowGroupMeta {
+            row_count,
+            chunk_offsets,
+            stats,
+        });
+    }
+    Ok((schema, groups))
+}
+
+/// A parsed data file. Holds the full file bytes (object stores hand back
+/// whole objects; `Bytes` slicing keeps chunk decoding copy-free).
+#[derive(Debug, Clone)]
+pub struct FileReader {
+    data: Bytes,
+    schema: Schema,
+    groups: Vec<RowGroupMeta>,
+}
+
+impl FileReader {
+    /// Parse a complete file.
+    pub fn parse(data: Bytes) -> Result<FileReader> {
+        if data.len() < 12 || &data[..4] != MAGIC || &data[data.len() - 4..] != MAGIC {
+            return Err(FormatError::Corrupt("bad magic".into()));
+        }
+        let footer_len = u32::from_le_bytes(
+            data[data.len() - 8..data.len() - 4]
+                .try_into()
+                .expect("4 bytes"),
+        ) as usize;
+        if footer_len + 12 > data.len() {
+            return Err(FormatError::Corrupt("footer length out of range".into()));
+        }
+        let footer_start = data.len() - 8 - footer_len;
+        let (schema, groups) = parse_footer(&data[footer_start..data.len() - 8])?;
+        Ok(FileReader {
+            data,
+            schema,
+            groups,
+        })
+    }
+
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    pub fn num_row_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    pub fn num_rows(&self) -> u64 {
+        self.groups.iter().map(|g| g.row_count).sum()
+    }
+
+    pub fn row_group_meta(&self, idx: usize) -> &RowGroupMeta {
+        &self.groups[idx]
+    }
+
+    /// File-level stats for a column: merge of all row-group stats.
+    pub fn file_stats(&self, column: usize) -> Option<ColumnStats> {
+        let mut iter = self.groups.iter().map(|g| g.stats[column].clone());
+        let mut first = iter.next()?;
+        for s in iter {
+            first.merge(&s);
+        }
+        Some(first)
+    }
+
+    /// Row-group indices that may contain rows matching `column OP literal`
+    /// (zone-map pruning).
+    pub fn prune(&self, column: &str, op: CmpOp, literal: &Value) -> Result<Vec<usize>> {
+        let col_idx = self.schema.index_of(column)?;
+        Ok(self
+            .groups
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| g.stats[col_idx].may_match(op, literal))
+            .map(|(i, _)| i)
+            .collect())
+    }
+
+    /// Decode one row group, optionally projecting to a subset of columns
+    /// (given by schema index).
+    pub fn read_row_group(
+        &self,
+        idx: usize,
+        projection: Option<&[usize]>,
+    ) -> Result<RecordBatch> {
+        let group = self
+            .groups
+            .get(idx)
+            .ok_or_else(|| FormatError::InvalidArgument(format!("no row group {idx}")))?;
+        let col_indices: Vec<usize> = match projection {
+            Some(p) => p.to_vec(),
+            None => (0..self.schema.len()).collect(),
+        };
+        let mut fields = Vec::with_capacity(col_indices.len());
+        let mut columns = Vec::with_capacity(col_indices.len());
+        for &c in &col_indices {
+            if c >= self.schema.len() {
+                return Err(FormatError::InvalidArgument(format!(
+                    "projection index {c} out of range"
+                )));
+            }
+            let field = self.schema.field(c).clone();
+            let (offset, length) = group.chunk_offsets[c];
+            let (start, end) = (offset as usize, (offset + length) as usize);
+            if end > self.data.len() || start > end {
+                return Err(FormatError::Corrupt("chunk offset out of range".into()));
+            }
+            let mut r = ByteReader::new(&self.data[start..end]);
+            columns.push(decode_column(field.data_type(), &mut r)?);
+            fields.push(field);
+        }
+        Ok(RecordBatch::try_new(Schema::new(fields), columns)?)
+    }
+
+    /// Decode the whole file (optionally projected) into one batch.
+    pub fn read_all(&self, projection: Option<&[usize]>) -> Result<RecordBatch> {
+        if self.groups.is_empty() {
+            let schema = match projection {
+                Some(p) => Schema::new(p.iter().map(|&i| self.schema.field(i).clone()).collect()),
+                None => self.schema.clone(),
+            };
+            return Ok(RecordBatch::new_empty(schema));
+        }
+        let batches = (0..self.groups.len())
+            .map(|i| self.read_row_group(i, projection))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(RecordBatch::concat(&batches)?)
+    }
+
+    /// Decode only the row groups in `group_indices` (post-pruning scan).
+    pub fn read_groups(
+        &self,
+        group_indices: &[usize],
+        projection: Option<&[usize]>,
+    ) -> Result<RecordBatch> {
+        if group_indices.is_empty() {
+            let schema = match projection {
+                Some(p) => Schema::new(p.iter().map(|&i| self.schema.field(i).clone()).collect()),
+                None => self.schema.clone(),
+            };
+            return Ok(RecordBatch::new_empty(schema));
+        }
+        let batches = group_indices
+            .iter()
+            .map(|&i| self.read_row_group(i, projection))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(RecordBatch::concat(&batches)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::{FileWriter, WriterOptions};
+    use lakehouse_columnar::{Column, DataType};
+
+    fn sample_file() -> Bytes {
+        let batch = RecordBatch::try_new(
+            Schema::new(vec![
+                Field::new("id", DataType::Int64, false),
+                Field::new("name", DataType::Utf8, true),
+                Field::new("score", DataType::Float64, true),
+            ]),
+            vec![
+                Column::from_i64((0..100).collect()),
+                Column::from_str_vec((0..100).map(|i| format!("u{}", i % 5)).collect()),
+                Column::from_opt_f64((0..100).map(|i| (i % 7 != 0).then_some(i as f64)).collect()),
+            ],
+        )
+        .unwrap();
+        FileWriter::write_file(&batch, WriterOptions { row_group_rows: 25 }).unwrap()
+    }
+
+    #[test]
+    fn full_round_trip() {
+        let reader = FileReader::parse(sample_file()).unwrap();
+        assert_eq!(reader.num_rows(), 100);
+        assert_eq!(reader.num_row_groups(), 4);
+        let all = reader.read_all(None).unwrap();
+        assert_eq!(all.num_rows(), 100);
+        assert_eq!(all.row(0).unwrap()[1], Value::Utf8("u0".into()));
+        assert_eq!(all.row(7).unwrap()[2], Value::Null);
+    }
+
+    #[test]
+    fn projection_reads_subset() {
+        let reader = FileReader::parse(sample_file()).unwrap();
+        let b = reader.read_all(Some(&[2, 0])).unwrap();
+        assert_eq!(b.schema().names(), vec!["score", "id"]);
+        assert_eq!(b.num_rows(), 100);
+    }
+
+    #[test]
+    fn pruning_selects_matching_groups() {
+        let reader = FileReader::parse(sample_file()).unwrap();
+        // id ranges: [0,24],[25,49],[50,74],[75,99]
+        let groups = reader.prune("id", CmpOp::Gt, &Value::Int64(60)).unwrap();
+        assert_eq!(groups, vec![2, 3]);
+        let none = reader.prune("id", CmpOp::Gt, &Value::Int64(99)).unwrap();
+        assert!(none.is_empty());
+        let eq = reader.prune("id", CmpOp::Eq, &Value::Int64(30)).unwrap();
+        assert_eq!(eq, vec![1]);
+    }
+
+    #[test]
+    fn read_pruned_groups_only() {
+        let reader = FileReader::parse(sample_file()).unwrap();
+        let groups = reader.prune("id", CmpOp::GtEq, &Value::Int64(75)).unwrap();
+        let b = reader.read_groups(&groups, None).unwrap();
+        assert_eq!(b.num_rows(), 25);
+        assert_eq!(b.row(0).unwrap()[0], Value::Int64(75));
+    }
+
+    #[test]
+    fn file_stats_merge_groups() {
+        let reader = FileReader::parse(sample_file()).unwrap();
+        let s = reader.file_stats(0).unwrap();
+        assert_eq!(s.min, Value::Int64(0));
+        assert_eq!(s.max, Value::Int64(99));
+        assert_eq!(s.row_count, 100);
+    }
+
+    #[test]
+    fn corrupt_magic_rejected() {
+        let mut bytes = sample_file().to_vec();
+        bytes[0] = b'X';
+        assert!(FileReader::parse(Bytes::from(bytes)).is_err());
+    }
+
+    #[test]
+    fn truncated_file_rejected() {
+        let bytes = sample_file();
+        let truncated = bytes.slice(0..bytes.len() / 2);
+        assert!(FileReader::parse(truncated).is_err());
+    }
+
+    #[test]
+    fn corrupt_footer_len_rejected() {
+        let mut bytes = sample_file().to_vec();
+        let n = bytes.len();
+        bytes[n - 8..n - 4].copy_from_slice(&(u32::MAX).to_le_bytes());
+        assert!(FileReader::parse(Bytes::from(bytes)).is_err());
+    }
+
+    #[test]
+    fn bad_projection_index_errors() {
+        let reader = FileReader::parse(sample_file()).unwrap();
+        assert!(reader.read_all(Some(&[99])).is_err());
+    }
+
+    #[test]
+    fn prune_unknown_column_errors() {
+        let reader = FileReader::parse(sample_file()).unwrap();
+        assert!(reader.prune("nope", CmpOp::Eq, &Value::Int64(1)).is_err());
+    }
+
+    #[test]
+    fn read_empty_group_list_gives_empty_batch() {
+        let reader = FileReader::parse(sample_file()).unwrap();
+        let b = reader.read_groups(&[], Some(&[0])).unwrap();
+        assert_eq!(b.num_rows(), 0);
+        assert_eq!(b.schema().names(), vec!["id"]);
+    }
+}

@@ -1,0 +1,247 @@
+//! Data-file writer: buffers record batches into row groups and emits the
+//! final immutable file bytes.
+
+use crate::encoding::encode_column;
+use crate::error::{FormatError, Result};
+use crate::io::ByteWriter;
+use crate::stats::ColumnStats;
+use crate::{FORMAT_VERSION, MAGIC};
+use bytes::Bytes;
+use lakehouse_columnar::{DataType, RecordBatch, Schema};
+
+/// Tuning knobs for the writer.
+#[derive(Debug, Clone)]
+pub struct WriterOptions {
+    /// Maximum rows per row group. Smaller groups prune better; larger
+    /// groups encode/decode faster. Default 8192.
+    pub row_group_rows: usize,
+}
+
+impl Default for WriterOptions {
+    fn default() -> Self {
+        WriterOptions {
+            row_group_rows: 8192,
+        }
+    }
+}
+
+pub(crate) fn datatype_tag(dt: DataType) -> u8 {
+    match dt {
+        DataType::Bool => 0,
+        DataType::Int64 => 1,
+        DataType::Float64 => 2,
+        DataType::Utf8 => 3,
+        DataType::Timestamp => 4,
+        DataType::Date => 5,
+    }
+}
+
+pub(crate) fn datatype_from_tag(tag: u8) -> Result<DataType> {
+    Ok(match tag {
+        0 => DataType::Bool,
+        1 => DataType::Int64,
+        2 => DataType::Float64,
+        3 => DataType::Utf8,
+        4 => DataType::Timestamp,
+        5 => DataType::Date,
+        t => return Err(FormatError::Corrupt(format!("unknown datatype tag {t}"))),
+    })
+}
+
+struct ChunkMeta {
+    offset: u64,
+    length: u64,
+    stats: ColumnStats,
+}
+
+struct RowGroup {
+    row_count: u64,
+    chunks: Vec<ChunkMeta>,
+}
+
+/// Streaming writer: feed batches with [`FileWriter::write_batch`], then call
+/// [`FileWriter::finish`] for the complete file bytes.
+pub struct FileWriter {
+    schema: Schema,
+    options: WriterOptions,
+    body: ByteWriter,
+    groups: Vec<RowGroup>,
+    pending: Vec<RecordBatch>,
+    pending_rows: usize,
+}
+
+impl FileWriter {
+    pub fn new(schema: Schema, options: WriterOptions) -> Self {
+        let mut body = ByteWriter::new();
+        body.write_raw(MAGIC);
+        FileWriter {
+            schema,
+            options,
+            body,
+            groups: Vec::new(),
+            pending: Vec::new(),
+            pending_rows: 0,
+        }
+    }
+
+    /// Append a batch; schema must match exactly.
+    pub fn write_batch(&mut self, batch: &RecordBatch) -> Result<()> {
+        if batch.schema() != &self.schema {
+            return Err(FormatError::InvalidArgument(format!(
+                "batch schema {} does not match file schema {}",
+                batch.schema(),
+                self.schema
+            )));
+        }
+        self.pending.push(batch.clone());
+        self.pending_rows += batch.num_rows();
+        while self.pending_rows >= self.options.row_group_rows {
+            self.flush_group(self.options.row_group_rows)?;
+        }
+        Ok(())
+    }
+
+    fn flush_group(&mut self, rows: usize) -> Result<()> {
+        let rows = rows.min(self.pending_rows);
+        if rows == 0 {
+            return Ok(());
+        }
+        // Assemble exactly `rows` rows from pending batches.
+        let mut taken = Vec::new();
+        let mut remaining = rows;
+        while remaining > 0 {
+            let batch = self.pending.remove(0);
+            if batch.num_rows() <= remaining {
+                remaining -= batch.num_rows();
+                taken.push(batch);
+            } else {
+                taken.push(batch.slice(0, remaining)?);
+                let rest = batch.slice(remaining, batch.num_rows() - remaining)?;
+                self.pending.insert(0, rest);
+                remaining = 0;
+            }
+        }
+        self.pending_rows -= rows;
+        let group_batch = RecordBatch::concat(&taken)?;
+        let mut chunks = Vec::with_capacity(group_batch.num_columns());
+        for col in group_batch.columns() {
+            let offset = self.body.len() as u64;
+            encode_column(col, &mut self.body);
+            chunks.push(ChunkMeta {
+                offset,
+                length: self.body.len() as u64 - offset,
+                stats: ColumnStats::from_column(col),
+            });
+        }
+        self.groups.push(RowGroup {
+            row_count: group_batch.num_rows() as u64,
+            chunks,
+        });
+        Ok(())
+    }
+
+    /// Flush remaining rows, write the footer, and return the file bytes.
+    pub fn finish(mut self) -> Result<Bytes> {
+        if self.pending_rows > 0 {
+            self.flush_group(self.pending_rows)?;
+        }
+        let footer_start = self.body.len();
+        // Footer: version, schema, row groups.
+        self.body.write_u32(FORMAT_VERSION);
+        self.body.write_u32(self.schema.len() as u32);
+        for f in self.schema.fields() {
+            self.body.write_str(f.name());
+            self.body.write_u8(datatype_tag(f.data_type()));
+            self.body.write_u8(f.nullable() as u8);
+        }
+        self.body.write_u32(self.groups.len() as u32);
+        for g in &self.groups {
+            self.body.write_u64(g.row_count);
+            for c in &g.chunks {
+                self.body.write_u64(c.offset);
+                self.body.write_u64(c.length);
+                c.stats.encode(&mut self.body);
+            }
+        }
+        let footer_len = (self.body.len() - footer_start) as u32;
+        self.body.write_u32(footer_len);
+        self.body.write_raw(MAGIC);
+        Ok(Bytes::from(self.body.into_bytes()))
+    }
+
+    /// Convenience: encode a single batch into a complete file.
+    pub fn write_file(batch: &RecordBatch, options: WriterOptions) -> Result<Bytes> {
+        let mut w = FileWriter::new(batch.schema().clone(), options);
+        w.write_batch(batch)?;
+        w.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lakehouse_columnar::{Column, Field};
+
+    fn batch(n: i64) -> RecordBatch {
+        RecordBatch::try_new(
+            Schema::new(vec![Field::new("x", DataType::Int64, false)]),
+            vec![Column::from_i64((0..n).collect())],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn file_has_magic_and_trailer() {
+        let bytes = FileWriter::write_file(&batch(10), WriterOptions::default()).unwrap();
+        assert_eq!(&bytes[..4], MAGIC);
+        assert_eq!(&bytes[bytes.len() - 4..], MAGIC);
+    }
+
+    #[test]
+    fn schema_mismatch_rejected() {
+        let mut w = FileWriter::new(
+            Schema::new(vec![Field::new("y", DataType::Utf8, true)]),
+            WriterOptions::default(),
+        );
+        assert!(w.write_batch(&batch(1)).is_err());
+    }
+
+    #[test]
+    fn row_groups_split_at_threshold() {
+        let bytes = FileWriter::write_file(
+            &batch(25),
+            WriterOptions { row_group_rows: 10 },
+        )
+        .unwrap();
+        let reader = crate::reader::FileReader::parse(bytes).unwrap();
+        assert_eq!(reader.num_row_groups(), 3);
+        assert_eq!(reader.num_rows(), 25);
+        assert_eq!(reader.row_group_meta(0).row_count, 10);
+        assert_eq!(reader.row_group_meta(2).row_count, 5);
+    }
+
+    #[test]
+    fn multiple_small_batches_coalesce() {
+        let mut w = FileWriter::new(
+            Schema::new(vec![Field::new("x", DataType::Int64, false)]),
+            WriterOptions { row_group_rows: 10 },
+        );
+        for _ in 0..5 {
+            w.write_batch(&batch(4)).unwrap();
+        }
+        let reader = crate::reader::FileReader::parse(w.finish().unwrap()).unwrap();
+        assert_eq!(reader.num_rows(), 20);
+        assert_eq!(reader.num_row_groups(), 2);
+    }
+
+    #[test]
+    fn empty_file_round_trips() {
+        let w = FileWriter::new(
+            Schema::new(vec![Field::new("x", DataType::Int64, false)]),
+            WriterOptions::default(),
+        );
+        let reader = crate::reader::FileReader::parse(w.finish().unwrap()).unwrap();
+        assert_eq!(reader.num_rows(), 0);
+        assert_eq!(reader.num_row_groups(), 0);
+    }
+}

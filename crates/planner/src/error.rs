@@ -1,0 +1,48 @@
+//! Error type for the planner.
+
+use lakehouse_sql::SqlError;
+use std::fmt;
+
+/// Errors from code-intelligence planning.
+#[derive(Debug)]
+pub enum PlannerError {
+    /// Two nodes declare the same artifact name.
+    DuplicateNode(String),
+    /// The dependency graph has a cycle.
+    CycleDetected(Vec<String>),
+    /// A replay selector referenced an unknown node.
+    UnknownNode(String),
+    /// A run id was not found in the registry.
+    UnknownRun(u64),
+    /// A SQL node failed to parse.
+    Sql { node: String, source: SqlError },
+    /// Invalid project configuration.
+    InvalidProject(String),
+}
+
+impl fmt::Display for PlannerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::DuplicateNode(n) => write!(f, "duplicate node name: {n}"),
+            Self::CycleDetected(path) => {
+                write!(f, "dependency cycle: {}", path.join(" -> "))
+            }
+            Self::UnknownNode(n) => write!(f, "unknown node: {n}"),
+            Self::UnknownRun(id) => write!(f, "unknown run id: {id}"),
+            Self::Sql { node, source } => write!(f, "SQL error in node '{node}': {source}"),
+            Self::InvalidProject(m) => write!(f, "invalid project: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PlannerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Sql { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, PlannerError>;

@@ -1,0 +1,241 @@
+//! Pipeline projects: the user layer of the paper's Fig. 3.
+//!
+//! A project is a set of named nodes. SQL nodes follow the dbt-style
+//! one-query-one-artifact pattern; function nodes are native callbacks (our
+//! stand-in for Python steps) with `@requirements`-style environment pins.
+//! Expectation functions follow the `<table>_expectation` naming convention
+//! of the paper's Appendix A.
+
+use crate::error::{PlannerError, Result};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// What a node produces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// A SQL transformation materializing a new artifact.
+    SqlTransform,
+    /// A native function materializing a new artifact.
+    FunctionTransform,
+    /// A native function auditing an artifact (returns pass/fail). Detected
+    /// from the `<table>_expectation` naming convention.
+    Expectation,
+}
+
+/// Environment requirements for a function node — the Rust mirror of the
+/// paper's `@requirements({'pandas': '2.0.0'})` decorator.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Requirements {
+    /// Interpreter identity, e.g. "python3.11".
+    pub interpreter: Option<String>,
+    /// package → version pins.
+    pub packages: BTreeMap<String, String>,
+}
+
+impl Requirements {
+    pub fn with_package(mut self, name: &str, version: &str) -> Self {
+        self.packages.insert(name.into(), version.into());
+        self
+    }
+
+    pub fn with_interpreter(mut self, interpreter: &str) -> Self {
+        self.interpreter = Some(interpreter.into());
+        self
+    }
+
+    /// Package names (the runtime's EnvSpec identity ignores versions in the
+    /// simulation but keeps them in the fingerprint).
+    pub fn package_names(&self) -> Vec<String> {
+        self.packages.keys().cloned().collect()
+    }
+}
+
+/// One node of a pipeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeDef {
+    pub name: String,
+    pub kind: NodeKind,
+    /// SQL text (SQL nodes only).
+    pub sql: Option<String>,
+    /// Declared inputs (function nodes; mirrors Python parameter names).
+    pub inputs: Vec<String>,
+    /// Environment pins (function nodes).
+    pub requirements: Requirements,
+    /// Identifier of the registered native callback (function nodes). The
+    /// platform resolves it in its function registry at execution time.
+    pub function_id: Option<String>,
+}
+
+impl NodeDef {
+    /// A SQL transformation node.
+    pub fn sql(name: impl Into<String>, sql: impl Into<String>) -> NodeDef {
+        NodeDef {
+            name: name.into(),
+            kind: NodeKind::SqlTransform,
+            sql: Some(sql.into()),
+            inputs: vec![],
+            requirements: Requirements::default(),
+            function_id: None,
+        }
+    }
+
+    /// A native function node; kind is inferred from the name (the
+    /// `<table>_expectation` convention marks audits).
+    pub fn function(
+        name: impl Into<String>,
+        inputs: Vec<String>,
+        requirements: Requirements,
+        function_id: impl Into<String>,
+    ) -> NodeDef {
+        let name = name.into();
+        let kind = if name.ends_with("_expectation") {
+            NodeKind::Expectation
+        } else {
+            NodeKind::FunctionTransform
+        };
+        NodeDef {
+            name,
+            kind,
+            sql: None,
+            inputs,
+            requirements,
+            function_id: Some(function_id.into()),
+        }
+    }
+
+    /// The canonical source text used for fingerprinting.
+    pub fn source_text(&self) -> String {
+        match &self.sql {
+            Some(sql) => format!("-- node:{}\n{}", self.name, sql),
+            None => format!(
+                "# node:{} inputs:{:?} requirements:{:?} fn:{:?}",
+                self.name, self.inputs, self.requirements, self.function_id
+            ),
+        }
+    }
+
+    /// Whether this node's output is written back to the catalog.
+    pub fn materializes(&self) -> bool {
+        !matches!(self.kind, NodeKind::Expectation)
+    }
+}
+
+/// A pipeline project: an ordered set of uniquely-named nodes.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PipelineProject {
+    pub name: String,
+    pub nodes: Vec<NodeDef>,
+}
+
+impl PipelineProject {
+    pub fn new(name: impl Into<String>) -> PipelineProject {
+        PipelineProject {
+            name: name.into(),
+            nodes: vec![],
+        }
+    }
+
+    /// Add a node, rejecting duplicates.
+    pub fn add(&mut self, node: NodeDef) -> Result<&mut Self> {
+        if self.nodes.iter().any(|n| n.name == node.name) {
+            return Err(PlannerError::DuplicateNode(node.name));
+        }
+        self.nodes.push(node);
+        Ok(self)
+    }
+
+    /// Builder-style add that panics on duplicates (ergonomic for examples).
+    pub fn with(mut self, node: NodeDef) -> PipelineProject {
+        self.add(node).expect("duplicate node in builder");
+        self
+    }
+
+    pub fn get(&self, name: &str) -> Option<&NodeDef> {
+        self.nodes.iter().find(|n| n.name == name)
+    }
+
+    pub fn node_names(&self) -> Vec<&str> {
+        self.nodes.iter().map(|n| n.name.as_str()).collect()
+    }
+
+    /// The paper's Appendix A pipeline, as a ready-made fixture: trips (SQL)
+    /// → trips_expectation (function audit), trips → pickups (SQL).
+    pub fn taxi_example() -> PipelineProject {
+        PipelineProject::new("taxi_pipeline")
+            .with(NodeDef::sql(
+                "trips",
+                "SELECT pickup_location_id, passenger_count as count, dropoff_location_id \
+                 FROM taxi_table WHERE pickup_at >= DATE '2019-04-01'",
+            ))
+            .with(NodeDef::function(
+                "trips_expectation",
+                vec!["trips".into()],
+                Requirements::default()
+                    .with_interpreter("python3.11")
+                    .with_package("pandas", "2.0.0"),
+                "trips_expectation_impl",
+            ))
+            .with(NodeDef::sql(
+                "pickups",
+                "SELECT pickup_location_id, dropoff_location_id, COUNT(*) AS counts \
+                 FROM trips GROUP BY pickup_location_id, dropoff_location_id \
+                 ORDER BY counts DESC",
+            ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expectation_kind_from_naming_convention() {
+        let n = NodeDef::function(
+            "trips_expectation",
+            vec!["trips".into()],
+            Requirements::default(),
+            "f",
+        );
+        assert_eq!(n.kind, NodeKind::Expectation);
+        assert!(!n.materializes());
+        let t = NodeDef::function("enriched", vec!["trips".into()], Requirements::default(), "g");
+        assert_eq!(t.kind, NodeKind::FunctionTransform);
+        assert!(t.materializes());
+    }
+
+    #[test]
+    fn duplicate_node_rejected() {
+        let mut p = PipelineProject::new("p");
+        p.add(NodeDef::sql("a", "SELECT 1")).unwrap();
+        assert!(matches!(
+            p.add(NodeDef::sql("a", "SELECT 2")),
+            Err(PlannerError::DuplicateNode(_))
+        ));
+    }
+
+    #[test]
+    fn taxi_example_shape() {
+        let p = PipelineProject::taxi_example();
+        assert_eq!(p.node_names(), vec!["trips", "trips_expectation", "pickups"]);
+        assert_eq!(p.get("trips").unwrap().kind, NodeKind::SqlTransform);
+        assert_eq!(
+            p.get("trips_expectation").unwrap().requirements.packages["pandas"],
+            "2.0.0"
+        );
+    }
+
+    #[test]
+    fn source_text_distinguishes_nodes() {
+        let a = NodeDef::sql("a", "SELECT 1");
+        let b = NodeDef::sql("b", "SELECT 1");
+        assert_ne!(a.source_text(), b.source_text());
+    }
+
+    #[test]
+    fn project_json_round_trip() {
+        let p = PipelineProject::taxi_example();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: PipelineProject = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+}

@@ -1,0 +1,132 @@
+//! Data passing between DAG steps: in-memory locality vs. object-store
+//! spillover.
+//!
+//! "Moving data is slow and expensive, and object storage should be treated
+//! as a last resort" (paper §4.5, citing SONIC). [`DataPassing`] charges the
+//! simulated cost of handing an artifact from a parent function to a child
+//! under each locality, so benches can quantify exactly what the fused
+//! executor saves.
+
+use crate::clock::SimClock;
+use lakehouse_store::{LatencyModel, ObjectStore, SimulatedStore};
+use std::time::Duration;
+
+/// Where an intermediate artifact travels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Locality {
+    /// Same process/arena: pointer hand-off.
+    InMemory,
+    /// Same host, different container: copy through shared memory / local
+    /// disk.
+    LocalCopy,
+    /// Through the object store: serialize, PUT, then GET (the naive
+    /// function-as-a-service pattern).
+    ObjectStore,
+}
+
+/// Charges data-passing costs onto a [`SimClock`].
+pub struct DataPassing<S> {
+    clock: SimClock,
+    store: SimulatedStore<S>,
+    /// Shared-memory copy bandwidth for `LocalCopy`.
+    local_copy_bandwidth: u64,
+    /// Serialization throughput (columnar → file bytes and back).
+    serde_bandwidth: u64,
+}
+
+impl<S: ObjectStore> DataPassing<S> {
+    pub fn new(clock: SimClock, store: SimulatedStore<S>) -> DataPassing<S> {
+        DataPassing {
+            clock,
+            store,
+            local_copy_bandwidth: 8 * 1024 * 1024 * 1024, // 8 GB/s memcpy
+            serde_bandwidth: 1024 * 1024 * 1024,          // 1 GB/s encode/decode
+        }
+    }
+
+    /// With an explicit S3-like model (convenience).
+    pub fn s3_like(clock: SimClock, inner: S) -> DataPassing<S> {
+        DataPassing::new(
+            clock.clone(),
+            SimulatedStore::new(inner, LatencyModel::s3_like()),
+        )
+    }
+
+    /// Charge the cost of passing `bytes` of artifact under `locality`.
+    /// Returns the simulated duration charged.
+    pub fn pass(&self, bytes: usize, locality: Locality) -> Duration {
+        let d = match locality {
+            Locality::InMemory => Duration::ZERO,
+            Locality::LocalCopy => {
+                Duration::from_secs_f64(bytes as f64 / self.local_copy_bandwidth as f64)
+            }
+            Locality::ObjectStore => {
+                // serialize + PUT + GET + deserialize.
+                let serde = Duration::from_secs_f64(2.0 * bytes as f64 / self.serde_bandwidth as f64);
+                let put = self.store.charge_write(bytes);
+                let get = self.store.charge_read(bytes);
+                serde + put + get
+            }
+        };
+        if !d.is_zero() {
+            self.clock
+                .advance_labelled(d, format!("datapass:{locality:?}:{bytes}b"));
+        }
+        d
+    }
+
+    pub fn store(&self) -> &SimulatedStore<S> {
+        &self.store
+    }
+
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lakehouse_store::InMemoryStore;
+
+    fn dp() -> DataPassing<InMemoryStore> {
+        DataPassing::s3_like(SimClock::new(), InMemoryStore::new())
+    }
+
+    #[test]
+    fn in_memory_is_free() {
+        let d = dp();
+        assert_eq!(d.pass(100 << 20, Locality::InMemory), Duration::ZERO);
+        assert_eq!(d.clock().now(), Duration::ZERO);
+    }
+
+    #[test]
+    fn locality_ordering() {
+        let d = dp();
+        let bytes = 50 << 20; // 50 MB
+        let mem = d.pass(bytes, Locality::InMemory);
+        let local = d.pass(bytes, Locality::LocalCopy);
+        let remote = d.pass(bytes, Locality::ObjectStore);
+        assert!(mem < local);
+        assert!(local < remote);
+        // Object-store round trip for 50MB should exceed 500ms simulated.
+        assert!(remote > Duration::from_millis(500));
+    }
+
+    #[test]
+    fn object_store_cost_scales_with_size() {
+        let d = dp();
+        let small = d.pass(1 << 20, Locality::ObjectStore);
+        let large = d.pass(100 << 20, Locality::ObjectStore);
+        assert!(large > small * 10);
+    }
+
+    #[test]
+    fn clock_accumulates() {
+        let d = dp();
+        d.pass(10 << 20, Locality::ObjectStore);
+        let t1 = d.clock().now();
+        d.pass(10 << 20, Locality::ObjectStore);
+        assert!(d.clock().now() > t1);
+    }
+}

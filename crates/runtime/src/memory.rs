@@ -1,0 +1,171 @@
+//! Vertical memory elasticity: grant each invocation the memory its
+//! artifacts need (paper §4.5 — "the same transformation logic should run
+//! with 10GB or 20GB of memory depending on the underlying artifacts").
+
+use crate::error::{Result, RuntimeError};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// A worker-level memory budget with RAII grants.
+#[derive(Debug, Clone)]
+pub struct MemoryManager {
+    inner: Arc<Mutex<MemoryInner>>,
+}
+
+#[derive(Debug)]
+struct MemoryInner {
+    capacity: u64,
+    in_use: u64,
+    peak: u64,
+    grants: u64,
+    rejections: u64,
+}
+
+impl MemoryManager {
+    pub fn new(capacity_bytes: u64) -> MemoryManager {
+        MemoryManager {
+            inner: Arc::new(Mutex::new(MemoryInner {
+                capacity: capacity_bytes,
+                in_use: 0,
+                peak: 0,
+                grants: 0,
+                rejections: 0,
+            })),
+        }
+    }
+
+    /// Request `bytes`; the grant releases on drop.
+    pub fn allocate(&self, bytes: u64) -> Result<MemoryGrant> {
+        let mut inner = self.inner.lock();
+        if bytes > inner.capacity {
+            inner.rejections += 1;
+            return Err(RuntimeError::MemoryExceedsCapacity {
+                requested: bytes,
+                capacity: inner.capacity,
+            });
+        }
+        let available = inner.capacity - inner.in_use;
+        if bytes > available {
+            inner.rejections += 1;
+            return Err(RuntimeError::OutOfMemory {
+                requested: bytes,
+                available,
+            });
+        }
+        inner.in_use += bytes;
+        inner.peak = inner.peak.max(inner.in_use);
+        inner.grants += 1;
+        Ok(MemoryGrant {
+            manager: self.clone(),
+            bytes,
+        })
+    }
+
+    pub fn capacity(&self) -> u64 {
+        self.inner.lock().capacity
+    }
+
+    pub fn in_use(&self) -> u64 {
+        self.inner.lock().in_use
+    }
+
+    pub fn available(&self) -> u64 {
+        let inner = self.inner.lock();
+        inner.capacity - inner.in_use
+    }
+
+    /// High-water mark of concurrent usage.
+    pub fn peak(&self) -> u64 {
+        self.inner.lock().peak
+    }
+
+    pub fn rejections(&self) -> u64 {
+        self.inner.lock().rejections
+    }
+
+    fn release(&self, bytes: u64) {
+        let mut inner = self.inner.lock();
+        inner.in_use = inner.in_use.saturating_sub(bytes);
+    }
+}
+
+/// RAII memory reservation.
+#[derive(Debug)]
+pub struct MemoryGrant {
+    manager: MemoryManager,
+    bytes: u64,
+}
+
+impl MemoryGrant {
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+impl Drop for MemoryGrant {
+    fn drop(&mut self) {
+        self.manager.release(self.bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_and_release_on_drop() {
+        let m = MemoryManager::new(1000);
+        {
+            let g = m.allocate(600).unwrap();
+            assert_eq!(g.bytes(), 600);
+            assert_eq!(m.in_use(), 600);
+            assert_eq!(m.available(), 400);
+        }
+        assert_eq!(m.in_use(), 0);
+        assert_eq!(m.peak(), 600);
+    }
+
+    #[test]
+    fn over_capacity_rejected() {
+        let m = MemoryManager::new(1000);
+        assert!(matches!(
+            m.allocate(2000),
+            Err(RuntimeError::MemoryExceedsCapacity { .. })
+        ));
+        assert_eq!(m.rejections(), 1);
+    }
+
+    #[test]
+    fn concurrent_overcommit_rejected() {
+        let m = MemoryManager::new(1000);
+        let _g1 = m.allocate(700).unwrap();
+        assert!(matches!(
+            m.allocate(400),
+            Err(RuntimeError::OutOfMemory { .. })
+        ));
+        let _g2 = m.allocate(300).unwrap();
+        assert_eq!(m.available(), 0);
+    }
+
+    #[test]
+    fn peak_tracks_high_water() {
+        let m = MemoryManager::new(1000);
+        let g1 = m.allocate(400).unwrap();
+        let g2 = m.allocate(500).unwrap();
+        drop(g1);
+        drop(g2);
+        let _g3 = m.allocate(100).unwrap();
+        assert_eq!(m.peak(), 900);
+    }
+
+    #[test]
+    fn vertical_elasticity_scenario() {
+        // Same logic, different artifact sizes → different grants succeed.
+        let m = MemoryManager::new(20 * 1024 * 1024 * 1024);
+        let small = m.allocate(10 * 1024 * 1024 * 1024).unwrap();
+        drop(small);
+        let big = m.allocate(20 * 1024 * 1024 * 1024).unwrap();
+        drop(big);
+        assert_eq!(m.rejections(), 0);
+    }
+}

@@ -1,0 +1,404 @@
+//! Abstract syntax tree for the supported SQL dialect.
+
+use lakehouse_columnar::kernels::CmpOp;
+use lakehouse_columnar::{DataType, Value};
+use std::fmt;
+
+/// A scalar expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Column reference, optionally qualified: `t.col` or `col`.
+    Column {
+        qualifier: Option<String>,
+        name: String,
+    },
+    /// A literal value.
+    Literal(Value),
+    /// `left OP right` comparison.
+    Compare {
+        op: CmpOp,
+        left: Box<Expr>,
+        right: Box<Expr>,
+    },
+    /// Arithmetic: `+ - * / %`.
+    Arith {
+        op: ArithOp,
+        left: Box<Expr>,
+        right: Box<Expr>,
+    },
+    /// `AND` / `OR`.
+    Logical {
+        op: LogicalOp,
+        left: Box<Expr>,
+        right: Box<Expr>,
+    },
+    /// `NOT expr`.
+    Not(Box<Expr>),
+    /// `-expr`.
+    Negate(Box<Expr>),
+    /// `expr IS NULL` / `expr IS NOT NULL`.
+    IsNull { expr: Box<Expr>, negated: bool },
+    /// `expr BETWEEN low AND high`.
+    Between {
+        expr: Box<Expr>,
+        low: Box<Expr>,
+        high: Box<Expr>,
+        negated: bool,
+    },
+    /// `expr IN (v1, v2, ...)`.
+    InList {
+        expr: Box<Expr>,
+        list: Vec<Expr>,
+        negated: bool,
+    },
+    /// `expr LIKE 'pat%'` (supports `%` and `_`).
+    Like {
+        expr: Box<Expr>,
+        pattern: String,
+        negated: bool,
+    },
+    /// Function call: scalar or aggregate (resolved during planning).
+    Function { name: String, args: Vec<Expr> },
+    /// `COUNT(*)`.
+    CountStar,
+    /// `CAST(expr AS type)`.
+    Cast { expr: Box<Expr>, to: DataType },
+    /// `CASE WHEN cond THEN val [WHEN ...] [ELSE val] END`.
+    Case {
+        branches: Vec<(Expr, Expr)>,
+        else_expr: Option<Box<Expr>>,
+    },
+}
+
+/// Arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+}
+
+/// Boolean connectives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LogicalOp {
+    And,
+    Or,
+}
+
+impl Expr {
+    /// Shorthand for an unqualified column reference.
+    pub fn col(name: impl Into<String>) -> Expr {
+        Expr::Column {
+            qualifier: None,
+            name: name.into(),
+        }
+    }
+
+    /// Shorthand for a literal.
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Literal(v.into())
+    }
+
+    /// Walk the expression tree, calling `f` on every node (pre-order).
+    pub fn walk(&self, f: &mut impl FnMut(&Expr)) {
+        f(self);
+        match self {
+            Expr::Compare { left, right, .. }
+            | Expr::Arith { left, right, .. }
+            | Expr::Logical { left, right, .. } => {
+                left.walk(f);
+                right.walk(f);
+            }
+            Expr::Not(e) | Expr::Negate(e) => e.walk(f),
+            Expr::IsNull { expr, .. } => expr.walk(f),
+            Expr::Between {
+                expr, low, high, ..
+            } => {
+                expr.walk(f);
+                low.walk(f);
+                high.walk(f);
+            }
+            Expr::InList { expr, list, .. } => {
+                expr.walk(f);
+                for e in list {
+                    e.walk(f);
+                }
+            }
+            Expr::Like { expr, .. } => expr.walk(f),
+            Expr::Function { args, .. } => {
+                for a in args {
+                    a.walk(f);
+                }
+            }
+            Expr::Cast { expr, .. } => expr.walk(f),
+            Expr::Case {
+                branches,
+                else_expr,
+            } => {
+                for (c, v) in branches {
+                    c.walk(f);
+                    v.walk(f);
+                }
+                if let Some(e) = else_expr {
+                    e.walk(f);
+                }
+            }
+            Expr::Column { .. } | Expr::Literal(_) | Expr::CountStar => {}
+        }
+    }
+
+    /// Names of all referenced columns (unqualified form).
+    pub fn referenced_columns(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.walk(&mut |e| {
+            if let Expr::Column { name, .. } = e {
+                if !out.contains(name) {
+                    out.push(name.clone());
+                }
+            }
+        });
+        out
+    }
+
+    /// A display name for an unaliased projection of this expression.
+    pub fn default_name(&self) -> String {
+        match self {
+            Expr::Column { name, .. } => name.clone(),
+            Expr::CountStar => "count_star".into(),
+            Expr::Function { name, args } => {
+                let inner: Vec<String> = args.iter().map(Expr::default_name).collect();
+                format!("{}({})", name.to_lowercase(), inner.join(", "))
+            }
+            Expr::Literal(v) => v.to_string(),
+            Expr::Cast { expr, .. } => expr.default_name(),
+            other => format!("{other:?}")
+                .chars()
+                .take(32)
+                .collect::<String>()
+                .to_lowercase(),
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Column {
+                qualifier: Some(q),
+                name,
+            } => write!(f, "{q}.{name}"),
+            Expr::Column { name, .. } => write!(f, "{name}"),
+            Expr::Literal(v) => write!(f, "{v}"),
+            Expr::Compare { op, left, right } => {
+                write!(f, "({left} {} {right})", op.symbol())
+            }
+            Expr::Arith { op, left, right } => {
+                let s = match op {
+                    ArithOp::Add => "+",
+                    ArithOp::Sub => "-",
+                    ArithOp::Mul => "*",
+                    ArithOp::Div => "/",
+                    ArithOp::Mod => "%",
+                };
+                write!(f, "({left} {s} {right})")
+            }
+            Expr::Logical { op, left, right } => {
+                let s = match op {
+                    LogicalOp::And => "AND",
+                    LogicalOp::Or => "OR",
+                };
+                write!(f, "({left} {s} {right})")
+            }
+            Expr::Not(e) => write!(f, "NOT {e}"),
+            Expr::Negate(e) => write!(f, "-{e}"),
+            Expr::IsNull { expr, negated } => {
+                write!(f, "{expr} IS {}NULL", if *negated { "NOT " } else { "" })
+            }
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => write!(
+                f,
+                "{expr} {}BETWEEN {low} AND {high}",
+                if *negated { "NOT " } else { "" }
+            ),
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                let items: Vec<String> = list.iter().map(|e| e.to_string()).collect();
+                write!(
+                    f,
+                    "{expr} {}IN ({})",
+                    if *negated { "NOT " } else { "" },
+                    items.join(", ")
+                )
+            }
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => write!(
+                f,
+                "{expr} {}LIKE '{pattern}'",
+                if *negated { "NOT " } else { "" }
+            ),
+            Expr::Function { name, args } => {
+                let items: Vec<String> = args.iter().map(|e| e.to_string()).collect();
+                write!(f, "{name}({})", items.join(", "))
+            }
+            Expr::CountStar => write!(f, "COUNT(*)"),
+            Expr::Cast { expr, to } => write!(f, "CAST({expr} AS {to})"),
+            Expr::Case {
+                branches,
+                else_expr,
+            } => {
+                write!(f, "CASE")?;
+                for (c, v) in branches {
+                    write!(f, " WHEN {c} THEN {v}")?;
+                }
+                if let Some(e) = else_expr {
+                    write!(f, " ELSE {e}")?;
+                }
+                write!(f, " END")
+            }
+        }
+    }
+}
+
+/// One projected item in SELECT.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// `expr [AS alias]`
+    Expr { expr: Expr, alias: Option<String> },
+}
+
+/// `FROM` relation: a named table or a parenthesized subquery, with an
+/// optional alias.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Relation {
+    Table {
+        name: String,
+        alias: Option<String>,
+    },
+    Subquery {
+        query: Box<SelectStmt>,
+        alias: String,
+    },
+}
+
+impl Relation {
+    /// The alias by which columns of this relation may be qualified.
+    pub fn alias(&self) -> &str {
+        match self {
+            Relation::Table { name, alias } => alias.as_deref().unwrap_or(name),
+            Relation::Subquery { alias, .. } => alias,
+        }
+    }
+}
+
+/// Join type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinType {
+    Inner,
+    Left,
+}
+
+/// One join clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Join {
+    pub join_type: JoinType,
+    pub relation: Relation,
+    /// Equality pairs from the ON clause: (left expr, right expr).
+    pub on: Vec<(Expr, Expr)>,
+}
+
+/// Sort specification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderByExpr {
+    pub expr: Expr,
+    pub descending: bool,
+}
+
+/// A parsed SELECT statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    pub distinct: bool,
+    pub projection: Vec<SelectItem>,
+    pub from: Option<Relation>,
+    pub joins: Vec<Join>,
+    pub where_clause: Option<Expr>,
+    pub group_by: Vec<Expr>,
+    pub having: Option<Expr>,
+    pub order_by: Vec<OrderByExpr>,
+    pub limit: Option<usize>,
+    pub offset: Option<usize>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn referenced_columns_dedup() {
+        let e = Expr::Logical {
+            op: LogicalOp::And,
+            left: Box::new(Expr::Compare {
+                op: CmpOp::Gt,
+                left: Box::new(Expr::col("a")),
+                right: Box::new(Expr::lit(1i64)),
+            }),
+            right: Box::new(Expr::Compare {
+                op: CmpOp::Lt,
+                left: Box::new(Expr::col("a")),
+                right: Box::new(Expr::col("b")),
+            }),
+        };
+        assert_eq!(e.referenced_columns(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn display_round_trips_visually() {
+        let e = Expr::Compare {
+            op: CmpOp::GtEq,
+            left: Box::new(Expr::col("x")),
+            right: Box::new(Expr::lit(10i64)),
+        };
+        assert_eq!(e.to_string(), "(x >= 10)");
+    }
+
+    #[test]
+    fn relation_alias() {
+        let t = Relation::Table {
+            name: "trips".into(),
+            alias: None,
+        };
+        assert_eq!(t.alias(), "trips");
+        let t2 = Relation::Table {
+            name: "trips".into(),
+            alias: Some("t".into()),
+        };
+        assert_eq!(t2.alias(), "t");
+    }
+
+    #[test]
+    fn default_names() {
+        assert_eq!(Expr::col("fare").default_name(), "fare");
+        assert_eq!(Expr::CountStar.default_name(), "count_star");
+        assert_eq!(
+            Expr::Function {
+                name: "SUM".into(),
+                args: vec![Expr::col("x")]
+            }
+            .default_name(),
+            "sum(x)"
+        );
+    }
+}

@@ -1,0 +1,436 @@
+//! The top-level engine: SQL text in, record batch out.
+
+use crate::error::Result;
+use crate::logical::{plan_select, LogicalPlan, SchemaProvider};
+use crate::optimizer::optimize;
+use crate::parser::parse_select;
+use crate::ast::Expr;
+use lakehouse_columnar::{RecordBatch, Schema};
+use std::collections::HashMap;
+
+/// Data access for execution: schema resolution plus scanning, with optional
+/// projection and filter pushdown. Implementors may apply filters only
+/// *approximately* (pruning); the executor re-applies them exactly.
+pub trait TableProvider: SchemaProvider {
+    /// Scan a table. `projection` lists the column names to return (in table
+    /// order is acceptable); `filters` are conjunctive predicates that MAY be
+    /// used to skip data.
+    fn scan(
+        &self,
+        table: &str,
+        projection: Option<&[String]>,
+        filters: &[Expr],
+    ) -> Result<RecordBatch>;
+}
+
+/// A provider over in-memory named batches (used by tests, the fused
+/// executor, and `bauplan query` over intermediate artifacts).
+#[derive(Debug, Default, Clone)]
+pub struct MemoryProvider {
+    tables: HashMap<String, RecordBatch>,
+}
+
+impl MemoryProvider {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register (or replace) a table.
+    pub fn register(&mut self, name: impl Into<String>, batch: RecordBatch) {
+        self.tables.insert(name.into(), batch);
+    }
+
+    pub fn get(&self, name: &str) -> Option<&RecordBatch> {
+        self.tables.get(name)
+    }
+
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.keys().map(String::as_str).collect()
+    }
+}
+
+impl SchemaProvider for MemoryProvider {
+    fn table_schema(&self, table: &str) -> Option<Schema> {
+        self.tables.get(table).map(|b| b.schema().clone())
+    }
+}
+
+impl TableProvider for MemoryProvider {
+    fn scan(
+        &self,
+        table: &str,
+        projection: Option<&[String]>,
+        _filters: &[Expr],
+    ) -> Result<RecordBatch> {
+        let batch = self
+            .tables
+            .get(table)
+            .ok_or_else(|| crate::error::SqlError::Plan(format!("unknown table: {table}")))?;
+        match projection {
+            Some(cols) => {
+                let names: Vec<&str> = cols.iter().map(String::as_str).collect();
+                Ok(batch.project(&names)?)
+            }
+            None => Ok(batch.clone()),
+        }
+    }
+}
+
+/// The SQL engine façade.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SqlEngine {
+    options: crate::physical::ExecOptions,
+}
+
+impl SqlEngine {
+    pub fn new() -> Self {
+        SqlEngine::default()
+    }
+
+    /// Enable parallel filter/aggregate execution over `threads` workers
+    /// (the paper's §5 future-work item).
+    pub fn with_parallelism(mut self, threads: usize) -> Self {
+        self.options.parallelism = threads.max(1);
+        self
+    }
+
+    /// Lower the row threshold above which parallel operators engage
+    /// (mostly useful in tests).
+    pub fn with_parallel_threshold(mut self, rows: usize) -> Self {
+        self.options.parallel_threshold_rows = rows;
+        self
+    }
+
+    /// Parse, plan, optimize, and execute a query.
+    pub fn query(&self, sql: &str, provider: &dyn TableProvider) -> Result<RecordBatch> {
+        let plan = self.plan(sql, provider)?;
+        crate::physical::execute_with_options(&plan, provider, &self.options)
+    }
+
+    /// Produce the optimized logical plan without executing.
+    pub fn plan(&self, sql: &str, provider: &dyn TableProvider) -> Result<LogicalPlan> {
+        let stmt = parse_select(sql)?;
+        // &dyn TableProvider upcasts to &dyn SchemaProvider (supertrait).
+        let plan = plan_select(&stmt, provider as &dyn SchemaProvider)?;
+        optimize(plan)
+    }
+
+    /// EXPLAIN: the optimized plan as text.
+    pub fn explain(&self, sql: &str, provider: &dyn TableProvider) -> Result<String> {
+        Ok(self.plan(sql, provider)?.display_indent())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lakehouse_columnar::{Column, DataType, Field, Value};
+
+    fn provider() -> MemoryProvider {
+        let mut p = MemoryProvider::new();
+        // The paper's taxi_table (Appendix A shape).
+        p.register(
+            "taxi_table",
+            RecordBatch::try_new(
+                Schema::new(vec![
+                    Field::new("pickup_location_id", DataType::Int64, false),
+                    Field::new("dropoff_location_id", DataType::Int64, false),
+                    Field::new("passenger_count", DataType::Int64, true),
+                    Field::new("pickup_at", DataType::Date, false),
+                    Field::new("fare", DataType::Float64, true),
+                ]),
+                vec![
+                    Column::from_i64(vec![1, 1, 2, 2, 3, 3, 1, 2]),
+                    Column::from_i64(vec![10, 20, 10, 20, 10, 30, 10, 10]),
+                    Column::from_opt_i64(vec![
+                        Some(1),
+                        Some(2),
+                        None,
+                        Some(4),
+                        Some(5),
+                        Some(1),
+                        Some(3),
+                        Some(2),
+                    ]),
+                    Column::from_date(vec![
+                        17_980, 17_985, 17_990, 17_995, 18_000, 18_005, 18_010, 18_015,
+                    ]),
+                    Column::from_opt_f64(vec![
+                        Some(10.0),
+                        Some(20.0),
+                        Some(5.0),
+                        None,
+                        Some(50.0),
+                        Some(7.5),
+                        Some(12.5),
+                        Some(30.0),
+                    ]),
+                ],
+            )
+            .unwrap(),
+        );
+        p.register(
+            "zones",
+            RecordBatch::try_new(
+                Schema::new(vec![
+                    Field::new("id", DataType::Int64, false),
+                    Field::new("name", DataType::Utf8, false),
+                ]),
+                vec![
+                    Column::from_i64(vec![1, 2, 3]),
+                    Column::from_strs(vec!["midtown", "soho", "harlem"]),
+                ],
+            )
+            .unwrap(),
+        );
+        p
+    }
+
+    fn q(sql: &str) -> RecordBatch {
+        SqlEngine::new().query(sql, &provider()).unwrap()
+    }
+
+    #[test]
+    fn select_star() {
+        let b = q("SELECT * FROM taxi_table");
+        assert_eq!(b.num_rows(), 8);
+        assert_eq!(b.num_columns(), 5);
+    }
+
+    #[test]
+    fn paper_step1_trips() {
+        // Appendix A, Step 1.
+        let b = q("SELECT pickup_location_id, passenger_count as count, \
+                   dropoff_location_id FROM taxi_table WHERE pickup_at >= DATE '2019-04-01'");
+        // 2019-04-01 = day 17987 → rows with pickup_at >= 17987: 6 rows.
+        assert_eq!(b.num_rows(), 6);
+        assert_eq!(
+            b.schema().names(),
+            vec!["pickup_location_id", "count", "dropoff_location_id"]
+        );
+    }
+
+    #[test]
+    fn paper_step3_pickups() {
+        // Appendix A, Step 3: aggregate + order.
+        let b = q("SELECT pickup_location_id, dropoff_location_id, COUNT(*) AS counts \
+                   FROM taxi_table GROUP BY pickup_location_id, dropoff_location_id \
+                   ORDER BY counts DESC");
+        assert!(b.num_rows() >= 4);
+        // Top group is (1,10) or (2,10) with count 2; counts must be
+        // non-increasing.
+        let counts = b.column_by_name("counts").unwrap();
+        let values: Vec<i64> = counts.iter_values().map(|v| v.as_i64().unwrap()).collect();
+        for w in values.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+        assert_eq!(values[0], 2); // (1,10) and (2,10) each appear twice
+    }
+
+    #[test]
+    fn where_with_nulls_dropped() {
+        let b = q("SELECT fare FROM taxi_table WHERE fare > 9.0");
+        // fares: 10,20,50,12.5,30 > 9 (null dropped).
+        assert_eq!(b.num_rows(), 5);
+    }
+
+    #[test]
+    fn global_aggregates() {
+        let b = q("SELECT COUNT(*) AS n, COUNT(fare) AS nf, SUM(fare) AS s, \
+                   MIN(fare) AS mn, MAX(fare) AS mx, AVG(passenger_count) AS ap \
+                   FROM taxi_table");
+        assert_eq!(b.num_rows(), 1);
+        let row = b.row(0).unwrap();
+        assert_eq!(row[0], Value::Int64(8));
+        assert_eq!(row[1], Value::Int64(7));
+        assert_eq!(row[2], Value::Float64(135.0));
+        assert_eq!(row[3], Value::Float64(5.0));
+        assert_eq!(row[4], Value::Float64(50.0));
+        let Value::Float64(avg) = row[5] else { panic!() };
+        assert!((avg - 18.0 / 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn global_aggregate_on_empty_filter() {
+        let b = q("SELECT COUNT(*) AS n, SUM(fare) AS s FROM taxi_table WHERE fare > 1000.0");
+        assert_eq!(b.row(0).unwrap()[0], Value::Int64(0));
+        assert_eq!(b.row(0).unwrap()[1], Value::Null);
+    }
+
+    #[test]
+    fn having_filters_groups() {
+        let b = q("SELECT pickup_location_id, COUNT(*) AS n FROM taxi_table \
+                   GROUP BY pickup_location_id HAVING COUNT(*) > 2");
+        assert_eq!(b.num_rows(), 2); // ids 1 (3 rows) and 2 (3 rows)
+    }
+
+    #[test]
+    fn inner_join() {
+        let b = q("SELECT name, fare FROM taxi_table t JOIN zones z \
+                   ON t.pickup_location_id = z.id WHERE fare > 15.0");
+        assert_eq!(b.num_rows(), 3); // fares 20 (id1), 50 (id3), 30 (id2)
+        assert_eq!(b.schema().names(), vec!["name", "fare"]);
+    }
+
+    #[test]
+    fn left_join_keeps_unmatched() {
+        let mut p = provider();
+        p.register(
+            "extra",
+            RecordBatch::try_new(
+                Schema::new(vec![
+                    Field::new("zid", DataType::Int64, false),
+                    Field::new("extra", DataType::Utf8, false),
+                ]),
+                vec![
+                    Column::from_i64(vec![1]),
+                    Column::from_strs(vec!["only-one"]),
+                ],
+            )
+            .unwrap(),
+        );
+        let b = SqlEngine::new()
+            .query(
+                "SELECT z.name, e.extra FROM zones z LEFT JOIN extra e ON z.id = e.zid \
+                 ORDER BY z.id",
+                &p,
+            )
+            .unwrap();
+        assert_eq!(b.num_rows(), 3);
+        assert_eq!(b.row(0).unwrap()[1], Value::Utf8("only-one".into()));
+        assert_eq!(b.row(1).unwrap()[1], Value::Null);
+    }
+
+    #[test]
+    fn order_by_multiple_and_limit_offset() {
+        let b = q("SELECT pickup_location_id AS p, fare FROM taxi_table \
+                   ORDER BY p ASC, fare DESC LIMIT 3 OFFSET 1");
+        assert_eq!(b.num_rows(), 3);
+        // Full order for p=1: fares 20, 12.5, 10 → offset 1 gives 12.5, 10, then p=2...
+        assert_eq!(b.row(0).unwrap()[1], Value::Float64(12.5));
+    }
+
+    #[test]
+    fn distinct_rows() {
+        let b = q("SELECT DISTINCT pickup_location_id FROM taxi_table");
+        assert_eq!(b.num_rows(), 3);
+    }
+
+    #[test]
+    fn expressions_and_functions() {
+        let b = q("SELECT UPPER(name) AS un, LENGTH(name) AS ln FROM zones ORDER BY id");
+        assert_eq!(b.row(0).unwrap()[0], Value::Utf8("MIDTOWN".into()));
+        assert_eq!(b.row(0).unwrap()[1], Value::Int64(7));
+    }
+
+    #[test]
+    fn case_when() {
+        let b = q("SELECT CASE WHEN fare >= 20.0 THEN 'high' WHEN fare >= 10.0 THEN 'mid' \
+                   ELSE 'low' END AS band, fare FROM taxi_table WHERE fare IS NOT NULL \
+                   ORDER BY fare");
+        assert_eq!(b.row(0).unwrap()[0], Value::Utf8("low".into())); // 5.0
+        let last = b.num_rows() - 1;
+        assert_eq!(b.row(last).unwrap()[0], Value::Utf8("high".into())); // 50.0
+    }
+
+    #[test]
+    fn between_and_in() {
+        let b = q("SELECT fare FROM taxi_table WHERE fare BETWEEN 10.0 AND 30.0");
+        assert_eq!(b.num_rows(), 4); // 10, 20, 12.5, 30
+        let b = q("SELECT * FROM taxi_table WHERE pickup_location_id IN (1, 3)");
+        assert_eq!(b.num_rows(), 5);
+    }
+
+    #[test]
+    fn is_null_checks() {
+        assert_eq!(q("SELECT * FROM taxi_table WHERE fare IS NULL").num_rows(), 1);
+        assert_eq!(
+            q("SELECT * FROM taxi_table WHERE fare IS NOT NULL").num_rows(),
+            7
+        );
+    }
+
+    #[test]
+    fn like_on_strings() {
+        assert_eq!(q("SELECT * FROM zones WHERE name LIKE '%o%'").num_rows(), 2);
+        assert_eq!(
+            q("SELECT * FROM zones WHERE name NOT LIKE 'm%'").num_rows(),
+            2
+        );
+    }
+
+    #[test]
+    fn arithmetic_in_projection() {
+        let b = q("SELECT fare * 2.0 AS double_fare FROM taxi_table WHERE fare = 10.0");
+        assert_eq!(b.row(0).unwrap()[0], Value::Float64(20.0));
+    }
+
+    #[test]
+    fn cast_in_query() {
+        let b = q("SELECT CAST(passenger_count AS DOUBLE) AS pc FROM taxi_table \
+                   WHERE passenger_count = 5");
+        assert_eq!(b.row(0).unwrap()[0], Value::Float64(5.0));
+    }
+
+    #[test]
+    fn subquery_in_from() {
+        let b = q("SELECT count FROM (SELECT passenger_count AS count FROM taxi_table \
+                   WHERE passenger_count IS NOT NULL) sub WHERE count >= 3");
+        assert_eq!(b.num_rows(), 3); // 4, 5, 3
+    }
+
+    #[test]
+    fn select_without_from() {
+        let b = q("SELECT 1 + 1 AS two, 'x' AS s");
+        assert_eq!(b.num_rows(), 1);
+        assert_eq!(b.row(0).unwrap()[0], Value::Int64(2));
+    }
+
+    #[test]
+    fn explain_shows_pushdown() {
+        let text = SqlEngine::new()
+            .explain(
+                "SELECT fare FROM taxi_table WHERE pickup_location_id = 1",
+                &provider(),
+            )
+            .unwrap();
+        assert!(text.contains("Scan: taxi_table"));
+        assert!(text.contains("filters=["));
+        assert!(text.contains("projection=["));
+    }
+
+    #[test]
+    fn unknown_table_is_plan_error() {
+        assert!(SqlEngine::new().query("SELECT * FROM ghost", &provider()).is_err());
+    }
+
+    #[test]
+    fn aggregate_with_expression_over_group() {
+        let b = q("SELECT pickup_location_id, COUNT(*) + 1 AS n1 FROM taxi_table \
+                   GROUP BY pickup_location_id ORDER BY pickup_location_id");
+        assert_eq!(b.row(0).unwrap()[1], Value::Int64(4)); // 3 rows + 1
+    }
+
+    #[test]
+    fn count_distinct_native() {
+        let b = q("SELECT COUNT(DISTINCT pickup_location_id) AS z,                    COUNT(DISTINCT dropoff_location_id) AS d FROM taxi_table");
+        assert_eq!(b.row(0).unwrap()[0], Value::Int64(3));
+        assert_eq!(b.row(0).unwrap()[1], Value::Int64(3));
+    }
+
+    #[test]
+    fn count_distinct_grouped() {
+        let b = q("SELECT pickup_location_id, COUNT(DISTINCT dropoff_location_id) AS d                    FROM taxi_table GROUP BY pickup_location_id ORDER BY pickup_location_id");
+        // pickups 1 -> dropoffs {10,20}; 2 -> {10,20}; 3 -> {10,30}
+        assert_eq!(b.row(0).unwrap()[1], Value::Int64(2));
+        assert_eq!(b.row(1).unwrap()[1], Value::Int64(2));
+        assert_eq!(b.row(2).unwrap()[1], Value::Int64(2));
+    }
+
+    #[test]
+    fn count_distinct_like_via_subquery() {
+        let b = q("SELECT COUNT(*) AS n FROM \
+                   (SELECT DISTINCT pickup_location_id FROM taxi_table) d");
+        assert_eq!(b.row(0).unwrap()[0], Value::Int64(3));
+    }
+}

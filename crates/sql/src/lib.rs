@@ -1,0 +1,43 @@
+//! # lakehouse-sql
+//!
+//! The DuckDB stand-in (paper §4.5): an embeddable, vectorized analytical
+//! SQL engine operating directly on `lakehouse-columnar` batches.
+//!
+//! Pipeline: SQL text → [`tokenizer`] → [`parser`] (AST) → [`logical`] plan →
+//! [`optimizer`] (constant folding, predicate pushdown, projection pruning)
+//! → [`physical`] execution (vectorized operators: scan, filter, project,
+//! hash aggregate, hash join, sort, limit).
+//!
+//! Supported SQL (the dialect the paper's dbt-style pipelines need):
+//!
+//! * `SELECT [DISTINCT] expr [AS alias], ...`
+//! * `FROM table [alias]` with `JOIN` / `LEFT JOIN ... ON a.x = b.y [AND ...]`
+//! * `WHERE` with comparisons, `AND/OR/NOT`, `BETWEEN`, `IN (...)`,
+//!   `IS [NOT] NULL`, `LIKE`, arithmetic, `CAST(x AS T)`, `CASE WHEN`
+//! * `GROUP BY` + aggregates (`COUNT(*)`, `COUNT`, `SUM`, `MIN`, `MAX`,
+//!   `AVG`) and `HAVING`
+//! * `ORDER BY expr [ASC|DESC], ...`, `LIMIT n [OFFSET m]`
+//! * scalar functions: `UPPER`, `LOWER`, `LENGTH`, `ABS`, `ROUND`,
+//!   `COALESCE`, `SUBSTR`
+//!
+//! The engine resolves table names through the [`TableProvider`] trait, which
+//! is what lets the platform layer connect it to Iceberg-style scans with
+//! pushed-down predicates.
+
+pub mod ast;
+pub mod engine;
+pub mod error;
+pub mod functions;
+pub mod logical;
+pub mod optimizer;
+pub mod parallel;
+pub mod parser;
+pub mod physical;
+pub mod tokenizer;
+
+pub use ast::{Expr, SelectStmt};
+pub use engine::{MemoryProvider, SqlEngine, TableProvider};
+pub use error::{Result, SqlError};
+pub use logical::LogicalPlan;
+pub use parallel::{parallel_aggregate, parallel_filter};
+pub use parser::{parse_select, referenced_tables};

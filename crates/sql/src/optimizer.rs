@@ -1,0 +1,781 @@
+//! Logical-plan optimizer: constant folding, predicate pushdown, and
+//! projection pruning.
+//!
+//! These three rules are what make the paper's execution-plan claims real:
+//! pushdown lets the table layer prune files/row groups before any bytes
+//! move, and projection pruning shrinks what does move (§4.4.2).
+
+use crate::ast::{ArithOp, Expr, LogicalOp};
+use crate::error::Result;
+use crate::logical::{resolve_column, LogicalPlan};
+use lakehouse_columnar::kernels::cast::cast_value;
+use lakehouse_columnar::Value;
+
+/// Run all rules to fixpoint-ish (each rule once; they are confluent for our
+/// plan shapes).
+pub fn optimize(plan: LogicalPlan) -> Result<LogicalPlan> {
+    let plan = fold_constants_in_plan(plan)?;
+    let plan = push_down_predicates(plan)?;
+    let plan = prune_projections(plan)?;
+    Ok(plan)
+}
+
+// ---- constant folding ------------------------------------------------------
+
+fn fold_constants_in_plan(plan: LogicalPlan) -> Result<LogicalPlan> {
+    Ok(match plan {
+        LogicalPlan::Filter { input, predicate } => LogicalPlan::Filter {
+            input: Box::new(fold_constants_in_plan(*input)?),
+            predicate: fold_expr(predicate),
+        },
+        LogicalPlan::Project { input, exprs } => LogicalPlan::Project {
+            input: Box::new(fold_constants_in_plan(*input)?),
+            exprs: exprs.into_iter().map(|(e, n)| (fold_expr(e), n)).collect(),
+        },
+        LogicalPlan::Aggregate {
+            input,
+            group_exprs,
+            agg_exprs,
+        } => LogicalPlan::Aggregate {
+            input: Box::new(fold_constants_in_plan(*input)?),
+            group_exprs: group_exprs
+                .into_iter()
+                .map(|(e, n)| (fold_expr(e), n))
+                .collect(),
+            agg_exprs,
+        },
+        LogicalPlan::Join {
+            left,
+            right,
+            join_type,
+            on,
+        } => LogicalPlan::Join {
+            left: Box::new(fold_constants_in_plan(*left)?),
+            right: Box::new(fold_constants_in_plan(*right)?),
+            join_type,
+            on,
+        },
+        LogicalPlan::Sort { input, keys } => LogicalPlan::Sort {
+            input: Box::new(fold_constants_in_plan(*input)?),
+            keys: keys.into_iter().map(|(e, d)| (fold_expr(e), d)).collect(),
+        },
+        LogicalPlan::Limit {
+            input,
+            limit,
+            offset,
+        } => LogicalPlan::Limit {
+            input: Box::new(fold_constants_in_plan(*input)?),
+            limit,
+            offset,
+        },
+        LogicalPlan::Distinct { input } => LogicalPlan::Distinct {
+            input: Box::new(fold_constants_in_plan(*input)?),
+        },
+        LogicalPlan::SubqueryAlias { input, alias } => LogicalPlan::SubqueryAlias {
+            input: Box::new(fold_constants_in_plan(*input)?),
+            alias,
+        },
+        scan @ LogicalPlan::Scan { .. } => scan,
+    })
+}
+
+/// Fold constant subexpressions bottom-up.
+pub fn fold_expr(expr: Expr) -> Expr {
+    match expr {
+        Expr::Arith { op, left, right } => {
+            let left = fold_expr(*left);
+            let right = fold_expr(*right);
+            if let (Expr::Literal(l), Expr::Literal(r)) = (&left, &right) {
+                if let Some(v) = fold_arith(op, l, r) {
+                    return Expr::Literal(v);
+                }
+            }
+            Expr::Arith {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            }
+        }
+        Expr::Compare { op, left, right } => {
+            let left = fold_expr(*left);
+            let right = fold_expr(*right);
+            if let (Expr::Literal(l), Expr::Literal(r)) = (&left, &right) {
+                if !l.is_null() && !r.is_null() {
+                    return Expr::Literal(Value::Bool(op.matches(l.total_cmp(r))));
+                }
+            }
+            Expr::Compare {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            }
+        }
+        Expr::Logical { op, left, right } => {
+            let left = fold_expr(*left);
+            let right = fold_expr(*right);
+            match (op, &left, &right) {
+                (LogicalOp::And, Expr::Literal(Value::Bool(true)), _) => right,
+                (LogicalOp::And, _, Expr::Literal(Value::Bool(true))) => left,
+                (LogicalOp::And, Expr::Literal(Value::Bool(false)), _)
+                | (LogicalOp::And, _, Expr::Literal(Value::Bool(false))) => {
+                    Expr::Literal(Value::Bool(false))
+                }
+                (LogicalOp::Or, Expr::Literal(Value::Bool(false)), _) => right,
+                (LogicalOp::Or, _, Expr::Literal(Value::Bool(false))) => left,
+                (LogicalOp::Or, Expr::Literal(Value::Bool(true)), _)
+                | (LogicalOp::Or, _, Expr::Literal(Value::Bool(true))) => {
+                    Expr::Literal(Value::Bool(true))
+                }
+                _ => Expr::Logical {
+                    op,
+                    left: Box::new(left),
+                    right: Box::new(right),
+                },
+            }
+        }
+        Expr::Not(e) => {
+            let e = fold_expr(*e);
+            if let Expr::Literal(Value::Bool(b)) = e {
+                return Expr::Literal(Value::Bool(!b));
+            }
+            Expr::Not(Box::new(e))
+        }
+        Expr::Negate(e) => {
+            let e = fold_expr(*e);
+            match &e {
+                Expr::Literal(Value::Int64(i)) if *i != i64::MIN => {
+                    return Expr::Literal(Value::Int64(-i))
+                }
+                Expr::Literal(Value::Float64(f)) => return Expr::Literal(Value::Float64(-f)),
+                _ => {}
+            }
+            Expr::Negate(Box::new(e))
+        }
+        Expr::Cast { expr, to } => {
+            let e = fold_expr(*expr);
+            if let Expr::Literal(v) = &e {
+                if let Ok(folded) = cast_value(v, to) {
+                    return Expr::Literal(folded);
+                }
+            }
+            Expr::Cast {
+                expr: Box::new(e),
+                to,
+            }
+        }
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => Expr::Between {
+            expr: Box::new(fold_expr(*expr)),
+            low: Box::new(fold_expr(*low)),
+            high: Box::new(fold_expr(*high)),
+            negated,
+        },
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => Expr::InList {
+            expr: Box::new(fold_expr(*expr)),
+            list: list.into_iter().map(fold_expr).collect(),
+            negated,
+        },
+        Expr::Function { name, args } => Expr::Function {
+            name,
+            args: args.into_iter().map(fold_expr).collect(),
+        },
+        Expr::Case {
+            branches,
+            else_expr,
+        } => Expr::Case {
+            branches: branches
+                .into_iter()
+                .map(|(c, v)| (fold_expr(c), fold_expr(v)))
+                .collect(),
+            else_expr: else_expr.map(|e| Box::new(fold_expr(*e))),
+        },
+        other => other,
+    }
+}
+
+fn fold_arith(op: ArithOp, l: &Value, r: &Value) -> Option<Value> {
+    if l.is_null() || r.is_null() {
+        return Some(Value::Null);
+    }
+    match (l, r) {
+        (Value::Int64(a), Value::Int64(b)) => Some(match op {
+            ArithOp::Add => Value::Int64(a.checked_add(*b)?),
+            ArithOp::Sub => Value::Int64(a.checked_sub(*b)?),
+            ArithOp::Mul => Value::Int64(a.checked_mul(*b)?),
+            ArithOp::Div => {
+                if *b == 0 {
+                    Value::Null
+                } else {
+                    Value::Int64(a.checked_div(*b)?)
+                }
+            }
+            ArithOp::Mod => {
+                if *b == 0 {
+                    Value::Null
+                } else {
+                    Value::Int64(a.checked_rem(*b)?)
+                }
+            }
+        }),
+        _ => {
+            let a = l.as_f64()?;
+            let b = r.as_f64()?;
+            Some(Value::Float64(match op {
+                ArithOp::Add => a + b,
+                ArithOp::Sub => a - b,
+                ArithOp::Mul => a * b,
+                ArithOp::Div => a / b,
+                ArithOp::Mod => a % b,
+            }))
+        }
+    }
+}
+
+// ---- predicate pushdown ----------------------------------------------------
+
+/// Split a conjunction into its AND-ed parts.
+pub fn split_conjunction(expr: &Expr) -> Vec<Expr> {
+    match expr {
+        Expr::Logical {
+            op: LogicalOp::And,
+            left,
+            right,
+        } => {
+            let mut out = split_conjunction(left);
+            out.extend(split_conjunction(right));
+            out
+        }
+        other => vec![other.clone()],
+    }
+}
+
+/// Recombine predicates into a conjunction.
+pub fn conjoin(mut parts: Vec<Expr>) -> Option<Expr> {
+    let first = if parts.is_empty() {
+        return None;
+    } else {
+        parts.remove(0)
+    };
+    Some(parts.into_iter().fold(first, |acc, p| Expr::Logical {
+        op: LogicalOp::And,
+        left: Box::new(acc),
+        right: Box::new(p),
+    }))
+}
+
+fn push_down_predicates(plan: LogicalPlan) -> Result<LogicalPlan> {
+    Ok(match plan {
+        LogicalPlan::Filter { input, predicate } => {
+            let input = push_down_predicates(*input)?;
+            let parts = split_conjunction(&predicate);
+            push_filter_into(input, parts)?
+        }
+        LogicalPlan::Project { input, exprs } => LogicalPlan::Project {
+            input: Box::new(push_down_predicates(*input)?),
+            exprs,
+        },
+        LogicalPlan::Aggregate {
+            input,
+            group_exprs,
+            agg_exprs,
+        } => LogicalPlan::Aggregate {
+            input: Box::new(push_down_predicates(*input)?),
+            group_exprs,
+            agg_exprs,
+        },
+        LogicalPlan::Join {
+            left,
+            right,
+            join_type,
+            on,
+        } => LogicalPlan::Join {
+            left: Box::new(push_down_predicates(*left)?),
+            right: Box::new(push_down_predicates(*right)?),
+            join_type,
+            on,
+        },
+        LogicalPlan::Sort { input, keys } => LogicalPlan::Sort {
+            input: Box::new(push_down_predicates(*input)?),
+            keys,
+        },
+        LogicalPlan::Limit {
+            input,
+            limit,
+            offset,
+        } => LogicalPlan::Limit {
+            input: Box::new(push_down_predicates(*input)?),
+            limit,
+            offset,
+        },
+        LogicalPlan::Distinct { input } => LogicalPlan::Distinct {
+            input: Box::new(push_down_predicates(*input)?),
+        },
+        LogicalPlan::SubqueryAlias { input, alias } => LogicalPlan::SubqueryAlias {
+            input: Box::new(push_down_predicates(*input)?),
+            alias,
+        },
+        scan @ LogicalPlan::Scan { .. } => scan,
+    })
+}
+
+/// Push each conjunct as deep as possible; conjuncts that cannot be pushed
+/// are re-attached as a Filter at this level.
+fn push_filter_into(plan: LogicalPlan, parts: Vec<Expr>) -> Result<LogicalPlan> {
+    match plan {
+        LogicalPlan::Scan {
+            table,
+            schema,
+            projection,
+            mut filters,
+        } => {
+            let mut residual = Vec::new();
+            for p in parts {
+                if predicate_resolves(&p, &schema) {
+                    filters.push(p);
+                } else {
+                    residual.push(p);
+                }
+            }
+            let scan = LogicalPlan::Scan {
+                table,
+                schema,
+                projection,
+                filters,
+            };
+            Ok(wrap_filter(scan, residual))
+        }
+        LogicalPlan::SubqueryAlias { input, alias } => {
+            let inner = push_filter_into(*input, parts)?;
+            Ok(LogicalPlan::SubqueryAlias {
+                input: Box::new(inner),
+                alias,
+            })
+        }
+        LogicalPlan::Filter { input, predicate } => {
+            // Merge with the deeper filter's conjuncts and push together.
+            let mut all = split_conjunction(&predicate);
+            all.extend(parts);
+            push_filter_into(*input, all)
+        }
+        LogicalPlan::Project { input, exprs } => {
+            // A conjunct can cross the projection if every column it
+            // references is a pass-through column (projected as a bare
+            // column reference).
+            let mut pushable = Vec::new();
+            let mut residual = Vec::new();
+            for p in parts {
+                match rewrite_through_project(&p, &exprs) {
+                    Some(rewritten) => pushable.push(rewritten),
+                    None => residual.push(p),
+                }
+            }
+            let inner = if pushable.is_empty() {
+                *input
+            } else {
+                push_filter_into(*input, pushable)?
+            };
+            let project = LogicalPlan::Project {
+                input: Box::new(inner),
+                exprs,
+            };
+            Ok(wrap_filter(project, residual))
+        }
+        other => Ok(wrap_filter(other, parts)),
+    }
+}
+
+fn wrap_filter(plan: LogicalPlan, parts: Vec<Expr>) -> LogicalPlan {
+    match conjoin(parts) {
+        Some(predicate) => LogicalPlan::Filter {
+            input: Box::new(plan),
+            predicate,
+        },
+        None => plan,
+    }
+}
+
+/// Can every column in `expr` be resolved against `schema`?
+fn predicate_resolves(expr: &Expr, schema: &lakehouse_columnar::Schema) -> bool {
+    let mut ok = true;
+    expr.walk(&mut |e| {
+        if let Expr::Column { qualifier, name } = e {
+            if resolve_column(schema, qualifier.as_deref(), name).is_err() {
+                ok = false;
+            }
+        }
+    });
+    ok
+}
+
+/// Rewrite a predicate's column references through a projection (output name
+/// → input expression), succeeding only when all referenced projections are
+/// bare columns.
+fn rewrite_through_project(expr: &Expr, exprs: &[(Expr, String)]) -> Option<Expr> {
+    match expr {
+        Expr::Column { qualifier, name } => {
+            let target = exprs.iter().find(|(_, n)| {
+                n == name
+                    || qualifier
+                        .as_ref()
+                        .is_some_and(|q| n == &format!("{q}.{name}"))
+            })?;
+            match &target.0 {
+                col @ Expr::Column { .. } => Some(col.clone()),
+                _ => None,
+            }
+        }
+        Expr::Literal(_) => Some(expr.clone()),
+        Expr::Compare { op, left, right } => Some(Expr::Compare {
+            op: *op,
+            left: Box::new(rewrite_through_project(left, exprs)?),
+            right: Box::new(rewrite_through_project(right, exprs)?),
+        }),
+        Expr::Logical { op, left, right } => Some(Expr::Logical {
+            op: *op,
+            left: Box::new(rewrite_through_project(left, exprs)?),
+            right: Box::new(rewrite_through_project(right, exprs)?),
+        }),
+        Expr::Not(e) => Some(Expr::Not(Box::new(rewrite_through_project(e, exprs)?))),
+        Expr::IsNull { expr, negated } => Some(Expr::IsNull {
+            expr: Box::new(rewrite_through_project(expr, exprs)?),
+            negated: *negated,
+        }),
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => Some(Expr::Between {
+            expr: Box::new(rewrite_through_project(expr, exprs)?),
+            low: Box::new(rewrite_through_project(low, exprs)?),
+            high: Box::new(rewrite_through_project(high, exprs)?),
+            negated: *negated,
+        }),
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => Some(Expr::InList {
+            expr: Box::new(rewrite_through_project(expr, exprs)?),
+            list: list
+                .iter()
+                .map(|e| rewrite_through_project(e, exprs))
+                .collect::<Option<Vec<_>>>()?,
+            negated: *negated,
+        }),
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => Some(Expr::Like {
+            expr: Box::new(rewrite_through_project(expr, exprs)?),
+            pattern: pattern.clone(),
+            negated: *negated,
+        }),
+        // Anything else (functions, case, casts) stays above the projection.
+        _ => None,
+    }
+}
+
+// ---- projection pruning ----------------------------------------------------
+
+/// Narrow every Scan to the columns actually used above it.
+fn prune_projections(plan: LogicalPlan) -> Result<LogicalPlan> {
+    // Determine required columns top-down; None = all columns required.
+    fn go(plan: LogicalPlan, required: Option<Vec<String>>) -> Result<LogicalPlan> {
+        Ok(match plan {
+            LogicalPlan::Scan {
+                table,
+                schema,
+                projection,
+                filters,
+            } => {
+                let proj = match (projection, required) {
+                    (Some(p), _) => Some(p), // already narrowed upstream
+                    (None, Some(mut req)) => {
+                        // Filters' columns must stay readable.
+                        for f in &filters {
+                            for c in f.referenced_columns() {
+                                if !req.contains(&c) {
+                                    req.push(c);
+                                }
+                            }
+                        }
+                        // Keep schema order; drop unknown names (qualified
+                        // references resolved elsewhere keep the scan whole).
+                        let cols: Vec<String> = schema
+                            .fields()
+                            .iter()
+                            .map(|f| f.name().to_string())
+                            .filter(|n| req.contains(n))
+                            .collect();
+                        if cols.len() == schema.len() || cols.is_empty() {
+                            None
+                        } else {
+                            Some(cols)
+                        }
+                    }
+                    (None, None) => None,
+                };
+                LogicalPlan::Scan {
+                    table,
+                    schema,
+                    projection: proj,
+                    filters,
+                }
+            }
+            LogicalPlan::Project { input, exprs } => {
+                let mut needed = Vec::new();
+                for (e, _) in &exprs {
+                    for c in e.referenced_columns() {
+                        if !needed.contains(&c) {
+                            needed.push(c);
+                        }
+                    }
+                }
+                LogicalPlan::Project {
+                    input: Box::new(go(*input, Some(needed))?),
+                    exprs,
+                }
+            }
+            LogicalPlan::Filter { input, predicate } => {
+                let required = required.map(|mut req| {
+                    for c in predicate.referenced_columns() {
+                        if !req.contains(&c) {
+                            req.push(c);
+                        }
+                    }
+                    req
+                });
+                LogicalPlan::Filter {
+                    input: Box::new(go(*input, required)?),
+                    predicate,
+                }
+            }
+            LogicalPlan::Aggregate {
+                input,
+                group_exprs,
+                agg_exprs,
+            } => {
+                let mut needed = Vec::new();
+                for (e, _) in &group_exprs {
+                    needed.extend(e.referenced_columns());
+                }
+                for (a, _) in &agg_exprs {
+                    if let Some(e) = &a.arg {
+                        needed.extend(e.referenced_columns());
+                    }
+                }
+                needed.dedup();
+                LogicalPlan::Aggregate {
+                    input: Box::new(go(*input, Some(needed))?),
+                    group_exprs,
+                    agg_exprs,
+                }
+            }
+            LogicalPlan::Join {
+                left,
+                right,
+                join_type,
+                on,
+            } => {
+                // Conservative: joins require all columns (output may use
+                // any; ON uses some). Recurse without narrowing.
+                LogicalPlan::Join {
+                    left: Box::new(go(*left, None)?),
+                    right: Box::new(go(*right, None)?),
+                    join_type,
+                    on,
+                }
+            }
+            LogicalPlan::Sort { input, keys } => {
+                let required = required.map(|mut req| {
+                    for (e, _) in &keys {
+                        for c in e.referenced_columns() {
+                            if !req.contains(&c) {
+                                req.push(c);
+                            }
+                        }
+                    }
+                    req
+                });
+                LogicalPlan::Sort {
+                    input: Box::new(go(*input, required)?),
+                    keys,
+                }
+            }
+            LogicalPlan::Limit {
+                input,
+                limit,
+                offset,
+            } => LogicalPlan::Limit {
+                input: Box::new(go(*input, required)?),
+                limit,
+                offset,
+            },
+            LogicalPlan::Distinct { input } => LogicalPlan::Distinct {
+                input: Box::new(go(*input, required)?),
+            },
+            LogicalPlan::SubqueryAlias { input, alias } => LogicalPlan::SubqueryAlias {
+                input: Box::new(go(*input, required)?),
+                alias,
+            },
+        })
+    }
+    go(plan, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logical::{plan_select, SchemaProvider};
+    use crate::parser::parse_select;
+    use lakehouse_columnar::kernels::CmpOp;
+    use lakehouse_columnar::{DataType, Field, Schema};
+
+    struct Fixture;
+    impl SchemaProvider for Fixture {
+        fn table_schema(&self, table: &str) -> Option<Schema> {
+            (table == "t").then(|| {
+                Schema::new(vec![
+                    Field::new("a", DataType::Int64, false),
+                    Field::new("b", DataType::Float64, true),
+                    Field::new("c", DataType::Utf8, true),
+                ])
+            })
+        }
+    }
+
+    fn optimized(sql: &str) -> LogicalPlan {
+        optimize(plan_select(&parse_select(sql).unwrap(), &Fixture).unwrap()).unwrap()
+    }
+
+    fn find_scan(plan: &LogicalPlan) -> &LogicalPlan {
+        match plan {
+            LogicalPlan::Scan { .. } => plan,
+            LogicalPlan::Filter { input, .. }
+            | LogicalPlan::Project { input, .. }
+            | LogicalPlan::Aggregate { input, .. }
+            | LogicalPlan::Sort { input, .. }
+            | LogicalPlan::Limit { input, .. }
+            | LogicalPlan::Distinct { input }
+            | LogicalPlan::SubqueryAlias { input, .. } => find_scan(input),
+            LogicalPlan::Join { left, .. } => find_scan(left),
+        }
+    }
+
+    #[test]
+    fn constant_folding() {
+        assert_eq!(
+            fold_expr(Expr::Arith {
+                op: ArithOp::Add,
+                left: Box::new(Expr::lit(1i64)),
+                right: Box::new(Expr::lit(2i64)),
+            }),
+            Expr::lit(3i64)
+        );
+        assert_eq!(
+            fold_expr(Expr::Compare {
+                op: CmpOp::Gt,
+                left: Box::new(Expr::lit(3i64)),
+                right: Box::new(Expr::lit(2i64)),
+            }),
+            Expr::lit(true)
+        );
+    }
+
+    #[test]
+    fn and_true_simplifies() {
+        let e = fold_expr(Expr::Logical {
+            op: LogicalOp::And,
+            left: Box::new(Expr::lit(true)),
+            right: Box::new(Expr::col("a")),
+        });
+        assert_eq!(e, Expr::col("a"));
+    }
+
+    #[test]
+    fn where_pushed_into_scan() {
+        let p = optimized("SELECT a FROM t WHERE a > 5 AND b < 2.0");
+        let LogicalPlan::Scan { filters, .. } = find_scan(&p) else {
+            panic!()
+        };
+        assert_eq!(filters.len(), 2);
+    }
+
+    #[test]
+    fn projection_pruned_to_used_columns() {
+        let p = optimized("SELECT a FROM t WHERE b > 1.0");
+        let LogicalPlan::Scan { projection, .. } = find_scan(&p) else {
+            panic!()
+        };
+        let proj = projection.clone().unwrap();
+        assert!(proj.contains(&"a".to_string()));
+        assert!(proj.contains(&"b".to_string()));
+        assert!(!proj.contains(&"c".to_string()));
+    }
+
+    #[test]
+    fn pushdown_through_subquery_alias() {
+        let p = optimized("SELECT a FROM (SELECT a, b FROM t) sub WHERE a = 1");
+        let LogicalPlan::Scan { filters, .. } = find_scan(&p) else {
+            panic!()
+        };
+        assert_eq!(filters.len(), 1);
+        assert!(filters[0].to_string().contains("(a = 1)"));
+    }
+
+    #[test]
+    fn having_not_pushed_below_aggregate() {
+        let p = optimized("SELECT c, COUNT(*) AS n FROM t GROUP BY c HAVING COUNT(*) > 2");
+        // The filter on __agg_0 must remain above the aggregate node.
+        fn has_filter_above_agg(plan: &LogicalPlan) -> bool {
+            match plan {
+                LogicalPlan::Filter { input, .. } => {
+                    matches!(**input, LogicalPlan::Aggregate { .. })
+                        || has_filter_above_agg(input)
+                }
+                LogicalPlan::Project { input, .. }
+                | LogicalPlan::Sort { input, .. }
+                | LogicalPlan::Limit { input, .. }
+                | LogicalPlan::Distinct { input }
+                | LogicalPlan::SubqueryAlias { input, .. } => has_filter_above_agg(input),
+                _ => false,
+            }
+        }
+        assert!(has_filter_above_agg(&p));
+        let LogicalPlan::Scan { filters, .. } = find_scan(&p) else {
+            panic!()
+        };
+        assert!(filters.is_empty());
+    }
+
+    #[test]
+    fn split_and_conjoin_round_trip() {
+        let e = parse_select("SELECT * FROM t WHERE a = 1 AND b = 2.0 AND c = 'x'")
+            .unwrap()
+            .where_clause
+            .unwrap();
+        let parts = split_conjunction(&e);
+        assert_eq!(parts.len(), 3);
+        let back = conjoin(parts.clone()).unwrap();
+        assert_eq!(split_conjunction(&back), parts);
+    }
+
+    #[test]
+    fn cast_literal_folds() {
+        let e = fold_expr(Expr::Cast {
+            expr: Box::new(Expr::lit(2i64)),
+            to: DataType::Float64,
+        });
+        assert_eq!(e, Expr::Literal(lakehouse_columnar::Value::Float64(2.0)));
+    }
+}

@@ -1,0 +1,356 @@
+//! Parallel execution primitives — the paper's §5 future-work item
+//! ("parallelizing SQL execution"), implemented as morsel-style partial
+//! operators over batch chunks with crossbeam scoped threads.
+//!
+//! The design follows the classic two-phase pattern:
+//!
+//! * **filter**: chunks are filtered independently and concatenated (order
+//!   preserved by chunk index);
+//! * **aggregate**: each worker builds partial `AggState`s over its chunk,
+//!   then partials merge single-threaded (merge is cheap: one state per
+//!   group per worker).
+
+use crate::ast::Expr;
+use crate::error::{Result, SqlError};
+use crate::logical::AggExpr;
+use crate::physical::eval;
+use lakehouse_columnar::kernels::hash::RowKey;
+use lakehouse_columnar::kernels::{filter_batch, to_selection, AggState};
+use lakehouse_columnar::{Column, ColumnBuilder, DataType, RecordBatch, Schema, Value};
+use std::collections::HashMap;
+
+/// How many rows each worker processes at a time.
+pub const DEFAULT_MORSEL_ROWS: usize = 16 * 1024;
+
+/// Parallel filter: evaluate `predicate` over chunks of `batch` on
+/// `threads` workers and concatenate the surviving rows in input order.
+pub fn parallel_filter(
+    batch: &RecordBatch,
+    predicate: &Expr,
+    threads: usize,
+) -> Result<RecordBatch> {
+    let threads = threads.max(1);
+    if batch.num_rows() == 0 || threads == 1 {
+        let mask = eval(predicate, batch)?;
+        return Ok(filter_batch(batch, &to_selection(&mask)?)?);
+    }
+    let chunks = batch.chunks(morsel_size(batch.num_rows(), threads))?;
+    let results: Vec<Result<RecordBatch>> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .map(|chunk| {
+                scope.spawn(move |_| -> Result<RecordBatch> {
+                    let mask = eval(predicate, chunk)?;
+                    Ok(filter_batch(chunk, &to_selection(&mask)?)?)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("filter worker panicked"))
+            .collect()
+    })
+    .expect("scope panicked");
+    let batches = results.into_iter().collect::<Result<Vec<_>>>()?;
+    Ok(RecordBatch::concat(&batches)?)
+}
+
+/// One worker's partial aggregation output.
+struct PartialAgg {
+    /// group key → per-aggregate states.
+    groups: HashMap<RowKey, Vec<AggState>>,
+    /// Insertion order of keys (keeps output deterministic).
+    order: Vec<RowKey>,
+}
+
+/// Parallel hash aggregation: two-phase (partial per worker, merge).
+///
+/// `group_exprs`/`agg_exprs` are the aggregate node's expressions;
+/// `out_schema` its output schema (group columns then aggregates).
+pub fn parallel_aggregate(
+    batch: &RecordBatch,
+    group_exprs: &[(Expr, String)],
+    agg_exprs: &[(AggExpr, String)],
+    out_schema: &Schema,
+    threads: usize,
+) -> Result<RecordBatch> {
+    let threads = threads.max(1);
+    let chunks = if batch.num_rows() == 0 {
+        vec![batch.clone()]
+    } else {
+        batch.chunks(morsel_size(batch.num_rows(), threads))?
+    };
+
+    // Phase 1: partial aggregation per chunk (parallel).
+    let partials: Vec<Result<PartialAgg>> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .map(|chunk| {
+                scope.spawn(move |_| -> Result<PartialAgg> {
+                    partial_aggregate(chunk, group_exprs, agg_exprs)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("aggregate worker panicked"))
+            .collect()
+    })
+    .expect("scope panicked");
+
+    // Phase 2: merge partials (single-threaded; state count is small).
+    let mut merged: HashMap<RowKey, Vec<AggState>> = HashMap::new();
+    let mut order: Vec<RowKey> = Vec::new();
+    for partial in partials {
+        let partial = partial?;
+        for key in partial.order {
+            let states = partial.groups.get(&key).expect("key present");
+            match merged.get_mut(&key) {
+                Some(existing) => {
+                    for (a, b) in existing.iter_mut().zip(states) {
+                        a.merge(b)?;
+                    }
+                }
+                None => {
+                    merged.insert(key.clone(), states.clone());
+                    order.push(key);
+                }
+            }
+        }
+    }
+    // Global aggregation over zero rows still yields one (empty-set) group.
+    if group_exprs.is_empty() && order.is_empty() {
+        let key = RowKey::from_values(&[]);
+        merged.insert(
+            key.clone(),
+            agg_exprs.iter().map(|(a, _)| AggState::new(a.agg)).collect(),
+        );
+        order.push(key);
+    }
+
+    // Materialize output.
+    let arg_types: Vec<DataType> = agg_exprs
+        .iter()
+        .map(|(a, _)| {
+            a.arg
+                .as_ref()
+                .map(|e| crate::logical::infer_type(e, batch.schema()))
+                .transpose()
+                .map(|t| t.unwrap_or(DataType::Int64))
+        })
+        .collect::<Result<_>>()?;
+    let mut builders: Vec<ColumnBuilder> = out_schema
+        .fields()
+        .iter()
+        .map(|f| ColumnBuilder::with_capacity(f.data_type(), order.len()))
+        .collect();
+    for key in &order {
+        let states = merged.get(key).expect("merged key");
+        for (i, v) in key.to_values().iter().enumerate() {
+            builders[i].push_value(v)?;
+        }
+        for (j, state) in states.iter().enumerate() {
+            let v = state.finish(arg_types[j])?;
+            builders[group_exprs.len() + j].push_value(&v)?;
+        }
+    }
+    let columns: Vec<Column> = builders.into_iter().map(ColumnBuilder::finish).collect();
+    Ok(RecordBatch::try_new(out_schema.clone(), columns)?)
+}
+
+fn partial_aggregate(
+    chunk: &RecordBatch,
+    group_exprs: &[(Expr, String)],
+    agg_exprs: &[(AggExpr, String)],
+) -> Result<PartialAgg> {
+    let group_cols = group_exprs
+        .iter()
+        .map(|(e, _)| eval(e, chunk))
+        .collect::<Result<Vec<_>>>()?;
+    let arg_cols = agg_exprs
+        .iter()
+        .map(|(a, _)| a.arg.as_ref().map(|e| eval(e, chunk)).transpose())
+        .collect::<Result<Vec<_>>>()?;
+    let mut groups: HashMap<RowKey, Vec<AggState>> = HashMap::new();
+    let mut order = Vec::new();
+    for row in 0..chunk.num_rows() {
+        let key_values: Vec<Value> = group_cols
+            .iter()
+            .map(|c| c.get(row))
+            .collect::<lakehouse_columnar::Result<_>>()?;
+        let key = RowKey::from_values(&key_values);
+        let states = match groups.get_mut(&key) {
+            Some(s) => s,
+            None => {
+                groups.insert(
+                    key.clone(),
+                    agg_exprs.iter().map(|(a, _)| AggState::new(a.agg)).collect(),
+                );
+                order.push(key.clone());
+                groups.get_mut(&key).expect("just inserted")
+            }
+        };
+        for (slot, arg_col) in states.iter_mut().zip(&arg_cols) {
+            let v = match arg_col {
+                Some(col) => col.get(row)?,
+                None => Value::Int64(1),
+            };
+            slot.update(&v)?;
+        }
+    }
+    if group_exprs.is_empty() && order.is_empty() {
+        // Preserve empty-input global-aggregate semantics per chunk.
+        let key = RowKey::from_values(&[]);
+        groups.insert(
+            key.clone(),
+            agg_exprs.iter().map(|(a, _)| AggState::new(a.agg)).collect(),
+        );
+        order.push(key);
+    }
+    Ok(PartialAgg { groups, order })
+}
+
+fn morsel_size(rows: usize, threads: usize) -> usize {
+    rows.div_ceil(threads).clamp(1, DEFAULT_MORSEL_ROWS.max(1))
+}
+
+/// Validate a thread-count setting.
+pub fn validate_parallelism(threads: usize) -> Result<usize> {
+    if threads == 0 {
+        return Err(SqlError::Plan("parallelism must be >= 1".into()));
+    }
+    Ok(threads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logical::{plan_select, LogicalPlan, SchemaProvider};
+    use crate::parser::parse_select;
+    use lakehouse_columnar::kernels::CmpOp;
+    use lakehouse_columnar::Field;
+
+    fn big_batch(n: i64) -> RecordBatch {
+        RecordBatch::try_new(
+            Schema::new(vec![
+                Field::new("k", DataType::Int64, false),
+                Field::new("v", DataType::Float64, false),
+            ]),
+            vec![
+                Column::from_i64((0..n).map(|i| i % 17).collect()),
+                Column::from_f64((0..n).map(|i| i as f64).collect()),
+            ],
+        )
+        .unwrap()
+    }
+
+    struct Fixture(RecordBatch);
+    impl SchemaProvider for Fixture {
+        fn table_schema(&self, t: &str) -> Option<Schema> {
+            (t == "t").then(|| self.0.schema().clone())
+        }
+    }
+
+    type AggParts = (Vec<(Expr, String)>, Vec<(AggExpr, String)>, Schema);
+
+    /// Pull group/agg exprs out of a planned aggregate query.
+    fn agg_parts(sql: &str, batch: &RecordBatch) -> AggParts {
+        let plan = plan_select(&parse_select(sql).unwrap(), &Fixture(batch.clone())).unwrap();
+        fn find(plan: &LogicalPlan) -> Option<&LogicalPlan> {
+            match plan {
+                LogicalPlan::Aggregate { .. } => Some(plan),
+                LogicalPlan::Project { input, .. }
+                | LogicalPlan::Filter { input, .. }
+                | LogicalPlan::Sort { input, .. }
+                | LogicalPlan::Limit { input, .. }
+                | LogicalPlan::Distinct { input }
+                | LogicalPlan::SubqueryAlias { input, .. } => find(input),
+                _ => None,
+            }
+        }
+        let agg = find(&plan).expect("aggregate in plan");
+        let LogicalPlan::Aggregate {
+            group_exprs,
+            agg_exprs,
+            ..
+        } = agg
+        else {
+            unreachable!()
+        };
+        (
+            group_exprs.clone(),
+            agg_exprs.clone(),
+            agg.schema().unwrap(),
+        )
+    }
+
+    #[test]
+    fn parallel_filter_matches_serial() {
+        let batch = big_batch(100_000);
+        let predicate = Expr::Compare {
+            op: CmpOp::Gt,
+            left: Box::new(Expr::col("v")),
+            right: Box::new(Expr::lit(50_000.0)),
+        };
+        let serial = parallel_filter(&batch, &predicate, 1).unwrap();
+        let parallel = parallel_filter(&batch, &predicate, 8).unwrap();
+        assert_eq!(serial, parallel);
+        assert_eq!(serial.num_rows(), 49_999);
+    }
+
+    #[test]
+    fn parallel_aggregate_matches_serial_counts() {
+        let batch = big_batch(50_000);
+        let (groups, aggs, schema) = agg_parts(
+            "SELECT k, COUNT(*) AS n, SUM(v) AS s, MIN(v) AS mn, MAX(v) AS mx, AVG(v) AS a \
+             FROM t GROUP BY k",
+            &batch,
+        );
+        let serial = parallel_aggregate(&batch, &groups, &aggs, &schema, 1).unwrap();
+        let parallel = parallel_aggregate(&batch, &groups, &aggs, &schema, 8).unwrap();
+        assert_eq!(serial.num_rows(), 17);
+        assert_eq!(parallel.num_rows(), 17);
+        // Order-insensitive comparison: sort both by k.
+        let sort = |b: &RecordBatch| {
+            let key = lakehouse_columnar::kernels::SortField::asc(b.column(0).clone());
+            lakehouse_columnar::kernels::sort::sort_batch(b, &[key]).unwrap()
+        };
+        assert_eq!(sort(&serial), sort(&parallel));
+    }
+
+    #[test]
+    fn parallel_global_aggregate_empty_input() {
+        let batch = big_batch(0);
+        let (groups, aggs, schema) =
+            agg_parts("SELECT COUNT(*) AS n, SUM(v) AS s FROM t", &batch);
+        let out = parallel_aggregate(&batch, &groups, &aggs, &schema, 4).unwrap();
+        assert_eq!(out.num_rows(), 1);
+        assert_eq!(out.row(0).unwrap()[0], Value::Int64(0));
+        assert_eq!(out.row(0).unwrap()[1], Value::Null);
+    }
+
+    #[test]
+    fn parallel_respects_nulls_in_groups() {
+        let batch = RecordBatch::try_new(
+            Schema::new(vec![
+                Field::new("k", DataType::Int64, true),
+                Field::new("v", DataType::Float64, false),
+            ]),
+            vec![
+                Column::from_opt_i64(vec![Some(1), None, Some(1), None, Some(2)]),
+                Column::from_f64(vec![1.0, 2.0, 3.0, 4.0, 5.0]),
+            ],
+        )
+        .unwrap();
+        let (groups, aggs, schema) =
+            agg_parts("SELECT k, SUM(v) AS s FROM t GROUP BY k", &batch);
+        let out = parallel_aggregate(&batch, &groups, &aggs, &schema, 3).unwrap();
+        assert_eq!(out.num_rows(), 3); // groups: 1, NULL, 2
+    }
+
+    #[test]
+    fn zero_parallelism_rejected() {
+        assert!(validate_parallelism(0).is_err());
+        assert_eq!(validate_parallelism(4).unwrap(), 4);
+    }
+}

@@ -1,0 +1,314 @@
+//! SQL tokenizer: text → token stream with byte positions for diagnostics.
+
+use crate::error::{Result, SqlError};
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keyword or identifier (keywords are recognized by the parser, so
+    /// `select` the identifier and `SELECT` the keyword share this variant).
+    Word(String),
+    /// Quoted identifier: `"column name"`.
+    QuotedIdent(String),
+    /// Numeric literal (lexed as text; the parser decides int vs float).
+    Number(String),
+    /// Single-quoted string literal with '' escaping.
+    String(String),
+    Comma,
+    LParen,
+    RParen,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Percent,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    Dot,
+    Semicolon,
+}
+
+impl Token {
+    /// The uppercase keyword text if this is a word token.
+    pub fn keyword(&self) -> Option<String> {
+        match self {
+            Token::Word(w) => Some(w.to_ascii_uppercase()),
+            _ => None,
+        }
+    }
+}
+
+/// Tokenize a SQL string.
+pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
+    let bytes = sql.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                // line comment
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                tokens.push(Token::Minus);
+                i += 1;
+            }
+            '/' => {
+                tokens.push(Token::Slash);
+                i += 1;
+            }
+            '%' => {
+                tokens.push(Token::Percent);
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token::Dot);
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token::Semicolon);
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Eq);
+                i += 1;
+            }
+            '!' if bytes.get(i + 1) == Some(&b'=') => {
+                tokens.push(Token::NotEq);
+                i += 2;
+            }
+            '<' => {
+                match bytes.get(i + 1) {
+                    Some(b'=') => {
+                        tokens.push(Token::LtEq);
+                        i += 2;
+                    }
+                    Some(b'>') => {
+                        tokens.push(Token::NotEq);
+                        i += 2;
+                    }
+                    _ => {
+                        tokens.push(Token::Lt);
+                        i += 1;
+                    }
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::GtEq);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let (s, next) = lex_string(sql, i)?;
+                tokens.push(Token::String(s));
+                i = next;
+            }
+            '"' => {
+                let end = sql[i + 1..]
+                    .find('"')
+                    .ok_or_else(|| SqlError::Tokenize {
+                        message: "unterminated quoted identifier".into(),
+                        position: i,
+                    })?;
+                tokens.push(Token::QuotedIdent(sql[i + 1..i + 1 + end].to_string()));
+                i += end + 2;
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_digit()
+                        || bytes[i] == b'.'
+                        || bytes[i] == b'e'
+                        || bytes[i] == b'E'
+                        || ((bytes[i] == b'+' || bytes[i] == b'-')
+                            && i > start
+                            && (bytes[i - 1] == b'e' || bytes[i - 1] == b'E')))
+                {
+                    // Stop a trailing dot that begins a qualified name like 1.x
+                    if bytes[i] == b'.'
+                        && bytes.get(i + 1).is_some_and(|b| (*b as char).is_ascii_alphabetic())
+                    {
+                        break;
+                    }
+                    i += 1;
+                }
+                tokens.push(Token::Number(sql[start..i].to_string()));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                tokens.push(Token::Word(sql[start..i].to_string()));
+            }
+            other => {
+                return Err(SqlError::Tokenize {
+                    message: format!("unexpected character {other:?}"),
+                    position: i,
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+fn lex_string(sql: &str, start: usize) -> Result<(String, usize)> {
+    let bytes = sql.as_bytes();
+    let mut out = String::new();
+    let mut i = start + 1;
+    while i < bytes.len() {
+        if bytes[i] == b'\'' {
+            if bytes.get(i + 1) == Some(&b'\'') {
+                out.push('\'');
+                i += 2;
+            } else {
+                return Ok((out, i + 1));
+            }
+        } else {
+            // Copy the full UTF-8 character.
+            let ch_len = utf8_len(bytes[i]);
+            out.push_str(&sql[i..i + ch_len]);
+            i += ch_len;
+        }
+    }
+    Err(SqlError::Tokenize {
+        message: "unterminated string literal".into(),
+        position: start,
+    })
+}
+
+fn utf8_len(first_byte: u8) -> usize {
+    match first_byte {
+        b if b < 0x80 => 1,
+        b if b >= 0xF0 => 4,
+        b if b >= 0xE0 => 3,
+        _ => 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_select() {
+        let toks = tokenize("SELECT a, b FROM t WHERE x >= 10").unwrap();
+        assert_eq!(toks[0], Token::Word("SELECT".into()));
+        assert!(toks.contains(&Token::GtEq));
+        assert!(toks.contains(&Token::Number("10".into())));
+    }
+
+    #[test]
+    fn operators() {
+        let toks = tokenize("a <> b != c <= d >= e < f > g = h").unwrap();
+        let ops: Vec<&Token> = toks.iter().filter(|t| !matches!(t, Token::Word(_))).collect();
+        assert_eq!(
+            ops,
+            vec![
+                &Token::NotEq,
+                &Token::NotEq,
+                &Token::LtEq,
+                &Token::GtEq,
+                &Token::Lt,
+                &Token::Gt,
+                &Token::Eq
+            ]
+        );
+    }
+
+    #[test]
+    fn string_with_escape() {
+        let toks = tokenize("'it''s'").unwrap();
+        assert_eq!(toks, vec![Token::String("it's".into())]);
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(tokenize("'oops").is_err());
+    }
+
+    #[test]
+    fn numbers_int_float_sci() {
+        let toks = tokenize("1 2.5 3e10 4.2E-3").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Number("1".into()),
+                Token::Number("2.5".into()),
+                Token::Number("3e10".into()),
+                Token::Number("4.2E-3".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let toks = tokenize("SELECT 1 -- trailing comment\n, 2").unwrap();
+        assert_eq!(toks.len(), 4);
+    }
+
+    #[test]
+    fn qualified_names() {
+        let toks = tokenize("t.col").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Word("t".into()),
+                Token::Dot,
+                Token::Word("col".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn quoted_identifier() {
+        let toks = tokenize("\"weird name\"").unwrap();
+        assert_eq!(toks, vec![Token::QuotedIdent("weird name".into())]);
+    }
+
+    #[test]
+    fn unexpected_char_errors() {
+        let err = tokenize("SELECT @").unwrap_err();
+        assert!(matches!(err, SqlError::Tokenize { position: 7, .. }));
+    }
+
+    #[test]
+    fn unicode_in_strings() {
+        let toks = tokenize("'héllo — wörld'").unwrap();
+        assert_eq!(toks, vec![Token::String("héllo — wörld".into())]);
+    }
+}

@@ -1,0 +1,54 @@
+//! Error type for object-store operations.
+
+use std::fmt;
+
+/// Errors from object-store operations.
+#[derive(Debug)]
+pub enum StoreError {
+    /// The object does not exist.
+    NotFound(String),
+    /// CAS precondition failed (object changed underneath the caller).
+    PreconditionFailed(String),
+    /// A byte-range request was out of bounds.
+    InvalidRange {
+        start: usize,
+        end: usize,
+        len: usize,
+    },
+    /// An object path failed validation.
+    InvalidPath(String),
+    /// Underlying I/O failure (local-FS backend).
+    Io(std::io::Error),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NotFound(p) => write!(f, "object not found: {p}"),
+            Self::PreconditionFailed(p) => write!(f, "precondition failed for: {p}"),
+            Self::InvalidRange { start, end, len } => {
+                write!(f, "invalid range [{start}, {end}) for object of {len} bytes")
+            }
+            Self::InvalidPath(p) => write!(f, "invalid object path: {p}"),
+            Self::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, StoreError>;

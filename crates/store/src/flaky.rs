@@ -1,0 +1,155 @@
+//! Failure injection: a store wrapper that fails operations on a
+//! deterministic schedule. Used by resilience tests to verify that the
+//! catalog's CAS retries, the table layer's transactional writes, and the
+//! platform's run rollback behave under storage faults.
+
+use crate::error::{Result, StoreError};
+use crate::path::ObjectPath;
+use crate::ObjectStore;
+use bytes::Bytes;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Which operations to inject failures into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    Gets,
+    Puts,
+    All,
+}
+
+/// A deterministic fault injector: every `period`-th matching operation
+/// fails with a synthetic I/O error (period = 3 → ops 3, 6, 9... fail).
+pub struct FlakyStore<S> {
+    inner: S,
+    kind: FaultKind,
+    period: u64,
+    counter: AtomicU64,
+    injected: AtomicU64,
+}
+
+impl<S: ObjectStore> FlakyStore<S> {
+    pub fn new(inner: S, kind: FaultKind, period: u64) -> FlakyStore<S> {
+        assert!(period > 0, "period must be >= 1");
+        FlakyStore {
+            inner,
+            kind,
+            period,
+            counter: AtomicU64::new(0),
+            injected: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of faults injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    fn maybe_fail(&self, is_get: bool, what: &str) -> Result<()> {
+        let applies = match self.kind {
+            FaultKind::Gets => is_get,
+            FaultKind::Puts => !is_get,
+            FaultKind::All => true,
+        };
+        if !applies {
+            return Ok(());
+        }
+        let n = self.counter.fetch_add(1, Ordering::Relaxed) + 1;
+        if n.is_multiple_of(self.period) {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+            return Err(StoreError::Io(std::io::Error::other(format!(
+                "injected fault on {what} (op {n})"
+            ))));
+        }
+        Ok(())
+    }
+}
+
+impl<S: ObjectStore> ObjectStore for FlakyStore<S> {
+    fn put(&self, path: &ObjectPath, data: Bytes) -> Result<()> {
+        self.maybe_fail(false, "put")?;
+        self.inner.put(path, data)
+    }
+
+    fn get(&self, path: &ObjectPath) -> Result<Bytes> {
+        self.maybe_fail(true, "get")?;
+        self.inner.get(path)
+    }
+
+    fn get_range(&self, path: &ObjectPath, start: usize, end: usize) -> Result<Bytes> {
+        self.maybe_fail(true, "get_range")?;
+        self.inner.get_range(path, start, end)
+    }
+
+    fn head(&self, path: &ObjectPath) -> Result<usize> {
+        self.inner.head(path)
+    }
+
+    fn list(&self, prefix: &str) -> Result<Vec<ObjectPath>> {
+        self.inner.list(prefix)
+    }
+
+    fn delete(&self, path: &ObjectPath) -> Result<()> {
+        self.maybe_fail(false, "delete")?;
+        self.inner.delete(path)
+    }
+
+    fn put_if_matches(
+        &self,
+        path: &ObjectPath,
+        expected: Option<&[u8]>,
+        data: Bytes,
+    ) -> Result<()> {
+        self.maybe_fail(false, "put_if_matches")?;
+        self.inner.put_if_matches(path, expected, data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::InMemoryStore;
+
+    fn p(s: &str) -> ObjectPath {
+        ObjectPath::new(s).unwrap()
+    }
+
+    #[test]
+    fn every_nth_put_fails() {
+        let s = FlakyStore::new(InMemoryStore::new(), FaultKind::Puts, 3);
+        let mut failures = 0;
+        for i in 0..9 {
+            if s.put(&p(&format!("k{i}")), Bytes::new()).is_err() {
+                failures += 1;
+            }
+        }
+        assert_eq!(failures, 3);
+        assert_eq!(s.injected(), 3);
+        // Gets unaffected.
+        s.put(&p("ok"), Bytes::from_static(b"v")).unwrap();
+        assert!(s.get(&p("ok")).is_ok());
+    }
+
+    #[test]
+    fn gets_only_mode() {
+        let s = FlakyStore::new(InMemoryStore::new(), FaultKind::Gets, 2);
+        s.put(&p("a"), Bytes::from_static(b"v")).unwrap();
+        let mut failures = 0;
+        for _ in 0..4 {
+            if s.get(&p("a")).is_err() {
+                failures += 1;
+            }
+        }
+        assert_eq!(failures, 2);
+    }
+
+    #[test]
+    fn period_one_fails_everything() {
+        let s = FlakyStore::new(InMemoryStore::new(), FaultKind::All, 1);
+        assert!(s.put(&p("a"), Bytes::new()).is_err());
+        assert!(s.get(&p("a")).is_err());
+    }
+}

@@ -1,0 +1,322 @@
+//! S3-like latency simulation.
+//!
+//! The paper's Reasonable-Scale argument (§3.1, §4.4.2) rests on a single
+//! empirical fact: at small data volumes compute is cheap and **object-store
+//! round trips dominate**. [`SimulatedStore`] makes that fact reproducible on
+//! a laptop by charging each operation a first-byte latency (lognormal, mean
+//! ≈ 30 ms for GETs, like S3 in-region) plus a bandwidth-limited transfer
+//! time.
+//!
+//! Charged time is *always* recorded in [`StoreMetrics`]; whether the thread
+//! actually sleeps is controlled by [`SleepMode`], so unit tests run at full
+//! speed while end-to-end latency benches can opt into real (or scaled)
+//! sleeping.
+
+use crate::error::Result;
+use crate::metrics::StoreMetrics;
+use crate::path::ObjectPath;
+use crate::ObjectStore;
+use bytes::Bytes;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rand_distr::{Distribution, LogNormal};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How simulated latency is applied to the calling thread.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SleepMode {
+    /// Record latency in metrics only; never sleep. Deterministic benches.
+    None,
+    /// Sleep for `latency * factor` (e.g. 0.01 for fast integration tests
+    /// that still want ordering effects).
+    Scaled(f64),
+    /// Sleep for the full simulated latency.
+    Real,
+}
+
+/// Parameters of the latency model.
+#[derive(Debug, Clone)]
+pub struct LatencyModel {
+    /// Median first-byte latency for reads.
+    pub get_first_byte: Duration,
+    /// Median first-byte latency for writes (S3 PUTs are slower than GETs).
+    pub put_first_byte: Duration,
+    /// Median latency for LIST/HEAD/DELETE control-plane calls.
+    pub control_plane: Duration,
+    /// Sustained transfer bandwidth in bytes/second.
+    pub bandwidth_bytes_per_sec: u64,
+    /// Lognormal sigma controlling tail heaviness (0 = deterministic).
+    pub sigma: f64,
+}
+
+impl LatencyModel {
+    /// In-region S3-like defaults: ~15 ms GET first byte, ~25 ms PUT,
+    /// ~90 MB/s effective single-stream bandwidth, mild tail (AWS-published
+    /// in-region small-object latencies).
+    pub fn s3_like() -> Self {
+        LatencyModel {
+            get_first_byte: Duration::from_millis(15),
+            put_first_byte: Duration::from_millis(25),
+            control_plane: Duration::from_millis(10),
+            bandwidth_bytes_per_sec: 90 * 1024 * 1024,
+            sigma: 0.35,
+        }
+    }
+
+    /// Local-NVMe-like defaults for the "data locality" side of comparisons:
+    /// microsecond access, multi-GB/s bandwidth.
+    pub fn local_nvme() -> Self {
+        LatencyModel {
+            get_first_byte: Duration::from_micros(80),
+            put_first_byte: Duration::from_micros(120),
+            control_plane: Duration::from_micros(50),
+            bandwidth_bytes_per_sec: 3 * 1024 * 1024 * 1024,
+            sigma: 0.1,
+        }
+    }
+
+    /// A zero-latency model (wrapper becomes pass-through accounting).
+    pub fn zero() -> Self {
+        LatencyModel {
+            get_first_byte: Duration::ZERO,
+            put_first_byte: Duration::ZERO,
+            control_plane: Duration::ZERO,
+            bandwidth_bytes_per_sec: u64::MAX,
+            sigma: 0.0,
+        }
+    }
+
+    fn transfer_time(&self, bytes: usize) -> Duration {
+        if self.bandwidth_bytes_per_sec == 0 || self.bandwidth_bytes_per_sec == u64::MAX {
+            return Duration::ZERO;
+        }
+        Duration::from_secs_f64(bytes as f64 / self.bandwidth_bytes_per_sec as f64)
+    }
+
+    fn sample(&self, median: Duration, rng: &mut StdRng) -> Duration {
+        if self.sigma <= 0.0 || median.is_zero() {
+            return median;
+        }
+        // Lognormal parameterized so the *median* equals the configured
+        // value: ln X ~ Normal(ln median, sigma).
+        let mu = median.as_secs_f64().ln();
+        let dist = LogNormal::new(mu, self.sigma).expect("valid lognormal");
+        Duration::from_secs_f64(dist.sample(rng))
+    }
+}
+
+/// An [`ObjectStore`] wrapper charging simulated latency per operation.
+pub struct SimulatedStore<S> {
+    inner: S,
+    model: LatencyModel,
+    sleep_mode: SleepMode,
+    metrics: Arc<StoreMetrics>,
+    rng: Mutex<StdRng>,
+}
+
+impl<S: ObjectStore> SimulatedStore<S> {
+    /// Wrap `inner` with the given model, `SleepMode::None`, and a fixed RNG
+    /// seed (deterministic latency sequences).
+    pub fn new(inner: S, model: LatencyModel) -> Self {
+        Self::with_seed(inner, model, 42)
+    }
+
+    pub fn with_seed(inner: S, model: LatencyModel, seed: u64) -> Self {
+        SimulatedStore {
+            inner,
+            model,
+            sleep_mode: SleepMode::None,
+            metrics: Arc::new(StoreMetrics::new()),
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+        }
+    }
+
+    /// Set how latency is applied to calling threads.
+    pub fn with_sleep_mode(mut self, mode: SleepMode) -> Self {
+        self.sleep_mode = mode;
+        self
+    }
+
+    /// The metrics handle (shared; clone freely).
+    pub fn metrics(&self) -> Arc<StoreMetrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// Access the wrapped store.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    fn charge(&self, median: Duration, bytes: usize) -> Duration {
+        let first_byte = {
+            let mut rng = self.rng.lock();
+            self.model.sample(median, &mut rng)
+        };
+        let total = first_byte + self.model.transfer_time(bytes);
+        match self.sleep_mode {
+            SleepMode::None => {}
+            SleepMode::Scaled(f) => std::thread::sleep(total.mul_f64(f.max(0.0))),
+            SleepMode::Real => std::thread::sleep(total),
+        }
+        total
+    }
+
+    /// Charge an arbitrary extra read round trip (used by schedulers modeling
+    /// spillover without materializing data).
+    pub fn charge_read(&self, bytes: usize) -> Duration {
+        let latency = self.charge(self.model.get_first_byte, bytes);
+        self.metrics.record_get(bytes, latency);
+        latency
+    }
+
+    /// Charge an arbitrary extra write round trip.
+    pub fn charge_write(&self, bytes: usize) -> Duration {
+        let latency = self.charge(self.model.put_first_byte, bytes);
+        self.metrics.record_put(bytes, latency);
+        latency
+    }
+}
+
+impl<S: ObjectStore> ObjectStore for SimulatedStore<S> {
+    fn put(&self, path: &ObjectPath, data: Bytes) -> Result<()> {
+        let bytes = data.len();
+        let latency = self.charge(self.model.put_first_byte, bytes);
+        let r = self.inner.put(path, data);
+        self.metrics.record_put(bytes, latency);
+        r
+    }
+
+    fn get(&self, path: &ObjectPath) -> Result<Bytes> {
+        let data = self.inner.get(path)?;
+        let latency = self.charge(self.model.get_first_byte, data.len());
+        self.metrics.record_get(data.len(), latency);
+        Ok(data)
+    }
+
+    fn get_range(&self, path: &ObjectPath, start: usize, end: usize) -> Result<Bytes> {
+        let data = self.inner.get_range(path, start, end)?;
+        let latency = self.charge(self.model.get_first_byte, data.len());
+        self.metrics.record_get(data.len(), latency);
+        Ok(data)
+    }
+
+    fn head(&self, path: &ObjectPath) -> Result<usize> {
+        let r = self.inner.head(path)?;
+        let latency = self.charge(self.model.control_plane, 0);
+        self.metrics.record_list(latency);
+        Ok(r)
+    }
+
+    fn list(&self, prefix: &str) -> Result<Vec<ObjectPath>> {
+        let r = self.inner.list(prefix)?;
+        let latency = self.charge(self.model.control_plane, 0);
+        self.metrics.record_list(latency);
+        Ok(r)
+    }
+
+    fn delete(&self, path: &ObjectPath) -> Result<()> {
+        self.inner.delete(path)?;
+        let latency = self.charge(self.model.control_plane, 0);
+        self.metrics.record_delete(latency);
+        Ok(())
+    }
+
+    fn put_if_matches(
+        &self,
+        path: &ObjectPath,
+        expected: Option<&[u8]>,
+        data: Bytes,
+    ) -> Result<()> {
+        let bytes = data.len();
+        let latency = self.charge(self.model.put_first_byte, bytes);
+        let r = self.inner.put_if_matches(path, expected, data);
+        self.metrics.record_put(bytes, latency);
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::InMemoryStore;
+
+    fn p(s: &str) -> ObjectPath {
+        ObjectPath::new(s).unwrap()
+    }
+
+    #[test]
+    fn charges_latency_without_sleeping() {
+        let s = SimulatedStore::new(InMemoryStore::new(), LatencyModel::s3_like());
+        let start = std::time::Instant::now();
+        s.put(&p("a"), Bytes::from(vec![0u8; 1024])).unwrap();
+        s.get(&p("a")).unwrap();
+        // No sleeping: real elapsed should be far less than simulated.
+        assert!(start.elapsed() < Duration::from_millis(20));
+        let m = s.metrics();
+        assert!(m.simulated_time() >= Duration::from_millis(20));
+        assert_eq!(m.gets(), 1);
+        assert_eq!(m.puts(), 1);
+    }
+
+    #[test]
+    fn transfer_time_scales_with_size() {
+        let model = LatencyModel {
+            sigma: 0.0,
+            ..LatencyModel::s3_like()
+        };
+        let small = model.get_first_byte + model.transfer_time(1024);
+        let large = model.get_first_byte + model.transfer_time(100 * 1024 * 1024);
+        assert!(large > small + Duration::from_millis(500));
+    }
+
+    #[test]
+    fn deterministic_with_same_seed() {
+        let run = |seed| {
+            let s = SimulatedStore::with_seed(InMemoryStore::new(), LatencyModel::s3_like(), seed);
+            s.put(&p("a"), Bytes::from_static(b"x")).unwrap();
+            s.get(&p("a")).unwrap();
+            s.metrics().simulated_time()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn zero_model_is_free() {
+        let s = SimulatedStore::new(InMemoryStore::new(), LatencyModel::zero());
+        s.put(&p("a"), Bytes::from_static(b"x")).unwrap();
+        assert_eq!(s.metrics().simulated_time(), Duration::ZERO);
+    }
+
+    #[test]
+    fn nvme_much_faster_than_s3() {
+        let s3 = SimulatedStore::new(InMemoryStore::new(), LatencyModel::s3_like());
+        let nvme = SimulatedStore::new(InMemoryStore::new(), LatencyModel::local_nvme());
+        let payload = Bytes::from(vec![0u8; 1 << 20]);
+        {
+            let s = &s3;
+            s.put(&p("a"), payload.clone()).unwrap();
+            s.get(&p("a")).unwrap();
+        }
+        nvme.put(&p("a"), payload).unwrap();
+        nvme.get(&p("a")).unwrap();
+        assert!(s3.metrics().simulated_time() > nvme.metrics().simulated_time() * 10);
+    }
+
+    #[test]
+    fn charge_helpers_record() {
+        let s = SimulatedStore::new(InMemoryStore::new(), LatencyModel::s3_like());
+        s.charge_read(1000);
+        s.charge_write(1000);
+        assert_eq!(s.metrics().gets(), 1);
+        assert_eq!(s.metrics().puts(), 1);
+    }
+
+    #[test]
+    fn errors_pass_through() {
+        let s = SimulatedStore::new(InMemoryStore::new(), LatencyModel::s3_like());
+        assert!(s.get(&p("missing")).is_err());
+    }
+}

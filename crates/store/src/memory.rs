@@ -1,0 +1,188 @@
+//! In-memory object store: the default backend for tests and the simulated
+//! lakehouse.
+
+use crate::error::{Result, StoreError};
+use crate::path::ObjectPath;
+use crate::ObjectStore;
+use bytes::Bytes;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+
+/// A thread-safe in-memory object store backed by a sorted map, so `list`
+/// returns lexicographic order for free (matching S3 ListObjectsV2).
+#[derive(Debug, Default)]
+pub struct InMemoryStore {
+    objects: RwLock<BTreeMap<ObjectPath, Bytes>>,
+}
+
+impl InMemoryStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of stored objects.
+    pub fn len(&self) -> usize {
+        self.objects.read().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.objects.read().is_empty()
+    }
+
+    /// Total bytes stored.
+    pub fn total_bytes(&self) -> usize {
+        self.objects.read().values().map(Bytes::len).sum()
+    }
+}
+
+impl ObjectStore for InMemoryStore {
+    fn put(&self, path: &ObjectPath, data: Bytes) -> Result<()> {
+        self.objects.write().insert(path.clone(), data);
+        Ok(())
+    }
+
+    fn get(&self, path: &ObjectPath) -> Result<Bytes> {
+        self.objects
+            .read()
+            .get(path)
+            .cloned()
+            .ok_or_else(|| StoreError::NotFound(path.to_string()))
+    }
+
+    fn head(&self, path: &ObjectPath) -> Result<usize> {
+        self.objects
+            .read()
+            .get(path)
+            .map(Bytes::len)
+            .ok_or_else(|| StoreError::NotFound(path.to_string()))
+    }
+
+    fn list(&self, prefix: &str) -> Result<Vec<ObjectPath>> {
+        Ok(self
+            .objects
+            .read()
+            .keys()
+            .filter(|p| p.has_prefix(prefix))
+            .cloned()
+            .collect())
+    }
+
+    fn delete(&self, path: &ObjectPath) -> Result<()> {
+        self.objects
+            .write()
+            .remove(path)
+            .map(|_| ())
+            .ok_or_else(|| StoreError::NotFound(path.to_string()))
+    }
+
+    fn put_if_matches(
+        &self,
+        path: &ObjectPath,
+        expected: Option<&[u8]>,
+        data: Bytes,
+    ) -> Result<()> {
+        let mut objects = self.objects.write();
+        let current = objects.get(path);
+        let matches = match (current, expected) {
+            (None, None) => true,
+            (Some(cur), Some(exp)) => cur.as_ref() == exp,
+            _ => false,
+        };
+        if !matches {
+            return Err(StoreError::PreconditionFailed(path.to_string()));
+        }
+        objects.insert(path.clone(), data);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> ObjectPath {
+        ObjectPath::new(s).unwrap()
+    }
+
+    #[test]
+    fn put_get_round_trip() {
+        let s = InMemoryStore::new();
+        s.put(&p("a/b"), Bytes::from_static(b"hello")).unwrap();
+        assert_eq!(s.get(&p("a/b")).unwrap().as_ref(), b"hello");
+        assert_eq!(s.head(&p("a/b")).unwrap(), 5);
+        assert!(s.exists(&p("a/b")));
+        assert!(!s.exists(&p("a/c")));
+    }
+
+    #[test]
+    fn get_missing_is_not_found() {
+        let s = InMemoryStore::new();
+        assert!(matches!(s.get(&p("x")), Err(StoreError::NotFound(_))));
+    }
+
+    #[test]
+    fn get_range_slices() {
+        let s = InMemoryStore::new();
+        s.put(&p("a"), Bytes::from_static(b"0123456789")).unwrap();
+        assert_eq!(s.get_range(&p("a"), 2, 5).unwrap().as_ref(), b"234");
+        assert!(s.get_range(&p("a"), 5, 20).is_err());
+        assert!(s.get_range(&p("a"), 7, 3).is_err());
+    }
+
+    #[test]
+    fn list_respects_prefix_and_order() {
+        let s = InMemoryStore::new();
+        for k in ["t1/b", "t1/a", "t2/x", "t10/y"] {
+            s.put(&p(k), Bytes::new()).unwrap();
+        }
+        let listed = s.list("t1").unwrap();
+        assert_eq!(
+            listed.iter().map(ObjectPath::as_str).collect::<Vec<_>>(),
+            vec!["t1/a", "t1/b"]
+        );
+        assert_eq!(s.list("").unwrap().len(), 4);
+    }
+
+    #[test]
+    fn delete_removes() {
+        let s = InMemoryStore::new();
+        s.put(&p("a"), Bytes::new()).unwrap();
+        s.delete(&p("a")).unwrap();
+        assert!(!s.exists(&p("a")));
+        assert!(s.delete(&p("a")).is_err());
+    }
+
+    #[test]
+    fn cas_create_only_when_absent() {
+        let s = InMemoryStore::new();
+        s.put_if_matches(&p("ref"), None, Bytes::from_static(b"v1"))
+            .unwrap();
+        // second create fails
+        assert!(matches!(
+            s.put_if_matches(&p("ref"), None, Bytes::from_static(b"v2")),
+            Err(StoreError::PreconditionFailed(_))
+        ));
+    }
+
+    #[test]
+    fn cas_swap_on_match() {
+        let s = InMemoryStore::new();
+        s.put(&p("ref"), Bytes::from_static(b"v1")).unwrap();
+        s.put_if_matches(&p("ref"), Some(b"v1"), Bytes::from_static(b"v2"))
+            .unwrap();
+        assert_eq!(s.get(&p("ref")).unwrap().as_ref(), b"v2");
+        // stale expected fails
+        assert!(s
+            .put_if_matches(&p("ref"), Some(b"v1"), Bytes::from_static(b"v3"))
+            .is_err());
+    }
+
+    #[test]
+    fn stats() {
+        let s = InMemoryStore::new();
+        assert!(s.is_empty());
+        s.put(&p("a"), Bytes::from_static(b"xyz")).unwrap();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.total_bytes(), 3);
+    }
+}

@@ -1,0 +1,148 @@
+//! Counters for object-store activity, including accumulated *simulated*
+//! latency — the deterministic alternative to wall-clock sleeping.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Thread-safe counters for one store instance.
+#[derive(Debug, Default)]
+pub struct StoreMetrics {
+    gets: AtomicU64,
+    puts: AtomicU64,
+    lists: AtomicU64,
+    deletes: AtomicU64,
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
+    simulated_nanos: AtomicU64,
+    /// Per-operation simulated latencies (kept for percentile reporting).
+    samples: Mutex<Vec<Duration>>,
+}
+
+impl StoreMetrics {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn record_get(&self, bytes: usize, latency: Duration) {
+        self.gets.fetch_add(1, Ordering::Relaxed);
+        self.bytes_read.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.record_latency(latency);
+    }
+
+    pub(crate) fn record_put(&self, bytes: usize, latency: Duration) {
+        self.puts.fetch_add(1, Ordering::Relaxed);
+        self.bytes_written
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+        self.record_latency(latency);
+    }
+
+    pub(crate) fn record_list(&self, latency: Duration) {
+        self.lists.fetch_add(1, Ordering::Relaxed);
+        self.record_latency(latency);
+    }
+
+    pub(crate) fn record_delete(&self, latency: Duration) {
+        self.deletes.fetch_add(1, Ordering::Relaxed);
+        self.record_latency(latency);
+    }
+
+    fn record_latency(&self, latency: Duration) {
+        self.simulated_nanos
+            .fetch_add(latency.as_nanos() as u64, Ordering::Relaxed);
+        self.samples.lock().push(latency);
+    }
+
+    pub fn gets(&self) -> u64 {
+        self.gets.load(Ordering::Relaxed)
+    }
+    pub fn puts(&self) -> u64 {
+        self.puts.load(Ordering::Relaxed)
+    }
+    pub fn lists(&self) -> u64 {
+        self.lists.load(Ordering::Relaxed)
+    }
+    pub fn deletes(&self) -> u64 {
+        self.deletes.load(Ordering::Relaxed)
+    }
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read.load(Ordering::Relaxed)
+    }
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written.load(Ordering::Relaxed)
+    }
+
+    /// Total simulated latency accumulated across all operations.
+    pub fn simulated_time(&self) -> Duration {
+        Duration::from_nanos(self.simulated_nanos.load(Ordering::Relaxed))
+    }
+
+    /// Latency percentile (0.0..=1.0) over recorded operations, if any.
+    pub fn latency_percentile(&self, q: f64) -> Option<Duration> {
+        let mut samples = self.samples.lock().clone();
+        if samples.is_empty() {
+            return None;
+        }
+        samples.sort();
+        let idx = ((samples.len() as f64 - 1.0) * q.clamp(0.0, 1.0)).round() as usize;
+        Some(samples[idx])
+    }
+
+    /// Reset all counters.
+    pub fn reset(&self) {
+        self.gets.store(0, Ordering::Relaxed);
+        self.puts.store(0, Ordering::Relaxed);
+        self.lists.store(0, Ordering::Relaxed);
+        self.deletes.store(0, Ordering::Relaxed);
+        self.bytes_read.store(0, Ordering::Relaxed);
+        self.bytes_written.store(0, Ordering::Relaxed);
+        self.simulated_nanos.store(0, Ordering::Relaxed);
+        self.samples.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = StoreMetrics::new();
+        m.record_get(100, Duration::from_millis(10));
+        m.record_put(50, Duration::from_millis(20));
+        m.record_list(Duration::from_millis(5));
+        m.record_delete(Duration::from_millis(1));
+        assert_eq!(m.gets(), 1);
+        assert_eq!(m.puts(), 1);
+        assert_eq!(m.lists(), 1);
+        assert_eq!(m.deletes(), 1);
+        assert_eq!(m.bytes_read(), 100);
+        assert_eq!(m.bytes_written(), 50);
+        assert_eq!(m.simulated_time(), Duration::from_millis(36));
+    }
+
+    #[test]
+    fn percentiles() {
+        let m = StoreMetrics::new();
+        for ms in [1u64, 2, 3, 4, 100] {
+            m.record_get(0, Duration::from_millis(ms));
+        }
+        assert_eq!(m.latency_percentile(0.5), Some(Duration::from_millis(3)));
+        assert_eq!(m.latency_percentile(1.0), Some(Duration::from_millis(100)));
+    }
+
+    #[test]
+    fn empty_percentile_none() {
+        assert_eq!(StoreMetrics::new().latency_percentile(0.5), None);
+    }
+
+    #[test]
+    fn reset_zeros() {
+        let m = StoreMetrics::new();
+        m.record_get(10, Duration::from_millis(1));
+        m.reset();
+        assert_eq!(m.gets(), 0);
+        assert_eq!(m.simulated_time(), Duration::ZERO);
+        assert_eq!(m.latency_percentile(0.5), None);
+    }
+}

@@ -1,0 +1,110 @@
+//! Validated object paths (`bucket-style/key/parts.ext`).
+
+use crate::error::{Result, StoreError};
+use std::fmt;
+
+/// A normalized object path: non-empty, `/`-separated segments, no leading
+/// slash, no `.`/`..` segments, no backslashes or NUL bytes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjectPath(String);
+
+impl ObjectPath {
+    /// Parse and validate a path string.
+    pub fn new(path: impl Into<String>) -> Result<Self> {
+        let path = path.into();
+        if path.is_empty() || path.len() > 1024 {
+            return Err(StoreError::InvalidPath(path));
+        }
+        if path.starts_with('/') || path.ends_with('/') {
+            return Err(StoreError::InvalidPath(path));
+        }
+        if path.contains('\\') || path.contains('\0') {
+            return Err(StoreError::InvalidPath(path));
+        }
+        for seg in path.split('/') {
+            if seg.is_empty() || seg == "." || seg == ".." {
+                return Err(StoreError::InvalidPath(path));
+            }
+        }
+        Ok(ObjectPath(path))
+    }
+
+    /// The raw path string.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Append a child segment.
+    pub fn child(&self, segment: &str) -> Result<ObjectPath> {
+        ObjectPath::new(format!("{}/{}", self.0, segment))
+    }
+
+    /// The final path segment (file name).
+    pub fn file_name(&self) -> &str {
+        self.0.rsplit('/').next().unwrap_or(&self.0)
+    }
+
+    /// True if this path starts with `prefix` at a segment boundary (or
+    /// `prefix` is empty).
+    pub fn has_prefix(&self, prefix: &str) -> bool {
+        if prefix.is_empty() {
+            return true;
+        }
+        let prefix = prefix.trim_end_matches('/');
+        self.0 == prefix || self.0.starts_with(&format!("{prefix}/"))
+    }
+}
+
+impl fmt::Display for ObjectPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::str::FromStr for ObjectPath {
+    type Err = StoreError;
+    fn from_str(s: &str) -> Result<Self> {
+        ObjectPath::new(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_normal_paths() {
+        assert!(ObjectPath::new("bucket/a/b/file.parquet").is_ok());
+        assert!(ObjectPath::new("single").is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_paths() {
+        for bad in ["", "/abs", "trail/", "a//b", "a/./b", "a/../b", "a\\b"] {
+            assert!(ObjectPath::new(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn child_appends() {
+        let p = ObjectPath::new("warehouse/db").unwrap();
+        assert_eq!(p.child("t1").unwrap().as_str(), "warehouse/db/t1");
+        assert!(p.child("..").is_err());
+    }
+
+    #[test]
+    fn file_name_is_last_segment() {
+        let p = ObjectPath::new("a/b/c.json").unwrap();
+        assert_eq!(p.file_name(), "c.json");
+    }
+
+    #[test]
+    fn prefix_respects_segment_boundaries() {
+        let p = ObjectPath::new("warehouse/table1/data.bin").unwrap();
+        assert!(p.has_prefix("warehouse"));
+        assert!(p.has_prefix("warehouse/table1"));
+        assert!(p.has_prefix("warehouse/table1/"));
+        assert!(!p.has_prefix("warehouse/table")); // not a full segment
+        assert!(p.has_prefix(""));
+    }
+}

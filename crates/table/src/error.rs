@@ -1,0 +1,72 @@
+//! Error type for table-format operations.
+
+use lakehouse_columnar::ColumnarError;
+use lakehouse_format::FormatError;
+use lakehouse_store::StoreError;
+use std::fmt;
+
+/// Errors from table operations.
+#[derive(Debug)]
+pub enum TableError {
+    /// A snapshot id was not found in the metadata.
+    SnapshotNotFound(u64),
+    /// Metadata JSON failed to parse or was internally inconsistent.
+    Corrupt(String),
+    /// A write's batch schema is incompatible with the table schema.
+    SchemaMismatch(String),
+    /// Invalid schema-evolution request (e.g. dropping a partition column).
+    InvalidEvolution(String),
+    /// Invalid argument from the caller.
+    InvalidArgument(String),
+    /// Underlying store failure.
+    Store(StoreError),
+    /// Underlying file-format failure.
+    Format(FormatError),
+    /// Underlying columnar failure.
+    Columnar(ColumnarError),
+}
+
+impl fmt::Display for TableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::SnapshotNotFound(id) => write!(f, "snapshot not found: {id}"),
+            Self::Corrupt(m) => write!(f, "corrupt table metadata: {m}"),
+            Self::SchemaMismatch(m) => write!(f, "schema mismatch: {m}"),
+            Self::InvalidEvolution(m) => write!(f, "invalid schema evolution: {m}"),
+            Self::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
+            Self::Store(e) => write!(f, "store error: {e}"),
+            Self::Format(e) => write!(f, "format error: {e}"),
+            Self::Columnar(e) => write!(f, "columnar error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TableError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Store(e) => Some(e),
+            Self::Format(e) => Some(e),
+            Self::Columnar(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StoreError> for TableError {
+    fn from(e: StoreError) -> Self {
+        TableError::Store(e)
+    }
+}
+impl From<FormatError> for TableError {
+    fn from(e: FormatError) -> Self {
+        TableError::Format(e)
+    }
+}
+impl From<ColumnarError> for TableError {
+    fn from(e: ColumnarError) -> Self {
+        TableError::Columnar(e)
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, TableError>;

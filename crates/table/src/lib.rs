@@ -1,0 +1,44 @@
+//! # lakehouse-table
+//!
+//! An Iceberg-like open table format (paper §4.2): the layer that turns a
+//! pile of immutable data files in object storage into *tables* with
+//! snapshots, partitioning, schema evolution, and time travel.
+//!
+//! Structure mirrors Iceberg's three-level metadata tree:
+//!
+//! ```text
+//! table metadata (JSON)          one document per table version
+//!   └── snapshot                 points to a manifest list
+//!         └── manifest list      one JSON doc per snapshot
+//!               └── manifest entries   data file + partition + stats
+//!                     └── data files   lakehouse-format files
+//! ```
+//!
+//! Every write goes through a [`Transaction`] that stages new data files and
+//! commits a **new immutable metadata document** — readers never see partial
+//! writes, and any historical snapshot stays queryable (time travel).
+//!
+//! Scans ([`TableScan`]) prune in three stages before touching data bytes:
+//! partition values → file-level column stats → row-group zone maps.
+
+pub mod error;
+pub mod maintenance;
+pub mod manifest;
+pub mod metadata;
+pub mod partition;
+pub mod scan;
+pub mod schema_def;
+pub mod snapshot;
+pub mod table;
+pub mod transaction;
+
+pub use error::{Result, TableError};
+pub use maintenance::{CompactionReport, ExpirationReport};
+pub use manifest::{Manifest, ManifestEntry};
+pub use metadata::TableMetadata;
+pub use partition::{PartitionField, PartitionSpec, Transform};
+pub use scan::{ScanPredicate, TableScan};
+pub use schema_def::SchemaDef;
+pub use snapshot::{Snapshot, SnapshotOperation};
+pub use table::Table;
+pub use transaction::Transaction;

@@ -1,0 +1,286 @@
+//! Table maintenance: small-file compaction and snapshot expiration — the
+//! background jobs every Iceberg deployment runs (and a natural extension of
+//! the paper's platform once runs accumulate).
+
+use crate::error::{Result, TableError};
+use crate::manifest::Manifest;
+use crate::snapshot::SnapshotOperation;
+use crate::table::Table;
+use lakehouse_store::ObjectPath;
+use std::collections::HashSet;
+
+/// Outcome of a compaction pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompactionReport {
+    /// Files whose contents were rewritten.
+    pub files_compacted: usize,
+    /// Files written by the compaction.
+    pub files_written: usize,
+    /// Rows rewritten.
+    pub rows_rewritten: u64,
+}
+
+/// Outcome of snapshot expiration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExpirationReport {
+    pub snapshots_expired: usize,
+    /// Data files deleted because no retained snapshot references them.
+    pub data_files_deleted: usize,
+    pub manifests_deleted: usize,
+}
+
+impl Table {
+    /// Rewrite the current snapshot's data files into as few files as
+    /// possible (one per partition), committing an `Overwrite` snapshot.
+    /// No-op (returns zero counts) when the table already has ≤1 file per
+    /// partition.
+    ///
+    /// Readers are unaffected: old snapshots keep referencing the old files
+    /// until [`Table::expire_snapshots`] removes them.
+    pub fn compact(&self) -> Result<(Table, CompactionReport)> {
+        let Some(current) = self.metadata().current_snapshot() else {
+            return Ok((
+                self.clone(),
+                CompactionReport {
+                    files_compacted: 0,
+                    files_written: 0,
+                    rows_rewritten: 0,
+                },
+            ));
+        };
+        let manifest_bytes = self
+            .store()
+            .get(&ObjectPath::new(current.manifest_path.clone())?)?;
+        let manifest = Manifest::from_bytes(&manifest_bytes)
+            .ok_or_else(|| TableError::Corrupt("unparseable manifest".into()))?;
+        // Group files by partition tuple.
+        let mut partitions: HashSet<String> = HashSet::new();
+        for e in &manifest.entries {
+            partitions.insert(serde_json::to_string(&e.partition).unwrap_or_default());
+        }
+        if manifest.entries.len() <= partitions.len() {
+            return Ok((
+                self.clone(),
+                CompactionReport {
+                    files_compacted: 0,
+                    files_written: 0,
+                    rows_rewritten: 0,
+                },
+            ));
+        }
+        // Read everything through a normal scan (handles schema evolution)
+        // and rewrite in one transaction; the partition spec re-splits rows.
+        let batch = self.scan().execute()?;
+        let mut tx = self.new_transaction(SnapshotOperation::Overwrite);
+        if batch.num_rows() > 0 {
+            tx.write(&batch)?;
+        }
+        let (location, _) = tx.commit()?;
+        let compacted = Table::load(std::sync::Arc::clone(self.store()), &location)?;
+        let new_manifest_path = compacted
+            .metadata()
+            .current_snapshot()
+            .map(|s| s.manifest_path.clone())
+            .ok_or_else(|| TableError::Corrupt("compaction produced no snapshot".into()))?;
+        let new_manifest = Manifest::from_bytes(
+            &compacted.store().get(&ObjectPath::new(new_manifest_path)?)?,
+        )
+        .ok_or_else(|| TableError::Corrupt("unparseable compacted manifest".into()))?;
+        Ok((
+            compacted,
+            CompactionReport {
+                files_compacted: manifest.entries.len(),
+                files_written: new_manifest.entries.len(),
+                rows_rewritten: batch.num_rows() as u64,
+            },
+        ))
+    }
+
+    /// Drop all snapshots except the most recent `retain_last`, deleting
+    /// data files and manifests no retained snapshot references. Returns the
+    /// updated table handle (new metadata document).
+    pub fn expire_snapshots(&self, retain_last: usize) -> Result<(Table, ExpirationReport)> {
+        let retain_last = retain_last.max(1);
+        let mut metadata = self.metadata().clone();
+        if metadata.snapshots.len() <= retain_last {
+            return Ok((
+                self.clone(),
+                ExpirationReport {
+                    snapshots_expired: 0,
+                    data_files_deleted: 0,
+                    manifests_deleted: 0,
+                },
+            ));
+        }
+        let split = metadata.snapshots.len() - retain_last;
+        let expired: Vec<_> = metadata.snapshots.drain(..split).collect();
+        // Files referenced by retained snapshots must survive.
+        let mut retained_files = HashSet::new();
+        for snap in &metadata.snapshots {
+            let manifest = Manifest::from_bytes(
+                &self
+                    .store()
+                    .get(&ObjectPath::new(snap.manifest_path.clone())?)?,
+            )
+            .ok_or_else(|| TableError::Corrupt("unparseable manifest".into()))?;
+            for e in manifest.entries {
+                retained_files.insert(e.file_path);
+            }
+        }
+        let mut data_files_deleted = 0;
+        let mut manifests_deleted = 0;
+        for snap in &expired {
+            let manifest_path = ObjectPath::new(snap.manifest_path.clone())?;
+            if let Ok(bytes) = self.store().get(&manifest_path) {
+                if let Some(manifest) = Manifest::from_bytes(&bytes) {
+                    for e in manifest.entries {
+                        if !retained_files.contains(&e.file_path) {
+                            let p = ObjectPath::new(e.file_path)?;
+                            if self.store().exists(&p) {
+                                self.store().delete(&p)?;
+                                data_files_deleted += 1;
+                            }
+                        }
+                    }
+                }
+                self.store().delete(&manifest_path)?;
+                manifests_deleted += 1;
+            }
+        }
+        // Reparent: the oldest retained snapshot loses its expired parent.
+        if let Some(first) = metadata.snapshots.first_mut() {
+            if expired.iter().any(|e| Some(e.snapshot_id) == first.parent_id) {
+                first.parent_id = None;
+            }
+        }
+        let location = format!(
+            "{}/metadata/v{:05}-expired.json",
+            metadata.location,
+            metadata.snapshots.len()
+        );
+        self.store().put(
+            &ObjectPath::new(location.clone())?,
+            bytes::Bytes::from(metadata.to_bytes()),
+        )?;
+        let table = Table::load(std::sync::Arc::clone(self.store()), &location)?;
+        Ok((
+            table,
+            ExpirationReport {
+                snapshots_expired: expired.len(),
+                data_files_deleted,
+                manifests_deleted,
+            },
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::PartitionSpec;
+    use lakehouse_columnar::{Column, DataType, Field, RecordBatch, Schema};
+    use lakehouse_store::{InMemoryStore, ObjectStore};
+    use std::sync::Arc;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("k", DataType::Utf8, false),
+            Field::new("v", DataType::Int64, false),
+        ])
+    }
+
+    fn batch(k: &str, vals: Vec<i64>) -> RecordBatch {
+        RecordBatch::try_new(
+            schema(),
+            vec![
+                Column::from_str_vec(vec![k.to_string(); vals.len()]),
+                Column::from_i64(vals),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn table_with_appends(n: usize, spec: PartitionSpec) -> Table {
+        let store: Arc<dyn ObjectStore> = Arc::new(InMemoryStore::new());
+        let mut t = Table::create(Arc::clone(&store), "wh/t", &schema(), spec).unwrap();
+        for i in 0..n {
+            let mut tx = t.new_transaction(SnapshotOperation::Append);
+            tx.write(&batch(if i % 2 == 0 { "a" } else { "b" }, vec![i as i64]))
+                .unwrap();
+            let (loc, _) = tx.commit().unwrap();
+            t = Table::load(Arc::clone(&store), &loc).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn compaction_merges_small_files() {
+        let t = table_with_appends(6, PartitionSpec::unpartitioned());
+        let before = t.scan().execute().unwrap();
+        let (t2, report) = t.compact().unwrap();
+        assert_eq!(report.files_compacted, 6);
+        assert_eq!(report.files_written, 1);
+        assert_eq!(report.rows_rewritten, 6);
+        let after = t2.scan().execute().unwrap();
+        assert_eq!(after.num_rows(), before.num_rows());
+    }
+
+    #[test]
+    fn partitioned_compaction_keeps_partition_files() {
+        let t = table_with_appends(6, PartitionSpec::identity("k"));
+        let (t2, report) = t.compact().unwrap();
+        assert_eq!(report.files_compacted, 6);
+        assert_eq!(report.files_written, 2); // one per partition a/b
+        assert_eq!(t2.scan().execute().unwrap().num_rows(), 6);
+    }
+
+    #[test]
+    fn compaction_noop_when_already_compact() {
+        let t = table_with_appends(1, PartitionSpec::unpartitioned());
+        let (_, report) = t.compact().unwrap();
+        assert_eq!(report.files_compacted, 0);
+    }
+
+    #[test]
+    fn compaction_preserves_time_travel_until_expiry() {
+        let t = table_with_appends(4, PartitionSpec::unpartitioned());
+        let old_snapshot = t.metadata().current_snapshot().unwrap().snapshot_id;
+        let (t2, _) = t.compact().unwrap();
+        // Old snapshot still scannable post-compaction.
+        let old = t2.scan().at_snapshot(old_snapshot).execute().unwrap();
+        assert_eq!(old.num_rows(), 4);
+    }
+
+    #[test]
+    fn expiration_deletes_unreferenced_files() {
+        let t = table_with_appends(5, PartitionSpec::unpartitioned());
+        let (t2, creport) = t.compact().unwrap();
+        assert_eq!(creport.files_written, 1);
+        let (t3, report) = t2.expire_snapshots(1).unwrap();
+        assert_eq!(report.snapshots_expired, 5); // 5 appends (compaction kept)
+        assert!(report.data_files_deleted >= 4);
+        assert!(report.manifests_deleted >= 4);
+        // Current data unaffected.
+        assert_eq!(t3.scan().execute().unwrap().num_rows(), 5);
+        // Expired snapshot no longer resolvable.
+        assert!(t3.scan().at_snapshot(1).execute().is_err());
+    }
+
+    #[test]
+    fn expiration_noop_when_within_retention() {
+        let t = table_with_appends(2, PartitionSpec::unpartitioned());
+        let (_, report) = t.expire_snapshots(5).unwrap();
+        assert_eq!(report.snapshots_expired, 0);
+    }
+
+    #[test]
+    fn expiration_keeps_files_still_referenced() {
+        // Append-only history: latest snapshot references ALL files, so
+        // expiring old snapshots must delete manifests but no data files.
+        let t = table_with_appends(4, PartitionSpec::unpartitioned());
+        let (t2, report) = t.expire_snapshots(1).unwrap();
+        assert_eq!(report.snapshots_expired, 3);
+        assert_eq!(report.data_files_deleted, 0);
+        assert_eq!(t2.scan().execute().unwrap().num_rows(), 4);
+    }
+}

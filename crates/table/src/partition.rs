@@ -1,0 +1,340 @@
+//! Partition specs: how rows map to partitions (Iceberg hidden partitioning).
+//!
+//! Unlike Hive-style partitioning, the *spec* owns the transform — queries
+//! filter on the source column and the scan planner applies the transform to
+//! predicate bounds, so users never reference partition directories.
+
+use crate::error::{Result, TableError};
+use crate::schema_def::ValueDef;
+use lakehouse_columnar::{RecordBatch, Schema, Value};
+use serde::{Deserialize, Serialize};
+
+/// A partition transform applied to a source column value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(tag = "transform", content = "param")]
+pub enum Transform {
+    /// The raw value.
+    Identity,
+    /// `hash(value) % n` buckets.
+    Bucket(u32),
+    /// Truncate strings to a prefix length / integers to a multiple width.
+    Truncate(u32),
+    /// Year number from a Date/Timestamp (approximate civil year).
+    Year,
+    /// `year * 12 + month` from a Date/Timestamp.
+    Month,
+    /// Day number (days since epoch) from a Date/Timestamp.
+    Day,
+}
+
+const MICROS_PER_DAY: i64 = 86_400_000_000;
+
+fn days_of(v: &Value) -> Option<i64> {
+    match v {
+        Value::Date(d) => Some(*d as i64),
+        Value::Timestamp(t) => Some(t.div_euclid(MICROS_PER_DAY)),
+        _ => None,
+    }
+}
+
+/// Approximate civil-date decomposition of a days-since-epoch value
+/// (proleptic Gregorian; algorithm from Howard Hinnant's `civil_from_days`).
+fn civil_from_days(days: i64) -> (i64, u32) {
+    let z = days + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = (z - era * 146_097) as u64;
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe as i64 + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    (y, m as u32)
+}
+
+impl Transform {
+    /// Apply the transform to a scalar. Nulls map to null.
+    pub fn apply(&self, v: &Value) -> Result<Value> {
+        if v.is_null() {
+            return Ok(Value::Null);
+        }
+        Ok(match self {
+            Transform::Identity => v.clone(),
+            Transform::Bucket(n) => {
+                if *n == 0 {
+                    return Err(TableError::InvalidArgument("bucket(0)".into()));
+                }
+                let h = lakehouse_columnar::kernels::hash::hash_value(0xcbf29ce484222325, v);
+                Value::Int64((h % *n as u64) as i64)
+            }
+            Transform::Truncate(w) => {
+                if *w == 0 {
+                    return Err(TableError::InvalidArgument("truncate(0)".into()));
+                }
+                match v {
+                    Value::Utf8(s) => {
+                        Value::Utf8(s.chars().take(*w as usize).collect::<String>())
+                    }
+                    Value::Int64(i) => {
+                        let w = *w as i64;
+                        Value::Int64(i.div_euclid(w) * w)
+                    }
+                    other => {
+                        return Err(TableError::InvalidArgument(format!(
+                            "truncate unsupported for {other:?}"
+                        )))
+                    }
+                }
+            }
+            Transform::Year => {
+                let days = days_of(v).ok_or_else(|| {
+                    TableError::InvalidArgument("year() needs Date/Timestamp".into())
+                })?;
+                Value::Int64(civil_from_days(days).0)
+            }
+            Transform::Month => {
+                let days = days_of(v).ok_or_else(|| {
+                    TableError::InvalidArgument("month() needs Date/Timestamp".into())
+                })?;
+                let (y, m) = civil_from_days(days);
+                Value::Int64(y * 12 + m as i64 - 1)
+            }
+            Transform::Day => {
+                let days = days_of(v).ok_or_else(|| {
+                    TableError::InvalidArgument("day() needs Date/Timestamp".into())
+                })?;
+                Value::Int64(days)
+            }
+        })
+    }
+
+    /// Whether the transform is order-preserving (range predicates on the
+    /// source column translate to range predicates on partition values).
+    pub fn order_preserving(&self) -> bool {
+        !matches!(self, Transform::Bucket(_))
+    }
+}
+
+/// One partition dimension: a source column plus a transform.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartitionField {
+    pub source_column: String,
+    pub transform: Transform,
+}
+
+/// A partition spec: zero or more partition fields. The empty spec means the
+/// table is unpartitioned.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartitionSpec {
+    pub fields: Vec<PartitionField>,
+}
+
+impl PartitionSpec {
+    pub fn unpartitioned() -> Self {
+        Self::default()
+    }
+
+    pub fn new(fields: Vec<PartitionField>) -> Self {
+        PartitionSpec { fields }
+    }
+
+    /// Identity-partition on a single column (the common case).
+    pub fn identity(column: &str) -> Self {
+        PartitionSpec {
+            fields: vec![PartitionField {
+                source_column: column.into(),
+                transform: Transform::Identity,
+            }],
+        }
+    }
+
+    pub fn is_unpartitioned(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Validate against a table schema.
+    pub fn validate(&self, schema: &Schema) -> Result<()> {
+        for f in &self.fields {
+            if !schema.contains(&f.source_column) {
+                return Err(TableError::InvalidArgument(format!(
+                    "partition source column '{}' not in schema",
+                    f.source_column
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Partition tuple for one row of a batch.
+    pub fn partition_values(&self, batch: &RecordBatch, row: usize) -> Result<Vec<ValueDef>> {
+        let mut out = Vec::with_capacity(self.fields.len());
+        for f in &self.fields {
+            let col = batch.column_by_name(&f.source_column)?;
+            let v = col.get(row)?;
+            out.push(ValueDef::from_value(&f.transform.apply(&v)?));
+        }
+        Ok(out)
+    }
+
+    /// Split a batch into per-partition sub-batches: `(partition values,
+    /// row indices)` pairs, in first-seen order.
+    pub fn split(&self, batch: &RecordBatch) -> Result<Vec<(Vec<ValueDef>, Vec<usize>)>> {
+        if self.is_unpartitioned() {
+            return Ok(vec![(vec![], (0..batch.num_rows()).collect())]);
+        }
+        let mut groups: Vec<(Vec<ValueDef>, Vec<usize>)> = Vec::new();
+        let mut index: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
+        for row in 0..batch.num_rows() {
+            let values = self.partition_values(batch, row)?;
+            // Serialize as a lookup key (ValueDef isn't hashable due to floats).
+            let key = serde_json::to_string(&values)
+                .map_err(|e| TableError::Corrupt(format!("partition key: {e}")))?;
+            match index.get(&key) {
+                Some(&g) => groups[g].1.push(row),
+                None => {
+                    index.insert(key, groups.len());
+                    groups.push((values, vec![row]));
+                }
+            }
+        }
+        Ok(groups)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lakehouse_columnar::{Column, DataType, Field};
+
+    #[test]
+    fn identity_passthrough() {
+        assert_eq!(
+            Transform::Identity.apply(&Value::Int64(5)).unwrap(),
+            Value::Int64(5)
+        );
+    }
+
+    #[test]
+    fn bucket_stable_and_in_range() {
+        let t = Transform::Bucket(8);
+        let a = t.apply(&Value::Utf8("hello".into())).unwrap();
+        let b = t.apply(&Value::Utf8("hello".into())).unwrap();
+        assert_eq!(a, b);
+        let Value::Int64(bucket) = a else { panic!() };
+        assert!((0..8).contains(&bucket));
+        assert!(Transform::Bucket(0).apply(&Value::Int64(1)).is_err());
+    }
+
+    #[test]
+    fn truncate_strings_and_ints() {
+        assert_eq!(
+            Transform::Truncate(3)
+                .apply(&Value::Utf8("abcdef".into()))
+                .unwrap(),
+            Value::Utf8("abc".into())
+        );
+        assert_eq!(
+            Transform::Truncate(10).apply(&Value::Int64(27)).unwrap(),
+            Value::Int64(20)
+        );
+        assert_eq!(
+            Transform::Truncate(10).apply(&Value::Int64(-3)).unwrap(),
+            Value::Int64(-10)
+        );
+    }
+
+    #[test]
+    fn temporal_transforms() {
+        // 2019-04-01 is day 17987 since epoch.
+        let d = Value::Date(17_987);
+        assert_eq!(Transform::Year.apply(&d).unwrap(), Value::Int64(2019));
+        assert_eq!(
+            Transform::Month.apply(&d).unwrap(),
+            Value::Int64(2019 * 12 + 3)
+        );
+        assert_eq!(Transform::Day.apply(&d).unwrap(), Value::Int64(17_987));
+        // Timestamp within the same day maps to the same day partition.
+        let ts = Value::Timestamp(17_987 * 86_400_000_000 + 123);
+        assert_eq!(Transform::Day.apply(&ts).unwrap(), Value::Int64(17_987));
+    }
+
+    #[test]
+    fn civil_from_days_known_dates() {
+        assert_eq!(civil_from_days(0), (1970, 1));
+        assert_eq!(civil_from_days(17_987), (2019, 4));
+        assert_eq!(civil_from_days(-1), (1969, 12));
+    }
+
+    #[test]
+    fn null_maps_to_null() {
+        assert_eq!(Transform::Year.apply(&Value::Null).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn year_on_non_temporal_errors() {
+        assert!(Transform::Year.apply(&Value::Int64(5)).is_err());
+    }
+
+    fn batch() -> RecordBatch {
+        RecordBatch::try_new(
+            Schema::new(vec![
+                Field::new("city", DataType::Utf8, false),
+                Field::new("n", DataType::Int64, false),
+            ]),
+            vec![
+                Column::from_strs(vec!["nyc", "sf", "nyc", "sf", "nyc"]),
+                Column::from_i64(vec![1, 2, 3, 4, 5]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn split_groups_rows() {
+        let spec = PartitionSpec::identity("city");
+        let groups = spec.split(&batch()).unwrap();
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].0, vec![ValueDef::Str("nyc".into())]);
+        assert_eq!(groups[0].1, vec![0, 2, 4]);
+        assert_eq!(groups[1].1, vec![1, 3]);
+    }
+
+    #[test]
+    fn unpartitioned_split_is_single_group() {
+        let spec = PartitionSpec::unpartitioned();
+        let groups = spec.split(&batch()).unwrap();
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].1.len(), 5);
+    }
+
+    #[test]
+    fn validate_unknown_column() {
+        let spec = PartitionSpec::identity("missing");
+        assert!(spec.validate(batch().schema()).is_err());
+        assert!(PartitionSpec::identity("city").validate(batch().schema()).is_ok());
+    }
+
+    #[test]
+    fn spec_json_round_trip() {
+        let spec = PartitionSpec::new(vec![
+            PartitionField {
+                source_column: "d".into(),
+                transform: Transform::Month,
+            },
+            PartitionField {
+                source_column: "id".into(),
+                transform: Transform::Bucket(16),
+            },
+        ]);
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: PartitionSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(spec, back);
+    }
+
+    #[test]
+    fn order_preserving_flags() {
+        assert!(Transform::Identity.order_preserving());
+        assert!(Transform::Day.order_preserving());
+        assert!(!Transform::Bucket(4).order_preserving());
+    }
+}

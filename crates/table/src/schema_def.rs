@@ -1,0 +1,142 @@
+//! Serializable mirrors of the columnar schema and scalar values.
+//!
+//! `lakehouse-columnar` stays serde-free (it is a pure compute kernel crate);
+//! the table layer owns the JSON representation, exactly as Iceberg owns its
+//! own schema JSON independent of Arrow.
+
+use lakehouse_columnar::{DataType, Field, Schema, Value};
+use serde::{Deserialize, Serialize};
+
+/// JSON-serializable field definition.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FieldDef {
+    pub name: String,
+    #[serde(rename = "type")]
+    pub data_type: String,
+    pub nullable: bool,
+}
+
+/// JSON-serializable schema definition with a monotonically increasing id
+/// (schema evolution keeps every historical schema).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SchemaDef {
+    pub schema_id: u32,
+    pub fields: Vec<FieldDef>,
+}
+
+impl SchemaDef {
+    /// Convert from a columnar schema.
+    pub fn from_schema(schema_id: u32, schema: &Schema) -> SchemaDef {
+        SchemaDef {
+            schema_id,
+            fields: schema
+                .fields()
+                .iter()
+                .map(|f| FieldDef {
+                    name: f.name().to_string(),
+                    data_type: f.data_type().name().to_string(),
+                    nullable: f.nullable(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Convert back to a columnar schema. `None` if a type name is unknown.
+    pub fn to_schema(&self) -> Option<Schema> {
+        let fields = self
+            .fields
+            .iter()
+            .map(|f| DataType::parse(&f.data_type).map(|dt| Field::new(&f.name, dt, f.nullable)))
+            .collect::<Option<Vec<_>>>()?;
+        Some(Schema::new(fields))
+    }
+}
+
+/// JSON-serializable scalar value (for partition values and file stats).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "t", content = "v")]
+pub enum ValueDef {
+    Null,
+    Bool(bool),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Ts(i64),
+    Date(i32),
+}
+
+impl ValueDef {
+    pub fn from_value(v: &Value) -> ValueDef {
+        match v {
+            Value::Null => ValueDef::Null,
+            Value::Bool(b) => ValueDef::Bool(*b),
+            Value::Int64(i) => ValueDef::Int(*i),
+            Value::Float64(f) => ValueDef::Float(*f),
+            Value::Utf8(s) => ValueDef::Str(s.clone()),
+            Value::Timestamp(t) => ValueDef::Ts(*t),
+            Value::Date(d) => ValueDef::Date(*d),
+        }
+    }
+
+    pub fn to_value(&self) -> Value {
+        match self {
+            ValueDef::Null => Value::Null,
+            ValueDef::Bool(b) => Value::Bool(*b),
+            ValueDef::Int(i) => Value::Int64(*i),
+            ValueDef::Float(f) => Value::Float64(*f),
+            ValueDef::Str(s) => Value::Utf8(s.clone()),
+            ValueDef::Ts(t) => Value::Timestamp(*t),
+            ValueDef::Date(d) => Value::Date(*d),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_round_trip() {
+        let schema = Schema::new(vec![
+            Field::new("id", DataType::Int64, false),
+            Field::new("when", DataType::Timestamp, true),
+            Field::new("note", DataType::Utf8, true),
+        ]);
+        let def = SchemaDef::from_schema(3, &schema);
+        assert_eq!(def.schema_id, 3);
+        let json = serde_json::to_string(&def).unwrap();
+        let back: SchemaDef = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.to_schema().unwrap(), schema);
+    }
+
+    #[test]
+    fn unknown_type_gives_none() {
+        let def = SchemaDef {
+            schema_id: 0,
+            fields: vec![FieldDef {
+                name: "x".into(),
+                data_type: "BLOB".into(),
+                nullable: true,
+            }],
+        };
+        assert!(def.to_schema().is_none());
+    }
+
+    #[test]
+    fn value_round_trip_all_variants() {
+        for v in [
+            Value::Null,
+            Value::Bool(true),
+            Value::Int64(-1),
+            Value::Float64(2.5),
+            Value::Utf8("s".into()),
+            Value::Timestamp(9),
+            Value::Date(3),
+        ] {
+            let def = ValueDef::from_value(&v);
+            let json = serde_json::to_string(&def).unwrap();
+            let back: ValueDef = serde_json::from_str(&json).unwrap();
+            assert_eq!(back.to_value(), v);
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Complementary cumulative distribution functions — the curves of the
+//! paper's Fig. 1 (left), on log-log axes.
+
+use crate::powerlaw::PowerLawFit;
+
+/// Empirical CCDF: for each distinct sorted value x, P(X >= x). Returns
+/// (x, ccdf) pairs suitable for a log-log plot.
+pub fn ccdf_points(data: &[f64]) -> Vec<(f64, f64)> {
+    if data.is_empty() {
+        return vec![];
+    }
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let n = sorted.len() as f64;
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < sorted.len() {
+        let x = sorted[i];
+        // P(X >= x) = (count of samples >= x) / n = (n - i) / n.
+        out.push((x, (sorted.len() - i) as f64 / n));
+        // Skip duplicates.
+        let mut j = i + 1;
+        while j < sorted.len() && sorted[j] == x {
+            j += 1;
+        }
+        i = j;
+    }
+    out
+}
+
+/// The fitted CCDF `P(X >= x) = (x / xmin)^(1 - alpha)` evaluated at
+/// `points` log-spaced x values across the data range (the dotted lines in
+/// Fig. 1 left).
+pub fn fitted_ccdf(fit: &PowerLawFit, x_max: f64, points: usize) -> Vec<(f64, f64)> {
+    if points == 0 || x_max <= fit.xmin {
+        return vec![];
+    }
+    let log_min = fit.xmin.ln();
+    let log_max = x_max.ln();
+    (0..points)
+        .map(|i| {
+            let t = i as f64 / (points - 1).max(1) as f64;
+            let x = (log_min + t * (log_max - log_min)).exp();
+            let p = (x / fit.xmin).powf(1.0 - fit.alpha);
+            (x, p)
+        })
+        .collect()
+}
+
+/// Downsample CCDF points to at most `max_points` log-spaced entries (keeps
+/// plots readable for large n).
+pub fn log_downsample(points: &[(f64, f64)], max_points: usize) -> Vec<(f64, f64)> {
+    if points.len() <= max_points || max_points == 0 {
+        return points.to_vec();
+    }
+    let first = points.first().expect("non-empty");
+    let last = points.last().expect("non-empty");
+    let log_min = first.0.max(1e-12).ln();
+    let log_max = last.0.max(1e-12).ln();
+    let mut out = Vec::with_capacity(max_points);
+    let mut next_threshold = log_min;
+    let step = (log_max - log_min) / max_points as f64;
+    for &(x, p) in points {
+        if x.max(1e-12).ln() >= next_threshold {
+            out.push((x, p));
+            next_threshold += step;
+        }
+    }
+    if out.last() != Some(last) {
+        out.push(*last);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::powerlaw::sample_power_law;
+
+    #[test]
+    fn ccdf_is_monotone_decreasing_and_starts_at_one() {
+        let data = vec![3.0, 1.0, 2.0, 2.0, 5.0];
+        let pts = ccdf_points(&data);
+        assert_eq!(pts[0], (1.0, 1.0));
+        for w in pts.windows(2) {
+            assert!(w[1].0 > w[0].0);
+            assert!(w[1].1 < w[0].1);
+        }
+        // Last point: P(X >= max) = 1/n.
+        assert!((pts.last().unwrap().1 - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ccdf_empty() {
+        assert!(ccdf_points(&[]).is_empty());
+    }
+
+    #[test]
+    fn ccdf_handles_duplicates() {
+        let pts = ccdf_points(&[1.0, 1.0, 1.0]);
+        assert_eq!(pts, vec![(1.0, 1.0)]);
+    }
+
+    #[test]
+    fn power_law_ccdf_is_straight_line_in_log_log() {
+        // For a true power law, log(ccdf) vs log(x) has slope 1 - alpha.
+        let alpha = 2.5;
+        let data = sample_power_law(50_000, alpha, 1.0, 11);
+        let pts = ccdf_points(&data);
+        // Regress over the mid-range to avoid tail noise.
+        let mid: Vec<(f64, f64)> = pts
+            .iter()
+            .filter(|(x, p)| *x > 1.5 && *p > 1e-3)
+            .map(|&(x, p)| (x.ln(), p.ln()))
+            .collect();
+        let n = mid.len() as f64;
+        let sx: f64 = mid.iter().map(|(x, _)| x).sum();
+        let sy: f64 = mid.iter().map(|(_, y)| y).sum();
+        let sxx: f64 = mid.iter().map(|(x, _)| x * x).sum();
+        let sxy: f64 = mid.iter().map(|(x, y)| x * y).sum();
+        let slope = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+        assert!(
+            (slope - (1.0 - alpha)).abs() < 0.15,
+            "slope {slope} vs expected {}",
+            1.0 - alpha
+        );
+    }
+
+    #[test]
+    fn fitted_ccdf_matches_formula() {
+        let fit = PowerLawFit {
+            alpha: 2.0,
+            xmin: 1.0,
+            ks: 0.0,
+            n_tail: 0,
+        };
+        let pts = fitted_ccdf(&fit, 100.0, 10);
+        assert_eq!(pts.len(), 10);
+        assert!((pts[0].1 - 1.0).abs() < 1e-9);
+        let (x, p) = pts[9];
+        assert!((p - (x / 1.0f64).powf(-1.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn downsample_preserves_endpoints() {
+        let data = sample_power_law(10_000, 2.0, 1.0, 2);
+        let pts = ccdf_points(&data);
+        let down = log_downsample(&pts, 50);
+        assert!(down.len() <= 60);
+        assert_eq!(down.first(), pts.first());
+        assert_eq!(down.last(), pts.last());
+    }
+}

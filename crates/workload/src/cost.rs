@@ -1,0 +1,175 @@
+//! The credit-cost model behind Fig. 1 (right): cumulative cost of running
+//! queries up to a given bytes-scanned percentile.
+//!
+//! The paper's plot is close to the diagonal — the 80th bytes percentile
+//! accounts for ~80% of credits. That shape falls out of warehouse billing
+//! practice: credits accrue **per second of compute with a minimum billable
+//! slice** (Snowflake bills a 60-second minimum per resume), so the huge
+//! population of small queries carries cost in proportion to its count, not
+//! its bytes.
+
+use crate::history::{QueryHistory, QueryRecord};
+
+/// Warehouse-style cost model: credits per second with a minimum billable
+/// duration per query.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    /// Credits per second of query execution.
+    pub credits_per_second: f64,
+    /// Minimum seconds billed per query (Snowflake: 60s).
+    pub min_billable_seconds: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            credits_per_second: 1.0 / 3600.0, // 1 credit per warehouse-hour
+            min_billable_seconds: 60.0,
+        }
+    }
+}
+
+impl CostModel {
+    pub fn query_cost(&self, record: &QueryRecord) -> f64 {
+        record.seconds.max(self.min_billable_seconds) * self.credits_per_second
+    }
+
+    /// A pure bytes-proportional model (BigQuery-style) for the ablation
+    /// bench: shows how the curve shape depends on the billing model.
+    pub fn per_byte(credits_per_byte: f64) -> BytesCostModel {
+        BytesCostModel { credits_per_byte }
+    }
+}
+
+/// Bytes-proportional alternative model (ablation).
+#[derive(Debug, Clone)]
+pub struct BytesCostModel {
+    pub credits_per_byte: f64,
+}
+
+impl BytesCostModel {
+    pub fn query_cost(&self, record: &QueryRecord) -> f64 {
+        record.bytes_scanned as f64 * self.credits_per_byte
+    }
+}
+
+/// The Fig. 1-right curve: x = bytes-scanned percentile (0..=1), y =
+/// fraction of total credit usage consumed by all queries at or below that
+/// percentile. Returns `points + 1` samples from 0 to 1 inclusive.
+pub fn cumulative_cost_curve(
+    history: &QueryHistory,
+    model: &CostModel,
+    points: usize,
+) -> Vec<(f64, f64)> {
+    cumulative_curve_by(history, points, |q| model.query_cost(q))
+}
+
+/// Same curve under an arbitrary per-query cost function.
+pub fn cumulative_curve_by(
+    history: &QueryHistory,
+    points: usize,
+    cost: impl Fn(&QueryRecord) -> f64,
+) -> Vec<(f64, f64)> {
+    let mut queries: Vec<&QueryRecord> = history.queries.iter().collect();
+    queries.sort_by_key(|q| q.bytes_scanned);
+    let costs: Vec<f64> = queries.iter().map(|q| cost(q)).collect();
+    let total: f64 = costs.iter().sum();
+    if total <= 0.0 || queries.is_empty() {
+        return vec![(0.0, 0.0), (1.0, 1.0)];
+    }
+    let mut prefix = Vec::with_capacity(costs.len());
+    let mut acc = 0.0;
+    for c in &costs {
+        acc += c;
+        prefix.push(acc);
+    }
+    (0..=points)
+        .map(|i| {
+            let pct = i as f64 / points.max(1) as f64;
+            let idx = ((queries.len() as f64 * pct).ceil() as usize).clamp(0, queries.len());
+            let cum = if idx == 0 { 0.0 } else { prefix[idx - 1] };
+            (pct, cum / total)
+        })
+        .collect()
+}
+
+/// The cumulative cost fraction at one percentile (0..=1).
+pub fn cost_fraction_at_percentile(history: &QueryHistory, model: &CostModel, pct: f64) -> f64 {
+    let curve = cumulative_cost_curve(history, model, 1000);
+    let idx = ((curve.len() - 1) as f64 * pct.clamp(0.0, 1.0)).round() as usize;
+    curve[idx].1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::CompanyProfile;
+
+    fn history() -> QueryHistory {
+        QueryHistory::generate(&CompanyProfile::design_partner(), 42)
+    }
+
+    #[test]
+    fn min_billing_floor_applies() {
+        let m = CostModel::default();
+        let quick = QueryRecord {
+            seconds: 1.0,
+            bytes_scanned: 1,
+        };
+        let slow = QueryRecord {
+            seconds: 7200.0,
+            bytes_scanned: 1,
+        };
+        assert!((m.query_cost(&quick) - 60.0 / 3600.0).abs() < 1e-12);
+        assert!((m.query_cost(&slow) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn curve_is_monotone_from_zero_to_one() {
+        let curve = cumulative_cost_curve(&history(), &CostModel::default(), 100);
+        assert_eq!(curve.len(), 101);
+        assert_eq!(curve[0], (0.0, 0.0));
+        assert!((curve[100].1 - 1.0).abs() < 1e-9);
+        for w in curve.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+        }
+    }
+
+    #[test]
+    fn paper_claim_80th_percentile_80pct_of_cost() {
+        // Paper: "queries up until the 80th percentile for bytes scanned are
+        // responsible for 80% of all credit usage".
+        let f = cost_fraction_at_percentile(&history(), &CostModel::default(), 0.8);
+        assert!(
+            (0.70..=0.90).contains(&f),
+            "cost fraction at p80 = {f}, expected ≈ 0.8"
+        );
+    }
+
+    #[test]
+    fn per_byte_model_concentrates_cost_in_tail() {
+        // Ablation: bytes-proportional billing shifts cost into the tail —
+        // the diagonal shape is a property of min-slice billing, not of the
+        // data.
+        let h = history();
+        let by_bytes = CostModel::per_byte(1.0 / 1e12);
+        let curve = cumulative_curve_by(&h, 100, |q| by_bytes.query_cost(q));
+        let at_p80 = curve[80].1;
+        let with_min = cost_fraction_at_percentile(&h, &CostModel::default(), 0.8);
+        assert!(
+            at_p80 < with_min,
+            "bytes-only {at_p80} should be below min-billing {with_min}"
+        );
+        assert!(at_p80 < 0.5);
+    }
+
+    #[test]
+    fn empty_history_degenerate_curve() {
+        let h = QueryHistory {
+            company: "empty".into(),
+            queries: vec![],
+        };
+        let curve = cumulative_cost_curve(&h, &CostModel::default(), 10);
+        assert_eq!(curve, vec![(0.0, 0.0), (1.0, 1.0)]);
+    }
+}

@@ -1,0 +1,231 @@
+//! Synthetic SQL query histories: one month of queries per company, with
+//! power-law query times and correlated bytes-scanned — the inputs to both
+//! panels of Fig. 1.
+
+use crate::powerlaw::sample_power_law;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, LogNormal};
+
+/// One query in the history log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryRecord {
+    /// Wall-clock execution time in seconds.
+    pub seconds: f64,
+    /// Bytes scanned by the query.
+    pub bytes_scanned: u64,
+}
+
+/// Parameters for one company's workload, calibrated to the shapes in
+/// Fig. 1: all three companies are power-law with most queries in the
+/// 10⁰–10¹-second range.
+#[derive(Debug, Clone)]
+pub struct CompanyProfile {
+    pub name: String,
+    /// Power-law exponent of query times.
+    pub alpha: f64,
+    /// Minimum query time in seconds.
+    pub xmin_seconds: f64,
+    /// Queries in the month.
+    pub queries_per_month: usize,
+    /// Bytes scanned per second of query time (throughput coupling).
+    pub bytes_per_second: f64,
+    /// Lognormal sigma of the multiplicative noise on bytes.
+    pub bytes_noise_sigma: f64,
+}
+
+impl CompanyProfile {
+    /// The three sample companies of Fig. 1 ("spanning startups to public
+    /// firms"): exponents differ, all power-law-like.
+    pub fn paper_companies() -> Vec<CompanyProfile> {
+        vec![
+            CompanyProfile {
+                name: "company_a (startup)".into(),
+                alpha: 2.4,
+                xmin_seconds: 0.3,
+                queries_per_month: 8_000,
+                bytes_per_second: 120e6,
+                bytes_noise_sigma: 0.5,
+            },
+            CompanyProfile {
+                name: "company_b (scaleup)".into(),
+                alpha: 2.0,
+                xmin_seconds: 0.5,
+                queries_per_month: 40_000,
+                bytes_per_second: 150e6,
+                bytes_noise_sigma: 0.5,
+            },
+            CompanyProfile {
+                name: "company_c (public)".into(),
+                alpha: 1.8,
+                xmin_seconds: 0.8,
+                queries_per_month: 120_000,
+                bytes_per_second: 180e6,
+                bytes_noise_sigma: 0.6,
+            },
+        ]
+    }
+
+    /// A design-partner-like profile whose bytes distribution has its 80th
+    /// percentile near 750 MB (the paper's direct estimate).
+    pub fn design_partner() -> CompanyProfile {
+        CompanyProfile {
+            name: "design_partner".into(),
+            alpha: 2.1,
+            xmin_seconds: 0.4,
+            queries_per_month: 50_000,
+            // Calibrated so that P80(bytes) ≈ 750 MB (see tests).
+            bytes_per_second: 400e6,
+            bytes_noise_sigma: 0.4,
+        }
+    }
+}
+
+/// A generated query history for one company.
+#[derive(Debug, Clone)]
+pub struct QueryHistory {
+    pub company: String,
+    pub queries: Vec<QueryRecord>,
+}
+
+impl QueryHistory {
+    /// Generate a month of queries for a profile. Deterministic per seed —
+    /// "same code, same data" applies to the benches too.
+    pub fn generate(profile: &CompanyProfile, seed: u64) -> QueryHistory {
+        let times = sample_power_law(
+            profile.queries_per_month,
+            profile.alpha,
+            profile.xmin_seconds,
+            seed,
+        );
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9e3779b97f4a7c15);
+        let noise = LogNormal::new(0.0, profile.bytes_noise_sigma).expect("valid lognormal");
+        let queries = times
+            .iter()
+            .map(|&seconds| {
+                // Query time correlates with byte scans (paper §3.1), with
+                // multiplicative lognormal noise.
+                let bytes =
+                    (seconds * profile.bytes_per_second * noise.sample(&mut rng)).max(1.0);
+                QueryRecord {
+                    seconds,
+                    bytes_scanned: bytes as u64,
+                }
+            })
+            .collect();
+        QueryHistory {
+            company: profile.name.clone(),
+            queries,
+        }
+    }
+
+    pub fn times(&self) -> Vec<f64> {
+        self.queries.iter().map(|q| q.seconds).collect()
+    }
+
+    pub fn bytes(&self) -> Vec<f64> {
+        self.queries.iter().map(|q| q.bytes_scanned as f64).collect()
+    }
+
+    /// Fraction of queries finishing within `seconds`.
+    pub fn fraction_within(&self, seconds: f64) -> f64 {
+        if self.queries.is_empty() {
+            return 0.0;
+        }
+        self.queries.iter().filter(|q| q.seconds <= seconds).count() as f64
+            / self.queries.len() as f64
+    }
+
+    /// Draw a random subset (for quick benches); deterministic per seed.
+    pub fn sample(&self, n: usize, seed: u64) -> QueryHistory {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let queries = (0..n.min(self.queries.len()))
+            .map(|_| self.queries[rng.gen_range(0..self.queries.len())].clone())
+            .collect();
+        QueryHistory {
+            company: self.company.clone(),
+            queries,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::powerlaw::{fit_power_law, quantile};
+
+    #[test]
+    fn generation_is_deterministic() {
+        let p = &CompanyProfile::paper_companies()[0];
+        let a = QueryHistory::generate(p, 1);
+        let b = QueryHistory::generate(p, 1);
+        assert_eq!(a.queries, b.queries);
+        let c = QueryHistory::generate(p, 2);
+        assert_ne!(a.queries, c.queries);
+    }
+
+    #[test]
+    fn times_recover_profile_alpha() {
+        let p = &CompanyProfile::paper_companies()[1]; // alpha = 2.0
+        let h = QueryHistory::generate(p, 42);
+        let fit = fit_power_law(&h.times()).unwrap();
+        assert!((fit.alpha - p.alpha).abs() < 0.2, "alpha {}", fit.alpha);
+    }
+
+    #[test]
+    fn most_queries_in_small_range() {
+        // Paper: "a good chunk of the queries being run in the 10^0–10^1
+        // seconds range".
+        for p in CompanyProfile::paper_companies() {
+            let h = QueryHistory::generate(&p, 7);
+            let within_10s = h.fraction_within(10.0);
+            assert!(
+                within_10s > 0.7,
+                "{}: only {within_10s} of queries within 10s",
+                p.name
+            );
+        }
+    }
+
+    #[test]
+    fn bytes_correlate_with_time() {
+        let p = CompanyProfile::design_partner();
+        let h = QueryHistory::generate(&p, 3);
+        // Spearman-ish check: longest decile scans more than shortest decile
+        // on average.
+        let mut sorted = h.queries.clone();
+        sorted.sort_by(|a, b| a.seconds.total_cmp(&b.seconds));
+        let decile = sorted.len() / 10;
+        let short_avg: f64 = sorted[..decile]
+            .iter()
+            .map(|q| q.bytes_scanned as f64)
+            .sum::<f64>()
+            / decile as f64;
+        let long_avg: f64 = sorted[sorted.len() - decile..]
+            .iter()
+            .map(|q| q.bytes_scanned as f64)
+            .sum::<f64>()
+            / decile as f64;
+        assert!(long_avg > short_avg * 5.0);
+    }
+
+    #[test]
+    fn design_partner_p80_near_750mb() {
+        let h = QueryHistory::generate(&CompanyProfile::design_partner(), 42);
+        let p80 = quantile(&h.bytes(), 0.8);
+        // Paper: "the 80th percentile in the bytes distribution corresponds
+        // to approximately 750MB". Allow a factor-2 band.
+        assert!(
+            (300e6..1.6e9).contains(&p80),
+            "p80 bytes = {p80:.3e}, expected ≈ 7.5e8"
+        );
+    }
+
+    #[test]
+    fn sample_subset() {
+        let h = QueryHistory::generate(&CompanyProfile::paper_companies()[0], 1);
+        let s = h.sample(100, 9);
+        assert_eq!(s.queries.len(), 100);
+        assert_eq!(h.sample(100, 9).queries, s.queries);
+    }
+}

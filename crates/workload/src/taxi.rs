@@ -1,0 +1,157 @@
+//! NYC-taxi-like synthetic data generator (the paper's running example is
+//! the TLC trip-record dataset; we generate a statistically similar table).
+
+use lakehouse_columnar::{Column, DataType, Field, RecordBatch, Schema};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, LogNormal, Zipf};
+
+/// Generates `taxi_table`-shaped batches: pickup/dropoff location ids
+/// (Zipf-skewed, like real zone popularity), passenger counts, pickup dates,
+/// trip distance and fare (correlated, lognormal).
+#[derive(Debug, Clone)]
+pub struct TaxiGenerator {
+    pub zones: u64,
+    pub zone_skew: f64,
+    /// First pickup date (days since epoch); defaults to 2019-03-01.
+    pub start_day: i32,
+    /// Number of days covered.
+    pub days: i32,
+    pub seed: u64,
+}
+
+impl Default for TaxiGenerator {
+    fn default() -> Self {
+        TaxiGenerator {
+            zones: 263, // NYC TLC zone count
+            zone_skew: 1.05,
+            start_day: 17_956, // 2019-03-01
+            days: 61,          // March + April 2019
+            seed: 42,
+        }
+    }
+}
+
+impl TaxiGenerator {
+    /// The table schema (superset of the Appendix A columns).
+    pub fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("pickup_location_id", DataType::Int64, false),
+            Field::new("dropoff_location_id", DataType::Int64, false),
+            Field::new("passenger_count", DataType::Int64, true),
+            Field::new("pickup_at", DataType::Date, false),
+            Field::new("trip_distance", DataType::Float64, false),
+            Field::new("fare", DataType::Float64, false),
+        ])
+    }
+
+    /// Generate `rows` trips.
+    pub fn generate(&self, rows: usize) -> RecordBatch {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let zone_dist = Zipf::new(self.zones, self.zone_skew).expect("valid zipf");
+        let dist_dist = LogNormal::new(0.9f64, 0.8).expect("valid lognormal"); // ~2.5 mi median
+        let mut pickup = Vec::with_capacity(rows);
+        let mut dropoff = Vec::with_capacity(rows);
+        let mut passengers = Vec::with_capacity(rows);
+        let mut dates = Vec::with_capacity(rows);
+        let mut distances = Vec::with_capacity(rows);
+        let mut fares = Vec::with_capacity(rows);
+        for _ in 0..rows {
+            pickup.push(zone_dist.sample(&mut rng) as i64);
+            dropoff.push(zone_dist.sample(&mut rng) as i64);
+            // ~1.5% null passenger counts (data-quality warts, so
+            // expectations have something to catch).
+            passengers.push(if rng.gen_bool(0.015) {
+                None
+            } else {
+                Some(rng.gen_range(1..=6))
+            });
+            dates.push(self.start_day + rng.gen_range(0..self.days.max(1)));
+            let miles: f64 = dist_dist.sample(&mut rng);
+            distances.push(miles);
+            // NYC-style meter: $2.50 flag + $2.50/mile + noise.
+            fares.push(2.5 + miles * 2.5 + rng.gen_range(0.0..3.0));
+        }
+        RecordBatch::try_new(
+            Self::schema(),
+            vec![
+                Column::from_i64(pickup),
+                Column::from_i64(dropoff),
+                Column::from_opt_i64(passengers),
+                Column::from_date(dates),
+                Column::from_f64(distances),
+                Column::from_f64(fares),
+            ],
+        )
+        .expect("generator produces a valid batch")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_rows_with_schema() {
+        let b = TaxiGenerator::default().generate(1000);
+        assert_eq!(b.num_rows(), 1000);
+        assert_eq!(b.schema(), &TaxiGenerator::schema());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = TaxiGenerator::default().generate(100);
+        let b = TaxiGenerator::default().generate(100);
+        assert_eq!(a, b);
+        let c = TaxiGenerator {
+            seed: 7,
+            ..Default::default()
+        }
+        .generate(100);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn zones_in_range_and_skewed() {
+        let g = TaxiGenerator::default();
+        let b = g.generate(10_000);
+        let (ids, _) = b.column_by_name("pickup_location_id").unwrap().as_i64().unwrap();
+        assert!(ids.iter().all(|&z| (1..=g.zones as i64).contains(&z)));
+        // Zipf skew: the most common zone appears far more than the median.
+        let mut counts = std::collections::HashMap::new();
+        for &z in ids {
+            *counts.entry(z).or_insert(0usize) += 1;
+        }
+        let max = counts.values().copied().max().unwrap();
+        assert!(max > 10_000 / g.zones as usize * 5);
+    }
+
+    #[test]
+    fn dates_cover_window() {
+        let g = TaxiGenerator::default();
+        let b = g.generate(5_000);
+        let (dates, _) = b.column_by_name("pickup_at").unwrap().as_date().unwrap();
+        assert!(dates.iter().all(|&d| d >= g.start_day && d < g.start_day + g.days));
+        // Both March and April present (2019-04-01 = 17987).
+        assert!(dates.iter().any(|&d| d < 17_987));
+        assert!(dates.iter().any(|&d| d >= 17_987));
+    }
+
+    #[test]
+    fn fares_track_distance() {
+        let b = TaxiGenerator::default().generate(5_000);
+        let (dist, _) = b.column_by_name("trip_distance").unwrap().as_f64().unwrap();
+        let (fare, _) = b.column_by_name("fare").unwrap().as_f64().unwrap();
+        for i in 0..dist.len() {
+            assert!(fare[i] >= 2.5 + dist[i] * 2.5);
+            assert!(fare[i] <= 5.5 + dist[i] * 2.5);
+        }
+    }
+
+    #[test]
+    fn some_passenger_nulls() {
+        let b = TaxiGenerator::default().generate(10_000);
+        let nulls = b.column_by_name("passenger_count").unwrap().null_count();
+        assert!(nulls > 0 && nulls < 1000);
+    }
+}

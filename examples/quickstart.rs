@@ -1,0 +1,57 @@
+//! Quickstart: create a lakehouse, load a table, query it, run a pipeline.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use bauplan_core::{Lakehouse, LakehouseConfig, NodeDef, PipelineProject, RunOptions};
+use lakehouse_columnar::pretty::format_batch;
+use lakehouse_columnar::{Column, DataType, Field, RecordBatch, Schema};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A lakehouse over a simulated in-memory object store.
+    let lh = Lakehouse::in_memory(LakehouseConfig::default())?;
+
+    // 2. Load a table into the lake (committed to the `main` branch).
+    let orders = RecordBatch::try_new(
+        Schema::new(vec![
+            Field::new("order_id", DataType::Int64, false),
+            Field::new("customer", DataType::Utf8, false),
+            Field::new("amount", DataType::Float64, false),
+        ]),
+        vec![
+            Column::from_i64(vec![1, 2, 3, 4, 5, 6]),
+            Column::from_strs(vec!["ada", "bob", "ada", "cyd", "bob", "ada"]),
+            Column::from_f64(vec![10.0, 25.0, 11.5, 99.0, 5.0, 42.0]),
+        ],
+    )?;
+    lh.create_table("orders", &orders, "main")?;
+
+    // 3. Synchronous SQL (the `bauplan query` verb).
+    let by_customer = lh.query(
+        "SELECT customer, COUNT(*) AS orders, SUM(amount) AS total \
+         FROM orders GROUP BY customer ORDER BY total DESC",
+        "main",
+    )?;
+    println!("orders by customer:\n{}", format_batch(&by_customer, 10));
+
+    // 4. A declarative pipeline (the `bauplan run` verb): one SQL node
+    //    producing a new artifact; the DAG is implicit in the FROM clause.
+    let project = PipelineProject::new("quickstart").with(NodeDef::sql(
+        "big_spenders",
+        "SELECT customer, SUM(amount) AS total FROM orders \
+         GROUP BY customer HAVING SUM(amount) > 20.0 ORDER BY total DESC",
+    ));
+    let report = lh.run(&project, &RunOptions::default())?;
+    println!(
+        "run {} materialized {:?} in {:?} simulated",
+        report.run_id,
+        report.artifact_rows,
+        report.simulated_total
+    );
+
+    // 5. The artifact is now a first-class table on main.
+    let out = lh.query("SELECT * FROM big_spenders", "main")?;
+    println!("big spenders:\n{}", format_batch(&out, 10));
+    Ok(())
+}

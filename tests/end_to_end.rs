@@ -1,0 +1,229 @@
+//! Cross-crate end-to-end scenarios: multi-node DAGs, mixed SQL + native
+//! functions, schema evolution under live pipelines, replay determinism,
+//! and both execution modes producing identical results.
+
+use bauplan_core::{
+    builtins, ExecutionMode, FnContext, FnOutput, Lakehouse, LakehouseConfig, NodeDef,
+    PipelineProject, Requirements, RunOptions,
+};
+use lakehouse_columnar::{Column, DataType, Field, RecordBatch, Schema, Value};
+use lakehouse_workload::TaxiGenerator;
+
+fn lakehouse() -> Lakehouse {
+    let lh = Lakehouse::in_memory(LakehouseConfig::zero_latency()).unwrap();
+    lh.create_table(
+        "taxi_table",
+        &TaxiGenerator::default().generate(20_000),
+        "main",
+    )
+    .unwrap();
+    lh
+}
+
+/// A five-node diamond-shaped pipeline mixing SQL and native functions.
+fn diamond_project() -> PipelineProject {
+    PipelineProject::new("diamond")
+        .with(NodeDef::sql(
+            "trips",
+            "SELECT pickup_location_id, dropoff_location_id, fare, trip_distance \
+             FROM taxi_table WHERE fare > 5.0",
+        ))
+        .with(NodeDef::sql(
+            "by_pickup",
+            "SELECT pickup_location_id, COUNT(*) AS n, AVG(fare) AS avg_fare \
+             FROM trips GROUP BY pickup_location_id",
+        ))
+        .with(NodeDef::sql(
+            "by_dropoff",
+            "SELECT dropoff_location_id, COUNT(*) AS n FROM trips \
+             GROUP BY dropoff_location_id",
+        ))
+        .with(NodeDef::sql(
+            "hotspots",
+            "SELECT p.pickup_location_id AS zone, p.n AS pickups, d.n AS dropoffs \
+             FROM by_pickup p JOIN by_dropoff d \
+             ON p.pickup_location_id = d.dropoff_location_id \
+             ORDER BY pickups DESC LIMIT 20",
+        ))
+        .with(NodeDef::function(
+            "hotspots_expectation",
+            vec!["hotspots".into()],
+            Requirements::default().with_package("pandas", "2.0.0"),
+            "hotspots_check",
+        ))
+}
+
+#[test]
+fn five_node_diamond_pipeline() {
+    let lh = lakehouse();
+    lh.register_function("hotspots_check", builtins::min_row_count("hotspots", 1));
+    let report = lh.run(&diamond_project(), &RunOptions::default()).unwrap();
+    assert!(report.success);
+    assert_eq!(report.artifact_rows.len(), 4); // all but the expectation
+    let out = lh
+        .query("SELECT zone, pickups, dropoffs FROM hotspots LIMIT 3", "main")
+        .unwrap();
+    assert!(out.num_rows() >= 1);
+}
+
+#[test]
+fn naive_and_fused_produce_identical_artifacts() {
+    for mode in [ExecutionMode::Naive, ExecutionMode::Fused] {
+        let lh = lakehouse();
+        lh.register_function("hotspots_check", builtins::min_row_count("hotspots", 1));
+        let report = lh
+            .run(&diamond_project(), &RunOptions::default().with_mode(mode))
+            .unwrap();
+        assert!(report.success, "{mode:?} run failed");
+        let out = lh
+            .query(
+                "SELECT zone, pickups FROM hotspots ORDER BY pickups DESC, zone",
+                "main",
+            )
+            .unwrap();
+        // Same deterministic generator seed in both lakehouses → identical
+        // results regardless of execution mode.
+        let first = out.row(0).unwrap();
+        assert!(first[1].as_i64().unwrap() > 0);
+    }
+}
+
+#[test]
+fn function_transform_feeds_sql_downstream() {
+    let lh = lakehouse();
+    // Native node computes a derived table; SQL aggregates it.
+    lh.register_function("tip_model", |ctx: &FnContext| {
+        let trips = ctx.input("taxi_table")?;
+        let fare = trips.column_by_name("fare")?;
+        let tip = lakehouse_columnar::kernels::mul(
+            fare,
+            &Column::from_value(&Value::Float64(0.2), fare.len())?,
+        )?;
+        Ok(FnOutput::Batch(RecordBatch::try_new(
+            Schema::new(vec![
+                Field::new("fare", DataType::Float64, false),
+                Field::new("predicted_tip", DataType::Float64, true),
+            ]),
+            vec![fare.clone(), tip],
+        )?))
+    });
+    let project = PipelineProject::new("mixed")
+        .with(NodeDef::function(
+            "tips",
+            vec!["taxi_table".into()],
+            Requirements::default(),
+            "tip_model",
+        ))
+        .with(NodeDef::sql(
+            "tip_summary",
+            "SELECT COUNT(*) AS n, AVG(predicted_tip) AS avg_tip FROM tips",
+        ));
+    let report = lh.run(&project, &RunOptions::default()).unwrap();
+    assert!(report.success);
+    let out = lh.query("SELECT avg_tip FROM tip_summary", "main").unwrap();
+    let Value::Float64(avg_tip) = out.row(0).unwrap()[0] else {
+        panic!()
+    };
+    assert!(avg_tip > 0.0);
+}
+
+#[test]
+fn schema_evolution_between_runs() {
+    let lh = lakehouse();
+    let project = PipelineProject::new("evolving").with(NodeDef::sql(
+        "fares",
+        "SELECT pickup_location_id, fare FROM taxi_table WHERE fare > 50.0",
+    ));
+    lh.run(&project, &RunOptions::default()).unwrap();
+    // Evolve source data: append new rows after the first run.
+    lh.append_table(
+        "taxi_table",
+        &TaxiGenerator {
+            seed: 9,
+            ..TaxiGenerator::default()
+        }
+        .generate(20_000),
+        "main",
+    )
+    .unwrap();
+    let r2 = lh.run(&project, &RunOptions::default()).unwrap();
+    assert!(r2.success);
+    let out = lh
+        .query("SELECT COUNT(*) AS n FROM fares", "main")
+        .unwrap();
+    assert!(out.row(0).unwrap()[0].as_i64().unwrap() > 0);
+}
+
+#[test]
+fn replay_reproduces_bit_identical_artifacts() {
+    let lh = lakehouse();
+    lh.register_function("hotspots_check", builtins::min_row_count("hotspots", 1));
+    let r1 = lh.run(&diamond_project(), &RunOptions::default()).unwrap();
+    let original = lh
+        .query(
+            "SELECT * FROM hotspots ORDER BY pickups DESC, zone",
+            "main",
+        )
+        .unwrap();
+    // Disturb the lake, then replay.
+    lh.append_table(
+        "taxi_table",
+        &TaxiGenerator {
+            seed: 5,
+            ..TaxiGenerator::default()
+        }
+        .generate(10_000),
+        "main",
+    )
+    .unwrap();
+    let replay = lh.replay(r1.run_id, None).unwrap();
+    let replayed = lh
+        .query(
+            "SELECT * FROM hotspots ORDER BY pickups DESC, zone",
+            &replay.ephemeral_branch,
+        )
+        .unwrap();
+    assert_eq!(original, replayed);
+}
+
+#[test]
+fn expectation_on_intermediate_blocks_downstream_materialization() {
+    let lh = lakehouse();
+    // Expectation on trips fails; hotspots must never materialize.
+    let project = PipelineProject::new("blocked")
+        .with(NodeDef::sql(
+            "trips",
+            "SELECT fare FROM taxi_table WHERE fare > 5.0",
+        ))
+        .with(NodeDef::function(
+            "trips_expectation",
+            vec!["trips".into()],
+            Requirements::default(),
+            "always_fail",
+        ))
+        .with(NodeDef::sql(
+            "summary",
+            "SELECT COUNT(*) AS n FROM trips",
+        ));
+    lh.register_function("always_fail", |_: &FnContext| Ok(FnOutput::Expectation(false)));
+    let err = lh.run(&project, &RunOptions::default()).unwrap_err();
+    assert!(err.to_string().contains("expectation"));
+    assert!(lh.query("SELECT * FROM summary", "main").is_err());
+    assert!(lh.query("SELECT * FROM trips", "main").is_err());
+}
+
+#[test]
+fn run_registry_tracks_every_run() {
+    let lh = lakehouse();
+    let project = PipelineProject::new("p").with(NodeDef::sql(
+        "t",
+        "SELECT fare FROM taxi_table LIMIT 10",
+    ));
+    assert_eq!(lh.run_count(), 0);
+    lh.run(&project, &RunOptions::default()).unwrap();
+    lh.run(&project, &RunOptions::default()).unwrap();
+    assert_eq!(lh.run_count(), 2);
+    let r3 = lh.replay(1, None).unwrap();
+    assert_eq!(r3.run_id, 3);
+    assert_eq!(lh.run_count(), 3);
+}

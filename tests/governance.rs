@@ -1,0 +1,117 @@
+//! Integration tests for the §5 future-work extensions: access control with
+//! audit, and log-driven memory estimation.
+
+use bauplan_core::{
+    builtins, standard_policy, BauplanError, Lakehouse, LakehouseConfig, PipelineProject,
+    Principal, RunOptions,
+};
+use lakehouse_workload::TaxiGenerator;
+
+fn lakehouse() -> Lakehouse {
+    let lh = Lakehouse::in_memory(LakehouseConfig::zero_latency()).unwrap();
+    lh.create_table(
+        "taxi_table",
+        &TaxiGenerator::default().generate(5_000),
+        "main",
+    )
+    .unwrap();
+    lh.register_function(
+        "trips_expectation_impl",
+        builtins::mean_greater_than("trips", "count", 1.0),
+    );
+    lh
+}
+
+#[test]
+fn engineer_workflow_respects_policy() {
+    let lh = lakehouse();
+    lh.set_access_policy(standard_policy("main"));
+    let dev = Principal::new("dev-1", vec!["engineer"]);
+
+    // Engineers can read production and run on feature branches...
+    lh.create_branch("feat_1", Some("main")).unwrap();
+    assert!(lh
+        .query_as(&dev, "SELECT COUNT(*) AS n FROM taxi_table", "main")
+        .is_ok());
+    assert!(lh
+        .run_as(
+            &dev,
+            &PipelineProject::taxi_example(),
+            &RunOptions::on_branch("feat_1")
+        )
+        .is_ok());
+
+    // ...but cannot run against production or merge into it.
+    let err = lh
+        .run_as(
+            &dev,
+            &PipelineProject::taxi_example(),
+            &RunOptions::default(),
+        )
+        .unwrap_err();
+    assert!(matches!(err, BauplanError::AccessDenied { .. }));
+    assert!(matches!(
+        lh.merge_as(&dev, "feat_1", "main").unwrap_err(),
+        BauplanError::AccessDenied { .. }
+    ));
+
+    // A deployer promotes instead.
+    let bot = Principal::new("orchestrator", vec!["deployer"]);
+    lh.merge_as(&bot, "feat_1", "main").unwrap();
+    assert!(lh.list_tables("main").unwrap().contains(&"pickups".to_string()));
+}
+
+#[test]
+fn every_access_is_audited() {
+    let lh = lakehouse();
+    lh.set_access_policy(standard_policy("main"));
+    let ana = Principal::new("ana", vec!["analyst"]);
+    let _ = lh.query_as(&ana, "SELECT 1 AS one", "main");
+    let _ = lh.run_as(
+        &ana,
+        &PipelineProject::taxi_example(),
+        &RunOptions::default(),
+    );
+    let log = lh.access().audit_log();
+    assert_eq!(log.len(), 2);
+    assert!(log[0].allowed);
+    assert!(!log[1].allowed);
+    assert_eq!(lh.access().denials().len(), 1);
+    assert_eq!(log[1].principal, "ana");
+}
+
+#[test]
+fn unauthenticated_api_still_works_without_policy() {
+    // Without a policy, the plain (unauthenticated) API and the
+    // authenticated one both work — "seamless" for single users.
+    let lh = lakehouse();
+    let anyone = Principal::new("anyone", vec![]);
+    assert!(lh.query("SELECT COUNT(*) AS n FROM taxi_table", "main").is_ok());
+    assert!(lh
+        .query_as(&anyone, "SELECT COUNT(*) AS n FROM taxi_table", "main")
+        .is_ok());
+}
+
+#[test]
+fn estimator_learns_across_runs() {
+    let lh = lakehouse();
+    let project = PipelineProject::taxi_example();
+    let (hits_before, _) = lh.memory_estimator().hit_miss();
+    lh.run(&project, &RunOptions::default()).unwrap();
+    // First run: all estimates were default (misses).
+    let (hits_mid, misses_mid) = lh.memory_estimator().hit_miss();
+    assert_eq!(hits_mid, hits_before);
+    assert!(misses_mid > 0);
+    // Artifacts observed: trips + pickups.
+    let mut known = lh.memory_estimator().known_nodes();
+    known.sort();
+    assert_eq!(known, vec!["pickups", "trips"]);
+    // Second run: materialized nodes now hit the history.
+    lh.run(&project, &RunOptions::default()).unwrap();
+    let (hits_after, _) = lh.memory_estimator().hit_miss();
+    assert!(hits_after > hits_mid);
+    // And the learned estimates are proportional to artifact size.
+    let trips = lh.memory_estimator().estimate("trips", 0);
+    let pickups = lh.memory_estimator().estimate("pickups", 0);
+    assert!(trips > 0 && pickups > 0);
+}

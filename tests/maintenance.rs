@@ -1,0 +1,91 @@
+//! Platform-level table maintenance: compaction and snapshot expiration
+//! through the catalog, with time travel preserved where it should be.
+
+use bauplan_core::{Lakehouse, LakehouseConfig};
+use lakehouse_columnar::{Column, DataType, Field, RecordBatch, Schema, Value};
+
+fn batch(vals: Vec<i64>) -> RecordBatch {
+    RecordBatch::try_new(
+        Schema::new(vec![Field::new("x", DataType::Int64, false)]),
+        vec![Column::from_i64(vals)],
+    )
+    .unwrap()
+}
+
+fn lakehouse_with_fragmented_table() -> Lakehouse {
+    let lh = Lakehouse::in_memory(LakehouseConfig::zero_latency()).unwrap();
+    lh.create_table("events", &batch(vec![1, 2]), "main").unwrap();
+    for i in 0..5 {
+        lh.append_table("events", &batch(vec![10 + i, 20 + i]), "main")
+            .unwrap();
+    }
+    lh
+}
+
+#[test]
+fn compaction_preserves_data_and_queries() {
+    let lh = lakehouse_with_fragmented_table();
+    let before = lh
+        .query("SELECT COUNT(*) AS n, SUM(x) AS s FROM events", "main")
+        .unwrap();
+    let report = lh.compact_table("events", "main").unwrap();
+    assert_eq!(report.files_compacted, 6);
+    assert_eq!(report.files_written, 1);
+    let after = lh
+        .query("SELECT COUNT(*) AS n, SUM(x) AS s FROM events", "main")
+        .unwrap();
+    assert_eq!(before, after);
+    // The compaction is a commit in the audit log.
+    let log = lh.log("main", 5).unwrap();
+    assert!(log[0].1.message.contains("compact"));
+}
+
+#[test]
+fn compaction_reduces_scan_ops() {
+    let lh = lakehouse_with_fragmented_table();
+    let metrics = lh.store_metrics();
+    metrics.reset();
+    lh.query("SELECT COUNT(*) AS n FROM events", "main").unwrap();
+    let gets_before = metrics.gets();
+    lh.compact_table("events", "main").unwrap();
+    metrics.reset();
+    lh.query("SELECT COUNT(*) AS n FROM events", "main").unwrap();
+    let gets_after = metrics.gets();
+    assert!(
+        gets_after < gets_before,
+        "compaction should reduce per-query GETs: {gets_after} vs {gets_before}"
+    );
+}
+
+#[test]
+fn compaction_is_branch_scoped() {
+    let lh = lakehouse_with_fragmented_table();
+    lh.create_branch("feat", Some("main")).unwrap();
+    lh.compact_table("events", "feat").unwrap();
+    // Branch sees compacted table; main still fragmented but identical data.
+    let feat = lh.query("SELECT SUM(x) AS s FROM events", "feat").unwrap();
+    let main = lh.query("SELECT SUM(x) AS s FROM events", "main").unwrap();
+    assert_eq!(feat.row(0).unwrap(), main.row(0).unwrap());
+}
+
+#[test]
+fn expiration_after_compaction_frees_files_but_keeps_current() {
+    let lh = lakehouse_with_fragmented_table();
+    lh.compact_table("events", "main").unwrap();
+    let report = lh.expire_table_snapshots("events", "main", 1).unwrap();
+    assert!(report.snapshots_expired >= 5);
+    assert!(report.data_files_deleted >= 5);
+    let out = lh.query("SELECT COUNT(*) AS n FROM events", "main").unwrap();
+    assert_eq!(out.row(0).unwrap()[0], Value::Int64(12));
+}
+
+#[test]
+fn compact_noop_on_single_file_table() {
+    let lh = Lakehouse::in_memory(LakehouseConfig::zero_latency()).unwrap();
+    lh.create_table("tiny", &batch(vec![1]), "main").unwrap();
+    let report = lh.compact_table("tiny", "main").unwrap();
+    assert_eq!(report.files_compacted, 0);
+    // No commit written for a no-op.
+    let log = lh.log("main", 5).unwrap();
+    assert!(!log[0].1.message.contains("compact"));
+}

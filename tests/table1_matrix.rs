@@ -1,0 +1,113 @@
+//! Integration test for the paper's Table 1: every use-case × environment ×
+//! modality cell must be supported end-to-end.
+
+use bauplan_core::{builtins, Lakehouse, LakehouseConfig, PipelineProject, RunOptions};
+use lakehouse_workload::TaxiGenerator;
+use std::sync::Arc;
+
+fn lakehouse() -> Arc<Lakehouse> {
+    let lh = Lakehouse::in_memory(LakehouseConfig::default()).unwrap();
+    lh.create_table(
+        "taxi_table",
+        &TaxiGenerator::default().generate(10_000),
+        "main",
+    )
+    .unwrap();
+    lh.register_function(
+        "trips_expectation_impl",
+        builtins::mean_greater_than("trips", "count", 1.0),
+    );
+    Arc::new(lh)
+}
+
+#[test]
+fn qw_dev_synchronous() {
+    let lh = lakehouse();
+    lh.create_branch("dev", Some("main")).unwrap();
+    let out = lh
+        .query(
+            "SELECT pickup_location_id, AVG(fare) AS avg_fare FROM taxi_table \
+             GROUP BY pickup_location_id ORDER BY avg_fare DESC LIMIT 5",
+            "dev",
+        )
+        .unwrap();
+    assert_eq!(out.num_rows(), 5);
+}
+
+#[test]
+fn qw_prod_synchronous() {
+    let lh = lakehouse();
+    let out = lh
+        .query("SELECT COUNT(*) AS n FROM taxi_table WHERE fare > 10.0", "main")
+        .unwrap();
+    assert!(out.row(0).unwrap()[0].as_i64().unwrap() > 0);
+}
+
+#[test]
+fn td_dev_synchronous() {
+    let lh = lakehouse();
+    lh.create_branch("dev", Some("main")).unwrap();
+    let report = lh
+        .run(&PipelineProject::taxi_example(), &RunOptions::on_branch("dev"))
+        .unwrap();
+    assert!(report.success);
+    assert!(lh.list_tables("dev").unwrap().contains(&"pickups".to_string()));
+    // Production untouched by the dev run.
+    assert!(!lh.list_tables("main").unwrap().contains(&"pickups".to_string()));
+}
+
+#[test]
+fn td_dev_asynchronous() {
+    let lh = lakehouse();
+    lh.create_branch("dev", Some("main")).unwrap();
+    let handle = lh.run_async(
+        PipelineProject::taxi_example(),
+        RunOptions::on_branch("dev"),
+    );
+    let report = handle.wait().unwrap();
+    assert!(report.success);
+}
+
+#[test]
+fn td_prod_asynchronous() {
+    let lh = lakehouse();
+    let handle = lh.run_async(PipelineProject::taxi_example(), RunOptions::default());
+    let report = handle.wait().unwrap();
+    assert!(report.success);
+    assert!(lh.list_tables("main").unwrap().contains(&"pickups".to_string()));
+}
+
+#[test]
+fn async_poll_transitions_to_complete() {
+    let lh = lakehouse();
+    let handle = lh.run_async(PipelineProject::taxi_example(), RunOptions::default());
+    // Spin-poll (the orchestrator pattern: fire, then monitor later).
+    let mut outcome = None;
+    for _ in 0..10_000 {
+        if let Some(ok) = handle.poll() {
+            outcome = Some(ok);
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    assert_eq!(outcome, Some(true));
+}
+
+#[test]
+fn concurrent_async_runs_on_separate_branches() {
+    let lh = lakehouse();
+    lh.create_branch("dev_a", Some("main")).unwrap();
+    lh.create_branch("dev_b", Some("main")).unwrap();
+    let h1 = lh.run_async(
+        PipelineProject::taxi_example(),
+        RunOptions::on_branch("dev_a"),
+    );
+    let h2 = lh.run_async(
+        PipelineProject::taxi_example(),
+        RunOptions::on_branch("dev_b"),
+    );
+    assert!(h1.wait().unwrap().success);
+    assert!(h2.wait().unwrap().success);
+    assert!(lh.list_tables("dev_a").unwrap().contains(&"pickups".to_string()));
+    assert!(lh.list_tables("dev_b").unwrap().contains(&"pickups".to_string()));
+}

@@ -1,0 +1,156 @@
+//! Integration test for the paper's Fig. 4: git semantics for code *and*
+//! data — feature branches, ephemeral run branches, transactional merges,
+//! conflicts, tags, and rollback on failed audits.
+
+use bauplan_core::{
+    builtins, BauplanError, Lakehouse, LakehouseConfig, PipelineProject, RunOptions,
+};
+use lakehouse_columnar::{Column, DataType, Field, RecordBatch, Schema};
+use lakehouse_workload::TaxiGenerator;
+
+fn lakehouse() -> Lakehouse {
+    let lh = Lakehouse::in_memory(LakehouseConfig::zero_latency()).unwrap();
+    lh.create_table(
+        "taxi_table",
+        &TaxiGenerator::default().generate(5_000),
+        "main",
+    )
+    .unwrap();
+    lh.register_function(
+        "trips_expectation_impl",
+        builtins::mean_greater_than("trips", "count", 1.0),
+    );
+    lh
+}
+
+fn small_batch(v: i64) -> RecordBatch {
+    RecordBatch::try_new(
+        Schema::new(vec![Field::new("x", DataType::Int64, false)]),
+        vec![Column::from_i64(vec![v])],
+    )
+    .unwrap()
+}
+
+#[test]
+fn figure4_full_flow() {
+    let lh = lakehouse();
+    // 1. checkout feat_1
+    lh.create_branch("feat_1", Some("main")).unwrap();
+    // 2-4. run executes in an ephemeral branch, merges on success, deletes it
+    let report = lh
+        .run(&PipelineProject::taxi_example(), &RunOptions::on_branch("feat_1"))
+        .unwrap();
+    assert!(report.success);
+    let refs: Vec<String> = lh
+        .list_refs()
+        .unwrap()
+        .into_iter()
+        .map(|r| r.name)
+        .collect();
+    assert!(
+        !refs.iter().any(|r| r.starts_with("run_")),
+        "ephemeral branch should be deleted: {refs:?}"
+    );
+    // artifacts visible to "any user with branch access"
+    assert!(lh.list_tables("feat_1").unwrap().contains(&"trips".to_string()));
+    // final promote
+    lh.merge("feat_1", "main").unwrap();
+    assert!(lh.list_tables("main").unwrap().contains(&"pickups".to_string()));
+}
+
+#[test]
+fn failed_audit_never_leaks_artifacts() {
+    let lh = lakehouse();
+    lh.register_function(
+        "trips_expectation_impl",
+        builtins::mean_greater_than("trips", "count", f64::MAX),
+    );
+    let before_tables = lh.list_tables("main").unwrap();
+    let before_head = lh.log("main", 1).unwrap()[0].0.clone();
+    let err = lh
+        .run(&PipelineProject::taxi_example(), &RunOptions::default())
+        .unwrap_err();
+    assert!(matches!(err, BauplanError::ExpectationFailed { .. }));
+    assert_eq!(lh.list_tables("main").unwrap(), before_tables);
+    assert_eq!(lh.log("main", 1).unwrap()[0].0, before_head);
+}
+
+#[test]
+fn branches_are_isolated_until_merge() {
+    let lh = lakehouse();
+    lh.create_branch("feat_a", Some("main")).unwrap();
+    lh.create_table("a_only", &small_batch(1), "feat_a").unwrap();
+    lh.create_branch("feat_b", Some("main")).unwrap();
+    lh.create_table("b_only", &small_batch(2), "feat_b").unwrap();
+    assert!(lh.query("SELECT * FROM a_only", "feat_b").is_err());
+    assert!(lh.query("SELECT * FROM b_only", "feat_a").is_err());
+    assert!(lh.query("SELECT * FROM a_only", "main").is_err());
+    lh.merge("feat_a", "main").unwrap();
+    lh.merge("feat_b", "main").unwrap();
+    assert!(lh.query("SELECT * FROM a_only", "main").is_ok());
+    assert!(lh.query("SELECT * FROM b_only", "main").is_ok());
+}
+
+#[test]
+fn conflicting_table_change_aborts_merge() {
+    let lh = lakehouse();
+    lh.create_branch("feat", Some("main")).unwrap();
+    lh.create_table("contested", &small_batch(1), "feat").unwrap();
+    lh.create_table("contested", &small_batch(2), "main").unwrap();
+    let err = lh.merge("feat", "main").unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("conflict"), "unexpected error: {msg}");
+    // Loser branch is intact; both versions still readable on their branches.
+    let main_v = lh.query("SELECT x FROM contested", "main").unwrap();
+    let feat_v = lh.query("SELECT x FROM contested", "feat").unwrap();
+    assert_ne!(main_v.row(0).unwrap(), feat_v.row(0).unwrap());
+}
+
+#[test]
+fn tags_are_immutable_snapshots() {
+    let lh = lakehouse();
+    lh.create_tag("launch", "main").unwrap();
+    // Tag rejects writes.
+    assert!(lh.create_table("t", &small_batch(1), "launch").is_err());
+    // Tag keeps its view as main evolves.
+    lh.create_table("newer", &small_batch(1), "main").unwrap();
+    assert!(lh.query("SELECT * FROM newer", "main").is_ok());
+    assert!(lh.query("SELECT * FROM newer", "launch").is_err());
+}
+
+#[test]
+fn run_commits_are_atomic_per_stage() {
+    let lh = lakehouse();
+    lh.run(&PipelineProject::taxi_example(), &RunOptions::default())
+        .unwrap();
+    // The fused run produces one materialization commit + the merge moved
+    // main; history must show the run commit with both artifacts.
+    let log = lh.log("main", 10).unwrap();
+    let run_commit = log
+        .iter()
+        .find(|(_, c)| c.message.contains("materialize"))
+        .expect("materialization commit in history");
+    let keys: Vec<&str> = run_commit.1.operations.iter().map(|o| o.key()).collect();
+    assert!(keys.contains(&"trips"));
+    assert!(keys.contains(&"pickups"));
+}
+
+#[test]
+fn deterministic_rerun_same_data_same_artifacts() {
+    // "the same code on the same data version will produce identical
+    // results" — run twice from the same base, compare artifact contents.
+    let lh = lakehouse();
+    lh.create_branch("a", Some("main")).unwrap();
+    lh.create_branch("b", Some("main")).unwrap();
+    lh.run(&PipelineProject::taxi_example(), &RunOptions::on_branch("a"))
+        .unwrap();
+    lh.run(&PipelineProject::taxi_example(), &RunOptions::on_branch("b"))
+        .unwrap();
+    let qa = lh
+        .query("SELECT * FROM pickups ORDER BY counts DESC, pickup_location_id, dropoff_location_id", "a")
+        .unwrap();
+    let qb = lh
+        .query("SELECT * FROM pickups ORDER BY counts DESC, pickup_location_id, dropoff_location_id", "b")
+        .unwrap();
+    assert_eq!(qa, qb);
+}
