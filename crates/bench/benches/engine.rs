@@ -20,8 +20,8 @@ fn bench_kernels(c: &mut Criterion) {
     c.bench_function("kernel/cmp_scalar_100k", |b| {
         b.iter(|| cmp_column_scalar(CmpOp::Gt, &col, &Value::Int64(50_000)).unwrap())
     });
-    let mask = to_selection(&cmp_column_scalar(CmpOp::Gt, &col, &Value::Int64(50_000)).unwrap())
-        .unwrap();
+    let mask =
+        to_selection(&cmp_column_scalar(CmpOp::Gt, &col, &Value::Int64(50_000)).unwrap()).unwrap();
     c.bench_function("kernel/filter_100k", |b| {
         b.iter(|| filter_column(&col, &mask).unwrap())
     });

@@ -58,14 +58,9 @@ fn main() {
         ("3 steps", 3 * STEP),
         ("whole DAG", 100 * STEP),
     ] {
-        let plan = PhysicalPipeline::compile(
-            &logical,
-            &dag,
-            ExecutionMode::Fused,
-            budget,
-            |_| STEP,
-        )
-        .unwrap();
+        let plan =
+            PhysicalPipeline::compile(&logical, &dag, ExecutionMode::Fused, budget, |_| STEP)
+                .unwrap();
         rows.push(vec![
             label.into(),
             format!("{}", plan.stages.len()),

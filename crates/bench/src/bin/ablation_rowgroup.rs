@@ -32,9 +32,12 @@ fn main() {
 
     let mut rows = Vec::new();
     for &group_rows in &[512usize, 2_048, 8_192, 32_768, 131_072] {
-        let bytes = FileWriter::write_file(&batch, WriterOptions {
-            row_group_rows: group_rows,
-        })
+        let bytes = FileWriter::write_file(
+            &batch,
+            WriterOptions {
+                row_group_rows: group_rows,
+            },
+        )
         .unwrap();
         let fetched = RefCell::new(0usize);
         let fetches = RefCell::new(0usize);

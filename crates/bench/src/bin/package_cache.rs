@@ -50,7 +50,12 @@ fn main() {
     }
     print_rows(
         &format!("{REQUESTS} Zipf(1.1) package fetches over a 2000-package universe"),
-        &["disk cache", "hit rate", "GB downloaded", "total fetch time s"],
+        &[
+            "disk cache",
+            "hit rate",
+            "GB downloaded",
+            "total fetch time s",
+        ],
         &rows,
     );
     println!(

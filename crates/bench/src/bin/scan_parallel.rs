@@ -1,0 +1,224 @@
+//! Parallel object-store scan pipeline: overlapped-wall-clock speedup and
+//! metadata-cache effectiveness on the simulated S3 store.
+//!
+//! Sweeps scan parallelism ∈ {1,2,4,8,16} × cache {off,on} over a 24-file
+//! identity-partitioned table. The store charges deterministic latency
+//! (lognormal sigma = 0), so every number below is exactly reproducible; no
+//! thread ever sleeps. For each configuration the query runs twice — cold
+//! (empty cache) and warm (repeated query) — reporting the scan's
+//! overlapped simulated wall clock, bytes actually moved from the store,
+//! and the cache hit rate.
+//!
+//! Regenerate: `cargo run -p lakehouse-bench --bin scan_parallel --release`
+//! (writes `BENCH_scan.json` in the working directory).
+
+use lakehouse_bench::print_rows;
+use lakehouse_columnar::kernels::CmpOp;
+use lakehouse_columnar::{Column, DataType, Field, RecordBatch, Schema, Value};
+use lakehouse_store::{
+    CachedStore, InMemoryStore, LatencyModel, ObjectStore, SimulatedStore, StoreMetrics,
+};
+use lakehouse_table::{PartitionSpec, ScanPredicate, SnapshotOperation, Table};
+use std::sync::Arc;
+
+const FILES: usize = 24;
+const ROWS_PER_FILE: usize = 4_000;
+const CACHE_BYTES: usize = 32 << 20;
+
+type Cache = Arc<CachedStore<SimulatedStore<InMemoryStore>>>;
+
+struct Fixture {
+    store: Arc<dyn ObjectStore>,
+    metrics: Arc<StoreMetrics>,
+    location: String,
+}
+
+/// Build a fresh simulated store (+ optional cache) holding one table with
+/// `FILES` partition files, then zero all counters and drop cached state so
+/// the first query is cold.
+fn fixture(cached: bool) -> Fixture {
+    let sim = SimulatedStore::new(
+        InMemoryStore::new(),
+        LatencyModel {
+            sigma: 0.0,
+            ..LatencyModel::s3_like()
+        },
+    );
+    let metrics = sim.metrics();
+    let (store, cache): (Arc<dyn ObjectStore>, Option<Cache>) = if cached {
+        let c = Arc::new(CachedStore::new(sim, CACHE_BYTES));
+        (Arc::clone(&c) as Arc<dyn ObjectStore>, Some(c))
+    } else {
+        (Arc::new(sim), None)
+    };
+
+    let schema = Schema::new(vec![
+        Field::new("zone", DataType::Utf8, false),
+        Field::new("fare", DataType::Float64, false),
+    ]);
+    let zones: Vec<String> = (0..FILES)
+        .flat_map(|f| std::iter::repeat_n(format!("zone_{f:02}"), ROWS_PER_FILE))
+        .collect();
+    let fares: Vec<f64> = (0..FILES * ROWS_PER_FILE)
+        .map(|i| (i % 97) as f64 + 0.5)
+        .collect();
+    let batch = RecordBatch::try_new(
+        schema.clone(),
+        vec![
+            Column::from_strs(zones.iter().map(String::as_str).collect()),
+            Column::from_f64(fares),
+        ],
+    )
+    .expect("fixture batch");
+
+    let table = Table::create(
+        Arc::clone(&store),
+        "wh/scan_bench",
+        &schema,
+        PartitionSpec::identity("zone"),
+    )
+    .expect("create table");
+    let mut tx = table.new_transaction(SnapshotOperation::Append);
+    tx.write(&batch).expect("write");
+    let (location, _) = tx.commit().expect("commit");
+
+    // Setup traffic must not pollute the measurements.
+    metrics.reset();
+    if let Some(c) = &cache {
+        c.clear();
+    }
+    Fixture {
+        store,
+        metrics,
+        location,
+    }
+}
+
+struct RunStats {
+    wall_ms: f64,
+    serial_ms: f64,
+    bytes_read: u64,
+    hit_rate: f64,
+    rows: usize,
+}
+
+fn run_query(fx: &Fixture, parallelism: usize) -> RunStats {
+    let m = &fx.metrics;
+    let (gets0, hits0, miss0, bytes0, sim0) = (
+        m.gets(),
+        m.cache_hits(),
+        m.cache_misses(),
+        m.bytes_read(),
+        m.simulated_time(),
+    );
+    let _ = gets0;
+    let table = Table::load(Arc::clone(&fx.store), &fx.location).expect("load table");
+    let (batch, report) = table
+        .scan()
+        .with_parallelism(parallelism)
+        .with_predicate(ScanPredicate::new("fare", CmpOp::Lt, Value::Float64(90.0)))
+        .select(&["zone", "fare"])
+        .execute_with_report()
+        .expect("scan");
+    let lookups = (m.cache_hits() - hits0) + (m.cache_misses() - miss0);
+    RunStats {
+        wall_ms: report.wall_clock_simulated.as_secs_f64() * 1e3,
+        serial_ms: (m.simulated_time() - sim0).as_secs_f64() * 1e3,
+        bytes_read: m.bytes_read() - bytes0,
+        hit_rate: if lookups == 0 {
+            0.0
+        } else {
+            (m.cache_hits() - hits0) as f64 / lookups as f64
+        },
+        rows: batch.num_rows(),
+    }
+}
+
+fn main() {
+    println!("=== parallel scan pipeline over simulated S3 ({FILES} files) ===");
+    let parallelisms = [1usize, 2, 4, 8, 16];
+    let mut rows = Vec::new();
+    let mut json_results = Vec::new();
+    let mut baseline_cold_wall: Option<f64> = None;
+    let mut summary_speedup_p8 = 0.0;
+    let mut summary_warm_hit_rate = 0.0;
+
+    for cached in [false, true] {
+        for &p in &parallelisms {
+            // Fresh fixture per config: cold numbers are truly cold and the
+            // deterministic latency model makes configs comparable.
+            let fx = fixture(cached);
+            let cold = run_query(&fx, p);
+            let warm = run_query(&fx, p);
+            assert_eq!(cold.rows, warm.rows, "warm run changed the result");
+            if !cached && p == 1 {
+                baseline_cold_wall = Some(cold.wall_ms);
+            }
+            let speedup = baseline_cold_wall.map(|b| b / cold.wall_ms).unwrap_or(1.0);
+            if !cached && p == 8 {
+                summary_speedup_p8 = speedup;
+            }
+            if cached && p == 1 {
+                summary_warm_hit_rate = warm.hit_rate;
+            }
+            rows.push(vec![
+                if cached { "on" } else { "off" }.to_string(),
+                format!("{p}"),
+                format!("{:.1}", cold.wall_ms),
+                format!("{:.2}x", speedup),
+                format!("{:.1}", cold.serial_ms),
+                format!("{}", cold.bytes_read),
+                format!("{:.1}", warm.wall_ms),
+                format!("{:.0}%", warm.hit_rate * 100.0),
+            ]);
+            json_results.push(format!(
+                concat!(
+                    "    {{\"cache\": {cached}, \"parallelism\": {p}, ",
+                    "\"cold_wall_ms\": {cw:.3}, \"cold_serial_ms\": {cs:.3}, ",
+                    "\"cold_bytes_read\": {cb}, \"cold_hit_rate\": {ch:.4}, ",
+                    "\"warm_wall_ms\": {ww:.3}, \"warm_bytes_read\": {wb}, ",
+                    "\"warm_hit_rate\": {wh:.4}, ",
+                    "\"speedup_vs_serial_cold\": {sp:.3}, \"rows\": {rows}}}"
+                ),
+                cached = cached,
+                p = p,
+                cw = cold.wall_ms,
+                cs = cold.serial_ms,
+                cb = cold.bytes_read,
+                ch = cold.hit_rate,
+                ww = warm.wall_ms,
+                wb = warm.bytes_read,
+                wh = warm.hit_rate,
+                sp = speedup,
+                rows = cold.rows,
+            ));
+        }
+    }
+
+    print_rows(
+        "overlapped simulated wall clock (cold) and repeat-query cache hit rate",
+        &[
+            "cache",
+            "par",
+            "cold wall ms",
+            "speedup",
+            "serial ms",
+            "bytes read",
+            "warm wall ms",
+            "warm hits",
+        ],
+        &rows,
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"scan_parallel\",\n  \"files\": {FILES},\n  \"rows_per_file\": {ROWS_PER_FILE},\n  \"latency_model\": \"s3_like, sigma=0 (deterministic)\",\n  \"cache_capacity_bytes\": {CACHE_BYTES},\n  \"summary\": {{\n    \"speedup_p8_vs_p1_cache_off\": {summary_speedup_p8:.3},\n    \"warm_hit_rate_p1_cache_on\": {summary_warm_hit_rate:.4}\n  }},\n  \"results\": [\n{}\n  ]\n}}\n",
+        json_results.join(",\n")
+    );
+    std::fs::write("BENCH_scan.json", &json).expect("write BENCH_scan.json");
+    println!("\nwrote BENCH_scan.json");
+    println!(
+        "speedup p=8 vs p=1 (cache off, cold): {summary_speedup_p8:.2}x; \
+         warm hit rate (cache on, p=1): {:.0}%",
+        summary_warm_hit_rate * 100.0
+    );
+}

@@ -43,13 +43,48 @@ fn main() {
         "startup breakdown (ms) — SOCK-style components",
         &["component", "cold", "warm (300ms path)", "frozen resume"],
         &[
-            vec!["image fetch".into(), ms(cold_b.image_fetch), ms(warm_b.image_fetch), ms(resumed_b.image_fetch)],
-            vec!["sandbox create".into(), ms(cold_b.sandbox_create), ms(warm_b.sandbox_create), ms(resumed_b.sandbox_create)],
-            vec!["runtime boot".into(), ms(cold_b.runtime_boot), ms(warm_b.runtime_boot), ms(resumed_b.runtime_boot)],
-            vec!["package fetch".into(), ms(cold_b.package_fetch), ms(warm_b.package_fetch), ms(resumed_b.package_fetch)],
-            vec!["package import".into(), ms(cold_b.package_import), ms(warm_b.package_import), ms(resumed_b.package_import)],
-            vec!["handler init".into(), ms(cold_b.handler_init), ms(warm_b.handler_init), ms(resumed_b.handler_init)],
-            vec!["TOTAL".into(), ms(cold_b.total()), ms(warm_b.total()), ms(resumed_b.total())],
+            vec![
+                "image fetch".into(),
+                ms(cold_b.image_fetch),
+                ms(warm_b.image_fetch),
+                ms(resumed_b.image_fetch),
+            ],
+            vec![
+                "sandbox create".into(),
+                ms(cold_b.sandbox_create),
+                ms(warm_b.sandbox_create),
+                ms(resumed_b.sandbox_create),
+            ],
+            vec![
+                "runtime boot".into(),
+                ms(cold_b.runtime_boot),
+                ms(warm_b.runtime_boot),
+                ms(resumed_b.runtime_boot),
+            ],
+            vec![
+                "package fetch".into(),
+                ms(cold_b.package_fetch),
+                ms(warm_b.package_fetch),
+                ms(resumed_b.package_fetch),
+            ],
+            vec![
+                "package import".into(),
+                ms(cold_b.package_import),
+                ms(warm_b.package_import),
+                ms(resumed_b.package_import),
+            ],
+            vec![
+                "handler init".into(),
+                ms(cold_b.handler_init),
+                ms(warm_b.handler_init),
+                ms(resumed_b.handler_init),
+            ],
+            vec![
+                "TOTAL".into(),
+                ms(cold_b.total()),
+                ms(warm_b.total()),
+                ms(resumed_b.total()),
+            ],
         ],
     );
 
@@ -77,7 +112,12 @@ fn main() {
     }
     print_rows(
         "50 sequential invocations per pool policy",
-        &["policy", "total startup ms", "mean ms/invoke", "cold/warm/resume"],
+        &[
+            "policy",
+            "total startup ms",
+            "mean ms/invoke",
+            "cold/warm/resume",
+        ],
         &rows,
     );
     println!(

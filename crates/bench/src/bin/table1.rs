@@ -41,7 +41,11 @@ fn main() {
         "Dev".into(),
         "Synch".into(),
         "supported".into(),
-        format!("{} rows in {:.1} ms wall", out.num_rows(), t.elapsed().as_secs_f64() * 1e3),
+        format!(
+            "{} rows in {:.1} ms wall",
+            out.num_rows(),
+            t.elapsed().as_secs_f64() * 1e3
+        ),
     ]);
 
     // --- QW / Prod / Synch: same, against main.
@@ -54,7 +58,11 @@ fn main() {
         "Prod".into(),
         "Synch".into(),
         "supported".into(),
-        format!("{} rows in {:.1} ms wall", out.num_rows(), t.elapsed().as_secs_f64() * 1e3),
+        format!(
+            "{} rows in {:.1} ms wall",
+            out.num_rows(),
+            t.elapsed().as_secs_f64() * 1e3
+        ),
     ]);
 
     // --- TD / Dev / Synch: blocking run on the dev branch.

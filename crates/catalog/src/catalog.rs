@@ -114,10 +114,13 @@ impl Catalog {
         if let Some(c) = self.commit_cache.lock().get(id) {
             return Ok(c.clone());
         }
-        let bytes = self.store.get(&self.commit_path(id)?).map_err(|e| match e {
-            StoreError::NotFound(_) => CatalogError::CommitNotFound(id.to_string()),
-            other => other.into(),
-        })?;
+        let bytes = self
+            .store
+            .get(&self.commit_path(id)?)
+            .map_err(|e| match e {
+                StoreError::NotFound(_) => CatalogError::CommitNotFound(id.to_string()),
+                other => other.into(),
+            })?;
         let commit = Commit::from_bytes(&bytes)
             .ok_or_else(|| CatalogError::Corrupt(format!("unparseable commit {id}")))?;
         self.commit_cache
@@ -219,11 +222,7 @@ impl Catalog {
                 .put(&self.commit_path(&id)?, Bytes::from(commit.to_bytes()))?;
             self.commit_cache.lock().insert(id.clone(), commit.clone());
             let mut new_doc = doc.clone();
-            new_doc
-                .refs
-                .get_mut(branch)
-                .expect("checked above")
-                .head = Some(id.clone());
+            new_doc.refs.get_mut(branch).expect("checked above").head = Some(id.clone());
             match self.store.put_if_matches(
                 &self.refs_path()?,
                 Some(&expected_bytes),
@@ -455,10 +454,7 @@ impl Catalog {
     }
 
     /// Read-modify-CAS loop over the ref document.
-    fn update_refs<T>(
-        &self,
-        mut mutate: impl FnMut(&mut RefDocument) -> Result<T>,
-    ) -> Result<T> {
+    fn update_refs<T>(&self, mut mutate: impl FnMut(&mut RefDocument) -> Result<T>) -> Result<T> {
         for _ in 0..MAX_CAS_RETRIES {
             let (doc, expected_bytes) = self.read_refs()?;
             let mut new_doc = doc.clone();
@@ -519,9 +515,13 @@ mod tests {
     #[test]
     fn commit_advances_head_and_state() {
         let c = new_catalog();
-        let id1 = c.commit("main", "me", "add t1", vec![put_op("t1", 1)]).unwrap();
+        let id1 = c
+            .commit("main", "me", "add t1", vec![put_op("t1", 1)])
+            .unwrap();
         assert_eq!(c.get_ref("main").unwrap().head, Some(id1.clone()));
-        let id2 = c.commit("main", "me", "add t2", vec![put_op("t2", 1)]).unwrap();
+        let id2 = c
+            .commit("main", "me", "add t2", vec![put_op("t2", 1)])
+            .unwrap();
         assert_ne!(id1, id2);
         let state = c.state_at("main").unwrap();
         assert_eq!(state.len(), 2);
@@ -542,9 +542,11 @@ mod tests {
     #[test]
     fn branch_isolation() {
         let c = new_catalog();
-        c.commit("main", "me", "base", vec![put_op("t1", 1)]).unwrap();
+        c.commit("main", "me", "base", vec![put_op("t1", 1)])
+            .unwrap();
         c.create_branch("feat", Some("main")).unwrap();
-        c.commit("feat", "me", "feature work", vec![put_op("t1", 2)]).unwrap();
+        c.commit("feat", "me", "feature work", vec![put_op("t1", 2)])
+            .unwrap();
         // main still sees snapshot 1, feat sees 2.
         assert_eq!(c.get_content("main", "t1").unwrap().snapshot_id, 1);
         assert_eq!(c.get_content("feat", "t1").unwrap().snapshot_id, 2);
@@ -553,9 +555,12 @@ mod tests {
     #[test]
     fn fast_forward_merge() {
         let c = new_catalog();
-        c.commit("main", "me", "base", vec![put_op("t1", 1)]).unwrap();
+        c.commit("main", "me", "base", vec![put_op("t1", 1)])
+            .unwrap();
         c.create_branch("feat", Some("main")).unwrap();
-        let feat_head = c.commit("feat", "me", "work", vec![put_op("t2", 1)]).unwrap();
+        let feat_head = c
+            .commit("feat", "me", "work", vec![put_op("t2", 1)])
+            .unwrap();
         let merged = c.merge("feat", "main", "me").unwrap();
         assert_eq!(merged, Some(feat_head.clone()));
         assert_eq!(c.get_ref("main").unwrap().head, Some(feat_head));
@@ -565,10 +570,13 @@ mod tests {
     #[test]
     fn three_way_merge_without_conflict() {
         let c = new_catalog();
-        c.commit("main", "me", "base", vec![put_op("t1", 1)]).unwrap();
+        c.commit("main", "me", "base", vec![put_op("t1", 1)])
+            .unwrap();
         c.create_branch("feat", Some("main")).unwrap();
-        c.commit("feat", "me", "feat change", vec![put_op("t2", 1)]).unwrap();
-        c.commit("main", "me", "main change", vec![put_op("t3", 1)]).unwrap();
+        c.commit("feat", "me", "feat change", vec![put_op("t2", 1)])
+            .unwrap();
+        c.commit("main", "me", "main change", vec![put_op("t3", 1)])
+            .unwrap();
         let merged = c.merge("feat", "main", "me").unwrap();
         assert!(merged.is_some());
         let state = c.state_at("main").unwrap();
@@ -581,10 +589,13 @@ mod tests {
     #[test]
     fn conflicting_merge_aborts() {
         let c = new_catalog();
-        c.commit("main", "me", "base", vec![put_op("t1", 1)]).unwrap();
+        c.commit("main", "me", "base", vec![put_op("t1", 1)])
+            .unwrap();
         c.create_branch("feat", Some("main")).unwrap();
-        c.commit("feat", "me", "feat t1", vec![put_op("t1", 2)]).unwrap();
-        c.commit("main", "me", "main t1", vec![put_op("t1", 3)]).unwrap();
+        c.commit("feat", "me", "feat t1", vec![put_op("t1", 2)])
+            .unwrap();
+        c.commit("main", "me", "main t1", vec![put_op("t1", 3)])
+            .unwrap();
         let err = c.merge("feat", "main", "me").unwrap_err();
         match err {
             CatalogError::MergeConflict { keys } => assert_eq!(keys, vec!["t1".to_string()]),
@@ -597,10 +608,13 @@ mod tests {
     #[test]
     fn identical_change_both_sides_is_not_conflict() {
         let c = new_catalog();
-        c.commit("main", "me", "base", vec![put_op("t1", 1)]).unwrap();
+        c.commit("main", "me", "base", vec![put_op("t1", 1)])
+            .unwrap();
         c.create_branch("feat", Some("main")).unwrap();
-        c.commit("feat", "me", "same", vec![put_op("t1", 2)]).unwrap();
-        c.commit("main", "me", "same", vec![put_op("t1", 2)]).unwrap();
+        c.commit("feat", "me", "same", vec![put_op("t1", 2)])
+            .unwrap();
+        c.commit("main", "me", "same", vec![put_op("t1", 2)])
+            .unwrap();
         assert!(c.merge("feat", "main", "me").is_ok());
         assert_eq!(c.get_content("main", "t1").unwrap().snapshot_id, 2);
     }
@@ -625,9 +639,12 @@ mod tests {
     #[test]
     fn log_first_parent_order() {
         let c = new_catalog();
-        c.commit("main", "me", "one", vec![put_op("t1", 1)]).unwrap();
-        c.commit("main", "me", "two", vec![put_op("t1", 2)]).unwrap();
-        c.commit("main", "me", "three", vec![put_op("t1", 3)]).unwrap();
+        c.commit("main", "me", "one", vec![put_op("t1", 1)])
+            .unwrap();
+        c.commit("main", "me", "two", vec![put_op("t1", 2)])
+            .unwrap();
+        c.commit("main", "me", "three", vec![put_op("t1", 3)])
+            .unwrap();
         let log = c.log("main", 10).unwrap();
         assert_eq!(log.len(), 3);
         assert_eq!(log[0].1.message, "three");
@@ -681,11 +698,24 @@ mod tests {
         // The paper's Fig. 4 flow: feat branch → ephemeral run branch →
         // merge up → delete ephemeral.
         let c = new_catalog();
-        c.commit("main", "me", "prod data", vec![put_op("taxi_table", 1)]).unwrap();
+        c.commit("main", "me", "prod data", vec![put_op("taxi_table", 1)])
+            .unwrap();
         c.create_branch("feat_1", Some("main")).unwrap();
         c.create_branch("run_12", Some("feat_1")).unwrap();
-        c.commit("run_12", "runner", "materialize trips", vec![put_op("trips", 1)]).unwrap();
-        c.commit("run_12", "runner", "materialize pickups", vec![put_op("pickups", 1)]).unwrap();
+        c.commit(
+            "run_12",
+            "runner",
+            "materialize trips",
+            vec![put_op("trips", 1)],
+        )
+        .unwrap();
+        c.commit(
+            "run_12",
+            "runner",
+            "materialize pickups",
+            vec![put_op("pickups", 1)],
+        )
+        .unwrap();
         c.merge("run_12", "feat_1", "runner").unwrap();
         c.delete_ref("run_12").unwrap();
         let feat = c.state_at("feat_1").unwrap();
@@ -699,11 +729,15 @@ mod tests {
     #[test]
     fn gc_removes_only_unreachable_commits() {
         let c = new_catalog();
-        c.commit("main", "me", "keep1", vec![put_op("t1", 1)]).unwrap();
+        c.commit("main", "me", "keep1", vec![put_op("t1", 1)])
+            .unwrap();
         c.create_branch("doomed", Some("main")).unwrap();
-        c.commit("doomed", "me", "orphan1", vec![put_op("t2", 1)]).unwrap();
-        c.commit("doomed", "me", "orphan2", vec![put_op("t3", 1)]).unwrap();
-        c.commit("main", "me", "keep2", vec![put_op("t1", 2)]).unwrap();
+        c.commit("doomed", "me", "orphan1", vec![put_op("t2", 1)])
+            .unwrap();
+        c.commit("doomed", "me", "orphan2", vec![put_op("t3", 1)])
+            .unwrap();
+        c.commit("main", "me", "keep2", vec![put_op("t1", 2)])
+            .unwrap();
         // Nothing unreachable yet.
         assert_eq!(c.gc().unwrap(), 0);
         c.delete_ref("doomed").unwrap();
@@ -718,11 +752,14 @@ mod tests {
     #[test]
     fn gc_keeps_commits_reachable_via_tags_and_merges() {
         let c = new_catalog();
-        c.commit("main", "me", "base", vec![put_op("t1", 1)]).unwrap();
+        c.commit("main", "me", "base", vec![put_op("t1", 1)])
+            .unwrap();
         c.create_tag("v1", "main").unwrap();
         c.create_branch("feat", Some("main")).unwrap();
-        c.commit("feat", "me", "feat work", vec![put_op("t2", 1)]).unwrap();
-        c.commit("main", "me", "main work", vec![put_op("t3", 1)]).unwrap();
+        c.commit("feat", "me", "feat work", vec![put_op("t2", 1)])
+            .unwrap();
+        c.commit("main", "me", "main work", vec![put_op("t3", 1)])
+            .unwrap();
         c.merge("feat", "main", "me").unwrap();
         c.delete_ref("feat").unwrap();
         // The feat commit is still reachable through the merge's second
@@ -734,11 +771,18 @@ mod tests {
     #[test]
     fn deleted_key_merges() {
         let c = new_catalog();
-        c.commit("main", "me", "base", vec![put_op("t1", 1), put_op("t2", 1)]).unwrap();
-        c.create_branch("feat", Some("main")).unwrap();
-        c.commit("feat", "me", "drop t2", vec![Operation::Delete { key: "t2".into() }])
+        c.commit("main", "me", "base", vec![put_op("t1", 1), put_op("t2", 1)])
             .unwrap();
-        c.commit("main", "me", "main work", vec![put_op("t3", 1)]).unwrap();
+        c.create_branch("feat", Some("main")).unwrap();
+        c.commit(
+            "feat",
+            "me",
+            "drop t2",
+            vec![Operation::Delete { key: "t2".into() }],
+        )
+        .unwrap();
+        c.commit("main", "me", "main work", vec![put_op("t3", 1)])
+            .unwrap();
         c.merge("feat", "main", "me").unwrap();
         let s = c.state_at("main").unwrap();
         assert!(s.get("t2").is_none());

@@ -21,7 +21,11 @@ USAGE:
   bauplan help
 
 GLOBAL OPTIONS:
-  --data-dir <dir>    state directory (default: .bauplan)
+  --data-dir <dir>          state directory (default: .bauplan)
+  --scan-parallelism <n>    worker threads per table scan (default: 1;
+                            results are identical at any setting)
+  --cache-mb <n>            metadata/range cache capacity in MiB between
+                            queries and the object store (default: 0 = off)
 
 The `run` project directory holds one .sql file per artifact (dbt-style) and
 an optional expectations.json declaring data audits:
@@ -32,6 +36,10 @@ an optional expectations.json declaring data audits:
 #[derive(Debug, Clone, PartialEq)]
 pub struct Cli {
     pub data_dir: String,
+    /// Worker threads per table scan (1 = serial).
+    pub scan_parallelism: usize,
+    /// Metadata/range cache capacity in bytes (0 = disabled).
+    pub cache_bytes: usize,
     pub command: Command,
 }
 
@@ -95,11 +103,25 @@ impl Cli {
     /// Parse argv (without the program name).
     pub fn parse(argv: &[String]) -> Result<Cli, String> {
         let mut data_dir = ".bauplan".to_string();
+        let mut scan_parallelism = 1usize;
+        let mut cache_bytes = 0usize;
         let mut rest: Vec<String> = Vec::new();
         let mut i = 0;
         while i < argv.len() {
             if argv[i] == "--data-dir" {
                 data_dir = take_value(argv, &mut i, "--data-dir")?;
+            } else if argv[i] == "--scan-parallelism" {
+                let v = take_value(argv, &mut i, "--scan-parallelism")?;
+                scan_parallelism = v
+                    .parse::<usize>()
+                    .map_err(|_| format!("--scan-parallelism expects a number, got {v}"))?
+                    .max(1);
+            } else if argv[i] == "--cache-mb" {
+                let v = take_value(argv, &mut i, "--cache-mb")?;
+                let mb: usize = v
+                    .parse()
+                    .map_err(|_| format!("--cache-mb expects a number, got {v}"))?;
+                cache_bytes = mb.saturating_mul(1024 * 1024);
             } else {
                 rest.push(argv[i].clone());
             }
@@ -140,7 +162,12 @@ impl Cli {
             "help" | "--help" | "-h" => Command::Help,
             other => return Err(format!("unknown command: {other}")),
         };
-        Ok(Cli { data_dir, command })
+        Ok(Cli {
+            data_dir,
+            scan_parallelism,
+            cache_bytes,
+            command,
+        })
     }
 }
 
@@ -333,7 +360,12 @@ mod tests {
     #[test]
     fn parse_query_full() {
         let cli = Cli::parse(&s(&[
-            "query", "-q", "SELECT 1", "-b", "feat_1", "--explain",
+            "query",
+            "-q",
+            "SELECT 1",
+            "-b",
+            "feat_1",
+            "--explain",
         ]))
         .unwrap();
         assert_eq!(
@@ -353,6 +385,30 @@ mod tests {
         assert_eq!(cli.data_dir, "/tmp/x");
         let cli = Cli::parse(&s(&["refs", "--data-dir", "/tmp/y"])).unwrap();
         assert_eq!(cli.data_dir, "/tmp/y");
+    }
+
+    #[test]
+    fn parse_scan_parallelism_and_cache() {
+        let cli = Cli::parse(&s(&[
+            "query",
+            "-q",
+            "SELECT 1",
+            "--scan-parallelism",
+            "8",
+            "--cache-mb",
+            "16",
+        ]))
+        .unwrap();
+        assert_eq!(cli.scan_parallelism, 8);
+        assert_eq!(cli.cache_bytes, 16 * 1024 * 1024);
+        // Defaults: serial scan, cache off.
+        let cli = Cli::parse(&s(&["refs"])).unwrap();
+        assert_eq!(cli.scan_parallelism, 1);
+        assert_eq!(cli.cache_bytes, 0);
+        // 0 is clamped to serial, garbage rejected.
+        let cli = Cli::parse(&s(&["refs", "--scan-parallelism", "0"])).unwrap();
+        assert_eq!(cli.scan_parallelism, 1);
+        assert!(Cli::parse(&s(&["refs", "--cache-mb", "lots"])).is_err());
     }
 
     #[test]
@@ -411,7 +467,15 @@ mod tests {
 
     #[test]
     fn parse_import_export() {
-        let cli = Cli::parse(&s(&["import", "trips", "trips.csv", "-b", "feat", "--append"])).unwrap();
+        let cli = Cli::parse(&s(&[
+            "import",
+            "trips",
+            "trips.csv",
+            "-b",
+            "feat",
+            "--append",
+        ]))
+        .unwrap();
         assert_eq!(
             cli.command,
             Command::Import {

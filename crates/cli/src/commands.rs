@@ -14,7 +14,12 @@ pub fn dispatch(cli: Cli) -> Result<(), DynError> {
         println!("{USAGE}");
         return Ok(());
     }
-    let lh = Lakehouse::on_disk(&cli.data_dir, LakehouseConfig::default())?;
+    let config = LakehouseConfig {
+        scan_parallelism: cli.scan_parallelism,
+        metadata_cache_bytes: cli.cache_bytes,
+        ..LakehouseConfig::default()
+    };
+    let lh = Lakehouse::on_disk(&cli.data_dir, config)?;
     match cli.command {
         Command::Query {
             sql,
@@ -136,7 +141,11 @@ pub fn dispatch(cli: Cli) -> Result<(), DynError> {
 }
 
 /// Asynchronous run (the Table 1 `Asynch` modality): detach, then poll.
-fn run_detached(lh: Lakehouse, project: PipelineProject, options: RunOptions) -> Result<(), DynError> {
+fn run_detached(
+    lh: Lakehouse,
+    project: PipelineProject,
+    options: RunOptions,
+) -> Result<(), DynError> {
     let lh = std::sync::Arc::new(lh);
     let handle = lh.run_async(project, options);
     println!("run detached; polling for completion ...");
@@ -153,7 +162,10 @@ fn run_detached(lh: Lakehouse, project: PipelineProject, options: RunOptions) ->
 
 fn print_report(report: &RunReport) {
     println!("run {} on branch '{}':", report.run_id, report.branch);
-    println!("  mode: {:?} ({} stage(s))", report.mode, report.stages_executed);
+    println!(
+        "  mode: {:?} ({} stage(s))",
+        report.mode, report.stages_executed
+    );
     for (name, rows) in &report.artifact_rows {
         println!("  materialized {name}: {rows} rows");
     }
@@ -175,7 +187,14 @@ fn print_report(report: &RunReport) {
         report.simulated_startup.as_secs_f64() * 1e3,
         report.simulated_store.as_secs_f64() * 1e3,
     );
-    println!("  status: {}", if report.success { "MERGED" } else { "ROLLED BACK" });
+    println!(
+        "  status: {}",
+        if report.success {
+            "MERGED"
+        } else {
+            "ROLLED BACK"
+        }
+    );
 }
 
 /// Seed the taxi dataset and run the paper's Appendix A pipeline end-to-end.

@@ -164,7 +164,8 @@ mod tests {
     use super::*;
 
     fn tmp_project(tag: &str, files: &[(&str, &str)]) -> std::path::PathBuf {
-        let dir = std::env::temp_dir().join(format!("bauplan_cli_test_{tag}_{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("bauplan_cli_test_{tag}_{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         fs::create_dir_all(&dir).unwrap();
         for (name, content) in files {

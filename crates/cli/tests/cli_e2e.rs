@@ -10,10 +10,8 @@ struct Cli {
 
 impl Cli {
     fn new(tag: &str) -> Cli {
-        let data_dir = std::env::temp_dir().join(format!(
-            "bauplan_e2e_{tag}_{}",
-            std::process::id()
-        ));
+        let data_dir =
+            std::env::temp_dir().join(format!("bauplan_e2e_{tag}_{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&data_dir);
         Cli { data_dir }
     }
@@ -112,7 +110,13 @@ fn query_explain_and_time_travel() {
     assert!(plan.contains("Scan: taxi_table"));
     assert!(plan.contains("filters="));
     cli.ok(&["tag", "v1", "--from", "main"]);
-    let out = cli.ok(&["query", "-q", "SELECT COUNT(*) AS n FROM taxi_table", "-b", "v1"]);
+    let out = cli.ok(&[
+        "query",
+        "-q",
+        "SELECT COUNT(*) AS n FROM taxi_table",
+        "-b",
+        "v1",
+    ]);
     assert!(out.contains("2000"));
 }
 
@@ -141,7 +145,10 @@ fn run_project_from_sql_files_with_expectations() {
     )
     .unwrap();
     let out = cli.ok(&["run", "--project", project.to_str().unwrap()]);
-    assert!(out.contains("audit short_trips_expectation: PASSED"), "{out}");
+    assert!(
+        out.contains("audit short_trips_expectation: PASSED"),
+        "{out}"
+    );
     assert!(out.contains("MERGED"));
     let q = cli.ok(&["query", "-q", "SELECT COUNT(*) AS n FROM short_by_zone"]);
     assert!(q.contains("(1 rows)"));

@@ -278,11 +278,7 @@ mod tests {
 
     #[test]
     fn empty_batch() {
-        let b = RecordBatch::new_empty(Schema::new(vec![Field::new(
-            "x",
-            DataType::Float64,
-            true,
-        )]));
+        let b = RecordBatch::new_empty(Schema::new(vec![Field::new("x", DataType::Float64, true)]));
         assert_eq!(b.num_rows(), 0);
         assert_eq!(b.chunks(10).unwrap().len(), 1);
     }

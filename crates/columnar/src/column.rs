@@ -586,11 +586,10 @@ mod tests {
     #[test]
     fn from_value_broadcast() {
         let c = Column::from_value(&Value::Int64(7), 3).unwrap();
-        assert_eq!(c.iter_values().collect::<Vec<_>>(), vec![
-            Value::Int64(7),
-            Value::Int64(7),
-            Value::Int64(7)
-        ]);
+        assert_eq!(
+            c.iter_values().collect::<Vec<_>>(),
+            vec![Value::Int64(7), Value::Int64(7), Value::Int64(7)]
+        );
     }
 
     #[test]

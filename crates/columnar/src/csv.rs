@@ -113,7 +113,7 @@ fn parse_rows(text: &str) -> Result<Vec<Vec<String>>> {
                 '"' => in_quotes = true,
                 ',' => {
                     row.push(std::mem::take(&mut cell));
-                    }
+                }
                 '\r' => {}
                 '\n' => {
                     row.push(std::mem::take(&mut cell));

@@ -95,7 +95,8 @@ impl AggState {
         match self.agg {
             Aggregator::Count | Aggregator::CountStar => {}
             Aggregator::CountDistinct => {
-                self.distinct.insert(RowKey::from_values(std::slice::from_ref(v)));
+                self.distinct
+                    .insert(RowKey::from_values(std::slice::from_ref(v)));
             }
             Aggregator::Sum | Aggregator::Avg => match v {
                 Value::Int64(i) => {
@@ -293,10 +294,7 @@ mod tests {
     #[test]
     fn empty_set_semantics() {
         let c = Column::new_empty(DataType::Int64);
-        assert_eq!(
-            aggregate_column(Aggregator::Sum, &c).unwrap(),
-            Value::Null
-        );
+        assert_eq!(aggregate_column(Aggregator::Sum, &c).unwrap(), Value::Null);
         assert_eq!(
             aggregate_column(Aggregator::Count, &c).unwrap(),
             Value::Int64(0)
@@ -383,10 +381,7 @@ mod tests {
             Aggregator::Sum.output_type(DataType::Float64),
             DataType::Float64
         );
-        assert_eq!(
-            Aggregator::Min.output_type(DataType::Utf8),
-            DataType::Utf8
-        );
+        assert_eq!(Aggregator::Min.output_type(DataType::Utf8), DataType::Utf8);
         assert_eq!(
             Aggregator::Count.output_type(DataType::Utf8),
             DataType::Int64

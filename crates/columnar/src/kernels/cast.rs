@@ -43,9 +43,7 @@ pub fn cast_value(v: &Value, to: DataType) -> Result<Value> {
         (Value::Int64(i), DataType::Date) => Value::Date(*i as i32),
         (Value::Date(d), DataType::Int64) => Value::Int64(*d as i64),
         (Value::Date(d), DataType::Timestamp) => Value::Timestamp(*d as i64 * MICROS_PER_DAY),
-        (Value::Timestamp(t), DataType::Date) => {
-            Value::Date(t.div_euclid(MICROS_PER_DAY) as i32)
-        }
+        (Value::Timestamp(t), DataType::Date) => Value::Date(t.div_euclid(MICROS_PER_DAY) as i32),
         (Value::Bool(b), DataType::Int64) => Value::Int64(*b as i64),
         (any, DataType::Utf8) => Value::Utf8(any.to_string()),
         (Value::Utf8(s), DataType::Int64) => s

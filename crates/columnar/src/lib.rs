@@ -42,6 +42,7 @@ pub mod csv;
 pub mod datatype;
 pub mod error;
 pub mod kernels;
+pub mod pool;
 pub mod pretty;
 pub mod schema;
 

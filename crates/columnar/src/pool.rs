@@ -1,0 +1,115 @@
+//! A bounded scoped worker pool for CPU-parallel stages.
+//!
+//! Both the SQL morsel operators and the table scan fan work items over
+//! threads; this helper is the single place that caps concurrency. Workers
+//! claim item indices from a shared atomic counter (work stealing by
+//! index), so an expensive item never serializes the items behind it, and
+//! results come back in item order regardless of completion order.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Apply `f` to every item on at most `threads` worker threads, returning
+/// outputs in item order.
+///
+/// `threads <= 1` (or fewer than two items) runs inline on the caller's
+/// thread — no spawn cost for the serial case, and callers can rely on
+/// thread-local state (e.g. per-thread metrics lanes) being charged to the
+/// calling thread. A panicking `f` propagates to the caller once all
+/// workers have stopped (scoped-thread join semantics).
+pub fn map_indexed<I, T, F>(threads: usize, items: &[I], f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(usize, &I) -> T + Sync,
+{
+    let workers = threads.max(1).min(items.len());
+    if workers <= 1 {
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let out = f(i, &items[i]);
+                *slots[i].lock().expect("pool slot lock") = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("pool slot lock")
+                .expect("worker filled slot")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_in_item_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let out = map_indexed(8, &items, |i, &item| {
+            assert_eq!(i, item);
+            item * 2
+        });
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_path_matches_parallel() {
+        let items: Vec<u64> = (0..57).collect();
+        let serial = map_indexed(1, &items, |_, &x| x * x);
+        let parallel = map_indexed(4, &items, |_, &x| x * x);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn concurrency_is_bounded() {
+        let live = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..64).collect();
+        map_indexed(3, &items, |_, _| {
+            let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+            peak.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            live.fetch_sub(1, Ordering::SeqCst);
+        });
+        assert!(
+            peak.load(Ordering::SeqCst) <= 3,
+            "peak {}",
+            peak.load(Ordering::SeqCst)
+        );
+    }
+
+    #[test]
+    fn every_item_processed_exactly_once() {
+        let items: Vec<usize> = (0..200).collect();
+        let out = map_indexed(7, &items, |i, _| i);
+        let unique: HashSet<_> = out.iter().copied().collect();
+        assert_eq!(unique.len(), 200);
+    }
+
+    #[test]
+    fn empty_and_single_item() {
+        let empty: Vec<u8> = vec![];
+        assert!(map_indexed(4, &empty, |_, &x| x).is_empty());
+        assert_eq!(map_indexed(4, &[41u8], |_, &x| x + 1), vec![42]);
+    }
+}

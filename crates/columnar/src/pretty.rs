@@ -99,11 +99,7 @@ mod tests {
 
     #[test]
     fn empty_batch_renders() {
-        let b = RecordBatch::new_empty(Schema::new(vec![Field::new(
-            "x",
-            DataType::Utf8,
-            true,
-        )]));
+        let b = RecordBatch::new_empty(Schema::new(vec![Field::new("x", DataType::Utf8, true)]));
         let s = format_batch(&b, 5);
         assert!(s.contains("| x"));
     }

@@ -27,6 +27,15 @@ pub struct LakehouseConfig {
     /// Worker threads for parallel SQL operators (1 = serial; the paper's
     /// §5 "parallelizing SQL execution").
     pub sql_parallelism: usize,
+    /// Worker threads for parallel table scans (1 = serial). Any setting
+    /// yields byte-identical query results; higher values overlap
+    /// object-store latency across a scan's files.
+    pub scan_parallelism: usize,
+    /// Capacity of the metadata/range LRU between queries and the object
+    /// store (manifests, file footers, data ranges), in bytes. 0 disables
+    /// caching. Off by default so store-traffic measurements (pruning
+    /// tests, paper tables) keep their seed semantics.
+    pub metadata_cache_bytes: usize,
 }
 
 impl Default for LakehouseConfig {
@@ -41,6 +50,8 @@ impl Default for LakehouseConfig {
             author: "bauplan".into(),
             row_group_rows: 8192,
             sql_parallelism: 1,
+            scan_parallelism: 1,
+            metadata_cache_bytes: 0,
         }
     }
 }
@@ -70,7 +81,13 @@ mod tests {
 
     #[test]
     fn default_is_fused() {
-        assert_eq!(LakehouseConfig::default().execution_mode, ExecutionMode::Fused);
-        assert_eq!(LakehouseConfig::naive().execution_mode, ExecutionMode::Naive);
+        assert_eq!(
+            LakehouseConfig::default().execution_mode,
+            ExecutionMode::Fused
+        );
+        assert_eq!(
+            LakehouseConfig::naive().execution_mode,
+            ExecutionMode::Naive
+        );
     }
 }

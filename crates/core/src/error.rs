@@ -6,11 +6,16 @@ use std::fmt;
 #[derive(Debug)]
 pub enum BauplanError {
     /// An expectation (data audit) returned false; the run was rolled back.
-    ExpectationFailed { node: String },
+    ExpectationFailed {
+        node: String,
+    },
     /// A replay selector or run id was invalid.
     Replay(String),
     /// A table name could not be resolved on the given ref.
-    TableNotFound { table: String, reference: String },
+    TableNotFound {
+        table: String,
+        reference: String,
+    },
     /// Configuration problem.
     Config(String),
     /// The principal lacks permission for the attempted action.

@@ -106,7 +106,11 @@ pub mod builtins {
         min_rows: usize,
     ) -> impl Fn(&FnContext) -> Result<FnOutput> + Send + Sync {
         let input = input.to_string();
-        move |ctx| Ok(FnOutput::Expectation(ctx.input(&input)?.num_rows() >= min_rows))
+        move |ctx| {
+            Ok(FnOutput::Expectation(
+                ctx.input(&input)?.num_rows() >= min_rows,
+            ))
+        }
     }
 
     /// Expectation: a column has no nulls.

@@ -11,9 +11,7 @@ use lakehouse_columnar::RecordBatch;
 use lakehouse_planner::RunRegistry;
 use lakehouse_runtime::{Runtime, SimClock};
 use lakehouse_sql::SqlEngine;
-use lakehouse_store::{
-    InMemoryStore, ObjectStore, SimulatedStore, StoreMetrics,
-};
+use lakehouse_store::{CachedStore, InMemoryStore, ObjectStore, SimulatedStore, StoreMetrics};
 use lakehouse_table::{PartitionSpec, SnapshotOperation, Table};
 use parking_lot::{Mutex, RwLock};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -44,13 +42,14 @@ impl Lakehouse {
 
     /// Create (or open) a lakehouse persisted under a local directory —
     /// what the `bauplan` CLI uses so state survives across invocations.
-    pub fn on_disk(path: impl AsRef<std::path::Path>, config: LakehouseConfig) -> Result<Lakehouse> {
+    pub fn on_disk(
+        path: impl AsRef<std::path::Path>,
+        config: LakehouseConfig,
+    ) -> Result<Lakehouse> {
         let backend = lakehouse_store::LocalFsStore::new(path)?;
         // Initialize the catalog only on first use.
-        let refs_path = lakehouse_store::ObjectPath::new(format!(
-            "{}/refs.json",
-            config.catalog_prefix
-        ))?;
+        let refs_path =
+            lakehouse_store::ObjectPath::new(format!("{}/refs.json", config.catalog_prefix))?;
         let fresh = !backend.exists(&refs_path);
         Self::with_backend(Box::new(backend), config, fresh)
     }
@@ -61,7 +60,17 @@ impl Lakehouse {
         init_catalog: bool,
     ) -> Result<Lakehouse> {
         let store = Arc::new(SimulatedStore::new(backend, config.latency.clone()));
-        let store_dyn: Arc<dyn ObjectStore> = Arc::clone(&store) as Arc<dyn ObjectStore>;
+        // Optionally interpose the metadata/range cache between everything
+        // and the simulated store; its hit counters fold into the simulated
+        // store's metrics, so `store_metrics()` sees both sides.
+        let store_dyn: Arc<dyn ObjectStore> = if config.metadata_cache_bytes > 0 {
+            Arc::new(CachedStore::new(
+                Arc::clone(&store) as Arc<dyn ObjectStore>,
+                config.metadata_cache_bytes,
+            ))
+        } else {
+            Arc::clone(&store) as Arc<dyn ObjectStore>
+        };
         let catalog = Arc::new(if init_catalog {
             Catalog::init(Arc::clone(&store_dyn), config.catalog_prefix.clone())?
         } else {
@@ -180,12 +189,7 @@ impl Lakehouse {
             .map(|l| l.len())
             .unwrap_or(0);
         let location = format!("{}/{name}/u{n}-{existing}", self.config.warehouse_prefix);
-        let table = Table::create(
-            Arc::clone(&self.store_dyn),
-            &location,
-            batch.schema(),
-            spec,
-        )?;
+        let table = Table::create(Arc::clone(&self.store_dyn), &location, batch.schema(), spec)?;
         let mut tx = table
             .new_transaction(SnapshotOperation::Append)
             .with_writer_options(lakehouse_format::WriterOptions {
@@ -250,10 +254,7 @@ impl Lakehouse {
                     key: name.to_string(),
                     content: ContentRef::new(
                         compacted.metadata_location(),
-                        compacted
-                            .metadata()
-                            .current_snapshot_id
-                            .unwrap_or(0),
+                        compacted.metadata().current_snapshot_id.unwrap_or(0),
                     ),
                 }],
             )?;
@@ -292,12 +293,12 @@ impl Lakehouse {
     /// Read a whole table at a ref.
     pub fn read_table(&self, name: &str, reference: &str) -> Result<RecordBatch> {
         let provider = self.provider(reference);
-        let table = provider.load_table(name).map_err(|_| {
-            BauplanError::TableNotFound {
+        let table = provider
+            .load_table(name)
+            .map_err(|_| BauplanError::TableNotFound {
                 table: name.to_string(),
                 reference: reference.to_string(),
-            }
-        })?;
+            })?;
         Ok(table.scan().execute()?)
     }
 
@@ -321,6 +322,7 @@ impl Lakehouse {
             Arc::clone(&self.catalog),
             reference,
         )
+        .with_scan_parallelism(self.config.scan_parallelism)
     }
 
     // ---- functions ------------------------------------------------------------
@@ -448,7 +450,8 @@ mod tests {
     #[test]
     fn create_and_query_table() {
         let lh = lh();
-        lh.create_table("nums", &batch(vec![1, 2, 3]), "main").unwrap();
+        lh.create_table("nums", &batch(vec![1, 2, 3]), "main")
+            .unwrap();
         let out = lh.query("SELECT SUM(x) AS s FROM nums", "main").unwrap();
         assert_eq!(out.row(0).unwrap()[0], Value::Int64(6));
     }
@@ -503,7 +506,9 @@ mod tests {
     fn explain_works_through_catalog() {
         let lh = lh();
         lh.create_table("nums", &batch(vec![1, 2]), "main").unwrap();
-        let text = lh.explain("SELECT x FROM nums WHERE x > 1", "main").unwrap();
+        let text = lh
+            .explain("SELECT x FROM nums WHERE x > 1", "main")
+            .unwrap();
         assert!(text.contains("Scan: nums"));
         assert!(text.contains("filters="));
     }
@@ -511,7 +516,8 @@ mod tests {
     #[test]
     fn store_metrics_observe_traffic() {
         let lh = Lakehouse::in_memory(LakehouseConfig::default()).unwrap();
-        lh.create_table("nums", &batch(vec![1, 2, 3]), "main").unwrap();
+        lh.create_table("nums", &batch(vec![1, 2, 3]), "main")
+            .unwrap();
         let before = lh.store_metrics().gets();
         lh.query("SELECT * FROM nums", "main").unwrap();
         assert!(lh.store_metrics().gets() > before);

@@ -49,13 +49,13 @@ pub mod run;
 pub use config::LakehouseConfig;
 pub use error::{BauplanError, Result};
 pub use estimator::MemoryEstimator;
-pub use governance::{standard_policy, AccessController, Action, Grant, Principal};
 pub use functions::{builtins, FnContext, FnOutput, FunctionRegistry, NativeFunction};
+pub use governance::{standard_policy, AccessController, Action, Grant, Principal};
 pub use lakehouse::Lakehouse;
 pub use run::{RunOptions, RunReport};
 
 // Re-export the pieces users need to build pipelines without importing every
 // substrate crate.
-pub use lakehouse_planner::{NodeDef, PipelineProject};
-pub use lakehouse_planner::{ExecutionMode, LogicalPipeline, PhysicalPipeline};
 pub use lakehouse_planner::project::Requirements;
+pub use lakehouse_planner::{ExecutionMode, LogicalPipeline, PhysicalPipeline};
+pub use lakehouse_planner::{NodeDef, PipelineProject};

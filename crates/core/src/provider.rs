@@ -8,8 +8,8 @@ use lakehouse_columnar::{RecordBatch, Schema, Value};
 use lakehouse_sql::ast::Expr;
 use lakehouse_sql::logical::SchemaProvider;
 use lakehouse_sql::{Result as SqlResult, SqlError, TableProvider};
-use lakehouse_table::{ScanPredicate, Table};
 use lakehouse_store::ObjectStore;
+use lakehouse_table::{ScanPredicate, Table};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -29,6 +29,8 @@ pub struct LakehouseProvider {
     /// naive baseline read whole tables before filtering (§4.4.2: the fused
     /// plan "pushed down where filters to obtain a smaller in-memory table").
     pushdown: bool,
+    /// Worker threads each table scan fans its files over (1 = serial).
+    scan_parallelism: usize,
 }
 
 impl LakehouseProvider {
@@ -43,12 +45,20 @@ impl LakehouseProvider {
             reference: reference.into(),
             overlay: RwLock::new(HashMap::new()),
             pushdown: true,
+            scan_parallelism: 1,
         }
     }
 
     /// Disable or enable scan-level predicate pushdown (default on).
     pub fn with_pushdown(mut self, pushdown: bool) -> LakehouseProvider {
         self.pushdown = pushdown;
+        self
+    }
+
+    /// Fan each table scan over up to `n` worker threads (default 1).
+    /// Results are byte-identical at any setting.
+    pub fn with_scan_parallelism(mut self, n: usize) -> LakehouseProvider {
+        self.scan_parallelism = n.max(1);
         self
     }
 
@@ -75,7 +85,10 @@ impl LakehouseProvider {
     /// Load the Iceberg-style table for `name` at this provider's ref.
     pub fn load_table(&self, name: &str) -> CoreResult<Table> {
         let content = self.catalog.get_content(&self.reference, name)?;
-        Ok(Table::load(Arc::clone(&self.store), &content.metadata_location)?)
+        Ok(Table::load(
+            Arc::clone(&self.store),
+            &content.metadata_location,
+        )?)
     }
 
     /// Convert SQL filter expressions to scan predicates where possible
@@ -132,7 +145,7 @@ impl TableProvider for LakehouseProvider {
         let t = self
             .load_table(table)
             .map_err(|e| SqlError::Plan(format!("cannot load table '{table}': {e}")))?;
-        let mut scan = t.scan();
+        let mut scan = t.scan().with_parallelism(self.scan_parallelism);
         if self.pushdown {
             for p in Self::to_scan_predicates(filters) {
                 scan = scan.with_predicate(p);
@@ -182,10 +195,8 @@ mod tests {
         )
         .unwrap();
         let mut tx = t.new_transaction(SnapshotOperation::Append);
-        tx.write(
-            &RecordBatch::try_new(schema, vec![Column::from_i64(vec![1, 2, 3])]).unwrap(),
-        )
-        .unwrap();
+        tx.write(&RecordBatch::try_new(schema, vec![Column::from_i64(vec![1, 2, 3])]).unwrap())
+            .unwrap();
         let (loc, meta) = tx.commit().unwrap();
         catalog
             .commit(

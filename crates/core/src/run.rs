@@ -132,13 +132,9 @@ impl Lakehouse {
     }
 
     /// Run asynchronously on a worker thread (the Table 1 `Asynch` modality).
-    pub fn run_async(
-        self: &Arc<Self>,
-        project: PipelineProject,
-        options: RunOptions,
-    ) -> RunHandle {
+    pub fn run_async(self: &Arc<Self>, project: PipelineProject, options: RunOptions) -> RunHandle {
         let lh = Arc::clone(self);
-        let (tx, rx) = crossbeam::channel::bounded(1);
+        let (tx, rx) = std::sync::mpsc::sync_channel(1);
         let join = std::thread::spawn(move || {
             let result = lh.execute_run(project, options, None);
             let _ = tx.send(result);
@@ -170,7 +166,10 @@ impl Lakehouse {
             &dag,
             mode,
             self.runtime.memory().capacity(),
-            |node| self.estimator.estimate(node, self.config.default_step_memory),
+            |node| {
+                self.estimator
+                    .estimate(node, self.config.default_step_memory)
+            },
         )?;
 
         // Data version this run reads (for the registry + replays).
@@ -218,10 +217,7 @@ impl Lakehouse {
         let (success, artifact_rows, audit_results, failure) = match outcome {
             Ok((rows, audits)) => {
                 let all_passed = audits.values().all(|&v| v);
-                let failed_audit = audits
-                    .iter()
-                    .find(|(_, &v)| !v)
-                    .map(|(k, _)| k.clone());
+                let failed_audit = audits.iter().find(|(_, &v)| !v).map(|(k, _)| k.clone());
                 (
                     all_passed,
                     rows,
@@ -238,7 +234,8 @@ impl Lakehouse {
         // parents' outputs); failed runs record the pre-run version.
         let mut recorded_version = data_version.clone();
         if success && options.merge {
-            self.catalog.merge(&ephemeral, &options.branch, &self.config.author)?;
+            self.catalog
+                .merge(&ephemeral, &options.branch, &self.config.author)?;
             self.catalog.delete_ref(&ephemeral)?;
             if let Some(head) = self.catalog.resolve(&options.branch)? {
                 recorded_version = head;
@@ -314,9 +311,7 @@ impl Lakehouse {
                 .min(self.runtime.memory().capacity());
             let invoke_result = match physical.mode {
                 ExecutionMode::Fused => self.runtime.invoke(&env, memory, |_, _| Ok(())),
-                ExecutionMode::Naive => {
-                    self.runtime.invoke_stateless(&env, memory, |_, _| Ok(()))
-                }
+                ExecutionMode::Naive => self.runtime.invoke_stateless(&env, memory, |_, _| Ok(())),
             };
             invoke_result.map_err(BauplanError::Runtime)?;
 
@@ -391,17 +386,15 @@ impl Lakehouse {
                         self.runtime.invoke(&spark_env, spark_mem, |_, _| Ok(()))
                     }
                     ExecutionMode::Naive => {
-                        self.runtime.invoke_stateless(&spark_env, spark_mem, |_, _| Ok(()))
+                        self.runtime
+                            .invoke_stateless(&spark_env, spark_mem, |_, _| Ok(()))
                     }
                 };
                 invoke.map_err(BauplanError::Runtime)?;
             }
             let mut ops = Vec::new();
             for (name, batch) in &stage_outputs {
-                let location = format!(
-                    "{}/{name}/r{run_id}",
-                    self.config.warehouse_prefix
-                );
+                let location = format!("{}/{name}/r{run_id}", self.config.warehouse_prefix);
                 let table = Table::create(
                     Arc::clone(&self.store_dyn),
                     &location,
@@ -467,7 +460,7 @@ impl Lakehouse {
 
 /// Handle to an asynchronous run.
 pub struct RunHandle {
-    rx: crossbeam::channel::Receiver<Result<RunReport>>,
+    rx: std::sync::mpsc::Receiver<Result<RunReport>>,
     join: Option<std::thread::JoinHandle<()>>,
 }
 
@@ -482,9 +475,10 @@ impl RunHandle {
 
     /// Block until completion.
     pub fn wait(mut self) -> Result<RunReport> {
-        let result = self.rx.recv().map_err(|_| {
-            BauplanError::Config("async run worker disappeared".into())
-        })?;
+        let result = self
+            .rx
+            .recv()
+            .map_err(|_| BauplanError::Config("async run worker disappeared".into()))?;
         if let Some(j) = self.join.take() {
             let _ = j.join();
         }
@@ -537,10 +531,16 @@ mod tests {
         assert!(report.artifact_rows.contains_key("pickups"));
         assert!(report.audit_results["trips_expectation"]);
         // Artifacts are now queryable on main.
-        let out = lh.query("SELECT COUNT(*) AS n FROM pickups", "main").unwrap();
+        let out = lh
+            .query("SELECT COUNT(*) AS n FROM pickups", "main")
+            .unwrap();
         assert!(out.row(0).unwrap()[0].as_i64().unwrap() > 0);
         // Ephemeral branch cleaned up.
-        assert!(!lh.list_refs().unwrap().iter().any(|r| r.name.starts_with("run_")));
+        assert!(!lh
+            .list_refs()
+            .unwrap()
+            .iter()
+            .any(|r| r.name.starts_with("run_")));
     }
 
     #[test]
@@ -578,7 +578,11 @@ mod tests {
         assert!(matches!(err, BauplanError::ExpectationFailed { .. }));
         // No artifacts leaked into main; ephemeral branch deleted.
         assert_eq!(lh.list_tables("main").unwrap(), vec!["taxi_table"]);
-        assert!(!lh.list_refs().unwrap().iter().any(|r| r.name.starts_with("run_")));
+        assert!(!lh
+            .list_refs()
+            .unwrap()
+            .iter()
+            .any(|r| r.name.starts_with("run_")));
         // The failed run is still recorded for auditability.
         assert_eq!(lh.run_count(), 1);
     }
@@ -711,14 +715,13 @@ mod tests {
                 vec![doubled],
             )?))
         });
-        let project = PipelineProject::new("fn_pipeline").with(
-            lakehouse_planner::NodeDef::function(
+        let project =
+            PipelineProject::new("fn_pipeline").with(lakehouse_planner::NodeDef::function(
                 "doubled",
                 vec!["raw".into()],
                 Default::default(),
                 "double_impl",
-            ),
-        );
+            ));
         let report = lh.run(&project, &RunOptions::default()).unwrap();
         assert!(report.success);
         let out = lh.query("SELECT SUM(x) AS s FROM doubled", "main").unwrap();

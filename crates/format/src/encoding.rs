@@ -188,13 +188,17 @@ mod tests {
 
     #[test]
     fn bool_bitpack_round_trip() {
-        let c = Column::from_bool(vec![true, false, true, true, false, true, false, true, true]);
+        let c = Column::from_bool(vec![
+            true, false, true, true, false, true, false, true, true,
+        ]);
         assert_eq!(round_trip(c.clone()), c);
     }
 
     #[test]
     fn string_low_cardinality_uses_dict() {
-        let values: Vec<&str> = (0..100).map(|i| if i % 2 == 0 { "a" } else { "b" }).collect();
+        let values: Vec<&str> = (0..100)
+            .map(|i| if i % 2 == 0 { "a" } else { "b" })
+            .collect();
         let c = Column::from_strs(values);
         let mut w = ByteWriter::new();
         encode_column(&c, &mut w);

@@ -126,9 +126,10 @@ impl RangedReader {
         }
         let mut batches = Vec::with_capacity(group_indices.len());
         for &g in group_indices {
-            let group = self.groups.get(g).ok_or_else(|| {
-                FormatError::InvalidArgument(format!("no row group {g}"))
-            })?;
+            let group = self
+                .groups
+                .get(g)
+                .ok_or_else(|| FormatError::InvalidArgument(format!("no row group {g}")))?;
             let mut columns = Vec::with_capacity(col_indices.len());
             for &c in &col_indices {
                 let (offset, length) = group.chunk_offsets[c];
@@ -138,10 +139,7 @@ impl RangedReader {
                 }
                 let bytes = fetch(start, end)?;
                 let mut r = ByteReader::new(&bytes);
-                columns.push(decode_column(
-                    self.schema.field(c).data_type(),
-                    &mut r,
-                )?);
+                columns.push(decode_column(self.schema.field(c).data_type(), &mut r)?);
             }
             batches.push(RecordBatch::try_new(out_schema.clone(), columns)?);
         }
@@ -168,7 +166,13 @@ mod tests {
             ],
         )
         .unwrap();
-        FileWriter::write_file(&batch, WriterOptions { row_group_rows: 1_000 }).unwrap()
+        FileWriter::write_file(
+            &batch,
+            WriterOptions {
+                row_group_rows: 1_000,
+            },
+        )
+        .unwrap()
     }
 
     #[test]
@@ -184,7 +188,10 @@ mod tests {
         assert_eq!(reader.num_row_groups(), 10);
         let all: Vec<usize> = (0..10).collect();
         let full = reader.read_groups(&all, None, &fetch).unwrap();
-        let direct = crate::FileReader::parse(bytes.clone()).unwrap().read_all(None).unwrap();
+        let direct = crate::FileReader::parse(bytes.clone())
+            .unwrap()
+            .read_all(None)
+            .unwrap();
         assert_eq!(full, direct);
     }
 
@@ -221,7 +228,10 @@ mod tests {
         // Only the last row group via pruning.
         let (rows, pruned_bytes) = run(None, Some(9_000));
         assert_eq!(rows, 1_000);
-        assert!(pruned_bytes < full_bytes / 2, "{pruned_bytes} vs {full_bytes}");
+        assert!(
+            pruned_bytes < full_bytes / 2,
+            "{pruned_bytes} vs {full_bytes}"
+        );
     }
 
     #[test]

@@ -131,11 +131,7 @@ impl FileReader {
 
     /// Decode one row group, optionally projecting to a subset of columns
     /// (given by schema index).
-    pub fn read_row_group(
-        &self,
-        idx: usize,
-        projection: Option<&[usize]>,
-    ) -> Result<RecordBatch> {
+    pub fn read_row_group(&self, idx: usize, projection: Option<&[usize]>) -> Result<RecordBatch> {
         let group = self
             .groups
             .get(idx)

@@ -31,14 +31,10 @@ impl ColumnStats {
 
     /// Merge stats from another chunk of the same column.
     pub fn merge(&mut self, other: &ColumnStats) {
-        if self.min.is_null()
-            || (!other.min.is_null() && other.min.total_cmp(&self.min).is_lt())
-        {
+        if self.min.is_null() || (!other.min.is_null() && other.min.total_cmp(&self.min).is_lt()) {
             self.min = other.min.clone();
         }
-        if self.max.is_null()
-            || (!other.max.is_null() && other.max.total_cmp(&self.max).is_gt())
-        {
+        if self.max.is_null() || (!other.max.is_null() && other.max.total_cmp(&self.max).is_gt()) {
             self.max = other.max.clone();
         }
         self.null_count += other.null_count;
@@ -62,9 +58,7 @@ impl ColumnStats {
             return self.row_count > self.null_count;
         }
         match op {
-            CmpOp::Eq => {
-                self.min.total_cmp(literal).is_le() && self.max.total_cmp(literal).is_ge()
-            }
+            CmpOp::Eq => self.min.total_cmp(literal).is_le() && self.max.total_cmp(literal).is_ge(),
             CmpOp::NotEq => {
                 // Only prunable if every row equals the literal exactly.
                 !(self.min == *literal && self.max == *literal && self.null_count == 0)

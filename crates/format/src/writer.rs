@@ -208,11 +208,8 @@ mod tests {
 
     #[test]
     fn row_groups_split_at_threshold() {
-        let bytes = FileWriter::write_file(
-            &batch(25),
-            WriterOptions { row_group_rows: 10 },
-        )
-        .unwrap();
+        let bytes =
+            FileWriter::write_file(&batch(25), WriterOptions { row_group_rows: 10 }).unwrap();
         let reader = crate::reader::FileReader::parse(bytes).unwrap();
         assert_eq!(reader.num_row_groups(), 3);
         assert_eq!(reader.num_rows(), 25);

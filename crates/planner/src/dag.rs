@@ -22,8 +22,7 @@ pub struct PipelineDag {
 impl PipelineDag {
     /// Extract the DAG from a project.
     pub fn extract(project: &PipelineProject) -> Result<PipelineDag> {
-        let node_names: BTreeSet<String> =
-            project.nodes.iter().map(|n| n.name.clone()).collect();
+        let node_names: BTreeSet<String> = project.nodes.iter().map(|n| n.name.clone()).collect();
         let mut deps: BTreeMap<String, Vec<String>> = BTreeMap::new();
         let mut external_inputs = BTreeSet::new();
         for node in &project.nodes {
@@ -108,10 +107,8 @@ impl PipelineDag {
 /// Kahn's algorithm with deterministic (name-ordered) tie-breaking; reports
 /// a cycle path on failure.
 fn topo_sort(deps: &BTreeMap<String, Vec<String>>) -> Result<Vec<String>> {
-    let mut in_degree: BTreeMap<&str, usize> = deps
-        .iter()
-        .map(|(n, ds)| (n.as_str(), ds.len()))
-        .collect();
+    let mut in_degree: BTreeMap<&str, usize> =
+        deps.iter().map(|(n, ds)| (n.as_str(), ds.len())).collect();
     let mut order = Vec::with_capacity(deps.len());
     loop {
         // Deterministic: pick the lexicographically smallest ready node.

@@ -156,10 +156,7 @@ mod tests {
         p2.nodes[0].sql = Some("SELECT 1".into());
         let s2 = ProjectSnapshot::of(&p2);
         assert_ne!(s1.project_fingerprint, s2.project_fingerprint);
-        assert_ne!(
-            s1.node_fingerprints["trips"],
-            s2.node_fingerprints["trips"]
-        );
+        assert_ne!(s1.node_fingerprints["trips"], s2.node_fingerprints["trips"]);
         // Unchanged nodes keep their fingerprints.
         assert_eq!(
             s1.node_fingerprints["pickups"],

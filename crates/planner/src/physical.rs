@@ -137,7 +137,11 @@ impl PhysicalPipeline {
                 "  edge {} -> {}: {}\n",
                 e.from,
                 e.to,
-                if e.in_memory { "in-memory" } else { "object-store" }
+                if e.in_memory {
+                    "in-memory"
+                } else {
+                    "object-store"
+                }
             ));
         }
         out
@@ -169,14 +173,9 @@ mod tests {
     #[test]
     fn fused_single_stage_when_fits() {
         let (logical, dag) = fixtures();
-        let p = PhysicalPipeline::compile(
-            &logical,
-            &dag,
-            ExecutionMode::Fused,
-            1 << 30,
-            |_| 1 << 20,
-        )
-        .unwrap();
+        let p =
+            PhysicalPipeline::compile(&logical, &dag, ExecutionMode::Fused, 1 << 30, |_| 1 << 20)
+                .unwrap();
         assert_eq!(p.stages.len(), 1);
         assert_eq!(p.spilled_edges(), 0);
         assert!(p.edges.iter().all(|e| e.in_memory));
@@ -187,8 +186,8 @@ mod tests {
         let (logical, dag) = fixtures();
         // Each step "weighs" 10; budget 15 → stages of ~1 step each after
         // the first pair exceeds.
-        let p = PhysicalPipeline::compile(&logical, &dag, ExecutionMode::Fused, 15, |_| 10)
-            .unwrap();
+        let p =
+            PhysicalPipeline::compile(&logical, &dag, ExecutionMode::Fused, 15, |_| 10).unwrap();
         assert!(p.stages.len() >= 2);
         assert!(p.spilled_edges() >= 1);
         // All steps still present exactly once.

@@ -198,7 +198,12 @@ mod tests {
         );
         assert_eq!(n.kind, NodeKind::Expectation);
         assert!(!n.materializes());
-        let t = NodeDef::function("enriched", vec!["trips".into()], Requirements::default(), "g");
+        let t = NodeDef::function(
+            "enriched",
+            vec!["trips".into()],
+            Requirements::default(),
+            "g",
+        );
         assert_eq!(t.kind, NodeKind::FunctionTransform);
         assert!(t.materializes());
     }
@@ -216,7 +221,10 @@ mod tests {
     #[test]
     fn taxi_example_shape() {
         let p = PipelineProject::taxi_example();
-        assert_eq!(p.node_names(), vec!["trips", "trips_expectation", "pickups"]);
+        assert_eq!(
+            p.node_names(),
+            vec!["trips", "trips_expectation", "pickups"]
+        );
         assert_eq!(p.get("trips").unwrap().kind, NodeKind::SqlTransform);
         assert_eq!(
             p.get("trips_expectation").unwrap().requirements.packages["pandas"],

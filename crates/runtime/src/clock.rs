@@ -27,8 +27,7 @@ impl SimClock {
 
     /// Advance the clock by `d`.
     pub fn advance(&self, d: Duration) {
-        self.nanos
-            .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+        self.nanos.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
     }
 
     /// Advance and record a labelled event.

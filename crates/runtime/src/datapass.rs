@@ -62,7 +62,8 @@ impl<S: ObjectStore> DataPassing<S> {
             }
             Locality::ObjectStore => {
                 // serialize + PUT + GET + deserialize.
-                let serde = Duration::from_secs_f64(2.0 * bytes as f64 / self.serde_bandwidth as f64);
+                let serde =
+                    Duration::from_secs_f64(2.0 * bytes as f64 / self.serde_bandwidth as f64);
                 let put = self.store.charge_write(bytes);
                 let get = self.store.charge_read(bytes);
                 serde + put + get

@@ -11,7 +11,7 @@ use crate::error::{Result, RuntimeError};
 use crate::memory::{MemoryGrant, MemoryManager};
 use crate::packages::{EnvSpec, PackageCache, PackageUniverse};
 use crate::startup::{StartupBreakdown, StartupModel};
-use crossbeam::channel::{bounded, Receiver};
+use std::sync::mpsc::{sync_channel, Receiver};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -167,7 +167,7 @@ impl Runtime {
     ) -> AsyncRunHandle<T> {
         let name = name.into();
         let clock = self.clock.clone();
-        let (tx, rx) = bounded(1);
+        let (tx, rx) = sync_channel(1);
         let thread_name = name.clone();
         let join = std::thread::Builder::new()
             .name(format!("bauplan-run-{name}"))

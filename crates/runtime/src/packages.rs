@@ -102,8 +102,7 @@ impl PackageUniverse {
     /// Sample a package by Zipf popularity (rank 1 = most popular =
     /// `pkg-00000`).
     pub fn sample_popular(&self, rng: &mut StdRng) -> &PackageInfo {
-        let zipf = Zipf::new(self.packages.len() as u64, self.zipf_exponent)
-            .expect("valid zipf");
+        let zipf = Zipf::new(self.packages.len() as u64, self.zipf_exponent).expect("valid zipf");
         let rank = zipf.sample(rng) as usize; // 1-based
         &self.packages[rank - 1]
     }
@@ -237,7 +236,10 @@ mod tests {
     fn universe_is_deterministic() {
         let a = PackageUniverse::synthetic(100, 1.1, 7);
         let b = PackageUniverse::synthetic(100, 1.1, 7);
-        assert_eq!(a.get("pkg-00042").unwrap().size_bytes, b.get("pkg-00042").unwrap().size_bytes);
+        assert_eq!(
+            a.get("pkg-00042").unwrap().size_bytes,
+            b.get("pkg-00042").unwrap().size_bytes
+        );
         assert!(a.get("nope").is_err());
     }
 
@@ -247,7 +249,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let mut counts = HashMap::new();
         for _ in 0..5000 {
-            *counts.entry(u.sample_popular(&mut rng).name.clone()).or_insert(0) += 1;
+            *counts
+                .entry(u.sample_popular(&mut rng).name.clone())
+                .or_insert(0) += 1;
         }
         // Head package should be requested far more than a tail package.
         let head = counts.get("pkg-00000").copied().unwrap_or(0);

@@ -1,10 +1,10 @@
 //! The top-level engine: SQL text in, record batch out.
 
+use crate::ast::Expr;
 use crate::error::Result;
 use crate::logical::{plan_select, LogicalPlan, SchemaProvider};
 use crate::optimizer::optimize;
 use crate::parser::parse_select;
-use crate::ast::Expr;
 use lakehouse_columnar::{RecordBatch, Schema};
 use std::collections::HashMap;
 
@@ -213,9 +213,11 @@ mod tests {
     #[test]
     fn paper_step3_pickups() {
         // Appendix A, Step 3: aggregate + order.
-        let b = q("SELECT pickup_location_id, dropoff_location_id, COUNT(*) AS counts \
+        let b = q(
+            "SELECT pickup_location_id, dropoff_location_id, COUNT(*) AS counts \
                    FROM taxi_table GROUP BY pickup_location_id, dropoff_location_id \
-                   ORDER BY counts DESC");
+                   ORDER BY counts DESC",
+        );
         assert!(b.num_rows() >= 4);
         // Top group is (1,10) or (2,10) with count 2; counts must be
         // non-increasing.
@@ -246,7 +248,9 @@ mod tests {
         assert_eq!(row[2], Value::Float64(135.0));
         assert_eq!(row[3], Value::Float64(5.0));
         assert_eq!(row[4], Value::Float64(50.0));
-        let Value::Float64(avg) = row[5] else { panic!() };
+        let Value::Float64(avg) = row[5] else {
+            panic!()
+        };
         assert!((avg - 18.0 / 7.0).abs() < 1e-9);
     }
 
@@ -325,9 +329,11 @@ mod tests {
 
     #[test]
     fn case_when() {
-        let b = q("SELECT CASE WHEN fare >= 20.0 THEN 'high' WHEN fare >= 10.0 THEN 'mid' \
+        let b = q(
+            "SELECT CASE WHEN fare >= 20.0 THEN 'high' WHEN fare >= 10.0 THEN 'mid' \
                    ELSE 'low' END AS band, fare FROM taxi_table WHERE fare IS NOT NULL \
-                   ORDER BY fare");
+                   ORDER BY fare",
+        );
         assert_eq!(b.row(0).unwrap()[0], Value::Utf8("low".into())); // 5.0
         let last = b.num_rows() - 1;
         assert_eq!(b.row(last).unwrap()[0], Value::Utf8("high".into())); // 50.0
@@ -343,7 +349,10 @@ mod tests {
 
     #[test]
     fn is_null_checks() {
-        assert_eq!(q("SELECT * FROM taxi_table WHERE fare IS NULL").num_rows(), 1);
+        assert_eq!(
+            q("SELECT * FROM taxi_table WHERE fare IS NULL").num_rows(),
+            1
+        );
         assert_eq!(
             q("SELECT * FROM taxi_table WHERE fare IS NOT NULL").num_rows(),
             7
@@ -367,15 +376,19 @@ mod tests {
 
     #[test]
     fn cast_in_query() {
-        let b = q("SELECT CAST(passenger_count AS DOUBLE) AS pc FROM taxi_table \
-                   WHERE passenger_count = 5");
+        let b = q(
+            "SELECT CAST(passenger_count AS DOUBLE) AS pc FROM taxi_table \
+                   WHERE passenger_count = 5",
+        );
         assert_eq!(b.row(0).unwrap()[0], Value::Float64(5.0));
     }
 
     #[test]
     fn subquery_in_from() {
-        let b = q("SELECT count FROM (SELECT passenger_count AS count FROM taxi_table \
-                   WHERE passenger_count IS NOT NULL) sub WHERE count >= 3");
+        let b = q(
+            "SELECT count FROM (SELECT passenger_count AS count FROM taxi_table \
+                   WHERE passenger_count IS NOT NULL) sub WHERE count >= 3",
+        );
         assert_eq!(b.num_rows(), 3); // 4, 5, 3
     }
 
@@ -401,13 +414,17 @@ mod tests {
 
     #[test]
     fn unknown_table_is_plan_error() {
-        assert!(SqlEngine::new().query("SELECT * FROM ghost", &provider()).is_err());
+        assert!(SqlEngine::new()
+            .query("SELECT * FROM ghost", &provider())
+            .is_err());
     }
 
     #[test]
     fn aggregate_with_expression_over_group() {
-        let b = q("SELECT pickup_location_id, COUNT(*) + 1 AS n1 FROM taxi_table \
-                   GROUP BY pickup_location_id ORDER BY pickup_location_id");
+        let b = q(
+            "SELECT pickup_location_id, COUNT(*) + 1 AS n1 FROM taxi_table \
+                   GROUP BY pickup_location_id ORDER BY pickup_location_id",
+        );
         assert_eq!(b.row(0).unwrap()[1], Value::Int64(4)); // 3 rows + 1
     }
 

@@ -42,9 +42,8 @@ pub fn scalar_return_type(name: &str, args: &[Expr], schema: &Schema) -> Result<
 /// Evaluate a scalar function row-wise on already-evaluated argument values.
 pub fn eval_scalar_function(name: &str, args: &[Value]) -> Result<Value> {
     let upper = name.to_ascii_uppercase();
-    let arity_err = |n: usize| {
-        SqlError::Execution(format!("{upper} expects at least {n} argument(s)"))
-    };
+    let arity_err =
+        |n: usize| SqlError::Execution(format!("{upper} expects at least {n} argument(s)"));
     Ok(match upper.as_str() {
         "UPPER" => match args.first().ok_or_else(|| arity_err(1))? {
             Value::Null => Value::Null,
@@ -63,13 +62,12 @@ pub fn eval_scalar_function(name: &str, args: &[Value]) -> Result<Value> {
         },
         "ABS" => match args.first().ok_or_else(|| arity_err(1))? {
             Value::Null => Value::Null,
-            Value::Int64(i) => Value::Int64(i.checked_abs().ok_or_else(|| {
-                SqlError::Execution("ABS overflow".into())
-            })?),
+            Value::Int64(i) => Value::Int64(
+                i.checked_abs()
+                    .ok_or_else(|| SqlError::Execution("ABS overflow".into()))?,
+            ),
             Value::Float64(f) => Value::Float64(f.abs()),
-            other => {
-                return Err(SqlError::Execution(format!("ABS on non-numeric {other:?}")))
-            }
+            other => return Err(SqlError::Execution(format!("ABS on non-numeric {other:?}"))),
         },
         "ROUND" => {
             let v = args.first().ok_or_else(|| arity_err(1))?;
@@ -77,9 +75,9 @@ pub fn eval_scalar_function(name: &str, args: &[Value]) -> Result<Value> {
             match v {
                 Value::Null => Value::Null,
                 v => {
-                    let f = v.as_f64().ok_or_else(|| {
-                        SqlError::Execution("ROUND on non-numeric".into())
-                    })?;
+                    let f = v
+                        .as_f64()
+                        .ok_or_else(|| SqlError::Execution("ROUND on non-numeric".into()))?;
                     let factor = 10f64.powi(digits as i32);
                     Value::Float64((f * factor).round() / factor)
                 }
@@ -198,7 +196,11 @@ mod tests {
         assert_eq!(
             eval_scalar_function(
                 "SUBSTR",
-                &[Value::Utf8("hello".into()), Value::Int64(2), Value::Int64(3)]
+                &[
+                    Value::Utf8("hello".into()),
+                    Value::Int64(2),
+                    Value::Int64(3)
+                ]
             )
             .unwrap(),
             Value::Utf8("ell".into())

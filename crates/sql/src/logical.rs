@@ -94,9 +94,7 @@ impl LogicalPlan {
                 let in_schema = input.schema()?;
                 let fields = exprs
                     .iter()
-                    .map(|(e, name)| {
-                        infer_type(e, &in_schema).map(|dt| Field::new(name, dt, true))
-                    })
+                    .map(|(e, name)| infer_type(e, &in_schema).map(|dt| Field::new(name, dt, true)))
                     .collect::<Result<Vec<_>>>()?;
                 Ok(Schema::new(fields))
             }
@@ -192,8 +190,7 @@ impl LogicalPlan {
                     join_type,
                     on,
                 } => {
-                    let pairs: Vec<String> =
-                        on.iter().map(|(l, r)| format!("{l} = {r}")).collect();
+                    let pairs: Vec<String> = on.iter().map(|(l, r)| format!("{l} = {r}")).collect();
                     out.push_str(&format!(
                         "{pad}Join({join_type:?}): on [{}]\n",
                         pairs.join(" AND ")
@@ -465,10 +462,7 @@ pub fn plan_select(stmt: &SelectStmt, provider: &dyn SchemaProvider) -> Result<L
             .map(|(e, n)| (rewrite(e), n.clone()))
             .collect();
         having = having.as_ref().map(&rewrite);
-        order_keys = order_keys
-            .iter()
-            .map(|(e, d)| (rewrite(e), *d))
-            .collect();
+        order_keys = order_keys.iter().map(|(e, d)| (rewrite(e), *d)).collect();
     }
 
     // 5. HAVING.
@@ -844,7 +838,10 @@ mod tests {
 
     #[test]
     fn unknown_table_errors() {
-        assert!(matches!(plan("SELECT * FROM ghost"), Err(SqlError::Plan(_))));
+        assert!(matches!(
+            plan("SELECT * FROM ghost"),
+            Err(SqlError::Plan(_))
+        ));
     }
 
     #[test]
@@ -854,10 +851,8 @@ mod tests {
 
     #[test]
     fn aggregate_schema() {
-        let p = plan(
-            "SELECT zone, COUNT(*) AS n, AVG(fare) AS avg_fare FROM trips GROUP BY zone",
-        )
-        .unwrap();
+        let p = plan("SELECT zone, COUNT(*) AS n, AVG(fare) AS avg_fare FROM trips GROUP BY zone")
+            .unwrap();
         let s = p.schema().unwrap();
         assert_eq!(s.names(), vec!["zone", "n", "avg_fare"]);
         assert_eq!(s.field(1).data_type(), DataType::Int64);
@@ -879,8 +874,9 @@ mod tests {
         // "ORDER BY counts DESC" where counts aliases COUNT(*): the key is
         // rewritten to the aggregate output column and the sort placed below
         // the projection.
-        let p = plan("SELECT zone, COUNT(*) AS counts FROM trips GROUP BY zone ORDER BY counts DESC")
-            .unwrap();
+        let p =
+            plan("SELECT zone, COUNT(*) AS counts FROM trips GROUP BY zone ORDER BY counts DESC")
+                .unwrap();
         let LogicalPlan::Project { input, .. } = p else {
             panic!("expected project on top");
         };

@@ -740,8 +740,7 @@ mod tests {
         fn has_filter_above_agg(plan: &LogicalPlan) -> bool {
             match plan {
                 LogicalPlan::Filter { input, .. } => {
-                    matches!(**input, LogicalPlan::Aggregate { .. })
-                        || has_filter_above_agg(input)
+                    matches!(**input, LogicalPlan::Aggregate { .. }) || has_filter_above_agg(input)
                 }
                 LogicalPlan::Project { input, .. }
                 | LogicalPlan::Sort { input, .. }

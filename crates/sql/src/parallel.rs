@@ -1,6 +1,8 @@
 //! Parallel execution primitives — the paper's §5 future-work item
 //! ("parallelizing SQL execution"), implemented as morsel-style partial
-//! operators over batch chunks with crossbeam scoped threads.
+//! operators over batch chunks on a bounded scoped worker pool
+//! ([`lakehouse_columnar::pool`]), so `threads` caps live workers even when
+//! the morsel count is much larger.
 //!
 //! The design follows the classic two-phase pattern:
 //!
@@ -35,22 +37,10 @@ pub fn parallel_filter(
         return Ok(filter_batch(batch, &to_selection(&mask)?)?);
     }
     let chunks = batch.chunks(morsel_size(batch.num_rows(), threads))?;
-    let results: Vec<Result<RecordBatch>> = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .iter()
-            .map(|chunk| {
-                scope.spawn(move |_| -> Result<RecordBatch> {
-                    let mask = eval(predicate, chunk)?;
-                    Ok(filter_batch(chunk, &to_selection(&mask)?)?)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("filter worker panicked"))
-            .collect()
-    })
-    .expect("scope panicked");
+    let results = lakehouse_columnar::pool::map_indexed(threads, &chunks, |_, chunk| {
+        let mask = eval(predicate, chunk)?;
+        Ok(filter_batch(chunk, &to_selection(&mask)?)?)
+    });
     let batches = results.into_iter().collect::<Result<Vec<_>>>()?;
     Ok(RecordBatch::concat(&batches)?)
 }
@@ -81,22 +71,10 @@ pub fn parallel_aggregate(
         batch.chunks(morsel_size(batch.num_rows(), threads))?
     };
 
-    // Phase 1: partial aggregation per chunk (parallel).
-    let partials: Vec<Result<PartialAgg>> = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .iter()
-            .map(|chunk| {
-                scope.spawn(move |_| -> Result<PartialAgg> {
-                    partial_aggregate(chunk, group_exprs, agg_exprs)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("aggregate worker panicked"))
-            .collect()
-    })
-    .expect("scope panicked");
+    // Phase 1: partial aggregation per chunk (bounded parallel).
+    let partials = lakehouse_columnar::pool::map_indexed(threads, &chunks, |_, chunk| {
+        partial_aggregate(chunk, group_exprs, agg_exprs)
+    });
 
     // Phase 2: merge partials (single-threaded; state count is small).
     let mut merged: HashMap<RowKey, Vec<AggState>> = HashMap::new();
@@ -123,7 +101,10 @@ pub fn parallel_aggregate(
         let key = RowKey::from_values(&[]);
         merged.insert(
             key.clone(),
-            agg_exprs.iter().map(|(a, _)| AggState::new(a.agg)).collect(),
+            agg_exprs
+                .iter()
+                .map(|(a, _)| AggState::new(a.agg))
+                .collect(),
         );
         order.push(key);
     }
@@ -184,7 +165,10 @@ fn partial_aggregate(
             None => {
                 groups.insert(
                     key.clone(),
-                    agg_exprs.iter().map(|(a, _)| AggState::new(a.agg)).collect(),
+                    agg_exprs
+                        .iter()
+                        .map(|(a, _)| AggState::new(a.agg))
+                        .collect(),
                 );
                 order.push(key.clone());
                 groups.get_mut(&key).expect("just inserted")
@@ -203,7 +187,10 @@ fn partial_aggregate(
         let key = RowKey::from_values(&[]);
         groups.insert(
             key.clone(),
-            agg_exprs.iter().map(|(a, _)| AggState::new(a.agg)).collect(),
+            agg_exprs
+                .iter()
+                .map(|(a, _)| AggState::new(a.agg))
+                .collect(),
         );
         order.push(key);
     }
@@ -321,8 +308,7 @@ mod tests {
     #[test]
     fn parallel_global_aggregate_empty_input() {
         let batch = big_batch(0);
-        let (groups, aggs, schema) =
-            agg_parts("SELECT COUNT(*) AS n, SUM(v) AS s FROM t", &batch);
+        let (groups, aggs, schema) = agg_parts("SELECT COUNT(*) AS n, SUM(v) AS s FROM t", &batch);
         let out = parallel_aggregate(&batch, &groups, &aggs, &schema, 4).unwrap();
         assert_eq!(out.num_rows(), 1);
         assert_eq!(out.row(0).unwrap()[0], Value::Int64(0));
@@ -342,8 +328,7 @@ mod tests {
             ],
         )
         .unwrap();
-        let (groups, aggs, schema) =
-            agg_parts("SELECT k, SUM(v) AS s FROM t GROUP BY k", &batch);
+        let (groups, aggs, schema) = agg_parts("SELECT k, SUM(v) AS s FROM t GROUP BY k", &batch);
         let out = parallel_aggregate(&batch, &groups, &aggs, &schema, 3).unwrap();
         assert_eq!(out.num_rows(), 3); // groups: 1, NULL, 2
     }

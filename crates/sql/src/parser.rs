@@ -118,7 +118,9 @@ impl Parser {
         match self.advance() {
             Some(Token::Word(w)) => Ok(w),
             Some(Token::QuotedIdent(w)) => Ok(w),
-            other => Err(SqlError::Parse(format!("expected identifier, found {other:?}"))),
+            other => Err(SqlError::Parse(format!(
+                "expected identifier, found {other:?}"
+            ))),
         }
     }
 
@@ -219,7 +221,9 @@ impl Parser {
             Some(Token::Number(n)) => n
                 .parse::<usize>()
                 .map_err(|_| SqlError::Parse(format!("expected integer, found {n}"))),
-            other => Err(SqlError::Parse(format!("expected integer, found {other:?}"))),
+            other => Err(SqlError::Parse(format!(
+                "expected integer, found {other:?}"
+            ))),
         }
     }
 
@@ -344,7 +348,10 @@ impl Parser {
         }
         let negated = if self.peek_keyword().as_deref() == Some("NOT")
             && matches!(
-                self.tokens.get(self.pos + 1).and_then(Token::keyword).as_deref(),
+                self.tokens
+                    .get(self.pos + 1)
+                    .and_then(Token::keyword)
+                    .as_deref(),
                 Some("BETWEEN") | Some("IN") | Some("LIKE")
             ) {
             self.pos += 1;
@@ -395,9 +402,7 @@ impl Parser {
             });
         }
         if negated {
-            return Err(SqlError::Parse(
-                "dangling NOT before non-predicate".into(),
-            ));
+            return Err(SqlError::Parse("dangling NOT before non-predicate".into()));
         }
         let op = match self.peek() {
             Some(Token::Eq) => Some(CmpOp::Eq),
@@ -792,9 +797,10 @@ mod tests {
         )
         .unwrap();
         assert_eq!(tables, vec!["trips", "zones"]);
-        let nested =
-            referenced_tables("SELECT * FROM (SELECT * FROM raw_events) e JOIN dims ON e.k = dims.k")
-                .unwrap();
+        let nested = referenced_tables(
+            "SELECT * FROM (SELECT * FROM raw_events) e JOIN dims ON e.k = dims.k",
+        )
+        .unwrap();
         assert_eq!(nested, vec!["raw_events", "dims"]);
     }
 
@@ -822,7 +828,11 @@ mod tests {
 
     #[test]
     fn distinct() {
-        assert!(parse_select("SELECT DISTINCT zone FROM t").unwrap().distinct);
+        assert!(
+            parse_select("SELECT DISTINCT zone FROM t")
+                .unwrap()
+                .distinct
+        );
         assert!(!parse_select("SELECT zone FROM t").unwrap().distinct);
     }
 

@@ -12,8 +12,8 @@ use crate::error::{Result, SqlError};
 use crate::functions::{eval_scalar_function, like_match};
 use crate::logical::{infer_type, resolve_column, LogicalPlan};
 use lakehouse_columnar::kernels::{
-    self, cmp_column_scalar, cmp_columns, filter_batch, take_batch, to_selection, AggState,
-    CmpOp, SortField,
+    self, cmp_column_scalar, cmp_columns, filter_batch, take_batch, to_selection, AggState, CmpOp,
+    SortField,
 };
 use lakehouse_columnar::{
     Bitmap, Column, ColumnBuilder, DataType, Field, RecordBatch, Schema, Value,
@@ -157,9 +157,7 @@ pub fn execute_with_options(
         } => {
             let batch = execute_with_options(input, provider, options)?;
             let start = (*offset).min(batch.num_rows());
-            let len = limit
-                .unwrap_or(usize::MAX)
-                .min(batch.num_rows() - start);
+            let len = limit.unwrap_or(usize::MAX).min(batch.num_rows() - start);
             Ok(batch.slice(start, len)?)
         }
         LogicalPlan::Distinct { input } => {
@@ -175,9 +173,7 @@ pub fn execute_with_options(
             }
             Ok(take_batch(&batch, &keep)?)
         }
-        LogicalPlan::SubqueryAlias { input, .. } => {
-            execute_with_options(input, provider, options)
-        }
+        LogicalPlan::SubqueryAlias { input, .. } => execute_with_options(input, provider, options),
     }
 }
 
@@ -510,8 +506,7 @@ pub fn eval(expr: &Expr, batch: &RecordBatch) -> Result<Column> {
                 .iter()
                 .map(|a| eval(a, batch))
                 .collect::<Result<Vec<_>>>()?;
-            let out_type =
-                crate::functions::scalar_return_type(name, args, batch.schema())?;
+            let out_type = crate::functions::scalar_return_type(name, args, batch.schema())?;
             let mut b = ColumnBuilder::with_capacity(out_type, n);
             for row in 0..n {
                 let row_args: Vec<Value> = arg_cols
@@ -541,10 +536,7 @@ pub fn eval(expr: &Expr, batch: &RecordBatch) -> Result<Column> {
                 .iter()
                 .map(|(_, v)| eval(v, batch))
                 .collect::<Result<Vec<_>>>()?;
-            let else_col = else_expr
-                .as_ref()
-                .map(|e| eval(e, batch))
-                .transpose()?;
+            let else_col = else_expr.as_ref().map(|e| eval(e, batch)).transpose()?;
             let mut b = ColumnBuilder::with_capacity(out_type, n);
             for row in 0..n {
                 let mut pushed = false;

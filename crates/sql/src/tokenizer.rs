@@ -105,22 +105,20 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
                 tokens.push(Token::NotEq);
                 i += 2;
             }
-            '<' => {
-                match bytes.get(i + 1) {
-                    Some(b'=') => {
-                        tokens.push(Token::LtEq);
-                        i += 2;
-                    }
-                    Some(b'>') => {
-                        tokens.push(Token::NotEq);
-                        i += 2;
-                    }
-                    _ => {
-                        tokens.push(Token::Lt);
-                        i += 1;
-                    }
+            '<' => match bytes.get(i + 1) {
+                Some(b'=') => {
+                    tokens.push(Token::LtEq);
+                    i += 2;
                 }
-            }
+                Some(b'>') => {
+                    tokens.push(Token::NotEq);
+                    i += 2;
+                }
+                _ => {
+                    tokens.push(Token::Lt);
+                    i += 1;
+                }
+            },
             '>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
                     tokens.push(Token::GtEq);
@@ -136,12 +134,10 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
                 i = next;
             }
             '"' => {
-                let end = sql[i + 1..]
-                    .find('"')
-                    .ok_or_else(|| SqlError::Tokenize {
-                        message: "unterminated quoted identifier".into(),
-                        position: i,
-                    })?;
+                let end = sql[i + 1..].find('"').ok_or_else(|| SqlError::Tokenize {
+                    message: "unterminated quoted identifier".into(),
+                    position: i,
+                })?;
                 tokens.push(Token::QuotedIdent(sql[i + 1..i + 1 + end].to_string()));
                 i += end + 2;
             }
@@ -158,7 +154,9 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
                 {
                     // Stop a trailing dot that begins a qualified name like 1.x
                     if bytes[i] == b'.'
-                        && bytes.get(i + 1).is_some_and(|b| (*b as char).is_ascii_alphabetic())
+                        && bytes
+                            .get(i + 1)
+                            .is_some_and(|b| (*b as char).is_ascii_alphabetic())
                     {
                         break;
                     }
@@ -235,7 +233,10 @@ mod tests {
     #[test]
     fn operators() {
         let toks = tokenize("a <> b != c <= d >= e < f > g = h").unwrap();
-        let ops: Vec<&Token> = toks.iter().filter(|t| !matches!(t, Token::Word(_))).collect();
+        let ops: Vec<&Token> = toks
+            .iter()
+            .filter(|t| !matches!(t, Token::Word(_)))
+            .collect();
         assert_eq!(
             ops,
             vec![

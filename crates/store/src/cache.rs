@@ -1,0 +1,438 @@
+//! A bounded LRU cache over small objects and byte ranges.
+//!
+//! The paper's core observation is that object-store round trips dominate at
+//! Reasonable Scale; the cheapest round trip is the one never made. Every
+//! query re-reads the same *metadata*: the table's manifest, and each data
+//! file's footer (a small tail range). [`CachedStore`] sits above any
+//! [`ObjectStore`] and answers repeated whole-object GETs and exact range
+//! GETs from memory — the "differential caching" lever of FaaS lakehouse
+//! engines, applied to the metadata path.
+//!
+//! Coherence model: all writers go *through* this wrapper (a `put`,
+//! `put_if_matches`, or `delete` invalidates every cached entry for that
+//! path). Lakehouse data and metadata objects are immutable once written —
+//! only the catalog pointer mutates, and it mutates through the same handle —
+//! so write-through invalidation is sufficient.
+//!
+//! Hit/miss/byte counters are folded into the *inner* store's
+//! [`StoreMetrics`] when it exposes one (so a `SimulatedStore` under the
+//! cache reports latency and cache effectiveness in one place); otherwise the
+//! cache keeps its own metrics instance. Cache hits charge no simulated
+//! latency and move no `bytes_read` — exactly like a memory hit in front of
+//! S3.
+
+use crate::error::Result;
+use crate::metrics::StoreMetrics;
+use crate::path::ObjectPath;
+use crate::ObjectStore;
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Cache key: a whole object or one exact byte range of an object.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum CacheKey {
+    Whole(String),
+    Range(String, usize, usize),
+}
+
+impl CacheKey {
+    fn path(&self) -> &str {
+        match self {
+            CacheKey::Whole(p) => p,
+            CacheKey::Range(p, _, _) => p,
+        }
+    }
+}
+
+struct CacheEntry {
+    data: Bytes,
+    /// Monotone recency stamp (larger = more recently used).
+    last_used: u64,
+}
+
+struct LruState {
+    map: HashMap<CacheKey, CacheEntry>,
+    bytes: usize,
+    tick: u64,
+}
+
+impl LruState {
+    fn touch(&mut self, key: &CacheKey) -> Option<Bytes> {
+        self.tick += 1;
+        let tick = self.tick;
+        let entry = self.map.get_mut(key)?;
+        entry.last_used = tick;
+        Some(entry.data.clone())
+    }
+
+    fn insert(&mut self, key: CacheKey, data: Bytes, capacity: usize, max_entry: usize) {
+        if data.len() > max_entry || data.len() > capacity {
+            return;
+        }
+        self.tick += 1;
+        if let Some(old) = self.map.insert(
+            key,
+            CacheEntry {
+                data: data.clone(),
+                last_used: self.tick,
+            },
+        ) {
+            self.bytes -= old.data.len();
+        }
+        self.bytes += data.len();
+        // Evict least-recently-used entries until within capacity.
+        while self.bytes > capacity {
+            let Some(victim) = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            else {
+                break;
+            };
+            if let Some(e) = self.map.remove(&victim) {
+                self.bytes -= e.data.len();
+            }
+        }
+    }
+
+    fn invalidate_path(&mut self, path: &str) {
+        let keys: Vec<CacheKey> = self
+            .map
+            .keys()
+            .filter(|k| k.path() == path)
+            .cloned()
+            .collect();
+        for k in keys {
+            if let Some(e) = self.map.remove(&k) {
+                self.bytes -= e.data.len();
+            }
+        }
+    }
+}
+
+/// An [`ObjectStore`] wrapper with a bounded LRU over whole objects and byte
+/// ranges. See the module docs for the coherence model.
+pub struct CachedStore<S> {
+    inner: S,
+    capacity: usize,
+    /// Largest single entry the cache will hold (bigger reads pass through;
+    /// prevents one bulk object from evicting all the metadata).
+    max_entry: usize,
+    state: Mutex<LruState>,
+    metrics: Arc<StoreMetrics>,
+}
+
+impl<S: ObjectStore> CachedStore<S> {
+    /// Wrap `inner` with `capacity_bytes` of cache. Single entries larger
+    /// than a quarter of the capacity are never cached.
+    pub fn new(inner: S, capacity_bytes: usize) -> Self {
+        let metrics = inner
+            .store_metrics()
+            .unwrap_or_else(|| Arc::new(StoreMetrics::new()));
+        CachedStore {
+            inner,
+            capacity: capacity_bytes,
+            max_entry: (capacity_bytes / 4).max(1),
+            state: Mutex::new(LruState {
+                map: HashMap::new(),
+                bytes: 0,
+                tick: 0,
+            }),
+            metrics,
+        }
+    }
+
+    /// Override the largest cacheable entry size.
+    pub fn with_max_entry_bytes(mut self, max_entry: usize) -> Self {
+        self.max_entry = max_entry.max(1);
+        self
+    }
+
+    /// Bytes currently resident in the cache.
+    pub fn cached_bytes(&self) -> usize {
+        self.state.lock().bytes
+    }
+
+    /// Number of resident cache entries.
+    pub fn cached_entries(&self) -> usize {
+        self.state.lock().map.len()
+    }
+
+    /// Drop every cached entry (counters are untouched).
+    pub fn clear(&self) {
+        let mut state = self.state.lock();
+        state.map.clear();
+        state.bytes = 0;
+    }
+
+    /// Access the wrapped store.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<S: ObjectStore> ObjectStore for CachedStore<S> {
+    fn put(&self, path: &ObjectPath, data: Bytes) -> Result<()> {
+        self.inner.put(path, data.clone())?;
+        let mut state = self.state.lock();
+        // Ranges of the old object are stale; the new whole object is known.
+        state.invalidate_path(path.as_str());
+        state.insert(
+            CacheKey::Whole(path.as_str().to_string()),
+            data,
+            self.capacity,
+            self.max_entry,
+        );
+        Ok(())
+    }
+
+    fn get(&self, path: &ObjectPath) -> Result<Bytes> {
+        let key = CacheKey::Whole(path.as_str().to_string());
+        if let Some(data) = self.state.lock().touch(&key) {
+            self.metrics.record_cache_hit(data.len());
+            return Ok(data);
+        }
+        self.metrics.record_cache_miss();
+        let data = self.inner.get(path)?;
+        self.state
+            .lock()
+            .insert(key, data.clone(), self.capacity, self.max_entry);
+        Ok(data)
+    }
+
+    fn get_range(&self, path: &ObjectPath, start: usize, end: usize) -> Result<Bytes> {
+        let key = CacheKey::Range(path.as_str().to_string(), start, end);
+        {
+            let mut state = self.state.lock();
+            if let Some(data) = state.touch(&key) {
+                drop(state);
+                self.metrics.record_cache_hit(data.len());
+                return Ok(data);
+            }
+            // A cached whole object can serve any of its ranges.
+            let whole = CacheKey::Whole(path.as_str().to_string());
+            if let Some(data) = state.touch(&whole) {
+                if end <= data.len() {
+                    let slice = data.slice(start..end);
+                    drop(state);
+                    self.metrics.record_cache_hit(slice.len());
+                    return Ok(slice);
+                }
+            }
+        }
+        self.metrics.record_cache_miss();
+        let data = self.inner.get_range(path, start, end)?;
+        self.state
+            .lock()
+            .insert(key, data.clone(), self.capacity, self.max_entry);
+        Ok(data)
+    }
+
+    fn head(&self, path: &ObjectPath) -> Result<usize> {
+        // Size of a cached whole object is known without a round trip.
+        let whole = CacheKey::Whole(path.as_str().to_string());
+        if let Some(data) = self.state.lock().touch(&whole) {
+            self.metrics.record_cache_hit(0);
+            return Ok(data.len());
+        }
+        self.inner.head(path)
+    }
+
+    fn list(&self, prefix: &str) -> Result<Vec<ObjectPath>> {
+        // Listings are not cached: they must observe every write immediately
+        // and are off the per-query hot path.
+        self.inner.list(prefix)
+    }
+
+    fn delete(&self, path: &ObjectPath) -> Result<()> {
+        self.inner.delete(path)?;
+        self.state.lock().invalidate_path(path.as_str());
+        Ok(())
+    }
+
+    fn exists(&self, path: &ObjectPath) -> bool {
+        if self
+            .state
+            .lock()
+            .map
+            .contains_key(&CacheKey::Whole(path.as_str().to_string()))
+        {
+            return true;
+        }
+        self.inner.exists(path)
+    }
+
+    fn put_if_matches(
+        &self,
+        path: &ObjectPath,
+        expected: Option<&[u8]>,
+        data: Bytes,
+    ) -> Result<()> {
+        self.inner.put_if_matches(path, expected, data.clone())?;
+        let mut state = self.state.lock();
+        state.invalidate_path(path.as_str());
+        state.insert(
+            CacheKey::Whole(path.as_str().to_string()),
+            data,
+            self.capacity,
+            self.max_entry,
+        );
+        Ok(())
+    }
+
+    fn store_metrics(&self) -> Option<Arc<StoreMetrics>> {
+        Some(Arc::clone(&self.metrics))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::{LatencyModel, SimulatedStore};
+    use crate::memory::InMemoryStore;
+
+    fn p(s: &str) -> ObjectPath {
+        ObjectPath::new(s).unwrap()
+    }
+
+    fn store(capacity: usize) -> CachedStore<InMemoryStore> {
+        CachedStore::new(InMemoryStore::new(), capacity)
+    }
+
+    #[test]
+    fn repeated_get_hits_cache() {
+        let s = store(1 << 20);
+        s.put(&p("m/manifest.json"), Bytes::from_static(b"abc"))
+            .unwrap();
+        let m = s.store_metrics().unwrap();
+        assert_eq!(
+            s.get(&p("m/manifest.json")).unwrap(),
+            Bytes::from_static(b"abc")
+        );
+        assert_eq!(
+            s.get(&p("m/manifest.json")).unwrap(),
+            Bytes::from_static(b"abc")
+        );
+        // put write-through seeds the cache: both gets hit.
+        assert_eq!(m.cache_hits(), 2);
+        assert_eq!(m.cache_misses(), 0);
+        assert_eq!(m.cache_bytes_served(), 6);
+    }
+
+    #[test]
+    fn range_hits_exact_and_whole() {
+        let s = store(1 << 20);
+        s.clear(); // no write-through help
+        s.inner()
+            .put(&p("f"), Bytes::from_static(b"0123456789"))
+            .unwrap();
+        let m = s.store_metrics().unwrap();
+        assert_eq!(
+            s.get_range(&p("f"), 2, 5).unwrap(),
+            Bytes::from_static(b"234")
+        );
+        assert_eq!(m.cache_misses(), 1);
+        assert_eq!(
+            s.get_range(&p("f"), 2, 5).unwrap(),
+            Bytes::from_static(b"234")
+        );
+        assert_eq!(m.cache_hits(), 1);
+        // Whole object cached -> any range is a hit.
+        s.get(&p("f")).unwrap();
+        assert_eq!(
+            s.get_range(&p("f"), 0, 9).unwrap(),
+            Bytes::from_static(b"012345678")
+        );
+        assert_eq!(m.cache_hits(), 2);
+    }
+
+    #[test]
+    fn writes_invalidate() {
+        let s = store(1 << 20);
+        s.put(&p("x"), Bytes::from_static(b"old")).unwrap();
+        s.get_range(&p("x"), 0, 3).unwrap();
+        s.put(&p("x"), Bytes::from_static(b"newer")).unwrap();
+        assert_eq!(s.get(&p("x")).unwrap(), Bytes::from_static(b"newer"));
+        assert_eq!(
+            s.get_range(&p("x"), 0, 5).unwrap(),
+            Bytes::from_static(b"newer")
+        );
+        s.delete(&p("x")).unwrap();
+        assert!(s.get(&p("x")).is_err());
+        assert!(!s.exists(&p("x")));
+    }
+
+    #[test]
+    fn eviction_bounds_memory_and_preserves_bytes() {
+        let s = CachedStore::new(InMemoryStore::new(), 64).with_max_entry_bytes(32);
+        for i in 0..8 {
+            s.put(&p(&format!("o/{i}")), Bytes::from(vec![i as u8; 20]))
+                .unwrap();
+        }
+        assert!(s.cached_bytes() <= 64);
+        // Every object still reads back identical bytes after eviction.
+        for i in 0..8 {
+            assert_eq!(
+                s.get(&p(&format!("o/{i}"))).unwrap(),
+                Bytes::from(vec![i as u8; 20])
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_entries_pass_through_uncached() {
+        let s = CachedStore::new(InMemoryStore::new(), 1 << 20).with_max_entry_bytes(4);
+        s.put(&p("big"), Bytes::from(vec![7u8; 100])).unwrap();
+        assert_eq!(s.cached_entries(), 0);
+        let m = s.store_metrics().unwrap();
+        s.get(&p("big")).unwrap();
+        s.get(&p("big")).unwrap();
+        assert_eq!(m.cache_hits(), 0);
+        assert_eq!(m.cache_misses(), 2);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let s = CachedStore::new(InMemoryStore::new(), 30).with_max_entry_bytes(10);
+        s.put(&p("a"), Bytes::from(vec![1u8; 10])).unwrap();
+        s.put(&p("b"), Bytes::from(vec![2u8; 10])).unwrap();
+        s.put(&p("c"), Bytes::from(vec![3u8; 10])).unwrap();
+        // Touch `a` so `b` becomes the LRU victim.
+        s.get(&p("a")).unwrap();
+        s.put(&p("d"), Bytes::from(vec![4u8; 10])).unwrap();
+        let m = s.store_metrics().unwrap();
+        let before = m.cache_misses();
+        s.get(&p("a")).unwrap();
+        assert_eq!(m.cache_misses(), before, "a should still be cached");
+        s.get(&p("b")).unwrap();
+        assert_eq!(m.cache_misses(), before + 1, "b should have been evicted");
+    }
+
+    #[test]
+    fn folds_into_simulated_store_metrics() {
+        let sim = SimulatedStore::new(InMemoryStore::new(), LatencyModel::s3_like());
+        let sim_metrics = sim.metrics();
+        let s = CachedStore::new(sim, 1 << 20);
+        s.put(&p("a"), Bytes::from_static(b"hello")).unwrap();
+        let serial_after_put = sim_metrics.simulated_time();
+        s.get(&p("a")).unwrap();
+        // Hit: no extra simulated latency, no store bytes moved, counters on
+        // the *simulated store's* metrics object.
+        assert_eq!(sim_metrics.simulated_time(), serial_after_put);
+        assert_eq!(sim_metrics.bytes_read(), 0);
+        assert_eq!(sim_metrics.cache_hits(), 1);
+        assert_eq!(sim_metrics.cache_bytes_served(), 5);
+    }
+
+    #[test]
+    fn head_served_from_cache() {
+        let s = store(1 << 20);
+        s.put(&p("a"), Bytes::from_static(b"12345")).unwrap();
+        assert_eq!(s.head(&p("a")).unwrap(), 5);
+        let m = s.store_metrics().unwrap();
+        assert_eq!(m.cache_hits(), 1);
+    }
+}

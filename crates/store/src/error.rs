@@ -27,7 +27,10 @@ impl fmt::Display for StoreError {
             Self::NotFound(p) => write!(f, "object not found: {p}"),
             Self::PreconditionFailed(p) => write!(f, "precondition failed for: {p}"),
             Self::InvalidRange { start, end, len } => {
-                write!(f, "invalid range [{start}, {end}) for object of {len} bytes")
+                write!(
+                    f,
+                    "invalid range [{start}, {end}) for object of {len} bytes"
+                )
             }
             Self::InvalidPath(p) => write!(f, "invalid object path: {p}"),
             Self::Io(e) => write!(f, "io error: {e}"),

@@ -235,6 +235,10 @@ impl<S: ObjectStore> ObjectStore for SimulatedStore<S> {
         self.metrics.record_put(bytes, latency);
         r
     }
+
+    fn store_metrics(&self) -> Option<Arc<StoreMetrics>> {
+        Some(self.metrics())
+    }
 }
 
 #[cfg(test)]

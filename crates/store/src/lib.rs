@@ -14,6 +14,7 @@
 //! can read accumulated *simulated* time deterministically instead of
 //! sleeping.
 
+pub mod cache;
 pub mod error;
 pub mod flaky;
 pub mod latency;
@@ -22,6 +23,7 @@ pub mod memory;
 pub mod metrics;
 pub mod path;
 
+pub use cache::CachedStore;
 pub use error::{Result, StoreError};
 pub use flaky::{FaultKind, FlakyStore};
 pub use latency::{LatencyModel, SimulatedStore, SleepMode};
@@ -31,6 +33,7 @@ pub use metrics::StoreMetrics;
 pub use path::ObjectPath;
 
 use bytes::Bytes;
+use std::sync::Arc;
 
 /// A minimal object store: the API surface the rest of the lakehouse needs
 /// (a subset of S3 semantics — whole-object put/get, prefix list, delete).
@@ -72,12 +75,15 @@ pub trait ObjectStore: Send + Sync {
     /// Atomic compare-and-swap put: succeed only if the object's current
     /// content matches `expected` (`None` = must not exist). This is the
     /// primitive the catalog's optimistic commits build on.
-    fn put_if_matches(
-        &self,
-        path: &ObjectPath,
-        expected: Option<&[u8]>,
-        data: Bytes,
-    ) -> Result<()>;
+    fn put_if_matches(&self, path: &ObjectPath, expected: Option<&[u8]>, data: Bytes)
+        -> Result<()>;
+
+    /// The metrics sink this store records into, if it has one. Lets code
+    /// holding only a `dyn ObjectStore` (e.g. a table scan) read simulated
+    /// latency and cache counters without knowing the wrapper stack.
+    fn store_metrics(&self) -> Option<Arc<StoreMetrics>> {
+        None
+    }
 }
 
 impl<T: ObjectStore + ?Sized> ObjectStore for Box<T> {
@@ -109,5 +115,43 @@ impl<T: ObjectStore + ?Sized> ObjectStore for Box<T> {
         data: Bytes,
     ) -> Result<()> {
         (**self).put_if_matches(path, expected, data)
+    }
+    fn store_metrics(&self) -> Option<Arc<StoreMetrics>> {
+        (**self).store_metrics()
+    }
+}
+
+impl<T: ObjectStore + ?Sized> ObjectStore for Arc<T> {
+    fn put(&self, path: &ObjectPath, data: Bytes) -> Result<()> {
+        (**self).put(path, data)
+    }
+    fn get(&self, path: &ObjectPath) -> Result<Bytes> {
+        (**self).get(path)
+    }
+    fn get_range(&self, path: &ObjectPath, start: usize, end: usize) -> Result<Bytes> {
+        (**self).get_range(path, start, end)
+    }
+    fn head(&self, path: &ObjectPath) -> Result<usize> {
+        (**self).head(path)
+    }
+    fn list(&self, prefix: &str) -> Result<Vec<ObjectPath>> {
+        (**self).list(prefix)
+    }
+    fn delete(&self, path: &ObjectPath) -> Result<()> {
+        (**self).delete(path)
+    }
+    fn exists(&self, path: &ObjectPath) -> bool {
+        (**self).exists(path)
+    }
+    fn put_if_matches(
+        &self,
+        path: &ObjectPath,
+        expected: Option<&[u8]>,
+        data: Bytes,
+    ) -> Result<()> {
+        (**self).put_if_matches(path, expected, data)
+    }
+    fn store_metrics(&self) -> Option<Arc<StoreMetrics>> {
+        (**self).store_metrics()
     }
 }

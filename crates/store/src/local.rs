@@ -40,10 +40,7 @@ impl ObjectStore for LocalFsStore {
             fs::create_dir_all(parent)?;
         }
         // Write-then-rename for atomicity against concurrent readers.
-        let tmp = fp.with_extension(format!(
-            "tmp.{}",
-            std::process::id()
-        ));
+        let tmp = fp.with_extension(format!("tmp.{}", std::process::id()));
         fs::write(&tmp, &data)?;
         fs::rename(&tmp, &fp)?;
         Ok(())

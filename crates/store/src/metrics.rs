@@ -1,8 +1,16 @@
 //! Counters for object-store activity, including accumulated *simulated*
 //! latency — the deterministic alternative to wall-clock sleeping.
+//!
+//! Besides the totals, simulated latency is also accumulated **per thread**
+//! (a "lane"). Total simulated time models a serial execution; when K
+//! worker threads issue requests concurrently, the overlapped wall clock of
+//! the fan-out is the *maximum* of the worker lane deltas, which parallel
+//! scans report alongside the serial total (see `lakehouse-table`).
 
 use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::thread::ThreadId;
 use std::time::Duration;
 
 /// Thread-safe counters for one store instance.
@@ -15,6 +23,11 @@ pub struct StoreMetrics {
     bytes_read: AtomicU64,
     bytes_written: AtomicU64,
     simulated_nanos: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    cache_bytes_served: AtomicU64,
+    /// Simulated nanos charged per calling thread (lane accounting).
+    lanes: Mutex<HashMap<ThreadId, u64>>,
     /// Per-operation simulated latencies (kept for percentile reporting).
     samples: Mutex<Vec<Duration>>,
 }
@@ -48,9 +61,24 @@ impl StoreMetrics {
     }
 
     fn record_latency(&self, latency: Duration) {
-        self.simulated_nanos
-            .fetch_add(latency.as_nanos() as u64, Ordering::Relaxed);
+        let nanos = latency.as_nanos() as u64;
+        self.simulated_nanos.fetch_add(nanos, Ordering::Relaxed);
+        *self
+            .lanes
+            .lock()
+            .entry(std::thread::current().id())
+            .or_insert(0) += nanos;
         self.samples.lock().push(latency);
+    }
+
+    pub(crate) fn record_cache_hit(&self, bytes: usize) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        self.cache_bytes_served
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_cache_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
     }
 
     pub fn gets(&self) -> u64 {
@@ -72,9 +100,34 @@ impl StoreMetrics {
         self.bytes_written.load(Ordering::Relaxed)
     }
 
+    /// Requests answered from a cache layer without touching the store.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits.load(Ordering::Relaxed)
+    }
+    /// Requests that fell through a cache layer to the store.
+    pub fn cache_misses(&self) -> u64 {
+        self.cache_misses.load(Ordering::Relaxed)
+    }
+    /// Bytes served from cache (not counted in `bytes_read`).
+    pub fn cache_bytes_served(&self) -> u64 {
+        self.cache_bytes_served.load(Ordering::Relaxed)
+    }
+
     /// Total simulated latency accumulated across all operations.
     pub fn simulated_time(&self) -> Duration {
         Duration::from_nanos(self.simulated_nanos.load(Ordering::Relaxed))
+    }
+
+    /// Simulated latency charged by the *calling thread* so far. Sampling
+    /// this before and after a section gives the section's serial latency on
+    /// this lane; the max of the deltas across K concurrent worker threads
+    /// is the section's overlapped wall clock.
+    pub fn lane_nanos(&self) -> u64 {
+        self.lanes
+            .lock()
+            .get(&std::thread::current().id())
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Latency percentile (0.0..=1.0) over recorded operations, if any.
@@ -97,6 +150,10 @@ impl StoreMetrics {
         self.bytes_read.store(0, Ordering::Relaxed);
         self.bytes_written.store(0, Ordering::Relaxed);
         self.simulated_nanos.store(0, Ordering::Relaxed);
+        self.cache_hits.store(0, Ordering::Relaxed);
+        self.cache_misses.store(0, Ordering::Relaxed);
+        self.cache_bytes_served.store(0, Ordering::Relaxed);
+        self.lanes.lock().clear();
         self.samples.lock().clear();
     }
 }
@@ -140,9 +197,54 @@ mod tests {
     fn reset_zeros() {
         let m = StoreMetrics::new();
         m.record_get(10, Duration::from_millis(1));
+        m.record_cache_hit(5);
+        m.record_cache_miss();
         m.reset();
         assert_eq!(m.gets(), 0);
         assert_eq!(m.simulated_time(), Duration::ZERO);
         assert_eq!(m.latency_percentile(0.5), None);
+        assert_eq!(m.cache_hits(), 0);
+        assert_eq!(m.cache_misses(), 0);
+        assert_eq!(m.cache_bytes_served(), 0);
+        assert_eq!(m.lane_nanos(), 0);
+    }
+
+    #[test]
+    fn cache_counters_accumulate() {
+        let m = StoreMetrics::new();
+        m.record_cache_hit(100);
+        m.record_cache_hit(50);
+        m.record_cache_miss();
+        assert_eq!(m.cache_hits(), 2);
+        assert_eq!(m.cache_misses(), 1);
+        assert_eq!(m.cache_bytes_served(), 150);
+        // Cache hits move no store bytes.
+        assert_eq!(m.bytes_read(), 0);
+    }
+
+    #[test]
+    fn lanes_track_per_thread_latency() {
+        let m = StoreMetrics::new();
+        m.record_get(1, Duration::from_millis(10));
+        assert_eq!(m.lane_nanos(), 10_000_000);
+
+        // Two worker threads each charge their own lane; the total is the
+        // serial sum while each lane sees only its own share.
+        let lanes: Vec<u64> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..2)
+                .map(|i| {
+                    let m = &m;
+                    scope.spawn(move || {
+                        m.record_get(1, Duration::from_millis(5 * (i + 1)));
+                        m.lane_nanos()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert!(lanes.contains(&5_000_000) && lanes.contains(&10_000_000));
+        // Main lane unchanged by workers.
+        assert_eq!(m.lane_nanos(), 10_000_000);
+        assert_eq!(m.simulated_time(), Duration::from_millis(25));
     }
 }

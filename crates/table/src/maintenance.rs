@@ -83,7 +83,9 @@ impl Table {
             .map(|s| s.manifest_path.clone())
             .ok_or_else(|| TableError::Corrupt("compaction produced no snapshot".into()))?;
         let new_manifest = Manifest::from_bytes(
-            &compacted.store().get(&ObjectPath::new(new_manifest_path)?)?,
+            &compacted
+                .store()
+                .get(&ObjectPath::new(new_manifest_path)?)?,
         )
         .ok_or_else(|| TableError::Corrupt("unparseable compacted manifest".into()))?;
         Ok((
@@ -149,7 +151,10 @@ impl Table {
         }
         // Reparent: the oldest retained snapshot loses its expired parent.
         if let Some(first) = metadata.snapshots.first_mut() {
-            if expired.iter().any(|e| Some(e.snapshot_id) == first.parent_id) {
+            if expired
+                .iter()
+                .any(|e| Some(e.snapshot_id) == first.parent_id)
+            {
                 first.parent_id = None;
             }
         }

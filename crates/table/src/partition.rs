@@ -72,9 +72,7 @@ impl Transform {
                     return Err(TableError::InvalidArgument("truncate(0)".into()));
                 }
                 match v {
-                    Value::Utf8(s) => {
-                        Value::Utf8(s.chars().take(*w as usize).collect::<String>())
-                    }
+                    Value::Utf8(s) => Value::Utf8(s.chars().take(*w as usize).collect::<String>()),
                     Value::Int64(i) => {
                         let w = *w as i64;
                         Value::Int64(i.div_euclid(w) * w)
@@ -311,7 +309,9 @@ mod tests {
     fn validate_unknown_column() {
         let spec = PartitionSpec::identity("missing");
         assert!(spec.validate(batch().schema()).is_err());
-        assert!(PartitionSpec::identity("city").validate(batch().schema()).is_ok());
+        assert!(PartitionSpec::identity("city")
+            .validate(batch().schema())
+            .is_ok());
     }
 
     #[test]

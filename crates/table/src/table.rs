@@ -180,10 +180,8 @@ mod tests {
         .unwrap();
         // Write a file with the v0 schema.
         let mut tx = t.new_transaction(SnapshotOperation::Append);
-        tx.write(
-            &RecordBatch::try_new(schema(), vec![Column::from_i64(vec![1, 2])]).unwrap(),
-        )
-        .unwrap();
+        tx.write(&RecordBatch::try_new(schema(), vec![Column::from_i64(vec![1, 2])]).unwrap())
+            .unwrap();
         let (loc, _) = tx.commit().unwrap();
         // Evolve: add a nullable column.
         let t = Table::load(Arc::clone(&store), &loc).unwrap();
@@ -208,10 +206,8 @@ mod tests {
         )
         .unwrap();
         let mut tx = t.new_transaction(SnapshotOperation::Append);
-        tx.write(
-            &RecordBatch::try_new(schema(), vec![Column::from_i64(vec![7])]).unwrap(),
-        )
-        .unwrap();
+        tx.write(&RecordBatch::try_new(schema(), vec![Column::from_i64(vec![7])]).unwrap())
+            .unwrap();
         let (loc, _) = tx.commit().unwrap();
         let t = Table::load(Arc::clone(&store), &loc)
             .unwrap()

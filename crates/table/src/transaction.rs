@@ -64,8 +64,7 @@ impl Transaction {
         let snapshot_id = self.metadata.next_snapshot_id();
         for (partition, rows) in self.metadata.partition_spec.split(batch)? {
             let part_batch = take_batch(batch, &rows)?;
-            let file_bytes =
-                FileWriter::write_file(&part_batch, self.writer_options.clone())?;
+            let file_bytes = FileWriter::write_file(&part_batch, self.writer_options.clone())?;
             let reader = FileReader::parse(file_bytes.clone())?;
             let mut column_stats = BTreeMap::new();
             for (i, field) in schema.fields().iter().enumerate() {
@@ -209,7 +208,8 @@ mod tests {
         )
         .unwrap();
         let mut tx = table.new_transaction(SnapshotOperation::Append);
-        tx.write(&batch(vec![1, 2, 3], vec!["a", "b", "c"])).unwrap();
+        tx.write(&batch(vec![1, 2, 3], vec!["a", "b", "c"]))
+            .unwrap();
         let (loc, _) = tx.commit().unwrap();
 
         let table = Table::load(Arc::clone(&store), &loc).unwrap();
@@ -274,7 +274,7 @@ mod tests {
         let mut tx = table.new_transaction(SnapshotOperation::Append);
         tx.write(&batch(vec![1], vec!["a"])).unwrap();
         drop(tx); // never committed
-        // Table still empty at its metadata location.
+                  // Table still empty at its metadata location.
         let reloaded = Table::load(store, table.metadata_location()).unwrap();
         assert!(reloaded.metadata().current_snapshot().is_none());
     }

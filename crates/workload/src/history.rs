@@ -105,8 +105,7 @@ impl QueryHistory {
             .map(|&seconds| {
                 // Query time correlates with byte scans (paper §3.1), with
                 // multiplicative lognormal noise.
-                let bytes =
-                    (seconds * profile.bytes_per_second * noise.sample(&mut rng)).max(1.0);
+                let bytes = (seconds * profile.bytes_per_second * noise.sample(&mut rng)).max(1.0);
                 QueryRecord {
                     seconds,
                     bytes_scanned: bytes as u64,
@@ -124,7 +123,10 @@ impl QueryHistory {
     }
 
     pub fn bytes(&self) -> Vec<f64> {
-        self.queries.iter().map(|q| q.bytes_scanned as f64).collect()
+        self.queries
+            .iter()
+            .map(|q| q.bytes_scanned as f64)
+            .collect()
     }
 
     /// Fraction of queries finishing within `seconds`.

@@ -59,7 +59,9 @@ pub fn ks_distance(data: &[f64], alpha: f64, xmin: f64) -> f64 {
         let model = 1.0 - (x / xmin).powf(1.0 - alpha);
         let emp_hi = (i + 1) as f64 / n;
         let emp_lo = i as f64 / n;
-        max_d = max_d.max((model - emp_hi).abs()).max((model - emp_lo).abs());
+        max_d = max_d
+            .max((model - emp_hi).abs())
+            .max((model - emp_lo).abs());
     }
     max_d
 }

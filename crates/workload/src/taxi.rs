@@ -115,7 +115,11 @@ mod tests {
     fn zones_in_range_and_skewed() {
         let g = TaxiGenerator::default();
         let b = g.generate(10_000);
-        let (ids, _) = b.column_by_name("pickup_location_id").unwrap().as_i64().unwrap();
+        let (ids, _) = b
+            .column_by_name("pickup_location_id")
+            .unwrap()
+            .as_i64()
+            .unwrap();
         assert!(ids.iter().all(|&z| (1..=g.zones as i64).contains(&z)));
         // Zipf skew: the most common zone appears far more than the median.
         let mut counts = std::collections::HashMap::new();
@@ -131,7 +135,9 @@ mod tests {
         let g = TaxiGenerator::default();
         let b = g.generate(5_000);
         let (dates, _) = b.column_by_name("pickup_at").unwrap().as_date().unwrap();
-        assert!(dates.iter().all(|&d| d >= g.start_day && d < g.start_day + g.days));
+        assert!(dates
+            .iter()
+            .all(|&d| d >= g.start_day && d < g.start_day + g.days));
         // Both March and April present (2019-04-01 = 17987).
         assert!(dates.iter().any(|&d| d < 17_987));
         assert!(dates.iter().any(|&d| d >= 17_987));

@@ -28,12 +28,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Branch off production (the user ran `git checkout -b feat_1`; the
     //    platform mirrors it as a data branch).
     lh.create_branch("feat_1", Some("main"))?;
-    println!("created feat_1 from main; main tables: {:?}", lh.list_tables("main")?);
+    println!(
+        "created feat_1 from main; main tables: {:?}",
+        lh.list_tables("main")?
+    );
 
     // 2. Run the pipeline on the feature branch. Internally this goes
     //    through an ephemeral run_<id> branch (Fig. 4's transform-audit-
     //    write) and merges into feat_1 only when everything is green.
-    let report = lh.run(&PipelineProject::taxi_example(), &RunOptions::on_branch("feat_1"))?;
+    let report = lh.run(
+        &PipelineProject::taxi_example(),
+        &RunOptions::on_branch("feat_1"),
+    )?;
     println!(
         "run {} merged into feat_1 (ephemeral branch {} already deleted)",
         report.run_id, report.ephemeral_branch
@@ -46,7 +52,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "trips_expectation_impl",
         builtins::mean_greater_than("trips", "count", 1e9), // impossible
     );
-    match lh.run(&PipelineProject::taxi_example(), &RunOptions::on_branch("feat_1")) {
+    match lh.run(
+        &PipelineProject::taxi_example(),
+        &RunOptions::on_branch("feat_1"),
+    ) {
         Err(BauplanError::ExpectationFailed { node }) => {
             println!("\nexpectation '{node}' failed: run rolled back, feat_1 unchanged");
         }

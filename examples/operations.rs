@@ -6,8 +6,7 @@
 //! ```
 
 use bauplan_core::{
-    builtins, standard_policy, Lakehouse, LakehouseConfig, PipelineProject, Principal,
-    RunOptions,
+    builtins, standard_policy, Lakehouse, LakehouseConfig, PipelineProject, Principal, RunOptions,
 };
 use lakehouse_workload::TaxiGenerator;
 
@@ -35,7 +34,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &PipelineProject::taxi_example(),
         &RunOptions::on_branch("feat_ops"),
     )?;
-    println!("engineer run {} on feat_ops: success={}", report.run_id, report.success);
+    println!(
+        "engineer run {} on feat_ops: success={}",
+        report.run_id, report.success
+    );
     // ...but production is protected:
     match lh.run_as(
         &engineer,
@@ -59,15 +61,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     lh.access().disable_enforcement();
     lh.run(&PipelineProject::taxi_example(), &RunOptions::default())?;
     let (hits2, _) = lh.memory_estimator().hit_miss();
-    println!("estimator after second run: {hits2} history hits (learned {:?})",
-        lh.memory_estimator().known_nodes());
+    println!(
+        "estimator after second run: {hits2} history hits (learned {:?})",
+        lh.memory_estimator().known_nodes()
+    );
 
     // --- Table maintenance ------------------------------------------------------
     // Fragment the table with appends, then compact and expire.
     for seed in 0..4 {
         lh.append_table(
             "taxi_table",
-            &TaxiGenerator { seed, ..TaxiGenerator::default() }.generate(5_000),
+            &TaxiGenerator {
+                seed,
+                ..TaxiGenerator::default()
+            }
+            .generate(5_000),
             "main",
         )?;
     }

@@ -45,9 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let report = lh.run(&project, &RunOptions::default())?;
     println!(
         "run {} materialized {:?} in {:?} simulated",
-        report.run_id,
-        report.artifact_rows,
-        report.simulated_total
+        report.run_id, report.artifact_rows, report.simulated_total
     );
 
     // 5. The artifact is now a first-class table on main.

@@ -52,8 +52,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Bottom layer: physical plans under both executors ------------------
     for mode in [ExecutionMode::Naive, ExecutionMode::Fused] {
-        let physical =
-            PhysicalPipeline::compile(&logical, &dag, mode, 32 << 30, |_| 512 << 20)?;
+        let physical = PhysicalPipeline::compile(&logical, &dag, mode, 32 << 30, |_| 512 << 20)?;
         println!("{}", physical.display());
     }
 

@@ -33,10 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Run the pipeline, then append more data and run again.
     let run1 = lh.run(&PipelineProject::taxi_example(), &RunOptions::default())?;
-    println!(
-        "run 1 trips rows: {}",
-        run1.artifact_rows["trips"]
-    );
+    println!("run 1 trips rows: {}", run1.artifact_rows["trips"]);
 
     let more = TaxiGenerator {
         seed: 777,

@@ -48,7 +48,10 @@ fn main() {
     let model = CostModel::default();
     let share = cost_fraction_at_percentile(&history, &model, 0.8);
     println!("design partner:");
-    println!("  p80 bytes scanned: {:.0} MB (paper: ~750 MB)", p80_bytes / 1e6);
+    println!(
+        "  p80 bytes scanned: {:.0} MB (paper: ~750 MB)",
+        p80_bytes / 1e6
+    );
     println!(
         "  bottom-80% share of credits: {:.1}% (paper: ~80%)",
         share * 100.0

@@ -1,0 +1,212 @@
+//! Concurrency correctness of the parallel scan pipeline and metadata cache:
+//!
+//! * a parallel scan is byte-identical (values AND order) to a serial scan,
+//!   with predicates and projection, on a partitioned multi-file table;
+//! * `CachedStore` serves identical bytes across evictions and invalidations;
+//! * one `LakehouseProvider` survives 8 concurrent queries;
+//! * the `sql/parallel.rs` morsel operators are bounded by `threads` and
+//!   agree with serial execution.
+
+use bauplan_core::{Lakehouse, LakehouseConfig};
+use lakehouse_columnar::kernels::CmpOp;
+use lakehouse_columnar::{Column, DataType, Field, RecordBatch, Schema, Value};
+use lakehouse_store::{CachedStore, InMemoryStore, LatencyModel, ObjectStore, SimulatedStore};
+use lakehouse_table::{PartitionSpec, ScanPredicate, SnapshotOperation, Table};
+use lakehouse_workload::TaxiGenerator;
+use std::sync::Arc;
+
+fn multi_file_table(store: &Arc<dyn ObjectStore>, files: usize, rows_per_file: usize) -> Table {
+    let schema = Schema::new(vec![
+        Field::new("bucket", DataType::Utf8, false),
+        Field::new("v", DataType::Int64, false),
+    ]);
+    let buckets: Vec<String> = (0..files)
+        .flat_map(|f| std::iter::repeat_n(format!("b{f:02}"), rows_per_file))
+        .collect();
+    let values: Vec<i64> = (0..(files * rows_per_file) as i64).collect();
+    let batch = RecordBatch::try_new(
+        schema.clone(),
+        vec![
+            Column::from_strs(buckets.iter().map(String::as_str).collect()),
+            Column::from_i64(values),
+        ],
+    )
+    .unwrap();
+    let t = Table::create(
+        Arc::clone(store),
+        "wh/conc",
+        &schema,
+        PartitionSpec::identity("bucket"),
+    )
+    .unwrap();
+    let mut tx = t.new_transaction(SnapshotOperation::Append);
+    tx.write(&batch).unwrap();
+    let (loc, _) = tx.commit().unwrap();
+    Table::load(Arc::clone(store), &loc).unwrap()
+}
+
+#[test]
+fn parallel_scan_is_byte_identical_to_serial() {
+    let store: Arc<dyn ObjectStore> = Arc::new(InMemoryStore::new());
+    let t = multi_file_table(&store, 16, 500);
+    let run = |par: usize| {
+        t.scan()
+            .with_parallelism(par)
+            .with_predicate(ScanPredicate::new("v", CmpOp::Lt, Value::Int64(7_000)))
+            .select(&["v", "bucket"])
+            .execute()
+            .unwrap()
+    };
+    let serial = run(1);
+    assert!(serial.num_rows() > 0);
+    for par in [2, 3, 8, 16, 64] {
+        let parallel = run(par);
+        assert_eq!(serial.schema(), parallel.schema());
+        assert_eq!(serial, parallel, "parallelism {par} changed rows or order");
+    }
+}
+
+#[test]
+fn parallel_scan_identical_under_cache_and_latency() {
+    // Full stack: cache over simulated latency, repeated queries.
+    let sim = SimulatedStore::new(InMemoryStore::new(), LatencyModel::s3_like());
+    let store: Arc<dyn ObjectStore> = Arc::new(CachedStore::new(sim, 1 << 20));
+    let t = multi_file_table(&store, 12, 200);
+    let serial = t.scan().with_parallelism(1).execute().unwrap();
+    for _ in 0..3 {
+        let parallel = t.scan().with_parallelism(8).execute().unwrap();
+        assert_eq!(serial, parallel);
+    }
+}
+
+#[test]
+fn cached_store_identical_bytes_after_eviction() {
+    // A cache far smaller than the table forces continuous eviction; every
+    // read must still return exactly what the backing store holds.
+    let backing = InMemoryStore::new();
+    let cached = CachedStore::new(backing, 2_048).with_max_entry_bytes(1_024);
+    let paths: Vec<_> = (0..32)
+        .map(|i| lakehouse_store::ObjectPath::new(format!("obj/{i}")).unwrap())
+        .collect();
+    for (i, p) in paths.iter().enumerate() {
+        cached
+            .put(p, bytes::Bytes::from(vec![i as u8; 100 + i]))
+            .unwrap();
+    }
+    // Two passes in opposite directions: whole gets and ranged gets.
+    for (i, p) in paths.iter().enumerate() {
+        assert_eq!(
+            cached.get(p).unwrap(),
+            bytes::Bytes::from(vec![i as u8; 100 + i])
+        );
+    }
+    for (i, p) in paths.iter().enumerate().rev() {
+        assert_eq!(
+            cached.get_range(p, 10, 50).unwrap(),
+            bytes::Bytes::from(vec![i as u8; 40])
+        );
+    }
+    let m = cached.store_metrics().unwrap();
+    assert!(m.cache_misses() > 0, "tiny cache must evict");
+}
+
+#[test]
+fn eight_concurrent_queries_through_one_provider() {
+    let config = LakehouseConfig {
+        scan_parallelism: 4,
+        metadata_cache_bytes: 8 << 20,
+        sql_parallelism: 2,
+        ..LakehouseConfig::default()
+    };
+    let lh = Arc::new(Lakehouse::in_memory(config).unwrap());
+    lh.create_table("taxi", &TaxiGenerator::default().generate(10_000), "main")
+        .unwrap();
+    let expected = lh
+        .query(
+            "SELECT COUNT(*) AS n, AVG(fare) AS f FROM taxi WHERE fare > 5.0",
+            "main",
+        )
+        .unwrap();
+
+    let results: Vec<RecordBatch> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let lh = Arc::clone(&lh);
+                scope.spawn(move || {
+                    lh.query(
+                        "SELECT COUNT(*) AS n, AVG(fare) AS f FROM taxi WHERE fare > 5.0",
+                        "main",
+                    )
+                    .unwrap()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for r in results {
+        assert_eq!(r, expected);
+    }
+}
+
+#[test]
+fn lakehouse_query_with_cache_and_parallelism_matches_default() {
+    let mk = |config: LakehouseConfig| {
+        let lh = Lakehouse::in_memory(config).unwrap();
+        lh.create_table("taxi", &TaxiGenerator::default().generate(5_000), "main")
+            .unwrap();
+        lh.query(
+            "SELECT pickup_location_id, COUNT(*) AS n FROM taxi \
+             WHERE fare > 10.0 GROUP BY pickup_location_id ORDER BY pickup_location_id",
+            "main",
+        )
+        .unwrap()
+    };
+    let baseline = mk(LakehouseConfig::default());
+    let tuned = mk(LakehouseConfig {
+        scan_parallelism: 8,
+        metadata_cache_bytes: 16 << 20,
+        ..LakehouseConfig::default()
+    });
+    assert_eq!(baseline, tuned);
+}
+
+#[test]
+fn repeated_query_hits_metadata_cache() {
+    let lh = Lakehouse::in_memory(LakehouseConfig {
+        metadata_cache_bytes: 16 << 20,
+        ..LakehouseConfig::default()
+    })
+    .unwrap();
+    lh.create_table("taxi", &TaxiGenerator::default().generate(2_000), "main")
+        .unwrap();
+    let m = lh.store_metrics();
+    lh.query("SELECT COUNT(*) AS n FROM taxi", "main").unwrap();
+    let (h0, m0) = (m.cache_hits(), m.cache_misses());
+    lh.query("SELECT COUNT(*) AS n FROM taxi", "main").unwrap();
+    let (hits, misses) = (m.cache_hits() - h0, m.cache_misses() - m0);
+    let rate = hits as f64 / (hits + misses).max(1) as f64;
+    assert!(
+        rate >= 0.9,
+        "repeated query should be >=90% cache hits, got {rate} ({hits}/{misses})"
+    );
+}
+
+#[test]
+fn morsel_parallelism_bounded_and_correct() {
+    // The pool helper is what routes SQL morsels; verify the bound holds at
+    // a morsel count far above `threads` and that outputs stay ordered.
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let live = AtomicUsize::new(0);
+    let peak = AtomicUsize::new(0);
+    let items: Vec<usize> = (0..256).collect();
+    let out = lakehouse_columnar::pool::map_indexed(4, &items, |i, &x| {
+        let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+        peak.fetch_max(now, Ordering::SeqCst);
+        std::thread::sleep(std::time::Duration::from_micros(200));
+        live.fetch_sub(1, Ordering::SeqCst);
+        assert_eq!(i, x);
+        x * 3
+    });
+    assert!(peak.load(Ordering::SeqCst) <= 4);
+    assert_eq!(out, (0..256).map(|x| x * 3).collect::<Vec<_>>());
+}

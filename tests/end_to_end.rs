@@ -61,7 +61,10 @@ fn five_node_diamond_pipeline() {
     assert!(report.success);
     assert_eq!(report.artifact_rows.len(), 4); // all but the expectation
     let out = lh
-        .query("SELECT zone, pickups, dropoffs FROM hotspots LIMIT 3", "main")
+        .query(
+            "SELECT zone, pickups, dropoffs FROM hotspots LIMIT 3",
+            "main",
+        )
         .unwrap();
     assert!(out.num_rows() >= 1);
 }
@@ -148,9 +151,7 @@ fn schema_evolution_between_runs() {
     .unwrap();
     let r2 = lh.run(&project, &RunOptions::default()).unwrap();
     assert!(r2.success);
-    let out = lh
-        .query("SELECT COUNT(*) AS n FROM fares", "main")
-        .unwrap();
+    let out = lh.query("SELECT COUNT(*) AS n FROM fares", "main").unwrap();
     assert!(out.row(0).unwrap()[0].as_i64().unwrap() > 0);
 }
 
@@ -160,10 +161,7 @@ fn replay_reproduces_bit_identical_artifacts() {
     lh.register_function("hotspots_check", builtins::min_row_count("hotspots", 1));
     let r1 = lh.run(&diamond_project(), &RunOptions::default()).unwrap();
     let original = lh
-        .query(
-            "SELECT * FROM hotspots ORDER BY pickups DESC, zone",
-            "main",
-        )
+        .query("SELECT * FROM hotspots ORDER BY pickups DESC, zone", "main")
         .unwrap();
     // Disturb the lake, then replay.
     lh.append_table(
@@ -201,11 +199,10 @@ fn expectation_on_intermediate_blocks_downstream_materialization() {
             Requirements::default(),
             "always_fail",
         ))
-        .with(NodeDef::sql(
-            "summary",
-            "SELECT COUNT(*) AS n FROM trips",
-        ));
-    lh.register_function("always_fail", |_: &FnContext| Ok(FnOutput::Expectation(false)));
+        .with(NodeDef::sql("summary", "SELECT COUNT(*) AS n FROM trips"));
+    lh.register_function("always_fail", |_: &FnContext| {
+        Ok(FnOutput::Expectation(false))
+    });
     let err = lh.run(&project, &RunOptions::default()).unwrap_err();
     assert!(err.to_string().contains("expectation"));
     assert!(lh.query("SELECT * FROM summary", "main").is_err());
@@ -215,10 +212,8 @@ fn expectation_on_intermediate_blocks_downstream_materialization() {
 #[test]
 fn run_registry_tracks_every_run() {
     let lh = lakehouse();
-    let project = PipelineProject::new("p").with(NodeDef::sql(
-        "t",
-        "SELECT fare FROM taxi_table LIMIT 10",
-    ));
+    let project =
+        PipelineProject::new("p").with(NodeDef::sql("t", "SELECT fare FROM taxi_table LIMIT 10"));
     assert_eq!(lh.run_count(), 0);
     lh.run(&project, &RunOptions::default()).unwrap();
     lh.run(&project, &RunOptions::default()).unwrap();

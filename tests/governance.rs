@@ -58,7 +58,10 @@ fn engineer_workflow_respects_policy() {
     // A deployer promotes instead.
     let bot = Principal::new("orchestrator", vec!["deployer"]);
     lh.merge_as(&bot, "feat_1", "main").unwrap();
-    assert!(lh.list_tables("main").unwrap().contains(&"pickups".to_string()));
+    assert!(lh
+        .list_tables("main")
+        .unwrap()
+        .contains(&"pickups".to_string()));
 }
 
 #[test]
@@ -86,7 +89,9 @@ fn unauthenticated_api_still_works_without_policy() {
     // authenticated one both work — "seamless" for single users.
     let lh = lakehouse();
     let anyone = Principal::new("anyone", vec![]);
-    assert!(lh.query("SELECT COUNT(*) AS n FROM taxi_table", "main").is_ok());
+    assert!(lh
+        .query("SELECT COUNT(*) AS n FROM taxi_table", "main")
+        .is_ok());
     assert!(lh
         .query_as(&anyone, "SELECT COUNT(*) AS n FROM taxi_table", "main")
         .is_ok());

@@ -14,7 +14,8 @@ fn batch(vals: Vec<i64>) -> RecordBatch {
 
 fn lakehouse_with_fragmented_table() -> Lakehouse {
     let lh = Lakehouse::in_memory(LakehouseConfig::zero_latency()).unwrap();
-    lh.create_table("events", &batch(vec![1, 2]), "main").unwrap();
+    lh.create_table("events", &batch(vec![1, 2]), "main")
+        .unwrap();
     for i in 0..5 {
         lh.append_table("events", &batch(vec![10 + i, 20 + i]), "main")
             .unwrap();
@@ -45,11 +46,13 @@ fn compaction_reduces_scan_ops() {
     let lh = lakehouse_with_fragmented_table();
     let metrics = lh.store_metrics();
     metrics.reset();
-    lh.query("SELECT COUNT(*) AS n FROM events", "main").unwrap();
+    lh.query("SELECT COUNT(*) AS n FROM events", "main")
+        .unwrap();
     let gets_before = metrics.gets();
     lh.compact_table("events", "main").unwrap();
     metrics.reset();
-    lh.query("SELECT COUNT(*) AS n FROM events", "main").unwrap();
+    lh.query("SELECT COUNT(*) AS n FROM events", "main")
+        .unwrap();
     let gets_after = metrics.gets();
     assert!(
         gets_after < gets_before,
@@ -75,7 +78,9 @@ fn expiration_after_compaction_frees_files_but_keeps_current() {
     let report = lh.expire_table_snapshots("events", "main", 1).unwrap();
     assert!(report.snapshots_expired >= 5);
     assert!(report.data_files_deleted >= 5);
-    let out = lh.query("SELECT COUNT(*) AS n FROM events", "main").unwrap();
+    let out = lh
+        .query("SELECT COUNT(*) AS n FROM events", "main")
+        .unwrap();
     assert_eq!(out.row(0).unwrap()[0], Value::Int64(12));
 }
 

@@ -1,4 +1,4 @@
-//! Property-based tests (proptest) on the core invariants:
+//! Randomized property tests on the core invariants (seeded, deterministic):
 //!
 //! * file-format round trips for arbitrary batches;
 //! * zone-map pruning never produces false negatives;
@@ -6,99 +6,129 @@
 //! * SQL engine algebraic identities (filter conjunction order, limit
 //!   bounds, count consistency);
 //! * power-law fitting recovers parameters within tolerance.
+//!
+//! Previously written against proptest; the offline build vendors its own
+//! minimal dependency stand-ins, so these now drive the same properties
+//! from an explicit seeded RNG (fixed seeds keep failures reproducible).
 
 use lakehouse_columnar::kernels::CmpOp;
 use lakehouse_columnar::{Column, DataType, Field, RecordBatch, Schema, Value};
 use lakehouse_format::{ColumnStats, FileReader, FileWriter, WriterOptions};
 use lakehouse_sql::{MemoryProvider, SqlEngine};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 // ---- generators -------------------------------------------------------------
 
-fn arb_value_i64() -> impl Strategy<Value = Option<i64>> {
-    prop_oneof![
-        3 => any::<i64>().prop_map(Some),
-        1 => Just(None),
-    ]
+fn arb_opt_i64(rng: &mut StdRng) -> Option<i64> {
+    if rng.gen_bool(0.25) {
+        None
+    } else {
+        Some(rng.gen_range(i64::MIN..=i64::MAX))
+    }
 }
 
-fn arb_batch() -> impl Strategy<Value = RecordBatch> {
-    (1usize..200).prop_flat_map(|n| {
-        (
-            proptest::collection::vec(arb_value_i64(), n),
-            proptest::collection::vec(any::<f64>(), n),
-            proptest::collection::vec("[a-z]{0,8}", n),
-        )
-            .prop_map(|(ints, floats, strings)| {
-                RecordBatch::try_new(
-                    Schema::new(vec![
-                        Field::new("i", DataType::Int64, true),
-                        Field::new("f", DataType::Float64, false),
-                        Field::new("s", DataType::Utf8, false),
-                    ]),
-                    vec![
-                        Column::from_opt_i64(ints),
-                        Column::from_f64(floats),
-                        Column::from_str_vec(strings),
-                    ],
-                )
-                .expect("valid batch")
-            })
-    })
+fn arb_word(rng: &mut StdRng, max_len: usize) -> String {
+    let len = rng.gen_range(0..=max_len);
+    (0..len)
+        .map(|_| (b'a' + rng.gen_range(0..26u8)) as char)
+        .collect()
+}
+
+fn arb_batch(rng: &mut StdRng) -> RecordBatch {
+    let n = rng.gen_range(1..200usize);
+    let ints: Vec<Option<i64>> = (0..n).map(|_| arb_opt_i64(rng)).collect();
+    let floats: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0e6..1.0e6)).collect();
+    let strings: Vec<String> = (0..n).map(|_| arb_word(rng, 8)).collect();
+    RecordBatch::try_new(
+        Schema::new(vec![
+            Field::new("i", DataType::Int64, true),
+            Field::new("f", DataType::Float64, false),
+            Field::new("s", DataType::Utf8, false),
+        ]),
+        vec![
+            Column::from_opt_i64(ints),
+            Column::from_f64(floats),
+            Column::from_str_vec(strings),
+        ],
+    )
+    .expect("valid batch")
 }
 
 // ---- format round trip -------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn format_round_trip_preserves_batches(batch in arb_batch(), group_rows in 1usize..64) {
-        let bytes = FileWriter::write_file(&batch, WriterOptions { row_group_rows: group_rows })
-            .expect("write");
+#[test]
+fn format_round_trip_preserves_batches() {
+    let mut rng = StdRng::seed_from_u64(0xF0F0);
+    for _ in 0..64 {
+        let batch = arb_batch(&mut rng);
+        let group_rows = rng.gen_range(1..64usize);
+        let bytes = FileWriter::write_file(
+            &batch,
+            WriterOptions {
+                row_group_rows: group_rows,
+            },
+        )
+        .expect("write");
         let reader = FileReader::parse(bytes).expect("parse");
         let back = reader.read_all(None).expect("read");
         // Semantic equality: an all-valid bitmap may normalize to "no
         // bitmap" through the writer's row-group assembly, which is the
         // same logical column.
-        prop_assert_eq!(back.schema(), batch.schema());
-        prop_assert_eq!(back.num_rows(), batch.num_rows());
+        assert_eq!(back.schema(), batch.schema());
+        assert_eq!(back.num_rows(), batch.num_rows());
         for row in 0..batch.num_rows() {
-            prop_assert_eq!(back.row(row).unwrap(), batch.row(row).unwrap());
+            assert_eq!(back.row(row).unwrap(), batch.row(row).unwrap());
         }
     }
+}
 
-    #[test]
-    fn zone_maps_never_false_negative(
-        values in proptest::collection::vec(-1000i64..1000, 1..100),
-        literal in -1000i64..1000,
-    ) {
+#[test]
+fn zone_maps_never_false_negative() {
+    let mut rng = StdRng::seed_from_u64(0x2A2A);
+    for _ in 0..64 {
+        let n = rng.gen_range(1..100usize);
+        let values: Vec<i64> = (0..n).map(|_| rng.gen_range(-1000..1000i64)).collect();
+        let literal = rng.gen_range(-1000..1000i64);
         let col = Column::from_i64(values.clone());
         let stats = ColumnStats::from_column(&col);
-        for op in [CmpOp::Eq, CmpOp::NotEq, CmpOp::Lt, CmpOp::LtEq, CmpOp::Gt, CmpOp::GtEq] {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::NotEq,
+            CmpOp::Lt,
+            CmpOp::LtEq,
+            CmpOp::Gt,
+            CmpOp::GtEq,
+        ] {
             let any_match = values.iter().any(|&v| op.matches(v.cmp(&literal)));
             if any_match {
                 // If a row matches, the stats must say "maybe".
-                prop_assert!(
+                assert!(
                     stats.may_match(op, &Value::Int64(literal)),
                     "false negative for {op:?} {literal}"
                 );
             }
         }
     }
+}
 
-    #[test]
-    fn file_pruning_preserves_query_results(
-        values in proptest::collection::vec(0i64..500, 10..200),
-        threshold in 0i64..500,
-    ) {
+#[test]
+fn file_pruning_preserves_query_results() {
+    let mut rng = StdRng::seed_from_u64(0x9999);
+    for _ in 0..64 {
+        let n = rng.gen_range(10..200usize);
+        let values: Vec<i64> = (0..n).map(|_| rng.gen_range(0..500i64)).collect();
+        let threshold = rng.gen_range(0..500i64);
         let batch = RecordBatch::try_new(
             Schema::new(vec![Field::new("x", DataType::Int64, false)]),
             vec![Column::from_i64(values.clone())],
-        ).unwrap();
+        )
+        .unwrap();
         let bytes = FileWriter::write_file(&batch, WriterOptions { row_group_rows: 16 }).unwrap();
         let reader = FileReader::parse(bytes).unwrap();
-        let groups = reader.prune("x", CmpOp::Gt, &Value::Int64(threshold)).unwrap();
+        let groups = reader
+            .prune("x", CmpOp::Gt, &Value::Int64(threshold))
+            .unwrap();
         let pruned = reader.read_groups(&groups, None).unwrap();
         // Count of matching rows must be identical to the in-memory answer.
         let expected = values.iter().filter(|&&v| v > threshold).count();
@@ -108,17 +138,18 @@ proptest! {
                 got += 1;
             }
         }
-        prop_assert_eq!(got, expected);
+        assert_eq!(got, expected);
     }
 }
 
 // ---- SQL identities -----------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn sql_limit_bounds_and_count(batch in arb_batch(), limit in 0usize..50) {
+#[test]
+fn sql_limit_bounds_and_count() {
+    let mut rng = StdRng::seed_from_u64(0x11E5);
+    for _ in 0..32 {
+        let batch = arb_batch(&mut rng);
+        let limit = rng.gen_range(0..50usize);
         let mut provider = MemoryProvider::new();
         let n = batch.num_rows();
         provider.register("t", batch);
@@ -126,29 +157,47 @@ proptest! {
         let limited = engine
             .query(&format!("SELECT * FROM t LIMIT {limit}"), &provider)
             .unwrap();
-        prop_assert!(limited.num_rows() <= limit);
-        prop_assert!(limited.num_rows() <= n);
-        let count = engine.query("SELECT COUNT(*) AS n FROM t", &provider).unwrap();
-        prop_assert_eq!(count.row(0).unwrap()[0].clone(), Value::Int64(n as i64));
+        assert!(limited.num_rows() <= limit);
+        assert!(limited.num_rows() <= n);
+        let count = engine
+            .query("SELECT COUNT(*) AS n FROM t", &provider)
+            .unwrap();
+        assert_eq!(count.row(0).unwrap()[0].clone(), Value::Int64(n as i64));
     }
+}
 
-    #[test]
-    fn sql_filter_conjunction_commutes(batch in arb_batch(), lo in -100i64..100, hi in -100i64..100) {
+#[test]
+fn sql_filter_conjunction_commutes() {
+    let mut rng = StdRng::seed_from_u64(0xC04);
+    for _ in 0..32 {
+        let batch = arb_batch(&mut rng);
+        let lo = rng.gen_range(-100..100i64);
+        let hi = rng.gen_range(-100..100i64);
         let mut provider = MemoryProvider::new();
         provider.register("t", batch);
         let engine = SqlEngine::new();
         let a = engine
-            .query(&format!("SELECT COUNT(*) AS n FROM t WHERE i >= {lo} AND i <= {hi}"), &provider)
+            .query(
+                &format!("SELECT COUNT(*) AS n FROM t WHERE i >= {lo} AND i <= {hi}"),
+                &provider,
+            )
             .unwrap();
         let b = engine
-            .query(&format!("SELECT COUNT(*) AS n FROM t WHERE i <= {hi} AND i >= {lo}"), &provider)
+            .query(
+                &format!("SELECT COUNT(*) AS n FROM t WHERE i <= {hi} AND i >= {lo}"),
+                &provider,
+            )
             .unwrap();
-        prop_assert_eq!(a.row(0).unwrap(), b.row(0).unwrap());
+        assert_eq!(a.row(0).unwrap(), b.row(0).unwrap());
     }
+}
 
-    #[test]
-    fn sql_where_partitions_rows(batch in arb_batch(), pivot in any::<f64>()) {
-        prop_assume!(pivot.is_finite());
+#[test]
+fn sql_where_partitions_rows() {
+    let mut rng = StdRng::seed_from_u64(0x9A37);
+    for _ in 0..32 {
+        let batch = arb_batch(&mut rng);
+        let pivot = rng.gen_range(-2.0e6..2.0e6);
         let mut provider = MemoryProvider::new();
         let n = batch.num_rows() as i64;
         provider.register("t", batch);
@@ -158,167 +207,205 @@ proptest! {
                 .as_i64()
                 .unwrap()
         };
-        // f is non-null, so <= pivot and > pivot partition all rows exactly
-        // (NaNs excluded by assume-finite comparisons semantics of total_cmp
-        // may differ; restrict to finite pivot and rely on IEEE comparisons).
+        // f is non-null and finite, so <= pivot and > pivot partition all
+        // rows exactly.
         let le = take(&format!("SELECT COUNT(*) AS n FROM t WHERE f <= {pivot:e}"));
         let gt = take(&format!("SELECT COUNT(*) AS n FROM t WHERE f > {pivot:e}"));
-        prop_assert_eq!(le + gt, n);
+        assert_eq!(le + gt, n);
     }
 }
 
 // ---- workload fitting ----------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
-
-    #[test]
-    fn power_law_fit_recovers_alpha(
-        alpha in 1.6f64..3.0,
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn power_law_fit_recovers_alpha() {
+    let mut rng = StdRng::seed_from_u64(0xA1FA);
+    for _ in 0..8 {
+        let alpha = rng.gen_range(1.6..3.0);
+        let seed = rng.gen_range(0..1000u64);
         let data = lakehouse_workload::sample_power_law(8_000, alpha, 1.0, seed);
         let fit = lakehouse_workload::fit_power_law(&data).expect("fit");
-        prop_assert!(
+        assert!(
             (fit.alpha - alpha).abs() < 0.35,
-            "alpha {} vs true {}", fit.alpha, alpha
+            "alpha {} vs true {}",
+            fit.alpha,
+            alpha
         );
     }
 }
 
 // ---- catalog merge invariants ----------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn catalog_merge_applies_exactly_source_changes(
-        feat_tables in proptest::collection::btree_set("[a-e]", 0..4),
-        main_tables in proptest::collection::btree_set("[f-j]", 0..4),
-    ) {
-        use lakehouse_catalog::{Catalog, ContentRef, Operation};
-        use lakehouse_store::InMemoryStore;
-        use std::sync::Arc;
+#[test]
+fn catalog_merge_applies_exactly_source_changes() {
+    use lakehouse_catalog::{Catalog, ContentRef, Operation};
+    use lakehouse_store::InMemoryStore;
+    use std::collections::BTreeSet;
+    use std::sync::Arc;
+    let mut rng = StdRng::seed_from_u64(0xCA7A);
+    for _ in 0..32 {
+        let feat_tables: BTreeSet<String> = (0..rng.gen_range(0..4usize))
+            .map(|_| ((b'a' + rng.gen_range(0..5u8)) as char).to_string())
+            .collect();
+        let main_tables: BTreeSet<String> = (0..rng.gen_range(0..4usize))
+            .map(|_| ((b'f' + rng.gen_range(0..5u8)) as char).to_string())
+            .collect();
         let catalog = Catalog::init(Arc::new(InMemoryStore::new()), "_c").unwrap();
-        catalog.commit("main", "t", "base", vec![Operation::Put {
-            key: "base".into(),
-            content: ContentRef::new("m0", 0),
-        }]).unwrap();
+        catalog
+            .commit(
+                "main",
+                "t",
+                "base",
+                vec![Operation::Put {
+                    key: "base".into(),
+                    content: ContentRef::new("m0", 0),
+                }],
+            )
+            .unwrap();
         catalog.create_branch("feat", Some("main")).unwrap();
         for t in &feat_tables {
-            catalog.commit("feat", "t", "feat", vec![Operation::Put {
-                key: t.clone(),
-                content: ContentRef::new("mf", 1),
-            }]).unwrap();
+            catalog
+                .commit(
+                    "feat",
+                    "t",
+                    "feat",
+                    vec![Operation::Put {
+                        key: t.clone(),
+                        content: ContentRef::new("mf", 1),
+                    }],
+                )
+                .unwrap();
         }
         for t in &main_tables {
-            catalog.commit("main", "t", "main", vec![Operation::Put {
-                key: t.clone(),
-                content: ContentRef::new("mm", 2),
-            }]).unwrap();
+            catalog
+                .commit(
+                    "main",
+                    "t",
+                    "main",
+                    vec![Operation::Put {
+                        key: t.clone(),
+                        content: ContentRef::new("mm", 2),
+                    }],
+                )
+                .unwrap();
         }
         // Disjoint key ranges: merge always succeeds.
         catalog.merge("feat", "main", "t").unwrap();
         let state = catalog.state_at("main").unwrap();
-        prop_assert_eq!(state.len(), 1 + feat_tables.len() + main_tables.len());
-        for t in &feat_tables {
-            prop_assert!(state.get(t).is_some());
-        }
-        for t in &main_tables {
-            prop_assert!(state.get(t).is_some());
+        assert_eq!(state.len(), 1 + feat_tables.len() + main_tables.len());
+        for t in feat_tables.iter().chain(&main_tables) {
+            assert!(state.get(t).is_some());
         }
     }
 }
 
 // ---- parser robustness -----------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// The SQL parser must never panic: any input yields Ok or a structured
-    /// error.
-    #[test]
-    fn parser_never_panics_on_arbitrary_input(input in "\\PC{0,120}") {
+/// The SQL parser must never panic: any input yields Ok or a structured
+/// error.
+#[test]
+fn parser_never_panics_on_arbitrary_input() {
+    let mut rng = StdRng::seed_from_u64(0x5EED);
+    for _ in 0..256 {
+        let len = rng.gen_range(0..120usize);
+        let input: String = (0..len)
+            .map(|_| {
+                // Mix ASCII printables with a sprinkling of wider unicode.
+                if rng.gen_bool(0.9) {
+                    (rng.gen_range(0x20..0x7fu32)) as u8 as char
+                } else {
+                    char::from_u32(rng.gen_range(0xA0..0x2FFFu32)).unwrap_or('¿')
+                }
+            })
+            .collect();
         let _ = lakehouse_sql::parse_select(&input);
     }
+}
 
-    /// SQL-looking garbage (keywords in random order) also never panics.
-    #[test]
-    fn parser_never_panics_on_keyword_soup(
-        words in proptest::collection::vec(
-            prop_oneof![
-                Just("SELECT"), Just("FROM"), Just("WHERE"), Just("GROUP"),
-                Just("BY"), Just("ORDER"), Just("JOIN"), Just("ON"),
-                Just("AND"), Just("OR"), Just("NOT"), Just("("), Just(")"),
-                Just(","), Just("*"), Just("t"), Just("x"), Just("1"),
-                Just("'s'"), Just("="), Just("<"), Just("CASE"), Just("WHEN"),
-                Just("END"), Just("NULL"), Just("LIMIT"),
-            ],
-            0..25,
-        )
-    ) {
-        let sql = words.join(" ");
+/// SQL-looking garbage (keywords in random order) also never panics.
+#[test]
+fn parser_never_panics_on_keyword_soup() {
+    const WORDS: &[&str] = &[
+        "SELECT", "FROM", "WHERE", "GROUP", "BY", "ORDER", "JOIN", "ON", "AND", "OR", "NOT", "(",
+        ")", ",", "*", "t", "x", "1", "'s'", "=", "<", "CASE", "WHEN", "END", "NULL", "LIMIT",
+    ];
+    let mut rng = StdRng::seed_from_u64(0x50FB);
+    for _ in 0..256 {
+        let n = rng.gen_range(0..25usize);
+        let sql = (0..n)
+            .map(|_| WORDS[rng.gen_range(0..WORDS.len())])
+            .collect::<Vec<_>>()
+            .join(" ");
         let _ = lakehouse_sql::parse_select(&sql);
     }
+}
 
-    /// Valid generated queries round-trip through the engine without panics.
-    #[test]
-    fn generated_filters_never_panic(
-        lo in -50i64..50,
-        hi in -50i64..50,
-        limit in 0usize..20,
-    ) {
+/// Valid generated queries round-trip through the engine without panics.
+#[test]
+fn generated_filters_never_panic() {
+    let mut rng = StdRng::seed_from_u64(0xF117);
+    for _ in 0..64 {
+        let lo = rng.gen_range(-50..50i64);
+        let hi = rng.gen_range(-50..50i64);
+        let limit = rng.gen_range(0..20usize);
         let mut provider = MemoryProvider::new();
         provider.register(
             "t",
             RecordBatch::try_new(
                 Schema::new(vec![Field::new("i", DataType::Int64, true)]),
                 vec![Column::from_opt_i64(
-                    (0..40).map(|x| if x % 7 == 0 { None } else { Some(x - 20) }).collect(),
+                    (0..40)
+                        .map(|x| if x % 7 == 0 { None } else { Some(x - 20) })
+                        .collect(),
                 )],
             )
             .unwrap(),
         );
         let engine = SqlEngine::new();
-        let sql = format!(
-            "SELECT i FROM t WHERE i BETWEEN {lo} AND {hi} ORDER BY i DESC LIMIT {limit}"
-        );
+        let sql =
+            format!("SELECT i FROM t WHERE i BETWEEN {lo} AND {hi} ORDER BY i DESC LIMIT {limit}");
         let out = engine.query(&sql, &provider).unwrap();
-        prop_assert!(out.num_rows() <= limit.max(0));
+        assert!(out.num_rows() <= limit);
         // All results within bounds.
         for r in 0..out.num_rows() {
             let v = out.row(r).unwrap()[0].as_i64().unwrap();
-            prop_assert!(v >= lo && v <= hi);
+            assert!(v >= lo && v <= hi);
         }
     }
+}
 
-    /// CSV round trip is lossless for text-free-of-control-chars batches.
-    #[test]
-    fn csv_round_trip_property(
-        ints in proptest::collection::vec(proptest::option::of(any::<i64>()), 1..40),
-        words in proptest::collection::vec("[a-zA-Z0-9 ,\"]{0,12}", 1..40),
-    ) {
-        let n = ints.len().min(words.len());
+/// CSV round trip is lossless for text free of control characters.
+#[test]
+fn csv_round_trip_property() {
+    const CHARSET: &[u8] = b"abcXYZ019 ,\"";
+    let mut rng = StdRng::seed_from_u64(0xC57);
+    for _ in 0..64 {
+        let n = rng.gen_range(1..40usize);
+        let ints: Vec<Option<i64>> = (0..n).map(|_| arb_opt_i64(&mut rng)).collect();
+        let words: Vec<String> = (0..n)
+            .map(|_| {
+                let len = rng.gen_range(0..12usize);
+                // Empty strings read back as nulls in CSV (documented), so
+                // make every string non-empty.
+                let tail: String = (0..len)
+                    .map(|_| CHARSET[rng.gen_range(0..CHARSET.len())] as char)
+                    .collect();
+                format!("x{tail}")
+            })
+            .collect();
         let batch = RecordBatch::try_new(
             Schema::new(vec![
                 Field::new("i", DataType::Int64, true),
                 Field::new("s", DataType::Utf8, true),
             ]),
-            vec![
-                Column::from_opt_i64(ints[..n].to_vec()),
-                // Empty strings read back as nulls in CSV (documented), so
-                // make every string non-empty.
-                Column::from_str_vec(
-                    words[..n].iter().map(|w| format!("x{w}")).collect(),
-                ),
-            ],
+            vec![Column::from_opt_i64(ints), Column::from_str_vec(words)],
         )
         .unwrap();
         let text = lakehouse_columnar::csv::write_csv(&batch);
         let back = lakehouse_columnar::csv::read_csv(&text).unwrap();
-        prop_assert_eq!(back.num_rows(), batch.num_rows());
+        assert_eq!(back.num_rows(), batch.num_rows());
         for r in 0..batch.num_rows() {
-            prop_assert_eq!(back.row(r).unwrap(), batch.row(r).unwrap());
+            assert_eq!(back.row(r).unwrap(), batch.row(r).unwrap());
         }
     }
 }

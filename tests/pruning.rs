@@ -47,7 +47,8 @@ fn partition_pruning_reduces_bytes_read() {
 
     // Full scan baseline.
     metrics.reset();
-    lh.query("SELECT COUNT(*) AS n FROM trips_raw", "main").unwrap();
+    lh.query("SELECT COUNT(*) AS n FROM trips_raw", "main")
+        .unwrap();
     let full_bytes = metrics.bytes_read();
 
     // April-only query: the March partition file must not be fetched.
@@ -119,7 +120,9 @@ fn exact_results_despite_aggressive_pruning() {
             "main",
         )
         .unwrap();
-    let full = lh.query("SELECT pickup_at, fare FROM trips_raw", "main").unwrap();
+    let full = lh
+        .query("SELECT pickup_at, fare FROM trips_raw", "main")
+        .unwrap();
     let mut expected = 0i64;
     for row in 0..full.num_rows() {
         let r = full.row(row).unwrap();

@@ -109,7 +109,10 @@ fn concurrent_catalog_commits_all_land() {
     let state = catalog.state_at("main").unwrap();
     assert_eq!(state.len(), threads * per_thread);
     // History depth equals total commits.
-    assert_eq!(catalog.log("main", 1000).unwrap().len(), threads * per_thread);
+    assert_eq!(
+        catalog.log("main", 1000).unwrap().len(),
+        threads * per_thread
+    );
 }
 
 #[test]
@@ -131,7 +134,9 @@ fn concurrent_branch_creation_is_safe() {
         for t in 0..8 {
             let catalog = Arc::clone(&catalog);
             scope.spawn(move || {
-                catalog.create_branch(&format!("feat_{t}"), Some("main")).unwrap();
+                catalog
+                    .create_branch(&format!("feat_{t}"), Some("main"))
+                    .unwrap();
             });
         }
     });

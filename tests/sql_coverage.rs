@@ -73,7 +73,8 @@ fn lakehouse() -> Lakehouse {
 }
 
 fn q(lh: &Lakehouse, sql: &str) -> RecordBatch {
-    lh.query(sql, "main").unwrap_or_else(|e| panic!("query failed: {sql}\n{e}"))
+    lh.query(sql, "main")
+        .unwrap_or_else(|e| panic!("query failed: {sql}\n{e}"))
 }
 
 fn i(v: &Value) -> i64 {
@@ -87,7 +88,10 @@ fn f(v: &Value) -> f64 {
 #[test]
 fn scalar_expressions() {
     let lh = lakehouse();
-    let b = q(&lh, "SELECT 1 + 2 * 3 AS a, (1 + 2) * 3 AS b, 10 % 3 AS c, -7 / 2 AS d");
+    let b = q(
+        &lh,
+        "SELECT 1 + 2 * 3 AS a, (1 + 2) * 3 AS b, 10 % 3 AS c, -7 / 2 AS d",
+    );
     let row = b.row(0).unwrap();
     assert_eq!(i(&row[0]), 7);
     assert_eq!(i(&row[1]), 9);
@@ -99,11 +103,19 @@ fn scalar_expressions() {
 fn where_composites() {
     let lh = lakehouse();
     assert_eq!(
-        q(&lh, "SELECT * FROM employees WHERE salary >= 60.0 AND salary <= 100.0").num_rows(),
+        q(
+            &lh,
+            "SELECT * FROM employees WHERE salary >= 60.0 AND salary <= 100.0"
+        )
+        .num_rows(),
         5
     );
     assert_eq!(
-        q(&lh, "SELECT * FROM employees WHERE dept = 'eng' OR dept = 'ops'").num_rows(),
+        q(
+            &lh,
+            "SELECT * FROM employees WHERE dept = 'eng' OR dept = 'ops'"
+        )
+        .num_rows(),
         4
     );
     assert_eq!(
@@ -111,7 +123,11 @@ fn where_composites() {
         4
     );
     assert_eq!(
-        q(&lh, "SELECT * FROM employees WHERE salary BETWEEN 60.0 AND 80.0").num_rows(),
+        q(
+            &lh,
+            "SELECT * FROM employees WHERE salary BETWEEN 60.0 AND 80.0"
+        )
+        .num_rows(),
         4
     );
     assert_eq!(
@@ -119,7 +135,11 @@ fn where_composites() {
         3
     );
     assert_eq!(
-        q(&lh, "SELECT * FROM employees WHERE name NOT IN ('amy', 'gus')").num_rows(),
+        q(
+            &lh,
+            "SELECT * FROM employees WHERE name NOT IN ('amy', 'gus')"
+        )
+        .num_rows(),
         5
     );
 }
@@ -128,17 +148,29 @@ fn where_composites() {
 fn null_semantics() {
     let lh = lakehouse();
     // Comparisons with NULL never match.
-    assert_eq!(q(&lh, "SELECT * FROM employees WHERE bonus > 0").num_rows(), 6);
-    assert_eq!(q(&lh, "SELECT * FROM employees WHERE bonus IS NULL").num_rows(), 2);
+    assert_eq!(
+        q(&lh, "SELECT * FROM employees WHERE bonus > 0").num_rows(),
+        6
+    );
+    assert_eq!(
+        q(&lh, "SELECT * FROM employees WHERE bonus IS NULL").num_rows(),
+        2
+    );
     assert_eq!(
         q(&lh, "SELECT * FROM employees WHERE dept IS NOT NULL").num_rows(),
         7
     );
     // COALESCE fills.
-    let b = q(&lh, "SELECT SUM(COALESCE(bonus, 0)) AS total FROM employees");
+    let b = q(
+        &lh,
+        "SELECT SUM(COALESCE(bonus, 0)) AS total FROM employees",
+    );
     assert_eq!(i(&b.row(0).unwrap()[0]), 49);
     // NULL dept is its own group.
-    let b = q(&lh, "SELECT dept, COUNT(*) AS n FROM employees GROUP BY dept");
+    let b = q(
+        &lh,
+        "SELECT dept, COUNT(*) AS n FROM employees GROUP BY dept",
+    );
     assert_eq!(b.num_rows(), 4);
 }
 
@@ -194,7 +226,7 @@ fn join_shapes() {
     assert_eq!(b.num_rows(), 8);
     assert_eq!(b.row(4).unwrap()[1], Value::Null); // eve/ops
     assert_eq!(b.row(5).unwrap()[1], Value::Null); // fay/NULL
-    // Join + aggregate.
+                                                   // Join + aggregate.
     let b = q(
         &lh,
         "SELECT d.floor, COUNT(*) AS n FROM employees e JOIN depts d ON e.dept = d.dept \
@@ -214,7 +246,10 @@ fn distinct_and_limits() {
         q(&lh, "SELECT * FROM employees ORDER BY id LIMIT 3 OFFSET 6").num_rows(),
         2
     );
-    let b = q(&lh, "SELECT id FROM employees ORDER BY salary DESC, id ASC LIMIT 2");
+    let b = q(
+        &lh,
+        "SELECT id FROM employees ORDER BY salary DESC, id ASC LIMIT 2",
+    );
     assert_eq!(i(&b.row(0).unwrap()[0]), 7); // 120
     assert_eq!(i(&b.row(1).unwrap()[0]), 1); // 100
 }
@@ -258,11 +293,19 @@ fn date_filters() {
     let lh = lakehouse();
     // 1971-05-15 is day 499 since the epoch → hired on days 500..800 match.
     assert_eq!(
-        q(&lh, "SELECT * FROM employees WHERE hired >= DATE '1971-05-15'").num_rows(),
+        q(
+            &lh,
+            "SELECT * FROM employees WHERE hired >= DATE '1971-05-15'"
+        )
+        .num_rows(),
         4
     );
     assert_eq!(
-        q(&lh, "SELECT * FROM employees WHERE hired <= DATE '1970-04-11'").num_rows(),
+        q(
+            &lh,
+            "SELECT * FROM employees WHERE hired <= DATE '1970-04-11'"
+        )
+        .num_rows(),
         1 // only day 100 (1970-04-11 is day 100 since epoch, 0-based)
     );
 }
@@ -326,7 +369,10 @@ fn error_cases_are_errors_not_panics() {
 #[test]
 fn quoted_identifiers() {
     let lh = lakehouse();
-    let b = q(&lh, "SELECT \"name\" FROM employees WHERE \"salary\" > 100.0");
+    let b = q(
+        &lh,
+        "SELECT \"name\" FROM employees WHERE \"salary\" > 100.0",
+    );
     assert_eq!(b.num_rows(), 1);
 }
 

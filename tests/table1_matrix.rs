@@ -38,7 +38,10 @@ fn qw_dev_synchronous() {
 fn qw_prod_synchronous() {
     let lh = lakehouse();
     let out = lh
-        .query("SELECT COUNT(*) AS n FROM taxi_table WHERE fare > 10.0", "main")
+        .query(
+            "SELECT COUNT(*) AS n FROM taxi_table WHERE fare > 10.0",
+            "main",
+        )
         .unwrap();
     assert!(out.row(0).unwrap()[0].as_i64().unwrap() > 0);
 }
@@ -48,12 +51,21 @@ fn td_dev_synchronous() {
     let lh = lakehouse();
     lh.create_branch("dev", Some("main")).unwrap();
     let report = lh
-        .run(&PipelineProject::taxi_example(), &RunOptions::on_branch("dev"))
+        .run(
+            &PipelineProject::taxi_example(),
+            &RunOptions::on_branch("dev"),
+        )
         .unwrap();
     assert!(report.success);
-    assert!(lh.list_tables("dev").unwrap().contains(&"pickups".to_string()));
+    assert!(lh
+        .list_tables("dev")
+        .unwrap()
+        .contains(&"pickups".to_string()));
     // Production untouched by the dev run.
-    assert!(!lh.list_tables("main").unwrap().contains(&"pickups".to_string()));
+    assert!(!lh
+        .list_tables("main")
+        .unwrap()
+        .contains(&"pickups".to_string()));
 }
 
 #[test]
@@ -74,7 +86,10 @@ fn td_prod_asynchronous() {
     let handle = lh.run_async(PipelineProject::taxi_example(), RunOptions::default());
     let report = handle.wait().unwrap();
     assert!(report.success);
-    assert!(lh.list_tables("main").unwrap().contains(&"pickups".to_string()));
+    assert!(lh
+        .list_tables("main")
+        .unwrap()
+        .contains(&"pickups".to_string()));
 }
 
 #[test]
@@ -108,6 +123,12 @@ fn concurrent_async_runs_on_separate_branches() {
     );
     assert!(h1.wait().unwrap().success);
     assert!(h2.wait().unwrap().success);
-    assert!(lh.list_tables("dev_a").unwrap().contains(&"pickups".to_string()));
-    assert!(lh.list_tables("dev_b").unwrap().contains(&"pickups".to_string()));
+    assert!(lh
+        .list_tables("dev_a")
+        .unwrap()
+        .contains(&"pickups".to_string()));
+    assert!(lh
+        .list_tables("dev_b")
+        .unwrap()
+        .contains(&"pickups".to_string()));
 }

@@ -38,7 +38,10 @@ fn figure4_full_flow() {
     lh.create_branch("feat_1", Some("main")).unwrap();
     // 2-4. run executes in an ephemeral branch, merges on success, deletes it
     let report = lh
-        .run(&PipelineProject::taxi_example(), &RunOptions::on_branch("feat_1"))
+        .run(
+            &PipelineProject::taxi_example(),
+            &RunOptions::on_branch("feat_1"),
+        )
         .unwrap();
     assert!(report.success);
     let refs: Vec<String> = lh
@@ -52,10 +55,16 @@ fn figure4_full_flow() {
         "ephemeral branch should be deleted: {refs:?}"
     );
     // artifacts visible to "any user with branch access"
-    assert!(lh.list_tables("feat_1").unwrap().contains(&"trips".to_string()));
+    assert!(lh
+        .list_tables("feat_1")
+        .unwrap()
+        .contains(&"trips".to_string()));
     // final promote
     lh.merge("feat_1", "main").unwrap();
-    assert!(lh.list_tables("main").unwrap().contains(&"pickups".to_string()));
+    assert!(lh
+        .list_tables("main")
+        .unwrap()
+        .contains(&"pickups".to_string()));
 }
 
 #[test]
@@ -79,9 +88,11 @@ fn failed_audit_never_leaks_artifacts() {
 fn branches_are_isolated_until_merge() {
     let lh = lakehouse();
     lh.create_branch("feat_a", Some("main")).unwrap();
-    lh.create_table("a_only", &small_batch(1), "feat_a").unwrap();
+    lh.create_table("a_only", &small_batch(1), "feat_a")
+        .unwrap();
     lh.create_branch("feat_b", Some("main")).unwrap();
-    lh.create_table("b_only", &small_batch(2), "feat_b").unwrap();
+    lh.create_table("b_only", &small_batch(2), "feat_b")
+        .unwrap();
     assert!(lh.query("SELECT * FROM a_only", "feat_b").is_err());
     assert!(lh.query("SELECT * FROM b_only", "feat_a").is_err());
     assert!(lh.query("SELECT * FROM a_only", "main").is_err());
@@ -95,8 +106,10 @@ fn branches_are_isolated_until_merge() {
 fn conflicting_table_change_aborts_merge() {
     let lh = lakehouse();
     lh.create_branch("feat", Some("main")).unwrap();
-    lh.create_table("contested", &small_batch(1), "feat").unwrap();
-    lh.create_table("contested", &small_batch(2), "main").unwrap();
+    lh.create_table("contested", &small_batch(1), "feat")
+        .unwrap();
+    lh.create_table("contested", &small_batch(2), "main")
+        .unwrap();
     let err = lh.merge("feat", "main").unwrap_err();
     let msg = err.to_string();
     assert!(msg.contains("conflict"), "unexpected error: {msg}");
@@ -142,15 +155,27 @@ fn deterministic_rerun_same_data_same_artifacts() {
     let lh = lakehouse();
     lh.create_branch("a", Some("main")).unwrap();
     lh.create_branch("b", Some("main")).unwrap();
-    lh.run(&PipelineProject::taxi_example(), &RunOptions::on_branch("a"))
-        .unwrap();
-    lh.run(&PipelineProject::taxi_example(), &RunOptions::on_branch("b"))
-        .unwrap();
+    lh.run(
+        &PipelineProject::taxi_example(),
+        &RunOptions::on_branch("a"),
+    )
+    .unwrap();
+    lh.run(
+        &PipelineProject::taxi_example(),
+        &RunOptions::on_branch("b"),
+    )
+    .unwrap();
     let qa = lh
-        .query("SELECT * FROM pickups ORDER BY counts DESC, pickup_location_id, dropoff_location_id", "a")
+        .query(
+            "SELECT * FROM pickups ORDER BY counts DESC, pickup_location_id, dropoff_location_id",
+            "a",
+        )
         .unwrap();
     let qb = lh
-        .query("SELECT * FROM pickups ORDER BY counts DESC, pickup_location_id, dropoff_location_id", "b")
+        .query(
+            "SELECT * FROM pickups ORDER BY counts DESC, pickup_location_id, dropoff_location_id",
+            "b",
+        )
         .unwrap();
     assert_eq!(qa, qb);
 }

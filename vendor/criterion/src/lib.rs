@@ -1,0 +1,185 @@
+//! Minimal offline stand-in for `criterion`.
+//!
+//! Provides the API surface the workspace's benches use —
+//! [`Criterion::bench_function`], [`Bencher::iter`]/[`Bencher::iter_batched`],
+//! and the [`criterion_group!`]/[`criterion_main!`] macros — with a simple
+//! warmup-then-measure loop instead of criterion's statistical machinery.
+//! Results are printed as mean wall time per iteration.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// How much state `iter_batched` setup carries between iterations. The
+/// stand-in runs setup before every iteration regardless (setup time is
+/// excluded from the measurement either way), so the variants only matter
+/// for API compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Measures one benchmark target.
+pub struct Bencher {
+    iters: u64,
+    total: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` over enough iterations to smooth jitter.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One timed probe sizes the measurement loop.
+        let probe = Instant::now();
+        black_box(routine());
+        let per_iter = probe.elapsed().max(Duration::from_nanos(1));
+        let target = Duration::from_millis(200);
+        let n = (target.as_nanos() / per_iter.as_nanos()).clamp(1, 10_000) as u64;
+
+        for _ in 0..n.min(3) {
+            black_box(routine()); // warmup
+        }
+        let start = Instant::now();
+        for _ in 0..n {
+            black_box(routine());
+        }
+        self.total = start.elapsed();
+        self.iters = n;
+    }
+
+    /// Time `routine` with fresh, unmeasured input from `setup` each time.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let probe = Instant::now();
+        black_box(routine(input));
+        let per_iter = probe.elapsed().max(Duration::from_nanos(1));
+        let target = Duration::from_millis(200);
+        let n = (target.as_nanos() / per_iter.as_nanos()).clamp(1, 10_000) as u64;
+
+        let mut total = Duration::ZERO;
+        for _ in 0..n {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.total = total;
+        self.iters = n;
+    }
+}
+
+/// Benchmark registry/runner.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn new() -> Criterion {
+        Criterion::default()
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(name, f);
+        self
+    }
+
+    /// Open a named group of related benchmarks; the stand-in only uses the
+    /// group name as a prefix on each target's printed id.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.into() }
+    }
+}
+
+/// A named collection of benchmark targets (`group/target` ids).
+pub struct BenchmarkGroup {
+    name: String,
+}
+
+impl BenchmarkGroup {
+    /// Accepted for API compatibility; the stand-in sizes its own loop.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id.into()), f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, mut f: F) {
+    let mut b = Bencher {
+        iters: 0,
+        total: Duration::ZERO,
+    };
+    f(&mut b);
+    let mean_ns = if b.iters == 0 {
+        0
+    } else {
+        b.total.as_nanos() / b.iters as u128
+    };
+    println!(
+        "bench: {name:<40} {:>12} ns/iter  ({} iters)",
+        mean_ns, b.iters
+    );
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_counts() {
+        let mut c = Criterion::new();
+        let mut calls = 0u64;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn iter_batched_gets_fresh_input() {
+        let mut c = Criterion::new();
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u8, 2, 3],
+                |v| {
+                    assert_eq!(v.len(), 3);
+                    v.into_iter().map(u64::from).sum::<u64>()
+                },
+                BatchSize::PerIteration,
+            )
+        });
+    }
+}

@@ -1,0 +1,131 @@
+//! Minimal offline stand-in for `rand_distr`: the [`LogNormal`] and [`Zipf`]
+//! distributions this workspace samples from, plus the [`Distribution`]
+//! trait they implement.
+
+use rand::RngCore;
+use std::fmt;
+
+/// Types that can be sampled given a random source.
+pub trait Distribution<T> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Invalid distribution parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParamError(&'static str);
+
+impl fmt::Display for ParamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+/// Uniform draw in [0, 1) with 53-bit precision.
+fn unit(rng: &mut (impl RngCore + ?Sized)) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Standard normal via Box–Muller (one of the pair is discarded; simplicity
+/// over throughput, which is irrelevant at simulation sample counts).
+fn standard_normal(rng: &mut (impl RngCore + ?Sized)) -> f64 {
+    let u1 = (1.0 - unit(rng)).max(f64::MIN_POSITIVE); // avoid ln(0)
+    let u2 = unit(rng);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// `ln X ~ Normal(mu, sigma)`.
+#[derive(Debug, Clone, Copy)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    pub fn new(mu: f64, sigma: f64) -> Result<LogNormal, ParamError> {
+        if sigma.is_nan() || sigma < 0.0 || !mu.is_finite() {
+            return Err(ParamError("LogNormal requires finite mu and sigma >= 0"));
+        }
+        Ok(LogNormal { mu, sigma })
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+}
+
+/// Zipf over ranks `1..=n` with exponent `s`: `P(k) ∝ 1 / k^s`.
+///
+/// Sampled by binary search over the precomputed CDF — exact, and fast
+/// enough at the universe sizes this workspace simulates.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    pub fn new(n: u64, s: f64) -> Result<Zipf, ParamError> {
+        if n == 0 || s.is_nan() || s < 0.0 {
+            return Err(ParamError("Zipf requires n >= 1 and s >= 0"));
+        }
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += (k as f64).powf(-s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Ok(Zipf { cdf })
+    }
+}
+
+impl Distribution<f64> for Zipf {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u = unit(rng);
+        let idx = self.cdf.partition_point(|&c| c < u);
+        (idx.min(self.cdf.len() - 1) + 1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lognormal_median_close_to_exp_mu() {
+        let d = LogNormal::new(2.0f64.ln(), 0.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut xs: Vec<f64> = (0..20_001).map(|_| d.sample(&mut rng)).collect();
+        xs.sort_by(f64::total_cmp);
+        let median = xs[xs.len() / 2];
+        assert!((median - 2.0).abs() < 0.1, "median {median}");
+    }
+
+    #[test]
+    fn zipf_rank1_most_popular() {
+        let d = Zipf::new(100, 1.1).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = [0usize; 100];
+        for _ in 0..50_000 {
+            let k = d.sample(&mut rng) as usize;
+            assert!((1..=100).contains(&k));
+            counts[k - 1] += 1;
+        }
+        assert!(counts[0] > counts[9] && counts[9] > counts[99]);
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        assert!(LogNormal::new(f64::NAN, 1.0).is_err());
+        assert!(LogNormal::new(0.0, -1.0).is_err());
+        assert!(Zipf::new(0, 1.0).is_err());
+    }
+}

@@ -1,0 +1,401 @@
+//! Minimal offline stand-in for `serde`, specialized to JSON.
+//!
+//! Real serde abstracts over data formats; this workspace only ever talks
+//! JSON, so the stand-in collapses the serializer/deserializer machinery to
+//! a concrete tree: [`Serialize`] renders a value into a [`Json`] tree and
+//! [`Deserialize`] rebuilds the value from one. The `serde_json` stand-in
+//! then just prints/parses `Json` trees. The derive macros (re-exported
+//! from `serde_derive`) cover the attribute forms this workspace uses:
+//! `#[serde(tag = "...")]`, `#[serde(tag = "...", content = "...")]`,
+//! `#[serde(rename = "...")]`, and `#[serde(default)]`.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON value tree.
+///
+/// Integers keep their full 64-bit precision (`I64`/`U64` rather than a
+/// single f64) because snapshot and run identifiers in this workspace are
+/// u64s that can exceed the f64-exact range.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    I64(i64),
+    U64(u64),
+    F64(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    /// Key/value pairs in insertion order (struct field order round-trips).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object field lookup (first match).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Json::Null => "null",
+            Json::Bool(_) => "bool",
+            Json::I64(_) | Json::U64(_) | Json::F64(_) => "number",
+            Json::Str(_) => "string",
+            Json::Arr(_) => "array",
+            Json::Obj(_) => "object",
+        }
+    }
+}
+
+/// Deserialization error (also reused by `serde_json` for parse errors).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl Error {
+    pub fn msg(m: impl Into<String>) -> Error {
+        Error(m.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Render `self` as a JSON tree.
+pub trait Serialize {
+    fn to_json(&self) -> Json;
+}
+
+/// Rebuild `Self` from a JSON tree.
+pub trait Deserialize: Sized {
+    fn from_json(v: &Json) -> Result<Self, Error>;
+}
+
+fn type_err(expected: &str, got: &Json) -> Error {
+    Error(format!("expected {expected}, found {}", got.kind()))
+}
+
+// ---- primitive impls -------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_json(v: &Json) -> Result<bool, Error> {
+        match v {
+            Json::Bool(b) => Ok(*b),
+            other => Err(type_err("bool", other)),
+        }
+    }
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Json {
+                Json::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json(v: &Json) -> Result<$t, Error> {
+                let wide: i64 = match v {
+                    Json::I64(i) => *i,
+                    Json::U64(u) => i64::try_from(*u)
+                        .map_err(|_| Error::msg("integer out of range"))?,
+                    other => return Err(type_err("integer", other)),
+                };
+                <$t>::try_from(wide).map_err(|_| Error::msg("integer out of range"))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Json {
+                Json::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json(v: &Json) -> Result<$t, Error> {
+                let wide: u64 = match v {
+                    Json::U64(u) => *u,
+                    Json::I64(i) => u64::try_from(*i)
+                        .map_err(|_| Error::msg("negative integer for unsigned field"))?,
+                    other => return Err(type_err("integer", other)),
+                };
+                <$t>::try_from(wide).map_err(|_| Error::msg("integer out of range"))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn to_json(&self) -> Json {
+        Json::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_json(v: &Json) -> Result<f64, Error> {
+        match v {
+            Json::F64(f) => Ok(*f),
+            Json::I64(i) => Ok(*i as f64),
+            Json::U64(u) => Ok(*u as f64),
+            other => Err(type_err("number", other)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_json(&self) -> Json {
+        Json::F64(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_json(v: &Json) -> Result<f32, Error> {
+        f64::from_json(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_json(v: &Json) -> Result<String, Error> {
+        match v {
+            Json::Str(s) => Ok(s.clone()),
+            other => Err(type_err("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_json(v: &Json) -> Result<char, Error> {
+        let s = String::from_json(v)?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::msg("expected single-character string")),
+        }
+    }
+}
+
+// ---- container impls -------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_json(v: &Json) -> Result<Box<T>, Error> {
+        T::from_json(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(t) => t.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json(v: &Json) -> Result<Option<T>, Error> {
+        match v {
+            Json::Null => Ok(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json(v: &Json) -> Result<Vec<T>, Error> {
+        match v {
+            Json::Arr(items) => items.iter().map(T::from_json).collect(),
+            other => Err(type_err("array", other)),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_json(&self) -> Json {
+        Json::Obj(self.iter().map(|(k, v)| (k.clone(), v.to_json())).collect())
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_json(v: &Json) -> Result<BTreeMap<String, V>, Error> {
+        match v {
+            Json::Obj(pairs) => pairs
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_json(v)?)))
+                .collect(),
+            other => Err(type_err("object", other)),
+        }
+    }
+}
+
+impl Serialize for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl Deserialize for Json {
+    fn from_json(v: &Json) -> Result<Json, Error> {
+        Ok(v.clone())
+    }
+}
+
+/// Support functions the derive macros generate calls to. Not a public API.
+#[doc(hidden)]
+pub mod __private {
+    use super::{Error, Json};
+
+    pub fn expect_obj<'a>(v: &'a Json, ty: &str) -> Result<&'a [(String, Json)], Error> {
+        match v {
+            Json::Obj(pairs) => Ok(pairs),
+            other => Err(Error(format!(
+                "{ty}: expected object, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    pub fn expect_str<'a>(v: &'a Json, ty: &str) -> Result<&'a str, Error> {
+        match v {
+            Json::Str(s) => Ok(s),
+            other => Err(Error(format!(
+                "{ty}: expected string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    pub fn expect_arr<'a>(v: &'a Json, len: usize, ty: &str) -> Result<&'a [Json], Error> {
+        match v {
+            Json::Arr(items) if items.len() == len => Ok(items),
+            Json::Arr(items) => Err(Error(format!(
+                "{ty}: expected {len}-element array, found {} elements",
+                items.len()
+            ))),
+            other => Err(Error(format!(
+                "{ty}: expected array, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    pub fn field<'a>(pairs: &'a [(String, Json)], key: &str) -> Option<&'a Json> {
+        pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    pub fn missing_field(ty: &str, field: &str) -> Error {
+        Error(format!("{ty}: missing field `{field}`"))
+    }
+
+    pub fn unknown_variant(ty: &str, got: &str) -> Error {
+        Error(format!("{ty}: unknown variant `{got}`"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_json(&(42u64).to_json()).unwrap(), 42);
+        assert_eq!(i32::from_json(&(-7i32).to_json()).unwrap(), -7);
+        assert_eq!(f64::from_json(&Json::I64(3)).unwrap(), 3.0);
+        assert_eq!(String::from_json(&"hi".to_json()).unwrap(), "hi");
+        assert!(u32::from_json(&Json::I64(-1)).is_err());
+        assert!(u8::from_json(&Json::U64(300)).is_err());
+    }
+
+    #[test]
+    fn u64_precision_preserved() {
+        let big = u64::MAX - 1;
+        assert_eq!(u64::from_json(&big.to_json()).unwrap(), big);
+    }
+
+    #[test]
+    fn option_null_round_trip() {
+        let none: Option<u64> = None;
+        assert_eq!(none.to_json(), Json::Null);
+        assert_eq!(Option::<u64>::from_json(&Json::Null).unwrap(), None);
+        assert_eq!(Option::<u64>::from_json(&Json::U64(5)).unwrap(), Some(5u64));
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![1i64, 2, 3];
+        assert_eq!(Vec::<i64>::from_json(&v.to_json()).unwrap(), v);
+        let mut m = BTreeMap::new();
+        m.insert("a".to_string(), 1u64);
+        assert_eq!(BTreeMap::<String, u64>::from_json(&m.to_json()).unwrap(), m);
+    }
+}

@@ -1,0 +1,590 @@
+//! Derive macros for the offline `serde` stand-in.
+//!
+//! Hand-parses the item's token stream (no `syn`/`quote` available offline)
+//! and emits `impl serde::Serialize` / `impl serde::Deserialize` blocks as
+//! strings. Supports exactly the shapes this workspace uses:
+//!
+//! - named-field structs, with `#[serde(rename = "...")]` and
+//!   `#[serde(default)]` field attributes (an `Option<...>` field is
+//!   implicitly defaulted to `None` when missing, like real serde);
+//! - fieldless enums (externally tagged as a bare string);
+//! - `#[serde(tag = "...")]` internally tagged enums with unit or
+//!   struct variants;
+//! - `#[serde(tag = "...", content = "...")]` adjacently tagged enums with
+//!   unit, tuple, or struct variants.
+//!
+//! Generics, tuple structs, and untagged enums with payloads are rejected
+//! with a compile-time panic naming the unsupported shape.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive: generated Serialize impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive: generated Deserialize impl failed to parse")
+}
+
+// ---- item model ------------------------------------------------------------
+
+struct Field {
+    /// Rust field name.
+    name: String,
+    /// JSON key (`rename` attr or the field name).
+    key: String,
+    /// Missing key tolerated: `#[serde(default)]` or an `Option<...>` type.
+    default_missing: bool,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Body {
+    Struct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    tag: Option<String>,
+    content: Option<String>,
+    body: Body,
+}
+
+// ---- parsing ---------------------------------------------------------------
+
+/// `"abc"` (a string literal's token text) → `abc`.
+fn unquote(lit: &str) -> String {
+    lit.trim_matches('"').to_string()
+}
+
+/// Collect `key` / `key = "value"` pairs from the inside of `#[serde(...)]`.
+fn collect_serde_pairs(body: TokenStream, out: &mut Vec<(String, Option<String>)>) {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    while i < toks.len() {
+        let key = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            _ => panic!("serde_derive: malformed #[serde(...)] attribute"),
+        };
+        i += 1;
+        let mut value = None;
+        if let Some(TokenTree::Punct(p)) = toks.get(i) {
+            if p.as_char() == '=' {
+                i += 1;
+                match toks.get(i) {
+                    Some(TokenTree::Literal(l)) => value = Some(unquote(&l.to_string())),
+                    _ => panic!("serde_derive: #[serde({key} = ...)] expects a string literal"),
+                }
+                i += 1;
+            }
+        }
+        out.push((key, value));
+        // optional comma separator
+        if let Some(TokenTree::Punct(p)) = toks.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+    }
+}
+
+/// If `toks[i]` starts an attribute, consume it; serde pairs land in `pairs`.
+fn try_consume_attr(
+    toks: &[TokenTree],
+    i: &mut usize,
+    pairs: &mut Vec<(String, Option<String>)>,
+) -> bool {
+    match toks.get(*i) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '#' => {}
+        _ => return false,
+    }
+    let group = match toks.get(*i + 1) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+        _ => panic!("serde_derive: `#` not followed by [...] attribute"),
+    };
+    let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+    if let Some(TokenTree::Ident(id)) = inner.first() {
+        if id.to_string() == "serde" {
+            match inner.get(1) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    collect_serde_pairs(g.stream(), pairs);
+                }
+                _ => panic!("serde_derive: #[serde ...] expects a parenthesized list"),
+            }
+        }
+    }
+    *i += 2;
+    true
+}
+
+/// Skip `pub`, `pub(crate)`, `pub(in ...)`.
+fn try_consume_vis(toks: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = toks.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = toks.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut pairs = Vec::new();
+    loop {
+        if try_consume_attr(&toks, &mut i, &mut pairs) {
+            continue;
+        }
+        try_consume_vis(&toks, &mut i);
+        break;
+    }
+    let mut tag = None;
+    let mut content = None;
+    for (k, v) in pairs {
+        match k.as_str() {
+            "tag" => tag = v,
+            "content" => content = v,
+            other => panic!("serde_derive: unsupported container attribute `{other}`"),
+        }
+    }
+
+    let kw = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => panic!("serde_derive: expected `struct` or `enum`"),
+    };
+    i += 1;
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => panic!("serde_derive: expected type name"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive: generic type `{name}` is not supported");
+        }
+    }
+    let body_group = match toks.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+        _ => panic!(
+            "serde_derive: `{name}` must have a brace-delimited body (tuple structs unsupported)"
+        ),
+    };
+
+    let body = match kw.as_str() {
+        "struct" => Body::Struct(parse_fields(body_group.stream())),
+        "enum" => Body::Enum(parse_variants(body_group.stream())),
+        other => panic!("serde_derive: cannot derive for `{other}`"),
+    };
+    Item {
+        name,
+        tag,
+        content,
+        body,
+    }
+}
+
+/// Parse `name: Type, ...` (named fields), tracking serde field attrs.
+fn parse_fields(ts: TokenStream) -> Vec<Field> {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < toks.len() {
+        let mut pairs = Vec::new();
+        while try_consume_attr(&toks, &mut i, &mut pairs) {}
+        try_consume_vis(&toks, &mut i);
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            _ => panic!("serde_derive: expected field name"),
+        };
+        i += 1;
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => panic!("serde_derive: field `{name}` must be named (`name: Type`)"),
+        }
+        // Skip the type, noting whether its head is `Option`; commas inside
+        // angle brackets belong to the type, commas at depth 0 end the field.
+        let mut angle_depth = 0i32;
+        let mut first_tok = true;
+        let mut is_option = false;
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                TokenTree::Ident(id) if first_tok && id.to_string() == "Option" => {
+                    is_option = true;
+                }
+                _ => {}
+            }
+            first_tok = false;
+            i += 1;
+        }
+        let mut key = name.clone();
+        let mut default_missing = is_option;
+        for (k, v) in pairs {
+            match (k.as_str(), v) {
+                ("rename", Some(v)) => key = v,
+                ("default", None) => default_missing = true,
+                (other, _) => panic!("serde_derive: unsupported field attribute `{other}`"),
+            }
+        }
+        fields.push(Field {
+            name,
+            key,
+            default_missing,
+        });
+    }
+    fields
+}
+
+fn parse_variants(ts: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < toks.len() {
+        let mut pairs = Vec::new();
+        while try_consume_attr(&toks, &mut i, &mut pairs) {}
+        if !pairs.is_empty() {
+            panic!("serde_derive: variant-level serde attributes are not supported");
+        }
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            _ => panic!("serde_derive: expected variant name"),
+        };
+        i += 1;
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(tuple_arity(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        if let Some(TokenTree::Punct(p)) = toks.get(i) {
+            match p.as_char() {
+                ',' => i += 1,
+                '=' => panic!("serde_derive: explicit discriminants are not supported"),
+                _ => {}
+            }
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+/// Number of types in a tuple-variant payload (commas inside generics don't
+/// count).
+fn tuple_arity(ts: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut angle_depth = 0i32;
+    let mut arity = 1;
+    for (idx, t) in toks.iter().enumerate() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            // A trailing comma does not add a parameter.
+            TokenTree::Punct(p)
+                if p.as_char() == ',' && angle_depth == 0 && idx + 1 < toks.len() =>
+            {
+                arity += 1;
+            }
+            _ => {}
+        }
+    }
+    arity
+}
+
+// ---- codegen ---------------------------------------------------------------
+
+/// `("key", to_json(<expr>))` push lines for a set of struct fields.
+/// `accessor(field_name)` yields the expression the value is read from.
+fn ser_field_pushes(fields: &[Field], accessor: impl Fn(&str) -> String) -> String {
+    let mut out = String::new();
+    for f in fields {
+        out.push_str(&format!(
+            "__o.push((::std::string::String::from({key:?}), ::serde::Serialize::to_json({expr})));\n",
+            key = f.key,
+            expr = accessor(&f.name),
+        ));
+    }
+    out
+}
+
+/// Field initializers `name: <lookup>,` reading from an obj slice `__o`.
+fn de_field_inits(fields: &[Field], ty: &str) -> String {
+    let mut out = String::new();
+    for f in fields {
+        let missing_arm = if f.default_missing {
+            "::std::default::Default::default()".to_string()
+        } else {
+            format!(
+                "return ::std::result::Result::Err(::serde::__private::missing_field({ty:?}, {key:?}))",
+                key = f.key
+            )
+        };
+        out.push_str(&format!(
+            "{name}: match ::serde::__private::field(__o, {key:?}) {{\n\
+             ::std::option::Option::Some(__x) => ::serde::Deserialize::from_json(__x)?,\n\
+             ::std::option::Option::None => {missing_arm},\n\
+             }},\n",
+            name = f.name,
+            key = f.key,
+        ));
+    }
+    out
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(fields) => {
+            format!(
+                "let mut __o: ::std::vec::Vec<(::std::string::String, ::serde::Json)> = ::std::vec::Vec::new();\n\
+                 {pushes}\
+                 ::serde::Json::Obj(__o)",
+                pushes = ser_field_pushes(fields, |f| format!("&self.{f}")),
+            )
+        }
+        Body::Enum(variants) => {
+            let all_unit = variants.iter().all(|v| matches!(v.kind, VariantKind::Unit));
+            if item.tag.is_none() && !all_unit {
+                panic!(
+                    "serde_derive: enum `{name}` has payload variants; add #[serde(tag = \"...\")]"
+                );
+            }
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match (&item.tag, &item.content, &v.kind) {
+                    // Fieldless enum, externally tagged: a bare string.
+                    (None, _, VariantKind::Unit) => {
+                        arms.push_str(&format!(
+                            "{name}::{vname} => ::serde::Json::Str(::std::string::String::from({vname:?})),\n"
+                        ));
+                    }
+                    // Tagged unit variant: {"<tag>": "<Variant>"}.
+                    (Some(tag), _, VariantKind::Unit) => {
+                        arms.push_str(&format!(
+                            "{name}::{vname} => ::serde::Json::Obj(<[_]>::into_vec(::std::boxed::Box::new([\
+                             (::std::string::String::from({tag:?}), ::serde::Json::Str(::std::string::String::from({vname:?})))\
+                             ]))),\n"
+                        ));
+                    }
+                    // Internally tagged struct variant: fields flattened
+                    // next to the tag.
+                    (Some(tag), None, VariantKind::Struct(fields)) => {
+                        let binds: Vec<&str> =
+                            fields.iter().map(|f| f.name.as_str()).collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {binds} }} => {{\n\
+                             let mut __o: ::std::vec::Vec<(::std::string::String, ::serde::Json)> = ::std::vec::Vec::new();\n\
+                             __o.push((::std::string::String::from({tag:?}), ::serde::Json::Str(::std::string::String::from({vname:?}))));\n\
+                             {pushes}\
+                             ::serde::Json::Obj(__o)\n\
+                             }},\n",
+                            binds = binds.join(", "),
+                            pushes = ser_field_pushes(fields, |f| f.to_string()),
+                        ));
+                    }
+                    // Adjacently tagged struct variant: fields under content.
+                    (Some(tag), Some(content), VariantKind::Struct(fields)) => {
+                        let binds: Vec<&str> =
+                            fields.iter().map(|f| f.name.as_str()).collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {binds} }} => {{\n\
+                             let mut __o: ::std::vec::Vec<(::std::string::String, ::serde::Json)> = ::std::vec::Vec::new();\n\
+                             {pushes}\
+                             ::serde::Json::Obj(<[_]>::into_vec(::std::boxed::Box::new([\
+                             (::std::string::String::from({tag:?}), ::serde::Json::Str(::std::string::String::from({vname:?}))),\
+                             (::std::string::String::from({content:?}), ::serde::Json::Obj(__o))\
+                             ])))\n\
+                             }},\n",
+                            binds = binds.join(", "),
+                            pushes = ser_field_pushes(fields, |f| f.to_string()),
+                        ));
+                    }
+                    (Some(tag), Some(content), VariantKind::Tuple(n)) => {
+                        let binds: Vec<String> =
+                            (0..*n).map(|k| format!("__f{k}")).collect();
+                        let payload = if *n == 1 {
+                            "::serde::Serialize::to_json(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_json({b})"))
+                                .collect();
+                            format!(
+                                "::serde::Json::Arr(<[_]>::into_vec(::std::boxed::Box::new([{}])))",
+                                items.join(", ")
+                            )
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vname}({binds}) => ::serde::Json::Obj(<[_]>::into_vec(::std::boxed::Box::new([\
+                             (::std::string::String::from({tag:?}), ::serde::Json::Str(::std::string::String::from({vname:?}))),\
+                             (::std::string::String::from({content:?}), {payload})\
+                             ]))),\n",
+                            binds = binds.join(", "),
+                        ));
+                    }
+                    (Some(_), None, VariantKind::Tuple(_)) => panic!(
+                        "serde_derive: internally tagged tuple variant `{name}::{vname}` is not representable; add content = \"...\""
+                    ),
+                    (None, _, _) => unreachable!(),
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn to_json(&self) -> ::serde::Json {{\n\
+         {body}\n\
+         }}\n\
+         }}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(fields) => {
+            format!(
+                "let __o = ::serde::__private::expect_obj(__v, {name:?})?;\n\
+                 ::std::result::Result::Ok({name} {{\n\
+                 {inits}\
+                 }})",
+                inits = de_field_inits(fields, name),
+            )
+        }
+        Body::Enum(variants) => {
+            let all_unit = variants.iter().all(|v| matches!(v.kind, VariantKind::Unit));
+            match &item.tag {
+                // Fieldless enum from a bare string.
+                None if all_unit => {
+                    let mut arms = String::new();
+                    for v in variants {
+                        let vname = &v.name;
+                        arms.push_str(&format!(
+                            "{vname:?} => ::std::result::Result::Ok({name}::{vname}),\n"
+                        ));
+                    }
+                    format!(
+                        "let __s = ::serde::__private::expect_str(__v, {name:?})?;\n\
+                         match __s {{\n\
+                         {arms}\
+                         __other => ::std::result::Result::Err(::serde::__private::unknown_variant({name:?}, __other)),\n\
+                         }}"
+                    )
+                }
+                None => panic!(
+                    "serde_derive: enum `{name}` has payload variants; add #[serde(tag = \"...\")]"
+                ),
+                Some(tag) => {
+                    let mut arms = String::new();
+                    for v in variants {
+                        let vname = &v.name;
+                        let arm_body = match (&item.content, &v.kind) {
+                            (_, VariantKind::Unit) => {
+                                format!("::std::result::Result::Ok({name}::{vname})")
+                            }
+                            (None, VariantKind::Struct(fields)) => format!(
+                                "::std::result::Result::Ok({name}::{vname} {{\n{inits}}})",
+                                inits = de_field_inits(fields, name),
+                            ),
+                            (Some(content), VariantKind::Struct(fields)) => format!(
+                                "{{\n\
+                                 let __c = match ::serde::__private::field(__o, {content:?}) {{\n\
+                                 ::std::option::Option::Some(__c) => __c,\n\
+                                 ::std::option::Option::None => return ::std::result::Result::Err(::serde::__private::missing_field({name:?}, {content:?})),\n\
+                                 }};\n\
+                                 let __o = ::serde::__private::expect_obj(__c, {name:?})?;\n\
+                                 ::std::result::Result::Ok({name}::{vname} {{\n{inits}}})\n\
+                                 }}",
+                                inits = de_field_inits(fields, name),
+                            ),
+                            (Some(content), VariantKind::Tuple(n)) => {
+                                let inner = if *n == 1 {
+                                    format!(
+                                        "::std::result::Result::Ok({name}::{vname}(::serde::Deserialize::from_json(__c)?))"
+                                    )
+                                } else {
+                                    let items: Vec<String> = (0..*n)
+                                        .map(|k| format!("::serde::Deserialize::from_json(&__a[{k}])?"))
+                                        .collect();
+                                    format!(
+                                        "{{\n\
+                                         let __a = ::serde::__private::expect_arr(__c, {n}, {name:?})?;\n\
+                                         ::std::result::Result::Ok({name}::{vname}({items}))\n\
+                                         }}",
+                                        items = items.join(", "),
+                                    )
+                                };
+                                format!(
+                                    "match ::serde::__private::field(__o, {content:?}) {{\n\
+                                     ::std::option::Option::Some(__c) => {inner},\n\
+                                     ::std::option::Option::None => ::std::result::Result::Err(::serde::__private::missing_field({name:?}, {content:?})),\n\
+                                     }}"
+                                )
+                            }
+                            (None, VariantKind::Tuple(_)) => panic!(
+                                "serde_derive: internally tagged tuple variant `{name}::{vname}` is not representable; add content = \"...\""
+                            ),
+                        };
+                        arms.push_str(&format!("{vname:?} => {arm_body},\n"));
+                    }
+                    format!(
+                        "let __o = ::serde::__private::expect_obj(__v, {name:?})?;\n\
+                         let __t = match ::serde::__private::field(__o, {tag:?}) {{\n\
+                         ::std::option::Option::Some(__t) => ::serde::__private::expect_str(__t, {name:?})?,\n\
+                         ::std::option::Option::None => return ::std::result::Result::Err(::serde::__private::missing_field({name:?}, {tag:?})),\n\
+                         }};\n\
+                         match __t {{\n\
+                         {arms}\
+                         __other => ::std::result::Result::Err(::serde::__private::unknown_variant({name:?}, __other)),\n\
+                         }}"
+                    )
+                }
+            }
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn from_json(__v: &::serde::Json) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n\
+         }}\n\
+         }}\n"
+    )
+}

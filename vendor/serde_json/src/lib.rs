@@ -1,0 +1,449 @@
+//! Minimal offline stand-in for `serde_json`: prints and parses the
+//! [`serde::Json`] tree that the serde stand-in's `Serialize`/`Deserialize`
+//! traits produce and consume.
+//!
+//! Covers the workspace's call surface: [`to_string`], [`to_vec`],
+//! [`to_string_pretty`], [`to_vec_pretty`], [`from_str`], [`from_slice`].
+//! All functions return `Result` like the real crate (serialization of the
+//! types in this workspace cannot actually fail).
+
+use serde::{Deserialize, Json, Serialize};
+use std::fmt;
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Error {
+        Error(e.0)
+    }
+}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+// ---- serialization ---------------------------------------------------------
+
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_json(&value.to_json(), &mut out, None, 0);
+    Ok(out)
+}
+
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    to_string(value).map(String::into_bytes)
+}
+
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_json(&value.to_json(), &mut out, Some(2), 0);
+    Ok(out)
+}
+
+pub fn to_vec_pretty<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    to_string_pretty(value).map(String::into_bytes)
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_f64(f: f64, out: &mut String) {
+    if !f.is_finite() {
+        // Real serde_json refuses non-finite floats; nothing in this
+        // workspace serializes them, so map to null rather than erroring.
+        out.push_str("null");
+    } else if f == f.trunc() && f.abs() < 1e15 {
+        // Keep a trailing ".0" so integral floats survive a round-trip as
+        // floats (the parser would otherwise hand back an integer).
+        out.push_str(&format!("{f:.1}"));
+    } else {
+        out.push_str(&format!("{f}"));
+    }
+}
+
+/// `indent = None` → compact; `Some(n)` → pretty with n-space steps.
+fn write_json(v: &Json, out: &mut String, indent: Option<usize>, depth: usize) {
+    let (nl, pad, pad_close, colon) = match indent {
+        Some(n) => (
+            "\n",
+            " ".repeat(n * (depth + 1)),
+            " ".repeat(n * depth),
+            ": ",
+        ),
+        None => ("", String::new(), String::new(), ":"),
+    };
+    match v {
+        Json::Null => out.push_str("null"),
+        Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Json::I64(i) => out.push_str(&i.to_string()),
+        Json::U64(u) => out.push_str(&u.to_string()),
+        Json::F64(f) => write_f64(*f, out),
+        Json::Str(s) => write_escaped(s, out),
+        Json::Arr(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(nl);
+                out.push_str(&pad);
+                write_json(item, out, indent, depth + 1);
+            }
+            out.push_str(nl);
+            out.push_str(&pad_close);
+            out.push(']');
+        }
+        Json::Obj(pairs) => {
+            if pairs.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, item)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(nl);
+                out.push_str(&pad);
+                write_escaped(k, out);
+                out.push_str(colon);
+                write_json(item, out, indent, depth + 1);
+            }
+            out.push_str(nl);
+            out.push_str(&pad_close);
+            out.push('}');
+        }
+    }
+}
+
+// ---- deserialization -------------------------------------------------------
+
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
+    let json = parse(s)?;
+    Ok(T::from_json(&json)?)
+}
+
+pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T> {
+    let s = std::str::from_utf8(bytes).map_err(|e| Error(format!("invalid UTF-8: {e}")))?;
+    from_str(s)
+}
+
+/// Parse a complete JSON document (rejects trailing garbage).
+pub fn parse(s: &str) -> Result<Json> {
+    let bytes = s.as_bytes();
+    let mut pos = 0;
+    let v = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(Error(format!("trailing characters at byte {pos}")));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<()> {
+    if b.get(*pos) == Some(&c) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(Error(format!("expected `{}` at byte {}", c as char, *pos)))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err(Error("unexpected end of input".into())),
+        Some(b'n') => parse_keyword(b, pos, "null", Json::Null),
+        Some(b't') => parse_keyword(b, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_keyword(b, pos, "false", Json::Bool(false)),
+        Some(b'"') => parse_string(b, pos).map(Json::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(Error(format!("expected `,` or `]` at byte {}", *pos))),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut pairs = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(pairs));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                expect(b, pos, b':')?;
+                let value = parse_value(b, pos)?;
+                pairs.push((key, value));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(pairs));
+                    }
+                    _ => return Err(Error(format!("expected `,` or `}}` at byte {}", *pos))),
+                }
+            }
+        }
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, pos),
+        Some(c) => Err(Error(format!(
+            "unexpected character `{}` at byte {}",
+            *c as char, *pos
+        ))),
+    }
+}
+
+fn parse_keyword(b: &[u8], pos: &mut usize, kw: &str, v: Json) -> Result<Json> {
+    if b[*pos..].starts_with(kw.as_bytes()) {
+        *pos += kw.len();
+        Ok(v)
+    } else {
+        Err(Error(format!("invalid literal at byte {}", *pos)))
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    // Track a pending high surrogate from a previous \uXXXX escape so
+    // surrogate pairs combine into one char.
+    let mut high_surrogate: Option<u32> = None;
+    loop {
+        let start = *pos;
+        // Fast path: run of plain bytes.
+        while *pos < b.len() && b[*pos] != b'"' && b[*pos] != b'\\' {
+            *pos += 1;
+        }
+        if *pos > start {
+            let chunk = std::str::from_utf8(&b[start..*pos])
+                .map_err(|e| Error(format!("invalid UTF-8 in string: {e}")))?;
+            out.push_str(chunk);
+            high_surrogate = None;
+        }
+        match b.get(*pos) {
+            None => return Err(Error("unterminated string".into())),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                let esc = *b
+                    .get(*pos)
+                    .ok_or_else(|| Error("unterminated escape".into()))?;
+                *pos += 1;
+                let simple = match esc {
+                    b'"' => Some('"'),
+                    b'\\' => Some('\\'),
+                    b'/' => Some('/'),
+                    b'b' => Some('\u{08}'),
+                    b'f' => Some('\u{0c}'),
+                    b'n' => Some('\n'),
+                    b'r' => Some('\r'),
+                    b't' => Some('\t'),
+                    b'u' => None,
+                    other => return Err(Error(format!("invalid escape `\\{}`", other as char))),
+                };
+                if let Some(c) = simple {
+                    out.push(c);
+                    high_surrogate = None;
+                    continue;
+                }
+                let hex = b
+                    .get(*pos..*pos + 4)
+                    .ok_or_else(|| Error("truncated \\u escape".into()))?;
+                let code = u32::from_str_radix(
+                    std::str::from_utf8(hex).map_err(|_| Error("bad \\u escape".into()))?,
+                    16,
+                )
+                .map_err(|_| Error("bad \\u escape".into()))?;
+                *pos += 4;
+                match (high_surrogate.take(), code) {
+                    (Some(hi), 0xDC00..=0xDFFF) => {
+                        let combined = 0x10000 + ((hi - 0xD800) << 10) + (code - 0xDC00);
+                        out.push(
+                            char::from_u32(combined)
+                                .ok_or_else(|| Error("bad surrogate pair".into()))?,
+                        );
+                    }
+                    (None, 0xD800..=0xDBFF) => high_surrogate = Some(code),
+                    (None, c) => {
+                        out.push(char::from_u32(c).ok_or_else(|| Error("bad \\u escape".into()))?)
+                    }
+                    (Some(_), _) => return Err(Error("lone high surrogate".into())),
+                }
+            }
+            _ => unreachable!(),
+        }
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < b.len() && b[*pos].is_ascii_digit() {
+        *pos += 1;
+    }
+    let mut is_float = false;
+    if b.get(*pos) == Some(&b'.') {
+        is_float = true;
+        *pos += 1;
+        while *pos < b.len() && b[*pos].is_ascii_digit() {
+            *pos += 1;
+        }
+    }
+    if matches!(b.get(*pos), Some(b'e' | b'E')) {
+        is_float = true;
+        *pos += 1;
+        if matches!(b.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        while *pos < b.len() && b[*pos].is_ascii_digit() {
+            *pos += 1;
+        }
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).unwrap();
+    if !is_float {
+        if let Ok(i) = text.parse::<i64>() {
+            return Ok(Json::I64(i));
+        }
+        if let Ok(u) = text.parse::<u64>() {
+            return Ok(Json::U64(u));
+        }
+    }
+    text.parse::<f64>()
+        .map(Json::F64)
+        .map_err(|_| Error(format!("invalid number `{text}`")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        for doc in ["null", "true", "false", "0", "-7", "123.5", "\"hi\""] {
+            let v = parse(doc).unwrap();
+            let mut out = String::new();
+            write_json(&v, &mut out, None, 0);
+            assert_eq!(out, doc);
+        }
+    }
+
+    #[test]
+    fn u64_beyond_i64_survives() {
+        let big = (i64::MAX as u64) + 5;
+        let v = parse(&big.to_string()).unwrap();
+        assert_eq!(v, Json::U64(big));
+        assert_eq!(to_string(&big).unwrap(), big.to_string());
+    }
+
+    #[test]
+    fn nested_round_trip_compact_and_pretty() {
+        let doc = r#"{"a":[1,2,{"b":null}],"c":"x\ny","d":{}}"#;
+        let v = parse(doc).unwrap();
+        let compact = {
+            let mut s = String::new();
+            write_json(&v, &mut s, None, 0);
+            s
+        };
+        assert_eq!(compact, doc);
+        let pretty = {
+            let mut s = String::new();
+            write_json(&v, &mut s, Some(2), 0);
+            s
+        };
+        assert_eq!(parse(&pretty).unwrap(), v);
+        assert!(pretty.contains("\n  \"a\": ["));
+    }
+
+    #[test]
+    fn escapes_and_unicode() {
+        let v = parse(r#""é\t\\ 😀""#).unwrap();
+        assert_eq!(v, Json::Str("é\t\\ 😀".to_string()));
+        let round = {
+            let mut s = String::new();
+            write_json(&v, &mut s, None, 0);
+            s
+        };
+        assert_eq!(parse(&round).unwrap(), v);
+    }
+
+    #[test]
+    fn integral_float_keeps_point() {
+        assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
+        assert_eq!(parse("2.0").unwrap(), Json::F64(2.0));
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse("{\"a\":1,}").is_err());
+        assert!(parse("[1 2]").is_err());
+        assert!(parse("tru").is_err());
+        assert!(parse("1 2").is_err());
+        assert!(from_str::<u64>("\"no\"").is_err());
+    }
+
+    #[test]
+    fn typed_round_trip_via_traits() {
+        let v: Vec<u64> = from_str("[1,2,3]").unwrap();
+        assert_eq!(v, vec![1, 2, 3]);
+        assert_eq!(to_string(&v).unwrap(), "[1,2,3]");
+    }
+}
