@@ -1,0 +1,190 @@
+//! Streaming executor peak memory vs. the materialized baseline, and LIMIT
+//! early termination, over a multi-file identity-partitioned table.
+//!
+//! Builds the same `events` table (`--files N` identity partitions of
+//! `--rows N` rows each) in two lakehouses — one executing queries through
+//! the streaming pipeline, one materializing — and runs an identical
+//! scan-filter-aggregate query through both. The streaming pipeline holds a
+//! few file batches plus aggregate state; the materialized path holds the
+//! whole filtered table. Both must return byte-identical results, with the
+//! streaming peak at most half the materialized peak (asserted). A `LIMIT 1`
+//! query then demonstrates early termination: the scan is abandoned after
+//! the first file batch, observable in both the batch count and object-store
+//! GETs.
+//!
+//! Regenerate: `cargo run -p lakehouse-bench --bin stream_memory --release`
+//! (writes `BENCH_stream.json` in the working directory). `--files` and
+//! `--rows` override the table shape (defaults 24 × 4000).
+
+use bauplan_core::{Lakehouse, LakehouseConfig};
+use lakehouse_bench::print_rows;
+use lakehouse_columnar::{Column, DataType, Field, RecordBatch, Schema};
+use lakehouse_store::LatencyModel;
+use lakehouse_table::PartitionSpec;
+
+const AGG_SQL: &str = "SELECT grp, COUNT(*) AS n, SUM(val) AS s FROM events \
+                       WHERE val < 1.0e9 GROUP BY grp ORDER BY grp";
+
+/// A lakehouse whose `events` table spans `files` identity-partition data
+/// files of `rows_per` rows each.
+fn build(files: usize, rows_per: usize, streaming: bool) -> Lakehouse {
+    let config = LakehouseConfig {
+        latency: LatencyModel {
+            sigma: 0.0,
+            ..LatencyModel::s3_like()
+        },
+        stream_execution: streaming,
+        // One pipeline batch per data file: isolate file-level streaming.
+        stream_batch_rows: 1 << 20,
+        ..Default::default()
+    };
+    let lh = Lakehouse::in_memory(config).expect("lakehouse");
+    let total = files * rows_per;
+    let batch = RecordBatch::try_new(
+        Schema::new(vec![
+            Field::new("part", DataType::Int64, false),
+            Field::new("grp", DataType::Int64, false),
+            Field::new("val", DataType::Float64, false),
+        ]),
+        vec![
+            Column::from_i64((0..total).map(|i| (i / rows_per) as i64).collect()),
+            Column::from_i64((0..total).map(|i| (i % 7) as i64).collect()),
+            Column::from_f64((0..total).map(|i| i as f64 * 0.5).collect()),
+        ],
+    )
+    .expect("fixture batch");
+    lh.create_table_partitioned("events", &batch, "main", PartitionSpec::identity("part"))
+        .expect("create table");
+    lh
+}
+
+fn parse_args() -> (usize, usize) {
+    let mut files = 24usize;
+    let mut rows = 4_000usize;
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let parse = |v: Option<&String>, flag: &str| -> usize {
+            v.and_then(|s| s.parse().ok())
+                .unwrap_or_else(|| panic!("{flag} expects a number"))
+        };
+        match argv[i].as_str() {
+            "--files" => {
+                files = parse(argv.get(i + 1), "--files").max(2);
+                i += 1;
+            }
+            "--rows" => {
+                rows = parse(argv.get(i + 1), "--rows").max(1);
+                i += 1;
+            }
+            other => panic!("unknown argument: {other}"),
+        }
+        i += 1;
+    }
+    (files, rows)
+}
+
+fn main() {
+    let (files, rows_per) = parse_args();
+    println!("=== streaming executor memory over {files} files x {rows_per} rows ===");
+
+    let lh_stream = build(files, rows_per, true);
+    let lh_mat = build(files, rows_per, false);
+
+    // Scan-filter-aggregate through both executors.
+    let (got, stream_report) = lh_stream
+        .query_with_report(AGG_SQL, "main")
+        .expect("streaming query");
+    let (expected, mat_report) = lh_mat
+        .query_with_report(AGG_SQL, "main")
+        .expect("materialized query");
+    assert_eq!(got, expected, "streaming result diverged from materialized");
+    let peak_ratio = stream_report.peak_bytes as f64 / mat_report.peak_bytes as f64;
+    assert!(
+        peak_ratio <= 0.5,
+        "streaming peak {} is {:.0}% of materialized {}; must be <= 50%",
+        stream_report.peak_bytes,
+        peak_ratio * 100.0,
+        mat_report.peak_bytes
+    );
+
+    // LIMIT early termination: file batches pulled and store GETs, full scan
+    // vs. LIMIT 1 on the streaming lakehouse.
+    let metrics = lh_stream.store_metrics();
+    let gets0 = metrics.gets();
+    let (_, full_report) = lh_stream
+        .query_with_report("SELECT grp FROM events", "main")
+        .expect("full scan");
+    let full_gets = metrics.gets() - gets0;
+    assert_eq!(
+        full_report.batches_streamed, files,
+        "full scan pulls every file batch"
+    );
+    let gets1 = metrics.gets();
+    let (limited, limit_report) = lh_stream
+        .query_with_report("SELECT grp FROM events LIMIT 1", "main")
+        .expect("limit scan");
+    let limit_gets = metrics.gets() - gets1;
+    assert_eq!(limited.num_rows(), 1);
+    assert!(
+        limit_report.batches_streamed < files,
+        "LIMIT 1 pulled {} of {files} file batches; expected early termination",
+        limit_report.batches_streamed
+    );
+    assert!(
+        limit_gets < full_gets,
+        "LIMIT 1 issued {limit_gets} GETs vs {full_gets} for the full scan"
+    );
+
+    print_rows(
+        "peak working set (scan-filter-aggregate) and LIMIT early termination",
+        &["metric", "streaming", "materialized"],
+        &[
+            vec![
+                "peak bytes".into(),
+                format!("{}", stream_report.peak_bytes),
+                format!("{}", mat_report.peak_bytes),
+            ],
+            vec![
+                "scan batches".into(),
+                format!("{}", stream_report.batches_streamed),
+                format!("{}", mat_report.batches_streamed),
+            ],
+            vec![
+                "peak ratio".into(),
+                format!("{:.1}%", peak_ratio * 100.0),
+                "100%".into(),
+            ],
+            vec![
+                "LIMIT 1 batches".into(),
+                format!("{} of {files}", limit_report.batches_streamed),
+                "-".into(),
+            ],
+            vec![
+                "LIMIT 1 GETs".into(),
+                format!("{limit_gets} (full scan: {full_gets})"),
+                "-".into(),
+            ],
+        ],
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"stream_memory\",\n  \"files\": {files},\n  \"rows_per_file\": {rows_per},\n  \"query\": \"scan-filter-aggregate\",\n  \"summary\": {{\n    \"streaming_peak_bytes\": {sp},\n    \"materialized_peak_bytes\": {mp},\n    \"peak_ratio\": {pr:.4},\n    \"results_identical\": true,\n    \"limit_batches_streamed\": {lb},\n    \"limit_gets\": {lg},\n    \"full_scan_gets\": {fg}\n  }},\n  \"results\": [\n    {{\"mode\": \"streaming\", \"peak_bytes\": {sp}, \"batches_streamed\": {sb}, \"rows\": {rows}}},\n    {{\"mode\": \"materialized\", \"peak_bytes\": {mp}, \"batches_streamed\": {mb}, \"rows\": {rows}}}\n  ]\n}}\n",
+        sp = stream_report.peak_bytes,
+        mp = mat_report.peak_bytes,
+        pr = peak_ratio,
+        lb = limit_report.batches_streamed,
+        lg = limit_gets,
+        fg = full_gets,
+        sb = stream_report.batches_streamed,
+        mb = mat_report.batches_streamed,
+        rows = got.num_rows(),
+    );
+    std::fs::write("BENCH_stream.json", &json).expect("write BENCH_stream.json");
+    println!("\nwrote BENCH_stream.json");
+    println!(
+        "streaming peak is {:.1}% of materialized; LIMIT 1 read {} of {files} file batches",
+        peak_ratio * 100.0,
+        limit_report.batches_streamed
+    );
+}

@@ -26,6 +26,10 @@ GLOBAL OPTIONS:
                             results are identical at any setting)
   --cache-mb <n>            metadata/range cache capacity in MiB between
                             queries and the object store (default: 0 = off)
+  --stream                  execute queries through the streaming pipeline
+                            (pull-based, one batch per data file; LIMIT stops
+                            reading early; prints peak memory after queries)
+  --batch-rows <n>          max rows per streamed batch (default: 8192)
 
 The `run` project directory holds one .sql file per artifact (dbt-style) and
 an optional expectations.json declaring data audits:
@@ -40,6 +44,10 @@ pub struct Cli {
     pub scan_parallelism: usize,
     /// Metadata/range cache capacity in bytes (0 = disabled).
     pub cache_bytes: usize,
+    /// Execute queries through the streaming pipeline.
+    pub stream: bool,
+    /// Max rows per streamed batch.
+    pub batch_rows: usize,
     pub command: Command,
 }
 
@@ -105,6 +113,8 @@ impl Cli {
         let mut data_dir = ".bauplan".to_string();
         let mut scan_parallelism = 1usize;
         let mut cache_bytes = 0usize;
+        let mut stream = false;
+        let mut batch_rows = 8192usize;
         let mut rest: Vec<String> = Vec::new();
         let mut i = 0;
         while i < argv.len() {
@@ -122,6 +132,14 @@ impl Cli {
                     .parse()
                     .map_err(|_| format!("--cache-mb expects a number, got {v}"))?;
                 cache_bytes = mb.saturating_mul(1024 * 1024);
+            } else if argv[i] == "--stream" {
+                stream = true;
+            } else if argv[i] == "--batch-rows" {
+                let v = take_value(argv, &mut i, "--batch-rows")?;
+                batch_rows = v
+                    .parse::<usize>()
+                    .map_err(|_| format!("--batch-rows expects a number, got {v}"))?
+                    .max(1);
             } else {
                 rest.push(argv[i].clone());
             }
@@ -166,6 +184,8 @@ impl Cli {
             data_dir,
             scan_parallelism,
             cache_bytes,
+            stream,
+            batch_rows,
             command,
         })
     }
@@ -409,6 +429,29 @@ mod tests {
         let cli = Cli::parse(&s(&["refs", "--scan-parallelism", "0"])).unwrap();
         assert_eq!(cli.scan_parallelism, 1);
         assert!(Cli::parse(&s(&["refs", "--cache-mb", "lots"])).is_err());
+    }
+
+    #[test]
+    fn parse_stream_flags() {
+        let cli = Cli::parse(&s(&[
+            "query",
+            "-q",
+            "SELECT 1",
+            "--stream",
+            "--batch-rows",
+            "512",
+        ]))
+        .unwrap();
+        assert!(cli.stream);
+        assert_eq!(cli.batch_rows, 512);
+        // Defaults: materialized execution, 8192-row batches; garbage and
+        // zero rejected/clamped.
+        let cli = Cli::parse(&s(&["refs"])).unwrap();
+        assert!(!cli.stream);
+        assert_eq!(cli.batch_rows, 8192);
+        let cli = Cli::parse(&s(&["refs", "--batch-rows", "0"])).unwrap();
+        assert_eq!(cli.batch_rows, 1);
+        assert!(Cli::parse(&s(&["refs", "--batch-rows", "many"])).is_err());
     }
 
     #[test]

@@ -17,6 +17,8 @@ pub fn dispatch(cli: Cli) -> Result<(), DynError> {
     let config = LakehouseConfig {
         scan_parallelism: cli.scan_parallelism,
         metadata_cache_bytes: cli.cache_bytes,
+        stream_execution: cli.stream,
+        stream_batch_rows: cli.batch_rows,
         ..LakehouseConfig::default()
     };
     let lh = Lakehouse::on_disk(&cli.data_dir, config)?;
@@ -28,6 +30,15 @@ pub fn dispatch(cli: Cli) -> Result<(), DynError> {
         } => {
             if explain {
                 println!("{}", lh.explain(&sql, &reference)?);
+            } else if cli.stream {
+                let (batch, report) = lh.query_with_report(&sql, &reference)?;
+                println!("{}", format_batch(&batch, 40));
+                println!(
+                    "({} rows; streamed {} batches, peak {} KiB)",
+                    batch.num_rows(),
+                    report.batches_streamed,
+                    report.peak_bytes.div_ceil(1024)
+                );
             } else {
                 let batch = lh.query(&sql, &reference)?;
                 println!("{}", format_batch(&batch, 40));

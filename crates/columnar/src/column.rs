@@ -4,12 +4,22 @@ use crate::bitmap::Bitmap;
 use crate::datatype::{DataType, Value};
 use crate::error::{ColumnarError, Result};
 
+/// Canonicalize a validity bitmap: a column's validity is `Some` **iff** it
+/// actually contains a null. Every constructor and kernel funnels through
+/// this, so two columns with equal values always compare equal regardless of
+/// how they were produced (e.g. filter-then-concat vs. concat-then-filter in
+/// the streaming executor).
+pub fn normalize_validity(validity: Option<Bitmap>) -> Option<Bitmap> {
+    validity.filter(|b| b.count_clear() > 0)
+}
+
 /// A typed column of values.
 ///
 /// Each variant stores a dense vector of values plus an optional validity
-/// bitmap; `None` validity means "no nulls". Null slots still occupy a
-/// default value in the dense vector (Arrow convention), so kernels can read
-/// values unconditionally and mask afterwards.
+/// bitmap; `None` validity means "no nulls" (see [`normalize_validity`]).
+/// Null slots still occupy a default value in the dense vector (Arrow
+/// convention), so kernels can read values unconditionally and mask
+/// afterwards.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Column {
     Bool(Vec<bool>, Option<Bitmap>),
@@ -46,37 +56,37 @@ impl Column {
     }
 
     pub fn from_opt_bool(values: Vec<Option<bool>>) -> Self {
-        let validity = Bitmap::from_options(&values);
+        let validity = normalize_validity(Some(Bitmap::from_options(&values)));
         let dense = values.into_iter().map(Option::unwrap_or_default).collect();
-        Column::Bool(dense, Some(validity))
+        Column::Bool(dense, validity)
     }
     pub fn from_opt_i64(values: Vec<Option<i64>>) -> Self {
-        let validity = Bitmap::from_options(&values);
+        let validity = normalize_validity(Some(Bitmap::from_options(&values)));
         let dense = values.into_iter().map(Option::unwrap_or_default).collect();
-        Column::Int64(dense, Some(validity))
+        Column::Int64(dense, validity)
     }
     pub fn from_opt_f64(values: Vec<Option<f64>>) -> Self {
-        let validity = Bitmap::from_options(&values);
+        let validity = normalize_validity(Some(Bitmap::from_options(&values)));
         let dense = values.into_iter().map(Option::unwrap_or_default).collect();
-        Column::Float64(dense, Some(validity))
+        Column::Float64(dense, validity)
     }
     pub fn from_opt_str(values: Vec<Option<&str>>) -> Self {
-        let validity = Bitmap::from_options(&values);
+        let validity = normalize_validity(Some(Bitmap::from_options(&values)));
         let dense = values
             .into_iter()
             .map(|v| v.unwrap_or_default().to_string())
             .collect();
-        Column::Utf8(dense, Some(validity))
+        Column::Utf8(dense, validity)
     }
     pub fn from_opt_timestamp(values: Vec<Option<i64>>) -> Self {
-        let validity = Bitmap::from_options(&values);
+        let validity = normalize_validity(Some(Bitmap::from_options(&values)));
         let dense = values.into_iter().map(Option::unwrap_or_default).collect();
-        Column::Timestamp(dense, Some(validity))
+        Column::Timestamp(dense, validity)
     }
     pub fn from_opt_date(values: Vec<Option<i32>>) -> Self {
-        let validity = Bitmap::from_options(&values);
+        let validity = normalize_validity(Some(Bitmap::from_options(&values)));
         let dense = values.into_iter().map(Option::unwrap_or_default).collect();
-        Column::Date(dense, Some(validity))
+        Column::Date(dense, validity)
     }
 
     /// An empty column of the given type.
@@ -93,7 +103,7 @@ impl Column {
 
     /// A column of `len` nulls of the given type.
     pub fn new_null(dt: DataType, len: usize) -> Self {
-        let validity = Some(Bitmap::new_clear(len));
+        let validity = normalize_validity(Some(Bitmap::new_clear(len)));
         match dt {
             DataType::Bool => Column::Bool(vec![false; len], validity),
             DataType::Int64 => Column::Int64(vec![0; len], validity),
@@ -255,7 +265,7 @@ impl Column {
                 len: self.len(),
             });
         }
-        let validity = self.validity().map(|b| {
+        let validity = normalize_validity(self.validity().map(|b| {
             let mut nb = Bitmap::new_clear(len);
             for i in 0..len {
                 if b.get(offset + i) {
@@ -263,7 +273,7 @@ impl Column {
                 }
             }
             nb
-        });
+        }));
         Ok(match self {
             Column::Bool(v, _) => Column::Bool(v[offset..end].to_vec(), validity),
             Column::Int64(v, _) => Column::Int64(v[offset..end].to_vec(), validity),
@@ -282,8 +292,6 @@ impl Column {
             ));
         };
         let dt = first.data_type();
-        let total: usize = columns.iter().map(Column::len).sum();
-        let mut builder = ColumnBuilder::with_capacity(dt, total);
         for col in columns {
             if col.data_type() != dt {
                 return Err(ColumnarError::TypeMismatch {
@@ -291,11 +299,47 @@ impl Column {
                     actual: col.data_type().name().into(),
                 });
             }
-            for v in col.iter_values() {
-                builder.push_value(&v)?;
-            }
         }
-        Ok(builder.finish())
+        let total: usize = columns.iter().map(Column::len).sum();
+        // Validity stays `None` unless an input actually contains a null —
+        // the same normalization ColumnBuilder::finish applies.
+        let validity = if columns.iter().any(|c| c.null_count() > 0) {
+            let mut bits = Bitmap::new_set(total);
+            let mut offset = 0;
+            for col in columns {
+                if let Some(v) = col.validity() {
+                    for i in 0..col.len() {
+                        if !v.get(i) {
+                            bits.clear(offset + i);
+                        }
+                    }
+                }
+                offset += col.len();
+            }
+            Some(bits)
+        } else {
+            None
+        };
+        macro_rules! concat_typed {
+            ($variant:ident, $ty:ty) => {{
+                let mut out: Vec<$ty> = Vec::with_capacity(total);
+                for col in columns {
+                    match col {
+                        Column::$variant(v, _) => out.extend_from_slice(v),
+                        _ => unreachable!("types checked above"),
+                    }
+                }
+                Column::$variant(out, validity)
+            }};
+        }
+        Ok(match first {
+            Column::Bool(..) => concat_typed!(Bool, bool),
+            Column::Int64(..) => concat_typed!(Int64, i64),
+            Column::Float64(..) => concat_typed!(Float64, f64),
+            Column::Utf8(..) => concat_typed!(Utf8, String),
+            Column::Timestamp(..) => concat_typed!(Timestamp, i64),
+            Column::Date(..) => concat_typed!(Date, i32),
+        })
     }
 
     /// Min and max non-null values, or `(Null, Null)` if all rows are null.

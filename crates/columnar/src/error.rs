@@ -23,6 +23,10 @@ pub enum ColumnarError {
     Overflow(String),
     /// Division by zero during a kernel.
     DivideByZero,
+    /// An error raised by a [`crate::stream::BatchStream`] producer outside
+    /// this crate (table scans, SQL operators) and carried through the
+    /// pull-based pipeline as text.
+    External(String),
 }
 
 impl fmt::Display for ColumnarError {
@@ -43,6 +47,7 @@ impl fmt::Display for ColumnarError {
             Self::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
             Self::Overflow(op) => write!(f, "arithmetic overflow in {op}"),
             Self::DivideByZero => write!(f, "division by zero"),
+            Self::External(msg) => write!(f, "{msg}"),
         }
     }
 }

@@ -25,7 +25,7 @@ pub fn take_column(col: &Column, indices: &[usize]) -> Result<Column> {
             return Err(ColumnarError::IndexOutOfBounds { index: i, len });
         }
     }
-    let validity = col.validity().map(|b| {
+    let validity = crate::column::normalize_validity(col.validity().map(|b| {
         let mut nb = Bitmap::new_clear(indices.len());
         for (out, &i) in indices.iter().enumerate() {
             if b.get(i) {
@@ -33,7 +33,7 @@ pub fn take_column(col: &Column, indices: &[usize]) -> Result<Column> {
             }
         }
         nb
-    });
+    }));
     Ok(match col {
         Column::Bool(v, _) => Column::Bool(gather(v, indices), validity),
         Column::Int64(v, _) => Column::Int64(gather(v, indices), validity),

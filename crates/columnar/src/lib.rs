@@ -45,10 +45,13 @@ pub mod kernels;
 pub mod pool;
 pub mod pretty;
 pub mod schema;
+pub mod stream;
 
 pub use batch::RecordBatch;
 pub use bitmap::Bitmap;
 pub use column::{Column, ColumnBuilder};
 pub use datatype::{DataType, Value};
 pub use error::{ColumnarError, Result};
+pub use pool::MemoryTracker;
 pub use schema::{Field, Schema};
+pub use stream::{BatchStream, BatchesStream, RechunkStream};

@@ -9,6 +9,61 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+/// A shared high-water-mark byte counter for pipeline memory accounting.
+///
+/// Operators in the streaming executor charge the tracker when they start
+/// holding a batch (or accumulate operator state) and release when they let
+/// go; `peak()` is then the pipeline's true peak working set — the number
+/// the serverless runtime's vertical memory allocator would have to grant.
+/// Charges may come from pool worker threads (the scan's prefetch fan-out),
+/// so all counters are atomic.
+#[derive(Debug, Default)]
+pub struct MemoryTracker {
+    current: AtomicUsize,
+    peak: AtomicUsize,
+}
+
+impl MemoryTracker {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `bytes` becoming live; updates the peak.
+    pub fn charge(&self, bytes: usize) {
+        let now = self.current.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.peak.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Record `bytes` no longer being live.
+    pub fn release(&self, bytes: usize) {
+        // Saturating: a release can never take the gauge below zero even if
+        // callers double-release during unwinding.
+        let mut cur = self.current.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_sub(bytes);
+            match self.current.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Bytes currently live.
+    pub fn current(&self) -> usize {
+        self.current.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of live bytes since construction.
+    pub fn peak(&self) -> usize {
+        self.peak.load(Ordering::Relaxed)
+    }
+}
+
 /// Apply `f` to every item on at most `threads` worker threads, returning
 /// outputs in item order.
 ///
@@ -104,6 +159,22 @@ mod tests {
         let out = map_indexed(7, &items, |i, _| i);
         let unique: HashSet<_> = out.iter().copied().collect();
         assert_eq!(unique.len(), 200);
+    }
+
+    #[test]
+    fn memory_tracker_peak_and_release() {
+        let t = MemoryTracker::new();
+        t.charge(100);
+        t.charge(50);
+        assert_eq!(t.current(), 150);
+        t.release(100);
+        t.charge(20);
+        assert_eq!(t.current(), 70);
+        assert_eq!(t.peak(), 150);
+        // Over-release saturates at zero.
+        t.release(1_000);
+        assert_eq!(t.current(), 0);
+        assert_eq!(t.peak(), 150);
     }
 
     #[test]

@@ -36,6 +36,14 @@ pub struct LakehouseConfig {
     /// caching. Off by default so store-traffic measurements (pruning
     /// tests, paper tables) keep their seed semantics.
     pub metadata_cache_bytes: usize,
+    /// Execute queries through the streaming pipeline (pull-based, one batch
+    /// per data file, early termination on LIMIT). Off by default: the
+    /// materialized path keeps the seed's exact operator ordering for
+    /// metrics-asserting callers.
+    pub stream_execution: bool,
+    /// Maximum rows per batch in streaming execution (oversized source
+    /// batches are split).
+    pub stream_batch_rows: usize,
 }
 
 impl Default for LakehouseConfig {
@@ -52,6 +60,8 @@ impl Default for LakehouseConfig {
             sql_parallelism: 1,
             scan_parallelism: 1,
             metadata_cache_bytes: 0,
+            stream_execution: false,
+            stream_batch_rows: 8192,
         }
     }
 }

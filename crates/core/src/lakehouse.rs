@@ -77,7 +77,10 @@ impl Lakehouse {
             Catalog::open(Arc::clone(&store_dyn), config.catalog_prefix.clone())?
         });
         let runtime = Runtime::new(config.runtime.clone());
-        let engine = SqlEngine::new().with_parallelism(config.sql_parallelism);
+        let engine = SqlEngine::new()
+            .with_parallelism(config.sql_parallelism)
+            .with_streaming(config.stream_execution)
+            .with_batch_rows(config.stream_batch_rows);
         Ok(Lakehouse {
             config,
             store,
@@ -308,6 +311,19 @@ impl Lakehouse {
     pub fn query(&self, sql: &str, reference: &str) -> Result<RecordBatch> {
         let provider = self.provider(reference);
         Ok(self.engine.query(sql, &provider)?)
+    }
+
+    /// SQL over a ref through the streaming pipeline, reporting peak memory
+    /// and per-operator row counts. Streams per data file when
+    /// `config.stream_execution` is set; otherwise runs the same operators
+    /// over materialized tables (the baseline for `peak_bytes` comparisons).
+    pub fn query_with_report(
+        &self,
+        sql: &str,
+        reference: &str,
+    ) -> Result<(RecordBatch, lakehouse_sql::ExecReport)> {
+        let provider = self.provider(reference);
+        Ok(self.engine.query_with_report(sql, &provider)?)
     }
 
     /// EXPLAIN the optimized plan for a query at a ref.

@@ -4,7 +4,7 @@
 
 use crate::error::Result as CoreResult;
 use lakehouse_catalog::Catalog;
-use lakehouse_columnar::{RecordBatch, Schema, Value};
+use lakehouse_columnar::{BatchStream, BatchesStream, RechunkStream, RecordBatch, Schema, Value};
 use lakehouse_sql::ast::Expr;
 use lakehouse_sql::logical::SchemaProvider;
 use lakehouse_sql::{Result as SqlResult, SqlError, TableProvider};
@@ -157,6 +157,50 @@ impl TableProvider for LakehouseProvider {
         }
         scan.execute()
             .map_err(|e| SqlError::Execution(format!("scan of '{table}' failed: {e}")))
+    }
+
+    fn scan_stream(
+        &self,
+        table: &str,
+        projection: Option<&[String]>,
+        filters: &[Expr],
+        batch_rows: usize,
+    ) -> SqlResult<Box<dyn BatchStream>> {
+        // Overlay artifacts are already in memory; rechunk so the pipeline
+        // still sees bounded batches.
+        if let Some(batch) = self.overlay.read().get(table) {
+            let batch = match projection {
+                Some(cols) => {
+                    let names: Vec<&str> = cols.iter().map(String::as_str).collect();
+                    batch.project(&names)?
+                }
+                None => batch.clone(),
+            };
+            return Ok(Box::new(RechunkStream::new(
+                BatchesStream::one(batch),
+                batch_rows,
+            )));
+        }
+        // Catalog tables stream one batch per data file: peak memory is a
+        // few files, and an abandoned stream (satisfied LIMIT) leaves the
+        // remaining files unfetched.
+        let t = self
+            .load_table(table)
+            .map_err(|e| SqlError::Plan(format!("cannot load table '{table}': {e}")))?;
+        let mut scan = t.scan().with_parallelism(self.scan_parallelism);
+        if self.pushdown {
+            for p in Self::to_scan_predicates(filters) {
+                scan = scan.with_predicate(p);
+            }
+        }
+        if let Some(cols) = projection {
+            let names: Vec<&str> = cols.iter().map(String::as_str).collect();
+            scan = scan.select(&names);
+        }
+        let stream = scan
+            .stream()
+            .map_err(|e| SqlError::Execution(format!("scan of '{table}' failed: {e}")))?;
+        Ok(Box::new(RechunkStream::new(stream, batch_rows)))
     }
 }
 

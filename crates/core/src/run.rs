@@ -95,6 +95,9 @@ pub struct RunReport {
     pub store_ops: (u64, u64),
     /// Number of container invocations (stages executed).
     pub stages_executed: usize,
+    /// Peak working set across this run's SQL queries (bytes), measured by
+    /// the streaming executor. 0 when `stream_execution` is off.
+    pub peak_query_bytes: usize,
 }
 
 impl Lakehouse {
@@ -199,7 +202,15 @@ impl Lakehouse {
         let provider = self
             .provider(&ephemeral)
             .with_pushdown(mode == ExecutionMode::Fused);
-        let outcome = self.execute_stages(&project, &logical, &physical, &provider, run_id);
+        let mut peak_query_bytes = 0usize;
+        let outcome = self.execute_stages(
+            &project,
+            &logical,
+            &physical,
+            &provider,
+            run_id,
+            &mut peak_query_bytes,
+        );
 
         // Collect deltas regardless of success.
         let clock1 = self.clock().now();
@@ -283,11 +294,14 @@ impl Lakehouse {
             container_starts,
             store_ops,
             stages_executed: physical.stages.len(),
+            peak_query_bytes,
         })
     }
 
     /// Execute all stages, returning (artifact rows, audit verdicts).
-    #[allow(clippy::type_complexity)]
+    /// `peak_query_bytes` accumulates the max streaming-executor working set
+    /// across SQL steps (left at 0 when streaming is off).
+    #[allow(clippy::type_complexity, clippy::too_many_arguments)]
     fn execute_stages(
         &self,
         project: &PipelineProject,
@@ -295,6 +309,7 @@ impl Lakehouse {
         physical: &PhysicalPipeline,
         provider: &LakehouseProvider,
         run_id: u64,
+        peak_query_bytes: &mut usize,
     ) -> Result<(BTreeMap<String, u64>, BTreeMap<String, bool>)> {
         let mut artifact_rows = BTreeMap::new();
         let mut audit_results = BTreeMap::new();
@@ -330,7 +345,13 @@ impl Lakehouse {
                 match node.kind {
                     NodeKind::SqlTransform => {
                         let sql = node.sql.as_deref().expect("sql node has text");
-                        let batch = self.engine.query(sql, provider)?;
+                        let batch = if self.config.stream_execution {
+                            let (batch, report) = self.engine.query_with_report(sql, provider)?;
+                            *peak_query_bytes = (*peak_query_bytes).max(report.peak_bytes);
+                            batch
+                        } else {
+                            self.engine.query(sql, provider)?
+                        };
                         provider.put_overlay(step_name.clone(), batch.clone());
                         stage_outputs.push((step_name.clone(), batch));
                     }

@@ -88,7 +88,9 @@ pub fn encode_column(col: &Column, w: &mut ByteWriter) {
 /// Decode one column chunk of the given type.
 pub fn decode_column(dt: DataType, r: &mut ByteReader<'_>) -> Result<Column> {
     let n = r.read_u32()? as usize;
-    let validity = if r.read_u8()? == 1 {
+    // Normalized on the way in: files written before the "validity = Some
+    // iff nulls exist" invariant may carry an all-set bitmap.
+    let validity = lakehouse_columnar::column::normalize_validity(if r.read_u8()? == 1 {
         let bytes = r.read_bytes()?.to_vec();
         Some(
             Bitmap::from_bytes(bytes, n)
@@ -96,7 +98,7 @@ pub fn decode_column(dt: DataType, r: &mut ByteReader<'_>) -> Result<Column> {
         )
     } else {
         None
-    };
+    });
     let encoding = r.read_u8()?;
     match (dt, encoding) {
         (DataType::Bool, ENC_BITPACK) => {

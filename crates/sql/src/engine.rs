@@ -5,7 +5,7 @@ use crate::error::Result;
 use crate::logical::{plan_select, LogicalPlan, SchemaProvider};
 use crate::optimizer::optimize;
 use crate::parser::parse_select;
-use lakehouse_columnar::{RecordBatch, Schema};
+use lakehouse_columnar::{BatchStream, BatchesStream, RechunkStream, RecordBatch, Schema};
 use std::collections::HashMap;
 
 /// Data access for execution: schema resolution plus scanning, with optional
@@ -21,6 +21,25 @@ pub trait TableProvider: SchemaProvider {
         projection: Option<&[String]>,
         filters: &[Expr],
     ) -> Result<RecordBatch>;
+
+    /// Scan a table as a pull-based stream of batches, each at most
+    /// `batch_rows` rows. The default materializes via [`Self::scan`] and
+    /// rechunks; providers backed by multi-file tables override this to
+    /// yield batches lazily (one per data file) so unconsumed files are
+    /// never fetched.
+    fn scan_stream(
+        &self,
+        table: &str,
+        projection: Option<&[String]>,
+        filters: &[Expr],
+        batch_rows: usize,
+    ) -> Result<Box<dyn BatchStream>> {
+        let batch = self.scan(table, projection, filters)?;
+        Ok(Box::new(RechunkStream::new(
+            BatchesStream::one(batch),
+            batch_rows,
+        )))
+    }
 }
 
 /// A provider over in-memory named batches (used by tests, the fused
@@ -80,6 +99,7 @@ impl TableProvider for MemoryProvider {
 #[derive(Debug, Default, Clone, Copy)]
 pub struct SqlEngine {
     options: crate::physical::ExecOptions,
+    streaming: bool,
 }
 
 impl SqlEngine {
@@ -101,10 +121,41 @@ impl SqlEngine {
         self
     }
 
+    /// Route execution through the streaming pipeline (pull-based, batch at
+    /// a time, early termination). Off by default: the materialized path
+    /// keeps exact operator ordering for metrics-asserting callers.
+    pub fn with_streaming(mut self, streaming: bool) -> Self {
+        self.streaming = streaming;
+        self
+    }
+
+    /// Cap rows per batch in streaming sources (default 8192).
+    pub fn with_batch_rows(mut self, rows: usize) -> Self {
+        self.options.batch_rows = rows.max(1);
+        self
+    }
+
     /// Parse, plan, optimize, and execute a query.
     pub fn query(&self, sql: &str, provider: &dyn TableProvider) -> Result<RecordBatch> {
+        if self.streaming {
+            return Ok(self.query_with_report(sql, provider)?.0);
+        }
         let plan = self.plan(sql, provider)?;
         crate::physical::execute_with_options(&plan, provider, &self.options)
+    }
+
+    /// Execute through the streaming pipeline and report peak memory and
+    /// per-operator row counts. Scans stream per-file when the engine is in
+    /// streaming mode; otherwise each table is materialized up front and fed
+    /// through the same operators (the honest baseline for comparing
+    /// `peak_bytes`).
+    pub fn query_with_report(
+        &self,
+        sql: &str,
+        provider: &dyn TableProvider,
+    ) -> Result<(RecordBatch, crate::streaming::ExecReport)> {
+        let plan = self.plan(sql, provider)?;
+        crate::streaming::execute_streaming(&plan, provider, &self.options, self.streaming)
     }
 
     /// Produce the optimized logical plan without executing.

@@ -33,6 +33,7 @@ pub mod optimizer;
 pub mod parallel;
 pub mod parser;
 pub mod physical;
+pub mod streaming;
 pub mod tokenizer;
 
 pub use ast::{Expr, SelectStmt};
@@ -41,3 +42,4 @@ pub use error::{Result, SqlError};
 pub use logical::LogicalPlan;
 pub use parallel::{parallel_aggregate, parallel_filter};
 pub use parser::{parse_select, referenced_tables};
+pub use streaming::{execute_streaming, ExecReport};

@@ -77,6 +77,21 @@ pub enum LogicalPlan {
 }
 
 impl LogicalPlan {
+    /// Operator name for plan display and per-operator execution metrics.
+    pub fn name(&self) -> &'static str {
+        match self {
+            LogicalPlan::Scan { .. } => "Scan",
+            LogicalPlan::Filter { .. } => "Filter",
+            LogicalPlan::Project { .. } => "Project",
+            LogicalPlan::Aggregate { .. } => "Aggregate",
+            LogicalPlan::Join { .. } => "Join",
+            LogicalPlan::Sort { .. } => "Sort",
+            LogicalPlan::Limit { .. } => "Limit",
+            LogicalPlan::Distinct { .. } => "Distinct",
+            LogicalPlan::SubqueryAlias { .. } => "SubqueryAlias",
+        }
+    }
+
     /// The output schema of this plan node.
     pub fn schema(&self) -> Result<Schema> {
         match self {

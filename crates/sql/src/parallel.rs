@@ -37,12 +37,26 @@ pub fn parallel_filter(
         return Ok(filter_batch(batch, &to_selection(&mask)?)?);
     }
     let chunks = batch.chunks(morsel_size(batch.num_rows(), threads))?;
-    let results = lakehouse_columnar::pool::map_indexed(threads, &chunks, |_, chunk| {
-        let mask = eval(predicate, chunk)?;
-        Ok(filter_batch(chunk, &to_selection(&mask)?)?)
-    });
-    let batches = results.into_iter().collect::<Result<Vec<_>>>()?;
-    Ok(RecordBatch::concat(&batches)?)
+    let results: Vec<Result<RecordBatch>> =
+        lakehouse_columnar::pool::map_indexed(threads, &chunks, |_, chunk| {
+            let mask = eval(predicate, chunk)?;
+            Ok(filter_batch(chunk, &to_selection(&mask)?)?)
+        });
+    // Keep only chunks with surviving rows; a lone survivor is returned
+    // as-is (no concat copy), and a concat of several pre-sizes its output
+    // from the known row counts.
+    let mut batches: Vec<RecordBatch> = Vec::with_capacity(chunks.len());
+    for result in results {
+        let chunk = result?;
+        if chunk.num_rows() > 0 {
+            batches.push(chunk);
+        }
+    }
+    Ok(match batches.len() {
+        0 => RecordBatch::new_empty(batch.schema().clone()),
+        1 => batches.pop().expect("one surviving chunk"),
+        _ => RecordBatch::concat(&batches)?,
+    })
 }
 
 /// One worker's partial aggregation output.

@@ -28,6 +28,9 @@ pub struct ExecOptions {
     /// Minimum rows before parallel operators engage (below this the
     /// thread-spawn overhead outweighs the win).
     pub parallel_threshold_rows: usize,
+    /// Maximum rows per batch yielded by streaming sources (oversized
+    /// batches are split; see [`crate::streaming`]).
+    pub batch_rows: usize,
 }
 
 impl Default for ExecOptions {
@@ -35,6 +38,7 @@ impl Default for ExecOptions {
         ExecOptions {
             parallelism: 1,
             parallel_threshold_rows: 32 * 1024,
+            batch_rows: 8192,
         }
     }
 }
@@ -90,22 +94,7 @@ pub fn execute_with_options(
         }
         LogicalPlan::Project { input, exprs } => {
             let batch = execute_with_options(input, provider, options)?;
-            let schema = plan.schema()?;
-            let columns = exprs
-                .iter()
-                .zip(schema.fields())
-                .map(|((e, _), field)| {
-                    let col = eval(e, &batch)?;
-                    // Align the column with the inferred field type (e.g. an
-                    // int literal projected into a float column).
-                    if col.data_type() != field.data_type() {
-                        Ok(kernels::cast(&col, field.data_type())?)
-                    } else {
-                        Ok(col)
-                    }
-                })
-                .collect::<Result<Vec<_>>>()?;
-            Ok(RecordBatch::try_new(schema, columns)?)
+            execute_project(&batch, exprs, plan.schema()?)
         }
         LogicalPlan::Aggregate {
             input,
@@ -155,10 +144,21 @@ pub fn execute_with_options(
             limit,
             offset,
         } => {
+            // Slide the slice below a projection: projection expressions are
+            // pure and row-wise, so evaluating them over rows the LIMIT is
+            // about to drop is pure waste. (Done here rather than in the
+            // optimizer so EXPLAIN output is unchanged.)
+            if let LogicalPlan::Project {
+                input: proj_input,
+                exprs,
+            } = input.as_ref()
+            {
+                let batch = execute_with_options(proj_input, provider, options)?;
+                let sliced = slice_limit(&batch, *limit, *offset)?;
+                return execute_project(&sliced, exprs, input.schema()?);
+            }
             let batch = execute_with_options(input, provider, options)?;
-            let start = (*offset).min(batch.num_rows());
-            let len = limit.unwrap_or(usize::MAX).min(batch.num_rows() - start);
-            Ok(batch.slice(start, len)?)
+            slice_limit(&batch, *limit, *offset)
         }
         LogicalPlan::Distinct { input } => {
             let batch = execute_with_options(input, provider, options)?;
@@ -175,6 +175,37 @@ pub fn execute_with_options(
         }
         LogicalPlan::SubqueryAlias { input, .. } => execute_with_options(input, provider, options),
     }
+}
+
+/// Apply LIMIT/OFFSET to a materialized batch.
+fn slice_limit(batch: &RecordBatch, limit: Option<usize>, offset: usize) -> Result<RecordBatch> {
+    let start = offset.min(batch.num_rows());
+    let len = limit.unwrap_or(usize::MAX).min(batch.num_rows() - start);
+    Ok(batch.slice(start, len)?)
+}
+
+/// Evaluate projection expressions over a batch, casting each column to the
+/// inferred output field type (e.g. an int literal projected into a float
+/// column). Shared by the Project operator, the limit-below-projection fast
+/// path, and the streaming executor.
+pub(crate) fn execute_project(
+    batch: &RecordBatch,
+    exprs: &[(Expr, String)],
+    schema: Schema,
+) -> Result<RecordBatch> {
+    let columns = exprs
+        .iter()
+        .zip(schema.fields())
+        .map(|((e, _), field)| {
+            let col = eval(e, batch)?;
+            if col.data_type() != field.data_type() {
+                Ok(kernels::cast(&col, field.data_type())?)
+            } else {
+                Ok(col)
+            }
+        })
+        .collect::<Result<Vec<_>>>()?;
+    Ok(RecordBatch::try_new(schema, columns)?)
 }
 
 fn execute_aggregate(

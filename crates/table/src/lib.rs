@@ -37,7 +37,7 @@ pub use maintenance::{CompactionReport, ExpirationReport};
 pub use manifest::{Manifest, ManifestEntry};
 pub use metadata::TableMetadata;
 pub use partition::{PartitionField, PartitionSpec, Transform};
-pub use scan::{ScanPredicate, TableScan};
+pub use scan::{ScanPredicate, ScanReport, ScanStream, TableScan};
 pub use schema_def::SchemaDef;
 pub use snapshot::{Snapshot, SnapshotOperation};
 pub use table::Table;

@@ -49,6 +49,11 @@ impl ScanPredicate {
 pub struct ScanReport {
     pub files_total: usize,
     pub files_scanned: usize,
+    /// Data files actually fetched and decoded. Equal to `files_scanned` for
+    /// a materialized scan; a streaming scan abandoned early (e.g. a
+    /// satisfied `LIMIT` upstream) leaves it smaller — those files were
+    /// never read at all.
+    pub files_read: usize,
     pub bytes_total: u64,
     pub bytes_scanned: u64,
     pub row_groups_scanned: usize,
@@ -187,33 +192,19 @@ impl TableScan {
                 *min_lane += delta;
             }
             let partial = partial?;
+            report.files_read += 1;
             report.bytes_scanned += partial.bytes_scanned;
             report.row_groups_scanned += partial.row_groups_scanned;
             if partial.batch.num_rows() > 0 {
                 batches.push(partial.batch);
             }
         }
-        let mut result = if batches.is_empty() {
+        let result = if batches.is_empty() {
             RecordBatch::new_empty(scan_schema)
         } else {
             RecordBatch::concat(&batches)?
         };
-        // Exact row-level filter (pruning is only conservative). Predicates
-        // on columns absent from the projection cannot be re-checked here;
-        // per the `TableProvider` contract the SQL executor re-applies every
-        // filter exactly, so skipping them only widens this batch, never the
-        // query result.
-        for p in &self.predicates {
-            if result.num_rows() == 0 {
-                break;
-            }
-            let Ok(col) = result.column_by_name(&p.column) else {
-                continue;
-            };
-            let mask = cmp_column_scalar(p.op, col, &p.literal)?;
-            let selection = to_selection(&mask)?;
-            result = filter_batch(&result, &selection)?;
-        }
+        let result = self.filter_exact(result)?;
         report.rows_emitted = result.num_rows();
         let worker_max = lanes.iter().max().copied().unwrap_or(0);
         report.wall_clock_simulated = std::time::Duration::from_nanos(prelude_nanos + worker_max);
@@ -222,6 +213,75 @@ impl TableScan {
             .map(|m| m.cache_hits() - hits_start)
             .unwrap_or(0);
         Ok((result, report))
+    }
+
+    /// Open a pull-based streaming scan: the manifest is fetched and pruned
+    /// eagerly, but data files are only read as batches are pulled — one
+    /// batch per surviving file, prefetched in groups of `parallelism` over
+    /// the bounded pool. A consumer that stops pulling (a satisfied `LIMIT`)
+    /// leaves the remaining files unread.
+    pub fn stream(self) -> Result<ScanStream> {
+        let scan_schema = self.output_schema()?;
+        let mut report = ScanReport::default();
+        let metrics = self.store.store_metrics();
+        let lane_start = metrics.as_ref().map(|m| m.lane_nanos()).unwrap_or(0);
+        let hits_start = metrics.as_ref().map(|m| m.cache_hits()).unwrap_or(0);
+
+        let snapshot = match self.snapshot_id {
+            Some(id) => Some(self.metadata.snapshot(id)?.clone()),
+            None => self.metadata.current_snapshot().cloned(),
+        };
+        let mut entries = std::collections::VecDeque::new();
+        if let Some(snapshot) = snapshot {
+            let manifest_bytes = self
+                .store
+                .get(&ObjectPath::new(snapshot.manifest_path.clone())?)?;
+            let manifest = Manifest::from_bytes(&manifest_bytes)
+                .ok_or_else(|| TableError::Corrupt("unparseable manifest".into()))?;
+            report.files_total = manifest.entries.len();
+            report.bytes_total = manifest.total_bytes();
+            for entry in manifest.entries {
+                if self.entry_may_match(&entry)? {
+                    entries.push_back(entry);
+                }
+            }
+            report.files_scanned = entries.len();
+        }
+        let prelude_nanos = metrics
+            .as_ref()
+            .map(|m| m.lane_nanos() - lane_start)
+            .unwrap_or(0);
+        let lanes = vec![0u64; self.parallelism.max(1)];
+        Ok(ScanStream {
+            scan: self,
+            scan_schema,
+            entries,
+            ready: std::collections::VecDeque::new(),
+            report,
+            lanes,
+            prelude_nanos,
+            hits_start,
+        })
+    }
+
+    /// Exact row-level filter (pruning is only conservative). Predicates on
+    /// columns absent from the projection cannot be re-checked here; per the
+    /// `TableProvider` contract the SQL executor re-applies every filter
+    /// exactly, so skipping them only widens the batch, never the query
+    /// result.
+    fn filter_exact(&self, mut batch: RecordBatch) -> Result<RecordBatch> {
+        for p in &self.predicates {
+            if batch.num_rows() == 0 {
+                break;
+            }
+            let Ok(col) = batch.column_by_name(&p.column) else {
+                continue;
+            };
+            let mask = cmp_column_scalar(p.op, col, &p.literal)?;
+            let selection = to_selection(&mask)?;
+            batch = filter_batch(&batch, &selection)?;
+        }
+        Ok(batch)
     }
 
     fn output_schema(&self) -> Result<Schema> {
@@ -335,6 +395,95 @@ impl TableScan {
             bytes_scanned: fetched.get(),
             row_groups_scanned,
         })
+    }
+}
+
+/// A pull-based scan yielding one exact-filtered batch per surviving data
+/// file, in manifest order (so draining it fully and concatenating equals
+/// the materialized [`TableScan::execute`] byte for byte).
+///
+/// Files are fetched lazily in prefetch groups of `parallelism` entries over
+/// the bounded pool, so peak memory is bounded by one group of batches plus
+/// whatever the consumer retains — and a consumer that stops pulling leaves
+/// the rest of the table untouched ([`ScanReport::files_read`] records how
+/// far it got).
+pub struct ScanStream {
+    scan: TableScan,
+    scan_schema: Schema,
+    entries: std::collections::VecDeque<ManifestEntry>,
+    ready: std::collections::VecDeque<RecordBatch>,
+    report: ScanReport,
+    lanes: Vec<u64>,
+    prelude_nanos: u64,
+    hits_start: u64,
+}
+
+impl ScanStream {
+    /// Scan statistics accumulated so far; final once the stream returns
+    /// `None` (or is dropped early — counters then cover only what was
+    /// actually read).
+    pub fn report(&self) -> ScanReport {
+        let mut report = self.report.clone();
+        let worker_max = self.lanes.iter().max().copied().unwrap_or(0);
+        report.wall_clock_simulated =
+            std::time::Duration::from_nanos(self.prelude_nanos + worker_max);
+        report.cache_hits = self
+            .scan
+            .store
+            .store_metrics()
+            .as_ref()
+            .map(|m| m.cache_hits() - self.hits_start)
+            .unwrap_or(0);
+        report
+    }
+
+    /// Fetch the next prefetch group of files through the pool.
+    fn refill(&mut self) -> Result<()> {
+        if self.entries.is_empty() {
+            return Ok(());
+        }
+        let take = self.scan.parallelism.max(1).min(self.entries.len());
+        let group: Vec<ManifestEntry> = self.entries.drain(..take).collect();
+        let metrics = self.scan.store.store_metrics();
+        let partials: Vec<(Result<EntryPartial>, u64)> =
+            lakehouse_columnar::pool::map_indexed(self.scan.parallelism, &group, |_, entry| {
+                let entry_lane_start = metrics.as_ref().map(|m| m.lane_nanos()).unwrap_or(0);
+                let out = self.scan.read_entry(entry, &self.scan_schema);
+                let delta = metrics
+                    .as_ref()
+                    .map(|m| m.lane_nanos() - entry_lane_start)
+                    .unwrap_or(0);
+                (out, delta)
+            });
+        for (partial, delta) in partials {
+            if let Some(min_lane) = self.lanes.iter_mut().min() {
+                *min_lane += delta;
+            }
+            let partial = partial?;
+            self.report.files_read += 1;
+            self.report.bytes_scanned += partial.bytes_scanned;
+            self.report.row_groups_scanned += partial.row_groups_scanned;
+            let batch = self.scan.filter_exact(partial.batch)?;
+            if batch.num_rows() > 0 {
+                self.report.rows_emitted += batch.num_rows();
+                self.ready.push_back(batch);
+            }
+        }
+        Ok(())
+    }
+}
+
+impl lakehouse_columnar::BatchStream for ScanStream {
+    fn schema(&self) -> &Schema {
+        &self.scan_schema
+    }
+
+    fn next_batch(&mut self) -> lakehouse_columnar::error::Result<Option<RecordBatch>> {
+        while self.ready.is_empty() && !self.entries.is_empty() {
+            self.refill()
+                .map_err(|e| lakehouse_columnar::ColumnarError::External(e.to_string()))?;
+        }
+        Ok(self.ready.pop_front())
     }
 }
 
@@ -618,6 +767,64 @@ mod tests {
         assert_eq!(b1, b2);
         // The warm scan's manifest + footer + chunk reads all hit.
         assert!(warm.cache_hits > 0, "warm scan should hit the cache");
+    }
+
+    #[test]
+    fn stream_matches_materialized_scan() {
+        use lakehouse_columnar::BatchStream;
+        let t = make_table(PartitionSpec::identity("zone"));
+        let (materialized, mat_report) = t
+            .scan()
+            .with_predicate(ScanPredicate::new("fare", CmpOp::Lt, Value::Float64(4.5)))
+            .execute_with_report()
+            .unwrap();
+        let mut stream = t
+            .scan()
+            .with_predicate(ScanPredicate::new("fare", CmpOp::Lt, Value::Float64(4.5)))
+            .stream()
+            .unwrap();
+        let mut batches = Vec::new();
+        while let Some(b) = stream.next_batch().unwrap() {
+            batches.push(b);
+        }
+        // One batch per surviving file; concat equals the materialized scan.
+        assert_eq!(batches.len(), 2);
+        assert_eq!(RecordBatch::concat(&batches).unwrap(), materialized);
+        let report = stream.report();
+        assert_eq!(report.files_scanned, mat_report.files_scanned);
+        assert_eq!(report.files_read, mat_report.files_read);
+        assert_eq!(report.bytes_scanned, mat_report.bytes_scanned);
+        assert_eq!(report.rows_emitted, mat_report.rows_emitted);
+    }
+
+    #[test]
+    fn abandoned_stream_leaves_files_unread() {
+        use lakehouse_columnar::BatchStream;
+        // One file per zone value; serial prefetch (parallelism 1) reads
+        // exactly one file per pull.
+        let t = make_table(PartitionSpec::identity("zone"));
+        let mut stream = t.scan().stream().unwrap();
+        let first = stream.next_batch().unwrap().unwrap();
+        assert!(first.num_rows() > 0);
+        let report = stream.report();
+        assert_eq!(report.files_scanned, 2);
+        assert_eq!(report.files_read, 1, "second file must not be fetched");
+    }
+
+    #[test]
+    fn empty_table_stream() {
+        use lakehouse_columnar::BatchStream;
+        let store: Arc<dyn ObjectStore> = Arc::new(InMemoryStore::new());
+        let t = Table::create(
+            store,
+            "wh/empty2",
+            &taxi_schema(),
+            PartitionSpec::unpartitioned(),
+        )
+        .unwrap();
+        let mut stream = t.scan().stream().unwrap();
+        assert!(stream.next_batch().unwrap().is_none());
+        assert_eq!(stream.schema().len(), 3);
     }
 
     #[test]
