@@ -7,6 +7,9 @@
 //!
 //! Regenerate: `cargo run -p lakehouse-bench --bin ablation_fusion_budget`
 
+// Examples and benches print their results.
+#![allow(clippy::print_stdout)]
+
 use bauplan_core::{builtins, Lakehouse, LakehouseConfig, NodeDef, PipelineProject, RunOptions};
 use lakehouse_bench::print_rows;
 use lakehouse_planner::{ExecutionMode, LogicalPipeline, PhysicalPipeline, PipelineDag};

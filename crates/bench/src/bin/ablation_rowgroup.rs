@@ -7,6 +7,9 @@
 //!
 //! Regenerate: `cargo run -p lakehouse-bench --bin ablation_rowgroup`
 
+// Examples and benches print their results.
+#![allow(clippy::print_stdout)]
+
 use lakehouse_bench::print_rows;
 use lakehouse_columnar::kernels::CmpOp;
 use lakehouse_columnar::{Column, DataType, Field, RecordBatch, Schema, Value};

@@ -8,6 +8,9 @@
 //!
 //! Regenerate: `cargo run -p lakehouse-bench --bin fig1_left`
 
+// Examples and benches print their results.
+#![allow(clippy::print_stdout)]
+
 use lakehouse_bench::{print_rows, print_series};
 use lakehouse_workload::ccdf::{ccdf_points, fitted_ccdf, log_downsample};
 use lakehouse_workload::{fit_power_law, CompanyProfile, QueryHistory};

@@ -4,6 +4,9 @@
 //!
 //! Regenerate: `cargo run -p lakehouse-bench --bin fig1_right`
 
+// Examples and benches print their results.
+#![allow(clippy::print_stdout)]
+
 use lakehouse_bench::{print_rows, print_series};
 use lakehouse_workload::cost::{
     cost_fraction_at_percentile, cumulative_cost_curve, cumulative_curve_by, CostModel,

@@ -10,6 +10,9 @@
 //!
 //! Regenerate: `cargo run -p lakehouse-bench --bin fusion_speedup`
 
+// Examples and benches print their results.
+#![allow(clippy::print_stdout)]
+
 use bauplan_core::{ExecutionMode, LakehouseConfig, RunOptions};
 use lakehouse_bench::{print_rows, taxi_lakehouse, taxi_pipeline};
 

@@ -8,6 +8,9 @@
 //!
 //! Regenerate: `cargo run -p lakehouse-bench --bin package_cache`
 
+// Examples and benches print their results.
+#![allow(clippy::print_stdout)]
+
 use lakehouse_bench::print_rows;
 use lakehouse_runtime::{PackageCache, PackageUniverse};
 use rand::rngs::StdRng;

@@ -4,6 +4,9 @@
 //!
 //! Regenerate: `cargo run -p lakehouse-bench --bin parallel_sql --release`
 
+// Examples and benches print their results.
+#![allow(clippy::print_stdout)]
+
 use lakehouse_bench::print_rows;
 use lakehouse_sql::{MemoryProvider, SqlEngine};
 use lakehouse_workload::TaxiGenerator;

@@ -4,6 +4,9 @@
 //!
 //! Regenerate: `cargo run -p lakehouse-bench --bin ram_cost`
 
+// Examples and benches print their results.
+#![allow(clippy::print_stdout)]
+
 use lakehouse_bench::print_rows;
 use lakehouse_workload::ram_cost::{decade_price_ratio, RAM_USD_PER_TB};
 

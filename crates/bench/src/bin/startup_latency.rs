@@ -9,6 +9,9 @@
 //!
 //! Regenerate: `cargo run -p lakehouse-bench --bin startup_latency`
 
+// Examples and benches print their results.
+#![allow(clippy::print_stdout)]
+
 use lakehouse_bench::print_rows;
 use lakehouse_runtime::{
     ContainerManager, EnvSpec, PackageCache, PackageUniverse, PoolPolicy, SimClock, StartupModel,

@@ -16,6 +16,9 @@
 //! (writes `BENCH_stream.json` in the working directory). `--files` and
 //! `--rows` override the table shape (defaults 24 × 4000).
 
+// Examples and benches print their results.
+#![allow(clippy::print_stdout)]
+
 use bauplan_core::{Lakehouse, LakehouseConfig};
 use lakehouse_bench::print_rows;
 use lakehouse_columnar::{Column, DataType, Field, RecordBatch, Schema};

@@ -14,6 +14,9 @@
 //!
 //! Regenerate: `cargo run -p lakehouse-bench --bin table1`
 
+// Examples and benches print their results.
+#![allow(clippy::print_stdout)]
+
 use bauplan_core::{LakehouseConfig, RunOptions};
 use lakehouse_bench::{print_rows, taxi_lakehouse, taxi_pipeline};
 use std::sync::Arc;

@@ -4,6 +4,9 @@
 //! (see DESIGN.md §3 for the experiment index); this library holds the
 //! fixtures they share.
 
+// The bench harness reports results on stdout.
+#![allow(clippy::print_stdout)]
+
 use bauplan_core::{Lakehouse, LakehouseConfig, PipelineProject};
 use lakehouse_table::{PartitionField, PartitionSpec, Transform};
 use lakehouse_workload::TaxiGenerator;

@@ -6,6 +6,7 @@ bauplan — a serverless data lakehouse from spare parts
 
 USAGE:
   bauplan query -q <SQL> [-b <ref>] [--explain]
+  bauplan profile -q <SQL> [-b <ref>]
   bauplan run --project <dir> [-b <branch>] [--mode naive|fused] [--detach]
   bauplan branch <name> [--from <ref>]
   bauplan tag <name> --from <ref>
@@ -30,6 +31,12 @@ GLOBAL OPTIONS:
                             (pull-based, one batch per data file; LIMIT stops
                             reading early; prints peak memory after queries)
   --batch-rows <n>          max rows per streamed batch (default: 8192)
+  --trace-out <file>        write a Chrome-trace JSON (chrome://tracing /
+                            Perfetto) of the command's span tree
+
+`query -q \"EXPLAIN ANALYZE <SQL>\"` executes the query and prints the plan
+annotated with per-operator rows, batches, bytes, and both clocks. `profile`
+prints the full span tree plus the metrics registry.
 
 The `run` project directory holds one .sql file per artifact (dbt-style) and
 an optional expectations.json declaring data audits:
@@ -48,6 +55,8 @@ pub struct Cli {
     pub stream: bool,
     /// Max rows per streamed batch.
     pub batch_rows: usize,
+    /// Write a Chrome-trace JSON of the command's span tree here.
+    pub trace_out: Option<String>,
     pub command: Command,
 }
 
@@ -58,6 +67,10 @@ pub enum Command {
         sql: String,
         reference: String,
         explain: bool,
+    },
+    Profile {
+        sql: String,
+        reference: String,
     },
     Run {
         project_dir: String,
@@ -115,6 +128,7 @@ impl Cli {
         let mut cache_bytes = 0usize;
         let mut stream = false;
         let mut batch_rows = 8192usize;
+        let mut trace_out = None;
         let mut rest: Vec<String> = Vec::new();
         let mut i = 0;
         while i < argv.len() {
@@ -134,6 +148,8 @@ impl Cli {
                 cache_bytes = mb.saturating_mul(1024 * 1024);
             } else if argv[i] == "--stream" {
                 stream = true;
+            } else if argv[i] == "--trace-out" {
+                trace_out = Some(take_value(argv, &mut i, "--trace-out")?);
             } else if argv[i] == "--batch-rows" {
                 let v = take_value(argv, &mut i, "--batch-rows")?;
                 batch_rows = v
@@ -151,6 +167,7 @@ impl Cli {
         let args = &rest[1..];
         let command = match verb.as_str() {
             "query" => parse_query(args)?,
+            "profile" => parse_profile(args)?,
             "run" => parse_run(args)?,
             "branch" => parse_branch(args)?,
             "tag" => parse_tag(args)?,
@@ -186,6 +203,7 @@ impl Cli {
             cache_bytes,
             stream,
             batch_rows,
+            trace_out,
             command,
         })
     }
@@ -216,6 +234,24 @@ fn parse_query(args: &[String]) -> Result<Command, String> {
         sql: sql.ok_or("query requires -q <SQL>")?,
         reference,
         explain,
+    })
+}
+
+fn parse_profile(args: &[String]) -> Result<Command, String> {
+    let mut sql = None;
+    let mut reference = "main".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "-q" | "--query" => sql = Some(take_value(args, &mut i, "-q")?),
+            "-b" | "--branch" => reference = take_value(args, &mut i, "-b")?,
+            other => return Err(format!("unexpected argument: {other}")),
+        }
+        i += 1;
+    }
+    Ok(Command::Profile {
+        sql: sql.ok_or("profile requires -q <SQL>")?,
+        reference,
     })
 }
 
@@ -500,6 +536,32 @@ mod tests {
                 reference: "main".into()
             }
         );
+    }
+
+    #[test]
+    fn parse_profile_and_trace_out() {
+        let cli = Cli::parse(&s(&["profile", "-q", "SELECT 1", "-b", "dev"])).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Profile {
+                sql: "SELECT 1".into(),
+                reference: "dev".into()
+            }
+        );
+        assert_eq!(cli.trace_out, None);
+        assert!(Cli::parse(&s(&["profile"])).is_err());
+
+        // --trace-out is global: works on query too, anywhere on the line.
+        let cli = Cli::parse(&s(&[
+            "query",
+            "-q",
+            "SELECT 1",
+            "--trace-out",
+            "trace.json",
+        ]))
+        .unwrap();
+        assert_eq!(cli.trace_out.as_deref(), Some("trace.json"));
+        assert!(Cli::parse(&s(&["profile", "-q", "SELECT 1", "--trace-out"])).is_err());
     }
 
     #[test]

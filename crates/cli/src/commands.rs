@@ -4,9 +4,31 @@ use crate::args::{Cli, Command, USAGE};
 use crate::pipeline_loader;
 use bauplan_core::{Lakehouse, LakehouseConfig, PipelineProject, RunOptions, RunReport};
 use lakehouse_columnar::pretty::format_batch;
+use lakehouse_obs::{to_chrome_trace, SpanTree};
 use std::path::Path;
 
 type DynError = Box<dyn std::error::Error>;
+
+/// Write the span tree as Chrome-trace JSON (chrome://tracing / Perfetto).
+fn write_trace(path: &str, tree: &SpanTree) -> Result<(), DynError> {
+    std::fs::write(path, to_chrome_trace(tree))?;
+    eprintln!("wrote {} spans to {path}", tree.spans.len());
+    Ok(())
+}
+
+/// `EXPLAIN ANALYZE <SQL>` → `Some("<SQL>")`.
+fn strip_explain_analyze(sql: &str) -> Option<&str> {
+    let trimmed = sql.trim_start();
+    let mut rest = trimmed;
+    for word in ["EXPLAIN", "ANALYZE"] {
+        let head = rest.get(..word.len())?;
+        if !head.eq_ignore_ascii_case(word) {
+            return None;
+        }
+        rest = rest[word.len()..].trim_start();
+    }
+    Some(rest)
+}
 
 /// Execute a parsed command.
 pub fn dispatch(cli: Cli) -> Result<(), DynError> {
@@ -21,6 +43,7 @@ pub fn dispatch(cli: Cli) -> Result<(), DynError> {
         stream_batch_rows: cli.batch_rows,
         ..LakehouseConfig::default()
     };
+    let trace_out = cli.trace_out.clone();
     let lh = Lakehouse::on_disk(&cli.data_dir, config)?;
     match cli.command {
         Command::Query {
@@ -28,8 +51,22 @@ pub fn dispatch(cli: Cli) -> Result<(), DynError> {
             reference,
             explain,
         } => {
-            if explain {
+            if let Some(inner) = strip_explain_analyze(&sql) {
+                let (batch, text, tree) = lh.explain_analyze_traced(inner, &reference)?;
+                println!("{text}");
+                println!("({} rows)", batch.num_rows());
+                if let Some(path) = &trace_out {
+                    write_trace(path, &tree)?;
+                }
+            } else if explain {
                 println!("{}", lh.explain(&sql, &reference)?);
+            } else if trace_out.is_some() {
+                let (batch, tree) = lh.profile(&sql, &reference)?;
+                println!("{}", format_batch(&batch, 40));
+                println!("({} rows)", batch.num_rows());
+                if let Some(path) = &trace_out {
+                    write_trace(path, &tree)?;
+                }
             } else if cli.stream {
                 let (batch, report) = lh.query_with_report(&sql, &reference)?;
                 println!("{}", format_batch(&batch, 40));
@@ -43,6 +80,18 @@ pub fn dispatch(cli: Cli) -> Result<(), DynError> {
                 let batch = lh.query(&sql, &reference)?;
                 println!("{}", format_batch(&batch, 40));
                 println!("({} rows)", batch.num_rows());
+            }
+        }
+        Command::Profile { sql, reference } => {
+            let (batch, tree) = lh.profile(&sql, &reference)?;
+            println!("{}", format_batch(&batch, 40));
+            println!("({} rows)", batch.num_rows());
+            println!();
+            print!("{}", tree.render());
+            println!();
+            print!("{}", lakehouse_obs::global().render());
+            if let Some(path) = &trace_out {
+                write_trace(path, &tree)?;
             }
         }
         Command::Run {
@@ -65,6 +114,9 @@ pub fn dispatch(cli: Cli) -> Result<(), DynError> {
             } else {
                 let report = lh.run(&project, &options)?;
                 print_report(&report);
+                if let Some(path) = &trace_out {
+                    write_trace(path, &report.trace)?;
+                }
             }
         }
         Command::Branch { name, from } => {

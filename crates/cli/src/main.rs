@@ -8,6 +8,9 @@
 //! State persists under `--data-dir` (default `.bauplan/`), so successive
 //! invocations see the same lake.
 
+// The CLI's job is printing to stdout.
+#![allow(clippy::print_stdout)]
+
 mod args;
 mod commands;
 mod pipeline_loader;

@@ -96,6 +96,24 @@ impl Lakehouse {
         })
     }
 
+    // ---- observability ------------------------------------------------------
+
+    /// The platform's simulated clock as a span time source: store charged
+    /// latency plus the runtime's virtual startup/datapass clock. Spans
+    /// record this alongside wall time, so traces of simulated runs are
+    /// deterministic (DESIGN.md §10).
+    fn sim_source(&self) -> lakehouse_obs::SimSource {
+        let metrics = self.store_metrics();
+        let clock = self.runtime.clock().clone();
+        Arc::new(move || (metrics.simulated_time() + clock.now()).as_nanos() as u64)
+    }
+
+    /// Install this lakehouse's simulated clock for spans opened on the
+    /// current thread (restored on guard drop).
+    pub(crate) fn install_sim(&self) -> lakehouse_obs::SimSourceGuard {
+        lakehouse_obs::set_thread_sim_source(Some(self.sim_source()))
+    }
+
     // ---- introspection -----------------------------------------------------
 
     /// Simulated-latency metrics of the object store.
@@ -309,6 +327,9 @@ impl Lakehouse {
 
     /// Synchronous SQL over any branch, tag, or commit id (time travel).
     pub fn query(&self, sql: &str, reference: &str) -> Result<RecordBatch> {
+        let _sim = self.install_sim();
+        let scope = lakehouse_obs::scope("query");
+        scope.attr("reference", reference);
         let provider = self.provider(reference);
         Ok(self.engine.query(sql, &provider)?)
     }
@@ -322,6 +343,9 @@ impl Lakehouse {
         sql: &str,
         reference: &str,
     ) -> Result<(RecordBatch, lakehouse_sql::ExecReport)> {
+        let _sim = self.install_sim();
+        let scope = lakehouse_obs::scope("query");
+        scope.attr("reference", reference);
         let provider = self.provider(reference);
         Ok(self.engine.query_with_report(sql, &provider)?)
     }
@@ -330,6 +354,45 @@ impl Lakehouse {
     pub fn explain(&self, sql: &str, reference: &str) -> Result<String> {
         let provider = self.provider(reference);
         Ok(self.engine.explain(sql, &provider)?)
+    }
+
+    /// EXPLAIN ANALYZE at a ref: execute the query (materialized or streaming
+    /// per `config.stream_execution`) and render the optimized plan annotated
+    /// per operator with rows, batches, bytes, and wall/simulated span time.
+    pub fn explain_analyze(&self, sql: &str, reference: &str) -> Result<(RecordBatch, String)> {
+        let _sim = self.install_sim();
+        let provider = self.provider(reference);
+        Ok(self.engine.explain_analyze(sql, &provider)?)
+    }
+
+    /// [`Self::explain_analyze`] plus the recorded span tree, for exporters
+    /// (`--trace-out`, `bauplan profile`).
+    pub fn explain_analyze_traced(
+        &self,
+        sql: &str,
+        reference: &str,
+    ) -> Result<(RecordBatch, String, lakehouse_obs::SpanTree)> {
+        let _sim = self.install_sim();
+        let provider = self.provider(reference);
+        Ok(self.engine.explain_analyze_traced(sql, &provider)?)
+    }
+
+    /// Execute a query under a forced trace and return the result together
+    /// with the full span tree (scan planning, fetches, operators) — the
+    /// backing of `bauplan profile`.
+    pub fn profile(
+        &self,
+        sql: &str,
+        reference: &str,
+    ) -> Result<(RecordBatch, lakehouse_obs::SpanTree)> {
+        let _sim = self.install_sim();
+        let trace = lakehouse_obs::Trace::start_forced("query");
+        trace.attr("reference", reference);
+        trace.attr("sql", sql);
+        let provider = self.provider(reference);
+        let result = self.engine.query(sql, &provider);
+        let tree = trace.finish();
+        Ok((result?, tree))
     }
 
     pub(crate) fn provider(&self, reference: &str) -> LakehouseProvider {

@@ -98,6 +98,57 @@ pub struct RunReport {
     /// Peak working set across this run's SQL queries (bytes), measured by
     /// the streaming executor. 0 when `stream_execution` is off.
     pub peak_query_bytes: usize,
+    /// The run's span tree: plan, stages, steps, container starts, scans.
+    /// Every run is traced (forced), so this is always populated.
+    pub trace: lakehouse_obs::SpanTree,
+}
+
+/// Baseline snapshot of the per-instance metric sources a run reports deltas
+/// against. The global [`lakehouse_obs::MetricsRegistry`] counters are
+/// process-wide (shared across lakehouses and parallel tests), so run
+/// accounting samples the instance-local sources and diffs them instead.
+struct MetricBaseline {
+    clock: Duration,
+    store_time: Duration,
+    gets: u64,
+    puts: u64,
+    starts: (u64, u64, u64),
+}
+
+/// What changed between a [`MetricBaseline`] and now.
+struct MetricDelta {
+    simulated_startup: Duration,
+    simulated_store: Duration,
+    container_starts: (u64, u64, u64),
+    store_ops: (u64, u64),
+}
+
+impl MetricBaseline {
+    fn capture(lh: &Lakehouse) -> MetricBaseline {
+        let metrics = lh.store_metrics();
+        MetricBaseline {
+            clock: lh.clock().now(),
+            store_time: metrics.simulated_time(),
+            gets: metrics.gets(),
+            puts: metrics.puts(),
+            starts: lh.runtime().containers().start_counts(),
+        }
+    }
+
+    fn delta(&self, lh: &Lakehouse) -> MetricDelta {
+        let metrics = lh.store_metrics();
+        let starts = lh.runtime().containers().start_counts();
+        MetricDelta {
+            simulated_startup: lh.clock().now() - self.clock,
+            simulated_store: metrics.simulated_time() - self.store_time,
+            container_starts: (
+                starts.0 - self.starts.0,
+                starts.1 - self.starts.1,
+                starts.2 - self.starts.2,
+            ),
+            store_ops: (metrics.gets() - self.gets, metrics.puts() - self.puts),
+        }
+    }
 }
 
 impl Lakehouse {
@@ -158,7 +209,16 @@ impl Lakehouse {
         let snapshot = ProjectSnapshot::of(&project);
         let run_id = self.runs.lock().reserve();
 
+        // Every run is traced (forced): the resulting span tree ships with
+        // the report. Simulated timestamps come from the lakehouse clocks.
+        let _sim = self.install_sim();
+        let trace = lakehouse_obs::Trace::start_forced("run");
+        trace.attr("run_id", run_id);
+        trace.attr("branch", options.branch.as_str());
+        trace.attr("mode", format!("{mode:?}"));
+
         // Plan.
+        let plan_span = lakehouse_obs::span("plan");
         let dag = PipelineDag::extract(&project)?;
         let selection = replay.as_ref().and_then(|(_, sel)| sel.clone());
         let logical = LogicalPipeline::plan_with_dag(&project, &dag, selection.as_deref())?;
@@ -174,6 +234,8 @@ impl Lakehouse {
                     .estimate(node, self.config.default_step_memory)
             },
         )?;
+        plan_span.attr("stages", physical.stages.len() as u64);
+        drop(plan_span);
 
         // Data version this run reads (for the registry + replays).
         let base_ref = match &replay {
@@ -190,11 +252,7 @@ impl Lakehouse {
         self.catalog.create_branch(&ephemeral, Some(&base_ref))?;
 
         // Metric baselines for the report.
-        let metrics = self.store_metrics();
-        let clock0 = self.clock().now();
-        let store_t0 = metrics.simulated_time();
-        let (gets0, puts0) = (metrics.gets(), metrics.puts());
-        let starts0 = self.runtime.containers().start_counts();
+        let baseline = MetricBaseline::capture(self);
 
         // The naive baseline (the paper's first version) reads whole tables —
         // no scan-level predicate pushdown — and runs each node in a
@@ -213,17 +271,12 @@ impl Lakehouse {
         );
 
         // Collect deltas regardless of success.
-        let clock1 = self.clock().now();
-        let store_t1 = metrics.simulated_time();
-        let starts1 = self.runtime.containers().start_counts();
-        let simulated_startup = clock1 - clock0;
-        let simulated_store = store_t1 - store_t0;
-        let container_starts = (
-            starts1.0 - starts0.0,
-            starts1.1 - starts0.1,
-            starts1.2 - starts0.2,
-        );
-        let store_ops = (metrics.gets() - gets0, metrics.puts() - puts0);
+        let MetricDelta {
+            simulated_startup,
+            simulated_store,
+            container_starts,
+            store_ops,
+        } = baseline.delta(self);
 
         let (success, artifact_rows, audit_results, failure) = match outcome {
             Ok((rows, audits)) => {
@@ -276,6 +329,9 @@ impl Lakehouse {
             })
             .map_err(BauplanError::Planner)?;
 
+        trace.attr("success", if success { "true" } else { "false" });
+        let run_trace = trace.finish();
+
         if let Some(e) = failure {
             return Err(e);
         }
@@ -295,6 +351,7 @@ impl Lakehouse {
             store_ops,
             stages_executed: physical.stages.len(),
             peak_query_bytes,
+            trace: run_trace,
         })
     }
 
@@ -313,7 +370,12 @@ impl Lakehouse {
     ) -> Result<(BTreeMap<String, u64>, BTreeMap<String, bool>)> {
         let mut artifact_rows = BTreeMap::new();
         let mut audit_results = BTreeMap::new();
-        for stage in &physical.stages {
+        for (stage_idx, stage) in physical.stages.iter().enumerate() {
+            let stage_span = lakehouse_obs::span("stage");
+            if stage_span.is_recording() {
+                stage_span.attr("index", stage_idx as u64);
+                stage_span.attr("steps", stage.steps.join(","));
+            }
             // One container invocation per stage: charge startup for the
             // stage's merged environment. Fused stages reuse frozen
             // containers; the naive mapping is stateless (paper §4.4.2).
@@ -334,6 +396,8 @@ impl Lakehouse {
             // provider overlay (in-memory locality within the stage).
             let mut stage_outputs: Vec<(String, RecordBatch)> = Vec::new();
             for step_name in &stage.steps {
+                let step_span = lakehouse_obs::span("step");
+                step_span.attr("name", step_name.as_str());
                 let step = logical
                     .steps
                     .iter()
@@ -396,6 +460,10 @@ impl Lakehouse {
             // resumes a frozen one (materialization "looks no slower than
             // running any other Python function"), the naive baseline pays
             // the stateless startup path every time.
+            let mat_span = lakehouse_obs::span("materialize");
+            if mat_span.is_recording() {
+                mat_span.attr("artifacts", stage_outputs.len() as u64);
+            }
             if !stage_outputs.is_empty() {
                 let spark_env = EnvSpec::bare("spark-insert");
                 let spark_mem = self

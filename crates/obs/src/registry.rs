@@ -1,0 +1,341 @@
+//! Process-wide metrics registry: counters, gauges, and fixed-bucket
+//! histograms.
+//!
+//! Handles are `Arc`s of atomics handed out once at registration; updating a
+//! metric is a lock-free atomic op. The registry lock is taken only when
+//! registering or snapshotting, never on hot paths.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value / high-watermark gauge.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Raise the gauge to `v` if it is higher than the current value.
+    pub fn record_max(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of power-of-two histogram buckets: bucket `i` holds values whose
+/// bit length is `i`, i.e. `[2^(i-1), 2^i)` for `i > 0` and `{0}` for 0.
+const BUCKETS: usize = 65;
+
+/// A fixed-bucket (power-of-two bounds) histogram with lock-free recording.
+/// Quantiles are approximate — resolved to bucket boundaries, clamped to the
+/// observed min/max — which is enough for registry-level p50/p95/p99.
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [(); BUCKETS].map(|()| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .field("sum", &self.sum())
+            .field("min", &self.min())
+            .field("max", &self.max())
+            .finish()
+    }
+}
+
+impl Histogram {
+    pub fn record(&self, v: u64) {
+        let idx = (u64::BITS - v.leading_zeros()) as usize;
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    pub fn min(&self) -> Option<u64> {
+        let v = self.min.load(Ordering::Relaxed);
+        (v != u64::MAX).then_some(v)
+    }
+
+    pub fn max(&self) -> Option<u64> {
+        (self.count() > 0).then(|| self.max.load(Ordering::Relaxed))
+    }
+
+    pub fn mean(&self) -> Option<f64> {
+        let n = self.count();
+        (n > 0).then(|| self.sum() as f64 / n as f64)
+    }
+
+    /// Approximate quantile: upper bound of the bucket holding the q-th
+    /// sample, clamped to the observed min/max.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let n = self.count();
+        if n == 0 {
+            return None;
+        }
+        let target = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= target {
+                let upper = match idx {
+                    0 => 0,
+                    64.. => u64::MAX,
+                    _ => (1u64 << idx) - 1,
+                };
+                let lo = self.min().unwrap_or(0);
+                let hi = self.max.load(Ordering::Relaxed);
+                return Some(upper.clamp(lo, hi));
+            }
+        }
+        self.max()
+    }
+}
+
+/// One registered metric handle.
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// A point-in-time reading of one metric, for reports and rendering.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricSnapshot {
+    Counter(u64),
+    Gauge(u64),
+    Histogram {
+        count: u64,
+        sum: u64,
+        min: u64,
+        max: u64,
+        p50: u64,
+        p95: u64,
+        p99: u64,
+    },
+}
+
+/// Name → handle map. One global instance via [`global`]; separate instances
+/// exist only for tests.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Get or create the counter `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut m = self.metrics.lock();
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::default())))
+        {
+            Metric::Counter(c) => c.clone(),
+            other => panic!("metric {name} already registered as {other:?}"),
+        }
+    }
+
+    /// Get or create the gauge `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut m = self.metrics.lock();
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::default())))
+        {
+            Metric::Gauge(g) => g.clone(),
+            other => panic!("metric {name} already registered as {other:?}"),
+        }
+    }
+
+    /// Get or create the histogram `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut m = self.metrics.lock();
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::default())))
+        {
+            Metric::Histogram(h) => h.clone(),
+            other => panic!("metric {name} already registered as {other:?}"),
+        }
+    }
+
+    /// Read every registered metric, sorted by name.
+    pub fn snapshot(&self) -> Vec<(String, MetricSnapshot)> {
+        let m = self.metrics.lock();
+        m.iter()
+            .map(|(name, metric)| {
+                let snap = match metric {
+                    Metric::Counter(c) => MetricSnapshot::Counter(c.get()),
+                    Metric::Gauge(g) => MetricSnapshot::Gauge(g.get()),
+                    Metric::Histogram(h) => MetricSnapshot::Histogram {
+                        count: h.count(),
+                        sum: h.sum(),
+                        min: h.min().unwrap_or(0),
+                        max: h.max().unwrap_or(0),
+                        p50: h.quantile(0.50).unwrap_or(0),
+                        p95: h.quantile(0.95).unwrap_or(0),
+                        p99: h.quantile(0.99).unwrap_or(0),
+                    },
+                };
+                (name.clone(), snap)
+            })
+            .collect()
+    }
+
+    /// Render the registry as an aligned text table (the `bauplan profile`
+    /// metrics section).
+    pub fn render(&self) -> String {
+        let snaps = self.snapshot();
+        let width = snaps.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+        let mut out = String::new();
+        for (name, snap) in snaps {
+            let value = match snap {
+                MetricSnapshot::Counter(v) => format!("{v}"),
+                MetricSnapshot::Gauge(v) => format!("{v} (gauge)"),
+                MetricSnapshot::Histogram {
+                    count,
+                    sum,
+                    min,
+                    max,
+                    p50,
+                    p95,
+                    p99,
+                } => format!(
+                    "count={count} sum={sum} min={min} p50~{p50} p95~{p95} p99~{p99} max={max}"
+                ),
+            };
+            out.push_str(&format!("{name:<width$}  {value}\n"));
+        }
+        out
+    }
+}
+
+/// The process-wide registry.
+pub fn global() -> &'static MetricsRegistry {
+    static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+    GLOBAL.get_or_init(MetricsRegistry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("c");
+        c.add(3);
+        reg.counter("c").inc();
+        assert_eq!(c.get(), 4);
+        let g = reg.gauge("g");
+        g.set(10);
+        g.record_max(7);
+        assert_eq!(g.get(), 10);
+        g.record_max(12);
+        assert_eq!(g.get(), 12);
+    }
+
+    #[test]
+    fn histogram_quantiles_bracket_samples() {
+        let h = Histogram::default();
+        for v in [1u64, 2, 3, 4, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 110);
+        assert_eq!(h.min(), Some(1));
+        assert_eq!(h.max(), Some(100));
+        let p50 = h.quantile(0.5).unwrap();
+        assert!((2..=4).contains(&p50), "p50 ~{p50} should bracket 3");
+        assert_eq!(h.quantile(1.0), Some(100));
+        assert!(Histogram::default().quantile(0.5).is_none());
+    }
+
+    #[test]
+    fn histogram_zero_and_large_values() {
+        let h = Histogram::default();
+        h.record(0);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(u64::MAX));
+        assert_eq!(h.quantile(0.0), Some(0));
+    }
+
+    #[test]
+    fn snapshot_and_render() {
+        let reg = MetricsRegistry::new();
+        reg.counter("a.ops").add(2);
+        reg.histogram("a.nanos").record(1000);
+        let snaps = reg.snapshot();
+        assert_eq!(snaps.len(), 2);
+        let text = reg.render();
+        assert!(text.contains("a.ops"));
+        assert!(text.contains("count=1"));
+    }
+}

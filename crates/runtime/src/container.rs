@@ -135,6 +135,7 @@ impl ContainerManager {
                 let id = pooled.id;
                 self.clock
                     .advance_labelled(breakdown.total(), format!("start:{kind:?}"));
+                publish_start(kind, &breakdown);
                 return Container {
                     id,
                     env: env.clone(),
@@ -163,6 +164,7 @@ impl ContainerManager {
     /// pool).
     fn fresh_start(&self, inner: &mut ManagerInner, env: &EnvSpec) -> Container {
         let first_of_env = !inner.pool.contains_key(env);
+        let (hits_before, misses_before) = (inner.cache.hits(), inner.cache.misses());
         let breakdown = if first_of_env {
             inner.cold_starts += 1;
             let cache = &mut inner.cache;
@@ -177,11 +179,19 @@ impl ContainerManager {
         } else {
             StartupKind::Warm
         };
+        let registry = lakehouse_obs::global();
+        registry
+            .counter("runtime.package_cache_hits")
+            .add(inner.cache.hits() - hits_before);
+        registry
+            .counter("runtime.package_cache_misses")
+            .add(inner.cache.misses() - misses_before);
         inner.pool.entry(env.clone()).or_default();
         inner.next_id += 1;
         let id = inner.next_id;
         self.clock
             .advance_labelled(breakdown.total(), format!("start:{kind:?}"));
+        publish_start(kind, &breakdown);
         Container {
             id,
             env: env.clone(),
@@ -200,8 +210,11 @@ impl ContainerManager {
         };
         // Freezing costs a checkpoint write; warm keep is free.
         if state == ContainerState::Frozen {
+            let span = lakehouse_obs::span("container.freeze");
+            span.attr("container_id", container.id);
             self.clock
                 .advance_labelled(Duration::from_millis(25), "freeze");
+            lakehouse_obs::global().counter("runtime.freezes").inc();
         }
         inner
             .pool
@@ -226,6 +239,27 @@ impl ContainerManager {
 
     pub fn clock(&self) -> &SimClock {
         &self.clock
+    }
+}
+
+/// Publish one container start into the process-wide metrics registry and,
+/// when a trace is active, record it as a span. The span is opened after the
+/// simulated clock has been advanced so its simulated end time includes the
+/// startup latency the acquisition charged.
+fn publish_start(kind: StartupKind, breakdown: &StartupBreakdown) {
+    let registry = lakehouse_obs::global();
+    let counter = match kind {
+        StartupKind::Cold => "runtime.cold_starts",
+        StartupKind::Warm => "runtime.warm_starts",
+        StartupKind::Resume => "runtime.resumes",
+    };
+    registry.counter(counter).inc();
+    let nanos = breakdown.total().as_nanos() as u64;
+    registry.histogram("runtime.startup_nanos").record(nanos);
+    let span = lakehouse_obs::span("container.start");
+    if span.is_recording() {
+        span.attr("kind", format!("{kind:?}"));
+        span.attr("startup_nanos", nanos);
     }
 }
 

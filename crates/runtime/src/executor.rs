@@ -125,6 +125,7 @@ impl Runtime {
         f: impl FnOnce(&SimClock, &MemoryGrant) -> Result<T>,
         stateless: bool,
     ) -> Result<Invocation<T>> {
+        let span = lakehouse_obs::span("runtime.invoke");
         let grant = self.memory.allocate(memory_bytes)?;
         let start = self.clock.now();
         let container = if stateless {
@@ -147,6 +148,11 @@ impl Runtime {
         };
         if !stateless {
             self.containers.release(container);
+        }
+        if span.is_recording() {
+            span.attr("env", env.interpreter.as_str());
+            span.attr("start_kind", format!("{startup_kind:?}"));
+            span.attr("memory_bytes", memory_bytes);
         }
         Ok(Invocation {
             output,

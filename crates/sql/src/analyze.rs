@@ -1,0 +1,56 @@
+//! `EXPLAIN ANALYZE` rendering: the optimized logical plan annotated with
+//! per-operator execution stats pulled from a recorded span tree.
+//!
+//! Both executors tag each operator span with a `path` attribute — `"0"` for
+//! the root, `"p.i"` for child `i` of the node at `p`, with `SubqueryAlias`
+//! transparent (its input keeps its path) — so stats can be matched back to
+//! plan nodes positionally, independent of operator names.
+
+use crate::logical::LogicalPlan;
+use lakehouse_obs::{fmt_duration, SpanData, SpanTree};
+use std::collections::HashMap;
+
+/// Render `plan` with each operator line annotated from the matching span:
+/// rows and batches emitted, output bytes, and wall/simulated span time.
+pub fn render_analyzed(plan: &LogicalPlan, tree: &SpanTree) -> String {
+    let by_path: HashMap<&str, &SpanData> = tree
+        .spans
+        .iter()
+        .filter_map(|s| s.attr_str("path").map(|p| (p, s)))
+        .collect();
+    let mut out = String::new();
+    go(plan, "0", 0, &by_path, &mut out);
+    out
+}
+
+fn go(
+    plan: &LogicalPlan,
+    path: &str,
+    indent: usize,
+    by_path: &HashMap<&str, &SpanData>,
+    out: &mut String,
+) {
+    let pad = "  ".repeat(indent);
+    if let LogicalPlan::SubqueryAlias { input, .. } = plan {
+        // No operator runs for the alias: print the line unannotated and
+        // keep the path for its input (matching both executors).
+        out.push_str(&format!("{pad}{}\n", plan.node_label()));
+        go(input, path, indent + 1, by_path, out);
+        return;
+    }
+    out.push_str(&format!("{pad}{}", plan.node_label()));
+    if let Some(span) = by_path.get(path) {
+        out.push_str(&format!(
+            "  [rows={} batches={} bytes={} wall={} sim={}]",
+            span.attr_u64("rows").unwrap_or(0),
+            span.attr_u64("batches").unwrap_or(0),
+            span.attr_u64("bytes").unwrap_or(0),
+            fmt_duration(span.wall_nanos()),
+            fmt_duration(span.sim_nanos()),
+        ));
+    }
+    out.push('\n');
+    for (i, input) in plan.children().into_iter().enumerate() {
+        go(input, &format!("{path}.{i}"), indent + 1, by_path, out);
+    }
+}

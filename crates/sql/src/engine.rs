@@ -170,6 +170,40 @@ impl SqlEngine {
     pub fn explain(&self, sql: &str, provider: &dyn TableProvider) -> Result<String> {
         Ok(self.plan(sql, provider)?.display_indent())
     }
+
+    /// EXPLAIN ANALYZE: execute the query under a forced trace (through the
+    /// engine's configured executor — streaming or materialized) and render
+    /// the optimized plan annotated per operator with rows, batches, output
+    /// bytes, and wall/simulated span time.
+    pub fn explain_analyze(
+        &self,
+        sql: &str,
+        provider: &dyn TableProvider,
+    ) -> Result<(RecordBatch, String)> {
+        let (batch, text, _) = self.explain_analyze_traced(sql, provider)?;
+        Ok((batch, text))
+    }
+
+    /// [`Self::explain_analyze`], additionally returning the recorded span
+    /// tree (for exporters: Chrome trace, `bauplan profile`).
+    pub fn explain_analyze_traced(
+        &self,
+        sql: &str,
+        provider: &dyn TableProvider,
+    ) -> Result<(RecordBatch, String, lakehouse_obs::SpanTree)> {
+        let plan = self.plan(sql, provider)?;
+        let trace = lakehouse_obs::Trace::start_forced("explain_analyze");
+        let result = if self.streaming {
+            crate::streaming::execute_streaming(&plan, provider, &self.options, true)
+                .map(|(batch, _)| batch)
+        } else {
+            crate::physical::execute_with_options(&plan, provider, &self.options)
+        };
+        let tree = trace.finish();
+        let batch = result?;
+        let text = crate::analyze::render_analyzed(&plan, &tree);
+        Ok((batch, text, tree))
+    }
 }
 
 #[cfg(test)]
@@ -461,6 +495,55 @@ mod tests {
         assert!(text.contains("Scan: taxi_table"));
         assert!(text.contains("filters=["));
         assert!(text.contains("projection=["));
+    }
+
+    #[test]
+    fn explain_analyze_annotates_every_operator() {
+        for engine in [SqlEngine::new(), SqlEngine::new().with_streaming(true)] {
+            let (batch, text) = engine
+                .explain_analyze(
+                    "SELECT pickup_location_id, COUNT(*) AS n FROM taxi_table \
+                     WHERE fare > 9.0 GROUP BY pickup_location_id",
+                    &provider(),
+                )
+                .unwrap();
+            assert_eq!(batch.num_rows(), 3);
+            for line in text.lines() {
+                assert!(
+                    line.contains("[rows="),
+                    "unannotated operator line: {line:?}"
+                );
+            }
+            // The aggregate emits exactly the three output groups.
+            let agg = text
+                .lines()
+                .find(|l| l.trim_start().starts_with("Aggregate"))
+                .unwrap();
+            assert!(agg.contains("[rows=3 "), "{agg}");
+        }
+    }
+
+    #[test]
+    fn explain_analyze_annotates_joins_and_subqueries() {
+        let engine = SqlEngine::new().with_streaming(true);
+        let (batch, text) = engine
+            .explain_analyze(
+                "SELECT name, total FROM (SELECT pickup_location_id AS p, SUM(fare) AS total \
+                 FROM taxi_table GROUP BY pickup_location_id) t JOIN zones z ON t.p = z.id \
+                 ORDER BY total DESC LIMIT 2",
+                &provider(),
+            )
+            .unwrap();
+        assert_eq!(batch.num_rows(), 2);
+        for line in text.lines() {
+            if line.trim_start().starts_with("SubqueryAlias") {
+                continue; // transparent: no operator, no stats
+            }
+            assert!(
+                line.contains("[rows="),
+                "unannotated operator line: {line:?}"
+            );
+        }
     }
 
     #[test]

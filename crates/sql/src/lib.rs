@@ -24,6 +24,7 @@
 //! is what lets the platform layer connect it to Iceberg-style scans with
 //! pushed-down predicates.
 
+pub mod analyze;
 pub mod ast;
 pub mod engine;
 pub mod error;
@@ -36,6 +37,7 @@ pub mod physical;
 pub mod streaming;
 pub mod tokenizer;
 
+pub use analyze::render_analyzed;
 pub use ast::{Expr, SelectStmt};
 pub use engine::{MemoryProvider, SqlEngine, TableProvider};
 pub use error::{Result, SqlError};

@@ -154,89 +154,87 @@ impl LogicalPlan {
         }
     }
 
+    /// This node's inputs, in execution-path order (Join: left then right).
+    /// The order matches the `path` attribute the executors record on spans
+    /// (child `i` of a node at path `p` executes at path `p.i`).
+    pub fn children(&self) -> Vec<&LogicalPlan> {
+        match self {
+            LogicalPlan::Scan { .. } => vec![],
+            LogicalPlan::Filter { input, .. }
+            | LogicalPlan::Project { input, .. }
+            | LogicalPlan::Aggregate { input, .. }
+            | LogicalPlan::Sort { input, .. }
+            | LogicalPlan::Limit { input, .. }
+            | LogicalPlan::Distinct { input }
+            | LogicalPlan::SubqueryAlias { input, .. } => vec![input],
+            LogicalPlan::Join { left, right, .. } => vec![left, right],
+        }
+    }
+
+    /// One-line label for this node as it appears in EXPLAIN output.
+    pub fn node_label(&self) -> String {
+        match self {
+            LogicalPlan::Scan {
+                table,
+                projection,
+                filters,
+                ..
+            } => {
+                let mut label = format!("Scan: {table}");
+                if let Some(p) = projection {
+                    label.push_str(&format!(" projection=[{}]", p.join(", ")));
+                }
+                if !filters.is_empty() {
+                    let fs: Vec<String> = filters.iter().map(|f| f.to_string()).collect();
+                    label.push_str(&format!(" filters=[{}]", fs.join(" AND ")));
+                }
+                label
+            }
+            LogicalPlan::Filter { predicate, .. } => format!("Filter: {predicate}"),
+            LogicalPlan::Project { exprs, .. } => {
+                let items: Vec<String> = exprs.iter().map(|(e, n)| format!("{e} AS {n}")).collect();
+                format!("Project: {}", items.join(", "))
+            }
+            LogicalPlan::Aggregate {
+                group_exprs,
+                agg_exprs,
+                ..
+            } => {
+                let gs: Vec<String> = group_exprs.iter().map(|(e, _)| e.to_string()).collect();
+                let aggs: Vec<String> = agg_exprs.iter().map(|(_, n)| n.clone()).collect();
+                format!(
+                    "Aggregate: group=[{}] aggs=[{}]",
+                    gs.join(", "),
+                    aggs.join(", ")
+                )
+            }
+            LogicalPlan::Join { join_type, on, .. } => {
+                let pairs: Vec<String> = on.iter().map(|(l, r)| format!("{l} = {r}")).collect();
+                format!("Join({join_type:?}): on [{}]", pairs.join(" AND "))
+            }
+            LogicalPlan::Sort { keys, .. } => {
+                let ks: Vec<String> = keys
+                    .iter()
+                    .map(|(e, d)| format!("{e}{}", if *d { " DESC" } else { "" }))
+                    .collect();
+                format!("Sort: {}", ks.join(", "))
+            }
+            LogicalPlan::Limit { limit, offset, .. } => {
+                format!("Limit: {limit:?} offset {offset}")
+            }
+            LogicalPlan::Distinct { .. } => "Distinct".to_string(),
+            LogicalPlan::SubqueryAlias { alias, .. } => format!("SubqueryAlias: {alias}"),
+        }
+    }
+
     /// Indented textual rendering (EXPLAIN output).
     pub fn display_indent(&self) -> String {
         fn go(plan: &LogicalPlan, indent: usize, out: &mut String) {
-            let pad = "  ".repeat(indent);
-            match plan {
-                LogicalPlan::Scan {
-                    table,
-                    projection,
-                    filters,
-                    ..
-                } => {
-                    out.push_str(&format!("{pad}Scan: {table}"));
-                    if let Some(p) = projection {
-                        out.push_str(&format!(" projection=[{}]", p.join(", ")));
-                    }
-                    if !filters.is_empty() {
-                        let fs: Vec<String> = filters.iter().map(|f| f.to_string()).collect();
-                        out.push_str(&format!(" filters=[{}]", fs.join(" AND ")));
-                    }
-                    out.push('\n');
-                }
-                LogicalPlan::Filter { input, predicate } => {
-                    out.push_str(&format!("{pad}Filter: {predicate}\n"));
-                    go(input, indent + 1, out);
-                }
-                LogicalPlan::Project { input, exprs } => {
-                    let items: Vec<String> =
-                        exprs.iter().map(|(e, n)| format!("{e} AS {n}")).collect();
-                    out.push_str(&format!("{pad}Project: {}\n", items.join(", ")));
-                    go(input, indent + 1, out);
-                }
-                LogicalPlan::Aggregate {
-                    input,
-                    group_exprs,
-                    agg_exprs,
-                } => {
-                    let gs: Vec<String> = group_exprs.iter().map(|(e, _)| e.to_string()).collect();
-                    let aggs: Vec<String> = agg_exprs.iter().map(|(_, n)| n.clone()).collect();
-                    out.push_str(&format!(
-                        "{pad}Aggregate: group=[{}] aggs=[{}]\n",
-                        gs.join(", "),
-                        aggs.join(", ")
-                    ));
-                    go(input, indent + 1, out);
-                }
-                LogicalPlan::Join {
-                    left,
-                    right,
-                    join_type,
-                    on,
-                } => {
-                    let pairs: Vec<String> = on.iter().map(|(l, r)| format!("{l} = {r}")).collect();
-                    out.push_str(&format!(
-                        "{pad}Join({join_type:?}): on [{}]\n",
-                        pairs.join(" AND ")
-                    ));
-                    go(left, indent + 1, out);
-                    go(right, indent + 1, out);
-                }
-                LogicalPlan::Sort { input, keys } => {
-                    let ks: Vec<String> = keys
-                        .iter()
-                        .map(|(e, d)| format!("{e}{}", if *d { " DESC" } else { "" }))
-                        .collect();
-                    out.push_str(&format!("{pad}Sort: {}\n", ks.join(", ")));
-                    go(input, indent + 1, out);
-                }
-                LogicalPlan::Limit {
-                    input,
-                    limit,
-                    offset,
-                } => {
-                    out.push_str(&format!("{pad}Limit: {limit:?} offset {offset}\n"));
-                    go(input, indent + 1, out);
-                }
-                LogicalPlan::Distinct { input } => {
-                    out.push_str(&format!("{pad}Distinct\n"));
-                    go(input, indent + 1, out);
-                }
-                LogicalPlan::SubqueryAlias { input, alias } => {
-                    out.push_str(&format!("{pad}SubqueryAlias: {alias}\n"));
-                    go(input, indent + 1, out);
-                }
+            out.push_str(&"  ".repeat(indent));
+            out.push_str(&plan.node_label());
+            out.push('\n');
+            for child in plan.children() {
+                go(child, indent + 1, out);
             }
         }
         let mut out = String::new();

@@ -56,6 +56,40 @@ pub fn execute_with_options(
     provider: &dyn TableProvider,
     options: &ExecOptions,
 ) -> Result<RecordBatch> {
+    execute_node(plan, provider, options, "0")
+}
+
+/// Recursive execution step. `path` identifies the node's position in the
+/// plan (root `"0"`, child `i` of `p` at `"p.i"`); spans record it so
+/// `EXPLAIN ANALYZE` can match stats back to plan nodes.
+fn execute_node(
+    plan: &LogicalPlan,
+    provider: &dyn TableProvider,
+    options: &ExecOptions,
+    path: &str,
+) -> Result<RecordBatch> {
+    // SubqueryAlias is transparent: no operator runs, so no span, and its
+    // input keeps the alias's path (the streaming builder does the same).
+    if let LogicalPlan::SubqueryAlias { input, .. } = plan {
+        return execute_node(input, provider, options, path);
+    }
+    let span = lakehouse_obs::span(plan.name());
+    let batch = execute_operator(plan, provider, options, path)?;
+    if span.is_recording() {
+        span.attr("path", path);
+        span.attr("rows", batch.num_rows() as u64);
+        span.attr("batches", 1u64);
+        span.attr("bytes", batch.approx_bytes() as u64);
+    }
+    Ok(batch)
+}
+
+fn execute_operator(
+    plan: &LogicalPlan,
+    provider: &dyn TableProvider,
+    options: &ExecOptions,
+    path: &str,
+) -> Result<RecordBatch> {
     match plan {
         LogicalPlan::Scan {
             table,
@@ -85,7 +119,7 @@ pub fn execute_with_options(
             Ok(batch)
         }
         LogicalPlan::Filter { input, predicate } => {
-            let batch = execute_with_options(input, provider, options)?;
+            let batch = execute_node(input, provider, options, &format!("{path}.0"))?;
             if options.parallelism > 1 && batch.num_rows() >= options.parallel_threshold_rows {
                 return crate::parallel::parallel_filter(&batch, predicate, options.parallelism);
             }
@@ -93,7 +127,7 @@ pub fn execute_with_options(
             Ok(filter_batch(&batch, &to_selection(&mask)?)?)
         }
         LogicalPlan::Project { input, exprs } => {
-            let batch = execute_with_options(input, provider, options)?;
+            let batch = execute_node(input, provider, options, &format!("{path}.0"))?;
             execute_project(&batch, exprs, plan.schema()?)
         }
         LogicalPlan::Aggregate {
@@ -101,7 +135,7 @@ pub fn execute_with_options(
             group_exprs,
             agg_exprs,
         } => {
-            let batch = execute_with_options(input, provider, options)?;
+            let batch = execute_node(input, provider, options, &format!("{path}.0"))?;
             if options.parallelism > 1 && batch.num_rows() >= options.parallel_threshold_rows {
                 return crate::parallel::parallel_aggregate(
                     &batch,
@@ -119,12 +153,12 @@ pub fn execute_with_options(
             join_type,
             on,
         } => {
-            let lbatch = execute_with_options(left, provider, options)?;
-            let rbatch = execute_with_options(right, provider, options)?;
+            let lbatch = execute_node(left, provider, options, &format!("{path}.0"))?;
+            let rbatch = execute_node(right, provider, options, &format!("{path}.1"))?;
             execute_join(&lbatch, &rbatch, *join_type, on)
         }
         LogicalPlan::Sort { input, keys } => {
-            let batch = execute_with_options(input, provider, options)?;
+            let batch = execute_node(input, provider, options, &format!("{path}.0"))?;
             let sort_fields = keys
                 .iter()
                 .map(|(e, desc)| {
@@ -153,15 +187,26 @@ pub fn execute_with_options(
                 exprs,
             } = input.as_ref()
             {
-                let batch = execute_with_options(proj_input, provider, options)?;
+                // The slice runs before the projection, but the span tree
+                // still shows Project at its plan position under Limit.
+                let proj_span = lakehouse_obs::span("Project");
+                let proj_path = format!("{path}.0");
+                let batch = execute_node(proj_input, provider, options, &format!("{proj_path}.0"))?;
                 let sliced = slice_limit(&batch, *limit, *offset)?;
-                return execute_project(&sliced, exprs, input.schema()?);
+                let out = execute_project(&sliced, exprs, input.schema()?)?;
+                if proj_span.is_recording() {
+                    proj_span.attr("path", proj_path);
+                    proj_span.attr("rows", out.num_rows() as u64);
+                    proj_span.attr("batches", 1u64);
+                    proj_span.attr("bytes", out.approx_bytes() as u64);
+                }
+                return Ok(out);
             }
-            let batch = execute_with_options(input, provider, options)?;
+            let batch = execute_node(input, provider, options, &format!("{path}.0"))?;
             slice_limit(&batch, *limit, *offset)
         }
         LogicalPlan::Distinct { input } => {
-            let batch = execute_with_options(input, provider, options)?;
+            let batch = execute_node(input, provider, options, &format!("{path}.0"))?;
             let all_cols: Vec<usize> = (0..batch.num_columns()).collect();
             let mut seen = std::collections::HashSet::new();
             let mut keep = Vec::new();
@@ -173,7 +218,8 @@ pub fn execute_with_options(
             }
             Ok(take_batch(&batch, &keep)?)
         }
-        LogicalPlan::SubqueryAlias { input, .. } => execute_with_options(input, provider, options),
+        // Handled by `execute_node` before dispatch; recurse for completeness.
+        LogicalPlan::SubqueryAlias { input, .. } => execute_node(input, provider, options, path),
     }
 }
 

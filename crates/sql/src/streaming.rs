@@ -137,9 +137,12 @@ pub fn execute_streaming(
     options: &ExecOptions,
     stream_scans: bool,
 ) -> Result<(RecordBatch, ExecReport)> {
+    // Declared before the operator tree: the operators' spans (fields of the
+    // stream, dropped at the end of the block below) close before this one.
+    let span = lakehouse_obs::span("execute");
     let stats = Rc::new(ExecStats::default());
     let result = {
-        let mut root = build_stream(plan, provider, options, &stats, stream_scans)?;
+        let mut root = build_stream(plan, provider, options, &stats, stream_scans, "0")?;
         let mut batches: Vec<RecordBatch> = Vec::new();
         while let Some(batch) = root.next_batch().map_err(unext)? {
             if batch.num_rows() > 0 {
@@ -161,7 +164,39 @@ pub fn execute_streaming(
         operator_rows: stats.operator_rows.borrow().clone(),
         streaming: stream_scans,
     };
+    if span.is_recording() {
+        span.attr("rows", result.num_rows() as u64);
+        span.attr("peak_bytes", report.peak_bytes as u64);
+        span.attr("batches_streamed", report.batches_streamed as u64);
+    }
+    let registry = lakehouse_obs::global();
+    registry
+        .gauge("sql.peak_bytes")
+        .record_max(report.peak_bytes as u64);
+    registry
+        .counter("sql.batches_streamed")
+        .add(report.batches_streamed as u64);
     Ok((result, report))
+}
+
+/// Open a node's span at build time, tagged with its plan path. The guard
+/// lives as the operator's **last** field: it closes when the operator drops,
+/// after the operator's input (declared earlier) has closed its own spans, so
+/// an operator's span covers its whole lifetime in the pipeline and nests its
+/// children correctly even under LIMIT early termination.
+fn node_span(plan: &LogicalPlan, path: &str) -> lakehouse_obs::SpanGuard {
+    let span = lakehouse_obs::span(plan.name());
+    span.attr("path", path);
+    span
+}
+
+/// Accumulate one emitted batch into a node's span (no-op when not tracing).
+fn record_emit(span: &lakehouse_obs::SpanGuard, batch: &RecordBatch) {
+    if span.is_recording() {
+        span.add_u64("rows", batch.num_rows() as u64);
+        span.add_u64("batches", 1);
+        span.add_u64("bytes", batch.approx_bytes() as u64);
+    }
 }
 
 /// Compile a logical plan node to a streaming operator.
@@ -171,6 +206,7 @@ fn build_stream(
     options: &ExecOptions,
     stats: &Rc<ExecStats>,
     stream_scans: bool,
+    path: &str,
 ) -> Result<Box<dyn BatchStream>> {
     match plan {
         LogicalPlan::Scan {
@@ -179,6 +215,8 @@ fn build_stream(
             filters,
             ..
         } => {
+            let span = node_span(plan, path);
+            span.attr("table", table.as_str());
             let inner: Box<dyn BatchStream> = if table == "__dual" {
                 // SELECT-without-FROM: one dummy row.
                 Box::new(BatchesStream::one(RecordBatch::try_new(
@@ -197,10 +235,19 @@ fn build_stream(
                 slot: stats.register(plan.name()),
                 stats: Rc::clone(stats),
                 gauge: Gauge::new(stats),
+                span,
             }))
         }
         LogicalPlan::Filter { input, predicate } => {
-            let input = build_stream(input, provider, options, stats, stream_scans)?;
+            let span = node_span(plan, path);
+            let input = build_stream(
+                input,
+                provider,
+                options,
+                stats,
+                stream_scans,
+                &child(path, 0),
+            )?;
             Ok(Box::new(FilterNode {
                 input,
                 predicate: predicate.clone(),
@@ -208,11 +255,20 @@ fn build_stream(
                 slot: stats.register(plan.name()),
                 stats: Rc::clone(stats),
                 gauge: Gauge::new(stats),
+                span,
             }))
         }
         LogicalPlan::Project { input, exprs } => {
+            let span = node_span(plan, path);
             let schema = plan.schema()?;
-            let input = build_stream(input, provider, options, stats, stream_scans)?;
+            let input = build_stream(
+                input,
+                provider,
+                options,
+                stats,
+                stream_scans,
+                &child(path, 0),
+            )?;
             Ok(Box::new(ProjectNode {
                 input,
                 exprs: exprs.clone(),
@@ -220,6 +276,7 @@ fn build_stream(
                 slot: stats.register(plan.name()),
                 stats: Rc::clone(stats),
                 gauge: Gauge::new(stats),
+                span,
             }))
         }
         LogicalPlan::Aggregate {
@@ -227,9 +284,17 @@ fn build_stream(
             group_exprs,
             agg_exprs,
         } => {
+            let span = node_span(plan, path);
             let input_schema = input.schema()?;
             let out_schema = plan.schema()?;
-            let input = build_stream(input, provider, options, stats, stream_scans)?;
+            let input = build_stream(
+                input,
+                provider,
+                options,
+                stats,
+                stream_scans,
+                &child(path, 0),
+            )?;
             Ok(Box::new(AggNode {
                 input: Some(input),
                 input_schema,
@@ -240,6 +305,7 @@ fn build_stream(
                 slot: stats.register(plan.name()),
                 stats: Rc::clone(stats),
                 gauge: Gauge::new(stats),
+                span,
             }))
         }
         LogicalPlan::Join {
@@ -248,8 +314,23 @@ fn build_stream(
             join_type,
             on,
         } => {
-            let left = build_stream(left, provider, options, stats, stream_scans)?;
-            let right = build_stream(right, provider, options, stats, stream_scans)?;
+            let span = node_span(plan, path);
+            let left = build_stream(
+                left,
+                provider,
+                options,
+                stats,
+                stream_scans,
+                &child(path, 0),
+            )?;
+            let right = build_stream(
+                right,
+                provider,
+                options,
+                stats,
+                stream_scans,
+                &child(path, 1),
+            )?;
             // Output schema mirrors the materialized join: left fields as-is,
             // right fields nullable (LEFT JOIN may null them).
             let mut fields: Vec<Field> = left.schema().fields().to_vec();
@@ -266,10 +347,19 @@ fn build_stream(
                 slot: stats.register(plan.name()),
                 stats: Rc::clone(stats),
                 gauge: Gauge::new(stats),
+                span,
             }))
         }
         LogicalPlan::Sort { input, keys } => {
-            let input = build_stream(input, provider, options, stats, stream_scans)?;
+            let span = node_span(plan, path);
+            let input = build_stream(
+                input,
+                provider,
+                options,
+                stats,
+                stream_scans,
+                &child(path, 0),
+            )?;
             let schema = input.schema().clone();
             Ok(Box::new(SortNode {
                 input: Some(input),
@@ -279,6 +369,7 @@ fn build_stream(
                 slot: stats.register(plan.name()),
                 stats: Rc::clone(stats),
                 gauge: Gauge::new(stats),
+                span,
             }))
         }
         LogicalPlan::Limit {
@@ -286,7 +377,15 @@ fn build_stream(
             limit,
             offset,
         } => {
-            let input = build_stream(input, provider, options, stats, stream_scans)?;
+            let span = node_span(plan, path);
+            let input = build_stream(
+                input,
+                provider,
+                options,
+                stats,
+                stream_scans,
+                &child(path, 0),
+            )?;
             let schema = input.schema().clone();
             Ok(Box::new(LimitNode {
                 input: Some(input),
@@ -296,10 +395,19 @@ fn build_stream(
                 slot: stats.register(plan.name()),
                 stats: Rc::clone(stats),
                 gauge: Gauge::new(stats),
+                span,
             }))
         }
         LogicalPlan::Distinct { input } => {
-            let input = build_stream(input, provider, options, stats, stream_scans)?;
+            let span = node_span(plan, path);
+            let input = build_stream(
+                input,
+                provider,
+                options,
+                stats,
+                stream_scans,
+                &child(path, 0),
+            )?;
             Ok(Box::new(DistinctNode {
                 input,
                 seen: std::collections::HashSet::new(),
@@ -307,12 +415,20 @@ fn build_stream(
                 slot: stats.register(plan.name()),
                 stats: Rc::clone(stats),
                 gauge: Gauge::new(stats),
+                span,
             }))
         }
+        // Transparent: no operator runs, the input keeps the alias's path
+        // (the materialized executor does the same).
         LogicalPlan::SubqueryAlias { input, .. } => {
-            build_stream(input, provider, options, stats, stream_scans)
+            build_stream(input, provider, options, stats, stream_scans, path)
         }
     }
+}
+
+/// Path of child `i` of the node at `path`.
+fn child(path: &str, i: usize) -> String {
+    format!("{path}.{i}")
 }
 
 // ---- pipeline operators ---------------------------------------------------
@@ -325,6 +441,7 @@ struct ScanNode {
     slot: usize,
     stats: Rc<ExecStats>,
     gauge: Gauge,
+    span: lakehouse_obs::SpanGuard,
 }
 
 impl BatchStream for ScanNode {
@@ -352,6 +469,7 @@ impl BatchStream for ScanNode {
                 continue;
             }
             self.stats.add_rows(self.slot, batch.num_rows());
+            record_emit(&self.span, &batch);
             self.gauge.hold(batch.approx_bytes());
             return Ok(Some(batch));
         }
@@ -365,6 +483,7 @@ struct FilterNode {
     slot: usize,
     stats: Rc<ExecStats>,
     gauge: Gauge,
+    span: lakehouse_obs::SpanGuard,
 }
 
 impl BatchStream for FilterNode {
@@ -391,6 +510,7 @@ impl BatchStream for FilterNode {
                 continue;
             }
             self.stats.add_rows(self.slot, out.num_rows());
+            record_emit(&self.span, &out);
             self.gauge.hold(out.approx_bytes());
             return Ok(Some(out));
         }
@@ -404,6 +524,7 @@ struct ProjectNode {
     slot: usize,
     stats: Rc<ExecStats>,
     gauge: Gauge,
+    span: lakehouse_obs::SpanGuard,
 }
 
 impl BatchStream for ProjectNode {
@@ -418,6 +539,7 @@ impl BatchStream for ProjectNode {
         };
         let out = execute_project(&batch, &self.exprs, self.schema.clone()).map_err(ext)?;
         self.stats.add_rows(self.slot, out.num_rows());
+        record_emit(&self.span, &out);
         self.gauge.hold(out.approx_bytes());
         Ok(Some(out))
     }
@@ -434,6 +556,7 @@ struct LimitNode {
     slot: usize,
     stats: Rc<ExecStats>,
     gauge: Gauge,
+    span: lakehouse_obs::SpanGuard,
 }
 
 impl BatchStream for LimitNode {
@@ -474,6 +597,7 @@ impl BatchStream for LimitNode {
                 continue;
             }
             self.stats.add_rows(self.slot, batch.num_rows());
+            record_emit(&self.span, &batch);
             self.gauge.hold(batch.approx_bytes());
             return Ok(Some(batch));
         }
@@ -489,6 +613,7 @@ struct DistinctNode {
     slot: usize,
     stats: Rc<ExecStats>,
     gauge: Gauge,
+    span: lakehouse_obs::SpanGuard,
 }
 
 impl BatchStream for DistinctNode {
@@ -518,6 +643,7 @@ impl BatchStream for DistinctNode {
             }
             let out = take_batch(&batch, &keep)?;
             self.stats.add_rows(self.slot, out.num_rows());
+            record_emit(&self.span, &out);
             self.gauge.hold(self.state_bytes + out.approx_bytes());
             return Ok(Some(out));
         }
@@ -539,6 +665,7 @@ struct AggNode {
     slot: usize,
     stats: Rc<ExecStats>,
     gauge: Gauge,
+    span: lakehouse_obs::SpanGuard,
 }
 
 impl AggNode {
@@ -658,6 +785,7 @@ impl BatchStream for AggNode {
         let columns: Vec<Column> = builders.into_iter().map(ColumnBuilder::finish).collect();
         let out = RecordBatch::try_new(self.out_schema.clone(), columns)?;
         self.stats.add_rows(self.slot, out.num_rows());
+        record_emit(&self.span, &out);
         self.gauge.hold(out.approx_bytes());
         Ok(Some(out))
     }
@@ -684,6 +812,7 @@ struct JoinNode {
     slot: usize,
     stats: Rc<ExecStats>,
     gauge: Gauge,
+    span: lakehouse_obs::SpanGuard,
 }
 
 impl JoinNode {
@@ -828,6 +957,7 @@ impl BatchStream for JoinNode {
             }
             let out = RecordBatch::try_new(self.schema.clone(), columns)?;
             self.stats.add_rows(self.slot, out.num_rows());
+            record_emit(&self.span, &out);
             return Ok(Some(out));
         }
     }
@@ -851,6 +981,7 @@ struct SortNode {
     slot: usize,
     stats: Rc<ExecStats>,
     gauge: Gauge,
+    span: lakehouse_obs::SpanGuard,
 }
 
 impl BatchStream for SortNode {
@@ -959,6 +1090,7 @@ impl BatchStream for SortNode {
         self.gauge.hold(combined.approx_bytes());
         let out = take_batch(&combined, &indices)?;
         self.stats.add_rows(self.slot, out.num_rows());
+        record_emit(&self.span, &out);
         self.gauge.hold(out.approx_bytes());
         Ok(Some(out))
     }

@@ -7,14 +7,94 @@
 //! the fan-out is the *maximum* of the worker lane deltas, which parallel
 //! scans report alongside the serial total (see `lakehouse-table`).
 
+use lakehouse_obs::{Counter, Histogram};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::thread::ThreadId;
 use std::time::Duration;
 
+/// Cap on retained latency samples. Percentiles are exact until the cap is
+/// reached, then computed over a uniform reservoir — long runs no longer grow
+/// the sample buffer without bound.
+const RESERVOIR_CAP: usize = 4096;
+
+/// Bounded uniform sample of operation latencies (Vitter's algorithm R with
+/// a deterministic xorshift stream, so simulated runs stay reproducible).
+#[derive(Debug)]
+struct Reservoir {
+    samples: Vec<Duration>,
+    seen: u64,
+    rng: u64,
+}
+
+impl Reservoir {
+    fn new() -> Reservoir {
+        Reservoir {
+            samples: Vec::new(),
+            seen: 0,
+            rng: 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn push(&mut self, v: Duration) {
+        self.seen += 1;
+        if self.samples.len() < RESERVOIR_CAP {
+            self.samples.push(v);
+        } else {
+            let j = self.next_u64() % self.seen;
+            if (j as usize) < RESERVOIR_CAP {
+                self.samples[j as usize] = v;
+            }
+        }
+    }
+
+    fn clear(&mut self) {
+        self.samples.clear();
+        self.seen = 0;
+    }
+}
+
+/// Process-wide registry handles this instance also publishes into (atomic
+/// adds only — the registry lock is taken once, at construction).
+#[derive(Debug)]
+struct GlobalHandles {
+    gets: Arc<Counter>,
+    puts: Arc<Counter>,
+    bytes_read: Arc<Counter>,
+    bytes_written: Arc<Counter>,
+    cache_hits: Arc<Counter>,
+    cache_misses: Arc<Counter>,
+    op_nanos: Arc<Histogram>,
+}
+
+impl GlobalHandles {
+    fn register() -> GlobalHandles {
+        let reg = lakehouse_obs::global();
+        GlobalHandles {
+            gets: reg.counter("store.gets"),
+            puts: reg.counter("store.puts"),
+            bytes_read: reg.counter("store.bytes_read"),
+            bytes_written: reg.counter("store.bytes_written"),
+            cache_hits: reg.counter("store.cache_hits"),
+            cache_misses: reg.counter("store.cache_misses"),
+            op_nanos: reg.histogram("store.op_nanos"),
+        }
+    }
+}
+
 /// Thread-safe counters for one store instance.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct StoreMetrics {
     gets: AtomicU64,
     puts: AtomicU64,
@@ -28,18 +108,41 @@ pub struct StoreMetrics {
     cache_bytes_served: AtomicU64,
     /// Simulated nanos charged per calling thread (lane accounting).
     lanes: Mutex<HashMap<ThreadId, u64>>,
-    /// Per-operation simulated latencies (kept for percentile reporting).
-    samples: Mutex<Vec<Duration>>,
+    /// Bounded reservoir of per-operation simulated latencies (percentiles).
+    samples: Mutex<Reservoir>,
+    global: GlobalHandles,
+}
+
+impl Default for StoreMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl StoreMetrics {
     pub fn new() -> Self {
-        Self::default()
+        StoreMetrics {
+            gets: AtomicU64::new(0),
+            puts: AtomicU64::new(0),
+            lists: AtomicU64::new(0),
+            deletes: AtomicU64::new(0),
+            bytes_read: AtomicU64::new(0),
+            bytes_written: AtomicU64::new(0),
+            simulated_nanos: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            cache_bytes_served: AtomicU64::new(0),
+            lanes: Mutex::new(HashMap::new()),
+            samples: Mutex::new(Reservoir::new()),
+            global: GlobalHandles::register(),
+        }
     }
 
     pub(crate) fn record_get(&self, bytes: usize, latency: Duration) {
         self.gets.fetch_add(1, Ordering::Relaxed);
         self.bytes_read.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.global.gets.inc();
+        self.global.bytes_read.add(bytes as u64);
         self.record_latency(latency);
     }
 
@@ -47,6 +150,8 @@ impl StoreMetrics {
         self.puts.fetch_add(1, Ordering::Relaxed);
         self.bytes_written
             .fetch_add(bytes as u64, Ordering::Relaxed);
+        self.global.puts.inc();
+        self.global.bytes_written.add(bytes as u64);
         self.record_latency(latency);
     }
 
@@ -69,16 +174,19 @@ impl StoreMetrics {
             .entry(std::thread::current().id())
             .or_insert(0) += nanos;
         self.samples.lock().push(latency);
+        self.global.op_nanos.record(nanos);
     }
 
     pub(crate) fn record_cache_hit(&self, bytes: usize) {
         self.cache_hits.fetch_add(1, Ordering::Relaxed);
         self.cache_bytes_served
             .fetch_add(bytes as u64, Ordering::Relaxed);
+        self.global.cache_hits.inc();
     }
 
     pub(crate) fn record_cache_miss(&self) {
         self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        self.global.cache_misses.inc();
     }
 
     pub fn gets(&self) -> u64 {
@@ -131,8 +239,9 @@ impl StoreMetrics {
     }
 
     /// Latency percentile (0.0..=1.0) over recorded operations, if any.
+    /// Exact until [`RESERVOIR_CAP`] operations, then over a uniform sample.
     pub fn latency_percentile(&self, q: f64) -> Option<Duration> {
-        let mut samples = self.samples.lock().clone();
+        let mut samples = self.samples.lock().samples.clone();
         if samples.is_empty() {
             return None;
         }
@@ -155,6 +264,30 @@ impl StoreMetrics {
         self.cache_bytes_served.store(0, Ordering::Relaxed);
         self.lanes.lock().clear();
         self.samples.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod reservoir_tests {
+    use super::*;
+
+    #[test]
+    fn reservoir_stays_bounded_and_representative() {
+        let m = StoreMetrics::new();
+        for i in 0..(RESERVOIR_CAP as u64 * 4) {
+            m.record_get(1, Duration::from_nanos(i + 1));
+        }
+        let held = m.samples.lock().samples.len();
+        assert_eq!(held, RESERVOIR_CAP, "reservoir must cap retained samples");
+        // Percentiles still track the underlying distribution (uniform
+        // 1..=4*CAP nanos): the median of a uniform reservoir stays near the
+        // true median.
+        let p50 = m.latency_percentile(0.5).unwrap().as_nanos() as f64;
+        let true_median = (RESERVOIR_CAP * 4) as f64 / 2.0;
+        assert!(
+            (p50 - true_median).abs() / true_median < 0.25,
+            "reservoir median {p50} drifted from true median {true_median}"
+        );
     }
 }
 

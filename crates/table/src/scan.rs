@@ -130,88 +130,28 @@ impl TableScan {
     }
 
     /// Execute and also return pruning statistics.
+    ///
+    /// Implemented by draining [`TableScan::stream`] — one accumulation code
+    /// path serves both the materialized and the streaming scan, so reports
+    /// (lane-overlap wall clock, cache hits, pruning counters) can never
+    /// drift between the two.
     pub fn execute_with_report(self) -> Result<(RecordBatch, ScanReport)> {
-        let scan_schema = self.output_schema()?;
-        let mut report = ScanReport::default();
-        let metrics = self.store.store_metrics();
-        let lane_at = |since: u64| -> u64 {
-            metrics
-                .as_ref()
-                .map(|m| m.lane_nanos() - since)
-                .unwrap_or(0)
-        };
-        let lane_start = metrics.as_ref().map(|m| m.lane_nanos()).unwrap_or(0);
-        let hits_start = metrics.as_ref().map(|m| m.cache_hits()).unwrap_or(0);
-
-        let snapshot = match self.snapshot_id {
-            Some(id) => Some(self.metadata.snapshot(id)?.clone()),
-            None => self.metadata.current_snapshot().cloned(),
-        };
-        let Some(snapshot) = snapshot else {
-            return Ok((RecordBatch::new_empty(scan_schema), report));
-        };
-        let manifest_bytes = self
-            .store
-            .get(&ObjectPath::new(snapshot.manifest_path.clone())?)?;
-        let manifest = Manifest::from_bytes(&manifest_bytes)
-            .ok_or_else(|| TableError::Corrupt("unparseable manifest".into()))?;
-        report.files_total = manifest.entries.len();
-        report.bytes_total = manifest.total_bytes();
-
-        // Pruning is metadata-only (manifest already in memory): serial.
-        let mut survivors: Vec<&ManifestEntry> = Vec::new();
-        for entry in &manifest.entries {
-            if self.entry_may_match(entry)? {
-                survivors.push(entry);
-            }
-        }
-        report.files_scanned = survivors.len();
-        let prelude_nanos = lane_at(lane_start);
-
-        // Fan the surviving entries over the bounded pool. Each entry's
-        // simulated latency is charged to the worker thread's metrics lane,
-        // so the per-entry lane delta is exact even when one OS thread
-        // processes several entries back to back.
-        let partials: Vec<(Result<EntryPartial>, u64)> =
-            lakehouse_columnar::pool::map_indexed(self.parallelism, &survivors, |_, entry| {
-                let entry_lane_start = metrics.as_ref().map(|m| m.lane_nanos()).unwrap_or(0);
-                let out = self.read_entry(entry, &scan_schema);
-                (out, lane_at(entry_lane_start))
-            });
-
-        // Overlapped wall clock, deterministically: without real sleeping a
-        // fast OS thread may drain most of the queue, so physical thread
-        // assignment is meaningless. Instead assign each entry's measured
-        // latency to the least-loaded of `parallelism` *logical* lanes (in
-        // manifest order) — the greedy idealization of work stealing — and
-        // take the max lane as the fan-out's wall clock.
-        let mut lanes = vec![0u64; self.parallelism.max(1)];
+        let span = lakehouse_obs::span("scan.materialize");
+        let mut stream = self.stream()?;
         let mut batches = Vec::new();
-        for (partial, delta) in partials {
-            if let Some(min_lane) = lanes.iter_mut().min() {
-                *min_lane += delta;
-            }
-            let partial = partial?;
-            report.files_read += 1;
-            report.bytes_scanned += partial.bytes_scanned;
-            report.row_groups_scanned += partial.row_groups_scanned;
-            if partial.batch.num_rows() > 0 {
-                batches.push(partial.batch);
-            }
+        while let Some(batch) = stream.pull()? {
+            batches.push(batch);
         }
-        let result = if batches.is_empty() {
-            RecordBatch::new_empty(scan_schema)
-        } else {
-            RecordBatch::concat(&batches)?
+        let result = match batches.len() {
+            0 => RecordBatch::new_empty(stream.scan_schema.clone()),
+            1 => batches.pop().expect("one batch present"),
+            _ => RecordBatch::concat(&batches)?,
         };
-        let result = self.filter_exact(result)?;
-        report.rows_emitted = result.num_rows();
-        let worker_max = lanes.iter().max().copied().unwrap_or(0);
-        report.wall_clock_simulated = std::time::Duration::from_nanos(prelude_nanos + worker_max);
-        report.cache_hits = metrics
-            .as_ref()
-            .map(|m| m.cache_hits() - hits_start)
-            .unwrap_or(0);
+        let report = stream.report();
+        span.attr("files_scanned", report.files_scanned);
+        span.attr("files_read", report.files_read);
+        span.attr("bytes", report.bytes_scanned);
+        span.attr("rows", report.rows_emitted);
         Ok((result, report))
     }
 
@@ -221,6 +161,7 @@ impl TableScan {
     /// the bounded pool. A consumer that stops pulling (a satisfied `LIMIT`)
     /// leaves the remaining files unread.
     pub fn stream(self) -> Result<ScanStream> {
+        let plan_span = lakehouse_obs::span("scan.plan");
         let scan_schema = self.output_schema()?;
         let mut report = ScanReport::default();
         let metrics = self.store.store_metrics();
@@ -251,7 +192,11 @@ impl TableScan {
             .as_ref()
             .map(|m| m.lane_nanos() - lane_start)
             .unwrap_or(0);
+        plan_span.attr("files_total", report.files_total);
+        plan_span.attr("files_scanned", report.files_scanned);
+        drop(plan_span);
         let lanes = vec![0u64; self.parallelism.max(1)];
+        let registry = lakehouse_obs::global();
         Ok(ScanStream {
             scan: self,
             scan_schema,
@@ -261,6 +206,9 @@ impl TableScan {
             lanes,
             prelude_nanos,
             hits_start,
+            files_read_counter: registry.counter("scan.files_read"),
+            rows_counter: registry.counter("scan.rows_emitted"),
+            bytes_counter: registry.counter("scan.bytes_scanned"),
         })
     }
 
@@ -416,6 +364,9 @@ pub struct ScanStream {
     lanes: Vec<u64>,
     prelude_nanos: u64,
     hits_start: u64,
+    files_read_counter: Arc<lakehouse_obs::Counter>,
+    rows_counter: Arc<lakehouse_obs::Counter>,
+    bytes_counter: Arc<lakehouse_obs::Counter>,
 }
 
 impl ScanStream {
@@ -437,6 +388,16 @@ impl ScanStream {
         report
     }
 
+    /// Pull the next batch, with the scan's own error type (the
+    /// [`lakehouse_columnar::BatchStream`] impl wraps this for the SQL
+    /// pipeline; [`TableScan::execute_with_report`] drains it directly).
+    pub fn pull(&mut self) -> Result<Option<RecordBatch>> {
+        while self.ready.is_empty() && !self.entries.is_empty() {
+            self.refill()?;
+        }
+        Ok(self.ready.pop_front())
+    }
+
     /// Fetch the next prefetch group of files through the pool.
     fn refill(&mut self) -> Result<()> {
         if self.entries.is_empty() {
@@ -444,6 +405,8 @@ impl ScanStream {
         }
         let take = self.scan.parallelism.max(1).min(self.entries.len());
         let group: Vec<ManifestEntry> = self.entries.drain(..take).collect();
+        let span = lakehouse_obs::span("scan.fetch");
+        span.attr("files", take);
         let metrics = self.scan.store.store_metrics();
         let partials: Vec<(Result<EntryPartial>, u64)> =
             lakehouse_columnar::pool::map_indexed(self.scan.parallelism, &group, |_, entry| {
@@ -463,9 +426,12 @@ impl ScanStream {
             self.report.files_read += 1;
             self.report.bytes_scanned += partial.bytes_scanned;
             self.report.row_groups_scanned += partial.row_groups_scanned;
+            self.files_read_counter.inc();
+            self.bytes_counter.add(partial.bytes_scanned);
             let batch = self.scan.filter_exact(partial.batch)?;
             if batch.num_rows() > 0 {
                 self.report.rows_emitted += batch.num_rows();
+                self.rows_counter.add(batch.num_rows() as u64);
                 self.ready.push_back(batch);
             }
         }
@@ -479,11 +445,8 @@ impl lakehouse_columnar::BatchStream for ScanStream {
     }
 
     fn next_batch(&mut self) -> lakehouse_columnar::error::Result<Option<RecordBatch>> {
-        while self.ready.is_empty() && !self.entries.is_empty() {
-            self.refill()
-                .map_err(|e| lakehouse_columnar::ColumnarError::External(e.to_string()))?;
-        }
-        Ok(self.ready.pop_front())
+        self.pull()
+            .map_err(|e| lakehouse_columnar::ColumnarError::External(e.to_string()))
     }
 }
 

@@ -7,6 +7,9 @@
 //! cargo run --example branch_and_merge
 //! ```
 
+// Examples and benches print their results.
+#![allow(clippy::print_stdout)]
+
 use bauplan_core::{
     builtins, BauplanError, Lakehouse, LakehouseConfig, PipelineProject, RunOptions,
 };

@@ -5,6 +5,9 @@
 //! cargo run --example operations
 //! ```
 
+// Examples and benches print their results.
+#![allow(clippy::print_stdout)]
+
 use bauplan_core::{
     builtins, standard_policy, Lakehouse, LakehouseConfig, PipelineProject, Principal, RunOptions,
 };

@@ -4,6 +4,9 @@
 //! cargo run --example quickstart
 //! ```
 
+// Examples and benches print their results.
+#![allow(clippy::print_stdout)]
+
 use bauplan_core::{Lakehouse, LakehouseConfig, NodeDef, PipelineProject, RunOptions};
 use lakehouse_columnar::pretty::format_batch;
 use lakehouse_columnar::{Column, DataType, Field, RecordBatch, Schema};

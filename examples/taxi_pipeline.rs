@@ -6,6 +6,9 @@
 //! cargo run --example taxi_pipeline
 //! ```
 
+// Examples and benches print their results.
+#![allow(clippy::print_stdout)]
+
 use bauplan_core::{ExecutionMode, Lakehouse, LakehouseConfig, PipelineProject, RunOptions};
 use lakehouse_columnar::pretty::format_batch;
 use lakehouse_planner::{LogicalPipeline, PhysicalPipeline, PipelineDag};

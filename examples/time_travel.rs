@@ -6,6 +6,9 @@
 //! cargo run --example time_travel
 //! ```
 
+// Examples and benches print their results.
+#![allow(clippy::print_stdout)]
+
 use bauplan_core::{builtins, Lakehouse, LakehouseConfig, PipelineProject, RunOptions};
 use lakehouse_columnar::Value;
 use lakehouse_workload::TaxiGenerator;

@@ -5,6 +5,9 @@
 //! cargo run --example workload_analysis
 //! ```
 
+// Examples and benches print their results.
+#![allow(clippy::print_stdout)]
+
 use lakehouse_workload::ccdf::ccdf_points;
 use lakehouse_workload::cost::{cost_fraction_at_percentile, CostModel};
 use lakehouse_workload::powerlaw::quantile;

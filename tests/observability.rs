@@ -1,0 +1,207 @@
+//! Observability integration: span trees from real queries and runs, EXPLAIN
+//! ANALYZE agreeing with the executors' own reports, tracing staying
+//! byte-transparent to query results, and Chrome-trace export round-tripping
+//! through the JSON parser.
+
+use bauplan_core::{Lakehouse, LakehouseConfig, NodeDef, PipelineProject, RunOptions};
+use lakehouse_columnar::{Column, DataType, Field, RecordBatch, Schema};
+use lakehouse_obs::to_chrome_trace;
+use serde::Json;
+
+/// A lakehouse whose `events` table spans 4 data files of 64 rows each.
+fn lakehouse(streaming: bool) -> Lakehouse {
+    let config = LakehouseConfig {
+        stream_execution: streaming,
+        ..LakehouseConfig::zero_latency()
+    };
+    let lh = Lakehouse::in_memory(config).unwrap();
+    for file in 0..4usize {
+        let base = (file * 64) as i64;
+        let batch = RecordBatch::try_new(
+            Schema::new(vec![
+                Field::new("id", DataType::Int64, false),
+                Field::new("grp", DataType::Int64, false),
+                Field::new("val", DataType::Float64, false),
+            ]),
+            vec![
+                Column::from_i64((0..64).map(|i| base + i).collect()),
+                Column::from_i64((0..64).map(|i| (base + i) % 5).collect()),
+                Column::from_f64((0..64).map(|i| (base + i) as f64 * 0.25).collect()),
+            ],
+        )
+        .unwrap();
+        if file == 0 {
+            lh.create_table("events", &batch, "main").unwrap();
+        } else {
+            lh.append_table("events", &batch, "main").unwrap();
+        }
+    }
+    lh
+}
+
+/// Scan → aggregate → filter → sort, no LIMIT (so per-operator row totals
+/// are executor-independent). The WHERE clause is pushed into the scan; the
+/// HAVING clause keeps an explicit Filter node above the Aggregate.
+const SQL: &str = "SELECT grp, COUNT(*) AS n, SUM(val) AS s FROM events \
+                   WHERE id >= 16 GROUP BY grp HAVING COUNT(*) > 10 ORDER BY grp";
+
+#[test]
+fn profile_span_tree_nests_operators() {
+    for streaming in [false, true] {
+        let lh = lakehouse(streaming);
+        let (batch, tree) = lh.profile(SQL, "main").unwrap();
+        assert_eq!(batch.num_rows(), 5);
+
+        let root = tree.root().expect("profile trace has a root span");
+        assert_eq!(root.name, "query");
+        let agg = tree.find("Aggregate").expect("Aggregate span");
+        let filter = tree.find("Filter").expect("Filter span");
+        let scan = tree.find("Scan").expect("Scan span");
+        // Parent chain mirrors the plan: the HAVING Filter above the
+        // Aggregate above the Scan, all under the query root — in BOTH
+        // executors.
+        assert!(
+            tree.is_ancestor(filter.id, agg.id),
+            "streaming={streaming}: Aggregate must nest under the HAVING Filter"
+        );
+        assert!(
+            tree.is_ancestor(agg.id, scan.id),
+            "streaming={streaming}: Scan must nest under Aggregate"
+        );
+        assert!(tree.is_ancestor(root.id, scan.id));
+        // The scan actually touched the store: its fetches were traced too.
+        assert!(
+            !tree.find_all("scan.fetch").is_empty(),
+            "streaming={streaming}: data-file fetches must appear in the tree"
+        );
+        // Span clocks are coherent.
+        for span in &tree.spans {
+            assert!(span.wall_end_ns >= span.wall_start_ns);
+            assert!(span.sim_end_ns >= span.sim_start_ns);
+        }
+    }
+}
+
+#[test]
+fn explain_analyze_matches_exec_report() {
+    for streaming in [false, true] {
+        let lh = lakehouse(streaming);
+        let (batch, text, tree) = lh.explain_analyze_traced(SQL, "main").unwrap();
+        let (expected, report) = lh.query_with_report(SQL, "main").unwrap();
+        assert_eq!(batch, expected, "streaming={streaming}");
+
+        // Every plan line carries live annotations.
+        for line in text.lines() {
+            assert!(
+                line.contains("[rows="),
+                "streaming={streaming}: unannotated EXPLAIN ANALYZE line: {line}"
+            );
+        }
+
+        // Per-operator row totals in the span tree agree with the executor's
+        // own accounting.
+        let mut reported: std::collections::BTreeMap<&str, u64> = Default::default();
+        for (name, rows) in &report.operator_rows {
+            *reported.entry(name.as_str()).or_default() += *rows as u64;
+        }
+        for (name, rows) in reported {
+            let traced: u64 = tree
+                .find_all(name)
+                .iter()
+                .filter_map(|s| s.attr_u64("rows"))
+                .sum();
+            assert_eq!(
+                traced, rows,
+                "streaming={streaming}: operator {name} row count"
+            );
+        }
+
+        // The streaming executor's peak working set lands in the trace too.
+        if streaming {
+            let exec = tree.find("execute").expect("streaming execute span");
+            assert_eq!(
+                exec.attr_u64("peak_bytes"),
+                Some(report.peak_bytes as u64),
+                "peak_bytes annotation must equal the report's measurement"
+            );
+        }
+    }
+}
+
+#[test]
+fn tracing_is_byte_transparent() {
+    for streaming in [false, true] {
+        let lh = lakehouse(streaming);
+        let plain = lh.query(SQL, "main").unwrap();
+        let (profiled, tree) = lh.profile(SQL, "main").unwrap();
+        assert_eq!(
+            plain, profiled,
+            "streaming={streaming}: tracing changed query output"
+        );
+        assert!(!tree.is_empty());
+        // And back off again: a traced query leaves no residue.
+        assert_eq!(plain, lh.query(SQL, "main").unwrap());
+    }
+}
+
+#[test]
+fn chrome_trace_round_trips_through_json() {
+    let lh = lakehouse(true);
+    let (_, tree) = lh.profile(SQL, "main").unwrap();
+    let text = to_chrome_trace(&tree);
+    let parsed = serde_json::parse(&text).expect("chrome trace is valid JSON");
+    let Json::Obj(fields) = parsed else {
+        panic!("chrome trace must be a JSON object");
+    };
+    let events = fields
+        .iter()
+        .find(|(k, _)| k == "traceEvents")
+        .map(|(_, v)| v)
+        .expect("traceEvents present");
+    let Json::Arr(events) = events else {
+        panic!("traceEvents must be an array");
+    };
+    assert_eq!(
+        events.len(),
+        tree.spans.len(),
+        "one complete event per span"
+    );
+    for event in events {
+        let Json::Obj(ev) = event else {
+            panic!("each trace event must be an object")
+        };
+        for key in ["name", "ph", "ts", "dur"] {
+            assert!(
+                ev.iter().any(|(k, _)| k == key),
+                "trace event missing {key}"
+            );
+        }
+    }
+}
+
+#[test]
+fn run_report_carries_span_tree() {
+    let lh = lakehouse(false);
+    let project = PipelineProject::new("obs").with(NodeDef::sql(
+        "top_groups",
+        "SELECT grp, COUNT(*) AS n FROM events GROUP BY grp",
+    ));
+    let report = lh.run(&project, &RunOptions::default()).unwrap();
+    assert!(report.success);
+
+    let trace = &report.trace;
+    let root = trace.root().expect("run trace has a root");
+    assert_eq!(root.name, "run");
+    assert_eq!(root.attr_u64("run_id"), Some(report.run_id));
+    assert!(trace.find("plan").is_some(), "planning is traced");
+    let stage = trace.find("stage").expect("stage span");
+    assert!(trace.is_ancestor(root.id, stage.id));
+    let step = trace.find("step").expect("step span");
+    assert_eq!(step.attr_str("name"), Some("top_groups"));
+    assert!(trace.is_ancestor(stage.id, step.id));
+    assert!(
+        trace.find("container.start").is_some(),
+        "container lifecycle appears under the run"
+    );
+    assert!(trace.find("materialize").is_some());
+}
