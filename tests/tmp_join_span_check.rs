@@ -1,0 +1,58 @@
+use bauplan_core::{Lakehouse, LakehouseConfig};
+use lakehouse_columnar::{Column, DataType, Field, RecordBatch, Schema};
+
+#[test]
+fn join_span_parents() {
+    let config = LakehouseConfig {
+        stream_execution: true,
+        ..LakehouseConfig::zero_latency()
+    };
+    let lh = Lakehouse::in_memory(config).unwrap();
+    let a = RecordBatch::try_new(
+        Schema::new(vec![
+            Field::new("id", DataType::Int64, false),
+            Field::new("v", DataType::Int64, false),
+        ]),
+        vec![
+            Column::from_i64((0..10).collect()),
+            Column::from_i64((0..10).collect()),
+        ],
+    )
+    .unwrap();
+    let b = RecordBatch::try_new(
+        Schema::new(vec![
+            Field::new("id", DataType::Int64, false),
+            Field::new("w", DataType::Int64, false),
+        ]),
+        vec![
+            Column::from_i64((0..10).collect()),
+            Column::from_i64((10..20).collect()),
+        ],
+    )
+    .unwrap();
+    lh.create_table("ta", &a, "main").unwrap();
+    lh.create_table("tb", &b, "main").unwrap();
+    let (_, tree) = lh
+        .profile("SELECT ta.v, tb.w FROM ta JOIN tb ON ta.id = tb.id", "main")
+        .unwrap();
+    let join = tree.find("Join").expect("join span");
+    let scans = tree.find_all("Scan");
+    eprintln!("--- rendered tree ---\n{}", tree.render());
+    for s in &scans {
+        eprintln!(
+            "Scan span id={} path={:?} parent={:?} (join id={})",
+            s.id,
+            s.attr_str("path"),
+            s.parent,
+            join.id
+        );
+    }
+    for s in scans {
+        assert_eq!(
+            s.parent,
+            Some(join.id),
+            "scan at path {:?} should be a direct child of Join",
+            s.attr_str("path")
+        );
+    }
+}
