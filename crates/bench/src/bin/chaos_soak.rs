@@ -1,0 +1,223 @@
+//! Chaos soak: query latency and success rate under seeded fault injection
+//! with the retry layer absorbing the damage.
+//!
+//! Builds the 24-file scan-filter-aggregate fixture behind a
+//! `Retry(Chaos(Simulated))` store stack and replays the query at fault
+//! probabilities p ∈ {0, 0.05, 0.2} (8 retries, decorrelated-jitter
+//! backoff). Backoff is charged to the *simulated* clock, so wall-time
+//! percentiles measure real compute overhead (extra attempts, RNG gates),
+//! not sleeps. Every successful query is compared byte-for-byte against the
+//! fault-free result, and the run asserts a 100% success rate at p = 0.05 —
+//! the resilience layer's headline guarantee. At p = 0.2 the default 30 s
+//! retry budget eventually runs dry mid-soak, so that level also exercises
+//! the typed give-up path (`RetriesExhausted`), reflected in its success
+//! rate.
+//!
+//! Regenerate: `cargo run -p lakehouse-bench --bin chaos_soak --release`
+//! (writes `BENCH_chaos.json` in the working directory). `--files`,
+//! `--rows`, and `--trials` override the shape (defaults 24 x 500 x 40).
+
+// Examples and benches print their results.
+#![allow(clippy::print_stdout)]
+
+use bauplan_core::{Lakehouse, LakehouseConfig};
+use lakehouse_bench::print_rows;
+use lakehouse_columnar::{Column, DataType, Field, RecordBatch, Schema};
+use lakehouse_store::{ChaosConfig, LatencyModel};
+use lakehouse_table::PartitionSpec;
+use std::time::Instant;
+
+const AGG_SQL: &str = "SELECT grp, COUNT(*) AS n, SUM(val) AS s FROM events \
+                       WHERE val < 1.0e9 GROUP BY grp ORDER BY grp";
+const RETRY_MAX: u32 = 8;
+const FAULT_LEVELS: [f64; 3] = [0.0, 0.05, 0.2];
+
+fn build(files: usize, rows_per: usize, fault_p: f64) -> Lakehouse {
+    let chaos = (fault_p > 0.0).then(|| ChaosConfig::new(0xC4A05).with_fault_p(fault_p));
+    let retry_max = if fault_p > 0.0 { RETRY_MAX } else { 0 };
+    let config = LakehouseConfig {
+        latency: LatencyModel {
+            sigma: 0.0,
+            ..LatencyModel::s3_like()
+        },
+        chaos,
+        retry_max,
+        ..Default::default()
+    };
+    let lh = Lakehouse::in_memory(config).expect("lakehouse");
+    let total = files * rows_per;
+    let batch = RecordBatch::try_new(
+        Schema::new(vec![
+            Field::new("part", DataType::Int64, false),
+            Field::new("grp", DataType::Int64, false),
+            Field::new("val", DataType::Float64, false),
+        ]),
+        vec![
+            Column::from_i64((0..total).map(|i| (i / rows_per) as i64).collect()),
+            Column::from_i64((0..total).map(|i| (i % 7) as i64).collect()),
+            Column::from_f64((0..total).map(|i| i as f64 * 0.5).collect()),
+        ],
+    )
+    .expect("fixture batch");
+    lh.create_table_partitioned("events", &batch, "main", PartitionSpec::identity("part"))
+        .expect("fixture ingest (retried under chaos)");
+    lh
+}
+
+fn parse_args() -> (usize, usize, usize) {
+    let mut files = 24usize;
+    let mut rows = 500usize;
+    let mut trials = 40usize;
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let parse = |v: Option<&String>, flag: &str| -> usize {
+            v.and_then(|s| s.parse().ok())
+                .unwrap_or_else(|| panic!("{flag} expects a number"))
+        };
+        match argv[i].as_str() {
+            "--files" => {
+                files = parse(argv.get(i + 1), "--files").max(2);
+                i += 1;
+            }
+            "--rows" => {
+                rows = parse(argv.get(i + 1), "--rows").max(1);
+                i += 1;
+            }
+            "--trials" => {
+                trials = parse(argv.get(i + 1), "--trials").max(2);
+                i += 1;
+            }
+            other => panic!("unknown argument: {other}"),
+        }
+        i += 1;
+    }
+    (files, rows, trials)
+}
+
+fn percentile(samples: &mut [u64], q: f64) -> u64 {
+    if samples.is_empty() {
+        return 0;
+    }
+    samples.sort_unstable();
+    samples[((samples.len() - 1) as f64 * q).round() as usize]
+}
+
+struct Level {
+    fault_p: f64,
+    success_rate: f64,
+    p50_ns: u64,
+    p99_ns: u64,
+    retries: u64,
+    stall_ms: u128,
+}
+
+fn main() {
+    let (files, rows_per, trials) = parse_args();
+    println!("=== chaos soak on {files} files x {rows_per} rows, {trials} trials/level ===");
+
+    // Fault-free reference result for byte-identity checks.
+    let expected = build(files, rows_per, 0.0)
+        .query(AGG_SQL, "main")
+        .expect("fault-free query");
+
+    let retry_counter = lakehouse_obs::global().counter("retry.attempts");
+    let mut levels = Vec::new();
+    for fault_p in FAULT_LEVELS {
+        let lh = build(files, rows_per, fault_p);
+        let retries_before = retry_counter.get();
+        let mut wall = Vec::with_capacity(trials);
+        let mut successes = 0usize;
+        for _ in 0..trials {
+            let t = Instant::now();
+            match lh.query(AGG_SQL, "main") {
+                Ok(batch) => {
+                    wall.push(t.elapsed().as_nanos() as u64);
+                    assert_eq!(
+                        batch, expected,
+                        "p={fault_p}: a successful query must be byte-identical"
+                    );
+                    successes += 1;
+                }
+                Err(e) => {
+                    // Exhausted retries are an acceptable *typed* outcome at
+                    // high fault rates; anything else is a bug.
+                    assert!(
+                        e.to_string().contains("retries exhausted"),
+                        "p={fault_p}: untyped failure: {e}"
+                    );
+                }
+            }
+        }
+        levels.push(Level {
+            fault_p,
+            success_rate: successes as f64 / trials as f64,
+            p50_ns: percentile(&mut wall, 0.50),
+            p99_ns: percentile(&mut wall, 0.99),
+            retries: retry_counter.get() - retries_before,
+            stall_ms: lh.store_metrics().stall_time().as_millis(),
+        });
+    }
+
+    print_rows(
+        "query under seeded chaos (8 retries, decorrelated jitter)",
+        &[
+            "fault p",
+            "success",
+            "p50 (ms)",
+            "p99 (ms)",
+            "retries",
+            "sim stall (ms)",
+        ],
+        &levels
+            .iter()
+            .map(|l| {
+                vec![
+                    format!("{:.2}", l.fault_p),
+                    format!("{:.0}%", l.success_rate * 100.0),
+                    format!("{:.3}", l.p50_ns as f64 / 1e6),
+                    format!("{:.3}", l.p99_ns as f64 / 1e6),
+                    format!("{}", l.retries),
+                    format!("{}", l.stall_ms),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    let at_p05 = levels
+        .iter()
+        .find(|l| (l.fault_p - 0.05).abs() < 1e-9)
+        .expect("p=0.05 level");
+    assert!(
+        (at_p05.success_rate - 1.0).abs() < f64::EPSILON,
+        "retries must mask every fault at p = 0.05, got {:.0}% success",
+        at_p05.success_rate * 100.0
+    );
+    assert!(
+        levels[1].retries + levels[2].retries > 0,
+        "chaos levels must actually exercise the retry layer"
+    );
+
+    let level_json: Vec<String> = levels
+        .iter()
+        .map(|l| {
+            format!(
+                "    {{ \"fault_p\": {:.2}, \"success_rate\": {:.4}, \"p50_ns\": {}, \
+                 \"p99_ns\": {}, \"retries\": {}, \"sim_stall_ms\": {} }}",
+                l.fault_p, l.success_rate, l.p50_ns, l.p99_ns, l.retries, l.stall_ms
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"chaos_soak\",\n  \"files\": {files},\n  \"rows_per_file\": {rows_per},\n  \"trials_per_level\": {trials},\n  \"retry_max\": {RETRY_MAX},\n  \"query\": \"scan-filter-aggregate\",\n  \"levels\": [\n{}\n  ],\n  \"summary\": {{\n    \"success_rate_at_p05\": {:.4},\n    \"all_success_at_p05\": true,\n    \"byte_identical_to_fault_free\": true\n  }}\n}}\n",
+        level_json.join(",\n"),
+        at_p05.success_rate
+    );
+    std::fs::write("BENCH_chaos.json", &json).expect("write BENCH_chaos.json");
+    println!("\nwrote BENCH_chaos.json");
+    println!(
+        "100% success at p = 0.05 ({} retries absorbed); p99 at p = 0.2 is {:.3} ms",
+        at_p05.retries,
+        levels[2].p99_ns as f64 / 1e6
+    );
+}

@@ -5,15 +5,59 @@ use crate::error::{CatalogError, Result};
 use crate::refs::{RefDocument, RefKind, Reference};
 use crate::state::CatalogState;
 use bytes::Bytes;
-use lakehouse_store::{ObjectPath, ObjectStore, StoreError};
+use lakehouse_store::{Backoff, ObjectPath, ObjectStore, StoreError};
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// The default branch name, created on `init`.
 pub const MAIN_BRANCH: &str = "main";
 
-const MAX_CAS_RETRIES: usize = 16;
+const MAX_CAS_RETRIES: u32 = 16;
+
+/// Backoff bounds for lost CAS races. A lost race means another writer
+/// *succeeded*, so contention is productive — delays start small (the
+/// re-read itself already costs a store round-trip) but still decorrelate
+/// herds of committers under heavy write load.
+const CAS_BACKOFF_BASE: Duration = Duration::from_millis(5);
+const CAS_BACKOFF_CAP: Duration = Duration::from_millis(250);
+
+/// Seeded decorrelated-jitter backoff between CAS attempts, charged to the
+/// store's simulated clock (no wall-clock sleep; deterministic in tests).
+struct CasBackoff<'a> {
+    backoff: Backoff,
+    store: &'a dyn ObjectStore,
+    retries: Arc<lakehouse_obs::Counter>,
+}
+
+impl<'a> CasBackoff<'a> {
+    fn new(store: &'a dyn ObjectStore, seed: u64) -> CasBackoff<'a> {
+        CasBackoff {
+            backoff: Backoff::new(CAS_BACKOFF_BASE, CAS_BACKOFF_CAP, seed),
+            store,
+            retries: lakehouse_obs::global().counter("catalog.cas_retries"),
+        }
+    }
+
+    fn wait(&mut self) {
+        self.retries.inc();
+        let delay = self.backoff.next_delay();
+        if let Some(metrics) = self.store.store_metrics() {
+            metrics.record_stall(delay);
+        }
+    }
+}
+
+/// Seed the per-commit backoff RNG from thread identity so concurrent
+/// committers draw *different* jitter (the whole point of decorrelation)
+/// while single-threaded tests stay deterministic.
+fn backoff_seed() -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    std::thread::current().id().hash(&mut hasher);
+    hasher.finish()
+}
 
 /// A git-like catalog persisted in an object store.
 ///
@@ -194,7 +238,11 @@ impl Catalog {
         message: &str,
         operations: Vec<Operation>,
     ) -> Result<CommitId> {
-        for _ in 0..MAX_CAS_RETRIES {
+        let mut backoff = CasBackoff::new(self.store.as_ref(), backoff_seed());
+        for attempt in 0..MAX_CAS_RETRIES {
+            if attempt > 0 {
+                backoff.wait();
+            }
             let (doc, expected_bytes) = self.read_refs()?;
             let reference = doc
                 .refs
@@ -233,7 +281,10 @@ impl Catalog {
                 Err(e) => return Err(e.into()),
             }
         }
-        Err(CatalogError::ConcurrentUpdate(branch.to_string()))
+        Err(CatalogError::CommitContended {
+            branch: branch.to_string(),
+            attempts: MAX_CAS_RETRIES,
+        })
     }
 
     /// First-parent commit log of a ref, newest first, up to `limit`.
@@ -455,7 +506,11 @@ impl Catalog {
 
     /// Read-modify-CAS loop over the ref document.
     fn update_refs<T>(&self, mut mutate: impl FnMut(&mut RefDocument) -> Result<T>) -> Result<T> {
-        for _ in 0..MAX_CAS_RETRIES {
+        let mut backoff = CasBackoff::new(self.store.as_ref(), backoff_seed());
+        for attempt in 0..MAX_CAS_RETRIES {
+            if attempt > 0 {
+                backoff.wait();
+            }
             let (doc, expected_bytes) = self.read_refs()?;
             let mut new_doc = doc.clone();
             let out = mutate(&mut new_doc)?;

@@ -14,6 +14,9 @@ pub enum CatalogError {
     CommitNotFound(String),
     /// Optimistic concurrency failure: the branch head moved during a commit.
     ConcurrentUpdate(String),
+    /// A commit's bounded CAS loop lost the race every time: `attempts`
+    /// tries (each with backoff) all found the head moved underneath them.
+    CommitContended { branch: String, attempts: u32 },
     /// A merge found keys changed on both sides with different contents.
     MergeConflict { keys: Vec<String> },
     /// Tags are immutable; committing to one is an error.
@@ -35,6 +38,11 @@ impl fmt::Display for CatalogError {
             Self::ConcurrentUpdate(r) => {
                 write!(f, "concurrent update on reference {r}; retry the commit")
             }
+            Self::CommitContended { branch, attempts } => write!(
+                f,
+                "commit to {branch} contended: lost the CAS race {attempts} times; \
+                 retry under lighter write load"
+            ),
             Self::MergeConflict { keys } => {
                 write!(f, "merge conflict on keys: {}", keys.join(", "))
             }

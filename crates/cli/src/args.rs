@@ -33,6 +33,14 @@ GLOBAL OPTIONS:
   --batch-rows <n>          max rows per streamed batch (default: 8192)
   --trace-out <file>        write a Chrome-trace JSON (chrome://tracing /
                             Perfetto) of the command's span tree
+  --retry-max <n>           retries per failed store/scan/step operation
+                            (default: 0 = resilience layer off)
+  --retry-budget-ms <n>     total backoff budget for store retries in
+                            simulated milliseconds (default: 30000)
+  --chaos-seed <n>          seed for deterministic fault injection (enables
+                            the chaos layer even at --chaos-fault-p 0)
+  --chaos-fault-p <p>       probability in [0,1) of injecting a transient
+                            fault per store operation (default: 0)
 
 `query -q \"EXPLAIN ANALYZE <SQL>\"` executes the query and prints the plan
 annotated with per-operator rows, batches, bytes, and both clocks. `profile`
@@ -57,6 +65,15 @@ pub struct Cli {
     pub batch_rows: usize,
     /// Write a Chrome-trace JSON of the command's span tree here.
     pub trace_out: Option<String>,
+    /// Retries per failed store/scan/step operation (0 = off).
+    pub retry_max: u32,
+    /// Total backoff budget for store retries, in simulated milliseconds.
+    pub retry_budget_ms: u64,
+    /// Seed for deterministic fault injection (None = chaos off unless
+    /// `chaos_fault_p > 0`, which then uses the default seed).
+    pub chaos_seed: Option<u64>,
+    /// Per-operation transient-fault probability for the chaos layer.
+    pub chaos_fault_p: f64,
     pub command: Command,
 }
 
@@ -129,6 +146,10 @@ impl Cli {
         let mut stream = false;
         let mut batch_rows = 8192usize;
         let mut trace_out = None;
+        let mut retry_max = 0u32;
+        let mut retry_budget_ms = 30_000u64;
+        let mut chaos_seed = None;
+        let mut chaos_fault_p = 0.0f64;
         let mut rest: Vec<String> = Vec::new();
         let mut i = 0;
         while i < argv.len() {
@@ -150,6 +171,30 @@ impl Cli {
                 stream = true;
             } else if argv[i] == "--trace-out" {
                 trace_out = Some(take_value(argv, &mut i, "--trace-out")?);
+            } else if argv[i] == "--retry-max" {
+                let v = take_value(argv, &mut i, "--retry-max")?;
+                retry_max = v
+                    .parse::<u32>()
+                    .map_err(|_| format!("--retry-max expects a number, got {v}"))?;
+            } else if argv[i] == "--retry-budget-ms" {
+                let v = take_value(argv, &mut i, "--retry-budget-ms")?;
+                retry_budget_ms = v
+                    .parse::<u64>()
+                    .map_err(|_| format!("--retry-budget-ms expects a number, got {v}"))?;
+            } else if argv[i] == "--chaos-seed" {
+                let v = take_value(argv, &mut i, "--chaos-seed")?;
+                chaos_seed = Some(
+                    v.parse::<u64>()
+                        .map_err(|_| format!("--chaos-seed expects a number, got {v}"))?,
+                );
+            } else if argv[i] == "--chaos-fault-p" {
+                let v = take_value(argv, &mut i, "--chaos-fault-p")?;
+                chaos_fault_p = v
+                    .parse::<f64>()
+                    .map_err(|_| format!("--chaos-fault-p expects a probability, got {v}"))?;
+                if !(0.0..1.0).contains(&chaos_fault_p) {
+                    return Err(format!("--chaos-fault-p must be in [0, 1), got {v}"));
+                }
             } else if argv[i] == "--batch-rows" {
                 let v = take_value(argv, &mut i, "--batch-rows")?;
                 batch_rows = v
@@ -204,6 +249,10 @@ impl Cli {
             stream,
             batch_rows,
             trace_out,
+            retry_max,
+            retry_budget_ms,
+            chaos_seed,
+            chaos_fault_p,
             command,
         })
     }
@@ -562,6 +611,37 @@ mod tests {
         .unwrap();
         assert_eq!(cli.trace_out.as_deref(), Some("trace.json"));
         assert!(Cli::parse(&s(&["profile", "-q", "SELECT 1", "--trace-out"])).is_err());
+    }
+
+    #[test]
+    fn parse_resilience_flags() {
+        let cli = Cli::parse(&s(&[
+            "query",
+            "-q",
+            "SELECT 1",
+            "--retry-max",
+            "4",
+            "--retry-budget-ms",
+            "5000",
+            "--chaos-seed",
+            "42",
+            "--chaos-fault-p",
+            "0.1",
+        ]))
+        .unwrap();
+        assert_eq!(cli.retry_max, 4);
+        assert_eq!(cli.retry_budget_ms, 5000);
+        assert_eq!(cli.chaos_seed, Some(42));
+        assert_eq!(cli.chaos_fault_p, 0.1);
+        // Defaults: resilience layer entirely off.
+        let cli = Cli::parse(&s(&["refs"])).unwrap();
+        assert_eq!(cli.retry_max, 0);
+        assert_eq!(cli.retry_budget_ms, 30_000);
+        assert_eq!(cli.chaos_seed, None);
+        assert_eq!(cli.chaos_fault_p, 0.0);
+        // Out-of-range probability and garbage rejected.
+        assert!(Cli::parse(&s(&["refs", "--chaos-fault-p", "1.5"])).is_err());
+        assert!(Cli::parse(&s(&["refs", "--retry-max", "some"])).is_err());
     }
 
     #[test]

@@ -2,7 +2,9 @@
 
 use crate::args::{Cli, Command, USAGE};
 use crate::pipeline_loader;
-use bauplan_core::{Lakehouse, LakehouseConfig, PipelineProject, RunOptions, RunReport};
+use bauplan_core::{
+    ChaosConfig, Lakehouse, LakehouseConfig, PipelineProject, RunOptions, RunReport,
+};
 use lakehouse_columnar::pretty::format_batch;
 use lakehouse_obs::{to_chrome_trace, SpanTree};
 use std::path::Path;
@@ -36,11 +38,21 @@ pub fn dispatch(cli: Cli) -> Result<(), DynError> {
         println!("{USAGE}");
         return Ok(());
     }
+    // Chaos is armed by either flag: an explicit seed (fault-p may stay 0 to
+    // exercise only the wrapper), or a nonzero fault probability (default
+    // seed). Both absent → no chaos wrapper at all.
+    let chaos = match (cli.chaos_seed, cli.chaos_fault_p) {
+        (None, 0.0) => None,
+        (seed, p) => Some(ChaosConfig::new(seed.unwrap_or(0xC4A05)).with_fault_p(p)),
+    };
     let config = LakehouseConfig {
         scan_parallelism: cli.scan_parallelism,
         metadata_cache_bytes: cli.cache_bytes,
         stream_execution: cli.stream,
         stream_batch_rows: cli.batch_rows,
+        retry_max: cli.retry_max,
+        retry_budget_ms: cli.retry_budget_ms,
+        chaos,
         ..LakehouseConfig::default()
     };
     let trace_out = cli.trace_out.clone();

@@ -2,7 +2,7 @@
 
 use lakehouse_planner::ExecutionMode;
 use lakehouse_runtime::RuntimeConfig;
-use lakehouse_store::LatencyModel;
+use lakehouse_store::{ChaosConfig, LatencyModel};
 
 /// Configuration for a [`crate::Lakehouse`].
 #[derive(Debug, Clone)]
@@ -44,6 +44,22 @@ pub struct LakehouseConfig {
     /// Maximum rows per batch in streaming execution (oversized source
     /// batches are split).
     pub stream_batch_rows: usize,
+    /// Retries per failed operation across the resilience layer: store
+    /// requests (via `RetryStore`), per-file scan re-reads, and idempotent
+    /// run steps. 0 (the default) disables the retry wrappers entirely, so
+    /// the store stack — and every op-count-asserting test — is
+    /// byte-identical to a build without the resilience layer.
+    pub retry_max: u32,
+    /// Total backoff budget for store-level retries, in milliseconds
+    /// (bounds worst-case added latency per `Lakehouse` instance).
+    pub retry_budget_ms: u64,
+    /// Seeded fault injection between the retry layer and the simulated
+    /// store. `None` (the default) injects nothing and adds no wrapper.
+    pub chaos: Option<ChaosConfig>,
+    /// Scan partial-failure policy: `false` (default) fails a query on the
+    /// first data file that exhausts its retries; `true` drops the file,
+    /// counts it in `ScanReport::files_failed`, and returns the rest.
+    pub scan_partial_failures: bool,
 }
 
 impl Default for LakehouseConfig {
@@ -62,6 +78,10 @@ impl Default for LakehouseConfig {
             metadata_cache_bytes: 0,
             stream_execution: false,
             stream_batch_rows: 8192,
+            retry_max: 0,
+            retry_budget_ms: 30_000,
+            chaos: None,
+            scan_partial_failures: false,
         }
     }
 }

@@ -11,7 +11,10 @@ use lakehouse_columnar::RecordBatch;
 use lakehouse_planner::RunRegistry;
 use lakehouse_runtime::{Runtime, SimClock};
 use lakehouse_sql::SqlEngine;
-use lakehouse_store::{CachedStore, InMemoryStore, ObjectStore, SimulatedStore, StoreMetrics};
+use lakehouse_store::{
+    CachedStore, ChaosStore, InMemoryStore, ObjectStore, RetryPolicy, RetryStore, SimulatedStore,
+    StoreMetrics,
+};
 use lakehouse_table::{PartitionSpec, SnapshotOperation, Table};
 use parking_lot::{Mutex, RwLock};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -60,17 +63,28 @@ impl Lakehouse {
         init_catalog: bool,
     ) -> Result<Lakehouse> {
         let store = Arc::new(SimulatedStore::new(backend, config.latency.clone()));
-        // Optionally interpose the metadata/range cache between everything
-        // and the simulated store; its hit counters fold into the simulated
+        // Resilience stack, innermost first:
+        // `Cached(Retry(Chaos(Simulated(backend))))`. Chaos sits directly on
+        // the simulated store so injected faults look like S3 failures;
+        // retry sits above chaos so it absorbs them; the cache sits on top
+        // so cache hits never burn retry budget. Every layer is optional
+        // and skipped at defaults — the default stack is byte-identical to
+        // the pre-resilience one (op counts, metrics, everything).
+        let mut store_dyn: Arc<dyn ObjectStore> = Arc::clone(&store) as Arc<dyn ObjectStore>;
+        if let Some(chaos) = &config.chaos {
+            store_dyn = Arc::new(ChaosStore::new(store_dyn, chaos.clone()));
+        }
+        if config.retry_max > 0 {
+            let policy = RetryPolicy::default()
+                .with_max_retries(config.retry_max)
+                .with_budget(std::time::Duration::from_millis(config.retry_budget_ms));
+            store_dyn = Arc::new(RetryStore::new(store_dyn, policy));
+        }
+        // The metadata/range cache's hit counters fold into the simulated
         // store's metrics, so `store_metrics()` sees both sides.
-        let store_dyn: Arc<dyn ObjectStore> = if config.metadata_cache_bytes > 0 {
-            Arc::new(CachedStore::new(
-                Arc::clone(&store) as Arc<dyn ObjectStore>,
-                config.metadata_cache_bytes,
-            ))
-        } else {
-            Arc::clone(&store) as Arc<dyn ObjectStore>
-        };
+        if config.metadata_cache_bytes > 0 {
+            store_dyn = Arc::new(CachedStore::new(store_dyn, config.metadata_cache_bytes));
+        }
         let catalog = Arc::new(if init_catalog {
             Catalog::init(Arc::clone(&store_dyn), config.catalog_prefix.clone())?
         } else {
@@ -402,6 +416,8 @@ impl Lakehouse {
             reference,
         )
         .with_scan_parallelism(self.config.scan_parallelism)
+        .with_fetch_retries(self.config.retry_max)
+        .with_partial_failures(self.config.scan_partial_failures)
     }
 
     // ---- functions ------------------------------------------------------------

@@ -31,6 +31,11 @@ pub struct LakehouseProvider {
     pushdown: bool,
     /// Worker threads each table scan fans its files over (1 = serial).
     scan_parallelism: usize,
+    /// Per-file scan retries on transient store faults (0 = off).
+    fetch_retries: u32,
+    /// Scan partial-failure policy: drop files that exhaust their retries
+    /// instead of failing the query.
+    partial_failures: bool,
 }
 
 impl LakehouseProvider {
@@ -46,6 +51,8 @@ impl LakehouseProvider {
             overlay: RwLock::new(HashMap::new()),
             pushdown: true,
             scan_parallelism: 1,
+            fetch_retries: 0,
+            partial_failures: false,
         }
     }
 
@@ -60,6 +67,26 @@ impl LakehouseProvider {
     pub fn with_scan_parallelism(mut self, n: usize) -> LakehouseProvider {
         self.scan_parallelism = n.max(1);
         self
+    }
+
+    /// Per-file scan retries on transient store faults (default 0).
+    pub fn with_fetch_retries(mut self, n: u32) -> LakehouseProvider {
+        self.fetch_retries = n;
+        self
+    }
+
+    /// Scan partial-failure policy (default fail-fast; see
+    /// [`lakehouse_table::TableScan::with_partial_failures`]).
+    pub fn with_partial_failures(mut self, skip_failed: bool) -> LakehouseProvider {
+        self.partial_failures = skip_failed;
+        self
+    }
+
+    /// Apply this provider's scan settings to a freshly built scan.
+    fn configure_scan(&self, scan: lakehouse_table::TableScan) -> lakehouse_table::TableScan {
+        scan.with_parallelism(self.scan_parallelism)
+            .with_fetch_retries(self.fetch_retries)
+            .with_partial_failures(self.partial_failures)
     }
 
     /// Register an in-memory artifact (visible to subsequent queries through
@@ -115,12 +142,29 @@ impl LakehouseProvider {
 
 impl SchemaProvider for LakehouseProvider {
     fn table_schema(&self, table: &str) -> Option<Schema> {
+        self.table_schema_checked(table).ok().flatten()
+    }
+
+    // Distinguish "no such table" from a store/catalog fault while
+    // resolving it: a retry-budget-exhausted get must surface as the typed
+    // store error, not as `unknown table`.
+    fn table_schema_checked(&self, table: &str) -> Result<Option<Schema>, String> {
         if let Some(batch) = self.overlay.read().get(table) {
-            return Some(batch.schema().clone());
+            return Ok(Some(batch.schema().clone()));
         }
-        let content = self.catalog.get_content(&self.reference, table).ok()?;
-        let t = Table::load(Arc::clone(&self.store), &content.metadata_location).ok()?;
-        t.schema().ok()
+        let content = match self.catalog.get_content(&self.reference, table) {
+            Ok(c) => c,
+            Err(
+                lakehouse_catalog::CatalogError::KeyNotFound(_)
+                | lakehouse_catalog::CatalogError::RefNotFound(_),
+            ) => return Ok(None),
+            Err(e) => return Err(format!("resolving table '{table}': {e}")),
+        };
+        let t = Table::load(Arc::clone(&self.store), &content.metadata_location)
+            .map_err(|e| format!("loading table '{table}': {e}"))?;
+        t.schema()
+            .map(Some)
+            .map_err(|e| format!("reading schema of '{table}': {e}"))
     }
 }
 
@@ -145,7 +189,7 @@ impl TableProvider for LakehouseProvider {
         let t = self
             .load_table(table)
             .map_err(|e| SqlError::Plan(format!("cannot load table '{table}': {e}")))?;
-        let mut scan = t.scan().with_parallelism(self.scan_parallelism);
+        let mut scan = self.configure_scan(t.scan());
         if self.pushdown {
             for p in Self::to_scan_predicates(filters) {
                 scan = scan.with_predicate(p);
@@ -187,7 +231,7 @@ impl TableProvider for LakehouseProvider {
         let t = self
             .load_table(table)
             .map_err(|e| SqlError::Plan(format!("cannot load table '{table}': {e}")))?;
-        let mut scan = t.scan().with_parallelism(self.scan_parallelism);
+        let mut scan = self.configure_scan(t.scan());
         if self.pushdown {
             for p in Self::to_scan_predicates(filters) {
                 scan = scan.with_predicate(p);

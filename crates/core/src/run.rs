@@ -387,6 +387,10 @@ impl Lakehouse {
                 .sum::<u64>()
                 .min(self.runtime.memory().capacity());
             let invoke_result = match physical.mode {
+                ExecutionMode::Fused if self.config.retry_max > 0 => {
+                    self.runtime
+                        .invoke_retrying(&env, memory, self.config.retry_max, |_, _| Ok(()))
+                }
                 ExecutionMode::Fused => self.runtime.invoke(&env, memory, |_, _| Ok(())),
                 ExecutionMode::Naive => self.runtime.invoke_stateless(&env, memory, |_, _| Ok(())),
             };
@@ -409,13 +413,7 @@ impl Lakehouse {
                 match node.kind {
                     NodeKind::SqlTransform => {
                         let sql = node.sql.as_deref().expect("sql node has text");
-                        let batch = if self.config.stream_execution {
-                            let (batch, report) = self.engine.query_with_report(sql, provider)?;
-                            *peak_query_bytes = (*peak_query_bytes).max(report.peak_bytes);
-                            batch
-                        } else {
-                            self.engine.query(sql, provider)?
-                        };
+                        let batch = self.query_step_retrying(sql, provider, peak_query_bytes)?;
                         provider.put_overlay(step_name.clone(), batch.clone());
                         stage_outputs.push((step_name.clone(), batch));
                     }
@@ -517,6 +515,39 @@ impl Lakehouse {
             provider.clear_overlay();
         }
         Ok((artifact_rows, audit_results))
+    }
+
+    /// Run one SQL step, retrying transient store faults up to
+    /// `retry_max` extra attempts. A SQL step is idempotent: it only reads
+    /// lake tables and overlay artifacts, and its output replaces the
+    /// overlay entry wholesale, so a re-run after a partial failure is safe.
+    fn query_step_retrying(
+        &self,
+        sql: &str,
+        provider: &LakehouseProvider,
+        peak_query_bytes: &mut usize,
+    ) -> Result<RecordBatch> {
+        let mut attempt = 0u32;
+        loop {
+            let result = if self.config.stream_execution {
+                self.engine
+                    .query_with_report(sql, provider)
+                    .map(|(batch, report)| {
+                        *peak_query_bytes = (*peak_query_bytes).max(report.peak_bytes);
+                        batch
+                    })
+                    .map_err(BauplanError::from)
+            } else {
+                self.engine.query(sql, provider).map_err(BauplanError::from)
+            };
+            match result {
+                Err(e) if e.is_transient() && attempt < self.config.retry_max => {
+                    attempt += 1;
+                    lakehouse_obs::global().counter("run.step_retries").inc();
+                }
+                other => return other,
+            }
+        }
     }
 
     /// Merged environment for a stage: function nodes contribute interpreter

@@ -46,6 +46,16 @@ impl fmt::Display for RuntimeError {
     }
 }
 
+impl RuntimeError {
+    /// Whether a retry of the same invocation could plausibly succeed.
+    /// Out-of-memory clears when live grants release; a lost worker is
+    /// replaced by the pool. Capacity, config, and user-function failures
+    /// are deterministic and permanent.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, Self::OutOfMemory { .. } | Self::WorkerLost(_))
+    }
+}
+
 impl std::error::Error for RuntimeError {}
 
 /// Convenience alias.

@@ -13,6 +13,15 @@ use lakehouse_columnar::{DataType, Field, Schema};
 pub trait SchemaProvider {
     /// Schema of a table, or `None` if unknown.
     fn table_schema(&self, table: &str) -> Option<Schema>;
+
+    /// Like [`SchemaProvider::table_schema`], but distinguishes "no such
+    /// table" (`Ok(None)`) from a failure to resolve it (`Err`, e.g. a
+    /// store fault while loading table metadata). The planner reports the
+    /// former as an unknown table and the latter as the underlying error,
+    /// so transient faults are never misdiagnosed as missing tables.
+    fn table_schema_checked(&self, table: &str) -> std::result::Result<Option<Schema>, String> {
+        Ok(self.table_schema(table))
+    }
 }
 
 /// One aggregate computation within an Aggregate node.
@@ -576,7 +585,8 @@ fn plan_relation(rel: &Relation, provider: &dyn SchemaProvider) -> Result<Logica
     match rel {
         Relation::Table { name, alias } => {
             let schema = provider
-                .table_schema(name)
+                .table_schema_checked(name)
+                .map_err(SqlError::Execution)?
                 .ok_or_else(|| SqlError::Plan(format!("unknown table: {name}")))?;
             let scan = LogicalPlan::Scan {
                 table: name.clone(),

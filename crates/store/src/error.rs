@@ -1,6 +1,8 @@
-//! Error type for object-store operations.
+//! Error type for object-store operations, with a transient/permanent
+//! taxonomy so retry layers can classify failures uniformly.
 
 use std::fmt;
+use std::time::Duration;
 
 /// Errors from object-store operations.
 #[derive(Debug)]
@@ -19,6 +21,37 @@ pub enum StoreError {
     InvalidPath(String),
     /// Underlying I/O failure (local-FS backend).
     Io(std::io::Error),
+    /// A transient fault (dropped connection, 5xx): safe to retry as-is.
+    Transient(String),
+    /// The service rate-limited the request; retry no sooner than
+    /// `retry_after` (S3's 503 SlowDown with a Retry-After hint).
+    Throttled { op: String, retry_after: Duration },
+    /// The operation exceeded its per-op deadline.
+    Timeout { op: String, deadline: Duration },
+    /// A retry layer gave up: `attempts` tries (including the first) all
+    /// failed; `last` is the final underlying error.
+    RetriesExhausted {
+        op: String,
+        attempts: u32,
+        last: Box<StoreError>,
+    },
+}
+
+impl StoreError {
+    /// Whether a retry of the same operation could plausibly succeed.
+    ///
+    /// `NotFound`/`PreconditionFailed`/`InvalidRange`/`InvalidPath` are
+    /// semantic outcomes — retrying returns the same answer (CAS races are
+    /// retried *above* the store, by the catalog, after re-reading state).
+    /// `Io` is kept permanent: the local-FS backend surfaces real,
+    /// typically persistent, OS errors through it. `RetriesExhausted`
+    /// means a retry layer already gave up; never retry it again.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            Self::Transient(_) | Self::Throttled { .. } | Self::Timeout { .. }
+        )
+    }
 }
 
 impl fmt::Display for StoreError {
@@ -34,6 +67,23 @@ impl fmt::Display for StoreError {
             }
             Self::InvalidPath(p) => write!(f, "invalid object path: {p}"),
             Self::Io(e) => write!(f, "io error: {e}"),
+            Self::Transient(msg) => write!(f, "transient store fault: {msg}"),
+            Self::Throttled { op, retry_after } => write!(
+                f,
+                "throttled on {op} (retry after {:.0} ms)",
+                retry_after.as_secs_f64() * 1e3
+            ),
+            Self::Timeout { op, deadline } => write!(
+                f,
+                "{op} timed out (deadline {:.0} ms)",
+                deadline.as_secs_f64() * 1e3
+            ),
+            Self::RetriesExhausted { op, attempts, last } => {
+                write!(
+                    f,
+                    "retries exhausted on {op} after {attempts} attempts: {last}"
+                )
+            }
         }
     }
 }
@@ -42,6 +92,7 @@ impl std::error::Error for StoreError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             Self::Io(e) => Some(e),
+            Self::RetriesExhausted { last, .. } => Some(last),
             _ => None,
         }
     }

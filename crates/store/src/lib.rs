@@ -15,22 +15,24 @@
 //! sleeping.
 
 pub mod cache;
+pub mod chaos;
 pub mod error;
-pub mod flaky;
 pub mod latency;
 pub mod local;
 pub mod memory;
 pub mod metrics;
 pub mod path;
+pub mod retry;
 
 pub use cache::CachedStore;
+pub use chaos::{ChaosConfig, ChaosStore, FaultKind, FaultingStore, FlakyStore};
 pub use error::{Result, StoreError};
-pub use flaky::{FaultKind, FlakyStore};
 pub use latency::{LatencyModel, SimulatedStore, SleepMode};
 pub use local::LocalFsStore;
 pub use memory::InMemoryStore;
 pub use metrics::StoreMetrics;
 pub use path::ObjectPath;
+pub use retry::{Backoff, RetryPolicy, RetryStore};
 
 use bytes::Bytes;
 use std::sync::Arc;

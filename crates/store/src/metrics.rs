@@ -106,6 +106,7 @@ pub struct StoreMetrics {
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     cache_bytes_served: AtomicU64,
+    stall_nanos: AtomicU64,
     /// Simulated nanos charged per calling thread (lane accounting).
     lanes: Mutex<HashMap<ThreadId, u64>>,
     /// Bounded reservoir of per-operation simulated latencies (percentiles).
@@ -132,6 +133,7 @@ impl StoreMetrics {
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
             cache_bytes_served: AtomicU64::new(0),
+            stall_nanos: AtomicU64::new(0),
             lanes: Mutex::new(HashMap::new()),
             samples: Mutex::new(Reservoir::new()),
             global: GlobalHandles::register(),
@@ -175,6 +177,22 @@ impl StoreMetrics {
             .or_insert(0) += nanos;
         self.samples.lock().push(latency);
         self.global.op_nanos.record(nanos);
+    }
+
+    /// Charge simulated time that is *not* an operation: retry backoff and
+    /// injected throttle stalls. Adds to the simulated total and the calling
+    /// thread's lane (so overlapped wall-clock accounting stays honest) but
+    /// records no op count and no latency sample — per-op percentiles keep
+    /// measuring store service time, not client-side waiting.
+    pub fn record_stall(&self, stall: Duration) {
+        let nanos = stall.as_nanos() as u64;
+        self.stall_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.simulated_nanos.fetch_add(nanos, Ordering::Relaxed);
+        *self
+            .lanes
+            .lock()
+            .entry(std::thread::current().id())
+            .or_insert(0) += nanos;
     }
 
     pub(crate) fn record_cache_hit(&self, bytes: usize) {
@@ -226,6 +244,12 @@ impl StoreMetrics {
         Duration::from_nanos(self.simulated_nanos.load(Ordering::Relaxed))
     }
 
+    /// Simulated time spent stalled (retry backoff, throttle waits); a
+    /// subset of [`simulated_time`](Self::simulated_time).
+    pub fn stall_time(&self) -> Duration {
+        Duration::from_nanos(self.stall_nanos.load(Ordering::Relaxed))
+    }
+
     /// Simulated latency charged by the *calling thread* so far. Sampling
     /// this before and after a section gives the section's serial latency on
     /// this lane; the max of the deltas across K concurrent worker threads
@@ -262,6 +286,7 @@ impl StoreMetrics {
         self.cache_hits.store(0, Ordering::Relaxed);
         self.cache_misses.store(0, Ordering::Relaxed);
         self.cache_bytes_served.store(0, Ordering::Relaxed);
+        self.stall_nanos.store(0, Ordering::Relaxed);
         self.lanes.lock().clear();
         self.samples.lock().clear();
     }

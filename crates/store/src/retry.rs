@@ -1,0 +1,470 @@
+//! Retry layer: exponential backoff with decorrelated jitter, per-op
+//! deadlines, and a bounded retry budget over any [`ObjectStore`].
+//!
+//! [`RetryStore`] retries operations whose error is
+//! [`StoreError::is_retryable`] (transient faults, throttles, timeouts).
+//! Backoff waits are *simulated*: each delay is charged to the inner
+//! store's [`StoreMetrics`] via `record_stall`, so retried runs report
+//! honest latency totals deterministically instead of wall-clock sleeping
+//! — the same trick `SimulatedStore` uses for S3 latency itself.
+//!
+//! The jitter strategy is "decorrelated jitter" (each delay is drawn
+//! uniformly from `[base, prev * 3]`, capped), which spreads concurrent
+//! retriers apart instead of letting them stampede in synchronized waves.
+//! The RNG is seeded, so a serial op sequence replays identically.
+
+use crate::error::{Result, StoreError};
+use crate::path::ObjectPath;
+use crate::{ObjectStore, StoreMetrics};
+use bytes::Bytes;
+use lakehouse_obs::{Counter, Histogram};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Tuning for [`RetryStore`] (and, via [`Backoff`], the catalog's CAS
+/// loop). The defaults model a patient S3 client: 4 retries, 25 ms base
+/// backoff capped at 2 s, 30 s of total backoff budget, no per-op deadline.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Retries per operation after the first attempt (0 = fail fast).
+    pub max_retries: u32,
+    /// Lower bound of every backoff delay.
+    pub base_backoff: Duration,
+    /// Upper bound of every backoff delay.
+    pub max_backoff: Duration,
+    /// Total backoff the store may accumulate across *all* operations
+    /// before it stops retrying — bounds worst-case added latency for a
+    /// whole query the way a per-request retry cap cannot.
+    pub budget: Duration,
+    /// If set, an attempt whose charged simulated latency exceeds this is
+    /// treated as [`StoreError::Timeout`] and retried.
+    pub op_deadline: Option<Duration>,
+    /// Seed for the jitter RNG.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 4,
+            base_backoff: Duration::from_millis(25),
+            max_backoff: Duration::from_secs(2),
+            budget: Duration::from_secs(30),
+            op_deadline: None,
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl RetryPolicy {
+    pub fn with_max_retries(mut self, n: u32) -> RetryPolicy {
+        self.max_retries = n;
+        self
+    }
+
+    pub fn with_budget(mut self, budget: Duration) -> RetryPolicy {
+        self.budget = budget;
+        self
+    }
+
+    pub fn with_op_deadline(mut self, deadline: Duration) -> RetryPolicy {
+        self.op_deadline = Some(deadline);
+        self
+    }
+
+    pub fn with_seed(mut self, seed: u64) -> RetryPolicy {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Decorrelated-jitter delay sequence: `delay[n] = min(cap,
+/// uniform(base, delay[n-1] * 3))`, starting from `base`. Reusable by any
+/// retry loop (the catalog's CAS commit uses it directly).
+#[derive(Debug)]
+pub struct Backoff {
+    rng: StdRng,
+    base: Duration,
+    cap: Duration,
+    prev: Duration,
+}
+
+impl Backoff {
+    pub fn new(base: Duration, cap: Duration, seed: u64) -> Backoff {
+        let base = base.max(Duration::from_nanos(1));
+        Backoff {
+            rng: StdRng::seed_from_u64(seed),
+            base,
+            cap: cap.max(base),
+            prev: base,
+        }
+    }
+
+    /// The next delay in the sequence.
+    pub fn next_delay(&mut self) -> Duration {
+        let base = self.base.as_nanos() as u64;
+        let hi = (self.prev.as_nanos() as u64)
+            .saturating_mul(3)
+            .max(base + 1);
+        let drawn = self.rng.gen_range(base..hi);
+        let delay = Duration::from_nanos(drawn.min(self.cap.as_nanos() as u64));
+        self.prev = delay;
+        delay
+    }
+}
+
+/// Process-wide retry counters (`lakehouse-obs`).
+#[derive(Debug)]
+struct RetryCounters {
+    attempts: Arc<Counter>,
+    giveups: Arc<Counter>,
+    backoff_nanos: Arc<Histogram>,
+}
+
+impl RetryCounters {
+    fn register() -> RetryCounters {
+        let reg = lakehouse_obs::global();
+        RetryCounters {
+            attempts: reg.counter("retry.attempts"),
+            giveups: reg.counter("retry.giveups"),
+            backoff_nanos: reg.histogram("retry.backoff_nanos"),
+        }
+    }
+}
+
+/// An [`ObjectStore`] wrapper that retries retryable failures with seeded
+/// decorrelated-jitter backoff, a per-store retry budget, and optional
+/// per-op deadlines. See the module docs for the accounting model.
+pub struct RetryStore<S> {
+    inner: S,
+    policy: RetryPolicy,
+    rng: Mutex<StdRng>,
+    budget_left: AtomicU64,
+    retries: AtomicU64,
+    giveups: AtomicU64,
+    obs: RetryCounters,
+}
+
+impl<S: ObjectStore> RetryStore<S> {
+    pub fn new(inner: S, policy: RetryPolicy) -> RetryStore<S> {
+        let budget_nanos = policy.budget.as_nanos().min(u64::MAX as u128) as u64;
+        RetryStore {
+            inner,
+            rng: Mutex::new(StdRng::seed_from_u64(policy.seed)),
+            budget_left: AtomicU64::new(budget_nanos),
+            policy,
+            retries: AtomicU64::new(0),
+            giveups: AtomicU64::new(0),
+            obs: RetryCounters::register(),
+        }
+    }
+
+    /// Retries performed so far (attempts beyond each op's first).
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+
+    /// Operations abandoned with [`StoreError::RetriesExhausted`].
+    pub fn giveups(&self) -> u64 {
+        self.giveups.load(Ordering::Relaxed)
+    }
+
+    /// Backoff budget not yet consumed.
+    pub fn budget_remaining(&self) -> Duration {
+        Duration::from_nanos(self.budget_left.load(Ordering::Relaxed))
+    }
+
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Draw the next decorrelated-jitter delay given the previous one.
+    fn next_delay(&self, prev: Duration) -> Duration {
+        let base = self.policy.base_backoff.as_nanos() as u64;
+        let hi = (prev.as_nanos() as u64).saturating_mul(3).max(base + 1);
+        let drawn = self.rng.lock().gen_range(base..hi);
+        Duration::from_nanos(drawn.min(self.policy.max_backoff.as_nanos() as u64))
+    }
+
+    /// Atomically take `delay` out of the budget; false if it doesn't fit.
+    fn consume_budget(&self, delay: Duration) -> bool {
+        let need = delay.as_nanos().min(u64::MAX as u128) as u64;
+        let mut cur = self.budget_left.load(Ordering::Relaxed);
+        loop {
+            if cur < need {
+                return false;
+            }
+            match self.budget_left.compare_exchange_weak(
+                cur,
+                cur - need,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    fn give_up(&self, op: &'static str, attempts: u32, last: StoreError) -> StoreError {
+        self.giveups.fetch_add(1, Ordering::Relaxed);
+        self.obs.giveups.inc();
+        StoreError::RetriesExhausted {
+            op: op.to_string(),
+            attempts,
+            last: Box::new(last),
+        }
+    }
+
+    /// Run `f` with retry/backoff/deadline semantics.
+    fn with_retry<T>(&self, op: &'static str, f: impl Fn(&S) -> Result<T>) -> Result<T> {
+        let metrics = self.inner.store_metrics();
+        let mut attempts: u32 = 0;
+        let mut prev_delay = self.policy.base_backoff;
+        loop {
+            attempts += 1;
+            let lane_before = metrics.as_ref().map(|m| m.lane_nanos());
+            let mut result = f(&self.inner);
+            // A success that blew the per-op deadline is a client-side
+            // timeout: the caller gave up waiting, so the response is
+            // discarded and the attempt retried. Elapsed time is the
+            // *simulated* latency this thread's lane was charged.
+            if result.is_ok() {
+                if let (Some(deadline), Some(m), Some(before)) =
+                    (self.policy.op_deadline, metrics.as_ref(), lane_before)
+                {
+                    let elapsed = Duration::from_nanos(m.lane_nanos().saturating_sub(before));
+                    if elapsed > deadline {
+                        result = Err(StoreError::Timeout {
+                            op: op.to_string(),
+                            deadline,
+                        });
+                    }
+                }
+            }
+            match result {
+                Ok(v) => return Ok(v),
+                Err(e) if e.is_retryable() => {
+                    if attempts > self.policy.max_retries {
+                        return Err(self.give_up(op, attempts, e));
+                    }
+                    let mut delay = self.next_delay(prev_delay);
+                    // Honor the server's throttle hint as a floor.
+                    if let StoreError::Throttled { retry_after, .. } = &e {
+                        delay = delay.max(*retry_after);
+                    }
+                    prev_delay = delay;
+                    if !self.consume_budget(delay) {
+                        return Err(self.give_up(op, attempts, e));
+                    }
+                    self.retries.fetch_add(1, Ordering::Relaxed);
+                    self.obs.attempts.inc();
+                    self.obs.backoff_nanos.record(delay.as_nanos() as u64);
+                    if let Some(m) = metrics.as_ref() {
+                        m.record_stall(delay);
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+impl<S: ObjectStore> ObjectStore for RetryStore<S> {
+    fn put(&self, path: &ObjectPath, data: Bytes) -> Result<()> {
+        self.with_retry("put", |s| s.put(path, data.clone()))
+    }
+
+    fn get(&self, path: &ObjectPath) -> Result<Bytes> {
+        self.with_retry("get", |s| s.get(path))
+    }
+
+    fn get_range(&self, path: &ObjectPath, start: usize, end: usize) -> Result<Bytes> {
+        self.with_retry("get_range", |s| s.get_range(path, start, end))
+    }
+
+    fn head(&self, path: &ObjectPath) -> Result<usize> {
+        self.with_retry("head", |s| s.head(path))
+    }
+
+    fn list(&self, prefix: &str) -> Result<Vec<ObjectPath>> {
+        self.with_retry("list", |s| s.list(prefix))
+    }
+
+    fn delete(&self, path: &ObjectPath) -> Result<()> {
+        self.with_retry("delete", |s| s.delete(path))
+    }
+
+    // `put_if_matches` is retried only on transient faults; a CAS conflict
+    // (`PreconditionFailed`) is a semantic outcome surfaced to the catalog,
+    // which re-reads and retries at its own layer. Fault injection sits
+    // above the backend, so a failed attempt never half-applied.
+    fn put_if_matches(
+        &self,
+        path: &ObjectPath,
+        expected: Option<&[u8]>,
+        data: Bytes,
+    ) -> Result<()> {
+        self.with_retry("put_if_matches", |s| {
+            s.put_if_matches(path, expected, data.clone())
+        })
+    }
+
+    fn store_metrics(&self) -> Option<Arc<StoreMetrics>> {
+        self.inner.store_metrics()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chaos::{ChaosConfig, ChaosStore, FaultKind, FlakyStore};
+    use crate::latency::{LatencyModel, SimulatedStore};
+    use crate::memory::InMemoryStore;
+
+    fn p(s: &str) -> ObjectPath {
+        ObjectPath::new(s).unwrap()
+    }
+
+    #[test]
+    fn backoff_is_bounded_and_seeded() {
+        let base = Duration::from_millis(10);
+        let cap = Duration::from_millis(100);
+        let seq = |seed: u64| -> Vec<Duration> {
+            let mut b = Backoff::new(base, cap, seed);
+            (0..16).map(|_| b.next_delay()).collect()
+        };
+        let a = seq(1);
+        assert_eq!(a, seq(1), "same seed must give the same delays");
+        assert_ne!(a, seq(2));
+        for d in &a {
+            assert!(*d >= base && *d <= cap, "delay {d:?} outside [base, cap]");
+        }
+        // The sequence should actually escalate toward the cap.
+        assert!(a.iter().any(|d| *d > base * 2), "no escalation in {a:?}");
+    }
+
+    #[test]
+    fn transient_faults_are_absorbed() {
+        // Every other op fails; one retry per op is enough to mask it.
+        let flaky = FlakyStore::new(InMemoryStore::new(), FaultKind::All, 2);
+        let s = RetryStore::new(flaky, RetryPolicy::default());
+        for i in 0..10 {
+            let path = p(&format!("k{i}"));
+            s.put(&path, Bytes::from_static(b"v")).expect("retried put");
+            assert_eq!(s.get(&path).expect("retried get"), Bytes::from_static(b"v"));
+        }
+        assert!(s.retries() > 0);
+        assert_eq!(s.giveups(), 0);
+    }
+
+    #[test]
+    fn exhaustion_is_typed_with_attempt_count() {
+        let flaky = FlakyStore::new(InMemoryStore::new(), FaultKind::All, 1);
+        let s = RetryStore::new(flaky, RetryPolicy::default().with_max_retries(3));
+        match s.get(&p("a")) {
+            Err(StoreError::RetriesExhausted { op, attempts, last }) => {
+                assert_eq!(op, "get");
+                assert_eq!(attempts, 4, "3 retries = 4 attempts");
+                assert!(last.is_retryable(), "last error is the transient one");
+            }
+            other => panic!("expected RetriesExhausted, got {other:?}"),
+        }
+        assert_eq!(s.giveups(), 1);
+        // Exhaustion itself must not be classified retryable.
+        assert!(!s.get(&p("a")).unwrap_err().is_retryable());
+    }
+
+    #[test]
+    fn permanent_errors_pass_through_unretried() {
+        let s = RetryStore::new(InMemoryStore::new(), RetryPolicy::default());
+        assert!(matches!(s.get(&p("missing")), Err(StoreError::NotFound(_))));
+        assert_eq!(s.retries(), 0);
+    }
+
+    #[test]
+    fn budget_stops_retrying_before_max_retries() {
+        let flaky = FlakyStore::new(InMemoryStore::new(), FaultKind::All, 1);
+        let policy = RetryPolicy::default()
+            .with_max_retries(1000)
+            .with_budget(Duration::from_millis(60));
+        let s = RetryStore::new(flaky, policy);
+        let err = s.get(&p("a")).unwrap_err();
+        match err {
+            StoreError::RetriesExhausted { attempts, .. } => {
+                assert!(
+                    attempts < 10,
+                    "60 ms budget at 25 ms base backoff must stop early, not after {attempts}"
+                );
+            }
+            other => panic!("expected RetriesExhausted, got {other:?}"),
+        }
+        assert!(s.budget_remaining() < Duration::from_millis(60));
+    }
+
+    #[test]
+    fn backoff_is_charged_as_simulated_stall() {
+        let sim = SimulatedStore::new(InMemoryStore::new(), LatencyModel::zero());
+        let flaky = FlakyStore::new(sim, FaultKind::All, 2);
+        let s = RetryStore::new(flaky, RetryPolicy::default());
+        s.put(&p("a"), Bytes::from_static(b"v")).unwrap();
+        s.get(&p("a")).unwrap();
+        let m = s
+            .store_metrics()
+            .expect("sim metrics visible through stack");
+        assert!(
+            m.stall_time() >= Duration::from_millis(25),
+            "backoff must be charged to simulated time, got {:?}",
+            m.stall_time()
+        );
+    }
+
+    #[test]
+    fn throttle_retry_after_is_a_floor() {
+        let mut cfg = ChaosConfig::new(9).with_throttle_p(1.0);
+        cfg.throttle_burst = 1;
+        cfg.throttle_retry_after = Duration::from_millis(500);
+        let sim = SimulatedStore::new(InMemoryStore::new(), LatencyModel::zero());
+        let chaos = ChaosStore::new(sim, cfg);
+        chaos
+            .inner()
+            .put(&p("a"), Bytes::from_static(b"v"))
+            .unwrap();
+        let s = RetryStore::new(chaos, RetryPolicy::default().with_max_retries(1));
+        // First attempt throttled, one retry allowed; whether the retry
+        // lands or throttles again, the wait must be >= retry_after.
+        let _ = s.get(&p("a"));
+        let m = s.store_metrics().unwrap();
+        assert!(
+            m.stall_time() >= Duration::from_millis(500),
+            "throttle hint must floor the backoff, got {:?}",
+            m.stall_time()
+        );
+    }
+
+    #[test]
+    fn op_deadline_times_out_slow_ops() {
+        // Deterministic ~4 ms first-byte latency vs a 1 ms deadline: every
+        // attempt "succeeds" too late and is discarded as a timeout.
+        let model = LatencyModel {
+            sigma: 0.0,
+            ..LatencyModel::s3_like()
+        };
+        let sim = SimulatedStore::new(InMemoryStore::new(), model);
+        sim.inner().put(&p("a"), Bytes::from_static(b"v")).unwrap();
+        let policy = RetryPolicy::default()
+            .with_max_retries(2)
+            .with_op_deadline(Duration::from_millis(1));
+        let s = RetryStore::new(sim, policy);
+        match s.get(&p("a")) {
+            Err(StoreError::RetriesExhausted { last, .. }) => {
+                assert!(matches!(*last, StoreError::Timeout { .. }), "got {last:?}");
+            }
+            other => panic!("expected timeout exhaustion, got {other:?}"),
+        }
+    }
+}

@@ -26,6 +26,15 @@ pub enum TableError {
     Columnar(ColumnarError),
 }
 
+impl TableError {
+    /// Whether this error stems from a retryable store fault (see
+    /// [`StoreError::is_retryable`]) — i.e. re-reading the same file could
+    /// plausibly succeed.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, Self::Store(e) if e.is_retryable())
+    }
+}
+
 impl fmt::Display for TableError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

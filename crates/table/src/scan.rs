@@ -61,6 +61,14 @@ pub struct ScanReport {
     /// Store requests answered by a cache layer during this scan (manifest,
     /// footers, data ranges). Zero when the store has no cache or metrics.
     pub cache_hits: u64,
+    /// Per-file fetch attempts beyond each file's first (see
+    /// [`TableScan::with_fetch_retries`]).
+    pub fetch_retries: usize,
+    /// Files abandoned after exhausting their fetch retries, under the
+    /// report-and-continue policy ([`TableScan::with_partial_failures`]).
+    /// Always 0 under the default fail-fast policy — the scan errors
+    /// instead.
+    pub files_failed: usize,
     /// Deterministic overlapped wall clock of the scan on a simulated store:
     /// serial prelude (manifest fetch) plus the **max** over worker lanes of
     /// per-lane simulated latency. Equals total simulated scan time at
@@ -84,6 +92,8 @@ pub struct TableScan {
     predicates: Vec<ScanPredicate>,
     projection: Option<Vec<String>>,
     parallelism: usize,
+    fetch_retries: u32,
+    skip_failed_files: bool,
 }
 
 impl TableScan {
@@ -95,7 +105,29 @@ impl TableScan {
             predicates: Vec::new(),
             projection: None,
             parallelism: 1,
+            fetch_retries: 0,
+            skip_failed_files: false,
         }
+    }
+
+    /// Re-read a data file up to `n` extra times when it fails with a
+    /// transient store fault, before giving up on it. A whole-file re-read
+    /// sits *above* any per-request `RetryStore` retries — it is the scan's
+    /// answer to a file whose request-level retries were exhausted.
+    pub fn with_fetch_retries(mut self, n: u32) -> TableScan {
+        self.fetch_retries = n;
+        self
+    }
+
+    /// Partial-failure policy. `false` (default): the first file that
+    /// exhausts its fetch retries fails the whole scan. `true`: the file is
+    /// dropped from the result and counted in [`ScanReport::files_failed`]
+    /// — for availability-over-completeness workloads (monitoring
+    /// dashboards, approximate analytics) that prefer N-1 files now over
+    /// all N never.
+    pub fn with_partial_failures(mut self, skip_failed: bool) -> TableScan {
+        self.skip_failed_files = skip_failed;
+        self
     }
 
     /// Fan surviving manifest entries over up to `n` worker threads
@@ -209,6 +241,8 @@ impl TableScan {
             files_read_counter: registry.counter("scan.files_read"),
             rows_counter: registry.counter("scan.rows_emitted"),
             bytes_counter: registry.counter("scan.bytes_scanned"),
+            fetch_retries_counter: registry.counter("scan.fetch_retries"),
+            files_failed_counter: registry.counter("scan.files_failed"),
         })
     }
 
@@ -284,12 +318,36 @@ impl TableScan {
     fn read_entry(&self, entry: &ManifestEntry, scan_schema: &Schema) -> Result<EntryPartial> {
         let path = ObjectPath::new(entry.file_path.clone())?;
         let fetched = std::cell::Cell::new(0u64);
+        // The format reader sees fetch failures as stringly `FormatError`s;
+        // stash the original store error on the side so a failed read
+        // surfaces *typed* (`TableError::Store`) — retry layers classify on
+        // the type, not the message.
+        let store_fault = std::cell::RefCell::new(None::<lakehouse_store::StoreError>);
         let fetch = |start: usize, end: usize| -> lakehouse_format::Result<bytes::Bytes> {
             fetched.set(fetched.get() + (end - start) as u64);
             self.store.get_range(&path, start, end).map_err(|e| {
-                lakehouse_format::FormatError::InvalidArgument(format!("range read: {e}"))
+                let wrapped =
+                    lakehouse_format::FormatError::InvalidArgument(format!("range read: {e}"));
+                *store_fault.borrow_mut() = Some(e);
+                wrapped
             })
         };
+        let result = self.read_entry_inner(entry, scan_schema, &fetched, &fetch);
+        if result.is_err() {
+            if let Some(fault) = store_fault.borrow_mut().take() {
+                return Err(TableError::Store(fault));
+            }
+        }
+        result
+    }
+
+    fn read_entry_inner(
+        &self,
+        entry: &ManifestEntry,
+        scan_schema: &Schema,
+        fetched: &std::cell::Cell<u64>,
+        fetch: &dyn Fn(usize, usize) -> lakehouse_format::Result<bytes::Bytes>,
+    ) -> Result<EntryPartial> {
         let reader = lakehouse_format::RangedReader::open(entry.file_size as usize, &fetch)?;
         let file_schema = self.metadata.schema_by_id(entry.schema_id)?;
         let current = self.metadata.current_schema()?;
@@ -367,6 +425,8 @@ pub struct ScanStream {
     files_read_counter: Arc<lakehouse_obs::Counter>,
     rows_counter: Arc<lakehouse_obs::Counter>,
     bytes_counter: Arc<lakehouse_obs::Counter>,
+    fetch_retries_counter: Arc<lakehouse_obs::Counter>,
+    files_failed_counter: Arc<lakehouse_obs::Counter>,
 }
 
 impl ScanStream {
@@ -408,21 +468,47 @@ impl ScanStream {
         let span = lakehouse_obs::span("scan.fetch");
         span.attr("files", take);
         let metrics = self.scan.store.store_metrics();
-        let partials: Vec<(Result<EntryPartial>, u64)> =
+        let partials: Vec<(Result<EntryPartial>, u32, u64)> =
             lakehouse_columnar::pool::map_indexed(self.scan.parallelism, &group, |_, entry| {
                 let entry_lane_start = metrics.as_ref().map(|m| m.lane_nanos()).unwrap_or(0);
-                let out = self.scan.read_entry(entry, &self.scan_schema);
+                // Whole-file retry: a transient fault re-reads the entry from
+                // scratch (footer and chunks — partial progress is useless
+                // without the footer anyway), up to `fetch_retries` times.
+                let mut retries = 0u32;
+                let mut out = self.scan.read_entry(entry, &self.scan_schema);
+                while retries < self.scan.fetch_retries
+                    && out.as_ref().err().is_some_and(|e| e.is_transient())
+                {
+                    retries += 1;
+                    out = self.scan.read_entry(entry, &self.scan_schema);
+                }
                 let delta = metrics
                     .as_ref()
                     .map(|m| m.lane_nanos() - entry_lane_start)
                     .unwrap_or(0);
-                (out, delta)
+                (out, retries, delta)
             });
-        for (partial, delta) in partials {
+        let mut group_retries = 0u64;
+        let mut group_failed = 0u64;
+        for (partial, retries, delta) in partials {
             if let Some(min_lane) = self.lanes.iter_mut().min() {
                 *min_lane += delta;
             }
-            let partial = partial?;
+            if retries > 0 {
+                self.report.fetch_retries += retries as usize;
+                self.fetch_retries_counter.add(retries as u64);
+                group_retries += retries as u64;
+            }
+            let partial = match partial {
+                Ok(p) => p,
+                Err(_) if self.scan.skip_failed_files => {
+                    self.report.files_failed += 1;
+                    self.files_failed_counter.inc();
+                    group_failed += 1;
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
             self.report.files_read += 1;
             self.report.bytes_scanned += partial.bytes_scanned;
             self.report.row_groups_scanned += partial.row_groups_scanned;
@@ -434,6 +520,12 @@ impl ScanStream {
                 self.rows_counter.add(batch.num_rows() as u64);
                 self.ready.push_back(batch);
             }
+        }
+        if group_retries > 0 {
+            span.attr("retries", group_retries);
+        }
+        if group_failed > 0 {
+            span.attr("failed", group_failed);
         }
         Ok(())
     }
@@ -788,6 +880,101 @@ mod tests {
         let mut stream = t.scan().stream().unwrap();
         assert!(stream.next_batch().unwrap().is_none());
         assert_eq!(stream.schema().len(), 3);
+    }
+
+    #[test]
+    fn fetch_retries_mask_transient_faults() {
+        use lakehouse_store::{ChaosConfig, ChaosStore};
+        let base = Arc::new(InMemoryStore::new());
+        let plain: Arc<dyn ObjectStore> = base.clone();
+        let t = Table::create(
+            Arc::clone(&plain),
+            "wh/retry",
+            &taxi_schema(),
+            PartitionSpec::identity("zone"),
+        )
+        .unwrap();
+        let mut tx = t.new_transaction(SnapshotOperation::Append);
+        tx.write(&taxi_batch(
+            vec![100, 100, 200, 200, 300],
+            vec!["a", "b", "a", "b", "a"],
+            vec![1.0, 2.0, 3.0, 4.0, 5.0],
+        ))
+        .unwrap();
+        let (loc, _) = tx.commit().unwrap();
+        let baseline = Table::load(Arc::clone(&plain), &loc)
+            .unwrap()
+            .scan()
+            .execute()
+            .unwrap();
+
+        // Same objects behind a 10%-fault chaos layer (seeded: the schedule
+        // below is fixed). Per-file retries must reproduce the baseline.
+        let chaos: Arc<dyn ObjectStore> = Arc::new(ChaosStore::new(
+            Arc::clone(&base) as Arc<dyn ObjectStore>,
+            ChaosConfig::new(7).with_fault_p(0.1),
+        ));
+        // The metadata load can fault too; retrying it is the caller's job.
+        let t = (0..10)
+            .find_map(|_| Table::load(Arc::clone(&chaos), &loc).ok())
+            .expect("load under chaos");
+        let (batch, report) = t
+            .scan()
+            .with_fetch_retries(8)
+            .execute_with_report()
+            .unwrap();
+        assert_eq!(batch, baseline, "retried scan must be byte-identical");
+        assert_eq!(report.files_failed, 0);
+        assert!(
+            report.fetch_retries > 0,
+            "seed 7 at p=0.1 must fault at least one file read"
+        );
+    }
+
+    #[test]
+    fn partial_failure_policy_reports_and_continues() {
+        // Two data files; destroy one underneath the table, then scan with
+        // report-and-continue: the surviving file's rows come back and the
+        // loss is counted. The default fail-fast policy errors instead.
+        let store: Arc<dyn ObjectStore> = Arc::new(InMemoryStore::new());
+        let t = Table::create(
+            Arc::clone(&store),
+            "wh/partial",
+            &taxi_schema(),
+            PartitionSpec::identity("zone"),
+        )
+        .unwrap();
+        let mut tx = t.new_transaction(SnapshotOperation::Append);
+        tx.write(&taxi_batch(
+            vec![100, 100, 200],
+            vec!["a", "b", "a"],
+            vec![1.0, 2.0, 3.0],
+        ))
+        .unwrap();
+        let (loc, _) = tx.commit().unwrap();
+        let victim = store
+            .list("wh/partial")
+            .unwrap()
+            .into_iter()
+            .find(|p| p.as_str().contains("/data/"))
+            .expect("a data file");
+        store.delete(&victim).unwrap();
+
+        let t = Table::load(Arc::clone(&store), &loc).unwrap();
+        assert!(
+            t.scan().execute().is_err(),
+            "fail-fast must surface the lost file"
+        );
+        let t = Table::load(Arc::clone(&store), &loc).unwrap();
+        let (batch, report) = t
+            .scan()
+            .with_partial_failures(true)
+            .execute_with_report()
+            .unwrap();
+        assert_eq!(report.files_failed, 1);
+        assert_eq!(report.files_read, 1);
+        assert_eq!(batch.num_rows(), report.rows_emitted);
+        assert!(batch.num_rows() > 0, "the surviving file still scans");
     }
 
     #[test]
