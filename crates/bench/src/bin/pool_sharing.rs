@@ -1,0 +1,190 @@
+//! Shared verified buffer pool vs private per-engine caches.
+//!
+//! Two `Lakehouse` engines open the same on-disk warehouse — the paper's
+//! "several function containers over one object store" shape collapsed into
+//! one process. With private caches (the seed behaviour) each engine pays
+//! the full cold read for every footer, manifest, and data file. With one
+//! shared `BufferPool` the first engine's reads warm the pool for everyone:
+//! the second engine's cold query should fetch (almost) nothing from the
+//! backend.
+//!
+//! The corpus is 24 data files of 2 000 rows; every query is the same
+//! scan→aggregate. For each mode we report the second engine's backend
+//! traffic (gets and bytes) plus the pool's own hit/admission counters.
+//!
+//! Regenerate: `cargo run -p lakehouse-bench --bin pool_sharing --release`
+//! (writes `BENCH_pool.json` in the working directory).
+
+// Examples and benches print their results.
+#![allow(clippy::print_stdout)]
+
+use bauplan_core::{BufferPool, Lakehouse, LakehouseConfig};
+use lakehouse_bench::print_rows;
+use lakehouse_columnar::{Column, DataType, Field, RecordBatch, Schema};
+use std::sync::Arc;
+
+const FILES: usize = 24;
+const ROWS_PER_FILE: usize = 2_000;
+const POOL_BYTES: usize = 64 << 20;
+
+const SQL: &str = "SELECT grp, COUNT(*) AS n, SUM(val) AS s FROM events GROUP BY grp ORDER BY grp";
+
+fn scratch_dir() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("bench_pool_sharing_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn corpus_batch(file: usize) -> RecordBatch {
+    let base = (file * ROWS_PER_FILE) as i64;
+    RecordBatch::try_new(
+        Schema::new(vec![
+            Field::new("id", DataType::Int64, false),
+            Field::new("grp", DataType::Int64, false),
+            Field::new("val", DataType::Float64, false),
+        ]),
+        vec![
+            Column::from_i64((0..ROWS_PER_FILE as i64).map(|i| base + i).collect()),
+            Column::from_i64((0..ROWS_PER_FILE as i64).map(|i| (base + i) % 16).collect()),
+            Column::from_f64(
+                (0..ROWS_PER_FILE as i64)
+                    .map(|i| (base + i) as f64 * 0.25)
+                    .collect(),
+            ),
+        ],
+    )
+    .expect("corpus batch")
+}
+
+fn populate(dir: &std::path::Path) {
+    let lh = Lakehouse::on_disk(dir, LakehouseConfig::zero_latency()).expect("setup engine");
+    for file in 0..FILES {
+        let batch = corpus_batch(file);
+        if file == 0 {
+            lh.create_table("events", &batch, "main").expect("create");
+        } else {
+            lh.append_table("events", &batch, "main").expect("append");
+        }
+    }
+}
+
+fn config(pool: Option<&Arc<BufferPool>>) -> LakehouseConfig {
+    LakehouseConfig {
+        shared_pool: pool.map(Arc::clone),
+        ..LakehouseConfig::zero_latency()
+    }
+}
+
+struct EngineStats {
+    gets: u64,
+    bytes: u64,
+    rows: usize,
+}
+
+/// Open a fresh engine over `dir` and run the query once, cold, reporting
+/// the backend traffic that engine itself generated.
+fn cold_query(dir: &std::path::Path, cfg: LakehouseConfig) -> EngineStats {
+    let lh = Lakehouse::on_disk(dir, cfg).expect("engine");
+    let m = lh.store_metrics();
+    let (gets0, bytes0) = (m.gets(), m.bytes_read());
+    let batch = lh.query(SQL, "main").expect("query");
+    EngineStats {
+        gets: m.gets() - gets0,
+        bytes: m.bytes_read() - bytes0,
+        rows: batch.num_rows(),
+    }
+}
+
+fn main() {
+    println!("=== shared buffer pool vs private caches ({FILES} files, 2 engines) ===");
+    let dir = scratch_dir();
+    populate(&dir);
+
+    // Private caches: each engine starts cold against the backend.
+    let private_first = cold_query(&dir, config(None));
+    let private_second = cold_query(&dir, config(None));
+
+    // Shared pool: the first engine warms it for the second.
+    let pool = Arc::new(BufferPool::new(POOL_BYTES));
+    let shared_first = cold_query(&dir, config(Some(&pool)));
+    let hits_before_second = pool.metrics().hits();
+    let shared_second = cold_query(&dir, config(Some(&pool)));
+    let second_pool_hits = pool.metrics().hits() - hits_before_second;
+
+    assert_eq!(
+        private_first.rows, shared_second.rows,
+        "modes disagree on the result"
+    );
+    let pm = pool.metrics();
+    let lookups = pm.hits() + pm.misses();
+    let pool_hit_rate = if lookups == 0 {
+        0.0
+    } else {
+        pm.hits() as f64 / lookups as f64
+    };
+    let bytes_saved = private_second.bytes.saturating_sub(shared_second.bytes);
+
+    print_rows(
+        "second engine's backend traffic, private caches vs one shared pool",
+        &["mode", "engine", "backend gets", "backend bytes", "rows"],
+        &[
+            vec![
+                "private".into(),
+                "first".into(),
+                format!("{}", private_first.gets),
+                format!("{}", private_first.bytes),
+                format!("{}", private_first.rows),
+            ],
+            vec![
+                "private".into(),
+                "second".into(),
+                format!("{}", private_second.gets),
+                format!("{}", private_second.bytes),
+                format!("{}", private_second.rows),
+            ],
+            vec![
+                "shared".into(),
+                "first".into(),
+                format!("{}", shared_first.gets),
+                format!("{}", shared_first.bytes),
+                format!("{}", shared_first.rows),
+            ],
+            vec![
+                "shared".into(),
+                "second".into(),
+                format!("{}", shared_second.gets),
+                format!("{}", shared_second.bytes),
+                format!("{}", shared_second.rows),
+            ],
+        ],
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"pool_sharing\",\n  \"files\": {FILES},\n  \"rows_per_file\": {ROWS_PER_FILE},\n  \"pool_capacity_bytes\": {POOL_BYTES},\n  \"summary\": {{\n    \"private_second_engine_backend_gets\": {},\n    \"private_second_engine_backend_bytes\": {},\n    \"shared_second_engine_backend_gets\": {},\n    \"shared_second_engine_backend_bytes\": {},\n    \"shared_second_engine_pool_hits\": {},\n    \"bytes_saved_by_sharing\": {},\n    \"pool_hit_rate\": {:.4}\n  }},\n  \"pool\": {{\n    \"hits\": {},\n    \"misses\": {},\n    \"admitted\": {},\n    \"rejected\": {},\n    \"evicted_bytes\": {},\n    \"verify_failures\": {},\n    \"resident_bytes\": {}\n  }}\n}}\n",
+        private_second.gets,
+        private_second.bytes,
+        shared_second.gets,
+        shared_second.bytes,
+        second_pool_hits,
+        bytes_saved,
+        pool_hit_rate,
+        pm.hits(),
+        pm.misses(),
+        pm.admitted(),
+        pm.rejected(),
+        pm.evicted_bytes(),
+        pm.verify_failures(),
+        pm.resident_bytes(),
+    );
+    std::fs::write("BENCH_pool.json", &json).expect("write BENCH_pool.json");
+    println!("\nwrote BENCH_pool.json");
+    println!(
+        "second engine backend bytes: private={} shared={} (saved {}); pool hit rate {:.0}%",
+        private_second.bytes,
+        shared_second.bytes,
+        bytes_saved,
+        pool_hit_rate * 100.0
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -128,14 +128,32 @@ impl Catalog {
         Ok(ObjectPath::new(format!("{}/commits/{id}.json", self.root))?)
     }
 
+    /// Extra attempts after a catalog object fails to parse. Parse failure
+    /// on an immutable (or CAS-updated) JSON object means the *bytes* are
+    /// bad — a torn read, possibly sitting poisoned in a cache layer — so
+    /// each retry first tells the store to drop any cached copy
+    /// (`ObjectStore::invalidate_corrupt`) and re-reads the backend. Without
+    /// chaos or a cache the re-reads see the same object and the same error
+    /// surfaces; with them, this is what un-wedges a poisoned page.
+    const CORRUPT_REREADS: u32 = 2;
+
     fn read_refs(&self) -> Result<(RefDocument, Bytes)> {
-        let bytes = self.store.get(&self.refs_path()?).map_err(|e| match e {
-            StoreError::NotFound(_) => CatalogError::Corrupt("catalog not initialized".into()),
-            other => other.into(),
-        })?;
-        let doc = RefDocument::from_bytes(&bytes)
-            .ok_or_else(|| CatalogError::Corrupt("unparseable refs.json".into()))?;
-        Ok((doc, bytes))
+        let path = self.refs_path()?;
+        let mut attempts = 0;
+        loop {
+            let bytes = self.store.get(&path).map_err(|e| match e {
+                StoreError::NotFound(_) => CatalogError::Corrupt("catalog not initialized".into()),
+                other => other.into(),
+            })?;
+            match RefDocument::from_bytes(&bytes) {
+                Some(doc) => return Ok((doc, bytes)),
+                None if attempts < Self::CORRUPT_REREADS => {
+                    self.store.invalidate_corrupt(&path);
+                    attempts += 1;
+                }
+                None => return Err(CatalogError::Corrupt("unparseable refs.json".into())),
+            }
+        }
     }
 
     /// All references, sorted by name.
@@ -158,15 +176,24 @@ impl Catalog {
         if let Some(c) = self.commit_cache.lock().get(id) {
             return Ok(c.clone());
         }
-        let bytes = self
-            .store
-            .get(&self.commit_path(id)?)
-            .map_err(|e| match e {
+        let path = self.commit_path(id)?;
+        let mut attempts = 0;
+        let commit = loop {
+            let bytes = self.store.get(&path).map_err(|e| match e {
                 StoreError::NotFound(_) => CatalogError::CommitNotFound(id.to_string()),
                 other => other.into(),
             })?;
-        let commit = Commit::from_bytes(&bytes)
-            .ok_or_else(|| CatalogError::Corrupt(format!("unparseable commit {id}")))?;
+            match Commit::from_bytes(&bytes) {
+                Some(c) => break c,
+                None if attempts < Self::CORRUPT_REREADS => {
+                    self.store.invalidate_corrupt(&path);
+                    attempts += 1;
+                }
+                None => {
+                    return Err(CatalogError::Corrupt(format!("unparseable commit {id}")));
+                }
+            }
+        };
         self.commit_cache
             .lock()
             .insert(id.to_string(), commit.clone());

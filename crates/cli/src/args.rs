@@ -27,6 +27,10 @@ GLOBAL OPTIONS:
                             results are identical at any setting)
   --cache-mb <n>            metadata/range cache capacity in MiB between
                             queries and the object store (default: 0 = off)
+  --shared-pool-mb <n>      attach the cache layer to a process-wide verified
+                            buffer pool of this capacity in MiB instead of a
+                            private cache (admission-controlled, checksummed;
+                            overrides --cache-mb; default: 0 = off)
   --stream                  execute queries through the streaming pipeline
                             (pull-based, one batch per data file; LIMIT stops
                             reading early; prints peak memory after queries)
@@ -59,6 +63,9 @@ pub struct Cli {
     pub scan_parallelism: usize,
     /// Metadata/range cache capacity in bytes (0 = disabled).
     pub cache_bytes: usize,
+    /// Shared verified-buffer-pool capacity in bytes (0 = no shared pool;
+    /// takes precedence over `cache_bytes`).
+    pub shared_pool_bytes: usize,
     /// Execute queries through the streaming pipeline.
     pub stream: bool,
     /// Max rows per streamed batch.
@@ -143,6 +150,7 @@ impl Cli {
         let mut data_dir = ".bauplan".to_string();
         let mut scan_parallelism = 1usize;
         let mut cache_bytes = 0usize;
+        let mut shared_pool_bytes = 0usize;
         let mut stream = false;
         let mut batch_rows = 8192usize;
         let mut trace_out = None;
@@ -167,6 +175,12 @@ impl Cli {
                     .parse()
                     .map_err(|_| format!("--cache-mb expects a number, got {v}"))?;
                 cache_bytes = mb.saturating_mul(1024 * 1024);
+            } else if argv[i] == "--shared-pool-mb" {
+                let v = take_value(argv, &mut i, "--shared-pool-mb")?;
+                let mb: usize = v
+                    .parse()
+                    .map_err(|_| format!("--shared-pool-mb expects a number, got {v}"))?;
+                shared_pool_bytes = mb.saturating_mul(1024 * 1024);
             } else if argv[i] == "--stream" {
                 stream = true;
             } else if argv[i] == "--trace-out" {
@@ -246,6 +260,7 @@ impl Cli {
             data_dir,
             scan_parallelism,
             cache_bytes,
+            shared_pool_bytes,
             stream,
             batch_rows,
             trace_out,
@@ -514,6 +529,16 @@ mod tests {
         let cli = Cli::parse(&s(&["refs", "--scan-parallelism", "0"])).unwrap();
         assert_eq!(cli.scan_parallelism, 1);
         assert!(Cli::parse(&s(&["refs", "--cache-mb", "lots"])).is_err());
+    }
+
+    #[test]
+    fn parse_shared_pool() {
+        let cli = Cli::parse(&s(&["query", "-q", "SELECT 1", "--shared-pool-mb", "64"])).unwrap();
+        assert_eq!(cli.shared_pool_bytes, 64 * 1024 * 1024);
+        // Default: no shared pool; garbage rejected.
+        let cli = Cli::parse(&s(&["refs"])).unwrap();
+        assert_eq!(cli.shared_pool_bytes, 0);
+        assert!(Cli::parse(&s(&["refs", "--shared-pool-mb", "much"])).is_err());
     }
 
     #[test]

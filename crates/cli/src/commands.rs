@@ -48,6 +48,8 @@ pub fn dispatch(cli: Cli) -> Result<(), DynError> {
     let config = LakehouseConfig {
         scan_parallelism: cli.scan_parallelism,
         metadata_cache_bytes: cli.cache_bytes,
+        shared_pool: (cli.shared_pool_bytes > 0)
+            .then(|| std::sync::Arc::new(bauplan_core::BufferPool::new(cli.shared_pool_bytes))),
         stream_execution: cli.stream,
         stream_batch_rows: cli.batch_rows,
         retry_max: cli.retry_max,

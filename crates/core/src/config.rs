@@ -2,7 +2,8 @@
 
 use lakehouse_planner::ExecutionMode;
 use lakehouse_runtime::RuntimeConfig;
-use lakehouse_store::{ChaosConfig, LatencyModel};
+use lakehouse_store::{BufferPool, ChaosConfig, LatencyModel};
+use std::sync::Arc;
 
 /// Configuration for a [`crate::Lakehouse`].
 #[derive(Debug, Clone)]
@@ -34,8 +35,16 @@ pub struct LakehouseConfig {
     /// Capacity of the metadata/range LRU between queries and the object
     /// store (manifests, file footers, data ranges), in bytes. 0 disables
     /// caching. Off by default so store-traffic measurements (pruning
-    /// tests, paper tables) keep their seed semantics.
+    /// tests, paper tables) keep their seed semantics. Ignored when
+    /// `shared_pool` is set — the shared pool carries its own budget.
     pub metadata_cache_bytes: usize,
+    /// A process-wide verified buffer pool to attach this instance's cache
+    /// layer to (`--shared-pool-mb` on the CLI). Several `Lakehouse`
+    /// instances handed the same `Arc` share one admission-controlled,
+    /// checksummed page cache — the second engine's footer/manifest reads
+    /// hit pages the first one already pulled. `None` (the default) keeps
+    /// the private per-instance cache governed by `metadata_cache_bytes`.
+    pub shared_pool: Option<Arc<BufferPool>>,
     /// Execute queries through the streaming pipeline (pull-based, one batch
     /// per data file, early termination on LIMIT). Off by default: the
     /// materialized path keeps the seed's exact operator ordering for
@@ -76,6 +85,7 @@ impl Default for LakehouseConfig {
             sql_parallelism: 1,
             scan_parallelism: 1,
             metadata_cache_bytes: 0,
+            shared_pool: None,
             stream_execution: false,
             stream_batch_rows: 8192,
             retry_max: 0,

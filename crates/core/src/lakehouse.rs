@@ -80,9 +80,15 @@ impl Lakehouse {
                 .with_budget(std::time::Duration::from_millis(config.retry_budget_ms));
             store_dyn = Arc::new(RetryStore::new(store_dyn, policy));
         }
-        // The metadata/range cache's hit counters fold into the simulated
-        // store's metrics, so `store_metrics()` sees both sides.
-        if config.metadata_cache_bytes > 0 {
+        // The cache layer comes in two flavors. A *shared* pool (several
+        // `Lakehouse` instances over one `Arc<BufferPool>`) keeps its hit
+        // counters in the pool's own metrics — per-store attribution would
+        // be arbitrary. The *private* default folds hits into the simulated
+        // store's metrics, so `store_metrics()` sees both sides, exactly as
+        // before the pool refactor.
+        if let Some(pool) = &config.shared_pool {
+            store_dyn = Arc::new(CachedStore::with_pool(store_dyn, Arc::clone(pool)));
+        } else if config.metadata_cache_bytes > 0 {
             store_dyn = Arc::new(CachedStore::new(store_dyn, config.metadata_cache_bytes));
         }
         let catalog = Arc::new(if init_catalog {

@@ -110,12 +110,40 @@ impl LakehouseProvider {
     }
 
     /// Load the Iceberg-style table for `name` at this provider's ref.
+    ///
+    /// The metadata read shares the scan's retry policy: a transient fault
+    /// re-fetches; a corrupt read (torn body or checksum-poisoned cache
+    /// page) first drops the cached bytes via
+    /// `ObjectStore::invalidate_corrupt`, so the retry reaches the backend
+    /// copy instead of re-parsing the same garbage forever.
     pub fn load_table(&self, name: &str) -> CoreResult<Table> {
         let content = self.catalog.get_content(&self.reference, name)?;
-        Ok(Table::load(
-            Arc::clone(&self.store),
-            &content.metadata_location,
-        )?)
+        Ok(self.load_metadata(&content.metadata_location)?)
+    }
+
+    /// `Table::load` with the retry/invalidate loop shared by every metadata
+    /// read through this provider.
+    fn load_metadata(
+        &self,
+        location: &str,
+    ) -> std::result::Result<Table, lakehouse_table::TableError> {
+        let mut attempts = 0u32;
+        loop {
+            match Table::load(Arc::clone(&self.store), location) {
+                Ok(t) => return Ok(t),
+                Err(e)
+                    if attempts < self.fetch_retries && (e.is_transient() || e.is_corruption()) =>
+                {
+                    if e.is_corruption() {
+                        if let Ok(path) = lakehouse_store::ObjectPath::new(location.to_string()) {
+                            self.store.invalidate_corrupt(&path);
+                        }
+                    }
+                    attempts += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     /// Convert SQL filter expressions to scan predicates where possible
@@ -160,7 +188,8 @@ impl SchemaProvider for LakehouseProvider {
             ) => return Ok(None),
             Err(e) => return Err(format!("resolving table '{table}': {e}")),
         };
-        let t = Table::load(Arc::clone(&self.store), &content.metadata_location)
+        let t = self
+            .load_metadata(&content.metadata_location)
             .map_err(|e| format!("loading table '{table}': {e}"))?;
         t.schema()
             .map(Some)

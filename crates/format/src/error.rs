@@ -8,6 +8,10 @@ use std::fmt;
 pub enum FormatError {
     /// The file is truncated or the magic/trailer is wrong.
     Corrupt(String),
+    /// A CRC32C checksum (footer or column chunk) failed verification: the
+    /// bytes were torn or rotted in flight or in a cache. Retryable after
+    /// invalidating whatever served them.
+    Corrupted(String),
     /// The footer declares an unsupported format version.
     UnsupportedVersion(u32),
     /// A columnar-layer error surfaced during encode/decode.
@@ -16,10 +20,21 @@ pub enum FormatError {
     InvalidArgument(String),
 }
 
+impl FormatError {
+    /// Whether this error means the *bytes* were bad (structurally mangled
+    /// or checksum-rejected) rather than the caller's request. A fresh fetch
+    /// of the same object can succeed — cache layers should be invalidated
+    /// and the read retried.
+    pub fn is_corruption(&self) -> bool {
+        matches!(self, Self::Corrupt(_) | Self::Corrupted(_))
+    }
+}
+
 impl fmt::Display for FormatError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::Corrupt(msg) => write!(f, "corrupt file: {msg}"),
+            Self::Corrupted(msg) => write!(f, "checksum verification failed: {msg}"),
             Self::UnsupportedVersion(v) => write!(f, "unsupported format version {v}"),
             Self::Columnar(e) => write!(f, "columnar error: {e}"),
             Self::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),

@@ -21,6 +21,11 @@ impl ByteWriter {
         self.buf.len()
     }
 
+    /// The bytes written so far (checksumming a region before finishing).
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+
     pub fn is_empty(&self) -> bool {
         self.buf.is_empty()
     }

@@ -42,5 +42,8 @@ pub use writer::{FileWriter, WriterOptions};
 /// File magic bytes.
 pub const MAGIC: &[u8; 4] = b"LKH1";
 
-/// Format version written into footers.
-pub const FORMAT_VERSION: u32 = 1;
+/// Format version written into footers. Version 2 adds end-to-end CRC32C
+/// verification: a per-column-chunk checksum in the row-group metadata and a
+/// footer checksum in the trailer, so torn or bit-rotted reads are detected
+/// (`FormatError::Corrupted`) instead of decoded into wrong values.
+pub const FORMAT_VERSION: u32 = 2;

@@ -12,6 +12,7 @@ use crate::io::ByteReader;
 use crate::reader::{parse_footer, RowGroupMeta};
 use crate::MAGIC;
 use bytes::Bytes;
+use lakehouse_checksum::crc32c;
 use lakehouse_columnar::kernels::CmpOp;
 use lakehouse_columnar::{RecordBatch, Schema, Value};
 
@@ -32,13 +33,24 @@ pub struct RangedReader {
 }
 
 impl RangedReader {
-    /// Open a file of `file_len` bytes via the fetch callback.
+    /// Open a file of `file_len` bytes via the fetch callback. The footer's
+    /// checksum is verified before any offset in it is trusted — a torn tail
+    /// read (truncated or mangled bytes) surfaces as a typed corruption
+    /// error instead of garbage offsets.
     pub fn open(file_len: usize, fetch: RangeFetch<'_>) -> Result<RangedReader> {
-        if file_len < 12 {
+        if file_len < 16 {
             return Err(FormatError::Corrupt("file too small".into()));
         }
         let tail_start = file_len.saturating_sub(TAIL_HINT);
         let tail = fetch(tail_start, file_len)?;
+        if tail.len() != file_len - tail_start {
+            // A torn read delivered fewer bytes than the range asked for.
+            return Err(FormatError::Corrupted(format!(
+                "tail read returned {} bytes, wanted {}",
+                tail.len(),
+                file_len - tail_start
+            )));
+        }
         if &tail[tail.len() - 4..] != MAGIC {
             return Err(FormatError::Corrupt("bad trailer magic".into()));
         }
@@ -47,18 +59,26 @@ impl RangedReader {
                 .try_into()
                 .expect("4 bytes"),
         ) as usize;
-        if footer_len + 12 > file_len {
+        if footer_len + 16 > file_len {
             return Err(FormatError::Corrupt("footer length out of range".into()));
         }
-        let footer_start = file_len - 8 - footer_len;
+        let footer_crc = u32::from_le_bytes(
+            tail[tail.len() - 12..tail.len() - 8]
+                .try_into()
+                .expect("4 bytes"),
+        );
+        let footer_start = file_len - 12 - footer_len;
         let footer: Bytes = if footer_start >= tail_start {
             // Footer fully inside the speculative tail.
             let offset = footer_start - tail_start;
-            tail.slice(offset..tail.len() - 8)
+            tail.slice(offset..tail.len() - 12)
         } else {
             // Large footer: fetch the remainder precisely.
-            fetch(footer_start, file_len - 8)?
+            fetch(footer_start, file_len - 12)?
         };
+        if crc32c(&footer) != footer_crc {
+            return Err(FormatError::Corrupted("footer checksum mismatch".into()));
+        }
         let (schema, groups) = parse_footer(&footer)?;
         Ok(RangedReader {
             schema,
@@ -138,6 +158,13 @@ impl RangedReader {
                     return Err(FormatError::Corrupt("chunk offset out of range".into()));
                 }
                 let bytes = fetch(start, end)?;
+                // Verify length and checksum before decoding: a torn or
+                // cached-corrupt range must never become wrong values.
+                if bytes.len() != end - start || crc32c(&bytes) != group.chunk_crcs[c] {
+                    return Err(FormatError::Corrupted(format!(
+                        "chunk checksum mismatch (group {g}, column {c})"
+                    )));
+                }
                 let mut r = ByteReader::new(&bytes);
                 columns.push(decode_column(self.schema.field(c).data_type(), &mut r)?);
             }
@@ -248,5 +275,53 @@ mod tests {
     fn tiny_file_rejected() {
         let fetch = |_: usize, _: usize| -> Result<Bytes> { Ok(Bytes::new()) };
         assert!(RangedReader::open(4, &fetch).is_err());
+    }
+
+    #[test]
+    fn torn_tail_read_is_typed_corruption() {
+        let bytes = sample();
+        // A torn read returns only the first half of the requested range —
+        // the ChaosStore failure mode.
+        let torn = |start: usize, end: usize| -> Result<Bytes> {
+            let full = bytes.slice(start..end);
+            Ok(full.slice(0..full.len() / 2))
+        };
+        let err = RangedReader::open(bytes.len(), &torn).unwrap_err();
+        assert!(err.is_corruption(), "expected corruption, got {err:?}");
+    }
+
+    #[test]
+    fn torn_chunk_read_is_typed_corruption() {
+        let bytes = sample();
+        let clean = |start: usize, end: usize| -> Result<Bytes> { Ok(bytes.slice(start..end)) };
+        let reader = RangedReader::open(bytes.len(), &clean).unwrap();
+        let calls = RefCell::new(0usize);
+        // Footer reads succeeded; now tear every chunk fetch.
+        let torn = |start: usize, end: usize| -> Result<Bytes> {
+            *calls.borrow_mut() += 1;
+            let full = bytes.slice(start..end);
+            Ok(full.slice(0..full.len() / 2))
+        };
+        let err = reader.read_groups(&[0], None, &torn).unwrap_err();
+        assert!(
+            matches!(err, FormatError::Corrupted(_)),
+            "expected Corrupted, got {err:?}"
+        );
+        assert!(*calls.borrow() >= 1);
+    }
+
+    #[test]
+    fn bitflipped_chunk_read_is_typed_corruption() {
+        let bytes = sample();
+        let clean = |start: usize, end: usize| -> Result<Bytes> { Ok(bytes.slice(start..end)) };
+        let reader = RangedReader::open(bytes.len(), &clean).unwrap();
+        // Same length, one flipped bit: only the CRC can catch this.
+        let flipped = |start: usize, end: usize| -> Result<Bytes> {
+            let mut v = bytes.slice(start..end).to_vec();
+            v[0] ^= 0x80;
+            Ok(Bytes::from(v))
+        };
+        let err = reader.read_groups(&[0], None, &flipped).unwrap_err();
+        assert!(matches!(err, FormatError::Corrupted(_)));
     }
 }

@@ -7,6 +7,7 @@ use crate::io::ByteWriter;
 use crate::stats::ColumnStats;
 use crate::{FORMAT_VERSION, MAGIC};
 use bytes::Bytes;
+use lakehouse_checksum::crc32c;
 use lakehouse_columnar::{DataType, RecordBatch, Schema};
 
 /// Tuning knobs for the writer.
@@ -51,6 +52,8 @@ pub(crate) fn datatype_from_tag(tag: u8) -> Result<DataType> {
 struct ChunkMeta {
     offset: u64,
     length: u64,
+    /// CRC32C of the encoded chunk bytes — verified by readers before decode.
+    crc: u32,
     stats: ColumnStats,
 }
 
@@ -127,9 +130,11 @@ impl FileWriter {
         for col in group_batch.columns() {
             let offset = self.body.len() as u64;
             encode_column(col, &mut self.body);
+            let encoded = &self.body.as_slice()[offset as usize..];
             chunks.push(ChunkMeta {
                 offset,
-                length: self.body.len() as u64 - offset,
+                length: encoded.len() as u64,
+                crc: crc32c(encoded),
                 stats: ColumnStats::from_column(col),
             });
         }
@@ -160,10 +165,15 @@ impl FileWriter {
             for c in &g.chunks {
                 self.body.write_u64(c.offset);
                 self.body.write_u64(c.length);
+                self.body.write_u32(c.crc);
                 c.stats.encode(&mut self.body);
             }
         }
         let footer_len = (self.body.len() - footer_start) as u32;
+        // Trailer: footer CRC, footer length, magic — a reader verifies the
+        // footer before trusting any offset in it.
+        let footer_crc = crc32c(&self.body.as_slice()[footer_start..]);
+        self.body.write_u32(footer_crc);
         self.body.write_u32(footer_len);
         self.body.write_raw(MAGIC);
         Ok(Bytes::from(self.body.into_bytes()))

@@ -23,6 +23,7 @@ mod span;
 pub use chrome::to_chrome_trace;
 pub use registry::{global, Counter, Gauge, Histogram, MetricSnapshot, MetricsRegistry};
 pub use span::{
-    fmt_duration, scope, set_thread_sim_source, set_tracing, span, trace_active, tracing_enabled,
-    AttrValue, Scope, SimSource, SimSourceGuard, SpanData, SpanGuard, SpanTree, Trace,
+    fmt_duration, reparent_under, scope, set_thread_sim_source, set_tracing, span, trace_active,
+    tracing_enabled, AttrValue, ParentGuard, Scope, SimSource, SimSourceGuard, SpanData, SpanGuard,
+    SpanTree, Trace,
 };

@@ -430,6 +430,68 @@ impl Drop for SpanGuard {
     }
 }
 
+/// Makes `span` the innermost open span for the duration of its lifetime,
+/// restoring the displaced entries (just above `span`, in their original
+/// order) on drop. See [`reparent_under`].
+pub struct ParentGuard {
+    parent: Option<usize>,
+    displaced: Vec<usize>,
+}
+
+/// Temporarily re-parent new spans under `span`.
+///
+/// Span parentage normally follows the open-span stack, which works for
+/// operator *chains*: each node opens its span, then builds its single input.
+/// An operator with several children (a join) breaks that discipline — the
+/// first child subtree's guards stay alive inside the built nodes, so the
+/// second subtree would open under the first's innermost span. Holding a
+/// `ParentGuard` while building the later siblings parents them under the
+/// operator's own span instead. The displaced entries go back *directly
+/// above* `span` on drop, beneath any spans opened meanwhile, so execution
+/// order (later siblings drain and close first) keeps attributing runtime
+/// child spans to the side actually doing the work.
+pub fn reparent_under(span: &SpanGuard) -> ParentGuard {
+    let Some(idx) = span.idx else {
+        return ParentGuard {
+            parent: None,
+            displaced: Vec::new(),
+        };
+    };
+    CURRENT.with(|c| {
+        let mut cur = c.borrow_mut();
+        let displaced = cur
+            .as_mut()
+            .and_then(|state| {
+                let pos = state.stack.iter().rposition(|&i| i == idx)?;
+                Some(state.stack.split_off(pos + 1))
+            })
+            .unwrap_or_default();
+        ParentGuard {
+            parent: Some(idx),
+            displaced,
+        }
+    })
+}
+
+impl Drop for ParentGuard {
+    fn drop(&mut self) {
+        if self.displaced.is_empty() {
+            return;
+        }
+        let Some(parent) = self.parent else { return };
+        CURRENT.with(|c| {
+            if let Some(state) = c.borrow_mut().as_mut() {
+                let at = state
+                    .stack
+                    .iter()
+                    .rposition(|&i| i == parent)
+                    .map_or(state.stack.len(), |p| p + 1);
+                state.stack.splice(at..at, self.displaced.drain(..));
+            }
+        });
+    }
+}
+
 /// Open a child span of the current thread's trace. One relaxed atomic load
 /// when no trace is installed anywhere.
 pub fn span(name: &str) -> SpanGuard {

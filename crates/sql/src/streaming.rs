@@ -323,14 +323,20 @@ fn build_stream(
                 stream_scans,
                 &child(path, 0),
             )?;
-            let right = build_stream(
-                right,
-                provider,
-                options,
-                stats,
-                stream_scans,
-                &child(path, 1),
-            )?;
+            // The left subtree's guards are still open inside its nodes;
+            // without re-parenting, the right subtree's spans would nest
+            // under the left scan instead of under the join.
+            let right = {
+                let _under_join = lakehouse_obs::reparent_under(&span);
+                build_stream(
+                    right,
+                    provider,
+                    options,
+                    stats,
+                    stream_scans,
+                    &child(path, 1),
+                )?
+            };
             // Output schema mirrors the materialized join: left fields as-is,
             // right fields nullable (LEFT JOIN may null them).
             let mut fields: Vec<Field> = left.schema().fields().to_vec();

@@ -1,4 +1,4 @@
-//! A bounded LRU cache over small objects and byte ranges.
+//! Per-store adapter over the shared [`BufferPool`].
 //!
 //! The paper's core observation is that object-store round trips dominate at
 //! Reasonable Scale; the cheapest round trip is the one never made. Every
@@ -8,234 +8,188 @@
 //! GETs from memory — the "differential caching" lever of FaaS lakehouse
 //! engines, applied to the metadata path.
 //!
+//! Since PR 5 the cache itself lives in [`crate::pool::BufferPool`] — a
+//! process-wide, sharded, admission-controlled page cache with CRC32C entry
+//! frames — and `CachedStore` is the thin adapter that routes one store's
+//! traffic through a pool handle:
+//!
+//! - [`CachedStore::new`] builds a **private single-shard pool** of the given
+//!   capacity: behavior, eviction order, and metrics are byte-identical to
+//!   the seed per-store LRU. Hit/miss/byte counters are folded into the
+//!   *inner* store's [`StoreMetrics`] when it exposes one (so a
+//!   `SimulatedStore` under the cache reports latency and cache
+//!   effectiveness in one place).
+//! - [`CachedStore::with_pool`] attaches to a **shared** pool. Counters are
+//!   *not* folded into the store's metrics — cache effectiveness is a
+//!   property of the pool, not of any one store, so misattribution is
+//!   avoided; read `pool.{hits,misses,...}` from [`PoolMetrics`] or the
+//!   process metrics registry instead. (`ScanReport::cache_hits`, which
+//!   reads per-store counters, reports 0 in shared mode by design.)
+//!
 //! Coherence model: all writers go *through* this wrapper (a `put`,
 //! `put_if_matches`, or `delete` invalidates every cached entry for that
 //! path). Lakehouse data and metadata objects are immutable once written —
 //! only the catalog pointer mutates, and it mutates through the same handle —
-//! so write-through invalidation is sufficient.
+//! so write-through invalidation is sufficient. A shared pool additionally
+//! assumes every attached store views the same object universe (one lake,
+//! many engines); invalidations are then visible to all of them at once.
 //!
-//! Hit/miss/byte counters are folded into the *inner* store's
-//! [`StoreMetrics`] when it exposes one (so a `SimulatedStore` under the
-//! cache reports latency and cache effectiveness in one place); otherwise the
-//! cache keeps its own metrics instance. Cache hits charge no simulated
-//! latency and move no `bytes_read` — exactly like a memory hit in front of
-//! S3.
+//! Cache hits charge no simulated latency and move no `bytes_read` — exactly
+//! like a memory hit in front of S3.
 
 use crate::error::Result;
 use crate::metrics::StoreMetrics;
 use crate::path::ObjectPath;
+use crate::pool::{BufferPool, PoolKey, PoolMetrics};
 use crate::ObjectStore;
 use bytes::Bytes;
-use parking_lot::Mutex;
-use std::collections::HashMap;
 use std::sync::Arc;
 
-/// Cache key: a whole object or one exact byte range of an object.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-enum CacheKey {
-    Whole(String),
-    Range(String, usize, usize),
-}
-
-impl CacheKey {
-    fn path(&self) -> &str {
-        match self {
-            CacheKey::Whole(p) => p,
-            CacheKey::Range(p, _, _) => p,
-        }
-    }
-}
-
-struct CacheEntry {
-    data: Bytes,
-    /// Monotone recency stamp (larger = more recently used).
-    last_used: u64,
-}
-
-struct LruState {
-    map: HashMap<CacheKey, CacheEntry>,
-    bytes: usize,
-    tick: u64,
-}
-
-impl LruState {
-    fn touch(&mut self, key: &CacheKey) -> Option<Bytes> {
-        self.tick += 1;
-        let tick = self.tick;
-        let entry = self.map.get_mut(key)?;
-        entry.last_used = tick;
-        Some(entry.data.clone())
-    }
-
-    fn insert(&mut self, key: CacheKey, data: Bytes, capacity: usize, max_entry: usize) {
-        if data.len() > max_entry || data.len() > capacity {
-            return;
-        }
-        self.tick += 1;
-        if let Some(old) = self.map.insert(
-            key,
-            CacheEntry {
-                data: data.clone(),
-                last_used: self.tick,
-            },
-        ) {
-            self.bytes -= old.data.len();
-        }
-        self.bytes += data.len();
-        // Evict least-recently-used entries until within capacity.
-        while self.bytes > capacity {
-            let Some(victim) = self
-                .map
-                .iter()
-                .min_by_key(|(_, e)| e.last_used)
-                .map(|(k, _)| k.clone())
-            else {
-                break;
-            };
-            if let Some(e) = self.map.remove(&victim) {
-                self.bytes -= e.data.len();
-            }
-        }
-    }
-
-    fn invalidate_path(&mut self, path: &str) {
-        let keys: Vec<CacheKey> = self
-            .map
-            .keys()
-            .filter(|k| k.path() == path)
-            .cloned()
-            .collect();
-        for k in keys {
-            if let Some(e) = self.map.remove(&k) {
-                self.bytes -= e.data.len();
-            }
-        }
-    }
-}
-
-/// An [`ObjectStore`] wrapper with a bounded LRU over whole objects and byte
-/// ranges. See the module docs for the coherence model.
+/// An [`ObjectStore`] wrapper that serves whole objects and byte ranges from
+/// a [`BufferPool`] — private by default, shareable across stores. See the
+/// module docs for the coherence model.
 pub struct CachedStore<S> {
     inner: S,
-    capacity: usize,
-    /// Largest single entry the cache will hold (bigger reads pass through;
-    /// prevents one bulk object from evicting all the metadata).
-    max_entry: usize,
-    state: Mutex<LruState>,
+    pool: Arc<BufferPool>,
     metrics: Arc<StoreMetrics>,
+    /// Fold hit/miss counters into `metrics` (private-pool mode only).
+    fold: bool,
 }
 
 impl<S: ObjectStore> CachedStore<S> {
-    /// Wrap `inner` with `capacity_bytes` of cache. Single entries larger
-    /// than a quarter of the capacity are never cached.
+    /// Wrap `inner` with a private pool of `capacity_bytes`. Single entries
+    /// larger than a quarter of the capacity are never cached.
     pub fn new(inner: S, capacity_bytes: usize) -> Self {
         let metrics = inner
             .store_metrics()
             .unwrap_or_else(|| Arc::new(StoreMetrics::new()));
         CachedStore {
             inner,
-            capacity: capacity_bytes,
-            max_entry: (capacity_bytes / 4).max(1),
-            state: Mutex::new(LruState {
-                map: HashMap::new(),
-                bytes: 0,
-                tick: 0,
-            }),
+            pool: Arc::new(BufferPool::private(capacity_bytes)),
             metrics,
+            fold: true,
+        }
+    }
+
+    /// Wrap `inner` over an existing (typically shared) pool. Cache counters
+    /// stay on the pool; the store's own metrics keep reporting only real
+    /// store traffic.
+    pub fn with_pool(inner: S, pool: Arc<BufferPool>) -> Self {
+        let metrics = inner
+            .store_metrics()
+            .unwrap_or_else(|| Arc::new(StoreMetrics::new()));
+        CachedStore {
+            inner,
+            pool,
+            metrics,
+            fold: false,
         }
     }
 
     /// Override the largest cacheable entry size.
-    pub fn with_max_entry_bytes(mut self, max_entry: usize) -> Self {
-        self.max_entry = max_entry.max(1);
+    ///
+    /// Adjusts the underlying pool — intended for privately-constructed
+    /// pools; on a shared pool this changes the cap for every attached store.
+    pub fn with_max_entry_bytes(self, max_entry: usize) -> Self {
+        self.pool.set_max_entry_bytes(max_entry);
         self
     }
 
-    /// Bytes currently resident in the cache.
+    /// Bytes currently resident in the pool.
     pub fn cached_bytes(&self) -> usize {
-        self.state.lock().bytes
+        self.pool.cached_bytes()
     }
 
-    /// Number of resident cache entries.
+    /// Number of resident pool entries.
     pub fn cached_entries(&self) -> usize {
-        self.state.lock().map.len()
+        self.pool.cached_entries()
     }
 
     /// Drop every cached entry (counters are untouched).
     pub fn clear(&self) {
-        let mut state = self.state.lock();
-        state.map.clear();
-        state.bytes = 0;
+        self.pool.clear()
     }
 
     /// Access the wrapped store.
     pub fn inner(&self) -> &S {
         &self.inner
     }
+
+    /// The pool this store caches through.
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    /// The pool's own metrics (hits/misses/admission/verification).
+    pub fn pool_metrics(&self) -> Arc<PoolMetrics> {
+        self.pool.metrics()
+    }
+
+    fn fold_hit(&self, bytes: usize) {
+        if self.fold {
+            self.metrics.record_cache_hit(bytes);
+        }
+    }
+
+    fn fold_miss(&self) {
+        if self.fold {
+            self.metrics.record_cache_miss();
+        }
+    }
 }
 
 impl<S: ObjectStore> ObjectStore for CachedStore<S> {
     fn put(&self, path: &ObjectPath, data: Bytes) -> Result<()> {
         self.inner.put(path, data.clone())?;
-        let mut state = self.state.lock();
         // Ranges of the old object are stale; the new whole object is known.
-        state.invalidate_path(path.as_str());
-        state.insert(
-            CacheKey::Whole(path.as_str().to_string()),
-            data,
-            self.capacity,
-            self.max_entry,
-        );
+        self.pool.replace_whole(path.as_str(), data);
         Ok(())
     }
 
     fn get(&self, path: &ObjectPath) -> Result<Bytes> {
-        let key = CacheKey::Whole(path.as_str().to_string());
-        if let Some(data) = self.state.lock().touch(&key) {
-            self.metrics.record_cache_hit(data.len());
-            return Ok(data);
+        let key = PoolKey::Whole(path.as_str().to_string());
+        match self.pool.get_or_load(&key, || self.inner.get(path)) {
+            Ok((data, true)) => {
+                self.fold_hit(data.len());
+                Ok(data)
+            }
+            Ok((data, false)) => {
+                self.fold_miss();
+                Ok(data)
+            }
+            Err(e) => {
+                // The miss happened even though the load failed.
+                self.fold_miss();
+                Err(e)
+            }
         }
-        self.metrics.record_cache_miss();
-        let data = self.inner.get(path)?;
-        self.state
-            .lock()
-            .insert(key, data.clone(), self.capacity, self.max_entry);
-        Ok(data)
     }
 
     fn get_range(&self, path: &ObjectPath, start: usize, end: usize) -> Result<Bytes> {
-        let key = CacheKey::Range(path.as_str().to_string(), start, end);
+        let key = PoolKey::Range(path.as_str().to_string(), start, end);
+        match self
+            .pool
+            .get_or_load(&key, || self.inner.get_range(path, start, end))
         {
-            let mut state = self.state.lock();
-            if let Some(data) = state.touch(&key) {
-                drop(state);
-                self.metrics.record_cache_hit(data.len());
-                return Ok(data);
+            Ok((data, true)) => {
+                self.fold_hit(data.len());
+                Ok(data)
             }
-            // A cached whole object can serve any of its ranges.
-            let whole = CacheKey::Whole(path.as_str().to_string());
-            if let Some(data) = state.touch(&whole) {
-                if end <= data.len() {
-                    let slice = data.slice(start..end);
-                    drop(state);
-                    self.metrics.record_cache_hit(slice.len());
-                    return Ok(slice);
-                }
+            Ok((data, false)) => {
+                self.fold_miss();
+                Ok(data)
+            }
+            Err(e) => {
+                self.fold_miss();
+                Err(e)
             }
         }
-        self.metrics.record_cache_miss();
-        let data = self.inner.get_range(path, start, end)?;
-        self.state
-            .lock()
-            .insert(key, data.clone(), self.capacity, self.max_entry);
-        Ok(data)
     }
 
     fn head(&self, path: &ObjectPath) -> Result<usize> {
         // Size of a cached whole object is known without a round trip.
-        let whole = CacheKey::Whole(path.as_str().to_string());
-        if let Some(data) = self.state.lock().touch(&whole) {
-            self.metrics.record_cache_hit(0);
+        if let Some(data) = self.pool.try_get_whole(path.as_str()) {
+            self.fold_hit(0);
             return Ok(data.len());
         }
         self.inner.head(path)
@@ -249,17 +203,12 @@ impl<S: ObjectStore> ObjectStore for CachedStore<S> {
 
     fn delete(&self, path: &ObjectPath) -> Result<()> {
         self.inner.delete(path)?;
-        self.state.lock().invalidate_path(path.as_str());
+        self.pool.invalidate_path(path.as_str());
         Ok(())
     }
 
     fn exists(&self, path: &ObjectPath) -> bool {
-        if self
-            .state
-            .lock()
-            .map
-            .contains_key(&CacheKey::Whole(path.as_str().to_string()))
-        {
+        if self.pool.contains_whole(path.as_str()) {
             return true;
         }
         self.inner.exists(path)
@@ -272,19 +221,20 @@ impl<S: ObjectStore> ObjectStore for CachedStore<S> {
         data: Bytes,
     ) -> Result<()> {
         self.inner.put_if_matches(path, expected, data.clone())?;
-        let mut state = self.state.lock();
-        state.invalidate_path(path.as_str());
-        state.insert(
-            CacheKey::Whole(path.as_str().to_string()),
-            data,
-            self.capacity,
-            self.max_entry,
-        );
+        self.pool.replace_whole(path.as_str(), data);
         Ok(())
     }
 
     fn store_metrics(&self) -> Option<Arc<StoreMetrics>> {
         Some(Arc::clone(&self.metrics))
+    }
+
+    fn invalidate_corrupt(&self, path: &ObjectPath) {
+        // A downstream checksum rejected bytes read through this store: the
+        // pool entry that held them is poisoned — drop it and count the
+        // verification failure so the retry re-fetches from the backend.
+        self.pool.invalidate_corrupt(path.as_str());
+        self.inner.invalidate_corrupt(path);
     }
 }
 
@@ -434,5 +384,50 @@ mod tests {
         assert_eq!(s.head(&p("a")).unwrap(), 5);
         let m = s.store_metrics().unwrap();
         assert_eq!(m.cache_hits(), 1);
+    }
+
+    #[test]
+    fn shared_pool_serves_across_stores_without_folding() {
+        let pool = Arc::new(BufferPool::new(1 << 20));
+        let backend = Arc::new(InMemoryStore::new());
+        let a = CachedStore::with_pool(Arc::clone(&backend), Arc::clone(&pool));
+        let b = CachedStore::with_pool(Arc::clone(&backend), Arc::clone(&pool));
+        a.put(&p("shared/obj"), Bytes::from_static(b"payload"))
+            .unwrap();
+        // Store B never fetched this object, yet reads it from the pool.
+        assert_eq!(
+            b.get(&p("shared/obj")).unwrap(),
+            Bytes::from_static(b"payload")
+        );
+        let pm = pool.metrics();
+        assert_eq!(pm.hits(), 1);
+        // No folding: each store's own metrics stay clean of cache counters.
+        assert_eq!(a.store_metrics().unwrap().cache_hits(), 0);
+        assert_eq!(b.store_metrics().unwrap().cache_hits(), 0);
+    }
+
+    #[test]
+    fn shared_pool_invalidation_visible_to_all_stores() {
+        let pool = Arc::new(BufferPool::new(1 << 20));
+        let backend = Arc::new(InMemoryStore::new());
+        let a = CachedStore::with_pool(Arc::clone(&backend), Arc::clone(&pool));
+        let b = CachedStore::with_pool(Arc::clone(&backend), Arc::clone(&pool));
+        a.put(&p("k"), Bytes::from_static(b"v1")).unwrap();
+        assert_eq!(b.get(&p("k")).unwrap(), Bytes::from_static(b"v1"));
+        b.put(&p("k"), Bytes::from_static(b"v2")).unwrap();
+        // A's next read observes B's write immediately: one pool, one truth.
+        assert_eq!(a.get(&p("k")).unwrap(), Bytes::from_static(b"v2"));
+    }
+
+    #[test]
+    fn invalidate_corrupt_drops_entry_and_counts() {
+        let s = store(1 << 20);
+        s.put(&p("t"), Bytes::from_static(b"half-written")).unwrap();
+        assert_eq!(s.cached_entries(), 1);
+        s.invalidate_corrupt(&p("t"));
+        assert_eq!(s.cached_entries(), 0);
+        assert_eq!(s.pool_metrics().verify_failures(), 1);
+        // The next read re-fetches clean bytes from the backend.
+        assert_eq!(s.get(&p("t")).unwrap(), Bytes::from_static(b"half-written"));
     }
 }

@@ -404,6 +404,11 @@ impl<S: ObjectStore, D: FaultDecider> ObjectStore for FaultingStore<S, D> {
     fn store_metrics(&self) -> Option<Arc<StoreMetrics>> {
         self.inner.store_metrics()
     }
+
+    fn invalidate_corrupt(&self, path: &ObjectPath) {
+        // Never faulted: corruption reporting must always reach the cache.
+        self.inner.invalidate_corrupt(path)
+    }
 }
 
 #[cfg(test)]

@@ -239,6 +239,11 @@ impl<S: ObjectStore> ObjectStore for SimulatedStore<S> {
     fn store_metrics(&self) -> Option<Arc<StoreMetrics>> {
         Some(self.metrics())
     }
+
+    fn invalidate_corrupt(&self, path: &ObjectPath) {
+        // Free: invalidation is in-process bookkeeping, not a store op.
+        self.inner.invalidate_corrupt(path)
+    }
 }
 
 #[cfg(test)]

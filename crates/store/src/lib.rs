@@ -22,6 +22,7 @@ pub mod local;
 pub mod memory;
 pub mod metrics;
 pub mod path;
+pub mod pool;
 pub mod retry;
 
 pub use cache::CachedStore;
@@ -32,6 +33,7 @@ pub use local::LocalFsStore;
 pub use memory::InMemoryStore;
 pub use metrics::StoreMetrics;
 pub use path::ObjectPath;
+pub use pool::{BufferPool, PoolKey, PoolMetrics};
 pub use retry::{Backoff, RetryPolicy, RetryStore};
 
 use bytes::Bytes;
@@ -86,6 +88,14 @@ pub trait ObjectStore: Send + Sync {
     fn store_metrics(&self) -> Option<Arc<StoreMetrics>> {
         None
     }
+
+    /// Report that bytes read for `path` failed a *downstream* integrity
+    /// check (file-footer or column-chunk checksum). Cache layers drop every
+    /// entry for the path so a retry re-fetches from the backend instead of
+    /// re-serving the poisoned bytes; stores without a cache do nothing.
+    fn invalidate_corrupt(&self, path: &ObjectPath) {
+        let _ = path;
+    }
 }
 
 impl<T: ObjectStore + ?Sized> ObjectStore for Box<T> {
@@ -121,6 +131,9 @@ impl<T: ObjectStore + ?Sized> ObjectStore for Box<T> {
     fn store_metrics(&self) -> Option<Arc<StoreMetrics>> {
         (**self).store_metrics()
     }
+    fn invalidate_corrupt(&self, path: &ObjectPath) {
+        (**self).invalidate_corrupt(path)
+    }
 }
 
 impl<T: ObjectStore + ?Sized> ObjectStore for Arc<T> {
@@ -155,5 +168,8 @@ impl<T: ObjectStore + ?Sized> ObjectStore for Arc<T> {
     }
     fn store_metrics(&self) -> Option<Arc<StoreMetrics>> {
         (**self).store_metrics()
+    }
+    fn invalidate_corrupt(&self, path: &ObjectPath) {
+        (**self).invalidate_corrupt(path)
     }
 }

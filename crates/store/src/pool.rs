@@ -1,0 +1,967 @@
+//! Process-wide verified buffer pool: one byte-budgeted page cache that any
+//! number of stores (and therefore any number of `Lakehouse` / `SqlEngine`
+//! instances) can share.
+//!
+//! The paper's economics are blunt: at Reasonable Scale the dominant cost of
+//! a query is object-store round trips, and the cheapest round trip is the
+//! one never made. A per-engine LRU (the seed `CachedStore`) leaves the
+//! biggest win on the table — concurrent functions re-fetch the *same*
+//! manifests and footers because each holds its own cache. This module is
+//! the shared substrate: a sharded, admission-controlled, checksummed pool.
+//!
+//! Three mechanisms beyond a plain LRU:
+//!
+//! - **Segmented LRU**: entries land in a probation segment and are promoted
+//!   to a protected segment (80% of the budget) on re-reference. Eviction
+//!   prefers probation, so one-touch pages leave first.
+//! - **TinyLFU admission**: a 4-row count-min sketch of 4-bit counters
+//!   estimates access frequency. When inserting a page would evict a victim
+//!   that is *more* frequent than the candidate, the candidate is rejected
+//!   instead — a large cold scan cannot flush the hot metadata working set.
+//!   Write-through inserts (the caller just produced the bytes) bypass the
+//!   contest; read-miss inserts compete.
+//! - **CRC32C frames**: every entry records a checksum on insert and is
+//!   verified on every hit. A mismatch removes the entry, bumps
+//!   `pool.verify_failures`, and reports a miss — cached corruption is
+//!   detected, never served. The same counter also records format-layer
+//!   verification failures attributed to a cached path via
+//!   [`BufferPool::invalidate_corrupt`], which is how a torn read caught by
+//!   a file-footer checksum poisons the cache entry that held it.
+//!
+//! Concurrency: keys are sharded by *path* (all entries of one object live
+//! in one shard), so invalidation is single-shard and a range lookup can
+//! fall back to its whole-object entry under one lock. Misses are
+//! single-flighted per key: one loader fetches while other threads wait on
+//! a gate; waiters whose entry vanished (loader failed, or admission
+//! rejected it) fall back to at most one direct fetch each.
+//!
+//! Coherence model (same contract as the seed cache): all writers go
+//! through an attached adapter, and a shared pool assumes every attached
+//! store views the same object universe (same paths → same bytes). Writes
+//! and deletes invalidate by path, which every attached store observes
+//! immediately because the pool itself is shared.
+
+use crate::error::Result;
+use bytes::Bytes;
+use lakehouse_checksum::crc32c;
+use lakehouse_obs::{Counter, Gauge};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Pool key: a whole object or one exact byte range of an object.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum PoolKey {
+    Whole(String),
+    Range(String, usize, usize),
+}
+
+impl PoolKey {
+    pub fn path(&self) -> &str {
+        match self {
+            PoolKey::Whole(p) => p,
+            PoolKey::Range(p, _, _) => p,
+        }
+    }
+
+    /// Deterministic 64-bit identity used by the frequency sketch (FNV-1a
+    /// over the discriminant, path, and bounds — stable across runs).
+    fn sketch_hash(&self) -> u64 {
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        let mut feed = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        };
+        match self {
+            PoolKey::Whole(p) => {
+                feed(&[0u8]);
+                feed(p.as_bytes());
+            }
+            PoolKey::Range(p, s, e) => {
+                feed(&[1u8]);
+                feed(p.as_bytes());
+                feed(&(*s as u64).to_le_bytes());
+                feed(&(*e as u64).to_le_bytes());
+            }
+        }
+        h
+    }
+}
+
+/// Splitmix64 finalizer — decorrelates the sketch rows.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+const SKETCH_ROWS: usize = 4;
+const SKETCH_ROW_SEEDS: [u64; SKETCH_ROWS] = [
+    0xA076_1D64_78BD_642F,
+    0xE703_7ED1_A0B4_28DB,
+    0x8EBC_6AF0_9C88_C6E3,
+    0x5899_65CC_7537_4CC3,
+];
+
+/// Count-min sketch with 4-bit saturating counters and periodic halving —
+/// the TinyLFU frequency estimator. One per shard (paths are shard-stable,
+/// so a key's frequency accumulates in a single sketch).
+struct FrequencySketch {
+    rows: Vec<Vec<u8>>,
+    mask: u64,
+    ops: u64,
+    window: u64,
+}
+
+impl FrequencySketch {
+    fn new(shard_capacity: usize) -> FrequencySketch {
+        let width = (shard_capacity / 512).next_power_of_two().clamp(64, 32_768);
+        FrequencySketch {
+            rows: vec![vec![0u8; width]; SKETCH_ROWS],
+            mask: width as u64 - 1,
+            ops: 0,
+            window: width as u64 * 16,
+        }
+    }
+
+    fn index(&self, hash: u64, row: usize) -> usize {
+        (mix(hash ^ SKETCH_ROW_SEEDS[row]) & self.mask) as usize
+    }
+
+    fn bump(&mut self, hash: u64) {
+        for row in 0..SKETCH_ROWS {
+            let idx = self.index(hash, row);
+            let c = &mut self.rows[row][idx];
+            if *c < 15 {
+                *c += 1;
+            }
+        }
+        self.ops += 1;
+        if self.ops >= self.window {
+            // Halve every counter: old traffic decays so the sketch tracks
+            // the recent access distribution, not all of history.
+            for row in &mut self.rows {
+                for c in row.iter_mut() {
+                    *c >>= 1;
+                }
+            }
+            self.ops = 0;
+        }
+    }
+
+    fn freq(&self, hash: u64) -> u8 {
+        (0..SKETCH_ROWS)
+            .map(|row| self.rows[row][self.index(hash, row)])
+            .min()
+            .unwrap_or(0)
+    }
+}
+
+/// Counters and gauges for one pool, published under `pool.*` in the
+/// process-wide metrics registry (so `bauplan profile` shows them).
+///
+/// These are the pool's *own* metrics: when a pool is shared across stores,
+/// effectiveness is a property of the pool, not of any one store's
+/// `StoreMetrics` (which the private-pool adapter still folds into for
+/// seed compatibility).
+pub struct PoolMetrics {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    admitted: AtomicU64,
+    rejected: AtomicU64,
+    evicted_bytes: AtomicU64,
+    verify_failures: AtomicU64,
+    resident_bytes: AtomicU64,
+    resident_entries: AtomicU64,
+    g_hits: Arc<Counter>,
+    g_misses: Arc<Counter>,
+    g_admitted: Arc<Counter>,
+    g_rejected: Arc<Counter>,
+    g_evicted_bytes: Arc<Counter>,
+    g_verify_failures: Arc<Counter>,
+    g_resident_bytes: Arc<Gauge>,
+    g_resident_entries: Arc<Gauge>,
+}
+
+impl PoolMetrics {
+    fn new() -> PoolMetrics {
+        let reg = lakehouse_obs::global();
+        PoolMetrics {
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            admitted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            evicted_bytes: AtomicU64::new(0),
+            verify_failures: AtomicU64::new(0),
+            resident_bytes: AtomicU64::new(0),
+            resident_entries: AtomicU64::new(0),
+            g_hits: reg.counter("pool.hits"),
+            g_misses: reg.counter("pool.misses"),
+            g_admitted: reg.counter("pool.admitted"),
+            g_rejected: reg.counter("pool.rejected"),
+            g_evicted_bytes: reg.counter("pool.evicted_bytes"),
+            g_verify_failures: reg.counter("pool.verify_failures"),
+            g_resident_bytes: reg.gauge("pool.resident_bytes"),
+            g_resident_entries: reg.gauge("pool.resident_entries"),
+        }
+    }
+
+    fn record_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        self.g_hits.inc();
+    }
+    fn record_miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.g_misses.inc();
+    }
+    fn record_admitted(&self) {
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+        self.g_admitted.inc();
+    }
+    fn record_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+        self.g_rejected.inc();
+    }
+    fn record_evicted(&self, bytes: usize) {
+        self.evicted_bytes
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+        self.g_evicted_bytes.add(bytes as u64);
+    }
+    fn record_verify_failure(&self) {
+        self.verify_failures.fetch_add(1, Ordering::Relaxed);
+        self.g_verify_failures.inc();
+    }
+    fn update_resident(&self, bytes_delta: i64, entries_delta: i64) {
+        let b = if bytes_delta >= 0 {
+            self.resident_bytes
+                .fetch_add(bytes_delta as u64, Ordering::Relaxed)
+                .wrapping_add(bytes_delta as u64)
+        } else {
+            self.resident_bytes
+                .fetch_sub((-bytes_delta) as u64, Ordering::Relaxed)
+                .wrapping_sub((-bytes_delta) as u64)
+        };
+        let e = if entries_delta >= 0 {
+            self.resident_entries
+                .fetch_add(entries_delta as u64, Ordering::Relaxed)
+                .wrapping_add(entries_delta as u64)
+        } else {
+            self.resident_entries
+                .fetch_sub((-entries_delta) as u64, Ordering::Relaxed)
+                .wrapping_sub((-entries_delta) as u64)
+        };
+        self.g_resident_bytes.set(b);
+        self.g_resident_entries.set(e);
+    }
+
+    /// Lookups answered from resident, checksum-verified bytes.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+    /// Lookups that fell through to the backing store.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+    /// Entries accepted into the pool.
+    pub fn admitted(&self) -> u64 {
+        self.admitted.load(Ordering::Relaxed)
+    }
+    /// Insert attempts turned away (lost the TinyLFU frequency contest, or
+    /// exceeded the per-entry size cap).
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+    /// Bytes removed to make room for admitted entries.
+    pub fn evicted_bytes(&self) -> u64 {
+        self.evicted_bytes.load(Ordering::Relaxed)
+    }
+    /// Checksum verification failures: in-pool CRC mismatches plus
+    /// format-layer corruption reports against cached paths
+    /// ([`BufferPool::invalidate_corrupt`]).
+    pub fn verify_failures(&self) -> u64 {
+        self.verify_failures.load(Ordering::Relaxed)
+    }
+    /// Bytes currently resident.
+    pub fn resident_bytes(&self) -> u64 {
+        self.resident_bytes.load(Ordering::Relaxed)
+    }
+}
+
+impl fmt::Debug for PoolMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PoolMetrics")
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .field("admitted", &self.admitted())
+            .field("rejected", &self.rejected())
+            .field("evicted_bytes", &self.evicted_bytes())
+            .field("verify_failures", &self.verify_failures())
+            .field("resident_bytes", &self.resident_bytes())
+            .finish()
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Segment {
+    Probation,
+    Protected,
+}
+
+struct PoolEntry {
+    data: Bytes,
+    crc: u32,
+    last_used: u64,
+    segment: Segment,
+}
+
+/// A single-flight gate: the first misser loads while later missers wait.
+/// Built on `std::sync` because the vendored `parking_lot` has no condvar;
+/// poisoned locks are recovered (`into_inner`), never unwrapped.
+struct Gate {
+    done: std::sync::Mutex<bool>,
+    cv: std::sync::Condvar,
+}
+
+impl Gate {
+    fn new() -> Gate {
+        Gate {
+            done: std::sync::Mutex::new(false),
+            cv: std::sync::Condvar::new(),
+        }
+    }
+
+    fn wait(&self) {
+        let mut done = self
+            .done
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        while !*done {
+            done = self
+                .cv
+                .wait(done)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    fn open(&self) {
+        *self
+            .done
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = true;
+        self.cv.notify_all();
+    }
+}
+
+struct Shard {
+    map: HashMap<PoolKey, PoolEntry>,
+    bytes: usize,
+    protected_bytes: usize,
+    /// Monotone recency stamp (larger = more recently used).
+    tick: u64,
+    sketch: FrequencySketch,
+    inflight: HashMap<PoolKey, Arc<Gate>>,
+}
+
+impl Shard {
+    fn new(capacity: usize) -> Shard {
+        Shard {
+            map: HashMap::new(),
+            bytes: 0,
+            protected_bytes: 0,
+            tick: 0,
+            sketch: FrequencySketch::new(capacity),
+            inflight: HashMap::new(),
+        }
+    }
+}
+
+/// Removes the single-flight gate and wakes waiters even if the loader
+/// panicked — waiters then fall back to direct fetches instead of blocking
+/// forever.
+struct GateCleanup<'a> {
+    shard: &'a Mutex<Shard>,
+    key: &'a PoolKey,
+    gate: &'a Arc<Gate>,
+}
+
+impl Drop for GateCleanup<'_> {
+    fn drop(&mut self) {
+        self.shard.lock().inflight.remove(self.key);
+        self.gate.open();
+    }
+}
+
+/// The shared, admission-controlled, checksum-verified page cache. See the
+/// module docs for the design; [`crate::CachedStore`] is the per-store
+/// adapter that routes `ObjectStore` traffic through one of these.
+pub struct BufferPool {
+    shards: Vec<Mutex<Shard>>,
+    /// Byte budget per shard (total budget / shard count).
+    shard_capacity: usize,
+    /// Largest single entry the pool will hold (bigger reads pass through;
+    /// prevents one bulk object from evicting all the metadata).
+    max_entry: AtomicUsize,
+    metrics: Arc<PoolMetrics>,
+}
+
+/// Shards for a pool built with [`BufferPool::new`] (shared use). A power
+/// of two so the shard index is a mask.
+const DEFAULT_SHARDS: usize = 8;
+
+/// Protected segment budget as a fraction of each shard (SLRU): 4/5.
+const PROTECTED_NUM: usize = 4;
+const PROTECTED_DEN: usize = 5;
+
+impl BufferPool {
+    /// A pool meant for sharing across stores: sharded locks, `capacity_bytes`
+    /// total budget split evenly across shards. Entries larger than a quarter
+    /// of the total budget are never cached (override via
+    /// [`set_max_entry_bytes`](Self::set_max_entry_bytes)).
+    pub fn new(capacity_bytes: usize) -> BufferPool {
+        Self::with_shards(capacity_bytes, DEFAULT_SHARDS)
+    }
+
+    /// A single-shard pool: one lock, one global LRU order — exactly the
+    /// seed `CachedStore` eviction behavior. Used for the private per-store
+    /// default so metrics and eviction order stay byte-identical.
+    pub fn private(capacity_bytes: usize) -> BufferPool {
+        Self::with_shards(capacity_bytes, 1)
+    }
+
+    /// A pool with an explicit shard count (clamped to at least 1; small
+    /// budgets get fewer shards so each shard keeps a usable byte budget).
+    pub fn with_shards(capacity_bytes: usize, shards: usize) -> BufferPool {
+        let shards = shards.max(1).min(capacity_bytes.max(1)).next_power_of_two();
+        let shard_capacity = capacity_bytes / shards;
+        BufferPool {
+            shards: (0..shards)
+                .map(|_| Mutex::new(Shard::new(shard_capacity)))
+                .collect(),
+            shard_capacity,
+            max_entry: AtomicUsize::new((capacity_bytes / 4).max(1)),
+            metrics: Arc::new(PoolMetrics::new()),
+        }
+    }
+
+    /// Override the largest cacheable entry size.
+    pub fn set_max_entry_bytes(&self, max_entry: usize) {
+        self.max_entry.store(max_entry.max(1), Ordering::Relaxed);
+    }
+
+    /// This pool's metrics (shared handle; live counters).
+    pub fn metrics(&self) -> Arc<PoolMetrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// Total byte budget.
+    pub fn capacity_bytes(&self) -> usize {
+        self.shard_capacity * self.shards.len()
+    }
+
+    fn shard_for(&self, path: &str) -> &Mutex<Shard> {
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for &b in path.as_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        &self.shards[(mix(h) as usize) & (self.shards.len() - 1)]
+    }
+
+    /// Bytes currently resident across all shards.
+    pub fn cached_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().bytes).sum()
+    }
+
+    /// Number of resident entries across all shards.
+    pub fn cached_entries(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().map.len()).sum()
+    }
+
+    /// Whether an exact key is resident (no recency touch, no metrics).
+    pub fn contains(&self, key: &PoolKey) -> bool {
+        self.shard_for(key.path()).lock().map.contains_key(key)
+    }
+
+    /// Drop every entry (counters are untouched).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            let mut s = shard.lock();
+            let (bytes, entries) = (s.bytes, s.map.len());
+            s.map.clear();
+            s.bytes = 0;
+            s.protected_bytes = 0;
+            if bytes > 0 || entries > 0 {
+                self.metrics
+                    .update_resident(-(bytes as i64), -(entries as i64));
+            }
+        }
+    }
+
+    /// Serve `key` from the pool or load it via `load`, single-flighting
+    /// concurrent misses on the same key. Returns the bytes and whether they
+    /// came from the pool (`true` = hit). A `Range` key is also served by
+    /// slicing a resident whole-object entry.
+    ///
+    /// Waiters that find no entry after the loader finishes (load failed, or
+    /// admission rejected the entry) fall back to one direct `load` each —
+    /// at most one extra fetch per waiting thread, never an unbounded storm.
+    pub fn get_or_load<F>(&self, key: &PoolKey, load: F) -> Result<(Bytes, bool)>
+    where
+        F: FnOnce() -> Result<Bytes>,
+    {
+        let shard = self.shard_for(key.path());
+        let gate: Arc<Gate> = {
+            let mut s = shard.lock();
+            let hash = key.sketch_hash();
+            s.sketch.bump(hash);
+            if let Some(data) = self.lookup_locked(&mut s, key) {
+                self.metrics.record_hit();
+                return Ok((data, true));
+            }
+            if let Some(gate) = s.inflight.get(key) {
+                Arc::clone(gate)
+            } else {
+                // First misser: install a gate and load outside the lock.
+                let gate = Arc::new(Gate::new());
+                s.inflight.insert(key.clone(), Arc::clone(&gate));
+                self.metrics.record_miss();
+                drop(s);
+                let cleanup = GateCleanup {
+                    shard,
+                    key,
+                    gate: &gate,
+                };
+                let result = load();
+                if let Ok(data) = &result {
+                    let mut s = shard.lock();
+                    self.insert_locked(&mut s, key.clone(), data.clone(), true);
+                }
+                drop(cleanup); // removes the gate, wakes waiters
+                return result.map(|d| (d, false));
+            }
+        };
+        // Another thread is loading this key: wait, then re-check.
+        gate.wait();
+        let mut s = shard.lock();
+        if let Some(data) = self.lookup_locked(&mut s, key) {
+            self.metrics.record_hit();
+            return Ok((data, true));
+        }
+        // The loader failed or its entry is already gone: fetch directly.
+        self.metrics.record_miss();
+        drop(s);
+        let data = load()?;
+        let mut s = shard.lock();
+        self.insert_locked(&mut s, key.clone(), data.clone(), true);
+        Ok((data, false))
+    }
+
+    /// Serve a resident whole-object entry (recency touch + CRC verify),
+    /// recording a pool hit on success. Used for `head`-style lookups where
+    /// a fall-through is not a pool miss (the caller never inserts).
+    pub fn try_get_whole(&self, path: &str) -> Option<Bytes> {
+        let key = PoolKey::Whole(path.to_string());
+        let mut s = self.shard_for(path).lock();
+        s.sketch.bump(key.sketch_hash());
+        let data = self.touch_verified(&mut s, &key)?;
+        self.metrics.record_hit();
+        Some(data)
+    }
+
+    /// Whether the whole object is resident (no touch — mirrors the seed
+    /// `exists` check, which must not perturb recency).
+    pub fn contains_whole(&self, path: &str) -> bool {
+        self.shard_for(path)
+            .lock()
+            .map
+            .contains_key(&PoolKey::Whole(path.to_string()))
+    }
+
+    /// Write-through replace: drop every entry for `path` (its ranges are
+    /// stale) and insert the new whole object unconditionally — the caller
+    /// just produced these bytes, so they skip the admission contest.
+    pub fn replace_whole(&self, path: &str, data: Bytes) {
+        let mut s = self.shard_for(path).lock();
+        self.invalidate_locked(&mut s, path);
+        self.insert_locked(&mut s, PoolKey::Whole(path.to_string()), data, false);
+    }
+
+    /// Drop every entry for `path` (write/delete invalidation).
+    pub fn invalidate_path(&self, path: &str) {
+        let mut s = self.shard_for(path).lock();
+        self.invalidate_locked(&mut s, path);
+    }
+
+    /// Drop every entry for `path` because a *downstream* integrity check
+    /// (file-footer or column-chunk checksum) rejected bytes read through
+    /// this pool. Counts a verify failure: the poisoned entry is what kept
+    /// serving the corruption, and the retry that follows must re-fetch.
+    pub fn invalidate_corrupt(&self, path: &str) {
+        self.metrics.record_verify_failure();
+        self.invalidate_path(path);
+    }
+
+    fn invalidate_locked(&self, s: &mut Shard, path: &str) {
+        let keys: Vec<PoolKey> = s.map.keys().filter(|k| k.path() == path).cloned().collect();
+        for k in keys {
+            self.remove_locked(s, &k);
+        }
+    }
+
+    fn remove_locked(&self, s: &mut Shard, key: &PoolKey) -> Option<PoolEntry> {
+        let e = s.map.remove(key)?;
+        s.bytes -= e.data.len();
+        if e.segment == Segment::Protected {
+            s.protected_bytes -= e.data.len();
+        }
+        self.metrics.update_resident(-(e.data.len() as i64), -1);
+        Some(e)
+    }
+
+    /// Exact-key touch with CRC verification and SLRU promotion. A checksum
+    /// mismatch removes the entry, counts a verify failure, and misses.
+    fn touch_verified(&self, s: &mut Shard, key: &PoolKey) -> Option<Bytes> {
+        s.tick += 1;
+        let tick = s.tick;
+        let (verified, data) = match s.map.get(key) {
+            None => return None,
+            Some(e) => (crc32c(&e.data) == e.crc, e.data.clone()),
+        };
+        if !verified {
+            self.metrics.record_verify_failure();
+            self.remove_locked(s, key);
+            return None;
+        }
+        let mut promoted = false;
+        if let Some(entry) = s.map.get_mut(key) {
+            entry.last_used = tick;
+            if entry.segment == Segment::Probation {
+                entry.segment = Segment::Protected;
+                promoted = true;
+            }
+        }
+        if promoted {
+            s.protected_bytes += data.len();
+            self.rebalance_protected(s);
+        }
+        Some(data)
+    }
+
+    /// Demote protected-LRU entries back to probation until the protected
+    /// segment fits its budget. Moves no bytes out of the pool.
+    fn rebalance_protected(&self, s: &mut Shard) {
+        let budget = self.shard_capacity * PROTECTED_NUM / PROTECTED_DEN;
+        while s.protected_bytes > budget {
+            let Some(victim) = s
+                .map
+                .iter()
+                .filter(|(_, e)| e.segment == Segment::Protected)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            else {
+                break;
+            };
+            let Some(e) = s.map.get_mut(&victim) else {
+                break;
+            };
+            let len = e.data.len();
+            e.segment = Segment::Probation;
+            s.protected_bytes -= len;
+        }
+    }
+
+    fn lookup_locked(&self, s: &mut Shard, key: &PoolKey) -> Option<Bytes> {
+        if let Some(data) = self.touch_verified(s, key) {
+            return Some(data);
+        }
+        // A resident whole object can serve any of its ranges.
+        if let PoolKey::Range(path, start, end) = key {
+            let whole = PoolKey::Whole(path.clone());
+            if let Some(data) = self.touch_verified(s, &whole) {
+                if *end <= data.len() {
+                    return Some(data.slice(*start..*end));
+                }
+            }
+        }
+        None
+    }
+
+    /// Insert into probation. `admission: true` (read-miss path) runs the
+    /// TinyLFU contest against each would-be victim; `false` (write-through)
+    /// evicts plain LRU like the seed cache.
+    fn insert_locked(&self, s: &mut Shard, key: PoolKey, data: Bytes, admission: bool) {
+        let len = data.len();
+        if len > self.max_entry.load(Ordering::Relaxed) || len > self.shard_capacity {
+            self.metrics.record_rejected();
+            return;
+        }
+        s.tick += 1;
+        let tick = s.tick;
+        let hash = key.sketch_hash();
+        s.sketch.bump(hash);
+        self.remove_locked(s, &key); // replacing: drop the old entry's bytes
+                                     // Make room, preferring probation victims (SLRU), stopping if the
+                                     // candidate loses the frequency contest against a victim.
+        while s.bytes + len > self.shard_capacity {
+            let Some(victim) = s
+                .map
+                .iter()
+                .min_by_key(|(_, e)| (e.segment == Segment::Protected, e.last_used))
+                .map(|(k, _)| k.clone())
+            else {
+                break;
+            };
+            if admission && s.sketch.freq(hash) < s.sketch.freq(victim.sketch_hash()) {
+                self.metrics.record_rejected();
+                return;
+            }
+            if let Some(e) = self.remove_locked(s, &victim) {
+                self.metrics.record_evicted(e.data.len());
+            }
+        }
+        let crc = crc32c(&data);
+        s.bytes += len;
+        s.map.insert(
+            key,
+            PoolEntry {
+                data,
+                crc,
+                last_used: tick,
+                segment: Segment::Probation,
+            },
+        );
+        self.metrics.record_admitted();
+        self.metrics.update_resident(len as i64, 1);
+    }
+
+    /// Test hook: overwrite a resident entry's bytes *without* refreshing
+    /// its stored CRC, simulating in-cache corruption.
+    #[cfg(test)]
+    fn poison_entry(&self, key: &PoolKey, bad: Bytes) -> bool {
+        let mut s = self.shard_for(key.path()).lock();
+        match s.map.get_mut(key) {
+            Some(e) => {
+                e.data = bad;
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+impl fmt::Debug for BufferPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BufferPool")
+            .field("capacity_bytes", &self.capacity_bytes())
+            .field("shards", &self.shards.len())
+            .field("max_entry", &self.max_entry.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::StoreError;
+    use std::sync::atomic::AtomicUsize;
+
+    fn whole(p: &str) -> PoolKey {
+        PoolKey::Whole(p.to_string())
+    }
+
+    #[test]
+    fn hit_after_load_and_exact_accounting() {
+        let pool = BufferPool::private(1 << 20);
+        let (d, hit) = pool
+            .get_or_load(&whole("a"), || Ok(Bytes::from_static(b"abc")))
+            .unwrap();
+        assert_eq!(d, Bytes::from_static(b"abc"));
+        assert!(!hit);
+        let (d, hit) = pool
+            .get_or_load(&whole("a"), || panic!("must not reload"))
+            .unwrap();
+        assert_eq!(d, Bytes::from_static(b"abc"));
+        assert!(hit);
+        let m = pool.metrics();
+        assert_eq!(m.hits(), 1);
+        assert_eq!(m.misses(), 1);
+        assert_eq!(m.admitted(), 1);
+        assert_eq!(m.resident_bytes(), 3);
+    }
+
+    #[test]
+    fn range_served_from_whole_entry() {
+        let pool = BufferPool::private(1 << 20);
+        pool.replace_whole("f", Bytes::from_static(b"0123456789"));
+        let key = PoolKey::Range("f".to_string(), 2, 5);
+        let (d, hit) = pool
+            .get_or_load(&key, || panic!("whole entry must serve the range"))
+            .unwrap();
+        assert_eq!(d, Bytes::from_static(b"234"));
+        assert!(hit);
+    }
+
+    #[test]
+    fn crc_verification_catches_poisoned_entry() {
+        let pool = BufferPool::private(1 << 20);
+        pool.replace_whole("x", Bytes::from_static(b"good bytes"));
+        assert!(pool.poison_entry(&whole("x"), Bytes::from_static(b"bad  bytes")));
+        // The hit path verifies, drops the entry, and reloads.
+        let (d, hit) = pool
+            .get_or_load(&whole("x"), || Ok(Bytes::from_static(b"good bytes")))
+            .unwrap();
+        assert_eq!(d, Bytes::from_static(b"good bytes"));
+        assert!(!hit, "poisoned entry must not be served");
+        assert_eq!(pool.metrics().verify_failures(), 1);
+        // The reload re-resident a verified copy.
+        let (_, hit) = pool
+            .get_or_load(&whole("x"), || panic!("should be resident again"))
+            .unwrap();
+        assert!(hit);
+    }
+
+    #[test]
+    fn admission_protects_frequent_entries_from_cold_scan() {
+        let pool = BufferPool::private(100);
+        pool.set_max_entry_bytes(60);
+        // Make "hot" frequent: several touches build sketch frequency.
+        for _ in 0..4 {
+            let _ = pool.get_or_load(&whole("hot"), || Ok(Bytes::from(vec![1u8; 60])));
+        }
+        // A cold one-touch insert that would need to evict `hot` loses the
+        // frequency contest and is rejected.
+        let (d, hit) = pool
+            .get_or_load(&whole("cold"), || Ok(Bytes::from(vec![2u8; 60])))
+            .unwrap();
+        assert_eq!(d.len(), 60);
+        assert!(!hit);
+        assert!(pool.metrics().rejected() >= 1);
+        assert!(pool.contains(&whole("hot")), "hot entry must survive");
+        assert!(
+            !pool.contains(&whole("cold")),
+            "cold entry must be rejected"
+        );
+    }
+
+    #[test]
+    fn write_through_bypasses_admission() {
+        let pool = BufferPool::private(100);
+        pool.set_max_entry_bytes(60);
+        for _ in 0..4 {
+            let _ = pool.get_or_load(&whole("hot"), || Ok(Bytes::from(vec![1u8; 60])));
+        }
+        // A write-through insert always lands (the writer just produced it).
+        pool.replace_whole("fresh", Bytes::from(vec![3u8; 60]));
+        assert!(pool.contains(&whole("fresh")));
+        assert!(!pool.contains(&whole("hot")), "LRU victim evicted");
+    }
+
+    #[test]
+    fn single_flight_coalesces_concurrent_misses() {
+        let pool = Arc::new(BufferPool::new(1 << 20));
+        let loads = Arc::new(AtomicUsize::new(0));
+        let results: Vec<(usize, bool)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let pool = Arc::clone(&pool);
+                    let loads = Arc::clone(&loads);
+                    scope.spawn(move || {
+                        let (d, hit) = pool
+                            .get_or_load(&PoolKey::Whole("k".to_string()), || {
+                                loads.fetch_add(1, Ordering::SeqCst);
+                                // Widen the race window so waiters pile up.
+                                std::thread::sleep(std::time::Duration::from_millis(20));
+                                Ok(Bytes::from_static(b"payload"))
+                            })
+                            .unwrap();
+                        (d.len(), hit)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert!(results.iter().all(|(len, _)| *len == 7));
+        assert_eq!(
+            loads.load(Ordering::SeqCst),
+            1,
+            "one loader, everyone else waits on the gate"
+        );
+        assert_eq!(results.iter().filter(|(_, hit)| !hit).count(), 1);
+    }
+
+    #[test]
+    fn failed_load_wakes_waiters_without_poisoning() {
+        let pool = Arc::new(BufferPool::new(1 << 20));
+        let first = pool.get_or_load(&whole("gone"), || {
+            Err(StoreError::Transient("flaky".into()))
+        });
+        assert!(first.is_err());
+        // The gate is gone; the next call loads cleanly.
+        let (d, hit) = pool
+            .get_or_load(&whole("gone"), || Ok(Bytes::from_static(b"ok")))
+            .unwrap();
+        assert_eq!(d, Bytes::from_static(b"ok"));
+        assert!(!hit);
+    }
+
+    #[test]
+    fn invalidate_corrupt_counts_and_clears() {
+        let pool = BufferPool::private(1 << 20);
+        pool.replace_whole("torn", Bytes::from_static(b"half"));
+        assert_eq!(pool.cached_entries(), 1);
+        pool.invalidate_corrupt("torn");
+        assert_eq!(pool.cached_entries(), 0);
+        assert_eq!(pool.metrics().verify_failures(), 1);
+    }
+
+    #[test]
+    fn slru_protects_rereferenced_entries() {
+        // Capacity 50: three 10-byte entries; re-reference a and b so they
+        // sit in protected, then stream cold pages through probation.
+        let pool = BufferPool::private(50);
+        pool.set_max_entry_bytes(10);
+        for name in ["a", "b", "c"] {
+            pool.replace_whole(name, Bytes::from(vec![0u8; 10]));
+        }
+        for name in ["a", "b"] {
+            let _ = pool.get_or_load(&whole(name), || unreachable!("resident"));
+        }
+        // Cold write-through stream: victims must come from probation (c,
+        // then the cold pages themselves), never the protected a/b.
+        for i in 0..8 {
+            pool.replace_whole(&format!("cold/{i}"), Bytes::from(vec![1u8; 10]));
+        }
+        assert!(pool.contains(&whole("a")));
+        assert!(pool.contains(&whole("b")));
+        assert!(!pool.contains(&whole("c")));
+    }
+
+    #[test]
+    fn eviction_is_deterministic_under_fixed_touch_order() {
+        let run = || {
+            let pool = BufferPool::private(300);
+            pool.set_max_entry_bytes(100);
+            for i in 0..10 {
+                let _ = pool.get_or_load(&whole(&format!("k/{i}")), || {
+                    Ok(Bytes::from(vec![i as u8; 60]))
+                });
+            }
+            let mut resident: Vec<String> = (0..10)
+                .map(|i| format!("k/{i}"))
+                .filter(|k| pool.contains(&whole(k)))
+                .collect();
+            resident.sort();
+            resident
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "same touch order must leave the same residents");
+        assert!(!a.is_empty());
+    }
+}

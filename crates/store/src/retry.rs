@@ -317,6 +317,11 @@ impl<S: ObjectStore> ObjectStore for RetryStore<S> {
     fn store_metrics(&self) -> Option<Arc<StoreMetrics>> {
         self.inner.store_metrics()
     }
+
+    fn invalidate_corrupt(&self, path: &ObjectPath) {
+        // Pass through without retry: invalidation is local bookkeeping.
+        self.inner.invalidate_corrupt(path)
+    }
 }
 
 #[cfg(test)]

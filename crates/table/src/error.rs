@@ -33,6 +33,21 @@ impl TableError {
     pub fn is_transient(&self) -> bool {
         matches!(self, Self::Store(e) if e.is_retryable())
     }
+
+    /// Whether this error means the *bytes* read were bad — a torn read or
+    /// bit rot caught by a format-layer checksum ([`FormatError`]'s
+    /// corruption taxonomy) or an unparseable metadata object. Retryable
+    /// like a transient fault, but only after invalidating whatever cache
+    /// layer served the poisoned bytes
+    /// (`ObjectStore::invalidate_corrupt`); the authoritative copy in the
+    /// backend is immutable and presumed good.
+    pub fn is_corruption(&self) -> bool {
+        match self {
+            Self::Format(e) => e.is_corruption(),
+            Self::Corrupt(_) => true,
+            _ => false,
+        }
+    }
 }
 
 impl fmt::Display for TableError {

@@ -61,8 +61,8 @@ pub struct ScanReport {
     /// Store requests answered by a cache layer during this scan (manifest,
     /// footers, data ranges). Zero when the store has no cache or metrics.
     pub cache_hits: u64,
-    /// Per-file fetch attempts beyond each file's first (see
-    /// [`TableScan::with_fetch_retries`]).
+    /// Fetch attempts beyond each object's first — data files and the
+    /// manifest alike (see [`TableScan::with_fetch_retries`]).
     pub fetch_retries: usize,
     /// Files abandoned after exhausting their fetch retries, under the
     /// report-and-continue policy ([`TableScan::with_partial_failures`]).
@@ -206,11 +206,33 @@ impl TableScan {
         };
         let mut entries = std::collections::VecDeque::new();
         if let Some(snapshot) = snapshot {
-            let manifest_bytes = self
-                .store
-                .get(&ObjectPath::new(snapshot.manifest_path.clone())?)?;
-            let manifest = Manifest::from_bytes(&manifest_bytes)
-                .ok_or_else(|| TableError::Corrupt("unparseable manifest".into()))?;
+            let manifest_path = ObjectPath::new(snapshot.manifest_path.clone())?;
+            // The manifest gets the same bounded retry as data files: a
+            // transient fault re-fetches; a corrupt (torn or cached-poisoned)
+            // read invalidates the cache entry first, so the retry reaches
+            // the authoritative backend copy instead of the bad bytes.
+            let mut attempts = 0u32;
+            let manifest = loop {
+                let result = self.store.get(&manifest_path).map_err(TableError::from);
+                let result = result.and_then(|bytes| {
+                    Manifest::from_bytes(&bytes)
+                        .ok_or_else(|| TableError::Corrupt("unparseable manifest".into()))
+                });
+                match result {
+                    Ok(m) => break m,
+                    Err(e)
+                        if attempts < self.fetch_retries
+                            && (e.is_transient() || e.is_corruption()) =>
+                    {
+                        if e.is_corruption() {
+                            self.store.invalidate_corrupt(&manifest_path);
+                        }
+                        attempts += 1;
+                        report.fetch_retries += 1;
+                    }
+                    Err(e) => return Err(e),
+                }
+            };
             report.files_total = manifest.entries.len();
             report.bytes_total = manifest.total_bytes();
             for entry in manifest.entries {
@@ -471,14 +493,25 @@ impl ScanStream {
         let partials: Vec<(Result<EntryPartial>, u32, u64)> =
             lakehouse_columnar::pool::map_indexed(self.scan.parallelism, &group, |_, entry| {
                 let entry_lane_start = metrics.as_ref().map(|m| m.lane_nanos()).unwrap_or(0);
-                // Whole-file retry: a transient fault re-reads the entry from
-                // scratch (footer and chunks — partial progress is useless
-                // without the footer anyway), up to `fetch_retries` times.
+                // Whole-file retry: a transient fault or a checksum-caught
+                // corrupt read re-reads the entry from scratch (footer and
+                // chunks — partial progress is useless without the footer
+                // anyway), up to `fetch_retries` times. Corruption first
+                // drops any cached pages for the file, so the retry refetches
+                // from the backend rather than re-serving the poisoned bytes.
                 let mut retries = 0u32;
                 let mut out = self.scan.read_entry(entry, &self.scan_schema);
                 while retries < self.scan.fetch_retries
-                    && out.as_ref().err().is_some_and(|e| e.is_transient())
+                    && out
+                        .as_ref()
+                        .err()
+                        .is_some_and(|e| e.is_transient() || e.is_corruption())
                 {
+                    if out.as_ref().err().is_some_and(|e| e.is_corruption()) {
+                        if let Ok(path) = ObjectPath::new(entry.file_path.clone()) {
+                            self.scan.store.invalidate_corrupt(&path);
+                        }
+                    }
                     retries += 1;
                     out = self.scan.read_entry(entry, &self.scan_schema);
                 }

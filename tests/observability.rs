@@ -129,6 +129,63 @@ fn explain_analyze_matches_exec_report() {
 }
 
 #[test]
+fn join_scans_are_direct_children_of_join_span() {
+    let lh = lakehouse(true);
+    let b = RecordBatch::try_new(
+        Schema::new(vec![
+            Field::new("grp", DataType::Int64, false),
+            Field::new("label", DataType::Int64, false),
+        ]),
+        vec![
+            Column::from_i64((0..5).collect()),
+            Column::from_i64((10..15).collect()),
+        ],
+    )
+    .unwrap();
+    lh.create_table("labels", &b, "main").unwrap();
+    let (_, tree) = lh
+        .profile(
+            "SELECT events.val, labels.label FROM events JOIN labels ON events.grp = labels.grp",
+            "main",
+        )
+        .unwrap();
+    let join = tree.find("Join").expect("join span");
+    let scans = tree.find_all("Scan");
+    assert_eq!(scans.len(), 2, "one scan per join side");
+    // The sides are siblings: neither side's scan nests under the other.
+    // (Regression check: the build side used to open under the probe side's
+    // still-open Scan span instead of under the Join.)
+    assert!(
+        !tree.is_ancestor(scans[0].id, scans[1].id) && !tree.is_ancestor(scans[1].id, scans[0].id),
+        "join sides must not nest inside each other"
+    );
+    for scan in scans {
+        assert!(
+            tree.is_ancestor(join.id, scan.id),
+            "scan at path {:?} should nest under the Join span",
+            scan.attr_str("path")
+        );
+        // Only a column-trimming Project may sit between a side's Scan and
+        // the Join itself.
+        let mut cur = scan.parent;
+        while let Some(id) = cur {
+            if id == join.id {
+                break;
+            }
+            let span = tree.get(id).expect("parent span exists");
+            assert_eq!(
+                span.name,
+                "Project",
+                "unexpected {} span between Scan {:?} and the Join",
+                span.name,
+                scan.attr_str("path")
+            );
+            cur = span.parent;
+        }
+    }
+}
+
+#[test]
 fn tracing_is_byte_transparent() {
     for streaming in [false, true] {
         let lh = lakehouse(streaming);
