@@ -1,0 +1,223 @@
+//! Kernel micro-benchmarks: the vectorized, dictionary-aware kernels vs the
+//! retained scalar reference implementations (`kernels::reference`).
+//!
+//! Four kernel families — filter (compare + select), aggregate, hash, and
+//! take/gather — each timed over the same seeded data, plus the late-
+//! materialization case: an equality filter over a low-cardinality string
+//! column kept dictionary-encoded (compare against the dictionary once,
+//! scan u32 codes) vs eagerly decoded to plain strings.
+//!
+//! The speedup ratios are regression-asserted: filter and aggregate must
+//! hold ≥4× over the scalar baseline, and the dictionary filter must beat
+//! the decode-then-filter path. CI runs this as a smoke job.
+//!
+//! Regenerate: `cargo run -p lakehouse-bench --bin kernel_bench --release`
+//! (writes `BENCH_kernels.json` in the working directory).
+
+// Examples and benches print their results.
+#![allow(clippy::print_stdout)]
+
+use lakehouse_bench::print_rows;
+use lakehouse_columnar::kernels::reference as scalar;
+use lakehouse_columnar::kernels::{self, Aggregator, CmpOp};
+use lakehouse_columnar::{Bitmap, Column, DataType, DictColumn, Field, RecordBatch, Schema, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+const ROWS: usize = 1 << 20;
+const DICT_CARDINALITY: usize = 16;
+const WARMUP: usize = 2;
+const TRIALS: usize = 7;
+
+/// Median wall time of `TRIALS` runs (after warmup), in seconds.
+fn bench<T>(mut f: impl FnMut() -> T) -> f64 {
+    for _ in 0..WARMUP {
+        std::hint::black_box(f());
+    }
+    let mut times: Vec<f64> = (0..TRIALS)
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+struct Case {
+    name: &'static str,
+    fast_s: f64,
+    slow_s: f64,
+}
+
+impl Case {
+    fn speedup(&self) -> f64 {
+        self.slow_s / self.fast_s.max(1e-12)
+    }
+}
+
+fn main() {
+    println!("=== vectorized kernels vs scalar reference ({ROWS} rows) ===");
+    let mut rng = StdRng::seed_from_u64(0x6b65726e);
+
+    let ints = Column::Int64(
+        (0..ROWS).map(|_| rng.gen_range(-1000i64..1000)).collect(),
+        Some(Bitmap::from_bools(
+            &(0..ROWS).map(|_| rng.gen_bool(0.9)).collect::<Vec<_>>(),
+        )),
+    );
+    let floats = Column::Float64(
+        (0..ROWS).map(|_| rng.gen_range(-1000.0..1000.0)).collect(),
+        None,
+    );
+    let strings: Vec<String> = (0..ROWS)
+        .map(|_| format!("category_{:02}", rng.gen_range(0..DICT_CARDINALITY)))
+        .collect();
+    let dict = Column::Dict(DictColumn::encode(&strings, None).expect("encode"));
+    let plain = Column::Utf8(strings, None);
+
+    let threshold = Value::Int64(0);
+    let needle = Value::Utf8("category_03".to_string());
+
+    // -- filter: compare to scalar, build selection, gather survivors.
+    let filter = Case {
+        name: "filter i64 > 0",
+        fast_s: bench(|| {
+            let mask = kernels::cmp_column_scalar(CmpOp::Gt, &ints, &threshold).expect("cmp");
+            let sel = kernels::to_selection(&mask).expect("selection");
+            kernels::filter_column(&ints, &sel).expect("filter")
+        }),
+        slow_s: bench(|| {
+            let mask = scalar::cmp_column_scalar_ref(CmpOp::Gt, &ints, &threshold).expect("cmp");
+            let sel = scalar::to_selection_ref(&mask).expect("selection");
+            scalar::filter_column_ref(&ints, &sel).expect("filter")
+        }),
+    };
+
+    // -- aggregate: SUM over nullable ints + AVG over floats.
+    let agg = Case {
+        name: "agg sum+avg",
+        fast_s: bench(|| {
+            (
+                kernels::aggregate_column(Aggregator::Sum, &ints).expect("sum"),
+                kernels::aggregate_column(Aggregator::Avg, &floats).expect("avg"),
+            )
+        }),
+        slow_s: bench(|| {
+            (
+                scalar::aggregate_column_ref(Aggregator::Sum, &ints).expect("sum"),
+                scalar::aggregate_column_ref(Aggregator::Avg, &floats).expect("avg"),
+            )
+        }),
+    };
+
+    // -- hash: typed column hashing vs boxed per-value.
+    let hash = Case {
+        name: "hash i64+utf8",
+        fast_s: bench(|| {
+            (
+                kernels::hash_column(&ints).expect("hash"),
+                kernels::hash_column(&dict).expect("hash dict"),
+            )
+        }),
+        slow_s: bench(|| {
+            (
+                scalar::hash_column_ref(&ints).expect("hash"),
+                scalar::hash_column_ref(&plain).expect("hash plain"),
+            )
+        }),
+    };
+
+    // -- take: gather a 25% selection across a 3-column batch.
+    let batch = RecordBatch::try_new(
+        Schema::new(vec![
+            Field::new("i", DataType::Int64, true),
+            Field::new("f", DataType::Float64, false),
+            Field::new("s", DataType::Utf8, false),
+        ]),
+        vec![ints.clone(), floats.clone(), dict.clone()],
+    )
+    .expect("batch");
+    let indices: Vec<usize> = (0..ROWS / 4).map(|_| rng.gen_range(0..ROWS)).collect();
+    let take = Case {
+        name: "take 25% of batch",
+        fast_s: bench(|| kernels::take_batch(&batch, &indices).expect("take")),
+        slow_s: bench(|| scalar::take_batch_ref(&batch, &indices).expect("take ref")),
+    };
+
+    // -- late materialization: equality filter on a low-cardinality string
+    // column, dictionary-encoded (codes only) vs decoded to plain strings.
+    let dict_filter = Case {
+        name: "dict vs plain str filter",
+        fast_s: bench(|| {
+            let mask = kernels::cmp_column_scalar(CmpOp::Eq, &dict, &needle).expect("cmp");
+            let sel = kernels::to_selection(&mask).expect("selection");
+            kernels::filter_column(&dict, &sel).expect("filter")
+        }),
+        slow_s: bench(|| {
+            let decoded = dict.materialize(); // eager decode, then filter
+            let mask = kernels::cmp_column_scalar(CmpOp::Eq, &decoded, &needle).expect("cmp");
+            let sel = kernels::to_selection(&mask).expect("selection");
+            kernels::filter_column(&decoded, &sel).expect("filter")
+        }),
+    };
+
+    let cases = [filter, agg, hash, take, dict_filter];
+    print_rows(
+        "vectorized kernels vs scalar reference (median of 7 trials)",
+        &["kernel", "vectorized ms", "scalar ms", "speedup"],
+        &cases
+            .iter()
+            .map(|c| {
+                vec![
+                    c.name.to_string(),
+                    format!("{:.2}", c.fast_s * 1e3),
+                    format!("{:.2}", c.slow_s * 1e3),
+                    format!("{:.1}x", c.speedup()),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    let entries: Vec<String> = cases
+        .iter()
+        .map(|c| {
+            format!(
+                "    {{ \"kernel\": \"{}\", \"vectorized_ms\": {:.3}, \"scalar_ms\": {:.3}, \"speedup\": {:.2} }}",
+                c.name,
+                c.fast_s * 1e3,
+                c.slow_s * 1e3,
+                c.speedup()
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"kernels\",\n  \"rows\": {ROWS},\n  \"dict_cardinality\": {DICT_CARDINALITY},\n  \"cases\": [\n{}\n  ],\n  \"asserts\": {{\n    \"filter_speedup_min\": 4.0,\n    \"agg_speedup_min\": 4.0,\n    \"dict_filter_speedup_min\": 1.0\n  }}\n}}\n",
+        entries.join(",\n")
+    );
+    std::fs::write("BENCH_kernels.json", &json).expect("write BENCH_kernels.json");
+    println!("\nwrote BENCH_kernels.json");
+
+    // Regression gates (CI smoke): the vectorized kernels must hold their
+    // headroom over the scalar baseline, and the dictionary-aware filter
+    // must beat decode-then-filter.
+    let by_name = |name: &str| cases.iter().find(|c| c.name == name).expect("case");
+    assert!(
+        by_name("filter i64 > 0").speedup() >= 4.0,
+        "filter regression: {:.1}x < 4x",
+        by_name("filter i64 > 0").speedup()
+    );
+    assert!(
+        by_name("agg sum+avg").speedup() >= 4.0,
+        "aggregate regression: {:.1}x < 4x",
+        by_name("agg sum+avg").speedup()
+    );
+    assert!(
+        by_name("dict vs plain str filter").speedup() >= 1.0,
+        "dictionary filter slower than decode-then-filter: {:.2}x",
+        by_name("dict vs plain str filter").speedup()
+    );
+    println!("regression gates passed (filter/agg >= 4x, dict filter >= 1x)");
+}

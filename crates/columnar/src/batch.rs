@@ -183,8 +183,26 @@ impl RecordBatch {
                 Column::Float64(v, _) => v.len() * 8,
                 Column::Date(v, _) => v.len() * 4,
                 Column::Utf8(v, _) => v.iter().map(|s| s.len() + 24).sum(),
+                Column::Dict(d) => {
+                    d.codes().len() * 4 + d.dict().iter().map(|s| s.len() + 24).sum::<usize>()
+                }
             })
             .sum()
+    }
+
+    /// Decode any dictionary-encoded columns to plain columns (late
+    /// materialization at the plan root). Returns `self` unchanged when no
+    /// column is dict-encoded.
+    pub fn decode_dicts(self) -> RecordBatch {
+        if !self.columns.iter().any(|c| matches!(c, Column::Dict(_))) {
+            return self;
+        }
+        let columns = self.columns.iter().map(Column::materialize).collect();
+        RecordBatch {
+            schema: self.schema,
+            columns,
+            num_rows: self.num_rows,
+        }
     }
 }
 

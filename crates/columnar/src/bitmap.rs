@@ -31,15 +31,36 @@ impl Bitmap {
         }
     }
 
-    /// Build from a slice of booleans.
+    /// Build from a slice of booleans. Packs eight bools per byte in one
+    /// pass so the loop autovectorizes instead of read-modify-writing one
+    /// bit at a time.
     pub fn from_bools(values: &[bool]) -> Self {
-        let mut bm = Bitmap::new_clear(values.len());
-        for (i, &v) in values.iter().enumerate() {
-            if v {
-                bm.set(i);
+        let mut bits = vec![0u8; values.len().div_ceil(8)];
+        for (byte, chunk) in bits.iter_mut().zip(values.chunks(8)) {
+            let mut b = 0u8;
+            for (bit, &v) in chunk.iter().enumerate() {
+                b |= (v as u8) << bit;
+            }
+            *byte = b;
+        }
+        Bitmap {
+            bits,
+            len: values.len(),
+        }
+    }
+
+    /// Expand to one bool per bit. The inverse of [`Bitmap::from_bools`];
+    /// kernels expand validity once and then run branch-free loops over the
+    /// bool slice instead of doing a bit lookup per element.
+    pub fn to_bools(&self) -> Vec<bool> {
+        let mut out = Vec::with_capacity(self.len);
+        for (byte_idx, &byte) in self.bits.iter().enumerate() {
+            let take = (self.len - byte_idx * 8).min(8);
+            for bit in 0..take {
+                out.push((byte >> bit) & 1 == 1);
             }
         }
-        bm
+        out
     }
 
     /// Build from an iterator of `Option<T>`, setting bits where `Some`.
@@ -105,6 +126,23 @@ impl Bitmap {
     /// Number of clear bits (null rows).
     pub fn count_clear(&self) -> usize {
         self.len - self.count_set()
+    }
+
+    /// Popcount of the intersection (`self AND other`) without
+    /// materializing it. Lengths must match.
+    pub fn count_set_both(&self, other: &Bitmap) -> Result<usize> {
+        if self.len != other.len {
+            return Err(ColumnarError::LengthMismatch {
+                expected: self.len,
+                actual: other.len,
+            });
+        }
+        Ok(self
+            .bits
+            .iter()
+            .zip(&other.bits)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum())
     }
 
     /// True if every bit is set.
@@ -173,19 +211,108 @@ impl Bitmap {
 
     /// Indices of set bits, used to build selection vectors.
     pub fn set_indices(&self) -> Vec<usize> {
-        let mut out = Vec::with_capacity(self.count_set());
-        for (byte_idx, &byte) in self.bits.iter().enumerate() {
-            let mut b = byte;
+        let mut out = Vec::new();
+        self.set_indices_into(&mut out);
+        out
+    }
+
+    /// Like [`Bitmap::set_indices`] but writes into a caller-provided buffer
+    /// (cleared first), so hot paths can reuse a pooled scratch vector
+    /// instead of allocating per batch.
+    pub fn set_indices_into(&self, out: &mut Vec<usize>) {
+        out.clear();
+        out.reserve(self.count_set());
+        self.for_each_set(|i| out.push(i));
+    }
+
+    /// Call `f` with the index of every set bit, ascending. Word-at-a-time
+    /// (u64) bit scan, so filter kernels can fuse the mask scan with their
+    /// gather instead of materializing an index vector in between.
+    #[inline]
+    pub fn for_each_set(&self, mut f: impl FnMut(usize)) {
+        let words = self.bits.chunks_exact(8);
+        let tail = words.remainder();
+        let mut base = 0usize;
+        for chunk in words {
+            let mut w = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            while w != 0 {
+                f(base + w.trailing_zeros() as usize);
+                w &= w - 1;
+            }
+            base += 64;
+        }
+        for &byte in tail {
+            let mut b = if base + 8 <= self.len {
+                byte
+            } else {
+                // Last byte: ignore padding bits past `len`.
+                byte & ((1u8 << (self.len - base)) - 1)
+            };
             while b != 0 {
-                let bit = b.trailing_zeros() as usize;
-                let idx = byte_idx * 8 + bit;
-                if idx < self.len {
-                    out.push(idx);
-                }
+                f(base + b.trailing_zeros() as usize);
                 b &= b - 1;
             }
+            base += 8;
         }
-        out
+    }
+
+    /// Copy a contiguous bit range `[offset, offset + len)` into a new
+    /// bitmap, shifting bytes instead of copying bit by bit.
+    pub fn slice_range(&self, offset: usize, len: usize) -> Bitmap {
+        assert!(
+            offset + len <= self.len,
+            "slice [{offset}, {}) out of bounds ({})",
+            offset + len,
+            self.len
+        );
+        let n_bytes = len.div_ceil(8);
+        let start_byte = offset / 8;
+        let shift = offset % 8;
+        let mut bits = vec![0u8; n_bytes];
+        if shift == 0 {
+            bits.copy_from_slice(&self.bits[start_byte..start_byte + n_bytes]);
+        } else {
+            for (i, b) in bits.iter_mut().enumerate() {
+                let lo = self.bits[start_byte + i] >> shift;
+                let hi = self
+                    .bits
+                    .get(start_byte + i + 1)
+                    .map_or(0, |&x| x << (8 - shift));
+                *b = lo | hi;
+            }
+        }
+        if !len.is_multiple_of(8) {
+            if let Some(last) = bits.last_mut() {
+                *last &= (1u8 << (len % 8)) - 1;
+            }
+        }
+        Bitmap { bits, len }
+    }
+
+    /// Append all bits of `other`, growing this bitmap. Byte-shifts whole
+    /// bytes rather than pushing bit by bit.
+    pub fn append(&mut self, other: &Bitmap) {
+        if other.len == 0 {
+            return;
+        }
+        let shift = self.len % 8;
+        if shift == 0 {
+            self.bits.extend_from_slice(&other.bits);
+        } else {
+            for &b in &other.bits {
+                if let Some(last) = self.bits.last_mut() {
+                    *last |= b << shift;
+                }
+                self.bits.push(b >> (8 - shift));
+            }
+        }
+        self.len += other.len;
+        self.bits.truncate(self.len.div_ceil(8));
+        if !self.len.is_multiple_of(8) {
+            if let Some(last) = self.bits.last_mut() {
+                *last &= (1u8 << (self.len % 8)) - 1;
+            }
+        }
     }
 
     /// Raw underlying bytes (for serialization).
@@ -306,5 +433,54 @@ mod tests {
     #[test]
     fn from_bytes_wrong_len_errors() {
         assert!(Bitmap::from_bytes(vec![0u8; 1], 9).is_err());
+    }
+
+    #[test]
+    fn to_bools_round_trips() {
+        for n in [0usize, 1, 7, 8, 9, 63, 64, 65, 130] {
+            let bools: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
+            let bm = Bitmap::from_bools(&bools);
+            assert_eq!(bm.to_bools(), bools, "n={n}");
+            assert_eq!(bm.count_set(), bools.iter().filter(|&&b| b).count());
+        }
+    }
+
+    #[test]
+    fn slice_range_matches_bitwise() {
+        let bools: Vec<bool> = (0..100).map(|i| (i * 7) % 5 < 2).collect();
+        let bm = Bitmap::from_bools(&bools);
+        for &(off, len) in &[
+            (0usize, 100usize),
+            (3, 17),
+            (8, 16),
+            (13, 64),
+            (99, 1),
+            (50, 0),
+        ] {
+            let s = bm.slice_range(off, len);
+            assert_eq!(s.len(), len);
+            assert_eq!(s.to_bools(), &bools[off..off + len], "off={off} len={len}");
+        }
+    }
+
+    #[test]
+    fn append_matches_concat_of_bools() {
+        let a_bools: Vec<bool> = (0..13).map(|i| i % 2 == 0).collect();
+        let b_bools: Vec<bool> = (0..27).map(|i| i % 3 == 0).collect();
+        let mut a = Bitmap::from_bools(&a_bools);
+        a.append(&Bitmap::from_bools(&b_bools));
+        let mut expect = a_bools;
+        expect.extend(&b_bools);
+        assert_eq!(a.to_bools(), expect);
+        // Padding stays normalized so equality with a fresh build holds.
+        assert_eq!(a, Bitmap::from_bools(&expect));
+    }
+
+    #[test]
+    fn set_indices_into_reuses_buffer() {
+        let bm = Bitmap::from_bools(&[true, false, true]);
+        let mut buf = vec![9usize; 100];
+        bm.set_indices_into(&mut buf);
+        assert_eq!(buf, vec![0, 2]);
     }
 }

@@ -3,6 +3,8 @@
 use crate::bitmap::Bitmap;
 use crate::datatype::{DataType, Value};
 use crate::error::{ColumnarError, Result};
+use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Canonicalize a validity bitmap: a column's validity is `Some` **iff** it
 /// actually contains a null. Every constructor and kernel funnels through
@@ -20,7 +22,7 @@ pub fn normalize_validity(validity: Option<Bitmap>) -> Option<Bitmap> {
 /// Null slots still occupy a default value in the dense vector (Arrow
 /// convention), so kernels can read values unconditionally and mask
 /// afterwards.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub enum Column {
     Bool(Vec<bool>, Option<Bitmap>),
     Int64(Vec<i64>, Option<Bitmap>),
@@ -28,6 +30,187 @@ pub enum Column {
     Utf8(Vec<String>, Option<Bitmap>),
     Timestamp(Vec<i64>, Option<Bitmap>),
     Date(Vec<i32>, Option<Bitmap>),
+    /// A dictionary-encoded string column (see [`DictColumn`]). Reports
+    /// `DataType::Utf8`; kernels that understand the encoding operate on
+    /// the `u32` codes directly, everything else goes through `get`.
+    Dict(DictColumn),
+}
+
+/// A dictionary-encoded string column: one `u32` code per row into a shared
+/// dictionary of strings. The file reader hands this up without eager
+/// decode so equality/IN filters can compare against the dictionary once
+/// and scan only the codes; materialization to a plain `Utf8` column
+/// happens late, at the executor roots, for projected survivors only.
+///
+/// Invariants: every code (including codes under null slots) indexes into
+/// `dict`, and `validity` is normalized (`Some` iff a null exists).
+#[derive(Debug, Clone)]
+pub struct DictColumn {
+    dict: Arc<Vec<String>>,
+    codes: Vec<u32>,
+    validity: Option<Bitmap>,
+}
+
+impl DictColumn {
+    /// Build a dictionary column, validating that every code is in range
+    /// and the validity length matches.
+    pub fn try_new(
+        dict: Arc<Vec<String>>,
+        codes: Vec<u32>,
+        validity: Option<Bitmap>,
+    ) -> Result<DictColumn> {
+        if let Some(max) = codes.iter().max() {
+            if *max as usize >= dict.len() {
+                return Err(ColumnarError::IndexOutOfBounds {
+                    index: *max as usize,
+                    len: dict.len(),
+                });
+            }
+        }
+        if let Some(v) = &validity {
+            if v.len() != codes.len() {
+                return Err(ColumnarError::LengthMismatch {
+                    expected: codes.len(),
+                    actual: v.len(),
+                });
+            }
+        }
+        Ok(DictColumn {
+            dict,
+            codes,
+            validity: normalize_validity(validity),
+        })
+    }
+
+    /// Internal constructor for kernels that already uphold the invariants
+    /// (e.g. gathering codes from an existing dict column).
+    pub(crate) fn new_unchecked(
+        dict: Arc<Vec<String>>,
+        codes: Vec<u32>,
+        validity: Option<Bitmap>,
+    ) -> DictColumn {
+        DictColumn {
+            dict,
+            codes,
+            validity: normalize_validity(validity),
+        }
+    }
+
+    /// Dictionary-encode a plain string slice, assigning codes in first-
+    /// appearance order.
+    pub fn encode(values: &[String], validity: Option<Bitmap>) -> Result<DictColumn> {
+        let mut index: HashMap<&str, u32> = HashMap::new();
+        let mut dict: Vec<String> = Vec::new();
+        let mut codes = Vec::with_capacity(values.len());
+        for v in values {
+            let code = *index.entry(v.as_str()).or_insert_with(|| {
+                dict.push(v.clone());
+                (dict.len() - 1) as u32
+            });
+            codes.push(code);
+        }
+        drop(index);
+        DictColumn::try_new(Arc::new(dict), codes, validity)
+    }
+
+    /// The shared dictionary of distinct strings.
+    pub fn dict(&self) -> &Arc<Vec<String>> {
+        &self.dict
+    }
+
+    /// Per-row codes into the dictionary.
+    pub fn codes(&self) -> &[u32] {
+        &self.codes
+    }
+
+    /// Validity bitmap (`None` = no nulls).
+    pub fn validity(&self) -> Option<&Bitmap> {
+        self.validity.as_ref()
+    }
+
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// The string at row `i`, ignoring validity (null slots resolve to
+    /// whatever dictionary entry their code points at, matching the dense
+    /// default-value convention of plain columns).
+    #[inline]
+    pub fn value(&self, i: usize) -> &str {
+        &self.dict[self.codes[i] as usize]
+    }
+
+    /// Decode into a plain `Utf8` column (the late-materialization point).
+    pub fn materialize(&self) -> Column {
+        let values: Vec<String> = self
+            .codes
+            .iter()
+            .map(|&c| self.dict[c as usize].clone())
+            .collect();
+        Column::Utf8(values, self.validity.clone())
+    }
+}
+
+impl PartialEq for Column {
+    /// Plain variants compare representationally (dense values including
+    /// null slots, plus validity), exactly as the previous derived impl.
+    /// Comparisons involving a dictionary column are logical — per-row
+    /// resolved strings with null rows equal regardless of code — so a
+    /// dict-encoded column round-tripped through the file format compares
+    /// equal to the plain column it encodes.
+    fn eq(&self, other: &Self) -> bool {
+        fn dict_vs_plain(d: &DictColumn, v: &[String], val: Option<&Bitmap>) -> bool {
+            if d.len() != v.len() {
+                return false;
+            }
+            for (i, pval) in v.iter().enumerate() {
+                let dv = d.validity.as_ref().is_none_or(|b| b.get(i));
+                let pv = val.is_none_or(|b| b.get(i));
+                if dv != pv {
+                    return false;
+                }
+                if dv && d.value(i) != pval {
+                    return false;
+                }
+            }
+            true
+        }
+        match (self, other) {
+            (Column::Bool(a, av), Column::Bool(b, bv)) => a == b && av == bv,
+            (Column::Int64(a, av), Column::Int64(b, bv)) => a == b && av == bv,
+            (Column::Float64(a, av), Column::Float64(b, bv)) => a == b && av == bv,
+            (Column::Utf8(a, av), Column::Utf8(b, bv)) => a == b && av == bv,
+            (Column::Timestamp(a, av), Column::Timestamp(b, bv)) => a == b && av == bv,
+            (Column::Date(a, av), Column::Date(b, bv)) => a == b && av == bv,
+            (Column::Dict(a), Column::Dict(b)) => {
+                if a.len() != b.len() {
+                    return false;
+                }
+                if Arc::ptr_eq(&a.dict, &b.dict) && a.codes == b.codes && a.validity == b.validity {
+                    return true;
+                }
+                for i in 0..a.len() {
+                    let av = a.validity.as_ref().is_none_or(|m| m.get(i));
+                    let bv = b.validity.as_ref().is_none_or(|m| m.get(i));
+                    if av != bv {
+                        return false;
+                    }
+                    if av && a.value(i) != b.value(i) {
+                        return false;
+                    }
+                }
+                true
+            }
+            (Column::Dict(d), Column::Utf8(v, val)) | (Column::Utf8(v, val), Column::Dict(d)) => {
+                dict_vs_plain(d, v, val.as_ref())
+            }
+            _ => false,
+        }
+    }
 }
 
 impl Column {
@@ -151,6 +334,7 @@ impl Column {
             Column::Utf8(v, _) => v.len(),
             Column::Timestamp(v, _) => v.len(),
             Column::Date(v, _) => v.len(),
+            Column::Dict(d) => d.len(),
         }
     }
 
@@ -158,13 +342,14 @@ impl Column {
         self.len() == 0
     }
 
-    /// The column's data type.
+    /// The column's data type. Dictionary columns are an encoding of
+    /// `Utf8`, not a distinct logical type.
     pub fn data_type(&self) -> DataType {
         match self {
             Column::Bool(..) => DataType::Bool,
             Column::Int64(..) => DataType::Int64,
             Column::Float64(..) => DataType::Float64,
-            Column::Utf8(..) => DataType::Utf8,
+            Column::Utf8(..) | Column::Dict(_) => DataType::Utf8,
             Column::Timestamp(..) => DataType::Timestamp,
             Column::Date(..) => DataType::Date,
         }
@@ -179,6 +364,7 @@ impl Column {
             | Column::Utf8(_, v)
             | Column::Timestamp(_, v)
             | Column::Date(_, v) => v.as_ref(),
+            Column::Dict(d) => d.validity(),
         }
     }
 
@@ -211,6 +397,7 @@ impl Column {
             Column::Utf8(v, _) => Value::Utf8(v[i].clone()),
             Column::Timestamp(v, _) => Value::Timestamp(v[i]),
             Column::Date(v, _) => Value::Date(v[i]),
+            Column::Dict(d) => Value::Utf8(d.value(i).to_string()),
         })
     }
 
@@ -242,7 +429,30 @@ impl Column {
     pub fn as_utf8(&self) -> Result<(&[String], Option<&Bitmap>)> {
         match self {
             Column::Utf8(v, b) => Ok((v, b.as_ref())),
+            Column::Dict(_) => Err(ColumnarError::TypeMismatch {
+                expected: "Utf8 (plain)".into(),
+                actual: "Utf8 (dictionary-encoded)".into(),
+            }),
             other => Err(type_err("Utf8", other)),
+        }
+    }
+
+    /// The dictionary representation, if this column is dict-encoded.
+    pub fn as_dict(&self) -> Option<&DictColumn> {
+        match self {
+            Column::Dict(d) => Some(d),
+            _ => None,
+        }
+    }
+
+    /// Decode a dictionary column into a plain `Utf8` column; all other
+    /// variants pass through unchanged. This is the late-materialization
+    /// point: executors call it at the plan root so only projected
+    /// survivors are ever expanded to full strings.
+    pub fn materialize(&self) -> Column {
+        match self {
+            Column::Dict(d) => d.materialize(),
+            other => other.clone(),
         }
     }
     pub fn as_date(&self) -> Result<(&[i32], Option<&Bitmap>)> {
@@ -265,15 +475,7 @@ impl Column {
                 len: self.len(),
             });
         }
-        let validity = normalize_validity(self.validity().map(|b| {
-            let mut nb = Bitmap::new_clear(len);
-            for i in 0..len {
-                if b.get(offset + i) {
-                    nb.set(i);
-                }
-            }
-            nb
-        }));
+        let validity = normalize_validity(self.validity().map(|b| b.slice_range(offset, len)));
         Ok(match self {
             Column::Bool(v, _) => Column::Bool(v[offset..end].to_vec(), validity),
             Column::Int64(v, _) => Column::Int64(v[offset..end].to_vec(), validity),
@@ -281,6 +483,11 @@ impl Column {
             Column::Utf8(v, _) => Column::Utf8(v[offset..end].to_vec(), validity),
             Column::Timestamp(v, _) => Column::Timestamp(v[offset..end].to_vec(), validity),
             Column::Date(v, _) => Column::Date(v[offset..end].to_vec(), validity),
+            Column::Dict(d) => Column::Dict(DictColumn::new_unchecked(
+                Arc::clone(&d.dict),
+                d.codes[offset..end].to_vec(),
+                validity,
+            )),
         })
     }
 
@@ -302,19 +509,15 @@ impl Column {
         }
         let total: usize = columns.iter().map(Column::len).sum();
         // Validity stays `None` unless an input actually contains a null —
-        // the same normalization ColumnBuilder::finish applies.
+        // the same normalization ColumnBuilder::finish applies. Built by
+        // appending whole bitmaps (byte shifts), not bit by bit.
         let validity = if columns.iter().any(|c| c.null_count() > 0) {
-            let mut bits = Bitmap::new_set(total);
-            let mut offset = 0;
+            let mut bits = Bitmap::new_clear(0);
             for col in columns {
-                if let Some(v) = col.validity() {
-                    for i in 0..col.len() {
-                        if !v.get(i) {
-                            bits.clear(offset + i);
-                        }
-                    }
+                match col.validity() {
+                    Some(v) => bits.append(v),
+                    None => bits.append(&Bitmap::new_set(col.len())),
                 }
-                offset += col.len();
             }
             Some(bits)
         } else {
@@ -332,13 +535,13 @@ impl Column {
                 Column::$variant(out, validity)
             }};
         }
-        Ok(match first {
-            Column::Bool(..) => concat_typed!(Bool, bool),
-            Column::Int64(..) => concat_typed!(Int64, i64),
-            Column::Float64(..) => concat_typed!(Float64, f64),
-            Column::Utf8(..) => concat_typed!(Utf8, String),
-            Column::Timestamp(..) => concat_typed!(Timestamp, i64),
-            Column::Date(..) => concat_typed!(Date, i32),
+        Ok(match dt {
+            DataType::Bool => concat_typed!(Bool, bool),
+            DataType::Int64 => concat_typed!(Int64, i64),
+            DataType::Float64 => concat_typed!(Float64, f64),
+            DataType::Utf8 => concat_utf8(columns, total, validity),
+            DataType::Timestamp => concat_typed!(Timestamp, i64),
+            DataType::Date => concat_typed!(Date, i32),
         })
     }
 
@@ -359,6 +562,60 @@ impl Column {
         }
         (min, max)
     }
+}
+
+/// Concatenate string columns, keeping the result dictionary-encoded when
+/// every input is: shared-`Arc` inputs concatenate codes directly, distinct
+/// dictionaries are merged and codes remapped. Any plain input forces a
+/// plain result.
+fn concat_utf8(columns: &[Column], total: usize, validity: Option<Bitmap>) -> Column {
+    if columns.iter().all(|c| matches!(c, Column::Dict(_))) {
+        let dicts: Vec<&DictColumn> = columns
+            .iter()
+            .map(|c| match c {
+                Column::Dict(d) => d,
+                _ => unreachable!("checked all-dict above"),
+            })
+            .collect();
+        let first_dict = dicts[0].dict();
+        let mut codes: Vec<u32> = Vec::with_capacity(total);
+        if dicts.iter().all(|d| Arc::ptr_eq(d.dict(), first_dict)) {
+            for d in &dicts {
+                codes.extend_from_slice(d.codes());
+            }
+            return Column::Dict(DictColumn::new_unchecked(
+                Arc::clone(first_dict),
+                codes,
+                validity,
+            ));
+        }
+        // Merge dictionaries in input order, deduplicating entries.
+        let mut merged: Vec<String> = Vec::new();
+        let mut index: HashMap<String, u32> = HashMap::new();
+        for d in &dicts {
+            let remap: Vec<u32> = d
+                .dict()
+                .iter()
+                .map(|s| {
+                    *index.entry(s.clone()).or_insert_with(|| {
+                        merged.push(s.clone());
+                        (merged.len() - 1) as u32
+                    })
+                })
+                .collect();
+            codes.extend(d.codes().iter().map(|&c| remap[c as usize]));
+        }
+        return Column::Dict(DictColumn::new_unchecked(Arc::new(merged), codes, validity));
+    }
+    let mut out: Vec<String> = Vec::with_capacity(total);
+    for col in columns {
+        match col {
+            Column::Utf8(v, _) => out.extend_from_slice(v),
+            Column::Dict(d) => out.extend(d.codes().iter().map(|&c| d.dict()[c as usize].clone())),
+            _ => unreachable!("types checked above"),
+        }
+    }
+    Column::Utf8(out, validity)
 }
 
 fn type_err(expected: &str, actual: &Column) -> ColumnarError {
@@ -634,6 +891,84 @@ mod tests {
             c.iter_values().collect::<Vec<_>>(),
             vec![Value::Int64(7), Value::Int64(7), Value::Int64(7)]
         );
+    }
+
+    fn sample_dict() -> DictColumn {
+        let values: Vec<String> = ["a", "b", "a", "c", "b", "a"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let validity = Bitmap::from_bools(&[true, true, false, true, true, true]);
+        DictColumn::encode(&values, Some(validity)).unwrap()
+    }
+
+    #[test]
+    fn dict_reports_utf8_metadata() {
+        let d = Column::Dict(sample_dict());
+        assert_eq!(d.data_type(), DataType::Utf8);
+        assert_eq!(d.len(), 6);
+        assert_eq!(d.null_count(), 1);
+        assert_eq!(d.get(0).unwrap(), Value::Utf8("a".into()));
+        assert_eq!(d.get(2).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn dict_compares_equal_to_plain() {
+        let d = Column::Dict(sample_dict());
+        let plain = d.materialize();
+        assert!(matches!(plain, Column::Utf8(..)));
+        assert_eq!(d, plain);
+        assert_eq!(plain, d);
+        let other = Column::from_strs(vec!["a", "b", "x", "c", "b", "a"]);
+        assert_ne!(d, other);
+    }
+
+    #[test]
+    fn dict_slice_keeps_encoding() {
+        let d = Column::Dict(sample_dict());
+        let s = d.slice(1, 3).unwrap();
+        assert!(matches!(s, Column::Dict(_)));
+        assert_eq!(s.get(0).unwrap(), Value::Utf8("b".into()));
+        assert_eq!(s.get(1).unwrap(), Value::Null);
+        assert_eq!(s.get(2).unwrap(), Value::Utf8("c".into()));
+    }
+
+    #[test]
+    fn dict_concat_shared_and_merged() {
+        let d = sample_dict();
+        let a = Column::Dict(d.clone());
+        let b = Column::Dict(d.clone());
+        // Shared Arc: stays dict with the same dictionary.
+        let shared = Column::concat(&[a.clone(), b]).unwrap();
+        assert!(matches!(&shared, Column::Dict(sd) if Arc::ptr_eq(sd.dict(), d.dict())));
+        assert_eq!(shared.len(), 12);
+        // Distinct dictionaries merge and remap.
+        let values: Vec<String> = ["c", "d"].iter().map(|s| s.to_string()).collect();
+        let other = Column::Dict(DictColumn::encode(&values, None).unwrap());
+        let merged = Column::concat(&[a.clone(), other]).unwrap();
+        assert_eq!(merged.get(6).unwrap(), Value::Utf8("c".into()));
+        assert_eq!(merged.get(7).unwrap(), Value::Utf8("d".into()));
+        match &merged {
+            Column::Dict(m) => assert_eq!(m.dict().len(), 4), // a b c d
+            other => panic!("expected dict, got {other:?}"),
+        }
+        // Mixing with a plain column materializes.
+        let mixed = Column::concat(&[a, Column::from_strs(vec!["z"])]).unwrap();
+        assert!(matches!(mixed, Column::Utf8(..)));
+        assert_eq!(mixed.get(6).unwrap(), Value::Utf8("z".into()));
+    }
+
+    #[test]
+    fn dict_rejects_out_of_range_codes() {
+        let dict = Arc::new(vec!["a".to_string()]);
+        assert!(DictColumn::try_new(dict, vec![0, 1], None).is_err());
+    }
+
+    #[test]
+    fn dict_min_max() {
+        let (min, max) = Column::Dict(sample_dict()).min_max();
+        assert_eq!(min, Value::Utf8("a".into()));
+        assert_eq!(max, Value::Utf8("c".into()));
     }
 
     #[test]

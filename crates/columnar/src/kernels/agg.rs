@@ -1,11 +1,12 @@
 //! Aggregation kernels: incremental aggregate states used by both scalar
 //! aggregation and the hash-grouped aggregation in the SQL engine.
 
+use crate::bitmap::Bitmap;
 use crate::column::Column;
 use crate::datatype::{DataType, Value};
 use crate::error::{ColumnarError, Result};
 use crate::kernels::hash::RowKey;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 /// Which aggregate function to compute.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -128,7 +129,10 @@ impl AggState {
         Ok(())
     }
 
-    /// Fold a whole column into the state (fast paths for numeric sums).
+    /// Fold a whole column into the state. Typed, validity-mask-driven
+    /// loops for every (aggregator, type) combination the engine runs hot;
+    /// the boxed per-row fallback only remains for `CountDistinct` and
+    /// cross-type oddities.
     pub fn update_column(&mut self, col: &Column) -> Result<()> {
         match (self.agg, col) {
             (Aggregator::Sum | Aggregator::Avg, Column::Int64(values, None)) => {
@@ -142,11 +146,35 @@ impl AggState {
                 self.count += values.len() as i64;
                 Ok(())
             }
+            (Aggregator::Sum | Aggregator::Avg, Column::Int64(values, Some(b))) => {
+                let vb = b.to_bools();
+                for (i, &x) in values.iter().enumerate() {
+                    if vb[i] {
+                        match self.sum_i.checked_add(x) {
+                            Some(s) => self.sum_i = s,
+                            None => self.overflowed = true,
+                        }
+                        self.sum_f += x as f64;
+                        self.count += 1;
+                    }
+                }
+                Ok(())
+            }
             (Aggregator::Sum | Aggregator::Avg, Column::Float64(values, None)) => {
                 for &x in values {
                     self.sum_f += x;
                 }
                 self.count += values.len() as i64;
+                Ok(())
+            }
+            (Aggregator::Sum | Aggregator::Avg, Column::Float64(values, Some(b))) => {
+                let vb = b.to_bools();
+                for (i, &x) in values.iter().enumerate() {
+                    if vb[i] {
+                        self.sum_f += x;
+                        self.count += 1;
+                    }
+                }
                 Ok(())
             }
             (Aggregator::Count, _) => {
@@ -155,6 +183,28 @@ impl AggState {
             }
             (Aggregator::CountStar, _) => {
                 self.count += col.len() as i64;
+                Ok(())
+            }
+            (Aggregator::Min | Aggregator::Max, _) if minmax_typed(col) => {
+                let want_min = self.agg == Aggregator::Min;
+                let (n, best) = column_minmax(col, want_min);
+                self.count += n;
+                if !best.is_null() {
+                    let slot = if want_min {
+                        &mut self.min
+                    } else {
+                        &mut self.max
+                    };
+                    let better = slot.is_null()
+                        || if want_min {
+                            best.total_cmp(slot).is_lt()
+                        } else {
+                            best.total_cmp(slot).is_gt()
+                        };
+                    if better {
+                        *slot = best;
+                    }
+                }
                 Ok(())
             }
             _ => {
@@ -225,6 +275,343 @@ pub fn aggregate_column(agg: Aggregator, col: &Column) -> Result<Value> {
     let mut state = AggState::new(agg);
     state.update_column(col)?;
     state.finish(col.data_type())
+}
+
+fn minmax_typed(col: &Column) -> bool {
+    matches!(
+        col,
+        Column::Int64(..)
+            | Column::Float64(..)
+            | Column::Utf8(..)
+            | Column::Timestamp(..)
+            | Column::Date(..)
+            | Column::Dict(_)
+    )
+}
+
+/// Typed min/max over one column: returns `(non-null count, best value)`
+/// with `Value::Null` for an all-null column. Strict comparisons keep the
+/// first occurrence on ties, matching the per-row [`AggState::update`].
+fn column_minmax(col: &Column, want_min: bool) -> (i64, Value) {
+    let vb = col.validity().map(Bitmap::to_bools);
+    let vb = vb.as_deref();
+
+    fn best_by<T>(
+        values: impl Iterator<Item = T>,
+        vb: Option<&[bool]>,
+        better: impl Fn(&T, &T) -> bool,
+    ) -> (i64, Option<T>) {
+        let mut n = 0i64;
+        let mut best: Option<T> = None;
+        for (i, x) in values.enumerate() {
+            if vb.is_none_or(|v| v[i]) {
+                n += 1;
+                if best.as_ref().is_none_or(|b| better(&x, b)) {
+                    best = Some(x);
+                }
+            }
+        }
+        (n, best)
+    }
+
+    fn wrap<T>(r: (i64, Option<T>), f: impl Fn(T) -> Value) -> (i64, Value) {
+        (r.0, r.1.map_or(Value::Null, f))
+    }
+
+    match col {
+        Column::Int64(v, _) => wrap(
+            best_by(v.iter().copied(), vb, |a, b| ord(a < b, want_min, a > b)),
+            Value::Int64,
+        ),
+        Column::Timestamp(v, _) => wrap(
+            best_by(v.iter().copied(), vb, |a, b| ord(a < b, want_min, a > b)),
+            Value::Timestamp,
+        ),
+        Column::Date(v, _) => wrap(
+            best_by(v.iter().copied(), vb, |a, b| ord(a < b, want_min, a > b)),
+            Value::Date,
+        ),
+        Column::Float64(v, _) => wrap(
+            best_by(v.iter().copied(), vb, |a, b| {
+                ord(a.total_cmp(b).is_lt(), want_min, a.total_cmp(b).is_gt())
+            }),
+            Value::Float64,
+        ),
+        Column::Utf8(v, _) => wrap(
+            best_by(v.iter().map(String::as_str), vb, |a, b| {
+                ord(a < b, want_min, a > b)
+            }),
+            |s| Value::Utf8(s.to_string()),
+        ),
+        // Dictionary: mark which entries appear among valid rows, then scan
+        // the (much smaller) dictionary. Entries are unique so strictness
+        // of comparison cannot change the winner.
+        Column::Dict(d) => {
+            let mut used = vec![false; d.dict().len()];
+            let mut n = 0i64;
+            match vb {
+                Some(vb) => {
+                    for (i, &c) in d.codes().iter().enumerate() {
+                        if vb[i] {
+                            used[c as usize] = true;
+                            n += 1;
+                        }
+                    }
+                }
+                None => {
+                    for &c in d.codes() {
+                        used[c as usize] = true;
+                    }
+                    n = d.len() as i64;
+                }
+            }
+            let mut best: Option<&str> = None;
+            for (j, &u) in used.iter().enumerate() {
+                if u {
+                    let s = d.dict()[j].as_str();
+                    if best.is_none_or(|b| ord(s < b, want_min, s > b)) {
+                        best = Some(s);
+                    }
+                }
+            }
+            (n, best.map_or(Value::Null, |s| Value::Utf8(s.to_string())))
+        }
+        Column::Bool(..) => unreachable!("guarded by minmax_typed"),
+    }
+}
+
+#[inline]
+fn ord(lt: bool, want_min: bool, gt: bool) -> bool {
+    if want_min {
+        lt
+    } else {
+        gt
+    }
+}
+
+/// Maps group-key rows to dense group ids, preserving first-appearance
+/// order across every batch it sees. The SQL engines keep one `Grouper` per
+/// GROUP BY (the streaming executor keeps it alive across batches) and feed
+/// the resulting ids to [`update_grouped`], so hot aggregation loops index
+/// a flat `Vec<AggState>` instead of hashing a boxed `RowKey` per row per
+/// aggregate.
+#[derive(Debug, Default)]
+pub struct Grouper {
+    index: HashMap<RowKey, u32>,
+    keys: Vec<Vec<Value>>,
+}
+
+impl Grouper {
+    pub fn new() -> Self {
+        Grouper::default()
+    }
+
+    pub fn num_groups(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Group keys in first-appearance order (one `Vec<Value>` per group).
+    pub fn keys(&self) -> &[Vec<Value>] {
+        &self.keys
+    }
+
+    pub fn into_keys(self) -> Vec<Vec<Value>> {
+        self.keys
+    }
+
+    /// Approximate heap footprint of the interned keys, for executors that
+    /// budget aggregation state.
+    pub fn key_bytes(&self) -> usize {
+        self.keys
+            .iter()
+            .map(|k| k.iter().map(approx_value_bytes).sum::<usize>())
+            .sum()
+    }
+
+    /// Resolve every row of `cols` (the GROUP BY key columns, all the same
+    /// length) to a dense group id, interning unseen keys. `ids` is cleared
+    /// and refilled so pooled scratch can be reused across batches.
+    ///
+    /// A single dictionary-encoded key column groups in code space: one
+    /// intern per distinct code in the batch, and every other row is a
+    /// plain `u32` array lookup — no hashing, no boxing.
+    pub fn group_ids(&mut self, cols: &[Column], ids: &mut Vec<u32>) -> Result<()> {
+        let n = cols.first().map_or(0, Column::len);
+        ids.clear();
+        ids.reserve(n);
+        if let [Column::Dict(d)] = cols {
+            let mut code_group = vec![u32::MAX; d.dict().len()];
+            let mut null_group = u32::MAX;
+            let vb = d.validity().map(Bitmap::to_bools);
+            for (i, &c) in d.codes().iter().enumerate() {
+                let gid = if vb.as_ref().is_none_or(|v| v[i]) {
+                    let slot = &mut code_group[c as usize];
+                    if *slot == u32::MAX {
+                        *slot = self.intern(&[Value::Utf8(d.dict()[c as usize].clone())]);
+                    }
+                    *slot
+                } else {
+                    if null_group == u32::MAX {
+                        null_group = self.intern(&[Value::Null]);
+                    }
+                    null_group
+                };
+                ids.push(gid);
+            }
+            return Ok(());
+        }
+        let mut row: Vec<Value> = Vec::with_capacity(cols.len());
+        for i in 0..n {
+            row.clear();
+            for c in cols {
+                row.push(c.get(i)?);
+            }
+            ids.push(self.intern(&row));
+        }
+        Ok(())
+    }
+
+    fn intern(&mut self, key: &[Value]) -> u32 {
+        let Grouper { index, keys } = self;
+        *index.entry(RowKey::from_values(key)).or_insert_with(|| {
+            let id = keys.len() as u32;
+            keys.push(key.to_vec());
+            id
+        })
+    }
+}
+
+fn approx_value_bytes(v: &Value) -> usize {
+    std::mem::size_of::<Value>()
+        + match v {
+            Value::Utf8(s) => s.len(),
+            _ => 0,
+        }
+}
+
+/// Accumulate one batch into per-group aggregate states. `ids[i]` selects
+/// the state updated by row `i` (all ids must be `< states.len()`); `arg`
+/// is the aggregate's argument column, or `None` for `COUNT(*)`.
+///
+/// Hot combinations — SUM/AVG over numerics, COUNT, and MIN/MAX over
+/// strings (plain or dictionary) — run as typed validity-masked loops; the
+/// rest falls back to the per-row boxed update, which for fixed-width types
+/// never heap-allocates.
+pub fn update_grouped(states: &mut [AggState], ids: &[u32], arg: Option<&Column>) -> Result<()> {
+    let Some(col) = arg else {
+        for &g in ids {
+            states[g as usize].count += 1;
+        }
+        return Ok(());
+    };
+    if col.len() != ids.len() {
+        return Err(ColumnarError::LengthMismatch {
+            expected: ids.len(),
+            actual: col.len(),
+        });
+    }
+    let Some(agg) = states.first().map(|s| s.agg) else {
+        return Ok(());
+    };
+    match (agg, col) {
+        (Aggregator::Sum | Aggregator::Avg, Column::Int64(values, validity)) => {
+            let vb = validity.as_ref().map(Bitmap::to_bools);
+            for (i, &x) in values.iter().enumerate() {
+                if vb.as_ref().is_none_or(|v| v[i]) {
+                    let s = &mut states[ids[i] as usize];
+                    match s.sum_i.checked_add(x) {
+                        Some(v) => s.sum_i = v,
+                        None => s.overflowed = true,
+                    }
+                    s.sum_f += x as f64;
+                    s.count += 1;
+                }
+            }
+            Ok(())
+        }
+        (Aggregator::Sum | Aggregator::Avg, Column::Float64(values, validity)) => {
+            let vb = validity.as_ref().map(Bitmap::to_bools);
+            for (i, &x) in values.iter().enumerate() {
+                if vb.as_ref().is_none_or(|v| v[i]) {
+                    let s = &mut states[ids[i] as usize];
+                    s.sum_f += x;
+                    s.count += 1;
+                }
+            }
+            Ok(())
+        }
+        (Aggregator::Count, _) => {
+            match col.validity() {
+                None => {
+                    for &g in ids {
+                        states[g as usize].count += 1;
+                    }
+                }
+                Some(b) => {
+                    let vb = b.to_bools();
+                    for (i, &g) in ids.iter().enumerate() {
+                        if vb[i] {
+                            states[g as usize].count += 1;
+                        }
+                    }
+                }
+            }
+            Ok(())
+        }
+        (Aggregator::CountStar, _) => {
+            for &g in ids {
+                states[g as usize].count += 1;
+            }
+            Ok(())
+        }
+        (Aggregator::Min | Aggregator::Max, Column::Utf8(values, validity)) => {
+            let vb = validity.as_ref().map(Bitmap::to_bools);
+            minmax_grouped_str(states, ids, vb.as_deref(), agg == Aggregator::Min, |i| {
+                values[i].as_str()
+            });
+            Ok(())
+        }
+        (Aggregator::Min | Aggregator::Max, Column::Dict(d)) => {
+            let vb = d.validity().map(Bitmap::to_bools);
+            minmax_grouped_str(states, ids, vb.as_deref(), agg == Aggregator::Min, |i| {
+                d.value(i)
+            });
+            Ok(())
+        }
+        _ => {
+            for (i, &g) in ids.iter().enumerate() {
+                states[g as usize].update(&col.get(i)?)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Grouped MIN/MAX over strings without cloning: only an actual new
+/// extremum allocates.
+fn minmax_grouped_str<'a>(
+    states: &mut [AggState],
+    ids: &[u32],
+    vb: Option<&[bool]>,
+    want_min: bool,
+    value: impl Fn(usize) -> &'a str,
+) {
+    for (i, &g) in ids.iter().enumerate() {
+        if vb.is_none_or(|v| v[i]) {
+            let s = &mut states[g as usize];
+            s.count += 1;
+            let x = value(i);
+            let slot = if want_min { &mut s.min } else { &mut s.max };
+            let better = match slot {
+                Value::Null => true,
+                Value::Utf8(cur) => ord(x < cur.as_str(), want_min, x > cur.as_str()),
+                _ => false,
+            };
+            if better {
+                *slot = Value::Utf8(x.to_string());
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -369,6 +756,180 @@ mod tests {
     fn sum_non_numeric_errors() {
         let c = Column::from_strs(vec!["a"]);
         assert!(aggregate_column(Aggregator::Sum, &c).is_err());
+    }
+
+    #[test]
+    fn masked_sum_avg_match_per_row() {
+        let vals = vec![Some(3), None, Some(-7), Some(12), None, Some(0)];
+        let c = Column::from_opt_i64(vals.clone());
+        for agg in [Aggregator::Sum, Aggregator::Avg] {
+            let fast = aggregate_column(agg, &c).unwrap();
+            let mut slow = AggState::new(agg);
+            for v in c.iter_values() {
+                slow.update(&v).unwrap();
+            }
+            assert_eq!(fast, slow.finish(DataType::Int64).unwrap());
+        }
+        let f = Column::from_opt_f64(vec![Some(1.5), None, Some(-2.25)]);
+        assert_eq!(
+            aggregate_column(Aggregator::Sum, &f).unwrap(),
+            Value::Float64(-0.75)
+        );
+    }
+
+    #[test]
+    fn typed_minmax_matches_per_row() {
+        let cols = vec![
+            Column::from_opt_i64(vec![Some(5), None, Some(-3), Some(9)]),
+            Column::from_opt_f64(vec![Some(0.0), Some(-0.0), None, Some(2.5)]),
+            Column::from_opt_str(vec![Some("pear"), None, Some("apple"), Some("fig")]),
+        ];
+        for c in &cols {
+            for agg in [Aggregator::Min, Aggregator::Max] {
+                let fast = aggregate_column(agg, c).unwrap();
+                let mut slow = AggState::new(agg);
+                for v in c.iter_values() {
+                    slow.update(&v).unwrap();
+                }
+                assert_eq!(fast, slow.finish(c.data_type()).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn dict_minmax_scans_dictionary() {
+        use crate::column::DictColumn;
+        let values: Vec<String> = ["m", "b", "z", "b", "m"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let validity = Bitmap::from_bools(&[true, true, false, true, true]);
+        let d = Column::Dict(DictColumn::encode(&values, Some(validity)).unwrap());
+        // "z" is in the dictionary but only appears on a null row.
+        assert_eq!(
+            aggregate_column(Aggregator::Max, &d).unwrap(),
+            Value::Utf8("m".into())
+        );
+        assert_eq!(
+            aggregate_column(Aggregator::Min, &d).unwrap(),
+            Value::Utf8("b".into())
+        );
+    }
+
+    #[test]
+    fn grouper_preserves_first_appearance_order() {
+        let mut g = Grouper::new();
+        let key = Column::from_opt_str(vec![Some("b"), Some("a"), None, Some("b"), None]);
+        let mut ids = Vec::new();
+        g.group_ids(std::slice::from_ref(&key), &mut ids).unwrap();
+        assert_eq!(ids, vec![0, 1, 2, 0, 2]);
+        assert_eq!(
+            g.keys(),
+            &[
+                vec![Value::Utf8("b".into())],
+                vec![Value::Utf8("a".into())],
+                vec![Value::Null]
+            ]
+        );
+    }
+
+    #[test]
+    fn grouper_dict_fast_path_matches_general() {
+        use crate::column::DictColumn;
+        let values: Vec<String> = ["x", "y", "x", "z", "y", "x"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let validity = Bitmap::from_bools(&[true, true, true, false, true, true]);
+        let plain = Column::Utf8(values.clone(), Some(validity.clone()));
+        let dict = Column::Dict(DictColumn::encode(&values, Some(validity)).unwrap());
+
+        let mut ga = Grouper::new();
+        let mut ids_a = Vec::new();
+        ga.group_ids(std::slice::from_ref(&plain), &mut ids_a)
+            .unwrap();
+        let mut gb = Grouper::new();
+        let mut ids_b = Vec::new();
+        gb.group_ids(std::slice::from_ref(&dict), &mut ids_b)
+            .unwrap();
+        assert_eq!(ids_a, ids_b);
+        assert_eq!(ga.keys(), gb.keys());
+    }
+
+    #[test]
+    fn grouper_persists_across_batches() {
+        let mut g = Grouper::new();
+        let mut ids = Vec::new();
+        g.group_ids(&[Column::from_strs(vec!["a", "b"])], &mut ids)
+            .unwrap();
+        assert_eq!(ids, vec![0, 1]);
+        g.group_ids(&[Column::from_strs(vec!["b", "c"])], &mut ids)
+            .unwrap();
+        assert_eq!(ids, vec![1, 2]);
+        assert_eq!(g.num_groups(), 3);
+    }
+
+    #[test]
+    fn update_grouped_matches_per_row() {
+        let key = Column::from_strs(vec!["a", "b", "a", "b", "a"]);
+        let arg = Column::from_opt_i64(vec![Some(1), Some(10), None, Some(20), Some(3)]);
+        let mut g = Grouper::new();
+        let mut ids = Vec::new();
+        g.group_ids(std::slice::from_ref(&key), &mut ids).unwrap();
+
+        for agg in [
+            Aggregator::Sum,
+            Aggregator::Avg,
+            Aggregator::Count,
+            Aggregator::Min,
+            Aggregator::Max,
+            Aggregator::CountDistinct,
+        ] {
+            let mut fast = vec![AggState::new(agg); g.num_groups()];
+            update_grouped(&mut fast, &ids, Some(&arg)).unwrap();
+            let mut slow = vec![AggState::new(agg); g.num_groups()];
+            for (i, &gid) in ids.iter().enumerate() {
+                slow[gid as usize].update(&arg.get(i).unwrap()).unwrap();
+            }
+            for (f, s) in fast.iter().zip(&slow) {
+                assert_eq!(
+                    f.finish(DataType::Int64).unwrap(),
+                    s.finish(DataType::Int64).unwrap(),
+                    "agg {agg:?}"
+                );
+            }
+        }
+
+        // COUNT(*): no argument column.
+        let mut star = vec![AggState::new(Aggregator::CountStar); g.num_groups()];
+        update_grouped(&mut star, &ids, None).unwrap();
+        assert_eq!(star[0].finish(DataType::Int64).unwrap(), Value::Int64(3));
+        assert_eq!(star[1].finish(DataType::Int64).unwrap(), Value::Int64(2));
+    }
+
+    #[test]
+    fn update_grouped_str_minmax() {
+        use crate::column::DictColumn;
+        let values: Vec<String> = ["q", "a", "z", "m", "b"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let ids = vec![0u32, 1, 0, 1, 0];
+        for col in [
+            Column::Utf8(values.clone(), None),
+            Column::Dict(DictColumn::encode(&values, None).unwrap()),
+        ] {
+            let mut mins = vec![AggState::new(Aggregator::Min); 2];
+            update_grouped(&mut mins, &ids, Some(&col)).unwrap();
+            assert_eq!(
+                mins[0].finish(DataType::Utf8).unwrap(),
+                Value::Utf8("b".into())
+            );
+            assert_eq!(
+                mins[1].finish(DataType::Utf8).unwrap(),
+                Value::Utf8("a".into())
+            );
+        }
     }
 
     #[test]

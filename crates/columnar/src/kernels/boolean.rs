@@ -8,22 +8,41 @@ use crate::bitmap::Bitmap;
 use crate::column::Column;
 use crate::error::{ColumnarError, Result};
 
-/// Three-valued AND.
+/// Three-valued AND, computed branch-free: per row, with `lt`/`lf` the
+/// "valid and true"/"valid and false" flags, the result is known-false when
+/// either side is a valid false, known-true when both are valid trues, and
+/// null otherwise — all expressible as boolean algebra over flat slices.
 pub fn and_kleene(left: &Column, right: &Column) -> Result<Column> {
-    kleene(left, right, |l, r| match (l, r) {
-        (Some(false), _) | (_, Some(false)) => Some(false),
-        (Some(true), Some(true)) => Some(true),
-        _ => None,
-    })
+    let (lv, rv, lval, rval) = bool_inputs(left, right)?;
+    let n = lv.len();
+    let mut out = vec![false; n];
+    let mut valid = vec![false; n];
+    for i in 0..n {
+        let lt = lval[i] & lv[i];
+        let lf = lval[i] & !lv[i];
+        let rt = rval[i] & rv[i];
+        let rf = rval[i] & !rv[i];
+        out[i] = lt & rt;
+        valid[i] = lf | rf | (lt & rt);
+    }
+    Ok(finish_bool(out, &valid))
 }
 
-/// Three-valued OR.
+/// Three-valued OR (dual of [`and_kleene`]).
 pub fn or_kleene(left: &Column, right: &Column) -> Result<Column> {
-    kleene(left, right, |l, r| match (l, r) {
-        (Some(true), _) | (_, Some(true)) => Some(true),
-        (Some(false), Some(false)) => Some(false),
-        _ => None,
-    })
+    let (lv, rv, lval, rval) = bool_inputs(left, right)?;
+    let n = lv.len();
+    let mut out = vec![false; n];
+    let mut valid = vec![false; n];
+    for i in 0..n {
+        let lt = lval[i] & lv[i];
+        let lf = lval[i] & !lv[i];
+        let rt = rval[i] & rv[i];
+        let rf = rval[i] & !rv[i];
+        out[i] = lt | rt;
+        valid[i] = lt | rt | (lf & rf);
+    }
+    Ok(finish_bool(out, &valid))
 }
 
 /// Three-valued NOT.
@@ -35,11 +54,12 @@ pub fn not(col: &Column) -> Result<Column> {
     ))
 }
 
-fn kleene(
-    left: &Column,
-    right: &Column,
-    op: impl Fn(Option<bool>, Option<bool>) -> Option<bool>,
-) -> Result<Column> {
+/// Both bool value slices plus their validity expanded to flat bool vectors.
+type BoolInputs<'a> = (&'a [bool], &'a [bool], Vec<bool>, Vec<bool>);
+
+/// Extract both bool slices plus their validity expanded to flat bool
+/// vectors (all-true when no nulls), so the combine loops stay branch-free.
+fn bool_inputs<'a>(left: &'a Column, right: &'a Column) -> Result<BoolInputs<'a>> {
     let (lv, lb) = left.as_bool()?;
     let (rv, rb) = right.as_bool()?;
     if lv.len() != rv.len() {
@@ -49,24 +69,16 @@ fn kleene(
         });
     }
     let n = lv.len();
-    let mut out = Vec::with_capacity(n);
-    let mut validity = Bitmap::new_clear(n);
-    let mut has_null = false;
-    for i in 0..n {
-        let l = lb.is_none_or(|b| b.get(i)).then(|| lv[i]);
-        let r = rb.is_none_or(|b| b.get(i)).then(|| rv[i]);
-        match op(l, r) {
-            Some(v) => {
-                out.push(v);
-                validity.set(i);
-            }
-            None => {
-                out.push(false);
-                has_null = true;
-            }
-        }
-    }
-    Ok(Column::Bool(out, has_null.then_some(validity)))
+    let expand = |b: Option<&Bitmap>| match b {
+        Some(b) => b.to_bools(),
+        None => vec![true; n],
+    };
+    Ok((lv, rv, expand(lb), expand(rb)))
+}
+
+fn finish_bool(out: Vec<bool>, valid: &[bool]) -> Column {
+    let has_null = valid.iter().any(|&v| !v);
+    Column::Bool(out, has_null.then(|| Bitmap::from_bools(valid)))
 }
 
 #[cfg(test)]

@@ -2,7 +2,7 @@
 //! any comparison against null yields null.
 
 use crate::bitmap::Bitmap;
-use crate::column::Column;
+use crate::column::{Column, DictColumn};
 use crate::datatype::Value;
 use crate::error::{ColumnarError, Result};
 use std::cmp::Ordering;
@@ -84,7 +84,34 @@ pub fn cmp_columns(op: CmpOp, left: &Column, right: &Column) -> Result<Column> {
         (Column::Date(a, _), Column::Date(b, _)) => {
             typed_cmp(op, a, b, left, right, |x, y| x.cmp(y))
         }
+        (Column::Dict(a), Column::Dict(b)) => {
+            let out = cmp_vec(op, a.len(), |i| a.value(i).cmp(b.value(i)));
+            Ok(Column::Bool(out, combine_validity(left, right, a.len())?))
+        }
+        (Column::Dict(a), Column::Utf8(b, _)) => {
+            let out = cmp_vec(op, a.len(), |i| a.value(i).cmp(b[i].as_str()));
+            Ok(Column::Bool(out, combine_validity(left, right, a.len())?))
+        }
+        (Column::Utf8(a, _), Column::Dict(b)) => {
+            let out = cmp_vec(op, a.len(), |i| a[i].as_str().cmp(b.value(i)));
+            Ok(Column::Bool(out, combine_validity(left, right, a.len())?))
+        }
         _ => generic_cmp(op, left, right),
+    }
+}
+
+/// Run a comparison loop with the operator dispatched once, outside the
+/// loop: each arm is a tight branch-free loop the compiler can
+/// autovectorize, instead of re-matching the operator per element.
+#[inline]
+fn cmp_vec(op: CmpOp, n: usize, ord: impl Fn(usize) -> Ordering) -> Vec<bool> {
+    match op {
+        CmpOp::Eq => (0..n).map(|i| ord(i) == Ordering::Equal).collect(),
+        CmpOp::NotEq => (0..n).map(|i| ord(i) != Ordering::Equal).collect(),
+        CmpOp::Lt => (0..n).map(|i| ord(i) == Ordering::Less).collect(),
+        CmpOp::LtEq => (0..n).map(|i| ord(i) != Ordering::Greater).collect(),
+        CmpOp::Gt => (0..n).map(|i| ord(i) == Ordering::Greater).collect(),
+        CmpOp::GtEq => (0..n).map(|i| ord(i) != Ordering::Less).collect(),
     }
 }
 
@@ -97,10 +124,7 @@ fn typed_cmp<T>(
     cmp: impl Fn(&T, &T) -> Ordering,
 ) -> Result<Column> {
     let n = a.len();
-    let mut out = Vec::with_capacity(n);
-    for i in 0..n {
-        out.push(op.matches(cmp(&a[i], &b[i])));
-    }
+    let out = cmp_vec(op, n, |i| cmp(&a[i], &b[i]));
     let validity = combine_validity(left, right, n)?;
     Ok(Column::Bool(out, validity))
 }
@@ -153,6 +177,9 @@ pub fn cmp_column_scalar(op: CmpOp, col: &Column, scalar: &Value) -> Result<Colu
         (Column::Utf8(v, _), Value::Utf8(s)) => {
             return scalar_cmp_by(op, v, col, |x| x.as_str().cmp(s.as_str()));
         }
+        (Column::Dict(d), Value::Utf8(s)) => {
+            return Ok(cmp_dict_scalar(op, d, s));
+        }
         (Column::Timestamp(v, _), Value::Timestamp(s) | Value::Int64(s)) => {
             return scalar_cmp(op, v, s, col, |x, y| x.cmp(y));
         }
@@ -185,7 +212,7 @@ fn scalar_cmp<T>(
     col: &Column,
     cmp: impl Fn(&T, &T) -> Ordering,
 ) -> Result<Column> {
-    let out: Vec<bool> = values.iter().map(|v| op.matches(cmp(v, scalar))).collect();
+    let out = cmp_vec(op, values.len(), |i| cmp(&values[i], scalar));
     Ok(Column::Bool(out, col.validity().cloned()))
 }
 
@@ -195,21 +222,37 @@ fn scalar_cmp_by<T>(
     col: &Column,
     cmp: impl Fn(&T) -> Ordering,
 ) -> Result<Column> {
-    let out: Vec<bool> = values.iter().map(|v| op.matches(cmp(v))).collect();
+    let out = cmp_vec(op, values.len(), |i| cmp(&values[i]));
     Ok(Column::Bool(out, col.validity().cloned()))
+}
+
+/// Dictionary-aware scalar comparison: evaluate the predicate once per
+/// dictionary entry into a match table, then scan only the `u32` codes.
+/// Equality/IN filters on low-cardinality string columns never touch the
+/// string data per row.
+fn cmp_dict_scalar(op: CmpOp, d: &DictColumn, s: &str) -> Column {
+    let table: Vec<bool> = match op {
+        CmpOp::Eq => d.dict().iter().map(|e| e.as_str() == s).collect(),
+        CmpOp::NotEq => d.dict().iter().map(|e| e.as_str() != s).collect(),
+        CmpOp::Lt => d.dict().iter().map(|e| e.as_str() < s).collect(),
+        CmpOp::LtEq => d.dict().iter().map(|e| e.as_str() <= s).collect(),
+        CmpOp::Gt => d.dict().iter().map(|e| e.as_str() > s).collect(),
+        CmpOp::GtEq => d.dict().iter().map(|e| e.as_str() >= s).collect(),
+    };
+    let out: Vec<bool> = d.codes().iter().map(|&c| table[c as usize]).collect();
+    Column::Bool(out, d.validity().cloned())
 }
 
 /// Convert a Bool column into a selection bitmap: set where value is true
 /// AND valid (SQL WHERE semantics: null predicate rows are dropped).
+/// Packs the bool slice byte-at-a-time and ANDs validity byte-wise.
 pub fn to_selection(mask: &Column) -> Result<Bitmap> {
     let (values, validity) = mask.as_bool()?;
-    let mut bm = Bitmap::new_clear(values.len());
-    for (i, &v) in values.iter().enumerate() {
-        if v && validity.is_none_or(|b| b.get(i)) {
-            bm.set(i);
-        }
-    }
-    Ok(bm)
+    let bm = Bitmap::from_bools(values);
+    Ok(match validity {
+        Some(v) => bm.and(v)?,
+        None => bm,
+    })
 }
 
 #[cfg(test)]
@@ -320,6 +363,45 @@ mod tests {
         assert!(CmpOp::Gt.matches(Ordering::Greater));
         assert!(CmpOp::GtEq.matches(Ordering::Greater));
         assert!(!CmpOp::Gt.matches(Ordering::Equal));
+    }
+
+    #[test]
+    fn dict_scalar_cmp_matches_plain() {
+        let values: Vec<String> = ["a", "b", "c", "b", "a", "c"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let validity = Bitmap::from_bools(&[true, true, false, true, true, true]);
+        let dict = Column::Dict(
+            crate::column::DictColumn::encode(&values, Some(validity.clone())).unwrap(),
+        );
+        let plain = Column::Utf8(values, Some(validity));
+        for op in [
+            CmpOp::Eq,
+            CmpOp::NotEq,
+            CmpOp::Lt,
+            CmpOp::LtEq,
+            CmpOp::Gt,
+            CmpOp::GtEq,
+        ] {
+            let scalar = Value::Utf8("b".into());
+            let d = cmp_column_scalar(op, &dict, &scalar).unwrap();
+            let p = cmp_column_scalar(op, &plain, &scalar).unwrap();
+            assert_eq!(d, p, "op {op:?}");
+        }
+    }
+
+    #[test]
+    fn dict_column_cmp_combinations() {
+        let values: Vec<String> = ["x", "y", "x"].iter().map(|s| s.to_string()).collect();
+        let dict = Column::Dict(crate::column::DictColumn::encode(&values, None).unwrap());
+        let plain = Column::from_strs(vec!["x", "x", "x"]);
+        let dd = cmp_columns(CmpOp::Eq, &dict, &dict).unwrap();
+        assert_eq!(dd.as_bool().unwrap().0, &[true, true, true]);
+        let dp = cmp_columns(CmpOp::Eq, &dict, &plain).unwrap();
+        assert_eq!(dp.as_bool().unwrap().0, &[true, false, true]);
+        let pd = cmp_columns(CmpOp::NotEq, &plain, &dict).unwrap();
+        assert_eq!(pd.as_bool().unwrap().0, &[false, true, false]);
     }
 
     #[test]

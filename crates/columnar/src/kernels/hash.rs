@@ -5,9 +5,11 @@
 //! platform), and fast enough at reasonable scale.
 
 use crate::batch::RecordBatch;
+use crate::bitmap::Bitmap;
 use crate::column::Column;
 use crate::datatype::Value;
 use crate::error::Result;
+use crate::pool::take_u64_scratch;
 
 const FNV_OFFSET: u64 = 0xcbf29ce484222325;
 const FNV_PRIME: u64 = 0x100000001b3;
@@ -39,25 +41,109 @@ pub fn hash_value(state: u64, v: &Value) -> u64 {
 }
 
 /// Hash every row of a column.
+///
+/// Runs typed per-slice loops (no per-row [`Value`] boxing) and draws the
+/// output buffer from the thread-local scratch pool — hand it back with
+/// [`crate::pool::recycle_u64_scratch`] to make the next batch on this
+/// thread allocation-free. Hash values are identical to the scalar
+/// reference (`hash_value` over `get(i)`).
 pub fn hash_column(col: &Column) -> Result<Vec<u64>> {
-    let mut out = Vec::with_capacity(col.len());
-    for i in 0..col.len() {
-        out.push(hash_value(FNV_OFFSET, &col.get(i)?));
-    }
+    let mut out = take_u64_scratch();
+    hash_column_into(col, &mut out)?;
     Ok(out)
 }
 
+/// Hash every row of `col` into `out` (cleared and resized), reusing the
+/// caller's buffer.
+pub fn hash_column_into(col: &Column, out: &mut Vec<u64>) -> Result<()> {
+    out.clear();
+    out.resize(col.len(), FNV_OFFSET);
+    // Dictionary fast path: hash each distinct entry once from the initial
+    // state, then the per-row loop is a table lookup over the u32 codes.
+    if let Column::Dict(d) = col {
+        let table: Vec<u64> = d
+            .dict()
+            .iter()
+            .map(|s| fnv1a(fnv1a(FNV_OFFSET, &[0x04]), s.as_bytes()))
+            .collect();
+        let null_hash = fnv1a(FNV_OFFSET, &[0x00]);
+        let codes = d.codes();
+        match d.validity() {
+            None => {
+                for (h, &c) in out.iter_mut().zip(codes) {
+                    *h = table[c as usize];
+                }
+            }
+            Some(b) => {
+                let vb = b.to_bools();
+                for (i, h) in out.iter_mut().enumerate() {
+                    *h = if vb[i] {
+                        table[codes[i] as usize]
+                    } else {
+                        null_hash
+                    };
+                }
+            }
+        }
+        return Ok(());
+    }
+    hash_column_chain(col, out)
+}
+
 /// Hash rows across several columns of a batch (the group-by / join key).
+/// The state vector comes from the scratch pool; recycle it when done.
 pub fn hash_batch_rows(batch: &RecordBatch, key_columns: &[usize]) -> Result<Vec<u64>> {
     let n = batch.num_rows();
-    let mut hashes = vec![FNV_OFFSET; n];
+    let mut hashes = take_u64_scratch();
+    hashes.resize(n, FNV_OFFSET);
     for &c in key_columns {
-        let col = batch.column(c);
-        for (i, h) in hashes.iter_mut().enumerate() {
-            *h = hash_value(*h, &col.get(i)?);
-        }
+        hash_column_chain(batch.column(c), &mut hashes)?;
     }
     Ok(hashes)
+}
+
+/// Fold one column into per-row hash states with the type dispatched once.
+/// Byte-identical to folding `hash_value(state, &col.get(i))` per row.
+fn hash_column_chain(col: &Column, states: &mut [u64]) -> Result<()> {
+    fn chain(states: &mut [u64], validity: Option<&Bitmap>, f: impl Fn(u64, usize) -> u64) {
+        match validity {
+            None => {
+                for (i, h) in states.iter_mut().enumerate() {
+                    *h = f(*h, i);
+                }
+            }
+            Some(b) => {
+                let vb = b.to_bools();
+                for (i, h) in states.iter_mut().enumerate() {
+                    *h = if vb[i] { f(*h, i) } else { fnv1a(*h, &[0x00]) };
+                }
+            }
+        }
+    }
+    match col {
+        Column::Bool(v, b) => chain(states, b.as_ref(), |h, i| {
+            fnv1a(fnv1a(h, &[0x01]), &[v[i] as u8])
+        }),
+        Column::Int64(v, b) => chain(states, b.as_ref(), |h, i| {
+            fnv1a(fnv1a(h, &[0x02]), &v[i].to_le_bytes())
+        }),
+        Column::Float64(v, b) => chain(states, b.as_ref(), |h, i| {
+            fnv1a(fnv1a(h, &[0x03]), &v[i].to_bits().to_le_bytes())
+        }),
+        Column::Utf8(v, b) => chain(states, b.as_ref(), |h, i| {
+            fnv1a(fnv1a(h, &[0x04]), v[i].as_bytes())
+        }),
+        Column::Timestamp(v, b) => chain(states, b.as_ref(), |h, i| {
+            fnv1a(fnv1a(h, &[0x05]), &v[i].to_le_bytes())
+        }),
+        Column::Date(v, b) => chain(states, b.as_ref(), |h, i| {
+            fnv1a(fnv1a(h, &[0x06]), &v[i].to_le_bytes())
+        }),
+        Column::Dict(d) => chain(states, d.validity(), |h, i| {
+            fnv1a(fnv1a(h, &[0x04]), d.value(i).as_bytes())
+        }),
+    }
+    Ok(())
 }
 
 /// A hashable, equality-comparable key for a row's selected columns.
@@ -191,6 +277,45 @@ mod tests {
         assert_ne!(h[0], h[1]);
         let h_single = hash_batch_rows(&batch, &[0]).unwrap();
         assert_eq!(h_single[0], h_single[1]);
+    }
+
+    #[test]
+    fn typed_hash_matches_reference() {
+        use crate::kernels::reference::{hash_batch_rows_ref, hash_column_ref};
+        let cols = vec![
+            Column::from_opt_i64(vec![Some(1), None, Some(-7), Some(i64::MAX)]),
+            Column::from_opt_bool(vec![Some(true), Some(false), None, Some(true)]),
+            Column::from_opt_f64(vec![Some(1.5), Some(-0.0), None, Some(f64::NAN)]),
+            Column::from_opt_str(vec![Some("a"), None, Some(""), Some("zz")]),
+            Column::from_opt_timestamp(vec![Some(9), None, Some(0), Some(-3)]),
+            Column::from_opt_date(vec![Some(1), Some(2), None, Some(4)]),
+        ];
+        for c in &cols {
+            assert_eq!(hash_column(c).unwrap(), hash_column_ref(c).unwrap());
+        }
+        let batch = RecordBatch::try_new(
+            Schema::new(vec![
+                Field::new("a", DataType::Int64, true),
+                Field::new("b", DataType::Utf8, true),
+            ]),
+            vec![cols[0].clone(), cols[3].clone()],
+        )
+        .unwrap();
+        assert_eq!(
+            hash_batch_rows(&batch, &[0, 1]).unwrap(),
+            hash_batch_rows_ref(&batch, &[0, 1]).unwrap()
+        );
+    }
+
+    #[test]
+    fn dict_hash_matches_plain() {
+        let values: Vec<String> = ["a", "b", "a", ""].iter().map(|s| s.to_string()).collect();
+        let validity = crate::Bitmap::from_bools(&[true, true, false, true]);
+        let dict = Column::Dict(
+            crate::column::DictColumn::encode(&values, Some(validity.clone())).unwrap(),
+        );
+        let plain = Column::Utf8(values, Some(validity));
+        assert_eq!(hash_column(&dict).unwrap(), hash_column(&plain).unwrap());
     }
 
     #[test]

@@ -12,13 +12,14 @@ pub mod cast;
 pub mod cmp;
 pub mod filter;
 pub mod hash;
+pub mod reference;
 pub mod sort;
 
-pub use agg::{AggState, Aggregator};
+pub use agg::{aggregate_column, update_grouped, AggState, Aggregator, Grouper};
 pub use arith::{add, div, modulo, mul, neg, sub};
 pub use boolean::{and_kleene, not, or_kleene};
 pub use cast::cast;
 pub use cmp::{cmp_column_scalar, cmp_columns, to_selection, CmpOp};
 pub use filter::{filter_batch, filter_column, take_batch, take_column};
-pub use hash::{hash_batch_rows, hash_column, row_key};
+pub use hash::{hash_batch_rows, hash_column, hash_column_into, row_key};
 pub use sort::{sort_indices, SortField};

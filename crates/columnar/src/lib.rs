@@ -49,7 +49,7 @@ pub mod stream;
 
 pub use batch::RecordBatch;
 pub use bitmap::Bitmap;
-pub use column::{Column, ColumnBuilder};
+pub use column::{Column, ColumnBuilder, DictColumn};
 pub use datatype::{DataType, Value};
 pub use error::{ColumnarError, Result};
 pub use pool::MemoryTracker;

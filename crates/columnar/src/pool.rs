@@ -6,6 +6,7 @@
 //! index), so an expensive item never serializes the items behind it, and
 //! results come back in item order regardless of completion order.
 
+use std::cell::RefCell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -62,6 +63,65 @@ impl MemoryTracker {
     pub fn peak(&self) -> usize {
         self.peak.load(Ordering::Relaxed)
     }
+}
+
+/// Cap on the number of idle buffers each thread keeps per scratch type,
+/// bounding the memory a long-lived worker thread can pin.
+const SCRATCH_MAX_BUFFERS: usize = 8;
+
+#[derive(Default)]
+struct Scratch {
+    u64s: Vec<Vec<u64>>,
+    usizes: Vec<Vec<usize>>,
+}
+
+thread_local! {
+    static SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::default());
+}
+
+/// Take a reusable `Vec<u64>` scratch buffer (cleared, capacity retained
+/// from previous use). Return it with [`recycle_u64_scratch`] when done so
+/// the next batch on this thread skips the allocation.
+pub fn take_u64_scratch() -> Vec<u64> {
+    SCRATCH
+        .with(|s| s.borrow_mut().u64s.pop())
+        .map(|mut v| {
+            v.clear();
+            v
+        })
+        .unwrap_or_default()
+}
+
+/// Hand a `Vec<u64>` scratch buffer back to the thread-local pool.
+pub fn recycle_u64_scratch(buf: Vec<u64>) {
+    SCRATCH.with(|s| {
+        let mut s = s.borrow_mut();
+        if s.u64s.len() < SCRATCH_MAX_BUFFERS {
+            s.u64s.push(buf);
+        }
+    });
+}
+
+/// Take a reusable `Vec<usize>` scratch buffer (cleared, capacity retained).
+/// Used for selection vectors in the filter/take path.
+pub fn take_usize_scratch() -> Vec<usize> {
+    SCRATCH
+        .with(|s| s.borrow_mut().usizes.pop())
+        .map(|mut v| {
+            v.clear();
+            v
+        })
+        .unwrap_or_default()
+}
+
+/// Hand a `Vec<usize>` scratch buffer back to the thread-local pool.
+pub fn recycle_usize_scratch(buf: Vec<usize>) {
+    SCRATCH.with(|s| {
+        let mut s = s.borrow_mut();
+        if s.usizes.len() < SCRATCH_MAX_BUFFERS {
+            s.usizes.push(buf);
+        }
+    });
 }
 
 /// Apply `f` to every item on at most `threads` worker threads, returning
@@ -175,6 +235,26 @@ mod tests {
         t.release(1_000);
         assert_eq!(t.current(), 0);
         assert_eq!(t.peak(), 150);
+    }
+
+    #[test]
+    fn scratch_buffers_retain_capacity() {
+        let mut buf = take_u64_scratch();
+        buf.reserve(4096);
+        let cap = buf.capacity();
+        recycle_u64_scratch(buf);
+        let again = take_u64_scratch();
+        assert!(again.is_empty());
+        assert!(again.capacity() >= cap, "capacity lost on recycle");
+        recycle_u64_scratch(again);
+
+        let mut sel = take_usize_scratch();
+        sel.extend(0..100);
+        recycle_usize_scratch(sel);
+        let sel2 = take_usize_scratch();
+        assert!(sel2.is_empty());
+        assert!(sel2.capacity() >= 100);
+        recycle_usize_scratch(sel2);
     }
 
     #[test]

@@ -15,8 +15,9 @@
 
 use crate::error::{FormatError, Result};
 use crate::io::{ByteReader, ByteWriter};
-use lakehouse_columnar::{Bitmap, Column, DataType};
+use lakehouse_columnar::{Bitmap, Column, DataType, DictColumn};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 const ENC_PLAIN: u8 = 0;
 const ENC_DICT: u8 = 1;
@@ -82,6 +83,18 @@ pub fn encode_column(col: &Column, w: &mut ByteWriter) {
                 }
             }
         }
+        // Already dictionary-encoded in memory: write the dictionary and
+        // codes straight through, no re-encode pass.
+        Column::Dict(d) => {
+            w.write_u8(ENC_DICT);
+            w.write_u32(d.dict().len() as u32);
+            for s in d.dict().iter() {
+                w.write_str(s);
+            }
+            for &c in d.codes() {
+                w.write_u32(c);
+            }
+        }
     }
 }
 
@@ -143,20 +156,22 @@ pub fn decode_column(dt: DataType, r: &mut ByteReader<'_>) -> Result<Column> {
             Ok(Column::Utf8(values, validity))
         }
         (DataType::Utf8, ENC_DICT) => {
+            // Late materialization: hand the dictionary + codes up as-is.
+            // Filters compare against the dictionary once and scan only the
+            // u32 codes; decode to plain strings happens at the executor
+            // root, only for rows that survive.
             let dict_len = r.read_u32()? as usize;
             let mut dict = Vec::with_capacity(dict_len);
             for _ in 0..dict_len {
                 dict.push(r.read_str()?);
             }
-            let mut values = Vec::with_capacity(n);
+            let mut codes = Vec::with_capacity(n);
             for _ in 0..n {
-                let idx = r.read_u32()? as usize;
-                let s = dict.get(idx).ok_or_else(|| {
-                    FormatError::Corrupt(format!("dict index {idx} out of range {dict_len}"))
-                })?;
-                values.push(s.clone());
+                codes.push(r.read_u32()?);
             }
-            Ok(Column::Utf8(values, validity))
+            let d = DictColumn::try_new(Arc::new(dict), codes, validity)
+                .map_err(|e| FormatError::Corrupt(format!("bad dictionary chunk: {e}")))?;
+            Ok(Column::Dict(d))
         }
         (dt, enc) => Err(FormatError::Corrupt(format!(
             "unsupported encoding {enc} for type {dt}"
@@ -247,6 +262,37 @@ mod tests {
         let rt = round_trip(c.clone());
         assert_eq!(rt, c);
         assert_eq!(rt.get(1).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn low_cardinality_decodes_to_dict_variant() {
+        let values: Vec<&str> = (0..100)
+            .map(|i| if i % 2 == 0 { "a" } else { "b" })
+            .collect();
+        let c = Column::from_strs(values);
+        let rt = round_trip(c.clone());
+        assert!(
+            matches!(rt, Column::Dict(_)),
+            "expected lazy dict column, got {rt:?}"
+        );
+        assert_eq!(rt, c); // logical equality: dict vs plain
+        assert_eq!(rt.materialize(), c); // byte-identical after decode
+    }
+
+    #[test]
+    fn dict_column_writes_straight_through() {
+        let values: Vec<String> = ["hot", "cold", "hot", "hot"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let d = Column::Dict(DictColumn::encode(&values, None).unwrap());
+        let mut w = ByteWriter::new();
+        encode_column(&d, &mut w);
+        let buf = w.into_bytes();
+        assert_eq!(buf[5], ENC_DICT);
+        let rt = decode_column(DataType::Utf8, &mut ByteReader::new(&buf)).unwrap();
+        assert_eq!(rt, d);
+        assert!(matches!(rt, Column::Dict(_)));
     }
 
     #[test]

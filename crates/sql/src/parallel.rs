@@ -17,8 +17,8 @@ use crate::error::{Result, SqlError};
 use crate::logical::AggExpr;
 use crate::physical::eval;
 use lakehouse_columnar::kernels::hash::RowKey;
-use lakehouse_columnar::kernels::{filter_batch, to_selection, AggState};
-use lakehouse_columnar::{Column, ColumnBuilder, DataType, RecordBatch, Schema, Value};
+use lakehouse_columnar::kernels::{filter_batch, to_selection, update_grouped, AggState, Grouper};
+use lakehouse_columnar::{Column, ColumnBuilder, DataType, RecordBatch, Schema};
 use std::collections::HashMap;
 
 /// How many rows each worker processes at a time.
@@ -166,46 +166,36 @@ fn partial_aggregate(
         .iter()
         .map(|(a, _)| a.arg.as_ref().map(|e| eval(e, chunk)).transpose())
         .collect::<Result<Vec<_>>>()?;
-    let mut groups: HashMap<RowKey, Vec<AggState>> = HashMap::new();
-    let mut order = Vec::new();
-    for row in 0..chunk.num_rows() {
-        let key_values: Vec<Value> = group_cols
-            .iter()
-            .map(|c| c.get(row))
-            .collect::<lakehouse_columnar::Result<_>>()?;
-        let key = RowKey::from_values(&key_values);
-        let states = match groups.get_mut(&key) {
-            Some(s) => s,
-            None => {
-                groups.insert(
-                    key.clone(),
-                    agg_exprs
-                        .iter()
-                        .map(|(a, _)| AggState::new(a.agg))
-                        .collect(),
-                );
-                order.push(key.clone());
-                groups.get_mut(&key).expect("just inserted")
-            }
-        };
-        for (slot, arg_col) in states.iter_mut().zip(&arg_cols) {
-            let v = match arg_col {
-                Some(col) => col.get(row)?,
-                None => Value::Int64(1),
-            };
-            slot.update(&v)?;
-        }
+    // Resolve group ids once for the chunk (dictionary keys group in code
+    // space), then one typed accumulation pass per aggregate.
+    let n = chunk.num_rows();
+    let mut grouper = Grouper::new();
+    let mut ids = Vec::new();
+    let num_groups = if group_exprs.is_empty() {
+        // Global aggregation: one group, even over zero rows.
+        ids.resize(n, 0u32);
+        1
+    } else {
+        grouper.group_ids(&group_cols, &mut ids)?;
+        grouper.num_groups()
+    };
+    let mut states_per_agg: Vec<Vec<AggState>> = agg_exprs
+        .iter()
+        .map(|(a, _)| vec![AggState::new(a.agg); num_groups])
+        .collect();
+    for (slots, arg_col) in states_per_agg.iter_mut().zip(&arg_cols) {
+        update_grouped(slots, &ids, arg_col.as_ref())?;
     }
-    if group_exprs.is_empty() && order.is_empty() {
-        // Preserve empty-input global-aggregate semantics per chunk.
-        let key = RowKey::from_values(&[]);
-        groups.insert(
-            key.clone(),
-            agg_exprs
-                .iter()
-                .map(|(a, _)| AggState::new(a.agg))
-                .collect(),
-        );
+
+    let mut groups: HashMap<RowKey, Vec<AggState>> = HashMap::with_capacity(num_groups);
+    let mut order = Vec::with_capacity(num_groups);
+    for g in 0..num_groups {
+        let key = match grouper.keys().get(g) {
+            Some(values) => RowKey::from_values(values),
+            None => RowKey::from_values(&[]),
+        };
+        let states = states_per_agg.iter().map(|s| s[g].clone()).collect();
+        groups.insert(key.clone(), states);
         order.push(key);
     }
     Ok(PartialAgg { groups, order })
@@ -229,7 +219,7 @@ mod tests {
     use crate::logical::{plan_select, LogicalPlan, SchemaProvider};
     use crate::parser::parse_select;
     use lakehouse_columnar::kernels::CmpOp;
-    use lakehouse_columnar::Field;
+    use lakehouse_columnar::{Field, Value};
 
     fn big_batch(n: i64) -> RecordBatch {
         RecordBatch::try_new(

@@ -13,7 +13,7 @@ use crate::functions::{eval_scalar_function, like_match};
 use crate::logical::{infer_type, resolve_column, LogicalPlan};
 use lakehouse_columnar::kernels::{
     self, cmp_column_scalar, cmp_columns, filter_batch, take_batch, to_selection, AggState, CmpOp,
-    SortField,
+    Grouper, SortField,
 };
 use lakehouse_columnar::{
     Bitmap, Column, ColumnBuilder, DataType, Field, RecordBatch, Schema, Value,
@@ -56,7 +56,10 @@ pub fn execute_with_options(
     provider: &dyn TableProvider,
     options: &ExecOptions,
 ) -> Result<RecordBatch> {
-    execute_node(plan, provider, options, "0")
+    // Late materialization: dictionary-encoded columns flow through the
+    // operators as codes; only the rows that survive to the final result
+    // are decoded to plain strings.
+    Ok(execute_node(plan, provider, options, "0")?.decode_dicts())
 }
 
 /// Recursive execution step. `path` identifies the node's position in the
@@ -271,69 +274,49 @@ fn execute_aggregate(
         .map(|(a, _)| a.arg.as_ref().map(|e| eval(e, batch)).transpose())
         .collect::<Result<Vec<_>>>()?;
 
-    // Group rows.
-    let mut groups: Vec<(Vec<Value>, Vec<AggState>)> = Vec::new();
-    let mut index: HashMap<kernels::hash::RowKey, usize> = HashMap::new();
+    // Resolve rows to dense group ids once (dictionary keys group in code
+    // space), then run each aggregate as one typed pass over the batch.
     let n = batch.num_rows();
+    let mut grouper = Grouper::new();
+    let mut ids = Vec::new();
     if group_exprs.is_empty() {
         // Global aggregation: one group even over zero rows.
-        groups.push((
-            vec![],
-            agg_exprs
-                .iter()
-                .map(|(a, _)| AggState::new(a.agg))
-                .collect(),
-        ));
+        ids.resize(n, 0u32);
+    } else {
+        grouper.group_ids(&group_cols, &mut ids)?;
     }
-    for row in 0..n {
-        let key_values: Vec<Value> = group_cols
-            .iter()
-            .map(|c| c.get(row))
-            .collect::<lakehouse_columnar::Result<_>>()?;
-        let key = kernels::hash::RowKey::from_values(&key_values);
-        let group_idx = if group_exprs.is_empty() {
-            0
-        } else {
-            match index.get(&key) {
-                Some(&i) => i,
-                None => {
-                    index.insert(key, groups.len());
-                    groups.push((
-                        key_values,
-                        agg_exprs
-                            .iter()
-                            .map(|(a, _)| AggState::new(a.agg))
-                            .collect(),
-                    ));
-                    groups.len() - 1
-                }
-            }
-        };
-        for (slot, arg_col) in groups[group_idx].1.iter_mut().zip(&arg_cols) {
-            let v = match arg_col {
-                Some(col) => col.get(row)?,
-                None => Value::Int64(1), // COUNT(*) counts the row
-            };
-            slot.update(&v)?;
-        }
+    let num_groups = if group_exprs.is_empty() {
+        1
+    } else {
+        grouper.num_groups()
+    };
+    let mut states: Vec<Vec<AggState>> = agg_exprs
+        .iter()
+        .map(|(a, _)| vec![AggState::new(a.agg); num_groups])
+        .collect();
+    for (slots, arg_col) in states.iter_mut().zip(&arg_cols) {
+        kernels::update_grouped(slots, &ids, arg_col.as_ref())?;
     }
 
     // Assemble output.
     let mut builders: Vec<ColumnBuilder> = out_schema
         .fields()
         .iter()
-        .map(|f| ColumnBuilder::with_capacity(f.data_type(), groups.len()))
+        .map(|f| ColumnBuilder::with_capacity(f.data_type(), num_groups))
         .collect();
-    for (key_values, states) in &groups {
-        for (i, v) in key_values.iter().enumerate() {
-            builders[i].push_value(v)?;
+    let keys = grouper.keys();
+    for g in 0..num_groups {
+        if let Some(key_values) = keys.get(g) {
+            for (i, v) in key_values.iter().enumerate() {
+                builders[i].push_value(v)?;
+            }
         }
-        for (j, state) in states.iter().enumerate() {
+        for (j, slots) in states.iter().enumerate() {
             let input_type = match &arg_cols[j] {
                 Some(col) => col.data_type(),
                 None => DataType::Int64,
             };
-            let v = state.finish(input_type)?;
+            let v = slots[g].finish(input_type)?;
             builders[group_exprs.len() + j].push_value(&v)?;
         }
     }
@@ -565,6 +548,17 @@ pub fn eval(expr: &Expr, batch: &RecordBatch) -> Result<Column> {
             negated,
         } => {
             let col = eval(expr, batch)?;
+            // Dictionary column: run the pattern over each distinct value
+            // once, then the per-row work is a u32 table lookup.
+            if let Some(d) = col.as_dict() {
+                let table: Vec<bool> = d
+                    .dict()
+                    .iter()
+                    .map(|s| like_match(s, pattern) != *negated)
+                    .collect();
+                let out: Vec<bool> = d.codes().iter().map(|&c| table[c as usize]).collect();
+                return Ok(Column::Bool(out, d.validity().cloned()));
+            }
             let (values, validity) = col.as_utf8()?;
             let out: Vec<bool> = values
                 .iter()

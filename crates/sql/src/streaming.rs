@@ -151,11 +151,14 @@ pub fn execute_streaming(
                 batches.push(batch);
             }
         }
+        // Late materialization: dictionary-encoded columns survive the whole
+        // pipeline as codes; decode to plain strings only here, at the root.
         match batches.len() {
             0 => RecordBatch::new_empty(root.schema().clone()),
             1 => batches.pop().expect("one surviving batch"),
             _ => RecordBatch::concat(&batches)?,
         }
+        .decode_dicts()
         // Dropping `root` here releases every operator's gauge.
     };
     let report = ExecReport {
@@ -693,14 +696,20 @@ impl BatchStream for AggNode {
             return Ok(None);
         }
         self.done = true;
-        let mut groups: Vec<(Vec<Value>, Vec<AggState>)> = Vec::new();
-        let mut index: HashMap<RowKey, usize> = HashMap::new();
+        // One `Grouper` lives across all input batches: group ids stay
+        // stable (insertion order) while each batch is accumulated by the
+        // typed grouped kernels instead of per-row boxed updates.
+        let mut grouper = kernels::Grouper::new();
+        let global = self.group_exprs.is_empty();
+        let mut states_per_agg: Vec<Vec<AggState>> = if global {
+            // Global aggregation: one group even over zero rows.
+            self.new_states().into_iter().map(|s| vec![s]).collect()
+        } else {
+            self.agg_exprs.iter().map(|_| Vec::new()).collect()
+        };
+        let mut ids: Vec<u32> = Vec::new();
         let mut state_bytes = 0usize;
         let mut arg_types: Option<Vec<DataType>> = None;
-        if self.group_exprs.is_empty() {
-            // Global aggregation: one group even over zero rows.
-            groups.push((vec![], self.new_states()));
-        }
         let mut input = self.input.take().expect("aggregate input not yet consumed");
         while let Some(batch) = input.next_batch()? {
             let group_cols = self
@@ -723,33 +732,24 @@ impl BatchStream for AggNode {
                         .collect(),
                 );
             }
-            for row in 0..batch.num_rows() {
-                let key_values: Vec<Value> = group_cols
-                    .iter()
-                    .map(|c| c.get(row))
-                    .collect::<CResult<_>>()?;
-                let key = RowKey::from_values(&key_values);
-                let group_idx = if self.group_exprs.is_empty() {
-                    0
-                } else {
-                    match index.get(&key) {
-                        Some(&i) => i,
-                        None => {
-                            state_bytes += key_values.iter().map(value_bytes).sum::<usize>()
-                                + self.agg_exprs.len() * std::mem::size_of::<AggState>();
-                            index.insert(key, groups.len());
-                            groups.push((key_values, self.new_states()));
-                            groups.len() - 1
-                        }
-                    }
-                };
-                for (slot, arg_col) in groups[group_idx].1.iter_mut().zip(&arg_cols) {
-                    let v = match arg_col {
-                        Some(col) => col.get(row)?,
-                        None => Value::Int64(1), // COUNT(*) counts the row
-                    };
-                    slot.update(&v)?;
+            if global {
+                ids.clear();
+                ids.resize(batch.num_rows(), 0);
+            } else {
+                let known = grouper.num_groups();
+                grouper.group_ids(&group_cols, &mut ids)?;
+                // Charge newly interned groups: key bytes + one state per
+                // aggregate.
+                for key in &grouper.keys()[known..] {
+                    state_bytes += key.iter().map(value_bytes).sum::<usize>()
+                        + self.agg_exprs.len() * std::mem::size_of::<AggState>();
                 }
+                for ((a, _), slots) in self.agg_exprs.iter().zip(&mut states_per_agg) {
+                    slots.resize(grouper.num_groups(), AggState::new(a.agg));
+                }
+            }
+            for (slots, arg_col) in states_per_agg.iter_mut().zip(&arg_cols) {
+                kernels::update_grouped(slots, &ids, arg_col.as_ref())?;
             }
             self.gauge.hold(state_bytes);
         }
@@ -773,18 +773,22 @@ impl BatchStream for AggNode {
                     .map_err(ext)?
             }
         };
+        let num_groups = if global { 1 } else { grouper.num_groups() };
         let mut builders: Vec<ColumnBuilder> = self
             .out_schema
             .fields()
             .iter()
-            .map(|f| ColumnBuilder::with_capacity(f.data_type(), groups.len()))
+            .map(|f| ColumnBuilder::with_capacity(f.data_type(), num_groups))
             .collect();
-        for (key_values, states) in &groups {
-            for (i, v) in key_values.iter().enumerate() {
-                builders[i].push_value(v)?;
+        let keys = grouper.keys();
+        for g in 0..num_groups {
+            if let Some(key_values) = keys.get(g) {
+                for (i, v) in key_values.iter().enumerate() {
+                    builders[i].push_value(v)?;
+                }
             }
-            for (j, state) in states.iter().enumerate() {
-                let v = state.finish(arg_types[j])?;
+            for (j, slots) in states_per_agg.iter().enumerate() {
+                let v = slots[g].finish(arg_types[j])?;
                 builders[self.group_exprs.len() + j].push_value(&v)?;
             }
         }
