@@ -1,0 +1,324 @@
+//! Completion-based I/O dispatcher: real overlapped wall clock vs the
+//! simulated ideal, and hedged-read tail latency under stall chaos.
+//!
+//! Part A reuses the `scan_parallel` fixture (24 identity-partitioned files,
+//! deterministic s3-like latency, sigma = 0) but runs the store in
+//! `SleepMode::Scaled` so every simulated delay really sleeps, scaled down.
+//! The scan then goes through the dispatcher with speculative read-ahead at
+//! increasing depths and we measure *actual* wall clock: at depth 8 it must
+//! land within 25% of what the simulated-overlap model (BENCH_scan.json's
+//! parallelism-8 number) predicts for the same scale.
+//!
+//! Part B times single gets through a 5%-stall chaos layer, first raw and
+//! then through the dispatcher with p95 hedging: the hedged p99 must be at
+//! most half the unhedged p99.
+//!
+//! Regenerate: `cargo run -p lakehouse-bench --bin io_overlap --release`
+//! (writes `BENCH_io.json` in the working directory).
+
+// Examples and benches print their results.
+#![allow(clippy::print_stdout)]
+
+use bytes::Bytes;
+use lakehouse_bench::print_rows;
+use lakehouse_columnar::kernels::CmpOp;
+use lakehouse_columnar::{Column, DataType, Field, RecordBatch, Schema, Value};
+use lakehouse_store::{
+    ChaosConfig, ChaosStore, HedgePolicy, InMemoryStore, IoConfig, IoDispatcher, LatencyModel,
+    ObjectPath, ObjectStore, SimulatedStore, SleepMode,
+};
+use lakehouse_table::{PartitionSpec, ScanPredicate, SnapshotOperation, Table};
+use std::sync::Arc;
+use std::time::Instant;
+
+const FILES: usize = 24;
+const ROWS_PER_FILE: usize = 4_000;
+/// Simulated seconds per real second in part A (keeps the bench fast while
+/// every latency still really sleeps).
+const SCALE: f64 = 0.2;
+/// The acceptance window: measured overlapped wall clock vs the simulated
+/// ideal at depth 8.
+const OVERLAP_TOLERANCE: f64 = 1.25;
+
+/// Part B: stall probability and get count for the hedging measurement.
+const STALL_P: f64 = 0.05;
+const HEDGE_SCALE: f64 = 0.05;
+const HEDGE_WARMUP: usize = 50;
+const HEDGE_GETS: usize = 400;
+
+/// Ingest the `scan_parallel` fixture through the plain backend (no sleeps),
+/// then hand back a really-sleeping simulated view of the same objects.
+fn scaled_fixture() -> (Arc<dyn ObjectStore>, String) {
+    let base = Arc::new(InMemoryStore::new());
+    let plain: Arc<dyn ObjectStore> = base.clone();
+    let schema = Schema::new(vec![
+        Field::new("zone", DataType::Utf8, false),
+        Field::new("fare", DataType::Float64, false),
+    ]);
+    let zones: Vec<String> = (0..FILES)
+        .flat_map(|f| std::iter::repeat_n(format!("zone_{f:02}"), ROWS_PER_FILE))
+        .collect();
+    let fares: Vec<f64> = (0..FILES * ROWS_PER_FILE)
+        .map(|i| (i % 97) as f64 + 0.5)
+        .collect();
+    let batch = RecordBatch::try_new(
+        schema.clone(),
+        vec![
+            Column::from_strs(zones.iter().map(String::as_str).collect()),
+            Column::from_f64(fares),
+        ],
+    )
+    .expect("fixture batch");
+    let table = Table::create(
+        Arc::clone(&plain),
+        "wh/io_bench",
+        &schema,
+        PartitionSpec::identity("zone"),
+    )
+    .expect("create table");
+    let mut tx = table.new_transaction(SnapshotOperation::Append);
+    tx.write(&batch).expect("write");
+    let (location, _) = tx.commit().expect("commit");
+
+    let sim: Arc<dyn ObjectStore> = Arc::new(
+        SimulatedStore::with_seed(
+            plain,
+            LatencyModel {
+                sigma: 0.0,
+                ..LatencyModel::s3_like()
+            },
+            42,
+        )
+        .with_sleep_mode(SleepMode::Scaled(SCALE)),
+    );
+    (sim, location)
+}
+
+struct ScanRun {
+    measured_wall_ms: f64,
+    sim_wall_ms: f64,
+    batch: RecordBatch,
+}
+
+fn timed_scan(store: &Arc<dyn ObjectStore>, location: &str, io: Option<(usize, usize)>) -> ScanRun {
+    let table = Table::load(Arc::clone(store), location).expect("load table");
+    let mut scan = table
+        .scan()
+        .with_predicate(ScanPredicate::new("fare", CmpOp::Lt, Value::Float64(90.0)))
+        .select(&["zone", "fare"]);
+    match io {
+        Some((depth, read_ahead)) => {
+            let io = Arc::new(IoDispatcher::new(Arc::clone(store), IoConfig::new(depth)));
+            scan = scan.with_io_dispatcher(io).with_read_ahead(read_ahead);
+        }
+        None => scan = scan.with_parallelism(8),
+    }
+    let started = Instant::now();
+    let (batch, report) = scan.execute_with_report().expect("scan");
+    ScanRun {
+        measured_wall_ms: started.elapsed().as_secs_f64() * 1e3,
+        sim_wall_ms: report.wall_clock_simulated.as_secs_f64() * 1e3,
+        batch,
+    }
+}
+
+fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
+    let idx = ((sorted_ms.len() as f64 - 1.0) * q).round() as usize;
+    sorted_ms[idx]
+}
+
+struct TailStats {
+    p50: f64,
+    p95: f64,
+    p99: f64,
+}
+
+fn tail(mut samples: Vec<f64>) -> TailStats {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    TailStats {
+        p50: percentile(&samples, 0.50),
+        p95: percentile(&samples, 0.95),
+        p99: percentile(&samples, 0.99),
+    }
+}
+
+fn main() {
+    // ---- part A: real overlap through the dispatcher -----------------------
+    println!("=== io dispatcher overlap, SleepMode::Scaled({SCALE}) ({FILES} files) ===");
+    let (store, location) = scaled_fixture();
+
+    // The simulated-overlap prediction: the plain parallelism-8 scan (the
+    // BENCH_scan.json configuration) on its simulated clock, scaled.
+    let plain = timed_scan(&store, &location, None);
+    let ideal_ms = plain.sim_wall_ms * SCALE;
+
+    let mut rows = Vec::new();
+    let mut depth_results = Vec::new();
+    let mut measured_d8 = f64::INFINITY;
+    for depth in [1usize, 2, 4, 8] {
+        let run = timed_scan(&store, &location, Some((depth, depth)));
+        assert_eq!(
+            run.batch, plain.batch,
+            "depth {depth}: read-ahead changed the scan result"
+        );
+        if depth == 8 {
+            measured_d8 = run.measured_wall_ms;
+        }
+        rows.push(vec![
+            format!("{depth}"),
+            format!("{:.1}", run.measured_wall_ms),
+            format!("{:.1}", run.sim_wall_ms * SCALE),
+            format!("{:.1}", plain.sim_wall_ms),
+        ]);
+        depth_results.push(format!(
+            "    {{\"depth\": {depth}, \"measured_wall_ms\": {:.3}, \"sim_wall_ms\": {:.3}}}",
+            run.measured_wall_ms, run.sim_wall_ms
+        ));
+    }
+    print_rows(
+        "measured wall clock vs the scaled simulated ideal",
+        &["depth", "measured ms", "own sim ideal ms", "p8 sim ms"],
+        &rows,
+    );
+    println!(
+        "depth 8: measured {measured_d8:.1} ms vs simulated-overlap ideal {ideal_ms:.1} ms \
+         (gate: <= {OVERLAP_TOLERANCE}x)"
+    );
+    let overlap_ok = measured_d8 <= OVERLAP_TOLERANCE * ideal_ms;
+
+    // ---- part B: hedged tail latency under stall chaos ---------------------
+    println!(
+        "\n=== hedged reads under {:.0}% stall chaos ===",
+        STALL_P * 100.0
+    );
+    let backend = Arc::new(InMemoryStore::new());
+    let payload_path = ObjectPath::new("bench/hot_object").expect("path");
+    backend
+        .put(&payload_path, Bytes::from(vec![7u8; 1024]))
+        .expect("seed object");
+    let sim = SimulatedStore::with_seed(
+        backend as Arc<dyn ObjectStore>,
+        LatencyModel {
+            sigma: 0.0,
+            ..LatencyModel::s3_like()
+        },
+        42,
+    )
+    .with_sleep_mode(SleepMode::Scaled(HEDGE_SCALE));
+    let chaos: Arc<dyn ObjectStore> = Arc::new(ChaosStore::new(
+        sim,
+        ChaosConfig::new(0x10ED6E).with_stall_p(STALL_P),
+    ));
+
+    // Unhedged baseline: direct gets, the caller eats every stall.
+    let mut unhedged = Vec::with_capacity(HEDGE_GETS);
+    for i in 0..HEDGE_WARMUP + HEDGE_GETS {
+        let started = Instant::now();
+        chaos.get(&payload_path).expect("unhedged get");
+        if i >= HEDGE_WARMUP {
+            unhedged.push(started.elapsed().as_secs_f64() * 1e3);
+        }
+    }
+    let unhedged = tail(unhedged);
+
+    // Hedged: the same gets through the dispatcher; past the live p95 a
+    // second request races the stalled one and the first completion wins.
+    let io = IoDispatcher::new(
+        Arc::clone(&chaos),
+        IoConfig::new(4).with_hedge(HedgePolicy::default()),
+    );
+    let mut hedged = Vec::with_capacity(HEDGE_GETS);
+    for i in 0..HEDGE_WARMUP + HEDGE_GETS {
+        let started = Instant::now();
+        let ticket = io.submit_get(&payload_path, None);
+        io.wait(ticket).result.expect("hedged get");
+        if i >= HEDGE_WARMUP {
+            hedged.push(started.elapsed().as_secs_f64() * 1e3);
+        }
+    }
+    let hedged = tail(hedged);
+    let stats = io.stats();
+
+    print_rows(
+        "per-get wall-clock latency, ms",
+        &["mode", "p50", "p95", "p99"],
+        &[
+            vec![
+                "unhedged".into(),
+                format!("{:.2}", unhedged.p50),
+                format!("{:.2}", unhedged.p95),
+                format!("{:.2}", unhedged.p99),
+            ],
+            vec![
+                "hedged".into(),
+                format!("{:.2}", hedged.p50),
+                format!("{:.2}", hedged.p95),
+                format!("{:.2}", hedged.p99),
+            ],
+        ],
+    );
+    println!(
+        "hedges fired: {}, won: {}, cancelled: {} (gate: hedged p99 <= 0.5x unhedged p99)",
+        stats.hedges_fired, stats.hedges_won, stats.cancelled
+    );
+    let hedge_ok = hedged.p99 <= 0.5 * unhedged.p99;
+
+    // ---- report + regression gates -----------------------------------------
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"io_overlap\",\n",
+            "  \"overlap\": {{\n",
+            "    \"files\": {files}, \"rows_per_file\": {rpf}, \"sleep_scale\": {scale},\n",
+            "    \"plain_p8_sim_wall_ms\": {p8:.3},\n",
+            "    \"ideal_wall_ms\": {ideal:.3},\n",
+            "    \"measured_depth8_wall_ms\": {d8:.3},\n",
+            "    \"tolerance\": {tol},\n",
+            "    \"results\": [\n{depths}\n    ]\n",
+            "  }},\n",
+            "  \"hedging\": {{\n",
+            "    \"stall_p\": {stall_p}, \"sleep_scale\": {hscale}, \"gets\": {gets},\n",
+            "    \"unhedged_ms\": {{\"p50\": {up50:.3}, \"p95\": {up95:.3}, \"p99\": {up99:.3}}},\n",
+            "    \"hedged_ms\": {{\"p50\": {hp50:.3}, \"p95\": {hp95:.3}, \"p99\": {hp99:.3}}},\n",
+            "    \"hedges_fired\": {fired}, \"hedges_won\": {won}\n",
+            "  }},\n",
+            "  \"gates\": {{\"overlap_within_tolerance\": {ok1}, \"hedged_p99_halved\": {ok2}}}\n",
+            "}}\n"
+        ),
+        files = FILES,
+        rpf = ROWS_PER_FILE,
+        scale = SCALE,
+        p8 = plain.sim_wall_ms,
+        ideal = ideal_ms,
+        d8 = measured_d8,
+        tol = OVERLAP_TOLERANCE,
+        depths = depth_results.join(",\n"),
+        stall_p = STALL_P,
+        hscale = HEDGE_SCALE,
+        gets = HEDGE_GETS,
+        up50 = unhedged.p50,
+        up95 = unhedged.p95,
+        up99 = unhedged.p99,
+        hp50 = hedged.p50,
+        hp95 = hedged.p95,
+        hp99 = hedged.p99,
+        fired = stats.hedges_fired,
+        won = stats.hedges_won,
+        ok1 = overlap_ok,
+        ok2 = hedge_ok,
+    );
+    std::fs::write("BENCH_io.json", &json).expect("write BENCH_io.json");
+    println!("\nwrote BENCH_io.json");
+
+    // Regression gates — fail the CI smoke run loudly, like kernel_bench.
+    assert!(
+        overlap_ok,
+        "overlap regression: measured depth-8 wall {measured_d8:.1} ms exceeds \
+         {OVERLAP_TOLERANCE}x the simulated ideal {ideal_ms:.1} ms"
+    );
+    assert!(
+        hedge_ok,
+        "hedging regression: hedged p99 {:.2} ms exceeds half the unhedged p99 {:.2} ms",
+        hedged.p99, unhedged.p99
+    );
+}

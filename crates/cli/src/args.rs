@@ -45,6 +45,17 @@ GLOBAL OPTIONS:
                             the chaos layer even at --chaos-fault-p 0)
   --chaos-fault-p <p>       probability in [0,1) of injecting a transient
                             fault per store operation (default: 0)
+  --io-depth <n>            worker threads of the completion-based I/O
+                            dispatcher (default: 0 = dispatcher off, scans
+                            use the synchronous fetch path)
+  --read-ahead <n>          speculative read-ahead window per scan: up to
+                            this many upcoming data files in flight while
+                            earlier ones decode (default: 0 = off; needs
+                            --io-depth; results are identical either way)
+  --hedge-p95               hedge tail-slow dispatcher reads at the live
+                            p95 store latency (first completion wins;
+                            win-rate circuit breaker backs hedging off
+                            when the store is globally slow)
 
 `query -q \"EXPLAIN ANALYZE <SQL>\"` executes the query and prints the plan
 annotated with per-operator rows, batches, bytes, and both clocks. `profile`
@@ -81,6 +92,12 @@ pub struct Cli {
     pub chaos_seed: Option<u64>,
     /// Per-operation transient-fault probability for the chaos layer.
     pub chaos_fault_p: f64,
+    /// Worker threads of the completion-based I/O dispatcher (0 = off).
+    pub io_depth: usize,
+    /// Speculative read-ahead window per scan (0 = off; needs `io_depth`).
+    pub read_ahead: usize,
+    /// Hedge tail-slow dispatcher reads at the live p95 store latency.
+    pub hedge_p95: bool,
     pub command: Command,
 }
 
@@ -158,6 +175,9 @@ impl Cli {
         let mut retry_budget_ms = 30_000u64;
         let mut chaos_seed = None;
         let mut chaos_fault_p = 0.0f64;
+        let mut io_depth = 0usize;
+        let mut read_ahead = 0usize;
+        let mut hedge_p95 = false;
         let mut rest: Vec<String> = Vec::new();
         let mut i = 0;
         while i < argv.len() {
@@ -209,6 +229,18 @@ impl Cli {
                 if !(0.0..1.0).contains(&chaos_fault_p) {
                     return Err(format!("--chaos-fault-p must be in [0, 1), got {v}"));
                 }
+            } else if argv[i] == "--io-depth" {
+                let v = take_value(argv, &mut i, "--io-depth")?;
+                io_depth = v
+                    .parse::<usize>()
+                    .map_err(|_| format!("--io-depth expects a number, got {v}"))?;
+            } else if argv[i] == "--read-ahead" {
+                let v = take_value(argv, &mut i, "--read-ahead")?;
+                read_ahead = v
+                    .parse::<usize>()
+                    .map_err(|_| format!("--read-ahead expects a number, got {v}"))?;
+            } else if argv[i] == "--hedge-p95" {
+                hedge_p95 = true;
             } else if argv[i] == "--batch-rows" {
                 let v = take_value(argv, &mut i, "--batch-rows")?;
                 batch_rows = v
@@ -268,6 +300,9 @@ impl Cli {
             retry_budget_ms,
             chaos_seed,
             chaos_fault_p,
+            io_depth,
+            read_ahead,
+            hedge_p95,
             command,
         })
     }
@@ -667,6 +702,32 @@ mod tests {
         // Out-of-range probability and garbage rejected.
         assert!(Cli::parse(&s(&["refs", "--chaos-fault-p", "1.5"])).is_err());
         assert!(Cli::parse(&s(&["refs", "--retry-max", "some"])).is_err());
+    }
+
+    #[test]
+    fn parse_io_flags() {
+        let cli = Cli::parse(&s(&[
+            "query",
+            "-q",
+            "SELECT 1",
+            "--io-depth",
+            "8",
+            "--read-ahead",
+            "4",
+            "--hedge-p95",
+        ]))
+        .unwrap();
+        assert_eq!(cli.io_depth, 8);
+        assert_eq!(cli.read_ahead, 4);
+        assert!(cli.hedge_p95);
+        // Defaults: dispatcher, read-ahead, and hedging entirely off.
+        let cli = Cli::parse(&s(&["refs"])).unwrap();
+        assert_eq!(cli.io_depth, 0);
+        assert_eq!(cli.read_ahead, 0);
+        assert!(!cli.hedge_p95);
+        // Garbage rejected.
+        assert!(Cli::parse(&s(&["refs", "--io-depth", "deep"])).is_err());
+        assert!(Cli::parse(&s(&["refs", "--read-ahead", "far"])).is_err());
     }
 
     #[test]

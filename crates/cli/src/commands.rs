@@ -55,6 +55,9 @@ pub fn dispatch(cli: Cli) -> Result<(), DynError> {
         retry_max: cli.retry_max,
         retry_budget_ms: cli.retry_budget_ms,
         chaos,
+        io_depth: cli.io_depth,
+        read_ahead: cli.read_ahead,
+        hedge_p95: cli.hedge_p95,
         ..LakehouseConfig::default()
     };
     let trace_out = cli.trace_out.clone();

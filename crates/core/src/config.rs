@@ -69,6 +69,20 @@ pub struct LakehouseConfig {
     /// first data file that exhausts its retries; `true` drops the file,
     /// counts it in `ScanReport::files_failed`, and returns the rest.
     pub scan_partial_failures: bool,
+    /// Worker threads of the completion-based I/O dispatcher
+    /// (`--io-depth`). 0 (the default) builds no dispatcher: scans use the
+    /// seed's synchronous fetch path, byte for byte.
+    pub io_depth: usize,
+    /// Speculative sequential read-ahead window for scans (`--read-ahead`):
+    /// up to this many upcoming data files are submitted to the dispatcher
+    /// while earlier ones decode. 0 (the default) disables read-ahead;
+    /// requires `io_depth > 0` to take effect. Results are byte-identical
+    /// either way.
+    pub read_ahead: usize,
+    /// Hedge tail-slow dispatcher reads at the live p95 of the store's
+    /// latency distribution (`--hedge-p95`), with a win-rate circuit
+    /// breaker. Off by default.
+    pub hedge_p95: bool,
 }
 
 impl Default for LakehouseConfig {
@@ -92,6 +106,9 @@ impl Default for LakehouseConfig {
             retry_budget_ms: 30_000,
             chaos: None,
             scan_partial_failures: false,
+            io_depth: 0,
+            read_ahead: 0,
+            hedge_p95: false,
         }
     }
 }

@@ -12,8 +12,8 @@ use lakehouse_planner::RunRegistry;
 use lakehouse_runtime::{Runtime, SimClock};
 use lakehouse_sql::SqlEngine;
 use lakehouse_store::{
-    CachedStore, ChaosStore, InMemoryStore, ObjectStore, RetryPolicy, RetryStore, SimulatedStore,
-    StoreMetrics,
+    CachedStore, ChaosStore, HedgePolicy, InMemoryStore, IoConfig, IoDispatcher, ObjectStore,
+    RetryPolicy, RetryStore, SimulatedStore, StoreMetrics,
 };
 use lakehouse_table::{PartitionSpec, SnapshotOperation, Table};
 use parking_lot::{Mutex, RwLock};
@@ -27,6 +27,10 @@ pub struct Lakehouse {
     store: Arc<SimulatedStore<Box<dyn ObjectStore>>>,
     /// The same store as a trait object for the substrates.
     pub(crate) store_dyn: Arc<dyn ObjectStore>,
+    /// Completion-based I/O dispatcher over the full store stack
+    /// (`io_depth > 0`); scans use it for speculative read-ahead and
+    /// hedged reads.
+    pub(crate) io: Option<Arc<IoDispatcher>>,
     pub(crate) catalog: Arc<Catalog>,
     pub(crate) runtime: Runtime,
     pub(crate) engine: SqlEngine,
@@ -91,6 +95,18 @@ impl Lakehouse {
         } else if config.metadata_cache_bytes > 0 {
             store_dyn = Arc::new(CachedStore::new(store_dyn, config.metadata_cache_bytes));
         }
+        // The dispatcher sits over the *complete* stack: a speculative get
+        // passes through the cache (populating the pool behind its
+        // single-flight), retry, and chaos layers exactly like a demand
+        // fetch — so read-ahead and hedging can never duplicate a backend
+        // read or dodge fault injection.
+        let io = (config.io_depth > 0).then(|| {
+            let mut io_config = IoConfig::new(config.io_depth);
+            if config.hedge_p95 {
+                io_config = io_config.with_hedge(HedgePolicy::default());
+            }
+            Arc::new(IoDispatcher::new(Arc::clone(&store_dyn), io_config))
+        });
         let catalog = Arc::new(if init_catalog {
             Catalog::init(Arc::clone(&store_dyn), config.catalog_prefix.clone())?
         } else {
@@ -105,6 +121,7 @@ impl Lakehouse {
             config,
             store,
             store_dyn,
+            io,
             catalog,
             runtime,
             engine,
@@ -139,6 +156,11 @@ impl Lakehouse {
     /// Simulated-latency metrics of the object store.
     pub fn store_metrics(&self) -> Arc<StoreMetrics> {
         self.store.metrics()
+    }
+
+    /// The completion-based I/O dispatcher, when `config.io_depth > 0`.
+    pub fn io_dispatcher(&self) -> Option<&Arc<IoDispatcher>> {
+        self.io.as_ref()
     }
 
     /// The runtime's simulated clock (startup/datapass events).
@@ -424,6 +446,7 @@ impl Lakehouse {
         .with_scan_parallelism(self.config.scan_parallelism)
         .with_fetch_retries(self.config.retry_max)
         .with_partial_failures(self.config.scan_partial_failures)
+        .with_io(self.io.clone(), self.config.read_ahead)
     }
 
     // ---- functions ------------------------------------------------------------

@@ -8,7 +8,7 @@ use lakehouse_columnar::{BatchStream, BatchesStream, RechunkStream, RecordBatch,
 use lakehouse_sql::ast::Expr;
 use lakehouse_sql::logical::SchemaProvider;
 use lakehouse_sql::{Result as SqlResult, SqlError, TableProvider};
-use lakehouse_store::ObjectStore;
+use lakehouse_store::{IoDispatcher, ObjectStore};
 use lakehouse_table::{ScanPredicate, Table};
 use parking_lot::RwLock;
 use std::collections::HashMap;
@@ -36,6 +36,10 @@ pub struct LakehouseProvider {
     /// Scan partial-failure policy: drop files that exhaust their retries
     /// instead of failing the query.
     partial_failures: bool,
+    /// Completion-based I/O dispatcher + read-ahead window for scans
+    /// (`None`/0 = seed-identical synchronous fetching).
+    io: Option<Arc<IoDispatcher>>,
+    read_ahead: usize,
 }
 
 impl LakehouseProvider {
@@ -53,7 +57,22 @@ impl LakehouseProvider {
             scan_parallelism: 1,
             fetch_retries: 0,
             partial_failures: false,
+            io: None,
+            read_ahead: 0,
         }
+    }
+
+    /// Route scans through an I/O dispatcher with a speculative read-ahead
+    /// window of `read_ahead` files (0 disables; results are byte-identical
+    /// either way).
+    pub fn with_io(
+        mut self,
+        io: Option<Arc<IoDispatcher>>,
+        read_ahead: usize,
+    ) -> LakehouseProvider {
+        self.io = io;
+        self.read_ahead = read_ahead;
+        self
     }
 
     /// Disable or enable scan-level predicate pushdown (default on).
@@ -84,9 +103,16 @@ impl LakehouseProvider {
 
     /// Apply this provider's scan settings to a freshly built scan.
     fn configure_scan(&self, scan: lakehouse_table::TableScan) -> lakehouse_table::TableScan {
-        scan.with_parallelism(self.scan_parallelism)
+        let mut scan = scan
+            .with_parallelism(self.scan_parallelism)
             .with_fetch_retries(self.fetch_retries)
-            .with_partial_failures(self.partial_failures)
+            .with_partial_failures(self.partial_failures);
+        if let Some(io) = &self.io {
+            scan = scan
+                .with_io_dispatcher(Arc::clone(io))
+                .with_read_ahead(self.read_ahead);
+        }
+        scan
     }
 
     /// Register an in-memory artifact (visible to subsequent queries through

@@ -11,7 +11,10 @@ use lakehouse_obs::{fmt_duration, SpanData, SpanTree};
 use std::collections::HashMap;
 
 /// Render `plan` with each operator line annotated from the matching span:
-/// rows and batches emitted, output bytes, and wall/simulated span time.
+/// rows and batches emitted, output bytes, wall/simulated span time, and the
+/// operator's *self* time on both clocks (span time minus the time of its
+/// direct child operators — the cost attributable to this operator alone,
+/// since parent spans enclose the time spent pulling from children).
 pub fn render_analyzed(plan: &LogicalPlan, tree: &SpanTree) -> String {
     let by_path: HashMap<&str, &SpanData> = tree
         .spans
@@ -39,18 +42,32 @@ fn go(
         return;
     }
     out.push_str(&format!("{pad}{}", plan.node_label()));
+    let children = plan.children();
     if let Some(span) = by_path.get(path) {
+        // Children run inside this span (pull-based on both executors), so
+        // self time is the span minus its direct children's spans. A
+        // SubqueryAlias child is transparent: its input already carries the
+        // child path, so the subtraction resolves to the real operator.
+        let (mut child_wall, mut child_sim) = (0u64, 0u64);
+        for i in 0..children.len() {
+            if let Some(child) = by_path.get(format!("{path}.{i}").as_str()) {
+                child_wall += child.wall_nanos();
+                child_sim += child.sim_nanos();
+            }
+        }
         out.push_str(&format!(
-            "  [rows={} batches={} bytes={} wall={} sim={}]",
+            "  [rows={} batches={} bytes={} wall={} sim={} self_wall={} self_sim={}]",
             span.attr_u64("rows").unwrap_or(0),
             span.attr_u64("batches").unwrap_or(0),
             span.attr_u64("bytes").unwrap_or(0),
             fmt_duration(span.wall_nanos()),
             fmt_duration(span.sim_nanos()),
+            fmt_duration(span.wall_nanos().saturating_sub(child_wall)),
+            fmt_duration(span.sim_nanos().saturating_sub(child_sim)),
         ));
     }
     out.push('\n');
-    for (i, input) in plan.children().into_iter().enumerate() {
+    for (i, input) in children.into_iter().enumerate() {
         go(input, &format!("{path}.{i}"), indent + 1, by_path, out);
     }
 }

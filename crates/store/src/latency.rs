@@ -134,8 +134,17 @@ impl<S: ObjectStore> SimulatedStore<S> {
     }
 
     /// Set how latency is applied to calling threads.
+    ///
+    /// Also publishes the wall-seconds-per-simulated-second factor on the
+    /// metrics handle so downstream layers (hedge timers, chaos stalls,
+    /// retry backoff) can convert simulated durations into real waits.
     pub fn with_sleep_mode(mut self, mode: SleepMode) -> Self {
         self.sleep_mode = mode;
+        self.metrics.set_wall_scale(match mode {
+            SleepMode::None => 0.0,
+            SleepMode::Scaled(f) => f.max(0.0),
+            SleepMode::Real => 1.0,
+        });
         self
     }
 
@@ -290,6 +299,18 @@ mod tests {
         };
         assert_eq!(run(7), run(7));
         assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn sleep_mode_publishes_wall_scale() {
+        let s = SimulatedStore::new(InMemoryStore::new(), LatencyModel::s3_like());
+        assert_eq!(s.metrics().wall_scale(), 0.0);
+        let s = s.with_sleep_mode(SleepMode::Scaled(0.2));
+        assert_eq!(s.metrics().wall_scale(), 0.2);
+        let s = s.with_sleep_mode(SleepMode::Real);
+        assert_eq!(s.metrics().wall_scale(), 1.0);
+        let s = s.with_sleep_mode(SleepMode::None);
+        assert_eq!(s.metrics().wall_scale(), 0.0);
     }
 
     #[test]

@@ -17,6 +17,7 @@
 pub mod cache;
 pub mod chaos;
 pub mod error;
+pub mod io;
 pub mod latency;
 pub mod local;
 pub mod memory;
@@ -28,13 +29,14 @@ pub mod retry;
 pub use cache::CachedStore;
 pub use chaos::{ChaosConfig, ChaosStore, FaultKind, FaultingStore, FlakyStore};
 pub use error::{Result, StoreError};
+pub use io::{HedgePolicy, IoCompletion, IoConfig, IoDispatcher, IoStats, IoTicket};
 pub use latency::{LatencyModel, SimulatedStore, SleepMode};
 pub use local::LocalFsStore;
 pub use memory::InMemoryStore;
 pub use metrics::StoreMetrics;
 pub use path::ObjectPath;
 pub use pool::{BufferPool, PoolKey, PoolMetrics};
-pub use retry::{Backoff, RetryPolicy, RetryStore};
+pub use retry::{Backoff, CircuitBreaker, RetryPolicy, RetryStore};
 
 use bytes::Bytes;
 use std::sync::Arc;

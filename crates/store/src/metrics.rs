@@ -107,6 +107,12 @@ pub struct StoreMetrics {
     cache_misses: AtomicU64,
     cache_bytes_served: AtomicU64,
     stall_nanos: AtomicU64,
+    /// Wall seconds slept per simulated second (f64 bits): 0.0 under
+    /// `SleepMode::None`, the factor under `Scaled`, 1.0 under `Real`. Set
+    /// by the simulated store that owns these metrics; read by anything that
+    /// must convert simulated durations into real waits (stall sleeping
+    /// below, hedge timers in `crate::io`).
+    wall_scale_bits: AtomicU64,
     /// Simulated nanos charged per calling thread (lane accounting).
     lanes: Mutex<HashMap<ThreadId, u64>>,
     /// Bounded reservoir of per-operation simulated latencies (percentiles).
@@ -134,6 +140,7 @@ impl StoreMetrics {
             cache_misses: AtomicU64::new(0),
             cache_bytes_served: AtomicU64::new(0),
             stall_nanos: AtomicU64::new(0),
+            wall_scale_bits: AtomicU64::new(0.0f64.to_bits()),
             lanes: Mutex::new(HashMap::new()),
             samples: Mutex::new(Reservoir::new()),
             global: GlobalHandles::register(),
@@ -193,6 +200,30 @@ impl StoreMetrics {
             .lock()
             .entry(std::thread::current().id())
             .or_insert(0) += nanos;
+        // When the owning store really sleeps its latency, stalls sleep too
+        // — otherwise injected throttles/stalls would be invisible to wall
+        // clocks while ordinary ops block, skewing any real-time measurement
+        // (and hiding exactly the tail hedged reads exist to cut).
+        let scale = self.wall_scale();
+        if scale > 0.0 {
+            std::thread::sleep(stall.mul_f64(scale));
+        }
+    }
+
+    /// Set the wall-seconds-per-simulated-second factor (see
+    /// [`wall_scale`](Self::wall_scale)). Called by the simulated store when
+    /// its sleep mode is configured.
+    pub fn set_wall_scale(&self, scale: f64) {
+        self.wall_scale_bits
+            .store(scale.max(0.0).to_bits(), Ordering::Relaxed);
+    }
+
+    /// How many wall seconds the owning store sleeps per simulated second:
+    /// 0.0 means charged time never blocks (pure bookkeeping), 1.0 means
+    /// real-time sleeping. Lets latency-sensitive layers (hedge timers)
+    /// convert simulated percentiles into real waits.
+    pub fn wall_scale(&self) -> f64 {
+        f64::from_bits(self.wall_scale_bits.load(Ordering::Relaxed))
     }
 
     pub(crate) fn record_cache_hit(&self, bytes: usize) {
@@ -365,6 +396,35 @@ mod tests {
         assert_eq!(m.cache_misses(), 0);
         assert_eq!(m.cache_bytes_served(), 0);
         assert_eq!(m.lane_nanos(), 0);
+    }
+
+    #[test]
+    fn wall_scale_defaults_to_zero_and_survives_reset() {
+        let m = StoreMetrics::new();
+        assert_eq!(m.wall_scale(), 0.0);
+        m.set_wall_scale(0.25);
+        m.reset();
+        // Configuration, not a counter: reset leaves it alone.
+        assert_eq!(m.wall_scale(), 0.25);
+    }
+
+    #[test]
+    fn stall_sleeps_only_when_scaled() {
+        let m = StoreMetrics::new();
+        let t = std::time::Instant::now();
+        m.record_stall(Duration::from_millis(200));
+        assert!(
+            t.elapsed() < Duration::from_millis(50),
+            "scale 0 must not sleep"
+        );
+        m.set_wall_scale(0.05);
+        let t = std::time::Instant::now();
+        m.record_stall(Duration::from_millis(200));
+        assert!(
+            t.elapsed() >= Duration::from_millis(10),
+            "scaled stall must sleep"
+        );
+        assert_eq!(m.stall_time(), Duration::from_millis(400));
     }
 
     #[test]

@@ -117,6 +117,99 @@ impl Backoff {
     }
 }
 
+/// A small windowed circuit breaker over boolean outcomes.
+///
+/// Used by the I/O dispatcher's hedged reads: each completed hedge records
+/// whether the hedge *won* the race. When the store is globally slow (every
+/// request is slow, not just the tail) hedges fire but rarely win — the win
+/// rate over the sliding window drops below `min_success_rate` and the
+/// breaker opens, suppressing further hedges for `cooldown_ops` admission
+/// checks before probing again with a cleared window. This is the same gate
+/// shape as the `FaultDecider`/[`RetryStore`] budget: back off globally when
+/// the signal says extra requests buy nothing.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    window: usize,
+    min_success_rate: f64,
+    cooldown_ops: u64,
+    state: Mutex<BreakerState>,
+}
+
+#[derive(Debug)]
+struct BreakerState {
+    outcomes: std::collections::VecDeque<bool>,
+    successes: usize,
+    /// Remaining `allow()` calls to swallow while open; 0 = closed.
+    cooldown_left: u64,
+    trips: u64,
+}
+
+impl CircuitBreaker {
+    /// `window` outcomes are kept; once the window is full and the success
+    /// rate drops below `min_success_rate`, the breaker opens for
+    /// `cooldown_ops` admission checks.
+    pub fn new(window: usize, min_success_rate: f64, cooldown_ops: u64) -> CircuitBreaker {
+        CircuitBreaker {
+            window: window.max(1),
+            min_success_rate: min_success_rate.clamp(0.0, 1.0),
+            cooldown_ops: cooldown_ops.max(1),
+            state: Mutex::new(BreakerState {
+                outcomes: std::collections::VecDeque::new(),
+                successes: 0,
+                cooldown_left: 0,
+                trips: 0,
+            }),
+        }
+    }
+
+    /// Should the guarded action run? While open, swallows one cooldown
+    /// tick per call and re-closes (with a fresh window) when the cooldown
+    /// is spent.
+    pub fn allow(&self) -> bool {
+        let mut st = self.state.lock();
+        if st.cooldown_left == 0 {
+            return true;
+        }
+        st.cooldown_left -= 1;
+        if st.cooldown_left == 0 {
+            // Half-open probe: forget the bad window, try again.
+            st.outcomes.clear();
+            st.successes = 0;
+            return true;
+        }
+        false
+    }
+
+    /// Record the outcome of a guarded action. May trip the breaker.
+    pub fn record(&self, success: bool) {
+        let mut st = self.state.lock();
+        st.outcomes.push_back(success);
+        if success {
+            st.successes += 1;
+        }
+        if st.outcomes.len() > self.window && st.outcomes.pop_front() == Some(true) {
+            st.successes -= 1;
+        }
+        if st.outcomes.len() >= self.window {
+            let rate = st.successes as f64 / st.outcomes.len() as f64;
+            if rate < self.min_success_rate && st.cooldown_left == 0 {
+                st.cooldown_left = self.cooldown_ops;
+                st.trips += 1;
+            }
+        }
+    }
+
+    /// Is the breaker currently open (suppressing the guarded action)?
+    pub fn is_open(&self) -> bool {
+        self.state.lock().cooldown_left > 0
+    }
+
+    /// How many times the breaker has tripped open.
+    pub fn trips(&self) -> u64 {
+        self.state.lock().trips
+    }
+}
+
 /// Process-wide retry counters (`lakehouse-obs`).
 #[derive(Debug)]
 struct RetryCounters {
@@ -351,6 +444,43 @@ mod tests {
         }
         // The sequence should actually escalate toward the cap.
         assert!(a.iter().any(|d| *d > base * 2), "no escalation in {a:?}");
+    }
+
+    #[test]
+    fn breaker_trips_on_low_win_rate_and_recovers() {
+        let b = CircuitBreaker::new(4, 0.5, 3);
+        assert!(!b.is_open());
+        // Window fills with failures -> trips.
+        for _ in 0..4 {
+            assert!(b.allow());
+            b.record(false);
+        }
+        assert!(b.is_open());
+        assert_eq!(b.trips(), 1);
+        // Cooldown swallows the next 2 checks, the 3rd re-closes (half-open).
+        assert!(!b.allow());
+        assert!(!b.allow());
+        assert!(b.allow(), "cooldown spent: probe allowed");
+        assert!(!b.is_open());
+        // Fresh window: a good run keeps it closed.
+        for _ in 0..8 {
+            assert!(b.allow());
+            b.record(true);
+        }
+        assert!(!b.is_open());
+        assert_eq!(b.trips(), 1);
+    }
+
+    #[test]
+    fn breaker_stays_closed_above_threshold() {
+        let b = CircuitBreaker::new(10, 0.3, 5);
+        // 40% success rate over a full sliding window: stays closed.
+        for i in 0..50 {
+            assert!(b.allow());
+            b.record(i % 5 < 2);
+        }
+        assert!(!b.is_open());
+        assert_eq!(b.trips(), 0);
     }
 
     #[test]

@@ -20,7 +20,7 @@ use crate::metadata::TableMetadata;
 use crate::partition::Transform;
 use lakehouse_columnar::kernels::{cmp_column_scalar, filter_batch, to_selection, CmpOp};
 use lakehouse_columnar::{Column, RecordBatch, Schema, Value};
-use lakehouse_store::{ObjectPath, ObjectStore};
+use lakehouse_store::{IoDispatcher, IoTicket, ObjectPath, ObjectStore};
 use std::sync::Arc;
 
 /// A simple conjunctive predicate: `column OP literal`. Multiple predicates
@@ -94,6 +94,8 @@ pub struct TableScan {
     parallelism: usize,
     fetch_retries: u32,
     skip_failed_files: bool,
+    io: Option<Arc<IoDispatcher>>,
+    read_ahead: usize,
 }
 
 impl TableScan {
@@ -107,7 +109,28 @@ impl TableScan {
             parallelism: 1,
             fetch_retries: 0,
             skip_failed_files: false,
+            io: None,
+            read_ahead: 0,
         }
+    }
+
+    /// Route data-file reads through a completion-based I/O dispatcher.
+    /// Only takes effect together with [`TableScan::with_read_ahead`]; on
+    /// its own the scan behaves exactly as without it.
+    pub fn with_io_dispatcher(mut self, io: Arc<IoDispatcher>) -> TableScan {
+        self.io = Some(io);
+        self
+    }
+
+    /// Speculative sequential read-ahead: keep up to `n` upcoming data
+    /// files submitted to the I/O dispatcher while the consumer is still
+    /// decoding earlier ones. `0` (default) disables read-ahead; it also
+    /// requires [`TableScan::with_io_dispatcher`]. Speculative fetches go
+    /// through the full store stack, so a shared `BufferPool`'s
+    /// single-flight guarantees they never duplicate a demand fetch.
+    pub fn with_read_ahead(mut self, n: usize) -> TableScan {
+        self.read_ahead = n;
+        self
     }
 
     /// Re-read a data file up to `n` extra times when it fails with a
@@ -249,12 +272,19 @@ impl TableScan {
         plan_span.attr("files_total", report.files_total);
         plan_span.attr("files_scanned", report.files_scanned);
         drop(plan_span);
-        let lanes = vec![0u64; self.parallelism.max(1)];
+        // With read-ahead active, overlap width is the in-flight window
+        // clamped to what the dispatcher can genuinely run concurrently.
+        let overlap = match (&self.io, self.read_ahead) {
+            (Some(io), ra) if ra > 0 => self.parallelism.max(ra.min(io.depth()).max(1)),
+            _ => self.parallelism.max(1),
+        };
+        let lanes = vec![0u64; overlap];
         let registry = lakehouse_obs::global();
         Ok(ScanStream {
             scan: self,
             scan_schema,
             entries,
+            pending: std::collections::VecDeque::new(),
             ready: std::collections::VecDeque::new(),
             report,
             lanes,
@@ -265,6 +295,8 @@ impl TableScan {
             bytes_counter: registry.counter("scan.bytes_scanned"),
             fetch_retries_counter: registry.counter("scan.fetch_retries"),
             files_failed_counter: registry.counter("scan.files_failed"),
+            readahead_hits_counter: registry.counter("io.readahead_hits"),
+            readahead_wasted_counter: registry.counter("io.readahead_wasted"),
         })
     }
 
@@ -363,6 +395,42 @@ impl TableScan {
         result
     }
 
+    /// Decode one data file from prefetched whole-object bytes: the format
+    /// reader's range requests are sliced locally. `fetched` counts exactly
+    /// the ranges the reader touched (footer + surviving chunks), so
+    /// [`ScanReport::bytes_scanned`] matches the demand-fetch path byte for
+    /// byte even though the backend served one whole-object get.
+    fn read_entry_prefetched(
+        &self,
+        entry: &ManifestEntry,
+        scan_schema: &Schema,
+        data: &bytes::Bytes,
+    ) -> Result<EntryPartial> {
+        // A torn read can hand back truncated-but-Ok bytes; classify that
+        // as corruption up front so the caller invalidates and re-fetches
+        // instead of failing on an out-of-bounds footer slice.
+        if (data.len() as u64) < entry.file_size {
+            return Err(TableError::Corrupt(format!(
+                "prefetched {} of {} bytes for {}",
+                data.len(),
+                entry.file_size,
+                entry.file_path
+            )));
+        }
+        let fetched = std::cell::Cell::new(0u64);
+        let fetch = |start: usize, end: usize| -> lakehouse_format::Result<bytes::Bytes> {
+            fetched.set(fetched.get() + (end - start) as u64);
+            if start > end || end > data.len() {
+                return Err(lakehouse_format::FormatError::InvalidArgument(format!(
+                    "prefetched range [{start}, {end}) out of bounds for {} bytes",
+                    data.len()
+                )));
+            }
+            Ok(data.slice(start..end))
+        };
+        self.read_entry_inner(entry, scan_schema, &fetched, &fetch)
+    }
+
     fn read_entry_inner(
         &self,
         entry: &ManifestEntry,
@@ -439,6 +507,9 @@ pub struct ScanStream {
     scan: TableScan,
     scan_schema: Schema,
     entries: std::collections::VecDeque<ManifestEntry>,
+    /// Read-ahead window: entries speculatively submitted to the I/O
+    /// dispatcher but not yet consumed, in manifest order.
+    pending: std::collections::VecDeque<(ManifestEntry, IoTicket)>,
     ready: std::collections::VecDeque<RecordBatch>,
     report: ScanReport,
     lanes: Vec<u64>,
@@ -449,6 +520,8 @@ pub struct ScanStream {
     bytes_counter: Arc<lakehouse_obs::Counter>,
     fetch_retries_counter: Arc<lakehouse_obs::Counter>,
     files_failed_counter: Arc<lakehouse_obs::Counter>,
+    readahead_hits_counter: Arc<lakehouse_obs::Counter>,
+    readahead_wasted_counter: Arc<lakehouse_obs::Counter>,
 }
 
 impl ScanStream {
@@ -474,14 +547,21 @@ impl ScanStream {
     /// [`lakehouse_columnar::BatchStream`] impl wraps this for the SQL
     /// pipeline; [`TableScan::execute_with_report`] drains it directly).
     pub fn pull(&mut self) -> Result<Option<RecordBatch>> {
-        while self.ready.is_empty() && !self.entries.is_empty() {
+        while self.ready.is_empty() && !(self.entries.is_empty() && self.pending.is_empty()) {
             self.refill()?;
         }
         Ok(self.ready.pop_front())
     }
 
+    fn readahead_active(&self) -> bool {
+        self.scan.io.is_some() && self.scan.read_ahead > 0
+    }
+
     /// Fetch the next prefetch group of files through the pool.
     fn refill(&mut self) -> Result<()> {
+        if self.readahead_active() {
+            return self.refill_readahead();
+        }
         if self.entries.is_empty() {
             return Ok(());
         }
@@ -561,6 +641,128 @@ impl ScanStream {
             span.attr("failed", group_failed);
         }
         Ok(())
+    }
+
+    /// Keep the read-ahead window full: speculatively submit upcoming
+    /// entries as whole-object gets through the dispatcher (and thus the
+    /// full store stack — a shared pool's single-flight dedups against any
+    /// concurrent demand fetch of the same object).
+    fn top_up_readahead(&mut self) -> Result<()> {
+        let Some(io) = self.scan.io.as_ref() else {
+            return Ok(());
+        };
+        while self.pending.len() < self.scan.read_ahead {
+            let Some(entry) = self.entries.pop_front() else {
+                break;
+            };
+            let path = ObjectPath::new(entry.file_path.clone())?;
+            let ticket = io.submit_get(&path, None);
+            self.pending.push_back((entry, ticket));
+        }
+        Ok(())
+    }
+
+    /// Consume the oldest read-ahead submission: wait for its completion
+    /// (the dispatcher hedges it if it runs tail-slow), decode locally, and
+    /// refill the window. Whole-file retry semantics match the demand path:
+    /// transient faults resubmit, corruption invalidates then resubmits.
+    fn refill_readahead(&mut self) -> Result<()> {
+        self.top_up_readahead()?;
+        let Some((entry, ticket)) = self.pending.pop_front() else {
+            return Ok(());
+        };
+        let span = lakehouse_obs::span("scan.fetch");
+        span.attr("files", 1usize);
+        let (out, retries, sim_nanos) = self.wait_prefetched(&entry, ticket);
+        self.readahead_hits_counter.inc();
+        if let Some(min_lane) = self.lanes.iter_mut().min() {
+            *min_lane += sim_nanos;
+        }
+        if retries > 0 {
+            self.report.fetch_retries += retries as usize;
+            self.fetch_retries_counter.add(retries as u64);
+            span.attr("retries", retries as u64);
+        }
+        let partial = match out {
+            Ok(p) => p,
+            Err(_) if self.scan.skip_failed_files => {
+                self.report.files_failed += 1;
+                self.files_failed_counter.inc();
+                span.attr("failed", 1u64);
+                return self.top_up_readahead();
+            }
+            Err(e) => return Err(e),
+        };
+        self.report.files_read += 1;
+        self.report.bytes_scanned += partial.bytes_scanned;
+        self.report.row_groups_scanned += partial.row_groups_scanned;
+        self.files_read_counter.inc();
+        self.bytes_counter.add(partial.bytes_scanned);
+        let batch = self.scan.filter_exact(partial.batch)?;
+        if batch.num_rows() > 0 {
+            self.report.rows_emitted += batch.num_rows();
+            self.rows_counter.add(batch.num_rows() as u64);
+            self.ready.push_back(batch);
+        }
+        // Refill so the window stays ahead of the consumer.
+        self.top_up_readahead()
+    }
+
+    /// Wait for a prefetched entry and decode it, with the scan's
+    /// whole-file retry loop on top. Returns the result, retries used, and
+    /// the total simulated lane-nanos charged (including retries).
+    fn wait_prefetched(
+        &self,
+        entry: &ManifestEntry,
+        ticket: IoTicket,
+    ) -> (Result<EntryPartial>, u32, u64) {
+        let io = self.scan.io.as_ref().expect("read-ahead requires io");
+        let path = match ObjectPath::new(entry.file_path.clone()) {
+            Ok(p) => p,
+            Err(e) => return (Err(e.into()), 0, 0),
+        };
+        let mut retries = 0u32;
+        let mut sim_nanos = 0u64;
+        let mut ticket = ticket;
+        loop {
+            let completion = io.wait(ticket);
+            sim_nanos += completion.sim_nanos;
+            let out = match completion.result {
+                Ok(bytes) => self
+                    .scan
+                    .read_entry_prefetched(entry, &self.scan_schema, &bytes),
+                Err(e) => Err(TableError::Store(e)),
+            };
+            match out {
+                Err(e)
+                    if retries < self.scan.fetch_retries
+                        && (e.is_transient() || e.is_corruption()) =>
+                {
+                    if e.is_corruption() {
+                        self.scan.store.invalidate_corrupt(&path);
+                    }
+                    retries += 1;
+                    ticket = io.submit_get(&path, None);
+                }
+                other => return (other, retries, sim_nanos),
+            }
+        }
+    }
+}
+
+impl Drop for ScanStream {
+    /// Early termination (a satisfied streaming `LIMIT` drops the stream)
+    /// must not leave speculative submissions to run: queued ones are
+    /// dequeued before any backend call, in-flight ones have their results
+    /// discarded.
+    fn drop(&mut self) {
+        if let Some(io) = self.scan.io.as_ref() {
+            for (_, ticket) in self.pending.drain(..) {
+                if io.cancel(ticket) {
+                    self.readahead_wasted_counter.inc();
+                }
+            }
+        }
     }
 }
 
@@ -1008,6 +1210,101 @@ mod tests {
         assert_eq!(report.files_read, 1);
         assert_eq!(batch.num_rows(), report.rows_emitted);
         assert!(batch.num_rows() > 0, "the surviving file still scans");
+    }
+
+    #[test]
+    fn readahead_scan_identical_to_plain() {
+        use lakehouse_store::{IoConfig, IoDispatcher, LatencyModel, SimulatedStore};
+        let sim: Arc<dyn ObjectStore> = Arc::new(SimulatedStore::new(
+            InMemoryStore::new(),
+            LatencyModel {
+                sigma: 0.0,
+                ..LatencyModel::s3_like()
+            },
+        ));
+        let t = Table::create(
+            Arc::clone(&sim),
+            "wh/ra",
+            &taxi_schema(),
+            PartitionSpec::identity("zone"),
+        )
+        .unwrap();
+        let mut tx = t.new_transaction(SnapshotOperation::Append);
+        let zones: Vec<String> = (0..6).map(|i| format!("z{i}")).collect();
+        tx.write(&taxi_batch(
+            (0..6).map(|i| 100 + i).collect(),
+            zones.iter().map(String::as_str).collect(),
+            (0..6).map(|i| i as f64).collect(),
+        ))
+        .unwrap();
+        let (loc, _) = tx.commit().unwrap();
+        let t = Table::load(Arc::clone(&sim), &loc).unwrap();
+        let (plain, plain_report) = t.scan().execute_with_report().unwrap();
+
+        let io = Arc::new(IoDispatcher::new(Arc::clone(&sim), IoConfig::new(4)));
+        let (ra, ra_report) = t
+            .scan()
+            .with_io_dispatcher(Arc::clone(&io))
+            .with_read_ahead(4)
+            .execute_with_report()
+            .unwrap();
+        assert_eq!(plain, ra, "read-ahead must be byte-identical");
+        assert_eq!(plain_report.files_read, ra_report.files_read);
+        assert_eq!(plain_report.bytes_scanned, ra_report.bytes_scanned);
+        assert_eq!(plain_report.rows_emitted, ra_report.rows_emitted);
+        assert_eq!(
+            plain_report.row_groups_scanned,
+            ra_report.row_groups_scanned
+        );
+        // 6 files overlapped 4 wide must beat the serial sim wall clock.
+        assert!(
+            ra_report.wall_clock_simulated * 2 < plain_report.wall_clock_simulated,
+            "read-ahead {:?} vs serial {:?}",
+            ra_report.wall_clock_simulated,
+            plain_report.wall_clock_simulated
+        );
+        assert_eq!(io.stats().inflight, 0, "all submissions consumed");
+    }
+
+    #[test]
+    fn abandoned_readahead_cancels_pending_submissions() {
+        use lakehouse_columnar::BatchStream;
+        use lakehouse_store::{IoConfig, IoDispatcher};
+        let store: Arc<dyn ObjectStore> = Arc::new(InMemoryStore::new());
+        let t = Table::create(
+            Arc::clone(&store),
+            "wh/ra-limit",
+            &taxi_schema(),
+            PartitionSpec::identity("zone"),
+        )
+        .unwrap();
+        let mut tx = t.new_transaction(SnapshotOperation::Append);
+        let zones: Vec<String> = (0..8).map(|i| format!("z{i}")).collect();
+        tx.write(&taxi_batch(
+            (0..8).map(|i| 100 + i).collect(),
+            zones.iter().map(String::as_str).collect(),
+            (0..8).map(|i| i as f64).collect(),
+        ))
+        .unwrap();
+        let (loc, _) = tx.commit().unwrap();
+        let t = Table::load(Arc::clone(&store), &loc).unwrap();
+        let io = Arc::new(IoDispatcher::new(Arc::clone(&store), IoConfig::new(2)));
+        let mut stream = t
+            .scan()
+            .with_io_dispatcher(Arc::clone(&io))
+            .with_read_ahead(6)
+            .stream()
+            .unwrap();
+        let first = stream.next_batch().unwrap().unwrap();
+        assert!(first.num_rows() > 0);
+        assert_eq!(stream.report().files_read, 1);
+        drop(stream);
+        let stats = io.stats();
+        assert!(
+            stats.cancelled >= 4,
+            "dropping the stream must cancel queued read-ahead, stats {stats:?}"
+        );
+        assert_eq!(stats.inflight, 0, "no submission may be left dangling");
     }
 
     #[test]

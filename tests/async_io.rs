@@ -1,0 +1,358 @@
+//! Async I/O dispatcher integration: speculative read-ahead and hedged reads
+//! stay byte-transparent end to end (across sleep modes, under chaos stalls
+//! and torn reads), and a streaming LIMIT that terminates early cancels its
+//! queued read-ahead submissions before they ever reach the backend.
+
+use bauplan_core::{BufferPool, ChaosConfig, Lakehouse, LakehouseConfig};
+use bytes::Bytes;
+use lakehouse_columnar::{BatchStream, Column, DataType, Field, RecordBatch, Schema};
+use lakehouse_store::{
+    ChaosStore, HedgePolicy, InMemoryStore, IoConfig, IoDispatcher, LatencyModel, ObjectPath,
+    ObjectStore, SimulatedStore, SleepMode, StoreMetrics,
+};
+use lakehouse_table::{PartitionSpec, SnapshotOperation, Table};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+// ---- fixtures --------------------------------------------------------------
+
+fn events_batch(files: usize, rows_per: usize) -> RecordBatch {
+    let total = files * rows_per;
+    RecordBatch::try_new(
+        Schema::new(vec![
+            Field::new("part", DataType::Int64, false),
+            Field::new("grp", DataType::Int64, false),
+            Field::new("val", DataType::Float64, false),
+        ]),
+        vec![
+            Column::from_i64((0..total).map(|i| (i / rows_per) as i64).collect()),
+            Column::from_i64((0..total).map(|i| (i % 7) as i64).collect()),
+            Column::from_f64((0..total).map(|i| i as f64 * 0.5).collect()),
+        ],
+    )
+    .unwrap()
+}
+
+const AGG_SQL: &str = "SELECT grp, COUNT(*) AS n, SUM(val) AS s FROM events \
+                       GROUP BY grp ORDER BY grp";
+
+fn io_lakehouse(io_depth: usize, read_ahead: usize, stream: bool, files: usize) -> Lakehouse {
+    let config = LakehouseConfig {
+        latency: LatencyModel::zero(),
+        io_depth,
+        read_ahead,
+        hedge_p95: io_depth > 0,
+        stream_execution: stream,
+        ..Default::default()
+    };
+    let lh = Lakehouse::in_memory(config).unwrap();
+    lh.create_table_partitioned(
+        "events",
+        &events_batch(files, 50),
+        "main",
+        PartitionSpec::identity("part"),
+    )
+    .unwrap();
+    lh
+}
+
+/// Build a `files`-file partitioned table on a plain in-memory backend and
+/// return `(backend, metadata location)` so tests can re-load it through an
+/// arbitrary wrapper stack over the *same* objects.
+fn seeded_backend(files: usize) -> (Arc<InMemoryStore>, String) {
+    let base = Arc::new(InMemoryStore::new());
+    let plain: Arc<dyn ObjectStore> = base.clone();
+    let schema = Schema::new(vec![
+        Field::new("part", DataType::Int64, false),
+        Field::new("grp", DataType::Int64, false),
+        Field::new("val", DataType::Float64, false),
+    ]);
+    let t = Table::create(
+        Arc::clone(&plain),
+        "wh/events",
+        &schema,
+        PartitionSpec::identity("part"),
+    )
+    .unwrap();
+    let mut tx = t.new_transaction(SnapshotOperation::Append);
+    tx.write(&events_batch(files, 20)).unwrap();
+    let (loc, _) = tx.commit().unwrap();
+    (base, loc)
+}
+
+// ---- byte identity across sleep modes, chaos stalls ------------------------
+
+#[test]
+fn readahead_and_hedging_byte_identical_across_sleep_modes() {
+    let (base, loc) = seeded_backend(8);
+    let plain: Arc<dyn ObjectStore> = base.clone();
+    let baseline = Table::load(Arc::clone(&plain), &loc)
+        .unwrap()
+        .scan()
+        .execute()
+        .unwrap();
+
+    // SleepMode::None keeps everything on the simulated clock (hedging
+    // self-disables: tail latency does not exist in wall time); a small
+    // Scaled factor makes the store really sleep, so the dispatcher's
+    // overlap, deadlines, and hedge timers all run against wall time too.
+    for (tag, mode) in [
+        ("none", SleepMode::None),
+        ("scaled", SleepMode::Scaled(0.002)),
+    ] {
+        let sim = SimulatedStore::with_seed(
+            Arc::clone(&plain),
+            LatencyModel {
+                sigma: 0.0,
+                ..LatencyModel::s3_like()
+            },
+            42,
+        )
+        .with_sleep_mode(mode);
+        // Seeded chaos between scan and simulated store: transient faults
+        // and latency stalls, absorbed by per-file fetch retries.
+        let chaos: Arc<dyn ObjectStore> = Arc::new(ChaosStore::new(
+            sim,
+            ChaosConfig::new(9).with_fault_p(0.05).with_stall_p(0.05),
+        ));
+        let t = (0..20)
+            .find_map(|_| Table::load(Arc::clone(&chaos), &loc).ok())
+            .expect("table load under chaos");
+
+        let (demand, demand_report) = t
+            .scan()
+            .with_fetch_retries(8)
+            .execute_with_report()
+            .unwrap();
+        assert_eq!(demand, baseline, "{tag}: demand path diverged");
+
+        let io = Arc::new(IoDispatcher::new(
+            Arc::clone(&chaos),
+            IoConfig::new(4).with_hedge(HedgePolicy::default()),
+        ));
+        let (ra, ra_report) = t
+            .scan()
+            .with_io_dispatcher(Arc::clone(&io))
+            .with_read_ahead(4)
+            .with_fetch_retries(8)
+            .execute_with_report()
+            .unwrap();
+        assert_eq!(ra, baseline, "{tag}: read-ahead + hedging diverged");
+        assert_eq!(demand_report.rows_emitted, ra_report.rows_emitted);
+        assert_eq!(demand_report.files_read, ra_report.files_read);
+        let stats = io.stats();
+        assert!(stats.submitted >= 8, "{tag}: read-ahead never engaged");
+        assert_eq!(stats.inflight, 0, "{tag}: submissions left dangling");
+    }
+}
+
+// ---- torn reads: hedged/prefetched bytes verified through the pool ---------
+
+#[test]
+fn torn_reads_under_readahead_are_caught_and_retried() {
+    // Torn reads deliver truncated bodies as *successful* responses, and the
+    // read-ahead path hands prefetched bytes straight to the decoder — the
+    // truncation guard + format checksums must catch them, invalidate the
+    // poisoned pool pages, and resubmit. Same seeded schedule as the
+    // pool-sharing torn-read test, now with the dispatcher in the path.
+    let dir = std::env::temp_dir().join(format!("bauplan_async_io_torn_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    {
+        let setup = Lakehouse::on_disk(&dir, LakehouseConfig::zero_latency()).unwrap();
+        for file in 0..4 {
+            let b = events_batch(1, 64); // one data file per commit
+            if file == 0 {
+                setup.create_table("events", &b, "main").unwrap();
+            } else {
+                setup.append_table("events", &b, "main").unwrap();
+            }
+        }
+    }
+    let baseline = Lakehouse::on_disk(&dir, LakehouseConfig::zero_latency())
+        .unwrap()
+        .query(AGG_SQL, "main")
+        .unwrap();
+
+    let pool = Arc::new(BufferPool::new(32 * 1024 * 1024));
+    let config = LakehouseConfig {
+        shared_pool: Some(Arc::clone(&pool)),
+        chaos: Some(ChaosConfig::new(3).with_torn_read_p(0.35)),
+        retry_max: 10,
+        io_depth: 4,
+        read_ahead: 4,
+        hedge_p95: true,
+        ..LakehouseConfig::zero_latency()
+    };
+    let lh = Lakehouse::on_disk(&dir, config).unwrap();
+    let got = lh.query(AGG_SQL, "main").unwrap();
+    assert_eq!(got, baseline, "torn reads must never change the answer");
+    let stats = lh.io_dispatcher().expect("dispatcher configured").stats();
+    assert!(stats.submitted > 0, "read-ahead must have been exercised");
+    assert_eq!(stats.inflight, 0);
+    // The poisoned pages are gone: a second query still answers correctly.
+    assert_eq!(lh.query(AGG_SQL, "main").unwrap(), baseline);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---- end-to-end equivalence through the platform ---------------------------
+
+#[test]
+fn end_to_end_query_identical_with_readahead_on_and_off() {
+    for stream in [false, true] {
+        let plain = io_lakehouse(0, 0, stream, 12);
+        let ra = io_lakehouse(4, 4, stream, 12);
+        assert!(plain.io_dispatcher().is_none(), "defaults must stay off");
+        let want = plain.query(AGG_SQL, "main").unwrap();
+        let got = ra.query(AGG_SQL, "main").unwrap();
+        assert_eq!(got, want, "stream={stream}: read-ahead changed the bytes");
+        let stats = ra.io_dispatcher().expect("dispatcher configured").stats();
+        assert!(
+            stats.submitted >= 12,
+            "stream={stream}: scans must route through the dispatcher, stats {stats:?}"
+        );
+        assert_eq!(stats.inflight, 0, "stream={stream}");
+    }
+}
+
+// ---- streaming LIMIT cancels read-ahead ------------------------------------
+
+/// An in-memory store whose data-file reads really block, and which counts
+/// them: queued-then-cancelled dispatcher submissions must never show up in
+/// `data_gets`.
+struct GatedStore {
+    inner: InMemoryStore,
+    data_gets: AtomicU64,
+    delay: Duration,
+}
+
+impl GatedStore {
+    fn new(delay: Duration) -> GatedStore {
+        GatedStore {
+            inner: InMemoryStore::new(),
+            data_gets: AtomicU64::new(0),
+            delay,
+        }
+    }
+
+    fn data_gets(&self) -> u64 {
+        self.data_gets.load(Ordering::SeqCst)
+    }
+}
+
+impl ObjectStore for GatedStore {
+    fn put(&self, path: &ObjectPath, data: Bytes) -> lakehouse_store::Result<()> {
+        self.inner.put(path, data)
+    }
+
+    fn get(&self, path: &ObjectPath) -> lakehouse_store::Result<Bytes> {
+        if path.as_str().contains("/data/") {
+            self.data_gets.fetch_add(1, Ordering::SeqCst);
+            std::thread::sleep(self.delay);
+        }
+        self.inner.get(path)
+    }
+
+    fn head(&self, path: &ObjectPath) -> lakehouse_store::Result<usize> {
+        self.inner.head(path)
+    }
+
+    fn list(&self, prefix: &str) -> lakehouse_store::Result<Vec<ObjectPath>> {
+        self.inner.list(prefix)
+    }
+
+    fn delete(&self, path: &ObjectPath) -> lakehouse_store::Result<()> {
+        self.inner.delete(path)
+    }
+
+    fn put_if_matches(
+        &self,
+        path: &ObjectPath,
+        expected: Option<&[u8]>,
+        data: Bytes,
+    ) -> lakehouse_store::Result<()> {
+        self.inner.put_if_matches(path, expected, data)
+    }
+
+    fn store_metrics(&self) -> Option<Arc<StoreMetrics>> {
+        self.inner.store_metrics()
+    }
+}
+
+#[test]
+fn limit_early_termination_cancels_queued_readahead() {
+    // 8 one-file partitions behind a store whose data reads block for real,
+    // so the dispatcher's two workers are still busy when the consumer stops
+    // after one batch (what a streaming LIMIT does). The six other window
+    // submissions are queued; dropping the stream must cancel them before
+    // any backend fetch happens.
+    let gated = Arc::new(GatedStore::new(Duration::from_millis(20)));
+    let store: Arc<dyn ObjectStore> = gated.clone();
+    let schema = Schema::new(vec![
+        Field::new("part", DataType::Int64, false),
+        Field::new("grp", DataType::Int64, false),
+        Field::new("val", DataType::Float64, false),
+    ]);
+    let t = Table::create(
+        Arc::clone(&store),
+        "wh/limit",
+        &schema,
+        PartitionSpec::identity("part"),
+    )
+    .unwrap();
+    let mut tx = t.new_transaction(SnapshotOperation::Append);
+    tx.write(&events_batch(8, 16)).unwrap();
+    let (loc, _) = tx.commit().unwrap();
+    let t = Table::load(Arc::clone(&store), &loc).unwrap();
+
+    let io = Arc::new(IoDispatcher::new(Arc::clone(&store), IoConfig::new(2)));
+    let mut stream = t
+        .scan()
+        .with_io_dispatcher(Arc::clone(&io))
+        .with_read_ahead(8)
+        .stream()
+        .unwrap();
+    let first = stream.next_batch().unwrap().unwrap();
+    assert!(first.num_rows() > 0);
+    assert_eq!(stream.report().files_read, 1);
+    drop(stream); // LIMIT satisfied: early termination.
+
+    let stats = io.stats();
+    assert!(
+        stats.cancelled >= 3,
+        "queued read-ahead must be cancelled on early termination, stats {stats:?}"
+    );
+    assert_eq!(stats.inflight, 0, "stats {stats:?}");
+    // Give the abandoned workers time to drain the queue — cancelled slots
+    // leave only ghost ids behind, which must be skipped without a backend
+    // call. At most the demand file plus two worker rounds (2 in flight at
+    // the first completion, 2 more grabbed while the consumer raced the
+    // drop) may ever have been fetched; the rest of the 8-file window never
+    // reaches the store.
+    std::thread::sleep(Duration::from_millis(150));
+    let fetched = gated.data_gets();
+    assert!(
+        fetched <= 5,
+        "cancelled submissions reached the backend: {fetched} of 8 data files fetched"
+    );
+}
+
+#[test]
+fn streaming_limit_through_platform_leaves_no_dangling_submissions() {
+    let lh = io_lakehouse(2, 6, true, 8);
+    let got = lh
+        .query("SELECT part, val FROM events LIMIT 1", "main")
+        .unwrap();
+    assert_eq!(got.num_rows(), 1);
+    let stats = lh.io_dispatcher().expect("dispatcher configured").stats();
+    assert_eq!(
+        stats.submitted,
+        stats.completed + stats.cancelled,
+        "every submission must be consumed or cancelled, stats {stats:?}"
+    );
+    assert_eq!(stats.inflight, 0, "stats {stats:?}");
+    assert!(
+        stats.cancelled > 0,
+        "LIMIT 1 over 8 files must cancel unconsumed read-ahead, stats {stats:?}"
+    );
+}

@@ -90,13 +90,41 @@ fn explain_analyze_matches_exec_report() {
         let (expected, report) = lh.query_with_report(SQL, "main").unwrap();
         assert_eq!(batch, expected, "streaming={streaming}");
 
-        // Every plan line carries live annotations.
+        // Every plan line carries live annotations, including the operator's
+        // self time (span minus direct children) on both clocks.
         for line in text.lines() {
             assert!(
                 line.contains("[rows="),
                 "streaming={streaming}: unannotated EXPLAIN ANALYZE line: {line}"
             );
+            assert!(
+                line.contains("self_wall=") && line.contains("self_sim="),
+                "streaming={streaming}: line missing self-time annotations: {line}"
+            );
         }
+
+        // A leaf operator has no children to subtract, so its self time
+        // equals its span time on both clocks.
+        let scan_line = text
+            .lines()
+            .find(|l| l.trim_start().starts_with("Scan"))
+            .expect("EXPLAIN ANALYZE output has a Scan line");
+        let field = |key: &str| {
+            scan_line
+                .split_whitespace()
+                .find_map(|tok| tok.strip_prefix(key).map(|v| v.trim_end_matches(']')))
+                .unwrap_or_else(|| panic!("Scan line missing {key}: {scan_line}"))
+        };
+        assert_eq!(
+            field("self_sim="),
+            field("sim="),
+            "streaming={streaming}: leaf self_sim must equal sim"
+        );
+        assert_eq!(
+            field("self_wall="),
+            field("wall="),
+            "streaming={streaming}: leaf self_wall must equal wall"
+        );
 
         // Per-operator row totals in the span tree agree with the executor's
         // own accounting.
