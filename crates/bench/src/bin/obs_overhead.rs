@@ -10,6 +10,12 @@
 //! disabled-overhead fraction is asserted `< 2%`. The enabled (forced-trace)
 //! overhead is reported for information.
 //!
+//! The always-on flight recorder gets the same treatment: its per-event cost
+//! (one try-lock + ring-slot write) is microbenchmarked, scaled by the number
+//! of events one query actually records (delta of `events.recorded`), and
+//! asserted `< 2%` of the query. A `telemetry_query` step times the
+//! `system.queries` virtual scan itself.
+//!
 //! Regenerate: `cargo run -p lakehouse-bench --bin obs_overhead --release`
 //! (writes `BENCH_obs.json` in the working directory). `--files` and
 //! `--rows` override the table shape (defaults 24 × 4000).
@@ -129,6 +135,34 @@ fn main() {
     let overhead = noop_span_ns * events_per_query as f64 / disabled_ns as f64;
     let enabled_overhead = (enabled_ns as f64 - disabled_ns as f64) / disabled_ns as f64;
 
+    // Flight-recorder cost: one attributed event on the hot path.
+    const REC_ITERS: u64 = 500_000;
+    let ctx = lakehouse_obs::QueryCtx::new("bench", "obs_overhead");
+    let _attributed = ctx.enter();
+    let t0 = Instant::now();
+    for i in 0..REC_ITERS {
+        lakehouse_obs::recorder().record(lakehouse_obs::EventKind::StoreOp, "get", i);
+    }
+    let record_ns = t0.elapsed().as_nanos() as f64 / REC_ITERS as f64;
+    drop(_attributed);
+
+    // How many events does one query actually record?
+    let recorded0 = lakehouse_obs::global().counter("events.recorded").get();
+    lh.query(AGG_SQL, "main").expect("query");
+    let events_recorded = lakehouse_obs::global().counter("events.recorded").get() - recorded0;
+    let recorder_overhead = record_ns * events_recorded as f64 / disabled_ns as f64;
+
+    // The telemetry path itself: querying the flight recorder back out as SQL.
+    const TELEMETRY_SQL: &str = "SELECT query_id, io_bytes, pool_hits FROM system.queries \
+                                 ORDER BY io_bytes DESC LIMIT 5";
+    let mut telemetry = Vec::with_capacity(QUERY_ITERS);
+    for _ in 0..QUERY_ITERS {
+        let t = Instant::now();
+        std::hint::black_box(lh.query(TELEMETRY_SQL, "main").expect("telemetry query"));
+        telemetry.push(t.elapsed().as_nanos() as u64);
+    }
+    let telemetry_ns = median(telemetry);
+
     print_rows(
         "disabled-tracing overhead on the 24-file scan query",
         &["metric", "value"],
@@ -158,6 +192,19 @@ fn main() {
                 "enabled overhead (info)".into(),
                 format!("{:.2}%", enabled_overhead * 100.0),
             ],
+            vec!["recorder event (ns)".into(), format!("{record_ns:.2}")],
+            vec![
+                "events recorded per query".into(),
+                format!("{events_recorded}"),
+            ],
+            vec![
+                "recorder-on overhead".into(),
+                format!("{:.5}%", recorder_overhead * 100.0),
+            ],
+            vec![
+                "median system.queries scan".into(),
+                format!("{:.3} ms", telemetry_ns as f64 / 1e6),
+            ],
         ],
     );
 
@@ -168,9 +215,15 @@ fn main() {
          {disabled_ns} ns query)",
         overhead * 100.0
     );
+    assert!(
+        recorder_overhead < 0.02,
+        "flight-recorder overhead {:.4}% exceeds the 2% budget \
+         ({record_ns:.2} ns x {events_recorded} events vs {disabled_ns} ns query)",
+        recorder_overhead * 100.0
+    );
 
     let json = format!(
-        "{{\n  \"bench\": \"obs_overhead\",\n  \"files\": {files},\n  \"rows_per_file\": {rows_per},\n  \"query\": \"scan-filter-aggregate\",\n  \"summary\": {{\n    \"noop_span_ns\": {noop_span_ns:.3},\n    \"spans_per_query\": {spans_per_query},\n    \"events_budgeted\": {events_per_query},\n    \"median_query_ns_tracing_off\": {disabled_ns},\n    \"median_query_ns_forced_trace\": {enabled_ns},\n    \"disabled_overhead_fraction\": {overhead:.8},\n    \"enabled_overhead_fraction\": {enabled_overhead:.6},\n    \"budget_fraction\": 0.02,\n    \"within_budget\": true\n  }}\n}}\n"
+        "{{\n  \"bench\": \"obs_overhead\",\n  \"files\": {files},\n  \"rows_per_file\": {rows_per},\n  \"query\": \"scan-filter-aggregate\",\n  \"summary\": {{\n    \"noop_span_ns\": {noop_span_ns:.3},\n    \"spans_per_query\": {spans_per_query},\n    \"events_budgeted\": {events_per_query},\n    \"median_query_ns_tracing_off\": {disabled_ns},\n    \"median_query_ns_forced_trace\": {enabled_ns},\n    \"disabled_overhead_fraction\": {overhead:.8},\n    \"enabled_overhead_fraction\": {enabled_overhead:.6},\n    \"recorder_event_ns\": {record_ns:.3},\n    \"recorder_events_per_query\": {events_recorded},\n    \"recorder_overhead_fraction\": {recorder_overhead:.8},\n    \"median_telemetry_query_ns\": {telemetry_ns},\n    \"budget_fraction\": 0.02,\n    \"within_budget\": true\n  }}\n}}\n"
     );
     std::fs::write("BENCH_obs.json", &json).expect("write BENCH_obs.json");
     println!("\nwrote BENCH_obs.json");

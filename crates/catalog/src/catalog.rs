@@ -43,6 +43,11 @@ impl<'a> CasBackoff<'a> {
     fn wait(&mut self) {
         self.retries.inc();
         let delay = self.backoff.next_delay();
+        lakehouse_obs::recorder().record(
+            lakehouse_obs::EventKind::CasRetry,
+            "refs.json",
+            delay.as_nanos() as u64,
+        );
         if let Some(metrics) = self.store.store_metrics() {
             metrics.record_stall(delay);
         }

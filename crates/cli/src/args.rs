@@ -7,6 +7,7 @@ bauplan — a serverless data lakehouse from spare parts
 USAGE:
   bauplan query -q <SQL> [-b <ref>] [--explain]
   bauplan profile -q <SQL> [-b <ref>]
+  bauplan metrics
   bauplan run --project <dir> [-b <branch>] [--mode naive|fused] [--detach]
   bauplan branch <name> [--from <ref>]
   bauplan tag <name> --from <ref>
@@ -56,10 +57,22 @@ GLOBAL OPTIONS:
                             p95 store latency (first completion wins;
                             win-rate circuit breaker backs hedging off
                             when the store is globally slow)
+  --tenant <name>           tenant label stamped on query contexts: shows
+                            up in per-query ledgers, flight-recorder
+                            events, and system.queries (default: default)
+  --metrics-out <file>      after the command, write the metrics registry
+                            in Prometheus text exposition format here
+                            (`bauplan metrics` prints it to stdout)
 
 `query -q \"EXPLAIN ANALYZE <SQL>\"` executes the query and prints the plan
 annotated with per-operator rows, batches, bytes, and both clocks. `profile`
-prints the full span tree plus the metrics registry.
+prints the full span tree plus the metrics registry grouped by subsystem.
+
+Telemetry is queryable in SQL: `system.queries` (per-query resource
+ledgers), `system.events` (the flight recorder), `system.metrics` (the
+registry), and `system.pool` (the shared buffer pool), e.g.
+  bauplan query -q \"SELECT query_id, io_bytes FROM system.queries \
+ORDER BY io_bytes DESC LIMIT 5\"
 
 The `run` project directory holds one .sql file per artifact (dbt-style) and
 an optional expectations.json declaring data audits:
@@ -98,6 +111,10 @@ pub struct Cli {
     pub read_ahead: usize,
     /// Hedge tail-slow dispatcher reads at the live p95 store latency.
     pub hedge_p95: bool,
+    /// Tenant label stamped on this invocation's query contexts.
+    pub tenant: String,
+    /// Write the registry in Prometheus exposition format here afterwards.
+    pub metrics_out: Option<String>,
     pub command: Command,
 }
 
@@ -113,6 +130,8 @@ pub enum Command {
         sql: String,
         reference: String,
     },
+    /// Print the metrics registry in Prometheus text exposition format.
+    Metrics,
     Run {
         project_dir: String,
         branch: String,
@@ -178,6 +197,8 @@ impl Cli {
         let mut io_depth = 0usize;
         let mut read_ahead = 0usize;
         let mut hedge_p95 = false;
+        let mut tenant = "default".to_string();
+        let mut metrics_out = None;
         let mut rest: Vec<String> = Vec::new();
         let mut i = 0;
         while i < argv.len() {
@@ -241,6 +262,10 @@ impl Cli {
                     .map_err(|_| format!("--read-ahead expects a number, got {v}"))?;
             } else if argv[i] == "--hedge-p95" {
                 hedge_p95 = true;
+            } else if argv[i] == "--tenant" {
+                tenant = take_value(argv, &mut i, "--tenant")?;
+            } else if argv[i] == "--metrics-out" {
+                metrics_out = Some(take_value(argv, &mut i, "--metrics-out")?);
             } else if argv[i] == "--batch-rows" {
                 let v = take_value(argv, &mut i, "--batch-rows")?;
                 batch_rows = v
@@ -259,6 +284,7 @@ impl Cli {
         let command = match verb.as_str() {
             "query" => parse_query(args)?,
             "profile" => parse_profile(args)?,
+            "metrics" => Command::Metrics,
             "run" => parse_run(args)?,
             "branch" => parse_branch(args)?,
             "tag" => parse_tag(args)?,
@@ -303,6 +329,8 @@ impl Cli {
             io_depth,
             read_ahead,
             hedge_p95,
+            tenant,
+            metrics_out,
             command,
         })
     }
@@ -728,6 +756,30 @@ mod tests {
         // Garbage rejected.
         assert!(Cli::parse(&s(&["refs", "--io-depth", "deep"])).is_err());
         assert!(Cli::parse(&s(&["refs", "--read-ahead", "far"])).is_err());
+    }
+
+    #[test]
+    fn parse_telemetry_flags() {
+        let cli = Cli::parse(&s(&[
+            "query",
+            "-q",
+            "SELECT 1",
+            "--tenant",
+            "team-a",
+            "--metrics-out",
+            "metrics.prom",
+        ]))
+        .unwrap();
+        assert_eq!(cli.tenant, "team-a");
+        assert_eq!(cli.metrics_out.as_deref(), Some("metrics.prom"));
+        // Defaults.
+        let cli = Cli::parse(&s(&["refs"])).unwrap();
+        assert_eq!(cli.tenant, "default");
+        assert_eq!(cli.metrics_out, None);
+        // The metrics verb takes no arguments.
+        let cli = Cli::parse(&s(&["metrics"])).unwrap();
+        assert_eq!(cli.command, Command::Metrics);
+        assert!(Cli::parse(&s(&["refs", "--tenant"])).is_err());
     }
 
     #[test]

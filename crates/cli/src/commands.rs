@@ -46,6 +46,7 @@ pub fn dispatch(cli: Cli) -> Result<(), DynError> {
         (seed, p) => Some(ChaosConfig::new(seed.unwrap_or(0xC4A05)).with_fault_p(p)),
     };
     let config = LakehouseConfig {
+        tenant: cli.tenant.clone(),
         scan_parallelism: cli.scan_parallelism,
         metadata_cache_bytes: cli.cache_bytes,
         shared_pool: (cli.shared_pool_bytes > 0)
@@ -61,6 +62,7 @@ pub fn dispatch(cli: Cli) -> Result<(), DynError> {
         ..LakehouseConfig::default()
     };
     let trace_out = cli.trace_out.clone();
+    let metrics_out = cli.metrics_out.clone();
     let lh = Lakehouse::on_disk(&cli.data_dir, config)?;
     match cli.command {
         Command::Query {
@@ -106,10 +108,13 @@ pub fn dispatch(cli: Cli) -> Result<(), DynError> {
             println!();
             print!("{}", tree.render());
             println!();
-            print!("{}", lakehouse_obs::global().render());
+            print!("{}", lakehouse_obs::global().render_grouped());
             if let Some(path) = &trace_out {
                 write_trace(path, &tree)?;
             }
+        }
+        Command::Metrics => {
+            print!("{}", lakehouse_obs::global().render_prometheus());
         }
         Command::Run {
             project_dir,
@@ -217,6 +222,10 @@ pub fn dispatch(cli: Cli) -> Result<(), DynError> {
         Command::Demo { rows } => demo(&lh, rows)?,
         Command::Help => unreachable!("handled above"),
     }
+    if let Some(path) = &metrics_out {
+        std::fs::write(path, lakehouse_obs::global().render_prometheus())?;
+        eprintln!("wrote metrics exposition to {path}");
+    }
     Ok(())
 }
 
@@ -261,11 +270,13 @@ fn print_report(report: &RunReport) {
          store ops: {} gets / {} puts",
         report.store_ops.0, report.store_ops.1
     );
+    // One formatter for every duration the CLI prints (obs::fmt_duration),
+    // so report and EXPLAIN ANALYZE output read the same.
     println!(
-        "  simulated latency: {:.1} ms (startup {:.1} ms + store {:.1} ms)",
-        report.simulated_total.as_secs_f64() * 1e3,
-        report.simulated_startup.as_secs_f64() * 1e3,
-        report.simulated_store.as_secs_f64() * 1e3,
+        "  simulated latency: {} (startup {} + store {})",
+        lakehouse_obs::fmt_duration(report.simulated_total.as_nanos() as u64),
+        lakehouse_obs::fmt_duration(report.simulated_startup.as_nanos() as u64),
+        lakehouse_obs::fmt_duration(report.simulated_store.as_nanos() as u64),
     );
     println!(
         "  status: {}",

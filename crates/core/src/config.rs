@@ -23,6 +23,10 @@ pub struct LakehouseConfig {
     pub default_step_memory: u64,
     /// Author recorded on catalog commits.
     pub author: String,
+    /// Tenant label stamped on this instance's query contexts — carried into
+    /// per-query resource ledgers, flight-recorder events, and
+    /// `system.queries` rows (`--tenant` on the CLI).
+    pub tenant: String,
     /// Row-group size for table writes.
     pub row_group_rows: usize,
     /// Worker threads for parallel SQL operators (1 = serial; the paper's
@@ -95,6 +99,7 @@ impl Default for LakehouseConfig {
             runtime: RuntimeConfig::default(),
             default_step_memory: 512 * 1024 * 1024,
             author: "bauplan".into(),
+            tenant: "default".into(),
             row_group_rows: 8192,
             sql_parallelism: 1,
             scan_parallelism: 1,

@@ -151,6 +151,52 @@ impl Lakehouse {
         lakehouse_obs::set_thread_sim_source(Some(self.sim_source()))
     }
 
+    /// Run `f` under a fresh per-query resource context: the ctx is entered
+    /// on this thread (workers it fans out to re-enter it explicitly), a
+    /// `query_start`/`query_finish` event pair brackets the execution in the
+    /// flight recorder, and the finished record — status, both clocks, and
+    /// the final ledger snapshot — lands in the global query log that backs
+    /// `system.queries`. Callers must have installed the sim source first so
+    /// the simulated clock is attributable.
+    pub(crate) fn attributed<T>(&self, label: &str, f: impl FnOnce() -> Result<T>) -> Result<T> {
+        let ctx = lakehouse_obs::QueryCtx::new(self.config.tenant.clone(), label);
+        // Events carry a short tag, the query log keeps the full text.
+        let tag: String = label.chars().take(64).collect();
+        lakehouse_obs::recorder().record_for(
+            lakehouse_obs::EventKind::QueryStart,
+            ctx.query_id(),
+            ctx.tenant(),
+            &tag,
+            0,
+        );
+        let wall_start = std::time::Instant::now();
+        let sim_start = lakehouse_obs::thread_sim_nanos();
+        let result = {
+            let _attributed = ctx.enter();
+            f()
+        };
+        let wall_nanos = wall_start.elapsed().as_nanos() as u64;
+        let sim_nanos = lakehouse_obs::thread_sim_nanos().saturating_sub(sim_start);
+        let status = if result.is_ok() { "ok" } else { "error" };
+        lakehouse_obs::recorder().record_for(
+            lakehouse_obs::EventKind::QueryFinish,
+            ctx.query_id(),
+            ctx.tenant(),
+            status,
+            wall_nanos,
+        );
+        lakehouse_obs::query_log().push(lakehouse_obs::QueryRecord {
+            query_id: ctx.query_id(),
+            tenant: ctx.tenant().to_string(),
+            label: label.to_string(),
+            status: status.to_string(),
+            wall_nanos,
+            sim_nanos,
+            ledger: ctx.ledger().snapshot(),
+        });
+        result
+    }
+
     // ---- introspection -----------------------------------------------------
 
     /// Simulated-latency metrics of the object store.
@@ -373,7 +419,7 @@ impl Lakehouse {
         let scope = lakehouse_obs::scope("query");
         scope.attr("reference", reference);
         let provider = self.provider(reference);
-        Ok(self.engine.query(sql, &provider)?)
+        self.attributed(sql, || Ok(self.engine.query(sql, &provider)?))
     }
 
     /// SQL over a ref through the streaming pipeline, reporting peak memory
@@ -389,7 +435,7 @@ impl Lakehouse {
         let scope = lakehouse_obs::scope("query");
         scope.attr("reference", reference);
         let provider = self.provider(reference);
-        Ok(self.engine.query_with_report(sql, &provider)?)
+        self.attributed(sql, || Ok(self.engine.query_with_report(sql, &provider)?))
     }
 
     /// EXPLAIN the optimized plan for a query at a ref.
@@ -404,7 +450,7 @@ impl Lakehouse {
     pub fn explain_analyze(&self, sql: &str, reference: &str) -> Result<(RecordBatch, String)> {
         let _sim = self.install_sim();
         let provider = self.provider(reference);
-        Ok(self.engine.explain_analyze(sql, &provider)?)
+        self.attributed(sql, || Ok(self.engine.explain_analyze(sql, &provider)?))
     }
 
     /// [`Self::explain_analyze`] plus the recorded span tree, for exporters
@@ -416,7 +462,9 @@ impl Lakehouse {
     ) -> Result<(RecordBatch, String, lakehouse_obs::SpanTree)> {
         let _sim = self.install_sim();
         let provider = self.provider(reference);
-        Ok(self.engine.explain_analyze_traced(sql, &provider)?)
+        self.attributed(sql, || {
+            Ok(self.engine.explain_analyze_traced(sql, &provider)?)
+        })
     }
 
     /// Execute a query under a forced trace and return the result together
@@ -432,7 +480,7 @@ impl Lakehouse {
         trace.attr("reference", reference);
         trace.attr("sql", sql);
         let provider = self.provider(reference);
-        let result = self.engine.query(sql, &provider);
+        let result = self.attributed(sql, || Ok(self.engine.query(sql, &provider)?));
         let tree = trace.finish();
         Ok((result?, tree))
     }
@@ -447,6 +495,7 @@ impl Lakehouse {
         .with_fetch_retries(self.config.retry_max)
         .with_partial_failures(self.config.scan_partial_failures)
         .with_io(self.io.clone(), self.config.read_ahead)
+        .with_system_pool(self.config.shared_pool.clone())
     }
 
     // ---- functions ------------------------------------------------------------

@@ -45,6 +45,7 @@ pub mod governance;
 pub mod lakehouse;
 pub mod provider;
 pub mod run;
+pub mod system;
 
 pub use config::LakehouseConfig;
 pub use error::{BauplanError, Result};

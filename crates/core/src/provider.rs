@@ -8,7 +8,7 @@ use lakehouse_columnar::{BatchStream, BatchesStream, RechunkStream, RecordBatch,
 use lakehouse_sql::ast::Expr;
 use lakehouse_sql::logical::SchemaProvider;
 use lakehouse_sql::{Result as SqlResult, SqlError, TableProvider};
-use lakehouse_store::{IoDispatcher, ObjectStore};
+use lakehouse_store::{BufferPool, IoDispatcher, ObjectStore};
 use lakehouse_table::{ScanPredicate, Table};
 use parking_lot::RwLock;
 use std::collections::HashMap;
@@ -40,6 +40,9 @@ pub struct LakehouseProvider {
     /// (`None`/0 = seed-identical synchronous fetching).
     io: Option<Arc<IoDispatcher>>,
     read_ahead: usize,
+    /// The lakehouse's shared buffer pool, when one is attached — only read
+    /// to materialize `system.pool`.
+    system_pool: Option<Arc<BufferPool>>,
 }
 
 impl LakehouseProvider {
@@ -59,7 +62,16 @@ impl LakehouseProvider {
             partial_failures: false,
             io: None,
             read_ahead: 0,
+            system_pool: None,
         }
+    }
+
+    /// Expose a buffer pool's counters through `system.pool` (the system
+    /// tables themselves need no configuration — they read process-global
+    /// telemetry).
+    pub fn with_system_pool(mut self, pool: Option<Arc<BufferPool>>) -> LakehouseProvider {
+        self.system_pool = pool;
+        self
     }
 
     /// Route scans through an I/O dispatcher with a speculative read-ahead
@@ -203,6 +215,9 @@ impl SchemaProvider for LakehouseProvider {
     // resolving it: a retry-budget-exhausted get must surface as the typed
     // store error, not as `unknown table`.
     fn table_schema_checked(&self, table: &str) -> Result<Option<Schema>, String> {
+        if table.starts_with(crate::system::SYSTEM_PREFIX) {
+            return Ok(crate::system::system_schema(table));
+        }
         if let Some(batch) = self.overlay.read().get(table) {
             return Ok(Some(batch.schema().clone()));
         }
@@ -230,6 +245,18 @@ impl TableProvider for LakehouseProvider {
         projection: Option<&[String]>,
         filters: &[Expr],
     ) -> SqlResult<RecordBatch> {
+        // System tables: materialized from global telemetry on every scan.
+        if table.starts_with(crate::system::SYSTEM_PREFIX) {
+            let batch = crate::system::system_batch(table, self.system_pool.as_ref())
+                .ok_or_else(|| SqlError::Plan(format!("unknown system table '{table}'")))?;
+            return match projection {
+                Some(cols) => {
+                    let names: Vec<&str> = cols.iter().map(String::as_str).collect();
+                    Ok(batch.project(&names)?)
+                }
+                None => Ok(batch),
+            };
+        }
         // Overlay first: in-memory artifacts.
         if let Some(batch) = self.overlay.read().get(table) {
             return match projection {
@@ -265,6 +292,23 @@ impl TableProvider for LakehouseProvider {
         filters: &[Expr],
         batch_rows: usize,
     ) -> SqlResult<Box<dyn BatchStream>> {
+        // System tables stream the same single materialized batch the
+        // non-streaming path scans, so both executors see identical rows.
+        if table.starts_with(crate::system::SYSTEM_PREFIX) {
+            let batch = crate::system::system_batch(table, self.system_pool.as_ref())
+                .ok_or_else(|| SqlError::Plan(format!("unknown system table '{table}'")))?;
+            let batch = match projection {
+                Some(cols) => {
+                    let names: Vec<&str> = cols.iter().map(String::as_str).collect();
+                    batch.project(&names)?
+                }
+                None => batch,
+            };
+            return Ok(Box::new(RechunkStream::new(
+                BatchesStream::one(batch),
+                batch_rows,
+            )));
+        }
         // Overlay artifacts are already in memory; rechunk so the pipeline
         // still sees bounded batches.
         if let Some(batch) = self.overlay.read().get(table) {

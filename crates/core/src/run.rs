@@ -527,27 +527,32 @@ impl Lakehouse {
         provider: &LakehouseProvider,
         peak_query_bytes: &mut usize,
     ) -> Result<RecordBatch> {
-        let mut attempt = 0u32;
-        loop {
-            let result = if self.config.stream_execution {
-                self.engine
-                    .query_with_report(sql, provider)
-                    .map(|(batch, report)| {
-                        *peak_query_bytes = (*peak_query_bytes).max(report.peak_bytes);
-                        batch
-                    })
-                    .map_err(BauplanError::from)
-            } else {
-                self.engine.query(sql, provider).map_err(BauplanError::from)
-            };
-            match result {
-                Err(e) if e.is_transient() && attempt < self.config.retry_max => {
-                    attempt += 1;
-                    lakehouse_obs::global().counter("run.step_retries").inc();
+        // Each SQL step is its own attributed unit: it gets a query id, a
+        // resource ledger, and a `system.queries` row, just like an ad-hoc
+        // query.
+        self.attributed(sql, move || {
+            let mut attempt = 0u32;
+            loop {
+                let result = if self.config.stream_execution {
+                    self.engine
+                        .query_with_report(sql, provider)
+                        .map(|(batch, report)| {
+                            *peak_query_bytes = (*peak_query_bytes).max(report.peak_bytes);
+                            batch
+                        })
+                        .map_err(BauplanError::from)
+                } else {
+                    self.engine.query(sql, provider).map_err(BauplanError::from)
+                };
+                match result {
+                    Err(e) if e.is_transient() && attempt < self.config.retry_max => {
+                        attempt += 1;
+                        lakehouse_obs::global().counter("run.step_retries").inc();
+                    }
+                    other => return other,
                 }
-                other => return other,
             }
-        }
+        })
     }
 
     /// Merged environment for a stage: function nodes contribute interpreter

@@ -1,0 +1,282 @@
+//! Per-query resource attribution: a [`QueryCtx`] (query id + tenant label)
+//! carried in a thread-local scope and handed explicitly across thread
+//! pools, plus the [`ResourceLedger`] it owns.
+//!
+//! The global [`crate::MetricsRegistry`] keeps the process-wide view of
+//! `io.*` / `pool.*` / `retry.*`; ledgers are the *attributed* view of the
+//! same quantities. Instrumentation points call [`charge`], which is a
+//! thread-local borrow plus a handful of relaxed atomic adds when a context
+//! is active and a single thread-local read otherwise — cheap enough to stay
+//! always-on.
+//!
+//! Propagation rules (DESIGN.md §15):
+//!
+//! * The query entry point creates a [`QueryCtx`] and [`QueryCtx::enter`]s
+//!   it; the guard restores the previous context on drop, so nested queries
+//!   (system-table probes inside a run, say) attribute correctly.
+//! * Thread pools do **not** inherit contexts implicitly. Any code that
+//!   ships work to another thread captures [`QueryCtx::current`] at submit
+//!   time and enters it inside the worker closure. The scan worker pool and
+//!   the `IoDispatcher` both do this, which is what charges speculative
+//!   read-ahead (and hedge retries) to the query that submitted them.
+//! * A worker thread with no entered context charges nothing: the global
+//!   registry still sees the op, the ledger does not. Ledgers therefore
+//!   never over-report; unattributed work is visible as the difference
+//!   between the registry delta and the sum of ledgers.
+
+use std::cell::RefCell;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Attributed resource totals for one query, updated lock-free from any
+/// thread holding the owning [`QueryCtx`].
+#[derive(Debug, Default)]
+pub struct ResourceLedger {
+    io_bytes: AtomicU64,
+    io_bytes_written: AtomicU64,
+    io_ops: AtomicU64,
+    pool_hits: AtomicU64,
+    pool_misses: AtomicU64,
+    evictions_caused: AtomicU64,
+    retry_stall_nanos: AtomicU64,
+    kernel_wall_nanos: AtomicU64,
+    kernel_sim_nanos: AtomicU64,
+}
+
+impl ResourceLedger {
+    pub fn add_io_read(&self, bytes: u64) {
+        self.io_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.io_ops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add_io_write(&self, bytes: u64) {
+        self.io_bytes_written.fetch_add(bytes, Ordering::Relaxed);
+        self.io_ops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add_pool_hit(&self) {
+        self.pool_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add_pool_miss(&self) {
+        self.pool_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add_evictions_caused(&self, n: u64) {
+        self.evictions_caused.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn add_retry_stall_nanos(&self, nanos: u64) {
+        self.retry_stall_nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    pub fn add_kernel_nanos(&self, wall: u64, sim: u64) {
+        self.kernel_wall_nanos.fetch_add(wall, Ordering::Relaxed);
+        self.kernel_sim_nanos.fetch_add(sim, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough point-in-time copy (each field individually
+    /// relaxed-loaded; exact once the query has finished).
+    pub fn snapshot(&self) -> LedgerSnapshot {
+        LedgerSnapshot {
+            io_bytes: self.io_bytes.load(Ordering::Relaxed),
+            io_bytes_written: self.io_bytes_written.load(Ordering::Relaxed),
+            io_ops: self.io_ops.load(Ordering::Relaxed),
+            pool_hits: self.pool_hits.load(Ordering::Relaxed),
+            pool_misses: self.pool_misses.load(Ordering::Relaxed),
+            evictions_caused: self.evictions_caused.load(Ordering::Relaxed),
+            retry_stall_nanos: self.retry_stall_nanos.load(Ordering::Relaxed),
+            kernel_wall_nanos: self.kernel_wall_nanos.load(Ordering::Relaxed),
+            kernel_sim_nanos: self.kernel_sim_nanos.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-value copy of a [`ResourceLedger`], as stored in finished-query
+/// records and `system.queries` rows.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LedgerSnapshot {
+    pub io_bytes: u64,
+    pub io_bytes_written: u64,
+    pub io_ops: u64,
+    pub pool_hits: u64,
+    pub pool_misses: u64,
+    pub evictions_caused: u64,
+    pub retry_stall_nanos: u64,
+    pub kernel_wall_nanos: u64,
+    pub kernel_sim_nanos: u64,
+}
+
+#[derive(Debug)]
+struct CtxInner {
+    query_id: u64,
+    tenant: String,
+    label: String,
+    ledger: ResourceLedger,
+    started: std::time::Instant,
+}
+
+/// A cheap-to-clone handle identifying the query (or run step) that work is
+/// being done for. Clone it across thread boundaries and [`enter`] it on the
+/// worker; all clones share one [`ResourceLedger`].
+///
+/// [`enter`]: QueryCtx::enter
+#[derive(Debug, Clone)]
+pub struct QueryCtx(Arc<CtxInner>);
+
+static NEXT_QUERY_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static CURRENT: RefCell<Option<QueryCtx>> = const { RefCell::new(None) };
+}
+
+impl QueryCtx {
+    /// Allocate a new context with a fresh process-unique query id.
+    pub fn new(tenant: impl Into<String>, label: impl Into<String>) -> QueryCtx {
+        QueryCtx(Arc::new(CtxInner {
+            query_id: NEXT_QUERY_ID.fetch_add(1, Ordering::Relaxed),
+            tenant: tenant.into(),
+            label: label.into(),
+            ledger: ResourceLedger::default(),
+            started: std::time::Instant::now(),
+        }))
+    }
+
+    /// Wall nanoseconds since this context was created — the age of the
+    /// query it identifies.
+    pub fn elapsed_nanos(&self) -> u64 {
+        self.0.started.elapsed().as_nanos() as u64
+    }
+
+    pub fn query_id(&self) -> u64 {
+        self.0.query_id
+    }
+
+    pub fn tenant(&self) -> &str {
+        &self.0.tenant
+    }
+
+    pub fn label(&self) -> &str {
+        &self.0.label
+    }
+
+    pub fn ledger(&self) -> &ResourceLedger {
+        &self.0.ledger
+    }
+
+    /// The context entered on this thread, if any.
+    pub fn current() -> Option<QueryCtx> {
+        CURRENT.with(|c| c.borrow().clone())
+    }
+
+    /// Make this context current on the calling thread until the returned
+    /// guard drops (the previous context, if any, is restored).
+    pub fn enter(&self) -> CtxGuard {
+        let prev = CURRENT.with(|c| c.replace(Some(self.clone())));
+        CtxGuard {
+            prev,
+            _not_send: PhantomData,
+        }
+    }
+}
+
+/// Restores the previously-entered context on drop. `!Send`: the guard must
+/// drop on the thread that entered.
+pub struct CtxGuard {
+    prev: Option<QueryCtx>,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Drop for CtxGuard {
+    fn drop(&mut self) {
+        let prev = self.prev.take();
+        CURRENT.with(|c| *c.borrow_mut() = prev);
+    }
+}
+
+/// Charge the current thread's ledger, if a context is entered. The
+/// preferred instrumentation call: no `Arc` clone, a no-op (one thread-local
+/// borrow) when unattributed.
+pub fn charge<F: FnOnce(&ResourceLedger)>(f: F) {
+    CURRENT.with(|c| {
+        if let Some(ctx) = c.borrow().as_ref() {
+            f(ctx.ledger());
+        }
+    });
+}
+
+/// The current query id, or 0 when no context is entered (flight-recorder
+/// events use 0 for unattributed work).
+pub fn current_query_id() -> u64 {
+    CURRENT.with(|c| c.borrow().as_ref().map_or(0, |ctx| ctx.query_id()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enter_restores_previous_context() {
+        assert!(QueryCtx::current().is_none());
+        let a = QueryCtx::new("t", "a");
+        let b = QueryCtx::new("t", "b");
+        {
+            let _ga = a.enter();
+            assert_eq!(QueryCtx::current().unwrap().query_id(), a.query_id());
+            {
+                let _gb = b.enter();
+                assert_eq!(QueryCtx::current().unwrap().query_id(), b.query_id());
+            }
+            assert_eq!(QueryCtx::current().unwrap().query_id(), a.query_id());
+        }
+        assert!(QueryCtx::current().is_none());
+        assert_ne!(a.query_id(), b.query_id());
+    }
+
+    #[test]
+    fn charge_is_noop_without_context() {
+        let mut called = false;
+        charge(|_| called = true);
+        assert!(!called);
+        assert_eq!(current_query_id(), 0);
+    }
+
+    #[test]
+    fn charges_fold_into_the_entered_ledger() {
+        let ctx = QueryCtx::new("tenant-a", "SELECT 1");
+        {
+            let _g = ctx.enter();
+            charge(|l| l.add_io_read(100));
+            charge(|l| {
+                l.add_pool_hit();
+                l.add_retry_stall_nanos(7);
+            });
+        }
+        charge(|l| l.add_io_read(999)); // no context: charges nobody
+        let snap = ctx.ledger().snapshot();
+        assert_eq!(snap.io_bytes, 100);
+        assert_eq!(snap.io_ops, 1);
+        assert_eq!(snap.pool_hits, 1);
+        assert_eq!(snap.retry_stall_nanos, 7);
+    }
+
+    #[test]
+    fn clones_share_one_ledger_across_threads() {
+        let ctx = QueryCtx::new("t", "q");
+        let worker = {
+            let ctx = ctx.clone();
+            std::thread::spawn(move || {
+                let _g = ctx.enter();
+                charge(|l| l.add_io_read(64));
+            })
+        };
+        {
+            let _g = ctx.enter();
+            charge(|l| l.add_io_read(36));
+        }
+        worker.join().unwrap();
+        assert_eq!(ctx.ledger().snapshot().io_bytes, 100);
+        assert_eq!(ctx.ledger().snapshot().io_ops, 2);
+    }
+}

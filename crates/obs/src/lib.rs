@@ -17,13 +17,17 @@
 //!   (and parallel tests) never contaminate each other's trees.
 
 mod chrome;
+pub mod ctx;
+mod recorder;
 mod registry;
 mod span;
 
 pub use chrome::to_chrome_trace;
+pub use ctx::{LedgerSnapshot, QueryCtx, ResourceLedger};
+pub use recorder::{query_log, recorder, Event, EventKind, FlightRecorder, QueryLog, QueryRecord};
 pub use registry::{global, Counter, Gauge, Histogram, MetricSnapshot, MetricsRegistry};
 pub use span::{
-    fmt_duration, reparent_under, scope, set_thread_sim_source, set_tracing, span, trace_active,
-    tracing_enabled, AttrValue, ParentGuard, Scope, SimSource, SimSourceGuard, SpanData, SpanGuard,
-    SpanTree, Trace,
+    fmt_duration, reparent_under, scope, set_thread_sim_source, set_tracing, span,
+    thread_sim_nanos, trace_active, tracing_enabled, AttrValue, ParentGuard, Scope, SimSource,
+    SimSourceGuard, SpanData, SpanGuard, SpanTree, Trace,
 };

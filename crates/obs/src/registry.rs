@@ -273,6 +273,86 @@ impl MetricsRegistry {
         }
         out
     }
+
+    /// [`Self::render`], but grouped by subsystem prefix (the part of the
+    /// name before the first `.`), with a `[prefix]` header per group.
+    /// Within a group, names stay sorted — the output is fully deterministic
+    /// for diffs and tests.
+    pub fn render_grouped(&self) -> String {
+        let snaps = self.snapshot();
+        let width = snaps.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+        let mut out = String::new();
+        let mut current_group: Option<String> = None;
+        for (name, snap) in snaps {
+            let group = name.split('.').next().unwrap_or("").to_string();
+            if current_group.as_ref() != Some(&group) {
+                if current_group.is_some() {
+                    out.push('\n');
+                }
+                out.push_str(&format!("[{group}]\n"));
+                current_group = Some(group);
+            }
+            let value = match snap {
+                MetricSnapshot::Counter(v) => format!("{v}"),
+                MetricSnapshot::Gauge(v) => format!("{v} (gauge)"),
+                MetricSnapshot::Histogram {
+                    count,
+                    sum,
+                    min,
+                    max,
+                    p50,
+                    p95,
+                    p99,
+                } => format!(
+                    "count={count} sum={sum} min={min} p50~{p50} p95~{p95} p99~{p99} max={max}"
+                ),
+            };
+            out.push_str(&format!("  {name:<width$}  {value}\n"));
+        }
+        out
+    }
+
+    /// Prometheus text exposition (version 0.0.4): one `# TYPE` line per
+    /// metric, names mangled to the `[a-zA-Z0-9_]` charset (`.` and `-`
+    /// become `_`). Histograms export as summaries: `_count`, `_sum`, and
+    /// approximate `quantile`-labelled samples.
+    pub fn render_prometheus(&self) -> String {
+        fn mangle(name: &str) -> String {
+            name.chars()
+                .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+                .collect()
+        }
+        let mut out = String::new();
+        for (name, snap) in self.snapshot() {
+            let n = mangle(&name);
+            match snap {
+                MetricSnapshot::Counter(v) => {
+                    out.push_str(&format!("# TYPE {n} counter\n{n} {v}\n"));
+                }
+                MetricSnapshot::Gauge(v) => {
+                    out.push_str(&format!("# TYPE {n} gauge\n{n} {v}\n"));
+                }
+                MetricSnapshot::Histogram {
+                    count,
+                    sum,
+                    p50,
+                    p95,
+                    p99,
+                    ..
+                } => {
+                    out.push_str(&format!(
+                        "# TYPE {n} summary\n\
+                         {n}{{quantile=\"0.5\"}} {p50}\n\
+                         {n}{{quantile=\"0.95\"}} {p95}\n\
+                         {n}{{quantile=\"0.99\"}} {p99}\n\
+                         {n}_sum {sum}\n\
+                         {n}_count {count}\n"
+                    ));
+                }
+            }
+        }
+        out
+    }
 }
 
 /// The process-wide registry.
@@ -325,6 +405,37 @@ mod tests {
         assert_eq!(h.min(), Some(0));
         assert_eq!(h.max(), Some(u64::MAX));
         assert_eq!(h.quantile(0.0), Some(0));
+    }
+
+    #[test]
+    fn grouped_render_is_sorted_and_sectioned() {
+        let reg = MetricsRegistry::new();
+        reg.counter("pool.hits").add(1);
+        reg.counter("io.completed").add(2);
+        reg.counter("io.submitted").add(3);
+        reg.gauge("pool.resident_bytes").set(9);
+        let text = reg.render_grouped();
+        let io = text.find("[io]").unwrap();
+        let pool = text.find("[pool]").unwrap();
+        assert!(io < pool, "groups sorted by prefix:\n{text}");
+        assert!(text.find("io.completed").unwrap() < text.find("io.submitted").unwrap());
+        assert!(text.contains("pool.resident_bytes"));
+        // Deterministic: identical on re-render.
+        assert_eq!(text, reg.render_grouped());
+    }
+
+    #[test]
+    fn prometheus_exposition_mangles_and_types() {
+        let reg = MetricsRegistry::new();
+        reg.counter("store.bytes_read").add(42);
+        reg.gauge("io.inflight").set(3);
+        reg.histogram("store.op_nanos").record(1000);
+        let text = reg.render_prometheus();
+        assert!(text.contains("# TYPE store_bytes_read counter\nstore_bytes_read 42\n"));
+        assert!(text.contains("# TYPE io_inflight gauge\nio_inflight 3\n"));
+        assert!(text.contains("# TYPE store_op_nanos summary\n"));
+        assert!(text.contains("store_op_nanos_count 1\n"));
+        assert!(!text.contains("store.op_nanos"), "names mangled:\n{text}");
     }
 
     #[test]

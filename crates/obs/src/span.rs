@@ -340,6 +340,13 @@ pub fn set_thread_sim_source(source: Option<SimSource>) -> SimSourceGuard {
     SimSourceGuard { prev: Some(prev) }
 }
 
+/// Read this thread's simulated clock directly (0 when no source is
+/// installed). Lets executors charge simulated-time deltas to per-query
+/// ledgers without opening a span.
+pub fn thread_sim_nanos() -> u64 {
+    SIM_SOURCE.with(|s| s.borrow().as_ref().map_or(0, |f| f()))
+}
+
 /// Restores the previously-installed thread sim source on drop.
 pub struct SimSourceGuard {
     prev: Option<Option<SimSource>>,

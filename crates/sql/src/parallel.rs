@@ -37,8 +37,12 @@ pub fn parallel_filter(
         return Ok(filter_batch(batch, &to_selection(&mask)?)?);
     }
     let chunks = batch.chunks(morsel_size(batch.num_rows(), threads))?;
+    // Hand the query context across the morsel pool (thread-locals do not
+    // propagate) so worker-side charges attribute to the running query.
+    let ctx = lakehouse_obs::QueryCtx::current();
     let results: Vec<Result<RecordBatch>> =
         lakehouse_columnar::pool::map_indexed(threads, &chunks, |_, chunk| {
+            let _attributed = ctx.as_ref().map(lakehouse_obs::QueryCtx::enter);
             let mask = eval(predicate, chunk)?;
             Ok(filter_batch(chunk, &to_selection(&mask)?)?)
         });
@@ -86,7 +90,9 @@ pub fn parallel_aggregate(
     };
 
     // Phase 1: partial aggregation per chunk (bounded parallel).
+    let ctx = lakehouse_obs::QueryCtx::current();
     let partials = lakehouse_columnar::pool::map_indexed(threads, &chunks, |_, chunk| {
+        let _attributed = ctx.as_ref().map(lakehouse_obs::QueryCtx::enter);
         partial_aggregate(chunk, group_exprs, agg_exprs)
     });
 

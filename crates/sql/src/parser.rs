@@ -268,7 +268,14 @@ impl Parser {
                 alias,
             });
         }
-        let name = self.parse_identifier()?;
+        let mut name = self.parse_identifier()?;
+        // Dotted table names (`system.queries`) keep the dot in the name —
+        // providers resolve the full string, there is no catalog/schema
+        // hierarchy here.
+        while self.consume_if(&Token::Dot) {
+            name.push('.');
+            name.push_str(&self.parse_identifier()?);
+        }
         let alias = match self.peek() {
             Some(Token::Word(w)) if !is_clause_keyword(w) => {
                 let w = w.clone();

@@ -56,10 +56,19 @@ pub fn execute_with_options(
     provider: &dyn TableProvider,
     options: &ExecOptions,
 ) -> Result<RecordBatch> {
+    let wall_start = std::time::Instant::now();
+    let sim_start = lakehouse_obs::thread_sim_nanos();
     // Late materialization: dictionary-encoded columns flow through the
     // operators as codes; only the rows that survive to the final result
     // are decoded to plain strings.
-    Ok(execute_node(plan, provider, options, "0")?.decode_dicts())
+    let result = execute_node(plan, provider, options, "0").map(RecordBatch::decode_dicts);
+    lakehouse_obs::ctx::charge(|l| {
+        l.add_kernel_nanos(
+            wall_start.elapsed().as_nanos() as u64,
+            lakehouse_obs::thread_sim_nanos().saturating_sub(sim_start),
+        );
+    });
+    result
 }
 
 /// Recursive execution step. `path` identifies the node's position in the

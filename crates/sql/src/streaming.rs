@@ -52,6 +52,13 @@ pub struct ExecReport {
     pub operator_rows: Vec<(String, usize)>,
     /// Whether scans streamed per-file (vs. a materialized one-shot source).
     pub streaming: bool,
+    /// Wall-clock time of the execution, in **nanoseconds** (every report
+    /// struct carries times in nanos; render with
+    /// [`lakehouse_obs::fmt_duration`]).
+    pub wall_nanos: u64,
+    /// Simulated-clock time charged to the executing thread, in
+    /// **nanoseconds** (0 when no sim source is installed).
+    pub sim_nanos: u64,
 }
 
 /// Shared per-execution state: the memory gauge plus counters.
@@ -140,6 +147,8 @@ pub fn execute_streaming(
     // Declared before the operator tree: the operators' spans (fields of the
     // stream, dropped at the end of the block below) close before this one.
     let span = lakehouse_obs::span("execute");
+    let wall_start = std::time::Instant::now();
+    let sim_start = lakehouse_obs::thread_sim_nanos();
     let stats = Rc::new(ExecStats::default());
     let result = {
         let mut root = build_stream(plan, provider, options, &stats, stream_scans, "0")?;
@@ -161,11 +170,16 @@ pub fn execute_streaming(
         .decode_dicts()
         // Dropping `root` here releases every operator's gauge.
     };
+    let wall_nanos = wall_start.elapsed().as_nanos() as u64;
+    let sim_nanos = lakehouse_obs::thread_sim_nanos().saturating_sub(sim_start);
+    lakehouse_obs::ctx::charge(|l| l.add_kernel_nanos(wall_nanos, sim_nanos));
     let report = ExecReport {
         peak_bytes: stats.tracker.peak(),
         batches_streamed: stats.batches_streamed.get(),
         operator_rows: stats.operator_rows.borrow().clone(),
         streaming: stream_scans,
+        wall_nanos,
+        sim_nanos,
     };
     if span.is_recording() {
         span.attr("rows", result.num_rows() as u64);

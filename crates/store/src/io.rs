@@ -150,6 +150,11 @@ struct Slot {
     deadline: Option<Duration>,
     submitted_at: Instant,
     hedge: bool,
+    /// Query context captured at submit time: the worker enters it around
+    /// the backend call, so bytes/ops (including speculative read-ahead and
+    /// hedges) are charged to the query that submitted the request, not to
+    /// whichever worker thread happens to run it.
+    ctx: Option<lakehouse_obs::QueryCtx>,
     state: SlotState,
 }
 
@@ -332,6 +337,7 @@ impl IoDispatcher {
                     deadline,
                     submitted_at: Instant::now(),
                     hedge,
+                    ctx: lakehouse_obs::QueryCtx::current(),
                     state: SlotState::Queued,
                 },
             );
@@ -518,9 +524,13 @@ impl IoDispatcher {
         }) else {
             return unknown_ticket();
         };
+        let hedge_path = match &op {
+            IoOp::Get(path) | IoOp::GetRange(path, _, _) => path.to_string(),
+        };
         let hedge_ticket = self.submit(op, deadline, true, true);
         sh.stats.hedges_fired.fetch_add(1, Ordering::Relaxed);
         sh.obs.hedge_fired.inc();
+        lakehouse_obs::recorder().record(lakehouse_obs::EventKind::HedgeFired, &hedge_path, 0);
         // Phase 2: first completion wins; cancel the loser.
         let mut slots = sh.slots.lock().expect("io slots poisoned");
         loop {
@@ -545,6 +555,11 @@ impl IoDispatcher {
             if hedged {
                 sh.stats.hedges_won.fetch_add(1, Ordering::Relaxed);
                 sh.obs.hedge_won.inc();
+                lakehouse_obs::recorder().record(
+                    lakehouse_obs::EventKind::HedgeWon,
+                    &hedge_path,
+                    winner.sim_nanos,
+                );
             }
             if let Some(b) = &self.breaker {
                 b.record(hedged);
@@ -619,20 +634,30 @@ fn worker_loop(sh: &Shared) {
         };
         // Claim the slot; a ghost id (cancelled while queued) is skipped
         // without touching the backend.
-        let (op, deadline, submitted_at) = {
+        let (op, deadline, submitted_at, ctx) = {
             let mut slots = sh.slots.lock().expect("io slots poisoned");
             match slots.get_mut(&id) {
                 Some(slot) => {
                     slot.state = SlotState::Running;
-                    (slot.op.clone(), slot.deadline, slot.submitted_at)
+                    (
+                        slot.op.clone(),
+                        slot.deadline,
+                        slot.submitted_at,
+                        slot.ctx.clone(),
+                    )
                 }
                 None => continue,
             }
         };
         let lane_before = sh.metrics.as_ref().map(|m| m.lane_nanos());
-        let mut result = match &op {
-            IoOp::Get(path) => sh.store.get(path),
-            IoOp::GetRange(path, start, end) => sh.store.get_range(path, *start, *end),
+        let mut result = {
+            // Attribute the backend call (and everything it charges) to the
+            // submitting query.
+            let _attributed = ctx.as_ref().map(lakehouse_obs::QueryCtx::enter);
+            match &op {
+                IoOp::Get(path) => sh.store.get(path),
+                IoOp::GetRange(path, start, end) => sh.store.get_range(path, *start, *end),
+            }
         };
         let sim_nanos = match (&sh.metrics, lane_before) {
             (Some(m), Some(before)) => m.lane_nanos().saturating_sub(before),

@@ -152,6 +152,8 @@ impl StoreMetrics {
         self.bytes_read.fetch_add(bytes as u64, Ordering::Relaxed);
         self.global.gets.inc();
         self.global.bytes_read.add(bytes as u64);
+        lakehouse_obs::ctx::charge(|l| l.add_io_read(bytes as u64));
+        lakehouse_obs::recorder().record(lakehouse_obs::EventKind::StoreOp, "get", bytes as u64);
         self.record_latency(latency);
     }
 
@@ -161,6 +163,8 @@ impl StoreMetrics {
             .fetch_add(bytes as u64, Ordering::Relaxed);
         self.global.puts.inc();
         self.global.bytes_written.add(bytes as u64);
+        lakehouse_obs::ctx::charge(|l| l.add_io_write(bytes as u64));
+        lakehouse_obs::recorder().record(lakehouse_obs::EventKind::StoreOp, "put", bytes as u64);
         self.record_latency(latency);
     }
 
@@ -194,6 +198,7 @@ impl StoreMetrics {
     pub fn record_stall(&self, stall: Duration) {
         let nanos = stall.as_nanos() as u64;
         self.stall_nanos.fetch_add(nanos, Ordering::Relaxed);
+        lakehouse_obs::ctx::charge(|l| l.add_retry_stall_nanos(nanos));
         self.simulated_nanos.fetch_add(nanos, Ordering::Relaxed);
         *self
             .lanes

@@ -215,10 +215,12 @@ impl PoolMetrics {
     fn record_hit(&self) {
         self.hits.fetch_add(1, Ordering::Relaxed);
         self.g_hits.inc();
+        lakehouse_obs::ctx::charge(|l| l.add_pool_hit());
     }
     fn record_miss(&self) {
         self.misses.fetch_add(1, Ordering::Relaxed);
         self.g_misses.inc();
+        lakehouse_obs::ctx::charge(|l| l.add_pool_miss());
     }
     fn record_admitted(&self) {
         self.admitted.fetch_add(1, Ordering::Relaxed);
@@ -290,6 +292,10 @@ impl PoolMetrics {
     /// Bytes currently resident.
     pub fn resident_bytes(&self) -> u64 {
         self.resident_bytes.load(Ordering::Relaxed)
+    }
+    /// Entries currently resident.
+    pub fn resident_entries(&self) -> u64 {
+        self.resident_entries.load(Ordering::Relaxed)
     }
 }
 
@@ -723,10 +729,23 @@ impl BufferPool {
             }
             if let Some(e) = self.remove_locked(s, &victim) {
                 self.metrics.record_evicted(e.data.len());
+                // The inserting query caused this eviction: charge its
+                // ledger and leave a flight-recorder event naming the victim.
+                lakehouse_obs::ctx::charge(|l| l.add_evictions_caused(1));
+                lakehouse_obs::recorder().record(
+                    lakehouse_obs::EventKind::PoolEvict,
+                    victim.path(),
+                    e.data.len() as u64,
+                );
             }
         }
         let crc = crc32c(&data);
         s.bytes += len;
+        lakehouse_obs::recorder().record(
+            lakehouse_obs::EventKind::PoolAdmit,
+            key.path(),
+            len as u64,
+        );
         s.map.insert(
             key,
             PoolEntry {

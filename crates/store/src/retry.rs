@@ -357,6 +357,11 @@ impl<S: ObjectStore> RetryStore<S> {
                     self.retries.fetch_add(1, Ordering::Relaxed);
                     self.obs.attempts.inc();
                     self.obs.backoff_nanos.record(delay.as_nanos() as u64);
+                    lakehouse_obs::recorder().record(
+                        lakehouse_obs::EventKind::RetryAttempt,
+                        op,
+                        delay.as_nanos() as u64,
+                    );
                     if let Some(m) = metrics.as_ref() {
                         m.record_stall(delay);
                     }

@@ -570,8 +570,13 @@ impl ScanStream {
         let span = lakehouse_obs::span("scan.fetch");
         span.attr("files", take);
         let metrics = self.scan.store.store_metrics();
+        // The worker pool does not inherit thread-locals: hand the query
+        // context across explicitly so each worker's fetches charge the
+        // owning query's ledger.
+        let ctx = lakehouse_obs::QueryCtx::current();
         let partials: Vec<(Result<EntryPartial>, u32, u64)> =
             lakehouse_columnar::pool::map_indexed(self.scan.parallelism, &group, |_, entry| {
+                let _attributed = ctx.as_ref().map(lakehouse_obs::QueryCtx::enter);
                 let entry_lane_start = metrics.as_ref().map(|m| m.lane_nanos()).unwrap_or(0);
                 // Whole-file retry: a transient fault or a checksum-caught
                 // corrupt read re-reads the entry from scratch (footer and
