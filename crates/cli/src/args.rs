@@ -63,6 +63,31 @@ GLOBAL OPTIONS:
   --metrics-out <file>      after the command, write the metrics registry
                             in Prometheus text exposition format here
                             (`bauplan metrics` prints it to stdout)
+  --query-timeout-ms <n>    per-query deadline: wall time plus attributed
+                            retry stall, after which the query's cancel
+                            token trips and it aborts with a typed
+                            \"query killed (deadline)\" error (default: 0 =
+                            no deadline; Ctrl-C always cancels)
+  --memory-budget-mb <n>    per-query peak-working-set cap for --stream
+                            execution, in MiB (default: 0 = off)
+  --io-budget-mb <n>        per-query attributed object-store byte budget,
+                            read + written, in MiB (default: 0 = off)
+  --retry-stall-budget-ms <n>
+                            per-query cap on total retry backoff charged
+                            before the query is killed (default: 0 = off)
+  --max-concurrent-queries <n>
+                            admission gate: at most this many top-level
+                            queries execute at once; excess submissions
+                            queue and are shed with a typed \"overloaded\"
+                            error when the queue is full or they wait past
+                            --queue-deadline-ms (default: 0 = no gate)
+  --tenant-slots <n>        per-tenant cap on admission slots, so one
+                            tenant cannot occupy the whole gate
+                            (default: 0 = uncapped; needs the gate)
+  --queue-cap <n>           bounded admission wait queue length; beyond it
+                            submissions are shed immediately (default: 16)
+  --queue-deadline-ms <n>   longest a submission may wait for admission
+                            before being shed (default: 100)
 
 `query -q \"EXPLAIN ANALYZE <SQL>\"` executes the query and prints the plan
 annotated with per-operator rows, batches, bytes, and both clocks. `profile`
@@ -115,6 +140,22 @@ pub struct Cli {
     pub tenant: String,
     /// Write the registry in Prometheus exposition format here afterwards.
     pub metrics_out: Option<String>,
+    /// Per-query deadline in milliseconds (0 = none).
+    pub query_timeout_ms: u64,
+    /// Per-query streaming peak-memory budget in bytes (0 = off).
+    pub memory_budget_bytes: u64,
+    /// Per-query attributed IO byte budget, read + written (0 = off).
+    pub io_budget_bytes: u64,
+    /// Per-query retry-stall budget in milliseconds (0 = off).
+    pub retry_stall_budget_ms: u64,
+    /// Admission gate width (0 = no gate).
+    pub max_concurrent_queries: usize,
+    /// Per-tenant admission slot cap (0 = uncapped).
+    pub tenant_slots: usize,
+    /// Bounded admission wait-queue length.
+    pub queue_cap: usize,
+    /// Admission queue deadline in milliseconds.
+    pub queue_deadline_ms: u64,
     pub command: Command,
 }
 
@@ -199,6 +240,14 @@ impl Cli {
         let mut hedge_p95 = false;
         let mut tenant = "default".to_string();
         let mut metrics_out = None;
+        let mut query_timeout_ms = 0u64;
+        let mut memory_budget_bytes = 0u64;
+        let mut io_budget_bytes = 0u64;
+        let mut retry_stall_budget_ms = 0u64;
+        let mut max_concurrent_queries = 0usize;
+        let mut tenant_slots = 0usize;
+        let mut queue_cap = 16usize;
+        let mut queue_deadline_ms = 100u64;
         let mut rest: Vec<String> = Vec::new();
         let mut i = 0;
         while i < argv.len() {
@@ -266,6 +315,48 @@ impl Cli {
                 tenant = take_value(argv, &mut i, "--tenant")?;
             } else if argv[i] == "--metrics-out" {
                 metrics_out = Some(take_value(argv, &mut i, "--metrics-out")?);
+            } else if argv[i] == "--query-timeout-ms" {
+                let v = take_value(argv, &mut i, "--query-timeout-ms")?;
+                query_timeout_ms = v
+                    .parse::<u64>()
+                    .map_err(|_| format!("--query-timeout-ms expects a number, got {v}"))?;
+            } else if argv[i] == "--memory-budget-mb" {
+                let v = take_value(argv, &mut i, "--memory-budget-mb")?;
+                let mb: u64 = v
+                    .parse()
+                    .map_err(|_| format!("--memory-budget-mb expects a number, got {v}"))?;
+                memory_budget_bytes = mb.saturating_mul(1024 * 1024);
+            } else if argv[i] == "--io-budget-mb" {
+                let v = take_value(argv, &mut i, "--io-budget-mb")?;
+                let mb: u64 = v
+                    .parse()
+                    .map_err(|_| format!("--io-budget-mb expects a number, got {v}"))?;
+                io_budget_bytes = mb.saturating_mul(1024 * 1024);
+            } else if argv[i] == "--retry-stall-budget-ms" {
+                let v = take_value(argv, &mut i, "--retry-stall-budget-ms")?;
+                retry_stall_budget_ms = v
+                    .parse::<u64>()
+                    .map_err(|_| format!("--retry-stall-budget-ms expects a number, got {v}"))?;
+            } else if argv[i] == "--max-concurrent-queries" {
+                let v = take_value(argv, &mut i, "--max-concurrent-queries")?;
+                max_concurrent_queries = v
+                    .parse::<usize>()
+                    .map_err(|_| format!("--max-concurrent-queries expects a number, got {v}"))?;
+            } else if argv[i] == "--tenant-slots" {
+                let v = take_value(argv, &mut i, "--tenant-slots")?;
+                tenant_slots = v
+                    .parse::<usize>()
+                    .map_err(|_| format!("--tenant-slots expects a number, got {v}"))?;
+            } else if argv[i] == "--queue-cap" {
+                let v = take_value(argv, &mut i, "--queue-cap")?;
+                queue_cap = v
+                    .parse::<usize>()
+                    .map_err(|_| format!("--queue-cap expects a number, got {v}"))?;
+            } else if argv[i] == "--queue-deadline-ms" {
+                let v = take_value(argv, &mut i, "--queue-deadline-ms")?;
+                queue_deadline_ms = v
+                    .parse::<u64>()
+                    .map_err(|_| format!("--queue-deadline-ms expects a number, got {v}"))?;
             } else if argv[i] == "--batch-rows" {
                 let v = take_value(argv, &mut i, "--batch-rows")?;
                 batch_rows = v
@@ -331,6 +422,14 @@ impl Cli {
             hedge_p95,
             tenant,
             metrics_out,
+            query_timeout_ms,
+            memory_budget_bytes,
+            io_budget_bytes,
+            retry_stall_budget_ms,
+            max_concurrent_queries,
+            tenant_slots,
+            queue_cap,
+            queue_deadline_ms,
             command,
         })
     }
@@ -780,6 +879,68 @@ mod tests {
         let cli = Cli::parse(&s(&["metrics"])).unwrap();
         assert_eq!(cli.command, Command::Metrics);
         assert!(Cli::parse(&s(&["refs", "--tenant"])).is_err());
+    }
+
+    #[test]
+    fn parse_budget_flags() {
+        let cli = Cli::parse(&s(&[
+            "query",
+            "-q",
+            "SELECT 1",
+            "--query-timeout-ms",
+            "250",
+            "--memory-budget-mb",
+            "64",
+            "--io-budget-mb",
+            "128",
+            "--retry-stall-budget-ms",
+            "900",
+        ]))
+        .unwrap();
+        assert_eq!(cli.query_timeout_ms, 250);
+        assert_eq!(cli.memory_budget_bytes, 64 * 1024 * 1024);
+        assert_eq!(cli.io_budget_bytes, 128 * 1024 * 1024);
+        assert_eq!(cli.retry_stall_budget_ms, 900);
+        // Defaults: every budget off — enforcement-free, seed-identical.
+        let cli = Cli::parse(&s(&["refs"])).unwrap();
+        assert_eq!(cli.query_timeout_ms, 0);
+        assert_eq!(cli.memory_budget_bytes, 0);
+        assert_eq!(cli.io_budget_bytes, 0);
+        assert_eq!(cli.retry_stall_budget_ms, 0);
+        // Garbage rejected.
+        assert!(Cli::parse(&s(&["refs", "--query-timeout-ms", "soon"])).is_err());
+        assert!(Cli::parse(&s(&["refs", "--io-budget-mb", "lots"])).is_err());
+    }
+
+    #[test]
+    fn parse_admission_flags() {
+        let cli = Cli::parse(&s(&[
+            "query",
+            "-q",
+            "SELECT 1",
+            "--max-concurrent-queries",
+            "4",
+            "--tenant-slots",
+            "2",
+            "--queue-cap",
+            "8",
+            "--queue-deadline-ms",
+            "50",
+        ]))
+        .unwrap();
+        assert_eq!(cli.max_concurrent_queries, 4);
+        assert_eq!(cli.tenant_slots, 2);
+        assert_eq!(cli.queue_cap, 8);
+        assert_eq!(cli.queue_deadline_ms, 50);
+        // Defaults: no gate; queue knobs at their documented values.
+        let cli = Cli::parse(&s(&["refs"])).unwrap();
+        assert_eq!(cli.max_concurrent_queries, 0);
+        assert_eq!(cli.tenant_slots, 0);
+        assert_eq!(cli.queue_cap, 16);
+        assert_eq!(cli.queue_deadline_ms, 100);
+        // Garbage rejected.
+        assert!(Cli::parse(&s(&["refs", "--max-concurrent-queries", "all"])).is_err());
+        assert!(Cli::parse(&s(&["refs", "--tenant-slots"])).is_err());
     }
 
     #[test]

@@ -59,6 +59,14 @@ pub fn dispatch(cli: Cli) -> Result<(), DynError> {
         io_depth: cli.io_depth,
         read_ahead: cli.read_ahead,
         hedge_p95: cli.hedge_p95,
+        query_timeout_ms: cli.query_timeout_ms,
+        memory_budget_bytes: cli.memory_budget_bytes,
+        io_budget_bytes: cli.io_budget_bytes,
+        retry_stall_budget_ms: cli.retry_stall_budget_ms,
+        max_concurrent_queries: cli.max_concurrent_queries,
+        tenant_slots: cli.tenant_slots,
+        queue_cap: cli.queue_cap,
+        queue_deadline_ms: cli.queue_deadline_ms,
         ..LakehouseConfig::default()
     };
     let trace_out = cli.trace_out.clone();

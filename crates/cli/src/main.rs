@@ -18,7 +18,43 @@ mod pipeline_loader;
 use args::Cli;
 use std::process::ExitCode;
 
+/// Ctrl-C handling without a signal-handling dependency: the handler is a
+/// single atomic store ([`lakehouse_obs::request_cancel_all`] — async-signal
+/// safe), which every active query context observes at its next cancellation
+/// check. In-flight work then unwinds with a typed `query killed (canceled)`
+/// error instead of the process dying mid-commit. A second Ctrl-C gives up
+/// on grace and exits immediately with the conventional 128+SIGINT status.
+#[cfg(unix)]
+mod sigint {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    const SIGINT: i32 = 2;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+        fn _exit(status: i32) -> !;
+    }
+
+    static SEEN: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_sigint(_signum: i32) {
+        if SEEN.swap(true, Ordering::Relaxed) {
+            // Second Ctrl-C: the graceful path is evidently stuck.
+            unsafe { _exit(130) }
+        }
+        lakehouse_obs::request_cancel_all();
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGINT, on_sigint as extern "C" fn(i32) as usize);
+        }
+    }
+}
+
 fn main() -> ExitCode {
+    #[cfg(unix)]
+    sigint::install();
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let cli = match Cli::parse(&argv) {
         Ok(cli) => cli,

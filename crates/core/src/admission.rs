@@ -1,0 +1,381 @@
+//! Admission control: a bounded concurrency gate with per-tenant slot
+//! quotas and a bounded FIFO wait queue, wrapped around every top-level
+//! query/run/profile entry point (DESIGN.md §16).
+//!
+//! The paper's multi-tenant premise (§3.1) is that a serverless lakehouse
+//! is shared: one greedy tenant must not be able to monopolize the
+//! platform. The gate enforces that *before* any work starts:
+//!
+//! - at most `max_slots` queries execute concurrently, platform-wide;
+//! - a tenant holding `tenant_slots` of them waits even when free slots
+//!   remain for others (quota), so a flood from one tenant cannot starve
+//!   the rest;
+//! - waiters park in a bounded FIFO queue. Admission picks the **first
+//!   eligible** waiter — FIFO order, but a quota-exhausted tenant's
+//!   waiters are skipped rather than blocking the head of the line;
+//! - a submission that would overflow the queue, or waits longer than the
+//!   queue deadline, is **shed** with a typed `Overloaded { retry_after }`
+//!   — load the platform cannot take is refused crisply, never queued
+//!   unboundedly (the "embarrassingly scalable" failure mode the paper
+//!   warns about is the retry storm a silent queue produces).
+//!
+//! The gate publishes `admission.{admitted,queued,shed}` counters, records
+//! `admission_admit` / `admission_shed` flight-recorder events, and tracks
+//! per-tenant running peaks so the overload bench can prove quotas held.
+
+use lakehouse_obs::{Counter, EventKind};
+use std::collections::{HashMap, VecDeque};
+// std::sync because the vendored `parking_lot` has no condvar; poisoned
+// locks are recovered (`into_inner`), never unwrapped.
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+/// How often a queued waiter re-evaluates its position (bounds how long a
+/// wake-up can be missed; admission normally proceeds via `notify_all`).
+const QUEUE_POLL: Duration = Duration::from_millis(5);
+
+/// Tuning for an [`AdmissionController`]. Derived from `LakehouseConfig`
+/// by [`AdmissionConfig::from_lakehouse`].
+#[derive(Debug, Clone)]
+pub struct AdmissionConfig {
+    /// Platform-wide concurrent-query slots (>= 1).
+    pub max_slots: usize,
+    /// Per-tenant slot cap; 0 = no per-tenant cap.
+    pub tenant_slots: usize,
+    /// Waiters beyond this are shed immediately.
+    pub queue_cap: usize,
+    /// Longest a waiter may queue before being shed.
+    pub queue_deadline: Duration,
+}
+
+impl AdmissionConfig {
+    /// The gate a `LakehouseConfig` asks for, or `None` when admission is
+    /// disabled (`max_concurrent_queries == 0`, the default).
+    pub fn from_lakehouse(cfg: &crate::LakehouseConfig) -> Option<AdmissionConfig> {
+        if cfg.max_concurrent_queries == 0 {
+            return None;
+        }
+        Some(AdmissionConfig {
+            max_slots: cfg.max_concurrent_queries,
+            tenant_slots: cfg.tenant_slots,
+            queue_cap: cfg.queue_cap,
+            queue_deadline: Duration::from_millis(cfg.queue_deadline_ms),
+        })
+    }
+}
+
+struct State {
+    /// Currently executing queries per tenant.
+    running: HashMap<String, usize>,
+    total_running: usize,
+    /// FIFO of queued waiters: (waiter id, tenant).
+    queue: VecDeque<(u64, String)>,
+    next_id: u64,
+    /// High-water marks, for the overload bench's quota proof.
+    peak_running: HashMap<String, usize>,
+    peak_total: usize,
+}
+
+struct Obs {
+    admitted: Arc<Counter>,
+    queued: Arc<Counter>,
+    shed: Arc<Counter>,
+}
+
+struct Inner {
+    cfg: AdmissionConfig,
+    state: Mutex<State>,
+    cv: Condvar,
+    obs: Obs,
+}
+
+impl Inner {
+    fn lock(&self) -> MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// The bounded, quota-aware admission gate. Cheap to clone (`Arc` inside);
+/// several `Lakehouse` instances handed the same controller share one
+/// platform-wide gate — that is how the multi-tenant bench models tenants.
+#[derive(Clone)]
+pub struct AdmissionController {
+    inner: Arc<Inner>,
+}
+
+/// RAII admission slot: dropping it releases the slot and wakes waiters.
+pub struct AdmissionPermit {
+    inner: Arc<Inner>,
+    tenant: String,
+}
+
+impl std::fmt::Debug for AdmissionPermit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdmissionPermit")
+            .field("tenant", &self.tenant)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Drop for AdmissionPermit {
+    fn drop(&mut self) {
+        let mut st = self.inner.lock();
+        st.total_running = st.total_running.saturating_sub(1);
+        if let Some(n) = st.running.get_mut(&self.tenant) {
+            *n = n.saturating_sub(1);
+            if *n == 0 {
+                st.running.remove(&self.tenant);
+            }
+        }
+        drop(st);
+        self.inner.cv.notify_all();
+    }
+}
+
+impl AdmissionController {
+    pub fn new(cfg: AdmissionConfig) -> AdmissionController {
+        let reg = lakehouse_obs::global();
+        AdmissionController {
+            inner: Arc::new(Inner {
+                cfg: AdmissionConfig {
+                    max_slots: cfg.max_slots.max(1),
+                    queue_cap: cfg.queue_cap,
+                    ..cfg
+                },
+                state: Mutex::new(State {
+                    running: HashMap::new(),
+                    total_running: 0,
+                    queue: VecDeque::new(),
+                    next_id: 1,
+                    peak_running: HashMap::new(),
+                    peak_total: 0,
+                }),
+                cv: Condvar::new(),
+                obs: Obs {
+                    admitted: reg.counter("admission.admitted"),
+                    queued: reg.counter("admission.queued"),
+                    shed: reg.counter("admission.shed"),
+                },
+            }),
+        }
+    }
+
+    /// Acquire a slot for `tenant`, queueing (bounded, FIFO-among-eligible)
+    /// when the gate is full. `Err(retry_after)` means the submission was
+    /// shed — queue overflow or queue-deadline — and the caller should back
+    /// off at least that long before resubmitting.
+    pub fn acquire(&self, tenant: &str) -> Result<AdmissionPermit, Duration> {
+        let inner = &self.inner;
+        let mut st = inner.lock();
+        // Fast path: nobody queued ahead and quota allows.
+        if st.queue.is_empty() && Self::eligible(&inner.cfg, &st, tenant) {
+            return Ok(self.admit(&mut st, tenant, Duration::ZERO));
+        }
+        if st.queue.len() >= inner.cfg.queue_cap {
+            drop(st);
+            return Err(self.shed(tenant));
+        }
+        let id = st.next_id;
+        st.next_id += 1;
+        st.queue.push_back((id, tenant.to_string()));
+        inner.obs.queued.inc();
+        let enqueued = Instant::now();
+        let deadline = enqueued + inner.cfg.queue_deadline;
+        loop {
+            // Admit the first *eligible* waiter in FIFO order: earlier
+            // waiters of a quota-exhausted tenant are skipped, not allowed
+            // to block the head of the line.
+            let first_eligible = st
+                .queue
+                .iter()
+                .find(|(_, t)| Self::eligible(&inner.cfg, &st, t))
+                .map(|(i, _)| *i);
+            if first_eligible == Some(id) {
+                let pos = st
+                    .queue
+                    .iter()
+                    .position(|(i, _)| *i == id)
+                    .expect("waiter present until admitted or shed");
+                st.queue.remove(pos);
+                return Ok(self.admit(&mut st, tenant, enqueued.elapsed()));
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                let pos = st
+                    .queue
+                    .iter()
+                    .position(|(i, _)| *i == id)
+                    .expect("waiter present until admitted or shed");
+                st.queue.remove(pos);
+                drop(st);
+                return Err(self.shed(tenant));
+            }
+            let timeout = (deadline - now).min(QUEUE_POLL);
+            st = inner
+                .cv
+                .wait_timeout(st, timeout)
+                .unwrap_or_else(PoisonError::into_inner)
+                .0;
+        }
+    }
+
+    fn eligible(cfg: &AdmissionConfig, st: &State, tenant: &str) -> bool {
+        if st.total_running >= cfg.max_slots {
+            return false;
+        }
+        if cfg.tenant_slots > 0 {
+            let used = st.running.get(tenant).copied().unwrap_or(0);
+            if used >= cfg.tenant_slots {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn admit(&self, st: &mut State, tenant: &str, waited: Duration) -> AdmissionPermit {
+        st.total_running += 1;
+        let n = st.running.entry(tenant.to_string()).or_insert(0);
+        *n += 1;
+        let n = *n;
+        let peak = st.peak_running.entry(tenant.to_string()).or_insert(0);
+        *peak = (*peak).max(n);
+        st.peak_total = st.peak_total.max(st.total_running);
+        self.inner.obs.admitted.inc();
+        lakehouse_obs::recorder().record_for(
+            EventKind::AdmissionAdmit,
+            0,
+            tenant,
+            "",
+            waited.as_nanos() as u64,
+        );
+        AdmissionPermit {
+            inner: Arc::clone(&self.inner),
+            tenant: tenant.to_string(),
+        }
+    }
+
+    fn shed(&self, tenant: &str) -> Duration {
+        // Suggest waiting one full queue window: by then the queue the
+        // caller could not join has either drained or the platform is still
+        // overloaded and the resubmission will be shed again just as fast.
+        let retry_after = self.inner.cfg.queue_deadline.max(Duration::from_millis(1));
+        self.inner.obs.shed.inc();
+        lakehouse_obs::recorder().record_for(
+            EventKind::AdmissionShed,
+            0,
+            tenant,
+            "",
+            retry_after.as_nanos() as u64,
+        );
+        retry_after
+    }
+
+    /// Queries currently holding slots.
+    pub fn running(&self) -> usize {
+        self.inner.lock().total_running
+    }
+
+    /// High-water mark of concurrently running queries for `tenant` — the
+    /// overload bench's proof that a quota held.
+    pub fn peak_running(&self, tenant: &str) -> usize {
+        self.inner
+            .lock()
+            .peak_running
+            .get(tenant)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// High-water mark of concurrently running queries platform-wide.
+    pub fn peak_total(&self) -> usize {
+        self.inner.lock().peak_total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn cfg(max: usize, per_tenant: usize, queue_cap: usize, deadline_ms: u64) -> AdmissionConfig {
+        AdmissionConfig {
+            max_slots: max,
+            tenant_slots: per_tenant,
+            queue_cap,
+            queue_deadline: Duration::from_millis(deadline_ms),
+        }
+    }
+
+    #[test]
+    fn slots_bound_concurrency_and_release_admits_waiters() {
+        let gate = AdmissionController::new(cfg(2, 0, 8, 5_000));
+        let p1 = gate.acquire("a").expect("slot 1");
+        let p2 = gate.acquire("a").expect("slot 2");
+        assert_eq!(gate.running(), 2);
+        let g2 = gate.clone();
+        let h = std::thread::spawn(move || g2.acquire("b").map(drop).is_ok());
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(gate.running(), 2, "third query must queue, not run");
+        drop(p1);
+        assert!(h.join().unwrap(), "released slot admits the waiter");
+        drop(p2);
+        assert_eq!(gate.running(), 0);
+        assert_eq!(gate.peak_total(), 2);
+    }
+
+    #[test]
+    fn full_queue_sheds_immediately_with_retry_after() {
+        let gate = AdmissionController::new(cfg(1, 0, 0, 50));
+        let _p = gate.acquire("a").expect("slot");
+        let start = Instant::now();
+        let retry_after = gate.acquire("b").expect_err("queue cap 0 must shed");
+        assert!(retry_after >= Duration::from_millis(1));
+        assert!(
+            start.elapsed() < Duration::from_millis(25),
+            "overflow shed must be immediate, took {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn queue_deadline_sheds_stuck_waiters() {
+        let gate = AdmissionController::new(cfg(1, 0, 8, 30));
+        let _p = gate.acquire("a").expect("slot");
+        let start = Instant::now();
+        let retry_after = gate.acquire("b").expect_err("deadline must shed");
+        let waited = start.elapsed();
+        assert!(retry_after >= Duration::from_millis(1));
+        assert!(
+            waited >= Duration::from_millis(25) && waited < Duration::from_millis(500),
+            "shed at ~the 30 ms queue deadline, waited {waited:?}"
+        );
+    }
+
+    #[test]
+    fn tenant_quota_skips_greedy_waiters_without_blocking_others() {
+        // 2 slots, 1 per tenant. Tenant a holds its quota; a's second query
+        // queues. Tenant b must be admitted past it (no head-of-line block).
+        let gate = AdmissionController::new(cfg(2, 1, 8, 5_000));
+        let pa = gate.acquire("a").expect("a's slot");
+        let ga = gate.clone();
+        let a_waiting = Arc::new(AtomicUsize::new(0));
+        let flag = Arc::clone(&a_waiting);
+        let h = std::thread::spawn(move || {
+            flag.store(1, Ordering::SeqCst);
+            let p = ga.acquire("a");
+            p.map(drop).is_ok()
+        });
+        while a_waiting.load(Ordering::SeqCst) == 0 {
+            std::thread::yield_now();
+        }
+        std::thread::sleep(Duration::from_millis(10));
+        // b jumps past a's queued-over-quota waiter.
+        let pb = gate.acquire("b").expect("b must not starve behind a");
+        assert_eq!(gate.peak_running("a"), 1, "a's quota held");
+        drop(pa); // frees a's quota: the queued a waiter admits
+        assert!(h.join().unwrap());
+        drop(pb);
+        assert!(gate.peak_running("a") <= 1);
+        assert_eq!(gate.peak_running("b"), 1);
+    }
+}

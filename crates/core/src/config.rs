@@ -87,6 +87,36 @@ pub struct LakehouseConfig {
     /// latency distribution (`--hedge-p95`), with a win-rate circuit
     /// breaker. Off by default.
     pub hedge_p95: bool,
+    /// Per-query deadline in milliseconds (`--query-timeout-ms`). Measured
+    /// against wall time plus attributed simulated retry stall; past it the
+    /// query's cancel token trips with `KillReason::Deadline`. 0 (the
+    /// default) arms no deadline.
+    pub query_timeout_ms: u64,
+    /// Per-query peak-working-set budget in bytes (`--memory-budget-mb` on
+    /// the CLI). Enforced by the streaming executor against its shared
+    /// `MemoryTracker`; trips as `KillReason::MemoryBudget`. 0 = off.
+    pub memory_budget_bytes: u64,
+    /// Per-query attributed IO byte budget, read + written
+    /// (`--io-budget-mb`). Trips as `KillReason::IoBudget`. 0 = off.
+    pub io_budget_bytes: u64,
+    /// Per-query retry-stall budget in milliseconds: total backoff a query
+    /// may be charged before it is killed (as `KillReason::Deadline` — a
+    /// query out of stall budget is past its effective deadline). 0 = off.
+    pub retry_stall_budget_ms: u64,
+    /// Admission gate: maximum concurrently executing top-level queries
+    /// (`--max-concurrent-queries`). 0 (the default) builds no gate at all
+    /// — no queueing, no shedding, seed-identical behavior.
+    pub max_concurrent_queries: usize,
+    /// Per-tenant cap on admission slots (`--tenant-slots`). 0 = no
+    /// per-tenant cap (a tenant may use every slot). Only meaningful when
+    /// `max_concurrent_queries > 0`.
+    pub tenant_slots: usize,
+    /// Bounded admission wait queue: submissions beyond this many waiters
+    /// are shed immediately with `Overloaded { retry_after }`.
+    pub queue_cap: usize,
+    /// Maximum milliseconds a submission may wait in the admission queue
+    /// before being shed with `Overloaded { retry_after }`.
+    pub queue_deadline_ms: u64,
 }
 
 impl Default for LakehouseConfig {
@@ -114,6 +144,14 @@ impl Default for LakehouseConfig {
             io_depth: 0,
             read_ahead: 0,
             hedge_p95: false,
+            query_timeout_ms: 0,
+            memory_budget_bytes: 0,
+            io_budget_bytes: 0,
+            retry_stall_budget_ms: 0,
+            max_concurrent_queries: 0,
+            tenant_slots: 0,
+            queue_cap: 16,
+            queue_deadline_ms: 100,
         }
     }
 }

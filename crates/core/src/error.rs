@@ -24,6 +24,17 @@ pub enum BauplanError {
         action: String,
         reference: String,
     },
+    /// The query's cancel token tripped: deadline, budget, or explicit
+    /// cancel. Terminal — retrying the same query may succeed, but this
+    /// submission is dead.
+    QueryKilled {
+        reason: lakehouse_obs::KillReason,
+    },
+    /// The admission gate shed the query (queue full or queue deadline
+    /// exceeded); the caller should back off at least `retry_after`.
+    Overloaded {
+        retry_after: std::time::Duration,
+    },
     Store(lakehouse_store::StoreError),
     Catalog(lakehouse_catalog::CatalogError),
     Table(lakehouse_table::TableError),
@@ -75,6 +86,14 @@ impl fmt::Display for BauplanError {
             } => write!(
                 f,
                 "access denied: {principal} may not {action} on '{reference}'"
+            ),
+            Self::QueryKilled { reason } => {
+                write!(f, "{}", lakehouse_store::killed_message(*reason))
+            }
+            Self::Overloaded { retry_after } => write!(
+                f,
+                "overloaded: retry after {:.0} ms",
+                retry_after.as_secs_f64() * 1e3
             ),
             Self::Store(e) => write!(f, "store: {e}"),
             Self::Catalog(e) => write!(f, "catalog: {e}"),

@@ -38,6 +38,10 @@ pub struct Lakehouse {
     pub(crate) runs: Mutex<RunRegistry>,
     pub(crate) access: AccessController,
     pub(crate) estimator: MemoryEstimator,
+    /// Admission gate wrapped around top-level query/run/profile entry
+    /// points (`max_concurrent_queries > 0`). `None` — the default — means
+    /// no gate: no queueing, no shedding, seed-identical behavior.
+    pub(crate) admission: Option<crate::AdmissionController>,
     table_counter: AtomicU64,
 }
 
@@ -55,6 +59,22 @@ impl Lakehouse {
     ) -> Result<Lakehouse> {
         let backend = lakehouse_store::LocalFsStore::new(path)?;
         // Initialize the catalog only on first use.
+        let refs_path =
+            lakehouse_store::ObjectPath::new(format!("{}/refs.json", config.catalog_prefix))?;
+        let fresh = !backend.exists(&refs_path);
+        Self::with_backend(Box::new(backend), config, fresh)
+    }
+
+    /// Create a lakehouse over a caller-supplied (typically shared) backend.
+    /// Several instances over one `Arc` see the same lake — one platform,
+    /// many fronts. The catalog is initialized only if the backend does not
+    /// already hold one, so the second instance opens what the first built.
+    /// This is how multi-tenant setups are modeled: per-tenant `Lakehouse`
+    /// handles (each with its own `tenant` label and budgets) over one
+    /// store, sharing one [`crate::AdmissionController`] via
+    /// [`Lakehouse::set_admission`] and one [`lakehouse_store::BufferPool`]
+    /// via `config.shared_pool`.
+    pub fn with_store(backend: Arc<dyn ObjectStore>, config: LakehouseConfig) -> Result<Lakehouse> {
         let refs_path =
             lakehouse_store::ObjectPath::new(format!("{}/refs.json", config.catalog_prefix))?;
         let fresh = !backend.exists(&refs_path);
@@ -117,6 +137,8 @@ impl Lakehouse {
             .with_parallelism(config.sql_parallelism)
             .with_streaming(config.stream_execution)
             .with_batch_rows(config.stream_batch_rows);
+        let admission =
+            crate::AdmissionConfig::from_lakehouse(&config).map(crate::AdmissionController::new);
         Ok(Lakehouse {
             config,
             store,
@@ -129,6 +151,7 @@ impl Lakehouse {
             runs: Mutex::new(RunRegistry::new()),
             access: AccessController::new(),
             estimator: MemoryEstimator::new(),
+            admission,
             table_counter: AtomicU64::new(0),
         })
     }
@@ -159,7 +182,53 @@ impl Lakehouse {
     /// `system.queries`. Callers must have installed the sim source first so
     /// the simulated clock is attributable.
     pub(crate) fn attributed<T>(&self, label: &str, f: impl FnOnce() -> Result<T>) -> Result<T> {
+        // Admission gate: only *top-level* submissions contend for a slot.
+        // Nested attributions (run steps executing under an already-entered
+        // query context) run under their parent's slot — re-acquiring here
+        // would deadlock a run against its own steps.
+        let _permit = match &self.admission {
+            Some(gate) if lakehouse_obs::QueryCtx::current().is_none() => {
+                match gate.acquire(&self.config.tenant) {
+                    Ok(permit) => Some(permit),
+                    Err(retry_after) => {
+                        // Shed before a context existed: the record carries
+                        // query id 0 (never admitted, nothing attributed).
+                        lakehouse_obs::query_log().push(lakehouse_obs::QueryRecord {
+                            query_id: 0,
+                            tenant: self.config.tenant.clone(),
+                            label: label.to_string(),
+                            status: "shed".to_string(),
+                            reason: "overloaded".to_string(),
+                            wall_nanos: 0,
+                            sim_nanos: 0,
+                            ledger: lakehouse_obs::LedgerSnapshot::default(),
+                        });
+                        return Err(BauplanError::Overloaded { retry_after });
+                    }
+                }
+            }
+            _ => None,
+        };
         let ctx = lakehouse_obs::QueryCtx::new(self.config.tenant.clone(), label);
+        // Budgets arm only after admission, so queue wait never counts
+        // against the deadline. All default to 0 = unarmed: the token then
+        // never trips and enforcement-off runs are byte-identical.
+        if self.config.query_timeout_ms > 0 {
+            ctx.arm_deadline(std::time::Duration::from_millis(
+                self.config.query_timeout_ms,
+            ));
+        }
+        if self.config.memory_budget_bytes > 0 {
+            ctx.arm_memory_budget(self.config.memory_budget_bytes);
+        }
+        if self.config.io_budget_bytes > 0 {
+            ctx.arm_io_budget(self.config.io_budget_bytes);
+        }
+        if self.config.retry_stall_budget_ms > 0 {
+            ctx.arm_stall_budget(std::time::Duration::from_millis(
+                self.config.retry_stall_budget_ms,
+            ));
+        }
         // Events carry a short tag, the query log keeps the full text.
         let tag: String = label.chars().take(64).collect();
         lakehouse_obs::recorder().record_for(
@@ -177,7 +246,31 @@ impl Lakehouse {
         };
         let wall_nanos = wall_start.elapsed().as_nanos() as u64;
         let sim_nanos = lakehouse_obs::thread_sim_nanos().saturating_sub(sim_start);
-        let status = if result.is_ok() { "ok" } else { "error" };
+        // A tripped token plus a failed result means the failure *is* the
+        // kill, however many layers stringified it on the way up: re-type
+        // it here so callers always see `BauplanError::QueryKilled`.
+        let killed = ctx.killed().filter(|_| result.is_err());
+        let result = match killed {
+            Some(reason) => Err(BauplanError::QueryKilled { reason }),
+            None => result,
+        };
+        let status = match (&result, killed) {
+            (Ok(_), _) => "ok",
+            (Err(_), Some(_)) => "killed",
+            (Err(_), None) => "error",
+        };
+        if let Some(reason) = killed {
+            lakehouse_obs::global()
+                .counter(&format!("query.killed.{}", reason.counter_suffix()))
+                .inc();
+            lakehouse_obs::recorder().record_for(
+                lakehouse_obs::EventKind::QueryKilled,
+                ctx.query_id(),
+                ctx.tenant(),
+                reason.as_str(),
+                wall_nanos,
+            );
+        }
         lakehouse_obs::recorder().record_for(
             lakehouse_obs::EventKind::QueryFinish,
             ctx.query_id(),
@@ -190,6 +283,7 @@ impl Lakehouse {
             tenant: ctx.tenant().to_string(),
             label: label.to_string(),
             status: status.to_string(),
+            reason: killed.map(|r| r.as_str().to_string()).unwrap_or_default(),
             wall_nanos,
             sim_nanos,
             ledger: ctx.ledger().snapshot(),
@@ -207,6 +301,19 @@ impl Lakehouse {
     /// The completion-based I/O dispatcher, when `config.io_depth > 0`.
     pub fn io_dispatcher(&self) -> Option<&Arc<IoDispatcher>> {
         self.io.as_ref()
+    }
+
+    /// The admission gate, when `config.max_concurrent_queries > 0`.
+    pub fn admission(&self) -> Option<&crate::AdmissionController> {
+        self.admission.as_ref()
+    }
+
+    /// Replace the admission gate. A multi-tenant deployment hands several
+    /// `Lakehouse` instances (one per tenant label) clones of **one**
+    /// controller so they contend for the same platform-wide slots — this
+    /// is how the overload bench models tenants sharing a backend.
+    pub fn set_admission(&mut self, gate: Option<crate::AdmissionController>) {
+        self.admission = gate;
     }
 
     /// The runtime's simulated clock (startup/datapass events).

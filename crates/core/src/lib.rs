@@ -37,6 +37,7 @@
 //! assert_eq!(out.num_rows(), 1);
 //! ```
 
+pub mod admission;
 pub mod config;
 pub mod error;
 pub mod estimator;
@@ -47,6 +48,7 @@ pub mod provider;
 pub mod run;
 pub mod system;
 
+pub use admission::{AdmissionConfig, AdmissionController, AdmissionPermit};
 pub use config::LakehouseConfig;
 pub use error::{BauplanError, Result};
 pub use estimator::MemoryEstimator;

@@ -11,7 +11,7 @@
 //!
 //! | table            | columns |
 //! |------------------|---------|
-//! | `system.queries` | query_id, tenant, label, status, wall_ms, sim_ms, io_bytes, io_bytes_written, io_ops, pool_hits, pool_misses, evictions_caused, retry_stall_ms, kernel_wall_ms |
+//! | `system.queries` | query_id, tenant, label, status, reason, wall_ms, sim_ms, io_bytes, io_bytes_written, io_ops, pool_hits, pool_misses, evictions_caused, retry_stall_ms, kernel_wall_ms |
 //! | `system.events`  | seq, wall_micros, kind, query_id, tenant, detail, value |
 //! | `system.metrics` | name, kind, value, count, p50, p95, p99 |
 //! | `system.pool`    | metric, value |
@@ -42,6 +42,7 @@ fn queries_schema() -> Schema {
         Field::new("tenant", DataType::Utf8, false),
         Field::new("label", DataType::Utf8, false),
         Field::new("status", DataType::Utf8, false),
+        Field::new("reason", DataType::Utf8, false),
         Field::new("wall_ms", DataType::Float64, false),
         Field::new("sim_ms", DataType::Float64, false),
         Field::new("io_bytes", DataType::Int64, false),
@@ -67,6 +68,12 @@ pub fn queries_batch() -> RecordBatch {
                 tenant: ctx.tenant().to_string(),
                 label: ctx.label().to_string(),
                 status: "running".to_string(),
+                // A live row can already carry a kill reason: the token
+                // tripped but the query has not unwound to a yield yet.
+                reason: ctx
+                    .killed()
+                    .map(|r| r.as_str().to_string())
+                    .unwrap_or_default(),
                 wall_nanos: ctx.elapsed_nanos(),
                 sim_nanos: 0,
                 ledger: ctx.ledger().snapshot(),
@@ -80,6 +87,7 @@ pub fn queries_batch() -> RecordBatch {
             Column::from_strs(records.iter().map(|r| r.tenant.as_str()).collect()),
             Column::from_strs(records.iter().map(|r| r.label.as_str()).collect()),
             Column::from_strs(records.iter().map(|r| r.status.as_str()).collect()),
+            Column::from_strs(records.iter().map(|r| r.reason.as_str()).collect()),
             Column::from_f64(records.iter().map(|r| ms(r.wall_nanos)).collect()),
             Column::from_f64(records.iter().map(|r| ms(r.sim_nanos)).collect()),
             Column::from_i64(records.iter().map(|r| r.ledger.io_bytes as i64).collect()),

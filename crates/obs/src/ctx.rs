@@ -26,8 +26,75 @@
 
 use std::cell::RefCell;
 use std::marker::PhantomData;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
+
+/// Why a query's [`CancelToken`] tripped. Carried in the typed
+/// `QueryKilled { reason }` errors every layer surfaces, the
+/// `query.killed.*` counters, and the `reason` column of `system.queries`.
+///
+/// The retry-stall budget deliberately maps onto [`KillReason::Deadline`]:
+/// a query that has spent its allotted stall time is past its effective
+/// deadline even if the wall clock has not caught up (simulated backoff
+/// charges the ledger, not the wall).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KillReason {
+    /// Explicit cancellation (Ctrl-C, a caller's `kill`).
+    Canceled,
+    /// The per-query deadline (or retry-stall budget) was exceeded.
+    Deadline,
+    /// The streaming executor's resident memory exceeded the budget.
+    MemoryBudget,
+    /// Attributed IO bytes (read + written) exceeded the budget.
+    IoBudget,
+}
+
+impl KillReason {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            KillReason::Canceled => "canceled",
+            KillReason::Deadline => "deadline",
+            KillReason::MemoryBudget => "memory_budget",
+            KillReason::IoBudget => "io_budget",
+        }
+    }
+
+    /// Suffix of the `query.killed.*` registry counter this reason bumps.
+    pub fn counter_suffix(self) -> &'static str {
+        match self {
+            KillReason::Canceled => "canceled",
+            KillReason::Deadline => "deadline",
+            KillReason::MemoryBudget => "memory",
+            KillReason::IoBudget => "io",
+        }
+    }
+
+    fn code(self) -> u64 {
+        match self {
+            KillReason::Canceled => 1,
+            KillReason::Deadline => 2,
+            KillReason::MemoryBudget => 3,
+            KillReason::IoBudget => 4,
+        }
+    }
+
+    fn from_code(code: u64) -> Option<KillReason> {
+        match code {
+            1 => Some(KillReason::Canceled),
+            2 => Some(KillReason::Deadline),
+            3 => Some(KillReason::MemoryBudget),
+            4 => Some(KillReason::IoBudget),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for KillReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
 
 /// Attributed resource totals for one query, updated lock-free from any
 /// thread holding the owning [`QueryCtx`].
@@ -76,6 +143,16 @@ impl ResourceLedger {
         self.kernel_sim_nanos.fetch_add(sim, Ordering::Relaxed);
     }
 
+    /// Attributed IO bytes so far, read plus written (budget checks).
+    pub fn io_total_bytes(&self) -> u64 {
+        self.io_bytes.load(Ordering::Relaxed) + self.io_bytes_written.load(Ordering::Relaxed)
+    }
+
+    /// Attributed retry/throttle stall so far (budget and deadline checks).
+    pub fn retry_stall(&self) -> u64 {
+        self.retry_stall_nanos.load(Ordering::Relaxed)
+    }
+
     /// A consistent-enough point-in-time copy (each field individually
     /// relaxed-loaded; exact once the query has finished).
     pub fn snapshot(&self) -> LedgerSnapshot {
@@ -115,6 +192,42 @@ struct CtxInner {
     label: String,
     ledger: ResourceLedger,
     started: std::time::Instant,
+    /// Cancel token: 0 = alive, else the [`KillReason`] code that tripped
+    /// first (sticky — the first kill wins, later ones are no-ops).
+    killed: AtomicU64,
+    /// Effective-elapsed nanoseconds after which the query is dead
+    /// (0 = no deadline armed).
+    deadline_nanos: AtomicU64,
+    /// Resident-memory cap in bytes for the streaming executor
+    /// (0 = no budget armed). Enforced externally against the executor's
+    /// `MemoryTracker`; stored here so the token carries all budgets.
+    memory_budget_bytes: AtomicU64,
+    /// Attributed IO byte cap, read + written (0 = no budget armed).
+    io_budget_bytes: AtomicU64,
+    /// Attributed retry-stall cap in nanoseconds (0 = no budget armed).
+    stall_budget_nanos: AtomicU64,
+}
+
+/// Process-wide cancel request (Ctrl-C in the CLI): every context's next
+/// [`QueryCtx::check`] trips with [`KillReason::Canceled`]. One-shot CLI
+/// processes never clear it; library embedders that set it must
+/// [`clear_cancel_all`] before issuing further queries.
+static CANCEL_ALL: AtomicBool = AtomicBool::new(false);
+
+/// Request cancellation of every active query in the process
+/// (async-signal-safe: a single atomic store).
+pub fn request_cancel_all() {
+    CANCEL_ALL.store(true, Ordering::Relaxed);
+}
+
+/// Whether a process-wide cancel has been requested.
+pub fn cancel_all_requested() -> bool {
+    CANCEL_ALL.load(Ordering::Relaxed)
+}
+
+/// Reset the process-wide cancel request.
+pub fn clear_cancel_all() {
+    CANCEL_ALL.store(false, Ordering::Relaxed);
 }
 
 /// A cheap-to-clone handle identifying the query (or run step) that work is
@@ -140,7 +253,122 @@ impl QueryCtx {
             label: label.into(),
             ledger: ResourceLedger::default(),
             started: std::time::Instant::now(),
+            killed: AtomicU64::new(0),
+            deadline_nanos: AtomicU64::new(0),
+            memory_budget_bytes: AtomicU64::new(0),
+            io_budget_bytes: AtomicU64::new(0),
+            stall_budget_nanos: AtomicU64::new(0),
         }))
+    }
+
+    // ---- cancel token ----------------------------------------------------
+
+    /// Arm a deadline: the query is killed with [`KillReason::Deadline`]
+    /// once its effective elapsed time (wall time plus attributed simulated
+    /// retry stall) exceeds `timeout`.
+    pub fn arm_deadline(&self, timeout: Duration) {
+        let nanos = (timeout.as_nanos().min(u64::MAX as u128) as u64).max(1);
+        self.0.deadline_nanos.store(nanos, Ordering::Relaxed);
+    }
+
+    /// Arm a resident-memory budget for the streaming executor.
+    pub fn arm_memory_budget(&self, bytes: u64) {
+        self.0
+            .memory_budget_bytes
+            .store(bytes.max(1), Ordering::Relaxed);
+    }
+
+    /// Arm an attributed IO byte budget (read + written).
+    pub fn arm_io_budget(&self, bytes: u64) {
+        self.0
+            .io_budget_bytes
+            .store(bytes.max(1), Ordering::Relaxed);
+    }
+
+    /// Arm an attributed retry-stall budget (trips as
+    /// [`KillReason::Deadline`] — see [`KillReason`]).
+    pub fn arm_stall_budget(&self, budget: Duration) {
+        let nanos = (budget.as_nanos().min(u64::MAX as u128) as u64).max(1);
+        self.0.stall_budget_nanos.store(nanos, Ordering::Relaxed);
+    }
+
+    /// The armed memory budget, if any (the streaming executor compares it
+    /// against its `MemoryTracker` and calls [`QueryCtx::kill`]).
+    pub fn memory_budget_bytes(&self) -> Option<u64> {
+        match self.0.memory_budget_bytes.load(Ordering::Relaxed) {
+            0 => None,
+            b => Some(b),
+        }
+    }
+
+    /// Trip the cancel token. Sticky: only the first reason wins. Returns
+    /// whether this call was the one that tripped it.
+    pub fn kill(&self, reason: KillReason) -> bool {
+        self.0
+            .killed
+            .compare_exchange(0, reason.code(), Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+    }
+
+    /// The reason the token tripped, if it has.
+    pub fn killed(&self) -> Option<KillReason> {
+        KillReason::from_code(self.0.killed.load(Ordering::Relaxed))
+    }
+
+    /// Elapsed time the deadline is measured against: wall time since the
+    /// context was created plus attributed *simulated* retry stall.
+    /// Simulated backoff never blocks the wall clock, so without this term
+    /// a query could stall forever inside its deadline; when stalls do
+    /// sleep for real (`wall_scale > 0`) the double count only makes kills
+    /// earlier, never later.
+    fn effective_elapsed_nanos(&self) -> u64 {
+        self.elapsed_nanos()
+            .saturating_add(self.0.ledger.retry_stall())
+    }
+
+    /// Time left until the armed deadline, or `None` when no deadline is
+    /// armed. `Some(ZERO)` once the deadline has passed — retry layers use
+    /// this to cap backoff (including server `retry_after` floors) so a
+    /// wait can never overshoot the deadline.
+    pub fn deadline_remaining(&self) -> Option<Duration> {
+        match self.0.deadline_nanos.load(Ordering::Relaxed) {
+            0 => None,
+            d => Some(Duration::from_nanos(
+                d.saturating_sub(self.effective_elapsed_nanos()),
+            )),
+        }
+    }
+
+    /// Cooperative cancellation point: cheap enough for every yield point
+    /// (a handful of relaxed loads). Evaluates, in order: an already-tripped
+    /// token, a process-wide cancel request, the deadline, the retry-stall
+    /// budget, and the IO byte budget — tripping the token with the matching
+    /// reason on the first violation. With nothing armed (the default) this
+    /// always returns `Ok`, so enforcement-off runs behave identically.
+    pub fn check(&self) -> std::result::Result<(), KillReason> {
+        if let Some(reason) = self.killed() {
+            return Err(reason);
+        }
+        if cancel_all_requested() {
+            self.kill(KillReason::Canceled);
+            return Err(self.killed().unwrap_or(KillReason::Canceled));
+        }
+        let deadline = self.0.deadline_nanos.load(Ordering::Relaxed);
+        if deadline > 0 && self.effective_elapsed_nanos() > deadline {
+            self.kill(KillReason::Deadline);
+            return Err(self.killed().unwrap_or(KillReason::Deadline));
+        }
+        let stall_budget = self.0.stall_budget_nanos.load(Ordering::Relaxed);
+        if stall_budget > 0 && self.0.ledger.retry_stall() > stall_budget {
+            self.kill(KillReason::Deadline);
+            return Err(self.killed().unwrap_or(KillReason::Deadline));
+        }
+        let io_budget = self.0.io_budget_bytes.load(Ordering::Relaxed);
+        if io_budget > 0 && self.0.ledger.io_total_bytes() > io_budget {
+            self.kill(KillReason::IoBudget);
+            return Err(self.killed().unwrap_or(KillReason::IoBudget));
+        }
+        Ok(())
     }
 
     /// Wall nanoseconds since this context was created — the age of the
@@ -212,6 +440,15 @@ pub fn current_query_id() -> u64 {
     CURRENT.with(|c| c.borrow().as_ref().map_or(0, |ctx| ctx.query_id()))
 }
 
+/// [`QueryCtx::check`] on the thread's current context; `Ok` when no
+/// context is entered. The one-liner yield points call this.
+pub fn check_current() -> std::result::Result<(), KillReason> {
+    CURRENT.with(|c| match c.borrow().as_ref() {
+        Some(ctx) => ctx.check(),
+        None => Ok(()),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -259,6 +496,68 @@ mod tests {
         assert_eq!(snap.io_ops, 1);
         assert_eq!(snap.pool_hits, 1);
         assert_eq!(snap.retry_stall_nanos, 7);
+    }
+
+    #[test]
+    fn kill_is_sticky_first_reason_wins() {
+        let ctx = QueryCtx::new("t", "q");
+        assert!(ctx.check().is_ok());
+        assert!(ctx.kill(KillReason::Deadline));
+        assert!(!ctx.kill(KillReason::IoBudget), "second kill is a no-op");
+        assert_eq!(ctx.killed(), Some(KillReason::Deadline));
+        assert_eq!(ctx.check(), Err(KillReason::Deadline));
+    }
+
+    #[test]
+    fn unarmed_token_never_trips() {
+        let ctx = QueryCtx::new("t", "q");
+        ctx.ledger().add_io_read(u64::MAX / 2);
+        ctx.ledger().add_retry_stall_nanos(u64::MAX / 2);
+        assert!(ctx.check().is_ok(), "no budgets armed: nothing to violate");
+        assert!(ctx.deadline_remaining().is_none());
+    }
+
+    #[test]
+    fn deadline_counts_simulated_stall() {
+        let ctx = QueryCtx::new("t", "q");
+        ctx.arm_deadline(Duration::from_secs(3600));
+        assert!(ctx.check().is_ok());
+        // Wall time is negligible; simulated stall alone must trip it.
+        ctx.ledger()
+            .add_retry_stall_nanos(Duration::from_secs(3601).as_nanos() as u64);
+        assert_eq!(ctx.check(), Err(KillReason::Deadline));
+        assert_eq!(ctx.deadline_remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn io_budget_trips_on_read_plus_write() {
+        let ctx = QueryCtx::new("t", "q");
+        ctx.arm_io_budget(100);
+        ctx.ledger().add_io_read(60);
+        assert!(ctx.check().is_ok());
+        ctx.ledger().add_io_write(60);
+        assert_eq!(ctx.check(), Err(KillReason::IoBudget));
+    }
+
+    #[test]
+    fn stall_budget_trips_as_deadline() {
+        let ctx = QueryCtx::new("t", "q");
+        ctx.arm_stall_budget(Duration::from_millis(10));
+        ctx.ledger()
+            .add_retry_stall_nanos(Duration::from_millis(11).as_nanos() as u64);
+        assert_eq!(ctx.check(), Err(KillReason::Deadline));
+    }
+
+    #[test]
+    fn check_current_without_context_is_ok() {
+        assert!(check_current().is_ok());
+        let ctx = QueryCtx::new("t", "q");
+        ctx.kill(KillReason::Canceled);
+        {
+            let _g = ctx.enter();
+            assert_eq!(check_current(), Err(KillReason::Canceled));
+        }
+        assert!(check_current().is_ok());
     }
 
     #[test]

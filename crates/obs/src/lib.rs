@@ -23,7 +23,10 @@ mod registry;
 mod span;
 
 pub use chrome::to_chrome_trace;
-pub use ctx::{LedgerSnapshot, QueryCtx, ResourceLedger};
+pub use ctx::{
+    cancel_all_requested, check_current, clear_cancel_all, request_cancel_all, KillReason,
+    LedgerSnapshot, QueryCtx, ResourceLedger,
+};
 pub use recorder::{query_log, recorder, Event, EventKind, FlightRecorder, QueryLog, QueryRecord};
 pub use registry::{global, Counter, Gauge, Histogram, MetricSnapshot, MetricsRegistry};
 pub use span::{

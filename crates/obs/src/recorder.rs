@@ -36,6 +36,13 @@ pub enum EventKind {
     PoolAdmit,
     PoolEvict,
     CasRetry,
+    /// A query passed the admission gate (value: queue wait in nanos).
+    AdmissionAdmit,
+    /// A query was shed by the admission gate (value: suggested
+    /// `retry_after` in nanos).
+    AdmissionShed,
+    /// A query's cancel token tripped; detail is the [`crate::KillReason`].
+    QueryKilled,
 }
 
 impl EventKind {
@@ -50,6 +57,9 @@ impl EventKind {
             EventKind::PoolAdmit => "pool_admit",
             EventKind::PoolEvict => "pool_evict",
             EventKind::CasRetry => "cas_retry",
+            EventKind::AdmissionAdmit => "admission_admit",
+            EventKind::AdmissionShed => "admission_shed",
+            EventKind::QueryKilled => "query_killed",
         }
     }
 }
@@ -193,8 +203,11 @@ pub struct QueryRecord {
     pub tenant: String,
     /// The SQL text (or run-step label).
     pub label: String,
-    /// `"ok"` or `"error"`.
+    /// `"ok"`, `"error"`, `"killed"`, or `"shed"`.
     pub status: String,
+    /// Why a non-ok query ended: a [`crate::KillReason`] string for killed
+    /// queries, `"overloaded"` for shed ones, empty otherwise.
+    pub reason: String,
     pub wall_nanos: u64,
     pub sim_nanos: u64,
     pub ledger: LedgerSnapshot,
@@ -289,6 +302,7 @@ mod tests {
                 tenant: "t".into(),
                 label: "q".into(),
                 status: "ok".into(),
+                reason: String::new(),
                 wall_nanos: 0,
                 sim_nanos: 0,
                 ledger: LedgerSnapshot::default(),

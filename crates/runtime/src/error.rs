@@ -17,6 +17,10 @@ pub enum RuntimeError {
     WorkerLost(String),
     /// A user function failed.
     FunctionFailed { function: String, message: String },
+    /// The invoking query's cancel token tripped (deadline, budget, or
+    /// explicit cancel). Never retryable: the query is dead, not the
+    /// runtime. Display keeps the stable `query killed (...)` prefix.
+    QueryKilled { reason: lakehouse_obs::KillReason },
 }
 
 impl fmt::Display for RuntimeError {
@@ -42,6 +46,7 @@ impl fmt::Display for RuntimeError {
             Self::FunctionFailed { function, message } => {
                 write!(f, "function '{function}' failed: {message}")
             }
+            Self::QueryKilled { reason } => write!(f, "query killed ({reason})"),
         }
     }
 }

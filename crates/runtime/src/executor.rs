@@ -126,6 +126,11 @@ impl Runtime {
         stateless: bool,
     ) -> Result<Invocation<T>> {
         let span = lakehouse_obs::span("runtime.invoke");
+        // Cooperative cancellation point: a killed query never allocates a
+        // grant or acquires a container for the next function.
+        if let Err(reason) = lakehouse_obs::check_current() {
+            return Err(RuntimeError::QueryKilled { reason });
+        }
         let grant = self.memory.allocate(memory_bytes)?;
         let start = self.clock.now();
         let container = if stateless {
@@ -185,6 +190,11 @@ impl Runtime {
         loop {
             match self.invoke_inner(env, memory_bytes, &f, false) {
                 Err(e) if e.is_retryable() && attempt < max_retries => {
+                    // Between attempts is a cancellation point too: the
+                    // kill pre-empts the backoff and surfaces typed.
+                    if let Err(reason) = lakehouse_obs::check_current() {
+                        return Err(RuntimeError::QueryKilled { reason });
+                    }
                     attempt += 1;
                     lakehouse_obs::global()
                         .counter("runtime.invoke_retries")

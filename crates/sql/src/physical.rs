@@ -80,6 +80,13 @@ fn execute_node(
     options: &ExecOptions,
     path: &str,
 ) -> Result<RecordBatch> {
+    // Cooperative cancellation point: every operator boundary re-checks
+    // the owning query's token. The message keeps the stable store-layer
+    // prefix (`query killed (...)`) so upper layers that only see strings
+    // can still classify the failure.
+    if let Err(reason) = lakehouse_obs::check_current() {
+        return Err(SqlError::Execution(format!("query killed ({reason})")));
+    }
     // SubqueryAlias is transparent: no operator runs, so no span, and its
     // input keeps the alias's path (the streaming builder does the same).
     if let LogicalPlan::SubqueryAlias { input, .. } = plan {

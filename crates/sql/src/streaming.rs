@@ -151,9 +151,24 @@ pub fn execute_streaming(
     let sim_start = lakehouse_obs::thread_sim_nanos();
     let stats = Rc::new(ExecStats::default());
     let result = {
+        let ctx = lakehouse_obs::QueryCtx::current();
+        let memory_budget = ctx.as_ref().and_then(|c| c.memory_budget_bytes());
         let mut root = build_stream(plan, provider, options, &stats, stream_scans, "0")?;
         let mut batches: Vec<RecordBatch> = Vec::new();
         while let Some(batch) = root.next_batch().map_err(unext)? {
+            // Per-batch cooperative cancellation + memory-budget point: the
+            // root drain is the one yield every streaming plan flows
+            // through, so a killed query stops within one batch and an
+            // over-budget working set trips the token here, where the
+            // shared tracker sees every operator's live bytes.
+            if let Some(ctx) = &ctx {
+                if memory_budget.is_some_and(|b| stats.tracker.current() as u64 > b) {
+                    ctx.kill(lakehouse_obs::KillReason::MemoryBudget);
+                }
+                if let Err(reason) = ctx.check() {
+                    return Err(SqlError::Execution(format!("query killed ({reason})")));
+                }
+            }
             if batch.num_rows() > 0 {
                 // Collected output is live until the query returns.
                 stats.tracker.charge(batch.approx_bytes());

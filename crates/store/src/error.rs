@@ -35,6 +35,21 @@ pub enum StoreError {
         attempts: u32,
         last: Box<StoreError>,
     },
+    /// The owning query's cancel token tripped (deadline, budget, or
+    /// explicit cancel). Never retryable: the query is dead, not the store.
+    /// The Display prefix (`KILLED_PREFIX`) is stable — upper layers that
+    /// stringify errors re-type it by matching that prefix.
+    QueryKilled { reason: lakehouse_obs::KillReason },
+}
+
+/// Stable Display prefix of [`StoreError::QueryKilled`], relied on by
+/// layers that carry errors as strings (the SQL executors).
+pub const KILLED_PREFIX: &str = "query killed";
+
+/// The canonical message for a killed query, used by every layer so the
+/// stringly paths stay detectable: `query killed (reason)`.
+pub fn killed_message(reason: lakehouse_obs::KillReason) -> String {
+    format!("{KILLED_PREFIX} ({reason})")
 }
 
 impl StoreError {
@@ -84,6 +99,7 @@ impl fmt::Display for StoreError {
                     "retries exhausted on {op} after {attempts} attempts: {last}"
                 )
             }
+            Self::QueryKilled { reason } => write!(f, "{KILLED_PREFIX} ({reason})"),
         }
     }
 }

@@ -460,6 +460,7 @@ impl IoDispatcher {
 
     fn wait_plain(&self, ticket: IoTicket) -> IoCompletion {
         let sh = &self.shared;
+        let ctx = lakehouse_obs::QueryCtx::current();
         let mut slots = sh.slots.lock().expect("io slots poisoned");
         loop {
             match take_if_done(&mut slots, ticket.0) {
@@ -475,7 +476,19 @@ impl IoDispatcher {
                     return unknown_ticket();
                 }
                 TakeResult::Pending => {
-                    slots = sh.completion_ready.wait(slots).expect("io slots poisoned");
+                    // Cooperative cancellation: a killed query abandons the
+                    // ticket (cancelling it so in-flight accounting drains)
+                    // instead of blocking until the backend call lands.
+                    if let Some(reason) = check_token(&ctx) {
+                        drop(slots);
+                        self.cancel(ticket);
+                        return killed_completion(reason);
+                    }
+                    let (guard, _timeout) = sh
+                        .completion_ready
+                        .wait_timeout(slots, TOKEN_POLL)
+                        .expect("io slots poisoned");
+                    slots = guard;
                 }
             }
         }
@@ -483,6 +496,7 @@ impl IoDispatcher {
 
     fn wait_hedged(&self, ticket: IoTicket, delay: Duration) -> IoCompletion {
         let sh = &self.shared;
+        let ctx = lakehouse_obs::QueryCtx::current();
         let started = Instant::now();
         // Phase 1: give the primary its hedge window.
         {
@@ -502,13 +516,18 @@ impl IoDispatcher {
                     }
                     TakeResult::Pending => {}
                 }
+                if let Some(reason) = check_token(&ctx) {
+                    drop(slots);
+                    self.cancel(ticket);
+                    return killed_completion(reason);
+                }
                 let elapsed = started.elapsed();
                 if elapsed >= delay {
                     break;
                 }
                 let (guard, _timeout) = sh
                     .completion_ready
-                    .wait_timeout(slots, delay - elapsed)
+                    .wait_timeout(slots, (delay - elapsed).min(TOKEN_POLL))
                     .expect("io slots poisoned");
                 slots = guard;
             }
@@ -543,7 +562,18 @@ impl IoDispatcher {
                 TakeResult::Pending => match take_if_done(&mut slots, hedge_ticket.0) {
                     TakeResult::Done(c) => (c, ticket, true),
                     _ => {
-                        slots = sh.completion_ready.wait(slots).expect("io slots poisoned");
+                        // A kill abandons both racers so neither leaks.
+                        if let Some(reason) = check_token(&ctx) {
+                            drop(slots);
+                            self.cancel(ticket);
+                            self.cancel(hedge_ticket);
+                            return killed_completion(reason);
+                        }
+                        let (guard, _timeout) = sh
+                            .completion_ready
+                            .wait_timeout(slots, TOKEN_POLL)
+                            .expect("io slots poisoned");
+                        slots = guard;
                         continue;
                     }
                 },
@@ -585,6 +615,24 @@ impl Drop for IoDispatcher {
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
+    }
+}
+
+/// How often a blocked `wait` re-checks its query's cancel token. Bounds
+/// how long a killed query can stay parked on the completion condvar.
+const TOKEN_POLL: Duration = Duration::from_millis(5);
+
+/// The waiter's token verdict, if it has a context and the token tripped.
+fn check_token(ctx: &Option<lakehouse_obs::QueryCtx>) -> Option<lakehouse_obs::KillReason> {
+    ctx.as_ref().and_then(|c| c.check().err())
+}
+
+fn killed_completion(reason: lakehouse_obs::KillReason) -> IoCompletion {
+    IoCompletion {
+        result: Err(StoreError::QueryKilled { reason }),
+        sim_nanos: 0,
+        wall: Duration::ZERO,
+        hedged: false,
     }
 }
 
@@ -649,6 +697,27 @@ fn worker_loop(sh: &Shared) {
                 None => continue,
             }
         };
+        // A killed submitter's backend call is skipped entirely: complete
+        // the slot with the typed error so any waiter wakes and the
+        // in-flight count still drains through the normal claim path.
+        if let Some(reason) = ctx.as_ref().and_then(|c| c.check().err()) {
+            let mut slots = sh.slots.lock().expect("io slots poisoned");
+            if let Some(slot) = slots.get_mut(&id) {
+                if matches!(slot.state, SlotState::Abandoned) {
+                    slots.remove(&id);
+                } else {
+                    let hedged = slot.hedge;
+                    slot.state = SlotState::Done(IoCompletion {
+                        result: Err(StoreError::QueryKilled { reason }),
+                        sim_nanos: 0,
+                        wall: submitted_at.elapsed(),
+                        hedged,
+                    });
+                    sh.completion_ready.notify_all();
+                }
+            }
+            continue;
+        }
         let lane_before = sh.metrics.as_ref().map(|m| m.lane_nanos());
         let mut result = {
             // Attribute the backend call (and everything it charges) to the
@@ -1039,6 +1108,45 @@ mod tests {
             dispatcher.submit_get(path, None);
         }
         drop(dispatcher); // must not hang or panic
+    }
+
+    #[test]
+    fn killed_query_wait_returns_promptly_and_drains_inflight() {
+        let store = Arc::new(SleepyStore::uniform(Duration::from_millis(50)));
+        let paths = seeded(store.as_ref(), 2);
+        let dispatcher =
+            IoDispatcher::new(Arc::clone(&store) as Arc<dyn ObjectStore>, IoConfig::new(1));
+        let ctx = lakehouse_obs::QueryCtx::new("t", "q");
+        let _g = ctx.enter();
+        let t0 = dispatcher.submit_get(&paths[0], None); // claimed by the worker
+        let t1 = dispatcher.submit_get(&paths[1], None); // queued behind it
+        ctx.kill(lakehouse_obs::KillReason::Canceled);
+        let start = Instant::now();
+        let c1 = dispatcher.wait(t1);
+        assert!(
+            matches!(c1.result, Err(StoreError::QueryKilled { .. })),
+            "got {:?}",
+            c1.result
+        );
+        assert!(
+            start.elapsed() < Duration::from_millis(40),
+            "killed wait must not block behind the 50 ms primary, took {:?}",
+            start.elapsed()
+        );
+        // t0 races the kill: it may have completed, been skipped by the
+        // worker's token check, or been abandoned by this wait — all fine,
+        // as long as the ticket resolves and accounting drains.
+        let _c0 = dispatcher.wait(t0);
+        assert_eq!(
+            dispatcher.stats().inflight,
+            0,
+            "abandoned tickets must drain the in-flight count"
+        );
+        drop(dispatcher);
+        assert!(
+            store.gets() <= 1,
+            "the queued request of a killed query must never reach the backend"
+        );
     }
 
     #[test]

@@ -28,7 +28,7 @@ pub mod retry;
 
 pub use cache::CachedStore;
 pub use chaos::{ChaosConfig, ChaosStore, FaultKind, FaultingStore, FlakyStore};
-pub use error::{Result, StoreError};
+pub use error::{killed_message, Result, StoreError, KILLED_PREFIX};
 pub use io::{HedgePolicy, IoCompletion, IoConfig, IoDispatcher, IoStats, IoTicket};
 pub use latency::{LatencyModel, SimulatedStore, SleepMode};
 pub use local::LocalFsStore;

@@ -342,17 +342,26 @@ impl Gate {
         }
     }
 
-    fn wait(&self) {
+    /// Wait for the gate to open, bailing out early when the calling
+    /// query's cancel token trips. Returns the kill reason on bail-out;
+    /// `None` means the loader finished and the caller should re-check.
+    fn wait(&self) -> Option<lakehouse_obs::KillReason> {
+        let ctx = lakehouse_obs::QueryCtx::current();
         let mut done = self
             .done
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
         while !*done {
-            done = self
+            if let Some(reason) = ctx.as_ref().and_then(|c| c.check().err()) {
+                return Some(reason);
+            }
+            let (guard, _timeout) = self
                 .cv
-                .wait(done)
+                .wait_timeout(done, std::time::Duration::from_millis(5))
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
+            done = guard;
         }
+        None
     }
 
     fn open(&self) {
@@ -552,8 +561,12 @@ impl BufferPool {
                 return result.map(|d| (d, false));
             }
         };
-        // Another thread is loading this key: wait, then re-check.
-        gate.wait();
+        // Another thread is loading this key: wait, then re-check. A killed
+        // waiter abandons the gate without disturbing the loader or the
+        // pool's bookkeeping — the shared pool stays consistent.
+        if let Some(reason) = gate.wait() {
+            return Err(crate::error::StoreError::QueryKilled { reason });
+        }
         let mut s = shard.lock();
         if let Some(data) = self.lookup_locked(&mut s, key) {
             self.metrics.record_hit();

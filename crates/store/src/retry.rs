@@ -316,9 +316,20 @@ impl<S: ObjectStore> RetryStore<S> {
     /// Run `f` with retry/backoff/deadline semantics.
     fn with_retry<T>(&self, op: &'static str, f: impl Fn(&S) -> Result<T>) -> Result<T> {
         let metrics = self.inner.store_metrics();
+        let ctx = lakehouse_obs::QueryCtx::current();
         let mut attempts: u32 = 0;
         let mut prev_delay = self.policy.base_backoff;
         loop {
+            // Cooperative cancellation point: every attempt (including the
+            // first, and each one after a backoff charged the stall ledger)
+            // re-checks the owning query's token, so a killed query stops
+            // after at most one in-flight attempt instead of burning its
+            // remaining retries.
+            if let Some(ctx) = &ctx {
+                if let Err(reason) = ctx.check() {
+                    return Err(StoreError::QueryKilled { reason });
+                }
+            }
             attempts += 1;
             let lane_before = metrics.as_ref().map(|m| m.lane_nanos());
             let mut result = f(&self.inner);
@@ -349,6 +360,13 @@ impl<S: ObjectStore> RetryStore<S> {
                     // Honor the server's throttle hint as a floor.
                     if let StoreError::Throttled { retry_after, .. } = &e {
                         delay = delay.max(*retry_after);
+                    }
+                    // ... but never let any wait — jitter or server hint —
+                    // overshoot the owning query's remaining deadline: cap
+                    // the delay so the very next token check fires at most
+                    // one backoff past the deadline, not `retry_after` past.
+                    if let Some(remaining) = ctx.as_ref().and_then(|c| c.deadline_remaining()) {
+                        delay = delay.min(remaining);
                     }
                     prev_delay = delay;
                     if !self.consume_budget(delay) {
@@ -583,6 +601,67 @@ mod tests {
             m.stall_time() >= Duration::from_millis(500),
             "throttle hint must floor the backoff, got {:?}",
             m.stall_time()
+        );
+    }
+
+    #[test]
+    fn query_deadline_caps_throttle_retry_after() {
+        // The server suggests a 10 s wait but the query has ~50 ms of
+        // deadline left: the backoff must be capped at the remaining
+        // deadline and the next token check must kill the query — it can
+        // never sit out the full server hint.
+        let mut cfg = ChaosConfig::new(7).with_throttle_p(1.0);
+        cfg.throttle_retry_after = Duration::from_secs(10);
+        let sim = SimulatedStore::new(InMemoryStore::new(), LatencyModel::zero());
+        let chaos = ChaosStore::new(sim, cfg);
+        chaos
+            .inner()
+            .put(&p("a"), Bytes::from_static(b"v"))
+            .unwrap();
+        let s = RetryStore::new(chaos, RetryPolicy::default().with_max_retries(1000));
+        let ctx = lakehouse_obs::QueryCtx::new("t", "q");
+        ctx.arm_deadline(Duration::from_millis(50));
+        let err = {
+            let _g = ctx.enter();
+            s.get(&p("a")).unwrap_err()
+        };
+        match err {
+            StoreError::QueryKilled { reason } => {
+                assert_eq!(reason, lakehouse_obs::KillReason::Deadline);
+            }
+            other => panic!("expected QueryKilled, got {other:?}"),
+        }
+        // The only stall charged is the capped one: bounded by the
+        // deadline, nowhere near the 10 s hint.
+        let m = s.store_metrics().unwrap();
+        assert!(
+            m.stall_time() <= Duration::from_millis(50),
+            "capped backoff must not overshoot the deadline, got {:?}",
+            m.stall_time()
+        );
+    }
+
+    #[test]
+    fn killed_ctx_short_circuits_without_an_attempt() {
+        let s = RetryStore::new(InMemoryStore::new(), RetryPolicy::default());
+        let ctx = lakehouse_obs::QueryCtx::new("t", "q");
+        ctx.kill(lakehouse_obs::KillReason::Canceled);
+        let _g = ctx.enter();
+        // The object doesn't exist, so a dispatched attempt would surface
+        // NotFound; QueryKilled proves the token pre-empted the attempt.
+        match s.get(&p("missing")) {
+            Err(StoreError::QueryKilled { reason }) => {
+                assert_eq!(reason, lakehouse_obs::KillReason::Canceled);
+            }
+            other => panic!("expected QueryKilled, got {other:?}"),
+        }
+        assert_eq!(s.retries(), 0);
+        assert!(
+            !StoreError::QueryKilled {
+                reason: lakehouse_obs::KillReason::Canceled
+            }
+            .is_retryable(),
+            "a killed query is dead, never retryable"
         );
     }
 

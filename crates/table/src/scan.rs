@@ -20,7 +20,7 @@ use crate::metadata::TableMetadata;
 use crate::partition::Transform;
 use lakehouse_columnar::kernels::{cmp_column_scalar, filter_batch, to_selection, CmpOp};
 use lakehouse_columnar::{Column, RecordBatch, Schema, Value};
-use lakehouse_store::{IoDispatcher, IoTicket, ObjectPath, ObjectStore};
+use lakehouse_store::{IoDispatcher, IoTicket, ObjectPath, ObjectStore, StoreError};
 use std::sync::Arc;
 
 /// A simple conjunctive predicate: `column OP literal`. Multiple predicates
@@ -548,6 +548,12 @@ impl ScanStream {
     /// pipeline; [`TableScan::execute_with_report`] drains it directly).
     pub fn pull(&mut self) -> Result<Option<RecordBatch>> {
         while self.ready.is_empty() && !(self.entries.is_empty() && self.pending.is_empty()) {
+            // Per-file cooperative cancellation point: a killed query stops
+            // fetching before the next prefetch group is issued (the Drop
+            // impl then cancels any speculative read-ahead still in flight).
+            if let Err(reason) = lakehouse_obs::check_current() {
+                return Err(TableError::Store(StoreError::QueryKilled { reason }));
+            }
             self.refill()?;
         }
         Ok(self.ready.pop_front())

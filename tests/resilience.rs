@@ -413,3 +413,199 @@ fn default_config_adds_no_resilience_overhead() {
         "a fault-free store must never pay backoff"
     );
 }
+
+// ---- cooperative cancellation under faults (ISSUE 9) -----------------------
+
+/// A query whose deadline trips *during* retry backoff must die promptly:
+/// the server's 10 s retry-after hint is capped at the remaining deadline,
+/// so the query pays at most one capped attempt past the deadline instead
+/// of honoring the full hint — and the failure is typed, attributed, and
+/// counted.
+#[test]
+fn deadline_kills_mid_retry_backoff_promptly_and_typed() {
+    const Q: &str = "SELECT COUNT(*) AS deadline_probe FROM events";
+    let mut chaos = ChaosConfig::new(11).with_throttle_p(0.9);
+    chaos.throttle_retry_after = std::time::Duration::from_secs(10);
+    let config = LakehouseConfig {
+        latency: LatencyModel::zero(),
+        chaos: Some(chaos),
+        retry_max: 1000,
+        // Simulated stall is free wall-clock-wise; give ingest all the
+        // budget it wants so only the query's own deadline is the limit.
+        retry_budget_ms: 1_000_000_000,
+        query_timeout_ms: 50,
+        ..Default::default()
+    };
+    let lh = Lakehouse::in_memory(config).expect("lakehouse under throttle chaos");
+    lh.create_table("events", &events_batch(6, 50), "main")
+        .expect("ingest has no query deadline and retries through throttles");
+
+    let killed_before = lakehouse_obs::global()
+        .counter("query.killed.deadline")
+        .get();
+    let wall = std::time::Instant::now();
+    let err = lh
+        .query(Q, "main")
+        .expect_err("90% throttles cannot finish in 50 ms");
+    assert!(
+        matches!(
+            err,
+            bauplan_core::BauplanError::QueryKilled {
+                reason: lakehouse_obs::KillReason::Deadline
+            }
+        ),
+        "expected a typed deadline kill, got: {err}"
+    );
+    assert!(
+        wall.elapsed() < std::time::Duration::from_secs(2),
+        "kill must be prompt (backoff is simulated, checks are per attempt)"
+    );
+    assert!(
+        lakehouse_obs::global()
+            .counter("query.killed.deadline")
+            .get()
+            > killed_before
+    );
+
+    // The attributed record: status "killed", reason "deadline", and the
+    // charged stall bounded by the deadline plus one capped attempt — not
+    // by the 10 s server hint.
+    let record = lakehouse_obs::query_log()
+        .snapshot()
+        .into_iter()
+        .rev()
+        .find(|r| r.label == Q)
+        .expect("killed queries still land in the query log");
+    assert_eq!(record.status, "killed");
+    assert_eq!(record.reason, "deadline");
+    assert!(
+        record.ledger.retry_stall_nanos <= std::time::Duration::from_millis(200).as_nanos() as u64,
+        "stall {} ns must be capped near the 50 ms deadline, not the 10 s hint",
+        record.ledger.retry_stall_nanos
+    );
+}
+
+/// A query killed mid-scan (I/O byte budget) with speculative read-ahead in
+/// flight must not leak dispatcher tickets: everything it submitted is
+/// claimed or cancelled, and `io.inflight` returns to zero.
+#[test]
+fn killed_query_leaks_no_io_tickets() {
+    const Q: &str = "SELECT SUM(val) AS io_probe FROM events";
+    let make = |io_budget_bytes: u64| {
+        let config = LakehouseConfig {
+            latency: LatencyModel::zero(),
+            io_depth: 2,
+            read_ahead: 4,
+            io_budget_bytes,
+            ..Default::default()
+        };
+        let lh = Lakehouse::in_memory(config).expect("lakehouse with dispatcher");
+        // Identity-partitioned so the scan spans 24 data files — the budget
+        // must trip *between* files, with read-ahead tickets outstanding.
+        lh.create_table_partitioned(
+            "events",
+            &events_batch(24, 100),
+            "main",
+            PartitionSpec::identity("part"),
+        )
+        .expect("fixture ingest");
+        lh
+    };
+    // Measure the query's attributed bytes unbudgeted, then rebuild with a
+    // budget of half that: the kill is then guaranteed to land mid-scan,
+    // with read-ahead tickets outstanding.
+    let unbudgeted = make(0);
+    unbudgeted.query(Q, "main").expect("unbudgeted query runs");
+    let full_bytes = lakehouse_obs::query_log()
+        .snapshot()
+        .into_iter()
+        .rev()
+        .find(|r| r.label == Q && r.status == "ok")
+        .expect("unbudgeted record")
+        .ledger
+        .io_bytes;
+    assert!(full_bytes > 0);
+
+    let budgeted = make(full_bytes / 2);
+    let err = budgeted
+        .query(Q, "main")
+        .expect_err("half the bytes cannot finish");
+    assert!(
+        matches!(
+            err,
+            bauplan_core::BauplanError::QueryKilled {
+                reason: lakehouse_obs::KillReason::IoBudget
+            }
+        ),
+        "expected a typed I/O-budget kill, got: {err}"
+    );
+    let io = budgeted.io_dispatcher().expect("io_depth > 0").as_ref();
+    assert!(io.stats().submitted > 0, "the scan reached the dispatcher");
+    // Drain: a worker may still be finishing an abandoned ticket.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+    while io.stats().inflight > 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    assert_eq!(io.stats().inflight, 0, "killed query must not leak tickets");
+    assert_eq!(
+        io.stats().submitted,
+        io.stats().completed + io.stats().cancelled
+    );
+}
+
+/// Killed queries on a shared buffer pool must leave it consistent: a
+/// well-behaved instance over the same backend and pool still gets
+/// byte-identical results afterwards, with zero verification failures.
+#[test]
+fn killed_queries_leave_shared_pool_consistent() {
+    const Q: &str = "SELECT grp, SUM(val) AS pool_probe FROM events GROUP BY grp ORDER BY grp";
+    let backend: Arc<dyn lakehouse_store::ObjectStore> = Arc::new(InMemoryStore::new());
+    let pool = Arc::new(bauplan_core::BufferPool::new(8 << 20));
+    let shared = |io_budget_bytes: u64| LakehouseConfig {
+        latency: LatencyModel::zero(),
+        shared_pool: Some(Arc::clone(&pool)),
+        io_budget_bytes,
+        ..Default::default()
+    };
+
+    let healthy = Lakehouse::with_store(Arc::clone(&backend), shared(0)).unwrap();
+    healthy
+        .create_table_partitioned(
+            "events",
+            &events_batch(12, 100),
+            "main",
+            PartitionSpec::identity("part"),
+        )
+        .expect("fixture ingest");
+    let want = healthy.query(Q, "main").expect("healthy baseline");
+    let full_bytes = lakehouse_obs::query_log()
+        .snapshot()
+        .into_iter()
+        .rev()
+        .find(|r| r.label == Q && r.status == "ok")
+        .expect("baseline record")
+        .ledger
+        .io_bytes;
+
+    // A budget-capped instance over the *same* backend and pool: every
+    // query it runs is killed partway through the scan. The pool is cleared
+    // first each time — budgets meter *backend* bytes, and a pool-warm scan
+    // would legitimately finish under budget — so each kill abandons a scan
+    // that was actively (re)populating shared pages.
+    let victim = Lakehouse::with_store(Arc::clone(&backend), shared((full_bytes / 2).max(1)))
+        .expect("second instance opens the existing catalog");
+    for _ in 0..3 {
+        pool.clear();
+        let err = victim
+            .query(Q, "main")
+            .expect_err("budgeted instance is killed");
+        assert!(
+            matches!(err, bauplan_core::BauplanError::QueryKilled { .. }),
+            "expected a typed kill, got: {err}"
+        );
+    }
+
+    // The pool survived the carnage: same bytes, nothing corrupted.
+    assert_eq!(healthy.query(Q, "main").expect("healthy again"), want);
+    assert_eq!(pool.metrics().verify_failures(), 0);
+}
