@@ -30,7 +30,7 @@
 #![allow(clippy::print_stdout)]
 
 use bauplan_core::{
-    AdmissionConfig, AdmissionController, BauplanError, Lakehouse, LakehouseConfig,
+    AdmissionConfig, AdmissionController, BauplanError, Lakehouse, LakehouseConfig, PolicyKind,
 };
 use lakehouse_bench::print_rows;
 use lakehouse_columnar::{Column, DataType, Field, RecordBatch, Schema};
@@ -212,6 +212,8 @@ fn main() {
         tenant_slots: TENANT_SLOTS,
         queue_cap: QUEUE_CAP,
         queue_deadline: Duration::from_millis(QUEUE_DEADLINE_MS),
+        policy: PolicyKind::Fifo,
+        weights: Vec::new(),
     });
     let alpha = tenant_front(&backend, &gate, "alpha", 0xA1FA);
     let beta = tenant_front(&backend, &gate, "beta", 0xBE7A);
@@ -415,6 +417,63 @@ fn main() {
         "a deadline kill took {max_wall:?} of wall time — not prompt"
     );
 
+    // ---- fair-share phase: weighted DRR splits a saturated gate 3:1 -------
+    // One slot, two tenants hammering it from three threads each with no
+    // think time; alpha weighs 3, beta weighs 1. Virtual-time fair share
+    // must hand out admissions in that ratio to within ±15%.
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    let fs_gate = AdmissionController::new(AdmissionConfig {
+        max_slots: 1,
+        tenant_slots: 0,
+        queue_cap: 64,
+        queue_deadline: Duration::from_secs(30),
+        policy: PolicyKind::FairShare,
+        weights: vec![("alpha".into(), 3.0), ("beta".into(), 1.0)],
+    });
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut fs_counts: Vec<(Arc<AtomicUsize>, Vec<std::thread::JoinHandle<()>>)> = Vec::new();
+    for tenant in ["alpha", "beta"] {
+        let done = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let gate = fs_gate.clone();
+                let stop = Arc::clone(&stop);
+                let done = Arc::clone(&done);
+                let tenant = tenant.to_string();
+                std::thread::spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        if let Ok(permit) = gate.acquire_item(&tenant, 0.0) {
+                            std::thread::sleep(Duration::from_millis(1));
+                            drop(permit);
+                            done.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                })
+            })
+            .collect();
+        fs_counts.push((done, handles));
+    }
+    std::thread::sleep(Duration::from_millis(450));
+    stop.store(true, Ordering::SeqCst);
+    let mut fs_totals = Vec::new();
+    for (done, handles) in fs_counts {
+        for h in handles {
+            h.join().expect("fair-share submitter");
+        }
+        fs_totals.push(done.load(Ordering::SeqCst));
+    }
+    let (fs_alpha, fs_beta) = (fs_totals[0], fs_totals[1]);
+    let fs_ratio = fs_alpha as f64 / fs_beta.max(1) as f64;
+    println!(
+        "fair-share phase: alpha {fs_alpha} vs beta {fs_beta} admissions \
+         (ratio {fs_ratio:.2}, weights 3:1)"
+    );
+    assert!(
+        (2.55..=3.45).contains(&fs_ratio),
+        "fair-share ratio {fs_ratio:.2} strayed more than 15% from the \
+         configured 3:1 ({fs_alpha} vs {fs_beta})"
+    );
+
     let tenant_json: Vec<String> = reports
         .iter()
         .map(|r| {
@@ -436,7 +495,7 @@ fn main() {
         })
         .collect();
     let json = format!(
-        "{{\n  \"bench\": \"overload_soak\",\n  \"slots\": {SLOTS},\n  \"tenant_slots\": {TENANT_SLOTS},\n  \"queue_cap\": {QUEUE_CAP},\n  \"queue_deadline_ms\": {QUEUE_DEADLINE_MS},\n  \"fault_p\": {FAULT_P},\n  \"retry_max\": {RETRY_MAX},\n  \"submitter_threads\": {},\n  \"trials_per_thread\": {trials},\n  \"tenants\": [\n{}\n  ],\n  \"peak_total\": {},\n  \"total_shed\": {total_shed},\n  \"deadline_phase\": {{\n    \"deadline_ms\": {deadline_ms},\n    \"trials\": {trials},\n    \"deadline_kills\": {deadline_kills},\n    \"max_wall_ms\": {}\n  }},\n  \"summary\": {{\n    \"typed_outcomes_exhaustive\": true,\n    \"quotas_held\": true,\n    \"byte_identical_completions\": true,\n    \"kills_prompt\": true\n  }}\n}}\n",
+        "{{\n  \"bench\": \"overload_soak\",\n  \"slots\": {SLOTS},\n  \"tenant_slots\": {TENANT_SLOTS},\n  \"queue_cap\": {QUEUE_CAP},\n  \"queue_deadline_ms\": {QUEUE_DEADLINE_MS},\n  \"fault_p\": {FAULT_P},\n  \"retry_max\": {RETRY_MAX},\n  \"submitter_threads\": {},\n  \"trials_per_thread\": {trials},\n  \"tenants\": [\n{}\n  ],\n  \"peak_total\": {},\n  \"total_shed\": {total_shed},\n  \"deadline_phase\": {{\n    \"deadline_ms\": {deadline_ms},\n    \"trials\": {trials},\n    \"deadline_kills\": {deadline_kills},\n    \"max_wall_ms\": {}\n  }},\n  \"fair_share\": {{\n    \"slots\": 1,\n    \"threads_per_tenant\": 3,\n    \"weights\": {{ \"alpha\": 3.0, \"beta\": 1.0 }},\n    \"alpha_admitted\": {fs_alpha},\n    \"beta_admitted\": {fs_beta},\n    \"ratio\": {fs_ratio:.3},\n    \"ratio_within_15pct\": true\n  }},\n  \"summary\": {{\n    \"typed_outcomes_exhaustive\": true,\n    \"quotas_held\": true,\n    \"byte_identical_completions\": true,\n    \"kills_prompt\": true,\n    \"fair_share_ratio_held\": true\n  }}\n}}\n",
         POLITE_THREADS * 2 + GREEDY_THREADS,
         tenant_json.join(",\n"),
         gate.peak_total(),

@@ -88,6 +88,18 @@ GLOBAL OPTIONS:
                             submissions are shed immediately (default: 16)
   --queue-deadline-ms <n>   longest a submission may wait for admission
                             before being shed (default: 100)
+  --sched-policy <p>        scheduling policy ordering the admission queue:
+                            fifo (arrival order, the default), fair
+                            (weighted fair share across tenants), or cost
+                            (shortest-expected-cost-first with aging)
+  --tenant-weight <t=w>     fair-share weight for one tenant, e.g.
+                            team-a=3.0 (repeatable; unlisted tenants
+                            weigh 1.0; used by --sched-policy fair)
+  --pool-tenant-quota-mb <n>
+                            per-tenant byte cap on the shared pool's
+                            protected segment, in MiB; a tenant's misses
+                            never evict another tenant's protected pages
+                            (default: 0 = off; needs --shared-pool-mb)
 
 `query -q \"EXPLAIN ANALYZE <SQL>\"` executes the query and prints the plan
 annotated with per-operator rows, batches, bytes, and both clocks. `profile`
@@ -156,6 +168,12 @@ pub struct Cli {
     pub queue_cap: usize,
     /// Admission queue deadline in milliseconds.
     pub queue_deadline_ms: u64,
+    /// Scheduling policy ordering the admission queue.
+    pub sched_policy: bauplan_core::PolicyKind,
+    /// Fair-share weights, `(tenant, weight)` (repeatable flag).
+    pub tenant_weights: Vec<(String, f64)>,
+    /// Per-tenant protected-segment quota on the shared pool, in bytes.
+    pub pool_tenant_quota_bytes: usize,
     pub command: Command,
 }
 
@@ -248,6 +266,9 @@ impl Cli {
         let mut tenant_slots = 0usize;
         let mut queue_cap = 16usize;
         let mut queue_deadline_ms = 100u64;
+        let mut sched_policy = bauplan_core::PolicyKind::Fifo;
+        let mut tenant_weights: Vec<(String, f64)> = Vec::new();
+        let mut pool_tenant_quota_bytes = 0usize;
         let mut rest: Vec<String> = Vec::new();
         let mut i = 0;
         while i < argv.len() {
@@ -357,6 +378,29 @@ impl Cli {
                 queue_deadline_ms = v
                     .parse::<u64>()
                     .map_err(|_| format!("--queue-deadline-ms expects a number, got {v}"))?;
+            } else if argv[i] == "--sched-policy" {
+                let v = take_value(argv, &mut i, "--sched-policy")?;
+                sched_policy = v
+                    .parse()
+                    .map_err(|_| format!("--sched-policy expects fifo, fair, or cost, got {v}"))?;
+            } else if argv[i] == "--tenant-weight" {
+                let v = take_value(argv, &mut i, "--tenant-weight")?;
+                let (name, weight) = v
+                    .split_once('=')
+                    .ok_or_else(|| format!("--tenant-weight expects name=WEIGHT, got {v}"))?;
+                let weight: f64 = weight
+                    .parse()
+                    .map_err(|_| format!("--tenant-weight expects a numeric weight, got {v}"))?;
+                if weight <= 0.0 || !weight.is_finite() {
+                    return Err(format!("--tenant-weight weight must be > 0, got {v}"));
+                }
+                tenant_weights.push((name.to_string(), weight));
+            } else if argv[i] == "--pool-tenant-quota-mb" {
+                let v = take_value(argv, &mut i, "--pool-tenant-quota-mb")?;
+                let mb: usize = v
+                    .parse()
+                    .map_err(|_| format!("--pool-tenant-quota-mb expects a number, got {v}"))?;
+                pool_tenant_quota_bytes = mb.saturating_mul(1024 * 1024);
             } else if argv[i] == "--batch-rows" {
                 let v = take_value(argv, &mut i, "--batch-rows")?;
                 batch_rows = v
@@ -430,6 +474,9 @@ impl Cli {
             tenant_slots,
             queue_cap,
             queue_deadline_ms,
+            sched_policy,
+            tenant_weights,
+            pool_tenant_quota_bytes,
             command,
         })
     }
@@ -659,6 +706,45 @@ mod tests {
             }
         );
         assert_eq!(cli.data_dir, ".bauplan");
+    }
+
+    #[test]
+    fn parse_scheduler_flags() {
+        let cli = Cli::parse(&s(&[
+            "query",
+            "-q",
+            "SELECT 1",
+            "--sched-policy",
+            "fair",
+            "--tenant-weight",
+            "team-a=3.0",
+            "--tenant-weight",
+            "team-b=1",
+            "--pool-tenant-quota-mb",
+            "64",
+        ]))
+        .unwrap();
+        assert_eq!(cli.sched_policy, bauplan_core::PolicyKind::FairShare);
+        assert_eq!(
+            cli.tenant_weights,
+            vec![("team-a".to_string(), 3.0), ("team-b".to_string(), 1.0)]
+        );
+        assert_eq!(cli.pool_tenant_quota_bytes, 64 * 1024 * 1024);
+        let cli = Cli::parse(&s(&["refs", "--sched-policy", "cost"])).unwrap();
+        assert_eq!(cli.sched_policy, bauplan_core::PolicyKind::CostAware);
+        let cli = Cli::parse(&s(&["refs"])).unwrap();
+        assert_eq!(cli.sched_policy, bauplan_core::PolicyKind::Fifo);
+        assert!(cli.tenant_weights.is_empty());
+        assert_eq!(cli.pool_tenant_quota_bytes, 0);
+    }
+
+    #[test]
+    fn parse_scheduler_flags_reject_bad_values() {
+        assert!(Cli::parse(&s(&["refs", "--sched-policy", "lottery"])).is_err());
+        assert!(Cli::parse(&s(&["refs", "--tenant-weight", "team-a"])).is_err());
+        assert!(Cli::parse(&s(&["refs", "--tenant-weight", "team-a=zero"])).is_err());
+        assert!(Cli::parse(&s(&["refs", "--tenant-weight", "team-a=-2"])).is_err());
+        assert!(Cli::parse(&s(&["refs", "--pool-tenant-quota-mb", "lots"])).is_err());
     }
 
     #[test]

@@ -67,6 +67,9 @@ pub fn dispatch(cli: Cli) -> Result<(), DynError> {
         tenant_slots: cli.tenant_slots,
         queue_cap: cli.queue_cap,
         queue_deadline_ms: cli.queue_deadline_ms,
+        sched_policy: cli.sched_policy,
+        tenant_weights: cli.tenant_weights.clone(),
+        pool_tenant_quota_bytes: cli.pool_tenant_quota_bytes,
         ..LakehouseConfig::default()
     };
     let trace_out = cli.trace_out.clone();

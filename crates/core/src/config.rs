@@ -2,6 +2,7 @@
 
 use lakehouse_planner::ExecutionMode;
 use lakehouse_runtime::RuntimeConfig;
+use lakehouse_scheduler::PolicyKind;
 use lakehouse_store::{BufferPool, ChaosConfig, LatencyModel};
 use std::sync::Arc;
 
@@ -117,6 +118,22 @@ pub struct LakehouseConfig {
     /// Maximum milliseconds a submission may wait in the admission queue
     /// before being shed with `Overloaded { retry_after }`.
     pub queue_deadline_ms: u64,
+    /// Which scheduling policy orders the admission queue
+    /// (`--sched-policy fifo|fair|cost`). The default, `Fifo`, is
+    /// byte-identical to the pre-policy-layer gate. Only meaningful when
+    /// `max_concurrent_queries > 0`.
+    pub sched_policy: PolicyKind,
+    /// Fair-share weights, `(tenant, weight)` (`--tenant-weight name=W`,
+    /// repeatable). Unlisted tenants weigh 1.0. Used by the `FairShare`
+    /// policy; ignored by the others.
+    pub tenant_weights: Vec<(String, f64)>,
+    /// Per-tenant byte quota on the shared buffer pool's *protected*
+    /// segment (`--pool-tenant-quota-mb`). 0 (the default) disables tenant
+    /// accounting entirely — pool behavior stays byte-identical to an
+    /// unquota'd build. When set, a tenant at quota keeps its pages in
+    /// probation (no promotion), and a miss never evicts another tenant's
+    /// protected pages.
+    pub pool_tenant_quota_bytes: usize,
 }
 
 impl Default for LakehouseConfig {
@@ -152,6 +169,9 @@ impl Default for LakehouseConfig {
             tenant_slots: 0,
             queue_cap: 16,
             queue_deadline_ms: 100,
+            sched_policy: PolicyKind::Fifo,
+            tenant_weights: Vec::new(),
+            pool_tenant_quota_bytes: 0,
         }
     }
 }

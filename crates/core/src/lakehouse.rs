@@ -20,6 +20,38 @@ use parking_lot::{Mutex, RwLock};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+thread_local! {
+    /// Set while the current thread executes a DAG stage that already holds
+    /// an admission slot (stage-level scheduling in `run.rs`). The SQL steps
+    /// inside that stage run under the stage's slot — `attributed` must not
+    /// re-acquire, or a stage would deadlock against its own steps.
+    static UNDER_STAGE_PERMIT: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// RAII marker: the enclosed scope runs under a stage-level admission slot.
+pub(crate) struct StagePermitScope {
+    prev: bool,
+}
+
+impl StagePermitScope {
+    pub(crate) fn enter() -> StagePermitScope {
+        StagePermitScope {
+            prev: UNDER_STAGE_PERMIT.with(|c| c.replace(true)),
+        }
+    }
+}
+
+impl Drop for StagePermitScope {
+    fn drop(&mut self) {
+        let prev = self.prev;
+        UNDER_STAGE_PERMIT.with(|c| c.set(prev));
+    }
+}
+
+pub(crate) fn under_stage_permit() -> bool {
+    UNDER_STAGE_PERMIT.with(|c| c.get())
+}
+
 /// The serverless lakehouse platform. See the crate docs for the overview.
 pub struct Lakehouse {
     pub(crate) config: LakehouseConfig,
@@ -111,6 +143,9 @@ impl Lakehouse {
         // store's metrics, so `store_metrics()` sees both sides, exactly as
         // before the pool refactor.
         if let Some(pool) = &config.shared_pool {
+            if config.pool_tenant_quota_bytes > 0 {
+                pool.set_tenant_quota_bytes(config.pool_tenant_quota_bytes);
+            }
             store_dyn = Arc::new(CachedStore::with_pool(store_dyn, Arc::clone(pool)));
         } else if config.metadata_cache_bytes > 0 {
             store_dyn = Arc::new(CachedStore::new(store_dyn, config.metadata_cache_bytes));
@@ -187,28 +222,46 @@ impl Lakehouse {
         // query context) run under their parent's slot — re-acquiring here
         // would deadlock a run against its own steps.
         let _permit = match &self.admission {
-            Some(gate) if lakehouse_obs::QueryCtx::current().is_none() => {
+            Some(gate) if lakehouse_obs::QueryCtx::current().is_none() && !under_stage_permit() => {
                 match gate.acquire(&self.config.tenant) {
                     Ok(permit) => Some(permit),
-                    Err(retry_after) => {
+                    Err(shed) => {
                         // Shed before a context existed: the record carries
-                        // query id 0 (never admitted, nothing attributed).
+                        // query id 0 (never admitted, nothing attributed) —
+                        // but the wait until the gate gave up is real
+                        // latency the victim's caller saw, so it is charged
+                        // as wall time instead of vanishing (the p99s in
+                        // BENCH_sched.json include shed victims).
+                        let waited = shed.waited.as_nanos() as u64;
                         lakehouse_obs::query_log().push(lakehouse_obs::QueryRecord {
                             query_id: 0,
                             tenant: self.config.tenant.clone(),
                             label: label.to_string(),
                             status: "shed".to_string(),
                             reason: "overloaded".to_string(),
-                            wall_nanos: 0,
+                            wall_nanos: waited,
                             sim_nanos: 0,
+                            queue_wait_nanos: waited,
+                            sched_policy: gate.policy_name().to_string(),
                             ledger: lakehouse_obs::LedgerSnapshot::default(),
                         });
-                        return Err(BauplanError::Overloaded { retry_after });
+                        return Err(BauplanError::Overloaded {
+                            retry_after: shed.retry_after,
+                        });
                     }
                 }
             }
             _ => None,
         };
+        let queue_wait_nanos = _permit
+            .as_ref()
+            .map(|p| p.waited().as_nanos() as u64)
+            .unwrap_or(0);
+        let sched_policy = _permit
+            .as_ref()
+            .and(self.admission.as_ref())
+            .map(|gate| gate.policy_name().to_string())
+            .unwrap_or_default();
         let ctx = lakehouse_obs::QueryCtx::new(self.config.tenant.clone(), label);
         // Budgets arm only after admission, so queue wait never counts
         // against the deadline. All default to 0 = unarmed: the token then
@@ -286,6 +339,8 @@ impl Lakehouse {
             reason: killed.map(|r| r.as_str().to_string()).unwrap_or_default(),
             wall_nanos,
             sim_nanos,
+            queue_wait_nanos,
+            sched_policy,
             ledger: ctx.ledger().snapshot(),
         });
         result

@@ -48,7 +48,7 @@ pub mod provider;
 pub mod run;
 pub mod system;
 
-pub use admission::{AdmissionConfig, AdmissionController, AdmissionPermit};
+pub use admission::{AdmissionConfig, AdmissionController, AdmissionPermit, ShedInfo};
 pub use config::LakehouseConfig;
 pub use error::{BauplanError, Result};
 pub use estimator::MemoryEstimator;
@@ -62,4 +62,5 @@ pub use run::{RunOptions, RunReport};
 pub use lakehouse_planner::project::Requirements;
 pub use lakehouse_planner::{ExecutionMode, LogicalPipeline, PhysicalPipeline};
 pub use lakehouse_planner::{NodeDef, PipelineProject};
+pub use lakehouse_scheduler::{PolicyKind, SchedulingPolicy};
 pub use lakehouse_store::{BufferPool, ChaosConfig, PoolMetrics};

@@ -370,7 +370,66 @@ impl Lakehouse {
     ) -> Result<(BTreeMap<String, u64>, BTreeMap<String, bool>)> {
         let mut artifact_rows = BTreeMap::new();
         let mut audit_results = BTreeMap::new();
-        for (stage_idx, stage) in physical.stages.iter().enumerate() {
+        // Stage-level dependencies, derived from the physical plan's
+        // cross-stage edges. Stages are emitted in topological step order,
+        // so picking the lowest-index ready stage reproduces the sequential
+        // order exactly — the ready-set loop only matters because each stage
+        // passes through the admission gate as its own schedulable unit, so
+        // stages from concurrent runs interleave under one policy.
+        let n = physical.stages.len();
+        let stage_of = |name: &str| -> Option<usize> {
+            physical
+                .stages
+                .iter()
+                .position(|st| st.steps.iter().any(|s| s == name))
+        };
+        let mut deps: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for e in &physical.edges {
+            if let (Some(a), Some(b)) = (stage_of(&e.from), stage_of(&e.to)) {
+                if a != b && !deps[b].contains(&a) {
+                    deps[b].push(a);
+                }
+            }
+        }
+        let mut done = vec![false; n];
+        for _ in 0..n {
+            let stage_idx = (0..n)
+                .find(|&i| !done[i] && deps[i].iter().all(|&d| done[d]))
+                .expect("acyclic physical plan always has a ready stage");
+            let stage = &physical.stages[stage_idx];
+            // Each ready stage contends for an admission slot like an ad-hoc
+            // query (cost hint: estimated working set at 256 MiB/s). The SQL
+            // steps inside run under this permit and skip the gate.
+            let _permit = match &self.admission {
+                Some(gate)
+                    if lakehouse_obs::QueryCtx::current().is_none()
+                        && !crate::lakehouse::under_stage_permit() =>
+                {
+                    let est: u64 = stage
+                        .steps
+                        .iter()
+                        .map(|s| self.estimator.estimate(s, self.config.default_step_memory))
+                        .sum();
+                    let cost_hint = est as f64 / (256.0 * 1024.0 * 1024.0);
+                    match gate.acquire_item(&self.config.tenant, cost_hint) {
+                        Ok(permit) => Some(permit),
+                        Err(shed) => {
+                            return Err(BauplanError::Overloaded {
+                                retry_after: shed.retry_after,
+                            })
+                        }
+                    }
+                }
+                _ => None,
+            };
+            let _stage_scope = crate::lakehouse::StagePermitScope::enter();
+            lakehouse_obs::recorder().record_for(
+                lakehouse_obs::EventKind::StageStart,
+                0,
+                self.config.tenant.clone(),
+                &format!("run_{run_id}/stage_{stage_idx}"),
+                stage.steps.len() as u64,
+            );
             let stage_span = lakehouse_obs::span("stage");
             if stage_span.is_recording() {
                 stage_span.attr("index", stage_idx as u64);
@@ -513,6 +572,14 @@ impl Lakehouse {
             // Stage boundary: spill — downstream stages re-read through the
             // object store, matching the physical plan's edge localities.
             provider.clear_overlay();
+            lakehouse_obs::recorder().record_for(
+                lakehouse_obs::EventKind::StageFinish,
+                0,
+                self.config.tenant.clone(),
+                &format!("run_{run_id}/stage_{stage_idx}"),
+                stage_outputs.len() as u64,
+            );
+            done[stage_idx] = true;
         }
         Ok((artifact_rows, audit_results))
     }

@@ -11,7 +11,7 @@
 //!
 //! | table            | columns |
 //! |------------------|---------|
-//! | `system.queries` | query_id, tenant, label, status, reason, wall_ms, sim_ms, io_bytes, io_bytes_written, io_ops, pool_hits, pool_misses, evictions_caused, retry_stall_ms, kernel_wall_ms |
+//! | `system.queries` | query_id, tenant, label, status, reason, wall_ms, sim_ms, queue_wait_ms, sched_policy, io_bytes, io_bytes_written, io_ops, pool_hits, pool_misses, evictions_caused, retry_stall_ms, kernel_wall_ms |
 //! | `system.events`  | seq, wall_micros, kind, query_id, tenant, detail, value |
 //! | `system.metrics` | name, kind, value, count, p50, p95, p99 |
 //! | `system.pool`    | metric, value |
@@ -45,6 +45,8 @@ fn queries_schema() -> Schema {
         Field::new("reason", DataType::Utf8, false),
         Field::new("wall_ms", DataType::Float64, false),
         Field::new("sim_ms", DataType::Float64, false),
+        Field::new("queue_wait_ms", DataType::Float64, false),
+        Field::new("sched_policy", DataType::Utf8, false),
         Field::new("io_bytes", DataType::Int64, false),
         Field::new("io_bytes_written", DataType::Int64, false),
         Field::new("io_ops", DataType::Int64, false),
@@ -76,6 +78,10 @@ pub fn queries_batch() -> RecordBatch {
                     .unwrap_or_default(),
                 wall_nanos: ctx.elapsed_nanos(),
                 sim_nanos: 0,
+                // A live row is mid-execution: its gate telemetry is only
+                // pushed with the finished record, so these stay defaults.
+                queue_wait_nanos: 0,
+                sched_policy: String::new(),
                 ledger: ctx.ledger().snapshot(),
             });
         }
@@ -90,6 +96,8 @@ pub fn queries_batch() -> RecordBatch {
             Column::from_strs(records.iter().map(|r| r.reason.as_str()).collect()),
             Column::from_f64(records.iter().map(|r| ms(r.wall_nanos)).collect()),
             Column::from_f64(records.iter().map(|r| ms(r.sim_nanos)).collect()),
+            Column::from_f64(records.iter().map(|r| ms(r.queue_wait_nanos)).collect()),
+            Column::from_strs(records.iter().map(|r| r.sched_policy.as_str()).collect()),
             Column::from_i64(records.iter().map(|r| r.ledger.io_bytes as i64).collect()),
             Column::from_i64(
                 records
@@ -243,27 +251,40 @@ fn pool_schema() -> Schema {
 /// `system.pool`: the attached buffer pool's counters as rows (empty with
 /// the same schema when no shared pool is configured).
 pub fn pool_batch(pool: Option<&Arc<BufferPool>>) -> RecordBatch {
-    let rows: Vec<(&str, u64)> = match pool {
+    let rows: Vec<(String, u64)> = match pool {
         Some(pool) => {
             let m = pool.metrics();
-            vec![
-                ("capacity_bytes", pool.capacity_bytes() as u64),
-                ("resident_bytes", m.resident_bytes()),
-                ("resident_entries", m.resident_entries()),
-                ("hits", m.hits()),
-                ("misses", m.misses()),
-                ("admitted", m.admitted()),
-                ("rejected", m.rejected()),
-                ("evicted_bytes", m.evicted_bytes()),
-                ("verify_failures", m.verify_failures()),
-            ]
+            let mut rows: Vec<(String, u64)> = vec![
+                ("capacity_bytes".into(), pool.capacity_bytes() as u64),
+                ("resident_bytes".into(), m.resident_bytes()),
+                ("resident_entries".into(), m.resident_entries()),
+                ("hits".into(), m.hits()),
+                ("misses".into(), m.misses()),
+                ("admitted".into(), m.admitted()),
+                ("rejected".into(), m.rejected()),
+                ("evicted_bytes".into(), m.evicted_bytes()),
+                ("verify_failures".into(), m.verify_failures()),
+            ];
+            // With tenant quotas armed, expose the quota plus per-tenant
+            // resident/protected footprints so operators can see who holds
+            // what (`tenant:<name>:resident_bytes` rows).
+            let quota = pool.tenant_quota_bytes();
+            if quota > 0 {
+                rows.push(("tenant_quota_bytes".into(), quota as u64));
+                rows.push(("quota_denied".into(), m.quota_denied()));
+                for (tenant, resident, protected) in pool.tenant_stats() {
+                    rows.push((format!("tenant:{tenant}:resident_bytes"), resident));
+                    rows.push((format!("tenant:{tenant}:protected_bytes"), protected));
+                }
+            }
+            rows
         }
         None => Vec::new(),
     };
     let batch = RecordBatch::try_new(
         pool_schema(),
         vec![
-            Column::from_strs(rows.iter().map(|(n, _)| *n).collect()),
+            Column::from_strs(rows.iter().map(|(n, _)| n.as_str()).collect()),
             Column::from_i64(rows.iter().map(|(_, v)| *v as i64).collect()),
         ],
     );
@@ -319,5 +340,26 @@ mod tests {
         let batch = pool_batch(Some(&pool));
         assert_eq!(batch.schema().names()[0], "metric");
         assert!(batch.num_rows() >= 9);
+    }
+
+    #[test]
+    fn pool_table_adds_tenant_rows_when_quota_armed() {
+        let pool = Arc::new(BufferPool::new(1 << 20));
+        pool.set_tenant_quota_bytes(4096);
+        let ctx = lakehouse_obs::QueryCtx::new("alpha", "q");
+        {
+            let _g = ctx.enter();
+            pool.replace_whole("page", bytes::Bytes::from_static(b"abcd"));
+        }
+        let batch = pool_batch(Some(&pool));
+        let (names, _) = batch.columns()[0].as_utf8().unwrap();
+        for want in [
+            "tenant_quota_bytes",
+            "quota_denied",
+            "tenant:alpha:resident_bytes",
+            "tenant:alpha:protected_bytes",
+        ] {
+            assert!(names.iter().any(|n| n == want), "missing row {want}");
+        }
     }
 }

@@ -43,6 +43,15 @@ pub enum EventKind {
     AdmissionShed,
     /// A query's cancel token tripped; detail is the [`crate::KillReason`].
     QueryKilled,
+    /// A scheduling policy consumed a pick: a queued waiter was chosen for
+    /// admission (detail: policy name; value: waiters skipped ahead of it).
+    SchedPick,
+    /// A DAG stage entered execution under the gate (detail:
+    /// `run_<id>/stage_<idx>`; value: steps in the stage).
+    StageStart,
+    /// A DAG stage finished (detail: `run_<id>/stage_<idx>`; value:
+    /// artifacts the stage materialized).
+    StageFinish,
 }
 
 impl EventKind {
@@ -60,6 +69,9 @@ impl EventKind {
             EventKind::AdmissionAdmit => "admission_admit",
             EventKind::AdmissionShed => "admission_shed",
             EventKind::QueryKilled => "query_killed",
+            EventKind::SchedPick => "sched_pick",
+            EventKind::StageStart => "stage_start",
+            EventKind::StageFinish => "stage_finish",
         }
     }
 }
@@ -210,6 +222,12 @@ pub struct QueryRecord {
     pub reason: String,
     pub wall_nanos: u64,
     pub sim_nanos: u64,
+    /// Time spent queued at the admission gate before running — or, for a
+    /// shed query, the full wait until the gate gave up on it.
+    pub queue_wait_nanos: u64,
+    /// Name of the scheduling policy that admitted (or shed) the query;
+    /// empty when the query ran without a gate or under a parent's slot.
+    pub sched_policy: String,
     pub ledger: LedgerSnapshot,
 }
 
@@ -305,6 +323,8 @@ mod tests {
                 reason: String::new(),
                 wall_nanos: 0,
                 sim_nanos: 0,
+                queue_wait_nanos: 0,
+                sched_policy: String::new(),
                 ledger: LedgerSnapshot::default(),
             });
         }

@@ -1,0 +1,189 @@
+//! Shortest-expected-cost-first with aging.
+//!
+//! "FaaS and Furious" motivates ordering work by expected warehouse cost: the
+//! huge population of cheap queries should not queue behind an occasional
+//! table scan. Each waiter carries a `cost_hint` (expected seconds, from the
+//! memory estimator for DAG stages; `0.0` = unknown), converted to credits by
+//! the workload crate's [`CostModel`] with the minimum-billable floor
+//! disabled (the 60 s billing floor would collapse all interactive queries
+//! into one equivalence class and defeat the ordering).
+//!
+//! A linear aging term keeps large jobs live: every enqueue tick a waiter
+//! ages, its effective cost drops by [`CostAware::aging_credits_per_tick`],
+//! so a scan skipped repeatedly eventually beats fresh cheap work. When an
+//! aged job wins over a strictly cheaper fresh one, the executor's
+//! `aging_promotions` counter records it.
+
+use crate::{RunningSet, SchedulingPolicy, WaitingJob};
+use lakehouse_workload::{CostModel, QueryRecord};
+
+/// Shortest-expected-cost-first policy with linear aging.
+#[derive(Debug)]
+pub struct CostAware {
+    model: CostModel,
+    /// Effective-cost discount per tick of queue age. The default equals the
+    /// credit price of one second of compute: a job passes anything at most
+    /// one expected-second cheaper after one arrival's worth of waiting.
+    pub aging_credits_per_tick: f64,
+    /// Picks where aging promoted a job over a strictly cheaper waiter;
+    /// drained by the executor into the `scheduler.aging_promotions` counter.
+    promotions: u64,
+}
+
+impl Default for CostAware {
+    fn default() -> Self {
+        let model = CostModel {
+            min_billable_seconds: 0.0,
+            ..CostModel::default()
+        };
+        let aging_credits_per_tick = model.credits_per_second;
+        CostAware {
+            model,
+            aging_credits_per_tick,
+            promotions: 0,
+        }
+    }
+}
+
+impl CostAware {
+    fn raw_cost(&self, job: &WaitingJob) -> f64 {
+        self.model.query_cost(&QueryRecord {
+            seconds: job.cost_hint,
+            bytes_scanned: 0,
+        })
+    }
+
+    /// Cost after the aging discount. Pure in `(job, queue)`: age is derived
+    /// from the newest tick present in the queue, not from wall time, so the
+    /// same queue always yields the same ordering (determinism test below).
+    fn effective_cost(&self, job: &WaitingJob, newest_tick: u64) -> f64 {
+        let age = newest_tick.saturating_sub(job.enqueued_tick) as f64;
+        self.raw_cost(job) - age * self.aging_credits_per_tick
+    }
+
+    /// Aging promotions observed so far, reset on read.
+    pub fn take_promotions(&mut self) -> u64 {
+        std::mem::take(&mut self.promotions)
+    }
+}
+
+impl SchedulingPolicy for CostAware {
+    fn name(&self) -> &'static str {
+        "cost_aware"
+    }
+
+    fn pick(&mut self, queue: &[WaitingJob], running: &RunningSet<'_>) -> Option<usize> {
+        let newest = queue.iter().map(|j| j.enqueued_tick).max()?;
+        queue
+            .iter()
+            .enumerate()
+            .filter(|(_, j)| running.eligible(&j.tenant))
+            .min_by(|(_, a), (_, b)| {
+                self.effective_cost(a, newest)
+                    .partial_cmp(&self.effective_cost(b, newest))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.enqueued_tick.cmp(&b.enqueued_tick))
+            })
+            .map(|(i, _)| i)
+    }
+
+    fn on_pick(&mut self, queue: &[WaitingJob], running: &RunningSet<'_>, picked: usize) {
+        // An aging promotion: the consumed pick has strictly higher raw cost
+        // than some other eligible waiter (i.e. aging, not cost, won).
+        let picked_cost = self.raw_cost(&queue[picked]);
+        let cheaper_exists = queue.iter().enumerate().any(|(i, j)| {
+            i != picked && running.eligible(&j.tenant) && self.raw_cost(j) < picked_cost
+        });
+        if cheaper_exists {
+            self.promotions += 1;
+        }
+    }
+
+    fn take_aging_promotions(&mut self) -> u64 {
+        self.take_promotions()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::job;
+    use std::collections::HashMap;
+
+    #[test]
+    fn cheapest_job_wins_regardless_of_arrival_order() {
+        let mut p = CostAware::default();
+        let queue = vec![job(1, "a", 30.0), job(2, "b", 1.0), job(3, "c", 10.0)];
+        let per = HashMap::new();
+        let rs = RunningSet::new(0, 1, 0, &per);
+        assert_eq!(p.pick(&queue, &rs), Some(1));
+    }
+
+    /// The ordering is a pure function of the queue: replaying the same
+    /// sequence of queue states yields the identical pick sequence.
+    #[test]
+    fn pick_sequence_is_deterministic() {
+        let per = HashMap::new();
+        let run = || {
+            let mut p = CostAware::default();
+            let mut queue = vec![
+                job(1, "a", 120.0),
+                job(2, "b", 5.0),
+                job(3, "a", 0.5),
+                job(4, "c", 60.0),
+                job(5, "b", 2.0),
+            ];
+            let mut picks = Vec::new();
+            while !queue.is_empty() {
+                let rs = RunningSet::new(0, 1, 0, &per);
+                let i = p.pick(&queue, &rs).unwrap();
+                p.on_pick(&queue, &rs, i);
+                p.on_admit(&queue[i]);
+                picks.push(queue.remove(i).id);
+            }
+            picks
+        };
+        let first = run();
+        assert_eq!(first, run(), "cost-aware ordering must be deterministic");
+        // Cheapest-first: the 0.5 s job leads, the 120 s scan trails.
+        assert_eq!(first.first(), Some(&3));
+        assert_eq!(first.last(), Some(&1));
+    }
+
+    /// A large job ages: after enough fresh cheap arrivals pass it, the
+    /// aging discount makes it win, and the promotion is counted.
+    #[test]
+    fn aging_promotes_starving_large_job() {
+        let mut p = CostAware::default();
+        let per = HashMap::new();
+        let rs = RunningSet::new(0, 1, 0, &per);
+        // 60 s scan enqueued at tick 1; cheap 1 s jobs keep arriving. Raw
+        // cost gap is 59 s ≙ 59 ticks of aging, so by tick 61 the scan wins.
+        let scan = job(1, "etl", 60.0);
+        let fresh = job(61, "web", 1.0);
+        let queue = vec![scan.clone(), fresh.clone()];
+        let i = p.pick(&queue, &rs).expect("slot free");
+        assert_eq!(queue[i].id, scan.id, "aged scan must win over fresh job");
+        p.on_pick(&queue, &rs, i);
+        assert_eq!(p.take_promotions(), 1);
+        assert_eq!(p.take_promotions(), 0, "promotions drain on read");
+
+        // Without the age gap the cheap job wins and nothing is promoted.
+        let young = vec![job(60, "etl", 60.0), fresh];
+        let i = p.pick(&young, &rs).expect("slot free");
+        assert_eq!(young[i].cost_hint, 1.0);
+        p.on_pick(&young, &rs, i);
+        assert_eq!(p.take_promotions(), 0);
+    }
+
+    #[test]
+    fn unknown_cost_hints_degrade_to_fifo() {
+        let mut p = CostAware::default();
+        let per = HashMap::new();
+        let rs = RunningSet::new(0, 1, 0, &per);
+        let queue = vec![job(5, "a", 0.0), job(6, "b", 0.0), job(7, "c", 0.0)];
+        // Equal (zero) raw cost: oldest waiter has the largest aging
+        // discount, so arrival order is preserved.
+        assert_eq!(p.pick(&queue, &rs), Some(0));
+    }
+}

@@ -1,0 +1,49 @@
+//! First-come-first-served among eligible waiters — the default policy and
+//! the exact decision rule the admission controller used before the policy
+//! layer existed: scan the queue in arrival order, admit the first waiter
+//! whose tenant has slot headroom.
+
+use crate::{RunningSet, SchedulingPolicy, WaitingJob};
+
+/// FIFO-among-eligible. Stateless; behavior-preserving with the
+/// pre-policy-layer admission controller.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Fifo;
+
+impl SchedulingPolicy for Fifo {
+    fn name(&self) -> &'static str {
+        "fifo"
+    }
+
+    fn pick(&mut self, queue: &[WaitingJob], running: &RunningSet<'_>) -> Option<usize> {
+        queue.iter().position(|j| running.eligible(&j.tenant))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::job;
+    use std::collections::HashMap;
+
+    #[test]
+    fn picks_first_eligible_in_arrival_order() {
+        let mut p = Fifo;
+        let queue = vec![job(1, "a", 0.0), job(2, "b", 0.0), job(3, "a", 0.0)];
+
+        // No quota: head of queue wins.
+        let per = HashMap::new();
+        let rs = RunningSet::new(0, 2, 0, &per);
+        assert_eq!(p.pick(&queue, &rs), Some(0));
+
+        // Tenant "a" at quota: first eligible is the "b" job at index 1.
+        let mut per = HashMap::new();
+        per.insert("a".to_string(), 1);
+        let rs = RunningSet::new(1, 2, 1, &per);
+        assert_eq!(p.pick(&queue, &rs), Some(1));
+
+        // Everything saturated: nobody runs.
+        let rs = RunningSet::new(2, 2, 1, &per);
+        assert_eq!(p.pick(&queue, &rs), None);
+    }
+}

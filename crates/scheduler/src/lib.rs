@@ -1,0 +1,240 @@
+//! # lakehouse-scheduler
+//!
+//! Pluggable scheduling policies for the admission gate.
+//!
+//! PR 9 built the *enforcement* substrate — slots, per-tenant quotas, queue
+//! caps, deadline shedding, RAII permits. This crate factors out the
+//! *decision*: given the current queue of waiting work items and the set of
+//! running ones, which waiter runs next? The admission controller in
+//! `bauplan-core` stays the generic executor of those decisions (it owns the
+//! mutex, the condvar, the counters and the permits); a [`SchedulingPolicy`]
+//! owns only the ordering.
+//!
+//! Three policies ship:
+//!
+//! * [`Fifo`] — first eligible waiter in arrival order. Byte-identical to the
+//!   pre-refactor behavior; the default.
+//! * [`FairShare`] — weighted deficit-round-robin over per-tenant virtual
+//!   time. A tenant with weight 3 completes ~3× the work of a weight-1
+//!   tenant under saturation.
+//! * [`CostAware`] — shortest-expected-cost-first over the workload crate's
+//!   warehouse [`CostModel`], with a linear aging term so large jobs cannot
+//!   starve behind an endless stream of small ones.
+//!
+//! ## The idempotence contract
+//!
+//! Every waiter blocked on the gate re-evaluates [`SchedulingPolicy::pick`]
+//! when it wakes, and only the waiter whose own id was picked consumes the
+//! decision. `pick` therefore MUST be a pure function of `(queue, running)`
+//! plus policy state — it must not mutate state, because it runs many times
+//! per decision. State transitions happen in the hooks, which the executor
+//! calls exactly once per event: [`on_enqueue`](SchedulingPolicy::on_enqueue)
+//! when a job joins the queue, [`on_pick`](SchedulingPolicy::on_pick) when a
+//! pick is consumed, [`on_admit`](SchedulingPolicy::on_admit) for every
+//! admission (including the uncontended fast path that bypasses the queue),
+//! and [`on_complete`](SchedulingPolicy::on_complete) when a permit drops.
+
+mod cost_aware;
+mod fair_share;
+mod fifo;
+
+pub use cost_aware::CostAware;
+pub use fair_share::FairShare;
+pub use fifo::Fifo;
+pub use lakehouse_workload::CostModel;
+
+use std::collections::HashMap;
+use std::fmt;
+use std::str::FromStr;
+
+/// A work item waiting at the gate. The unit is deliberately generic: a whole
+/// query and a single DAG stage are both "jobs" here.
+#[derive(Debug, Clone)]
+pub struct WaitingJob {
+    /// Executor-assigned id, unique per gate; also the arrival order.
+    pub id: u64,
+    /// Tenant the job is billed to (admission quotas key on this).
+    pub tenant: String,
+    /// Monotone arrival stamp (the executor's enqueue counter). Policies use
+    /// it for arrival-order tie-breaks and aging; it is NOT wall time.
+    pub enqueued_tick: u64,
+    /// Expected execution cost in seconds, `0.0` when unknown. Queries pass
+    /// `0.0`; DAG stages pass an estimate derived from the memory estimator.
+    pub cost_hint: f64,
+}
+
+/// Read-only view of what is currently running, plus the slot limits, so a
+/// policy can tell which waiters are *eligible* (admissible right now).
+pub struct RunningSet<'a> {
+    total: usize,
+    max_slots: usize,
+    tenant_slots: usize,
+    per_tenant: &'a HashMap<String, usize>,
+}
+
+impl<'a> RunningSet<'a> {
+    pub fn new(
+        total: usize,
+        max_slots: usize,
+        tenant_slots: usize,
+        per_tenant: &'a HashMap<String, usize>,
+    ) -> Self {
+        RunningSet {
+            total,
+            max_slots,
+            tenant_slots,
+            per_tenant,
+        }
+    }
+
+    /// Jobs currently holding a slot, across all tenants.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Jobs currently held by one tenant.
+    pub fn tenant_running(&self, tenant: &str) -> usize {
+        self.per_tenant.get(tenant).copied().unwrap_or(0)
+    }
+
+    /// Would a job from `tenant` be admissible right now? Mirrors the
+    /// executor's slot check exactly: global slots free AND (no per-tenant
+    /// quota, or quota not yet reached).
+    pub fn eligible(&self, tenant: &str) -> bool {
+        self.total < self.max_slots
+            && (self.tenant_slots == 0 || self.tenant_running(tenant) < self.tenant_slots)
+    }
+}
+
+/// The scheduling decision, factored out of the admission controller.
+///
+/// See the crate docs for the idempotence contract: `pick` is evaluated many
+/// times per decision and must not mutate state; the hooks fire exactly once
+/// per event and carry all state transitions.
+pub trait SchedulingPolicy: Send {
+    /// Human-readable policy name, surfaced in `system.queries.sched_policy`.
+    fn name(&self) -> &'static str;
+
+    /// Choose the index (into `queue`) of the next job to admit, or `None`
+    /// if no waiter is eligible. MUST be side-effect free.
+    fn pick(&mut self, queue: &[WaitingJob], running: &RunningSet<'_>) -> Option<usize>;
+
+    /// A job joined the queue. Called once, before the job's first `pick`.
+    fn on_enqueue(&mut self, _job: &WaitingJob) {}
+
+    /// A queued pick was consumed: `queue[picked]` is about to be admitted.
+    /// Called once per queued admission, with the queue as it was picked
+    /// from. (The uncontended fast path skips the queue and this hook.)
+    fn on_pick(&mut self, _queue: &[WaitingJob], _running: &RunningSet<'_>, _picked: usize) {}
+
+    /// A job was admitted — either picked from the queue or via the
+    /// uncontended fast path. Charge virtual time / deficits here.
+    fn on_admit(&mut self, _job: &WaitingJob) {}
+
+    /// A previously admitted job released its slot after `held_seconds`.
+    fn on_complete(&mut self, _tenant: &str, _held_seconds: f64) {}
+
+    /// Aging promotions accumulated since the last drain (see [`CostAware`]);
+    /// the executor feeds them into the `scheduler.aging_promotions` counter.
+    fn take_aging_promotions(&mut self) -> u64 {
+        0
+    }
+}
+
+/// Which shipped policy to run; parsed from `--sched-policy`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PolicyKind {
+    #[default]
+    Fifo,
+    FairShare,
+    CostAware,
+}
+
+impl PolicyKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::Fifo => "fifo",
+            PolicyKind::FairShare => "fair_share",
+            PolicyKind::CostAware => "cost_aware",
+        }
+    }
+
+    /// Build the policy, seeding fair-share weights (`tenant -> weight`).
+    /// Unlisted tenants default to weight 1.0.
+    pub fn build(self, weights: &[(String, f64)]) -> Box<dyn SchedulingPolicy> {
+        match self {
+            PolicyKind::Fifo => Box::new(Fifo),
+            PolicyKind::FairShare => Box::new(FairShare::new(weights)),
+            PolicyKind::CostAware => Box::new(CostAware::default()),
+        }
+    }
+}
+
+impl fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for PolicyKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "fifo" => Ok(PolicyKind::Fifo),
+            "fair" | "fair_share" | "fair-share" => Ok(PolicyKind::FairShare),
+            "cost" | "cost_aware" | "cost-aware" => Ok(PolicyKind::CostAware),
+            other => Err(format!(
+                "unknown scheduling policy '{other}' (expected fifo, fair, or cost)"
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::*;
+
+    pub fn job(id: u64, tenant: &str, cost: f64) -> WaitingJob {
+        WaitingJob {
+            id,
+            tenant: tenant.into(),
+            enqueued_tick: id,
+            cost_hint: cost,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_kind_parses_aliases() {
+        assert_eq!("fifo".parse::<PolicyKind>().unwrap(), PolicyKind::Fifo);
+        assert_eq!("fair".parse::<PolicyKind>().unwrap(), PolicyKind::FairShare);
+        assert_eq!(
+            "fair_share".parse::<PolicyKind>().unwrap(),
+            PolicyKind::FairShare
+        );
+        assert_eq!("cost".parse::<PolicyKind>().unwrap(), PolicyKind::CostAware);
+        assert_eq!(
+            "cost-aware".parse::<PolicyKind>().unwrap(),
+            PolicyKind::CostAware
+        );
+        assert!("lottery".parse::<PolicyKind>().is_err());
+    }
+
+    #[test]
+    fn running_set_eligibility_mirrors_gate() {
+        let mut per = HashMap::new();
+        per.insert("a".to_string(), 2);
+        let rs = RunningSet::new(2, 4, 2, &per);
+        assert!(!rs.eligible("a"), "tenant quota reached");
+        assert!(rs.eligible("b"), "other tenant has headroom");
+        let full = RunningSet::new(4, 4, 2, &per);
+        assert!(!full.eligible("b"), "global slots exhausted");
+        let no_quota = RunningSet::new(2, 4, 0, &per);
+        assert!(no_quota.eligible("a"), "tenant_slots == 0 disables quota");
+    }
+}

@@ -177,6 +177,7 @@ pub struct PoolMetrics {
     rejected: AtomicU64,
     evicted_bytes: AtomicU64,
     verify_failures: AtomicU64,
+    quota_denied: AtomicU64,
     resident_bytes: AtomicU64,
     resident_entries: AtomicU64,
     g_hits: Arc<Counter>,
@@ -185,6 +186,7 @@ pub struct PoolMetrics {
     g_rejected: Arc<Counter>,
     g_evicted_bytes: Arc<Counter>,
     g_verify_failures: Arc<Counter>,
+    g_quota_denied: Arc<Counter>,
     g_resident_bytes: Arc<Gauge>,
     g_resident_entries: Arc<Gauge>,
 }
@@ -199,6 +201,7 @@ impl PoolMetrics {
             rejected: AtomicU64::new(0),
             evicted_bytes: AtomicU64::new(0),
             verify_failures: AtomicU64::new(0),
+            quota_denied: AtomicU64::new(0),
             resident_bytes: AtomicU64::new(0),
             resident_entries: AtomicU64::new(0),
             g_hits: reg.counter("pool.hits"),
@@ -207,6 +210,7 @@ impl PoolMetrics {
             g_rejected: reg.counter("pool.rejected"),
             g_evicted_bytes: reg.counter("pool.evicted_bytes"),
             g_verify_failures: reg.counter("pool.verify_failures"),
+            g_quota_denied: reg.counter("pool.quota_denied"),
             g_resident_bytes: reg.gauge("pool.resident_bytes"),
             g_resident_entries: reg.gauge("pool.resident_entries"),
         }
@@ -238,6 +242,10 @@ impl PoolMetrics {
     fn record_verify_failure(&self) {
         self.verify_failures.fetch_add(1, Ordering::Relaxed);
         self.g_verify_failures.inc();
+    }
+    fn record_quota_denied(&self) {
+        self.quota_denied.fetch_add(1, Ordering::Relaxed);
+        self.g_quota_denied.inc();
     }
     fn update_resident(&self, bytes_delta: i64, entries_delta: i64) {
         let b = if bytes_delta >= 0 {
@@ -289,6 +297,11 @@ impl PoolMetrics {
     pub fn verify_failures(&self) -> u64 {
         self.verify_failures.load(Ordering::Relaxed)
     }
+    /// Promotions to the protected segment denied because the owning
+    /// tenant's protected-byte quota was full (tenant isolation).
+    pub fn quota_denied(&self) -> u64 {
+        self.quota_denied.load(Ordering::Relaxed)
+    }
     /// Bytes currently resident.
     pub fn resident_bytes(&self) -> u64 {
         self.resident_bytes.load(Ordering::Relaxed)
@@ -324,6 +337,9 @@ struct PoolEntry {
     crc: u32,
     last_used: u64,
     segment: Segment,
+    /// Tenant whose query inserted the entry (empty when no [`QueryCtx`]
+    /// was entered). Only consulted when a tenant quota is armed.
+    tenant: String,
 }
 
 /// A single-flight gate: the first misser loads while later missers wait.
@@ -373,6 +389,13 @@ impl Gate {
     }
 }
 
+/// Per-tenant byte accounting inside one shard.
+#[derive(Debug, Default, Clone, Copy)]
+struct TenantBytes {
+    resident: usize,
+    protected: usize,
+}
+
 struct Shard {
     map: HashMap<PoolKey, PoolEntry>,
     bytes: usize,
@@ -381,6 +404,8 @@ struct Shard {
     tick: u64,
     sketch: FrequencySketch,
     inflight: HashMap<PoolKey, Arc<Gate>>,
+    /// Resident/protected bytes per owning tenant (entries removed at 0).
+    tenant_bytes: HashMap<String, TenantBytes>,
 }
 
 impl Shard {
@@ -392,7 +417,24 @@ impl Shard {
             tick: 0,
             sketch: FrequencySketch::new(capacity),
             inflight: HashMap::new(),
+            tenant_bytes: HashMap::new(),
         }
+    }
+
+    fn tenant_add(&mut self, tenant: &str, resident: isize, protected: isize) {
+        let e = self.tenant_bytes.entry(tenant.to_string()).or_default();
+        e.resident = (e.resident as isize + resident).max(0) as usize;
+        e.protected = (e.protected as isize + protected).max(0) as usize;
+        if e.resident == 0 && e.protected == 0 {
+            self.tenant_bytes.remove(tenant);
+        }
+    }
+
+    fn tenant_protected(&self, tenant: &str) -> usize {
+        self.tenant_bytes
+            .get(tenant)
+            .map(|t| t.protected)
+            .unwrap_or(0)
     }
 }
 
@@ -422,6 +464,9 @@ pub struct BufferPool {
     /// Largest single entry the pool will hold (bigger reads pass through;
     /// prevents one bulk object from evicting all the metadata).
     max_entry: AtomicUsize,
+    /// Per-tenant byte quota on the protected segment (0 = tenant isolation
+    /// off; eviction and promotion then behave exactly as without quotas).
+    tenant_quota: AtomicUsize,
     metrics: Arc<PoolMetrics>,
 }
 
@@ -460,6 +505,7 @@ impl BufferPool {
                 .collect(),
             shard_capacity,
             max_entry: AtomicUsize::new((capacity_bytes / 4).max(1)),
+            tenant_quota: AtomicUsize::new(0),
             metrics: Arc::new(PoolMetrics::new()),
         }
     }
@@ -467,6 +513,44 @@ impl BufferPool {
     /// Override the largest cacheable entry size.
     pub fn set_max_entry_bytes(&self, max_entry: usize) {
         self.max_entry.store(max_entry.max(1), Ordering::Relaxed);
+    }
+
+    /// Arm (or, with 0, disarm) the per-tenant protected-byte quota. While
+    /// armed:
+    ///
+    /// - a tenant whose protected bytes are at quota keeps new re-referenced
+    ///   pages in probation instead of promoting them (`pool.quota_denied`);
+    /// - a miss-driven insert never evicts another tenant's *protected*
+    ///   pages — a greedy scan evicts its own probation pages first, then
+    ///   its own protected ones, then other tenants' probation.
+    ///
+    /// With the quota at 0 (the default) behavior is byte-identical to a
+    /// pool without tenant accounting.
+    pub fn set_tenant_quota_bytes(&self, quota: usize) {
+        self.tenant_quota.store(quota, Ordering::Relaxed);
+    }
+
+    /// The armed per-tenant protected-byte quota (0 = off).
+    pub fn tenant_quota_bytes(&self) -> usize {
+        self.tenant_quota.load(Ordering::Relaxed)
+    }
+
+    /// Per-tenant residency aggregated across shards, sorted by tenant:
+    /// `(tenant, resident_bytes, protected_bytes)`. Tenant attribution is
+    /// recorded on every insert, so stats are meaningful with or without an
+    /// armed quota.
+    pub fn tenant_stats(&self) -> Vec<(String, u64, u64)> {
+        let mut agg: std::collections::BTreeMap<String, (u64, u64)> =
+            std::collections::BTreeMap::new();
+        for shard in &self.shards {
+            let s = shard.lock();
+            for (tenant, tb) in &s.tenant_bytes {
+                let e = agg.entry(tenant.clone()).or_default();
+                e.0 += tb.resident as u64;
+                e.1 += tb.protected as u64;
+            }
+        }
+        agg.into_iter().map(|(t, (r, p))| (t, r, p)).collect()
     }
 
     /// This pool's metrics (shared handle; live counters).
@@ -511,6 +595,7 @@ impl BufferPool {
             s.map.clear();
             s.bytes = 0;
             s.protected_bytes = 0;
+            s.tenant_bytes.clear();
             if bytes > 0 || entries > 0 {
                 self.metrics
                     .update_resident(-(bytes as i64), -(entries as i64));
@@ -635,11 +720,18 @@ impl BufferPool {
 
     fn remove_locked(&self, s: &mut Shard, key: &PoolKey) -> Option<PoolEntry> {
         let e = s.map.remove(key)?;
-        s.bytes -= e.data.len();
-        if e.segment == Segment::Protected {
-            s.protected_bytes -= e.data.len();
+        let len = e.data.len();
+        s.bytes -= len;
+        let protected = e.segment == Segment::Protected;
+        if protected {
+            s.protected_bytes -= len;
         }
-        self.metrics.update_resident(-(e.data.len() as i64), -1);
+        s.tenant_add(
+            &e.tenant,
+            -(len as isize),
+            if protected { -(len as isize) } else { 0 },
+        );
+        self.metrics.update_resident(-(len as i64), -1);
         Some(e)
     }
 
@@ -657,16 +749,31 @@ impl BufferPool {
             self.remove_locked(s, key);
             return None;
         }
-        let mut promoted = false;
+        // Admission to protected is where the tenant quota bites: a tenant
+        // whose protected bytes are full keeps the page in probation (still
+        // served, still touched) instead of growing its protected share.
+        let quota = self.tenant_quota.load(Ordering::Relaxed);
+        let denied = quota > 0
+            && match s.map.get(key) {
+                Some(e) if e.segment == Segment::Probation => {
+                    s.tenant_protected(&e.tenant) + data.len() > quota
+                }
+                _ => false,
+            };
+        if denied {
+            self.metrics.record_quota_denied();
+        }
+        let mut promoted: Option<String> = None;
         if let Some(entry) = s.map.get_mut(key) {
             entry.last_used = tick;
-            if entry.segment == Segment::Probation {
+            if entry.segment == Segment::Probation && !denied {
                 entry.segment = Segment::Protected;
-                promoted = true;
+                promoted = Some(entry.tenant.clone());
             }
         }
-        if promoted {
+        if let Some(tenant) = promoted {
             s.protected_bytes += data.len();
+            s.tenant_add(&tenant, 0, data.len() as isize);
             self.rebalance_protected(s);
         }
         Some(data)
@@ -691,7 +798,9 @@ impl BufferPool {
             };
             let len = e.data.len();
             e.segment = Segment::Probation;
+            let tenant = e.tenant.clone();
             s.protected_bytes -= len;
+            s.tenant_add(&tenant, 0, -(len as isize));
         }
     }
 
@@ -720,6 +829,12 @@ impl BufferPool {
             self.metrics.record_rejected();
             return;
         }
+        // Attribute the page to the inserting query's tenant (empty when no
+        // query context is active, e.g. warm-up traffic).
+        let tenant = lakehouse_obs::QueryCtx::current()
+            .map(|c| c.tenant().to_string())
+            .unwrap_or_default();
+        let quota = self.tenant_quota.load(Ordering::Relaxed);
         s.tick += 1;
         let tick = s.tick;
         let hash = key.sketch_hash();
@@ -728,12 +843,35 @@ impl BufferPool {
                                      // Make room, preferring probation victims (SLRU), stopping if the
                                      // candidate loses the frequency contest against a victim.
         while s.bytes + len > self.shard_capacity {
-            let Some(victim) = s
-                .map
-                .iter()
-                .min_by_key(|(_, e)| (e.segment == Segment::Protected, e.last_used))
-                .map(|(k, _)| k.clone())
-            else {
+            // With tenant quotas armed, a miss may never evict *another*
+            // tenant's protected pages; victims are taken from the inserting
+            // tenant's own pages first (probation, then protected), then
+            // foreign probation. Quota off = the seed's SLRU order, exactly.
+            let victim = if quota == 0 {
+                s.map
+                    .iter()
+                    .min_by_key(|(_, e)| (e.segment == Segment::Protected, e.last_used))
+                    .map(|(k, _)| k.clone())
+            } else {
+                s.map
+                    .iter()
+                    .filter(|(_, e)| e.tenant == tenant || e.segment != Segment::Protected)
+                    .min_by_key(|(_, e)| {
+                        (
+                            e.tenant != tenant,
+                            e.segment == Segment::Protected,
+                            e.last_used,
+                        )
+                    })
+                    .map(|(k, _)| k.clone())
+            };
+            let Some(victim) = victim else {
+                if quota > 0 && s.bytes + len > self.shard_capacity {
+                    // Every resident byte belongs to other tenants' protected
+                    // segments: politeness wins, the insert is rejected.
+                    self.metrics.record_rejected();
+                    return;
+                }
                 break;
             };
             if admission && s.sketch.freq(hash) < s.sketch.freq(victim.sketch_hash()) {
@@ -754,6 +892,7 @@ impl BufferPool {
         }
         let crc = crc32c(&data);
         s.bytes += len;
+        s.tenant_add(&tenant, len as isize, 0);
         lakehouse_obs::recorder().record(
             lakehouse_obs::EventKind::PoolAdmit,
             key.path(),
@@ -766,6 +905,7 @@ impl BufferPool {
                 crc,
                 last_used: tick,
                 segment: Segment::Probation,
+                tenant,
             },
         );
         self.metrics.record_admitted();
@@ -995,5 +1135,93 @@ mod tests {
         let b = run();
         assert_eq!(a, b, "same touch order must leave the same residents");
         assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn tenant_quota_caps_protected_promotions() {
+        let pool = BufferPool::private(1 << 20);
+        pool.set_tenant_quota_bytes(400);
+        let ctx = lakehouse_obs::QueryCtx::new("alpha", "q");
+        let _g = ctx.enter();
+        for i in 0..5 {
+            pool.replace_whole(&format!("p/{i}"), Bytes::from(vec![i as u8; 100]));
+        }
+        // Touch every page: the first four promote (4 x 100 = quota), the
+        // fifth is denied promotion but still served.
+        for i in 0..5 {
+            let (d, hit) = pool
+                .get_or_load(&whole(&format!("p/{i}")), || unreachable!("resident"))
+                .unwrap();
+            assert_eq!(d.len(), 100);
+            assert!(hit);
+        }
+        assert_eq!(pool.metrics().quota_denied(), 1);
+        let stats = pool.tenant_stats();
+        assert_eq!(stats, vec![("alpha".to_string(), 500, 400)]);
+    }
+
+    #[test]
+    fn tenant_isolation_never_evicts_foreign_protected_pages() {
+        let pool = BufferPool::private(1000);
+        pool.set_max_entry_bytes(1000);
+        pool.set_tenant_quota_bytes(400);
+        // Polite tenant promotes two pages into protected.
+        {
+            let ctx = lakehouse_obs::QueryCtx::new("polite", "q");
+            let _g = ctx.enter();
+            for name in ["polite/a", "polite/b"] {
+                pool.replace_whole(name, Bytes::from(vec![7u8; 100]));
+                let _ = pool.get_or_load(&whole(name), || unreachable!("resident"));
+            }
+        }
+        // Greedy tenant streams far more than the pool holds: its misses
+        // must recycle its own pages, never the polite protected ones.
+        {
+            let ctx = lakehouse_obs::QueryCtx::new("greedy", "q");
+            let _g = ctx.enter();
+            for i in 0..30 {
+                pool.replace_whole(&format!("greedy/{i}"), Bytes::from(vec![9u8; 100]));
+            }
+        }
+        assert!(pool.contains(&whole("polite/a")));
+        assert!(pool.contains(&whole("polite/b")));
+        let stats = pool.tenant_stats();
+        let polite = stats.iter().find(|(t, _, _)| t == "polite").unwrap();
+        assert_eq!(
+            (polite.1, polite.2),
+            (200, 200),
+            "polite protected bytes must survive the greedy stream"
+        );
+        let greedy = stats.iter().find(|(t, _, _)| t == "greedy").unwrap();
+        assert!(greedy.1 <= 800, "greedy stays within capacity minus polite");
+    }
+
+    #[test]
+    fn insert_rejected_when_only_foreign_protected_bytes_remain() {
+        let pool = BufferPool::private(500);
+        pool.set_max_entry_bytes(500);
+        pool.set_tenant_quota_bytes(400);
+        {
+            let ctx = lakehouse_obs::QueryCtx::new("polite", "q");
+            let _g = ctx.enter();
+            for i in 0..4 {
+                let name = format!("p/{i}");
+                pool.replace_whole(&name, Bytes::from(vec![1u8; 100]));
+                let _ = pool.get_or_load(&whole(&name), || unreachable!("resident"));
+            }
+        }
+        // All 400 resident bytes are polite-protected; a 200-byte foreign
+        // insert cannot make room without violating isolation.
+        let rejected_before = pool.metrics().rejected();
+        {
+            let ctx = lakehouse_obs::QueryCtx::new("greedy", "q");
+            let _g = ctx.enter();
+            pool.replace_whole("g/big", Bytes::from(vec![2u8; 200]));
+        }
+        assert!(!pool.contains(&whole("g/big")));
+        assert!(pool.metrics().rejected() > rejected_before);
+        for i in 0..4 {
+            assert!(pool.contains(&whole(&format!("p/{i}"))));
+        }
     }
 }

@@ -1,0 +1,270 @@
+//! The pluggable scheduler layer, end to end: DAG stages from concurrent
+//! runs interleaving under one shared gate, cost-aware ordering behaving
+//! deterministically, tenant-quota'd buffer-pool isolation, and the
+//! `queue_wait_ms` / `sched_policy` telemetry columns.
+
+use bauplan_core::{
+    AdmissionConfig, AdmissionController, Lakehouse, LakehouseConfig, NodeDef, PipelineProject,
+    PolicyKind, RunOptions,
+};
+use lakehouse_columnar::{Column, DataType, Field, RecordBatch, Schema};
+use std::sync::{Arc, Barrier, Mutex, MutexGuard, OnceLock};
+use std::time::Duration;
+
+/// The flight recorder and query log are process-wide; tests that assert on
+/// retained events serialize on this lock (other test binaries are separate
+/// processes).
+fn serial() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+fn base_batch(n: i64) -> RecordBatch {
+    RecordBatch::try_new(
+        Schema::new(vec![Field::new("x", DataType::Int64, false)]),
+        vec![Column::from_i64((0..n).collect())],
+    )
+    .unwrap()
+}
+
+/// A three-step function chain (base → t1 → t2 → t3): three stages in naive
+/// mode, each holding its admission slot for real wall time.
+fn chain_project() -> PipelineProject {
+    PipelineProject::new("chain")
+        .with(NodeDef::function(
+            "t1",
+            vec!["base".into()],
+            Default::default(),
+            "slow1",
+        ))
+        .with(NodeDef::function(
+            "t2",
+            vec!["t1".into()],
+            Default::default(),
+            "slow2",
+        ))
+        .with(NodeDef::function(
+            "t3",
+            vec!["t2".into()],
+            Default::default(),
+            "slow3",
+        ))
+}
+
+fn chain_lakehouse(tenant: &str, gate: AdmissionController) -> Lakehouse {
+    let config = LakehouseConfig {
+        tenant: tenant.into(),
+        execution_mode: bauplan_core::ExecutionMode::Naive,
+        ..LakehouseConfig::zero_latency()
+    };
+    let mut lh = Lakehouse::in_memory(config).unwrap();
+    lh.set_admission(Some(gate));
+    for (fid, input) in [("slow1", "base"), ("slow2", "t1"), ("slow3", "t2")] {
+        let input = input.to_string();
+        lh.register_function(fid, move |ctx: &bauplan_core::FnContext| {
+            // The sleep makes the stage's permit hold long enough that the
+            // other run's next stage queues behind it.
+            std::thread::sleep(Duration::from_millis(15));
+            Ok(bauplan_core::FnOutput::Batch(ctx.input(&input)?.clone()))
+        });
+    }
+    lh.create_table("base", &base_batch(64), "main").unwrap();
+    lh
+}
+
+/// Acceptance: stages of two concurrent runs from different tenants pass
+/// through one shared single-slot gate as independent schedulable units —
+/// the recorder shows their `stage_start` events interleaving rather than
+/// one run monopolizing the gate for its whole DAG.
+#[test]
+fn dag_stages_from_two_runs_interleave_under_one_gate() {
+    let _serial = serial();
+    let gate = AdmissionController::new(AdmissionConfig {
+        max_slots: 1,
+        tenant_slots: 0,
+        queue_cap: 64,
+        queue_deadline: Duration::from_secs(30),
+        policy: PolicyKind::Fifo,
+        weights: Vec::new(),
+    });
+    let alpha = Arc::new(chain_lakehouse("alpha", gate.clone()));
+    let beta = Arc::new(chain_lakehouse("beta", gate));
+    let seq0 = lakehouse_obs::recorder()
+        .snapshot()
+        .iter()
+        .map(|e| e.seq)
+        .max()
+        .unwrap_or(0);
+
+    let barrier = Arc::new(Barrier::new(2));
+    let handles: Vec<_> = [alpha, beta]
+        .into_iter()
+        .map(|lh| {
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                lh.run(&chain_project(), &RunOptions::default()).unwrap()
+            })
+        })
+        .collect();
+    for h in handles {
+        let report = h.join().unwrap();
+        assert!(report.success);
+        assert_eq!(report.stages_executed, 3);
+    }
+
+    // Filter this test's stage_start events (run ids restart per instance,
+    // so attribute by tenant) and order them by allocation sequence.
+    let mut starts: Vec<_> = lakehouse_obs::recorder()
+        .snapshot()
+        .into_iter()
+        .filter(|e| {
+            e.seq > seq0
+                && e.kind == lakehouse_obs::EventKind::StageStart
+                && (e.tenant == "alpha" || e.tenant == "beta")
+        })
+        .collect();
+    starts.sort_by_key(|e| e.seq);
+    assert_eq!(starts.len(), 6, "three stages per run");
+    let tenants: Vec<&str> = starts.iter().map(|e| e.tenant.as_str()).collect();
+    let transitions = tenants.windows(2).filter(|w| w[0] != w[1]).count();
+    assert!(
+        transitions >= 2,
+        "stages must interleave across runs, got order {tenants:?}"
+    );
+}
+
+/// With a cost-aware gate, queued work drains shortest-expected-cost first,
+/// and the drain order is identical on every replay of the same arrival set.
+#[test]
+fn cost_aware_gate_drains_cheapest_first_deterministically() {
+    let run_once = || -> Vec<&'static str> {
+        let gate = AdmissionController::new(AdmissionConfig {
+            max_slots: 1,
+            tenant_slots: 0,
+            queue_cap: 64,
+            queue_deadline: Duration::from_secs(30),
+            policy: PolicyKind::CostAware,
+            weights: Vec::new(),
+        });
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let blocker = gate.acquire("warmup").unwrap();
+        let mut handles = Vec::new();
+        for (name, cost) in [("big", 30.0), ("mid", 5.0), ("small", 0.5)] {
+            let worker_gate = gate.clone();
+            let order = Arc::clone(&order);
+            handles.push(std::thread::spawn(move || {
+                let permit = worker_gate.acquire_item(name, cost).unwrap();
+                order.lock().unwrap().push(name);
+                drop(permit);
+            }));
+            // Deterministic arrival order: wait until this waiter is queued
+            // before submitting the next.
+            while gate.queue_depth() < handles.len() {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        drop(blocker);
+        for h in handles {
+            h.join().unwrap();
+        }
+        let order = order.lock().unwrap().clone();
+        order
+    };
+    let first = run_once();
+    assert_eq!(first, vec!["small", "mid", "big"]);
+    assert_eq!(first, run_once(), "same arrivals, same drain order");
+}
+
+/// Tenant-quota'd shared pool, end to end through two lakehouse fronts: a
+/// greedy tenant's scan churn must not evict the polite tenant's protected
+/// pages, and the polite tenant's query answers stay byte-identical.
+#[test]
+fn pool_tenant_quota_isolates_polite_tenant_from_greedy_churn() {
+    let _serial = serial();
+    let pool = Arc::new(bauplan_core::BufferPool::new(256 * 1024));
+    // Two fronts over one data lake sharing one quota'd pool — the shared
+    // backend matters: cached pages are keyed by object path.
+    let backend: Arc<dyn lakehouse_store::ObjectStore> =
+        Arc::new(lakehouse_store::InMemoryStore::new());
+    let front = |tenant: &str| {
+        let config = LakehouseConfig {
+            tenant: tenant.into(),
+            shared_pool: Some(Arc::clone(&pool)),
+            pool_tenant_quota_bytes: 64 * 1024,
+            ..LakehouseConfig::zero_latency()
+        };
+        Lakehouse::with_store(Arc::clone(&backend), config).unwrap()
+    };
+    let polite = front("polite");
+    let greedy = front("greedy");
+    polite.create_table("p", &base_batch(256), "main").unwrap();
+    for i in 0..24 {
+        let b = base_batch(256);
+        if i == 0 {
+            greedy.create_table("g", &b, "main").unwrap();
+        } else {
+            greedy.append_table("g", &b, "main").unwrap();
+        }
+    }
+    assert_eq!(pool.tenant_quota_bytes(), 64 * 1024);
+
+    // Warm the polite tenant's working set: the second read's hits promote
+    // its pages into the protected segment.
+    let expected = polite.query("SELECT SUM(x) AS s FROM p", "main").unwrap();
+    let _ = polite.query("SELECT SUM(x) AS s FROM p", "main").unwrap();
+    let protected_before = pool
+        .tenant_stats()
+        .into_iter()
+        .find(|(t, _, _)| t == "polite")
+        .map(|(_, _, p)| p)
+        .unwrap_or(0);
+    assert!(protected_before > 0, "warm-up must promote polite pages");
+
+    // Greedy churn: repeated full scans over a table larger than the pool.
+    for _ in 0..4 {
+        let _ = greedy.query("SELECT COUNT(*) AS n FROM g", "main").unwrap();
+    }
+
+    let protected_after = pool
+        .tenant_stats()
+        .into_iter()
+        .find(|(t, _, _)| t == "polite")
+        .map(|(_, _, p)| p)
+        .unwrap_or(0);
+    assert_eq!(
+        protected_before, protected_after,
+        "greedy churn must not evict polite protected pages"
+    );
+    let again = polite.query("SELECT SUM(x) AS s FROM p", "main").unwrap();
+    assert_eq!(expected, again);
+}
+
+/// `system.queries` carries the scheduling telemetry: an admitted query's
+/// row names the gate's policy, and queue wait is reported in milliseconds.
+#[test]
+fn system_queries_reports_queue_wait_and_policy() {
+    let _serial = serial();
+    let config = LakehouseConfig {
+        max_concurrent_queries: 2,
+        sched_policy: PolicyKind::FairShare,
+        tenant_weights: vec![("default".into(), 3.0)],
+        ..LakehouseConfig::zero_latency()
+    };
+    let lh = Lakehouse::in_memory(config).unwrap();
+    lh.create_table("t", &base_batch(16), "main").unwrap();
+    lh.query("SELECT COUNT(*) AS n FROM t", "main").unwrap();
+    let out = lh
+        .query(
+            "SELECT sched_policy, queue_wait_ms FROM system.queries \
+             WHERE label = 'SELECT COUNT(*) AS n FROM t'",
+            "main",
+        )
+        .unwrap();
+    assert_eq!(out.num_rows(), 1);
+    let row = out.row(0).unwrap();
+    assert_eq!(row[0].as_str().unwrap(), "fair_share");
+    assert!(row[1].as_f64().unwrap() >= 0.0);
+}
